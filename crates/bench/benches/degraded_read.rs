@@ -1,0 +1,48 @@
+//! Criterion bench for Figure 9: degraded-read planning (repair source
+//! selection + timing) for every cell of Table I.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ecfrm_bench::experiment::{run_degraded, ExperimentConfig};
+use ecfrm_bench::params::{lrc_params, lrc_schemes, rs_params, rs_schemes};
+
+fn cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        trials_degraded: 200,
+        address_space: 3_000,
+        ..ExperimentConfig::default()
+    }
+}
+
+fn bench_fig9_rs(c: &mut Criterion) {
+    let cfg = cfg();
+    let mut g = c.benchmark_group("fig9_degraded_read_rs");
+    for (k, m) in rs_params() {
+        for scheme in rs_schemes(k, m) {
+            g.bench_with_input(
+                BenchmarkId::new(scheme.name(), format!("({k},{m})")),
+                &scheme,
+                |b, s| b.iter(|| run_degraded(s, &cfg).speed_mb_s),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_fig9_lrc(c: &mut Criterion) {
+    let cfg = cfg();
+    let mut g = c.benchmark_group("fig9_degraded_read_lrc");
+    for (k, l, m) in lrc_params() {
+        for scheme in lrc_schemes(k, l, m) {
+            g.bench_with_input(
+                BenchmarkId::new(scheme.name(), format!("({k},{l},{m})")),
+                &scheme,
+                |b, s| b.iter(|| run_degraded(s, &cfg).cost),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig9_rs, bench_fig9_lrc);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Criterion bench: raw encode/decode throughput of the candidate codes —
+//! the paper's §II-D point that with fast GF arithmetic, computation is
+//! not the differentiator (I/O is).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ecfrm_codes::{CandidateCode, LrcCode, RsCode};
+use ecfrm_core::Scheme;
+
+const ELEMENT: usize = 64 * 1024;
+
+fn data(k: usize) -> Vec<Vec<u8>> {
+    (0..k)
+        .map(|i| (0..ELEMENT).map(|j| ((i * 31 + j * 7 + 11) % 256) as u8).collect())
+        .collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode_throughput");
+    let codes: Vec<Arc<dyn CandidateCode>> = vec![
+        Arc::new(RsCode::vandermonde(6, 3)),
+        Arc::new(RsCode::cauchy(6, 3)),
+        Arc::new(LrcCode::new(6, 2, 2)),
+        Arc::new(RsCode::vandermonde(10, 5)),
+        Arc::new(LrcCode::new(10, 2, 4)),
+    ];
+    for code in codes {
+        let k = code.k();
+        let d = data(k);
+        let refs: Vec<&[u8]> = d.iter().map(|v| v.as_slice()).collect();
+        g.throughput(Throughput::Bytes((k * ELEMENT) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(code.name()), &code, |b, code| {
+            let mut parity = vec![vec![0u8; ELEMENT]; code.m()];
+            b.iter(|| code.encode(&refs, &mut parity));
+        });
+    }
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decode_worst_case");
+    let codes: Vec<Arc<dyn CandidateCode>> = vec![
+        Arc::new(RsCode::vandermonde(6, 3)),
+        Arc::new(LrcCode::new(6, 2, 2)),
+    ];
+    for code in codes {
+        let k = code.k();
+        let d = data(k);
+        let refs: Vec<&[u8]> = d.iter().map(|v| v.as_slice()).collect();
+        let mut parity = vec![vec![0u8; ELEMENT]; code.m()];
+        code.encode(&refs, &mut parity);
+        let shards: Vec<Option<Vec<u8>>> = d
+            .iter()
+            .cloned()
+            .map(Some)
+            .chain(parity.into_iter().map(Some))
+            .collect();
+        let tolerance = code.fault_tolerance();
+        g.throughput(Throughput::Bytes((tolerance * ELEMENT) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(code.name()), &code, |b, code| {
+            b.iter(|| {
+                let mut s = shards.clone();
+                for slot in s.iter_mut().take(tolerance) {
+                    *slot = None;
+                }
+                code.decode(&mut s, ELEMENT).unwrap();
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_stripe_encode(c: &mut Criterion) {
+    // Whole-stripe encoding through the Scheme (the store's write path).
+    let mut g = c.benchmark_group("stripe_encode");
+    let code: Arc<dyn CandidateCode> = Arc::new(LrcCode::new(6, 2, 2));
+    for scheme in [Scheme::standard(code.clone()), Scheme::ecfrm(code.clone())] {
+        let dps = scheme.data_per_stripe();
+        let d = data(dps);
+        let refs: Vec<&[u8]> = d.iter().map(|v| v.as_slice()).collect();
+        g.throughput(Throughput::Bytes((dps * ELEMENT) as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(scheme.name()),
+            &scheme,
+            |b, s| b.iter(|| s.encode_stripe(0, &refs)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_decoder_cache(c: &mut Criterion) {
+    // The Jerasure-style optimisation: repeated repairs of one geometry
+    // with vs without coefficient caching.
+    use ecfrm_codes::DecoderCache;
+    let mut g = c.benchmark_group("repair_one_element");
+    let code = RsCode::vandermonde(6, 3);
+    let k = code.k();
+    let d = data(k);
+    let refs: Vec<&[u8]> = d.iter().map(|v| v.as_slice()).collect();
+    let mut parity = vec![vec![0u8; ELEMENT]; code.m()];
+    code.encode(&refs, &mut parity);
+    let full: Vec<Vec<u8>> = d.into_iter().chain(parity).collect();
+    let sources: Vec<(usize, &[u8])> =
+        (1..7).map(|p| (p, full[p].as_slice())).collect();
+    g.throughput(Throughput::Bytes(ELEMENT as u64));
+    g.bench_function("uncached", |b| {
+        b.iter(|| {
+            ecfrm_codes::decode::reconstruct_one(code.generator(), 0, &sources, ELEMENT)
+                .unwrap()
+        })
+    });
+    let cache = DecoderCache::new(code.generator().clone());
+    g.bench_function("cached", |b| {
+        b.iter(|| cache.reconstruct(0, &sources, ELEMENT).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_decode,
+    bench_stripe_encode,
+    bench_decoder_cache
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench: the GF region kernels (the workspace's GF-Complete
+//! substitute) — multiply-accumulate and XOR over storage-sized buffers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ecfrm_gf::region::{dot_region, mul_add_region, mul_region, xor_region};
+
+fn buf(len: usize, seed: u8) -> Vec<u8> {
+    (0..len).map(|i| ((i * 131 + seed as usize * 7 + 1) % 256) as u8).collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gf_region_kernels");
+    for len in [4 * 1024usize, 64 * 1024, 1024 * 1024] {
+        let src = buf(len, 1);
+        let mut dst = buf(len, 2);
+        g.throughput(Throughput::Bytes(len as u64));
+        g.bench_with_input(BenchmarkId::new("xor", len), &len, |b, _| {
+            b.iter(|| xor_region(&mut dst, &src))
+        });
+        g.bench_with_input(BenchmarkId::new("mul_c", len), &len, |b, _| {
+            b.iter(|| mul_region(0x1D, &src, &mut dst))
+        });
+        g.bench_with_input(BenchmarkId::new("mul_add_c", len), &len, |b, _| {
+            b.iter(|| mul_add_region(0x1D, &src, &mut dst))
+        });
+    }
+    g.finish();
+}
+
+fn bench_dot(c: &mut Criterion) {
+    // The k-way encode kernel at k = 6 and 10 (Table I's extremes).
+    let mut g = c.benchmark_group("gf_dot_region");
+    let len = 64 * 1024;
+    for k in [6usize, 10] {
+        let srcs: Vec<Vec<u8>> = (0..k).map(|i| buf(len, i as u8)).collect();
+        let refs: Vec<&[u8]> = srcs.iter().map(|v| v.as_slice()).collect();
+        let coeffs: Vec<u8> = (1..=k as u8).collect();
+        let mut dst = vec![0u8; len];
+        g.throughput(Throughput::Bytes((k * len) as u64));
+        g.bench_with_input(BenchmarkId::new("dot", k), &k, |b, _| {
+            b.iter(|| dot_region(&coeffs, &refs, &mut dst))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_dot);
+criterion_main!(benches);

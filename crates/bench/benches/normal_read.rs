@@ -1,0 +1,48 @@
+//! Criterion bench for Figure 8: normal-read planning + array timing for
+//! every (code, form, parameter) cell of the paper's Table I.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ecfrm_bench::experiment::{run_normal, ExperimentConfig};
+use ecfrm_bench::params::{lrc_params, lrc_schemes, rs_params, rs_schemes};
+
+fn cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        trials_normal: 200,
+        address_space: 3_000,
+        ..ExperimentConfig::default()
+    }
+}
+
+fn bench_fig8a(c: &mut Criterion) {
+    let cfg = cfg();
+    let mut g = c.benchmark_group("fig8a_normal_read_rs");
+    for (k, m) in rs_params() {
+        for scheme in rs_schemes(k, m) {
+            g.bench_with_input(
+                BenchmarkId::new(scheme.name(), format!("({k},{m})")),
+                &scheme,
+                |b, s| b.iter(|| run_normal(s, &cfg).speed_mb_s),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_fig8b(c: &mut Criterion) {
+    let cfg = cfg();
+    let mut g = c.benchmark_group("fig8b_normal_read_lrc");
+    for (k, l, m) in lrc_params() {
+        for scheme in lrc_schemes(k, l, m) {
+            g.bench_with_input(
+                BenchmarkId::new(scheme.name(), format!("({k},{l},{m})")),
+                &scheme,
+                |b, s| b.iter(|| run_normal(s, &cfg).speed_mb_s),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig8a, bench_fig8b);
+criterion_main!(benches);

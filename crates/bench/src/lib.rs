@@ -1,0 +1,24 @@
+//! Experiment harness regenerating every figure of the EC-FRM paper.
+//!
+//! The evaluation (§VI) compares three *forms* of each code — standard,
+//! rotated ("R-"), and EC-FRM — over the Table I parameters, under the
+//! §VI-B/§VI-C random-read workloads, on a Savvio 10K.3 disk array.
+//! This crate packages those pieces:
+//!
+//! * [`params`] — Table I's parameter sets and scheme constructors;
+//! * [`experiment`] — run one (scheme, workload) cell and summarise
+//!   speed / cost / load metrics;
+//! * [`report`] — aligned text tables with paper-style gain percentages.
+//!
+//! The `figures` binary drives it:
+//!
+//! ```text
+//! cargo run -p ecfrm-bench --release --bin figures -- all
+//! ```
+
+pub mod experiment;
+pub mod params;
+pub mod report;
+
+pub use experiment::{run_degraded, run_normal, DegradedResult, ExperimentConfig, NormalResult};
+pub use params::{lrc_params, lrc_schemes, rs_params, rs_schemes, three_forms};

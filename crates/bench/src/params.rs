@@ -1,0 +1,57 @@
+//! Table I: the tested erasure codes and parameters.
+
+use std::sync::Arc;
+
+use ecfrm_codes::{CandidateCode, LrcCode, RsCode};
+use ecfrm_core::Scheme;
+
+/// Table I, left column: Reed–Solomon `(k, m)` parameters.
+pub fn rs_params() -> [(usize, usize); 3] {
+    [(6, 3), (8, 4), (10, 5)]
+}
+
+/// Table I, right column: LRC `(k, l, m)` parameters.
+pub fn lrc_params() -> [(usize, usize, usize); 3] {
+    [(6, 2, 2), (8, 2, 3), (10, 2, 4)]
+}
+
+/// The three evaluated forms of a code: standard, rotated, EC-FRM —
+/// in the order the paper's figure legends use.
+pub fn three_forms(code: Arc<dyn CandidateCode>) -> [Scheme; 3] {
+    [
+        Scheme::standard(code.clone()),
+        Scheme::rotated(code.clone()),
+        Scheme::ecfrm(code),
+    ]
+}
+
+/// The three forms of `RS(k, m)`.
+pub fn rs_schemes(k: usize, m: usize) -> [Scheme; 3] {
+    three_forms(Arc::new(RsCode::vandermonde(k, m)))
+}
+
+/// The three forms of `LRC(k, l, m)`.
+pub fn lrc_schemes(k: usize, l: usize, m: usize) -> [Scheme; 3] {
+    three_forms(Arc::new(LrcCode::new(k, l, m)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_parameters() {
+        assert_eq!(rs_params().len(), 3);
+        assert_eq!(lrc_params().len(), 3);
+        for (k, m) in rs_params() {
+            let schemes = rs_schemes(k, m);
+            assert_eq!(schemes[0].n_disks(), k + m);
+            assert!(schemes[2].name().starts_with("EC-FRM-RS"));
+        }
+        for (k, l, m) in lrc_params() {
+            let schemes = lrc_schemes(k, l, m);
+            assert_eq!(schemes[0].n_disks(), k + l + m);
+            assert!(schemes[1].name().starts_with("R-LRC"));
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Text-table rendering of experiment results, with the gain percentages
+//! the paper quotes ("EC-FRM-RS gains 19.2% to 33.9% higher read speed…").
+
+use crate::experiment::{DegradedResult, NormalResult};
+
+/// Percentage by which `new` exceeds `base`.
+pub fn gain_pct(new: f64, base: f64) -> f64 {
+    assert!(base > 0.0, "gain against non-positive baseline");
+    (new / base - 1.0) * 100.0
+}
+
+/// Render a Figure-8-style table: one row per parameter set, columns =
+/// the three forms' speeds plus EC-FRM gains.
+pub fn normal_table(title: &str, rows: &[(String, [NormalResult; 3])]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "{:<12} {:>12} {:>12} {:>14} {:>12} {:>12}\n",
+        "params", "standard", "rotated", "EC-FRM", "vs std %", "vs rot %"
+    ));
+    for (label, [std, rot, ec]) in rows {
+        out.push_str(&format!(
+            "{:<12} {:>12.1} {:>12.1} {:>14.1} {:>+12.1} {:>+12.1}\n",
+            label,
+            std.speed_mb_s,
+            rot.speed_mb_s,
+            ec.speed_mb_s,
+            gain_pct(ec.speed_mb_s, std.speed_mb_s),
+            gain_pct(ec.speed_mb_s, rot.speed_mb_s),
+        ));
+    }
+    out
+}
+
+/// Render a Figure-9(c)/(d)-style degraded-speed table.
+pub fn degraded_speed_table(title: &str, rows: &[(String, [DegradedResult; 3])]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "{:<12} {:>12} {:>12} {:>14} {:>12} {:>12}\n",
+        "params", "standard", "rotated", "EC-FRM", "vs std %", "vs rot %"
+    ));
+    for (label, [std, rot, ec]) in rows {
+        out.push_str(&format!(
+            "{:<12} {:>12.1} {:>12.1} {:>14.1} {:>+12.1} {:>+12.1}\n",
+            label,
+            std.speed_mb_s,
+            rot.speed_mb_s,
+            ec.speed_mb_s,
+            gain_pct(ec.speed_mb_s, std.speed_mb_s),
+            gain_pct(ec.speed_mb_s, rot.speed_mb_s),
+        ));
+    }
+    out
+}
+
+/// Render a Figure-9(a)/(b)-style degraded-cost table.
+pub fn degraded_cost_table(title: &str, rows: &[(String, [DegradedResult; 3])]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!(
+        "{:<12} {:>12} {:>12} {:>14} {:>14}\n",
+        "params", "standard", "rotated", "EC-FRM", "spread %"
+    ));
+    for (label, [std, rot, ec]) in rows {
+        let max = std.cost.max(rot.cost).max(ec.cost);
+        let min = std.cost.min(rot.cost).min(ec.cost);
+        out.push_str(&format!(
+            "{:<12} {:>12.4} {:>12.4} {:>14.4} {:>14.2}\n",
+            label,
+            std.cost,
+            rot.cost,
+            ec.cost,
+            (max / min - 1.0) * 100.0,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nr(name: &str, speed: f64) -> NormalResult {
+        NormalResult {
+            scheme: name.into(),
+            speed_mb_s: speed,
+            mean_max_load: 1.0,
+            mean_disks_touched: 5.0,
+        }
+    }
+
+    fn dr(name: &str, speed: f64, cost: f64) -> DegradedResult {
+        DegradedResult {
+            scheme: name.into(),
+            speed_mb_s: speed,
+            cost,
+            mean_max_load: 1.0,
+        }
+    }
+
+    #[test]
+    fn gain_math() {
+        assert!((gain_pct(120.0, 100.0) - 20.0).abs() < 1e-12);
+        assert!((gain_pct(90.0, 100.0) + 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tables_render_all_rows() {
+        let rows = vec![
+            ("(6,3)".to_string(), [nr("RS", 100.0), nr("R-RS", 110.0), nr("EC", 130.0)]),
+            ("(8,4)".to_string(), [nr("RS", 90.0), nr("R-RS", 95.0), nr("EC", 120.0)]),
+        ];
+        let t = normal_table("Fig 8(a)", &rows);
+        assert!(t.contains("(6,3)"));
+        assert!(t.contains("(8,4)"));
+        assert!(t.contains("+30.0"));
+
+        let drows = vec![(
+            "(6,2,2)".to_string(),
+            [dr("LRC", 80.0, 1.10), dr("R-LRC", 85.0, 1.11), dr("EC", 90.0, 1.105)],
+        )];
+        assert!(degraded_speed_table("Fig 9(d)", &drows).contains("(6,2,2)"));
+        assert!(degraded_cost_table("Fig 9(b)", &drows).contains("1.1000"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn gain_against_zero_panics() {
+        gain_pct(1.0, 0.0);
+    }
+}

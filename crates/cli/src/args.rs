@@ -1,0 +1,175 @@
+//! Minimal `--flag value` argument parsing (no external dependency) and
+//! code/layout specification strings.
+
+use std::sync::Arc;
+
+use ecfrm_codes::{CandidateCode, LrcCode, RsCode, XorCode};
+use ecfrm_core::Scheme;
+
+/// Parsed command options.
+#[derive(Debug, Default)]
+pub struct Options {
+    /// `--code rs:6,3` etc.
+    pub code: Option<String>,
+    /// `--layout ecfrm` etc.
+    pub layout: Option<String>,
+    /// `--element-size 65536`.
+    pub element_size: Option<usize>,
+    /// `--input file`.
+    pub input: Option<String>,
+    /// `--output file`.
+    pub output: Option<String>,
+    /// `--dir chunkdir`.
+    pub dir: Option<String>,
+    /// `--disk 3`.
+    pub disk: Option<usize>,
+    /// `--start 0`.
+    pub start: Option<u64>,
+    /// `--count 8`.
+    pub count: Option<usize>,
+    /// `--failed 2` (repeatable).
+    pub failed: Vec<usize>,
+    /// `--seed 7` (shuffled layout).
+    pub seed: u64,
+}
+
+impl Options {
+    /// Parse `--flag value` pairs.
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut o = Options {
+            seed: 7,
+            ..Default::default()
+        };
+        let mut it = argv.iter();
+        while let Some(flag) = it.next() {
+            let mut value = || {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("flag {flag} needs a value"))
+            };
+            match flag.as_str() {
+                "--code" => o.code = Some(value()?),
+                "--layout" => o.layout = Some(value()?),
+                "--element-size" => {
+                    o.element_size = Some(
+                        value()?
+                            .parse()
+                            .map_err(|e| format!("bad --element-size: {e}"))?,
+                    )
+                }
+                "--input" => o.input = Some(value()?),
+                "--output" => o.output = Some(value()?),
+                "--dir" => o.dir = Some(value()?),
+                "--disk" => {
+                    o.disk = Some(value()?.parse().map_err(|e| format!("bad --disk: {e}"))?)
+                }
+                "--start" => {
+                    o.start = Some(value()?.parse().map_err(|e| format!("bad --start: {e}"))?)
+                }
+                "--count" => {
+                    o.count = Some(value()?.parse().map_err(|e| format!("bad --count: {e}"))?)
+                }
+                "--failed" => o
+                    .failed
+                    .push(value()?.parse().map_err(|e| format!("bad --failed: {e}"))?),
+                "--seed" => {
+                    o.seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?
+                }
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(o)
+    }
+
+    /// Required-flag accessor with a friendly error.
+    pub fn require<'a, T>(v: &'a Option<T>, name: &str) -> Result<&'a T, String> {
+        v.as_ref().ok_or_else(|| format!("missing required flag --{name}"))
+    }
+}
+
+/// Parse a code spec: `rs:6,3`, `crs:8,4`, `lrc:6,2,2`, `xor:4`.
+pub fn parse_code(spec: &str) -> Result<Arc<dyn CandidateCode>, String> {
+    let (kind, params) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("bad code spec `{spec}` (expected kind:params)"))?;
+    let nums: Vec<usize> = params
+        .split(',')
+        .map(|p| p.trim().parse().map_err(|e| format!("bad code params: {e}")))
+        .collect::<Result<_, _>>()?;
+    match (kind, nums.as_slice()) {
+        ("rs", [k, m]) => Ok(Arc::new(RsCode::vandermonde(*k, *m))),
+        ("crs", [k, m]) => Ok(Arc::new(RsCode::cauchy(*k, *m))),
+        ("lrc", [k, l, m]) => Ok(Arc::new(LrcCode::new(*k, *l, *m))),
+        ("xor", [k]) => Ok(Arc::new(XorCode::new(*k))),
+        _ => Err(format!(
+            "bad code spec `{spec}` (use rs:K,M | crs:K,M | lrc:K,L,M | xor:K)"
+        )),
+    }
+}
+
+/// Build a scheme from spec strings.
+pub fn parse_scheme(code: &str, layout: &str, seed: u64) -> Result<Scheme, String> {
+    let code = parse_code(code)?;
+    match layout {
+        "standard" => Ok(Scheme::standard(code)),
+        "rotated" => Ok(Scheme::rotated(code)),
+        "ecfrm" => Ok(Scheme::ecfrm(code)),
+        "shuffled" => Ok(Scheme::shuffled(code, seed)),
+        other => Err(format!(
+            "unknown layout `{other}` (use standard|rotated|ecfrm|shuffled)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_basic_flags() {
+        let o = Options::parse(&sv(&[
+            "--code",
+            "rs:6,3",
+            "--layout",
+            "ecfrm",
+            "--element-size",
+            "1024",
+            "--failed",
+            "2",
+            "--failed",
+            "5",
+        ]))
+        .unwrap();
+        assert_eq!(o.code.as_deref(), Some("rs:6,3"));
+        assert_eq!(o.element_size, Some(1024));
+        assert_eq!(o.failed, vec![2, 5]);
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        assert!(Options::parse(&sv(&["--code"])).is_err());
+        assert!(Options::parse(&sv(&["--bogus", "1"])).is_err());
+    }
+
+    #[test]
+    fn code_specs() {
+        assert_eq!(parse_code("rs:6,3").unwrap().n(), 9);
+        assert_eq!(parse_code("crs:8,4").unwrap().n(), 12);
+        assert_eq!(parse_code("lrc:6,2,2").unwrap().n(), 10);
+        assert_eq!(parse_code("xor:4").unwrap().n(), 5);
+        assert!(parse_code("rs:6").is_err());
+        assert!(parse_code("nope:1,2").is_err());
+        assert!(parse_code("rs").is_err());
+    }
+
+    #[test]
+    fn scheme_specs() {
+        assert_eq!(parse_scheme("rs:6,3", "ecfrm", 0).unwrap().name(), "EC-FRM-RS(6,3)");
+        assert_eq!(parse_scheme("lrc:6,2,2", "standard", 0).unwrap().name(), "LRC(6,2,2)");
+        assert!(parse_scheme("rs:6,3", "diagonal", 0).is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! Plain-text chunk-directory manifest (`manifest.txt`): enough metadata
+//! to rebuild the scheme and the original file.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+/// Manifest of an encoded chunk directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Code spec string, e.g. `rs:6,3`.
+    pub code: String,
+    /// Layout name, e.g. `ecfrm`.
+    pub layout: String,
+    /// Shuffled-layout seed (ignored otherwise).
+    pub seed: u64,
+    /// Element size in bytes.
+    pub element_size: usize,
+    /// Original file length in bytes.
+    pub data_len: u64,
+    /// Number of stripes written.
+    pub stripes: u64,
+}
+
+impl Manifest {
+    /// Serialise as `key = value` lines.
+    pub fn to_text(&self) -> String {
+        format!(
+            "format = ecfrm-chunks-v1\ncode = {}\nlayout = {}\nseed = {}\nelement_size = {}\ndata_len = {}\nstripes = {}\n",
+            self.code, self.layout, self.seed, self.element_size, self.data_len, self.stripes
+        )
+    }
+
+    /// Parse from `key = value` lines.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut kv = HashMap::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (k, v) = line
+                .split_once('=')
+                .ok_or_else(|| format!("bad manifest line: {line}"))?;
+            kv.insert(k.trim().to_string(), v.trim().to_string());
+        }
+        if kv.get("format").map(String::as_str) != Some("ecfrm-chunks-v1") {
+            return Err("not an ecfrm chunk manifest (format line missing)".into());
+        }
+        let get = |k: &str| {
+            kv.get(k)
+                .cloned()
+                .ok_or_else(|| format!("manifest missing key `{k}`"))
+        };
+        Ok(Self {
+            code: get("code")?,
+            layout: get("layout")?,
+            seed: get("seed")?.parse().map_err(|e| format!("bad seed: {e}"))?,
+            element_size: get("element_size")?
+                .parse()
+                .map_err(|e| format!("bad element_size: {e}"))?,
+            data_len: get("data_len")?
+                .parse()
+                .map_err(|e| format!("bad data_len: {e}"))?,
+            stripes: get("stripes")?
+                .parse()
+                .map_err(|e| format!("bad stripes: {e}"))?,
+        })
+    }
+
+    /// Write to `<dir>/manifest.txt`.
+    pub fn save(&self, dir: &Path) -> Result<(), String> {
+        std::fs::write(dir.join("manifest.txt"), self.to_text())
+            .map_err(|e| format!("writing manifest: {e}"))
+    }
+
+    /// Load from `<dir>/manifest.txt`.
+    pub fn load(dir: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(dir.join("manifest.txt"))
+            .map_err(|e| format!("reading manifest: {e}"))?;
+        Self::from_text(&text)
+    }
+}
+
+/// Chunk file name for disk `d`.
+pub fn chunk_name(d: usize) -> String {
+    format!("disk_{d:03}.bin")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            code: "lrc:6,2,2".into(),
+            layout: "ecfrm".into(),
+            seed: 7,
+            element_size: 4096,
+            data_len: 123456,
+            stripes: 2,
+        }
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let m = sample();
+        assert_eq!(Manifest::from_text(&m.to_text()).unwrap(), m);
+    }
+
+    #[test]
+    fn rejects_foreign_files() {
+        assert!(Manifest::from_text("hello\nworld").is_err());
+        assert!(Manifest::from_text("format = something-else\n").is_err());
+    }
+
+    #[test]
+    fn missing_keys_detected() {
+        let text = "format = ecfrm-chunks-v1\ncode = rs:6,3\n";
+        let err = Manifest::from_text(text).unwrap_err();
+        assert!(err.contains("missing key"));
+    }
+
+    #[test]
+    fn chunk_names_are_stable() {
+        assert_eq!(chunk_name(0), "disk_000.bin");
+        assert_eq!(chunk_name(42), "disk_042.bin");
+    }
+}

@@ -1,0 +1,561 @@
+//! The CLI operations: encode / decode / repair / info / plan.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use ecfrm_core::{DiskRecovery, Scheme};
+use ecfrm_layout::Loc;
+
+use crate::args::{parse_scheme, Options};
+use crate::manifest::{chunk_name, Manifest};
+
+/// Split a padded stripe block into element refs.
+fn element_refs(block: &[u8], element_size: usize) -> Vec<&[u8]> {
+    block.chunks_exact(element_size).collect()
+}
+
+/// Read the chunk files that exist: `None` for missing disks.
+fn read_chunks(dir: &Path, n: usize) -> Vec<Option<Vec<u8>>> {
+    (0..n)
+        .map(|d| std::fs::read(dir.join(chunk_name(d))).ok())
+        .collect()
+}
+
+/// Element bytes of `loc` within a per-disk chunk buffer.
+fn element_of(
+    chunks: &[Option<Vec<u8>>],
+    loc: Loc,
+    element_size: usize,
+) -> Option<&[u8]> {
+    let chunk = chunks[loc.disk].as_ref()?;
+    let start = loc.offset as usize * element_size;
+    chunk.get(start..start + element_size)
+}
+
+/// `ecfrm encode`: erasure code a file into per-disk chunk files.
+pub fn encode(opts: &Options) -> Result<(), String> {
+    let code = Options::require(&opts.code, "code")?;
+    let layout = Options::require(&opts.layout, "layout")?;
+    let element_size = *Options::require(&opts.element_size, "element-size")?;
+    let input = Options::require(&opts.input, "input")?;
+    let dir = Path::new(Options::require(&opts.dir, "dir")?);
+    if element_size == 0 {
+        return Err("--element-size must be positive".into());
+    }
+
+    let scheme = parse_scheme(code, layout, opts.seed)?;
+    let data = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let data_len = data.len() as u64;
+    let dps = scheme.data_per_stripe();
+    let stripe_bytes = dps * element_size;
+    let mut padded = data;
+    let pad = (stripe_bytes - padded.len() % stripe_bytes) % stripe_bytes;
+    let pad = if padded.is_empty() { stripe_bytes } else { pad };
+    padded.resize(padded.len() + pad, 0);
+    let stripes = (padded.len() / stripe_bytes) as u64;
+
+    let ops = scheme.layout().offsets_per_stripe();
+    let n = scheme.n_disks();
+    let mut disks: Vec<Vec<u8>> = vec![vec![0u8; (stripes * ops) as usize * element_size]; n];
+    for s in 0..stripes {
+        let block = &padded[s as usize * stripe_bytes..(s as usize + 1) * stripe_bytes];
+        let refs = element_refs(block, element_size);
+        let img = scheme.encode_stripe(s, &refs);
+        for (loc, bytes) in img.iter() {
+            let at = loc.offset as usize * element_size;
+            disks[loc.disk][at..at + element_size].copy_from_slice(bytes);
+        }
+    }
+
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    for (d, buf) in disks.iter().enumerate() {
+        std::fs::write(dir.join(chunk_name(d)), buf)
+            .map_err(|e| format!("writing chunk {d}: {e}"))?;
+    }
+    Manifest {
+        code: code.clone(),
+        layout: layout.clone(),
+        seed: opts.seed,
+        element_size,
+        data_len,
+        stripes,
+    }
+    .save(dir)?;
+    println!(
+        "encoded {data_len} bytes as {} over {n} chunks ({stripes} stripes, {element_size} B elements)",
+        scheme.name()
+    );
+    Ok(())
+}
+
+/// Build the scheme recorded in a manifest.
+fn scheme_of(m: &Manifest) -> Result<Scheme, String> {
+    parse_scheme(&m.code, &m.layout, m.seed)
+}
+
+/// `ecfrm decode`: restore the original file, reconstructing around any
+/// missing chunk files.
+pub fn decode(opts: &Options) -> Result<(), String> {
+    let dir = Path::new(Options::require(&opts.dir, "dir")?);
+    let output = Options::require(&opts.output, "output")?;
+    let m = Manifest::load(dir)?;
+    let scheme = scheme_of(&m)?;
+    let chunks = read_chunks(dir, scheme.n_disks());
+    let missing: Vec<usize> = (0..scheme.n_disks()).filter(|&d| chunks[d].is_none()).collect();
+    if !missing.is_empty() {
+        eprintln!("note: reconstructing around missing chunks {missing:?}");
+    }
+
+    let dps = scheme.data_per_stripe();
+    let mut out = Vec::with_capacity((m.stripes as usize) * dps * m.element_size);
+    for s in 0..m.stripes {
+        // Offer every available element of this stripe to the assembler.
+        let mut fetched: HashMap<Loc, Vec<u8>> = HashMap::new();
+        for row in 0..scheme.layout().rows_per_stripe() {
+            for loc in scheme.layout().row_locations(s, row) {
+                if let Some(bytes) = element_of(&chunks, loc, m.element_size) {
+                    fetched.insert(loc, bytes.to_vec());
+                }
+            }
+        }
+        let elements = scheme
+            .assemble_read(s * dps as u64, dps, &fetched)
+            .map_err(|e| format!("stripe {s}: {e}"))?;
+        for e in elements {
+            out.extend_from_slice(&e);
+        }
+    }
+    out.truncate(m.data_len as usize);
+    std::fs::write(output, &out).map_err(|e| format!("writing {output}: {e}"))?;
+    println!("decoded {} bytes to {output}", m.data_len);
+    Ok(())
+}
+
+/// `ecfrm repair`: regenerate one chunk file from the survivors.
+pub fn repair(opts: &Options) -> Result<(), String> {
+    let dir = Path::new(Options::require(&opts.dir, "dir")?);
+    let disk = *Options::require(&opts.disk, "disk")?;
+    let m = Manifest::load(dir)?;
+    let scheme = scheme_of(&m)?;
+    if disk >= scheme.n_disks() {
+        return Err(format!("disk {disk} out of range (n = {})", scheme.n_disks()));
+    }
+    let chunks = read_chunks(dir, scheme.n_disks());
+    let recovery = DiskRecovery::plan(&scheme, disk, m.stripes);
+
+    let mut fetched: HashMap<Loc, Vec<u8>> = HashMap::new();
+    for task in &recovery.tasks {
+        for (_, loc) in &task.sources {
+            if !fetched.contains_key(loc) {
+                let bytes = element_of(&chunks, *loc, m.element_size)
+                    .ok_or_else(|| format!("repair source chunk {} missing too", loc.disk))?;
+                fetched.insert(*loc, bytes.to_vec());
+            }
+        }
+    }
+
+    let ops = scheme.layout().offsets_per_stripe();
+    let mut buf = vec![0u8; (m.stripes * ops) as usize * m.element_size];
+    for task in &recovery.tasks {
+        let bytes = DiskRecovery::rebuild_one(&scheme, task, &fetched, m.element_size)
+            .ok_or_else(|| format!("cannot rebuild element at offset {}", task.target.offset))?;
+        let at = task.target.offset as usize * m.element_size;
+        buf[at..at + m.element_size].copy_from_slice(&bytes);
+    }
+    std::fs::write(dir.join(chunk_name(disk)), &buf)
+        .map_err(|e| format!("writing chunk {disk}: {e}"))?;
+    println!(
+        "rebuilt chunk {disk} ({} elements) from {} source reads",
+        recovery.total_rebuilt(),
+        recovery.total_reads()
+    );
+    Ok(())
+}
+
+/// `ecfrm info`: describe a chunk directory.
+pub fn info(opts: &Options) -> Result<(), String> {
+    let dir = Path::new(Options::require(&opts.dir, "dir")?);
+    let m = Manifest::load(dir)?;
+    let scheme = scheme_of(&m)?;
+    let chunks = read_chunks(dir, scheme.n_disks());
+    let present = chunks.iter().filter(|c| c.is_some()).count();
+    println!("scheme          {}", scheme.name());
+    println!("disks           {} ({present} chunk files present)", scheme.n_disks());
+    println!("element size    {} B", m.element_size);
+    println!("stripes         {}", m.stripes);
+    println!("rows per stripe {}", scheme.layout().rows_per_stripe());
+    println!("data bytes      {}", m.data_len);
+    println!("fault tolerance any {} disks", scheme.code().fault_tolerance());
+    let missing: Vec<usize> = (0..scheme.n_disks()).filter(|&d| chunks[d].is_none()).collect();
+    if !missing.is_empty() {
+        println!("missing chunks  {missing:?}");
+    }
+    Ok(())
+}
+
+/// `ecfrm bench`: a quick real-I/O microbenchmark — build a store over
+/// file-backed disks in a temp directory, ingest data, and replay the
+/// paper's random-read workload, reporting actual wall-clock speeds for
+/// normal and degraded reads.
+pub fn bench(opts: &Options) -> Result<(), String> {
+    use ecfrm_sim::{DiskBackend, FileDisk, ThreadedArray};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let code = Options::require(&opts.code, "code")?;
+    let layout = Options::require(&opts.layout, "layout")?;
+    let element_size = opts.element_size.unwrap_or(64 * 1024);
+    let scheme = parse_scheme(code, layout, opts.seed)?;
+    let trials = opts.count.unwrap_or(200);
+
+    let dir = std::env::temp_dir().join(format!("ecfrm-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("tmp dir: {e}"))?;
+    let backends: Vec<Arc<dyn DiskBackend>> = (0..scheme.n_disks())
+        .map(|d| {
+            Ok::<_, String>(Arc::new(
+                FileDisk::create(dir.join(format!("bench-d{d}.bin")), element_size)
+                    .map_err(|e| format!("disk {d}: {e}"))?,
+            ) as Arc<dyn DiskBackend>)
+        })
+        .collect::<Result<_, _>>()?;
+    let store = ecfrm_store::ObjectStore::with_array(
+        scheme.clone(),
+        element_size,
+        ThreadedArray::from_backends(backends),
+    );
+
+    // Ingest ~64 stripes worth of data.
+    let dps = scheme.data_per_stripe();
+    let total_elements = 64 * dps;
+    let payload: Vec<u8> = (0..total_elements * element_size)
+        .map(|i| (i % 251) as u8)
+        .collect();
+    let t0 = Instant::now();
+    store.put("bench", &payload).map_err(|e| e.to_string())?;
+    store.flush();
+    let ingest = t0.elapsed();
+    println!(
+        "{}: ingested {:.1} MB in {:.2}s ({:.1} MB/s encode+write)",
+        scheme.name(),
+        payload.len() as f64 / 1e6,
+        ingest.as_secs_f64(),
+        payload.len() as f64 / 1e6 / ingest.as_secs_f64()
+    );
+
+    // Replay random reads (sizes 1..=20 elements).
+    let mut x = opts.seed | 1;
+    let mut next = move |m: u64| {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x % m
+    };
+    let mut run = |label: &str, failed: Option<usize>| -> Result<(), String> {
+        if let Some(d) = failed {
+            store.fail_disk(d).map_err(|e| e.to_string())?;
+        }
+        let mut bytes = 0usize;
+        let t0 = Instant::now();
+        for _ in 0..trials {
+            let size = 1 + next(20) as usize;
+            let start = next((total_elements - size) as u64) * element_size as u64;
+            let len = (size * element_size) as u64;
+            let got = store
+                .get_range("bench", start, len)
+                .map_err(|e| e.to_string())?;
+            bytes += got.len();
+        }
+        let dt = t0.elapsed();
+        println!(
+            "{label}: {trials} reads, {:.1} MB in {:.2}s ({:.1} MB/s)",
+            bytes as f64 / 1e6,
+            dt.as_secs_f64(),
+            bytes as f64 / 1e6 / dt.as_secs_f64()
+        );
+        if let Some(d) = failed {
+            store.heal_disk(d).map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    };
+    run("normal reads  ", None)?;
+    run("degraded reads", Some(0))?;
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
+/// `ecfrm verify`: scrub a chunk directory — recompute every group's
+/// parities from the stored data and report mismatches and missing
+/// chunks. Exit is an `Err` when corruption is found, so scripts can
+/// gate on it.
+pub fn verify(opts: &Options) -> Result<(), String> {
+    let dir = Path::new(Options::require(&opts.dir, "dir")?);
+    let m = Manifest::load(dir)?;
+    let scheme = scheme_of(&m)?;
+    let chunks = read_chunks(dir, scheme.n_disks());
+    let missing: Vec<usize> =
+        (0..scheme.n_disks()).filter(|&d| chunks[d].is_none()).collect();
+    let k = scheme.code().k();
+    let n = scheme.code().n();
+    let mut corrupt: Vec<(u64, usize)> = Vec::new();
+    let mut skipped = 0u64;
+    for s in 0..m.stripes {
+        for row in 0..scheme.layout().rows_per_stripe() {
+            let locs = scheme.layout().row_locations(s, row);
+            let cells: Vec<Option<&[u8]>> = locs
+                .iter()
+                .map(|&loc| element_of(&chunks, loc, m.element_size))
+                .collect();
+            if cells.iter().any(|c| c.is_none()) {
+                skipped += 1;
+                continue;
+            }
+            let data: Vec<&[u8]> = cells[..k].iter().map(|c| c.unwrap()).collect();
+            let mut parity = vec![vec![0u8; m.element_size]; n - k];
+            scheme.code().encode(&data, &mut parity);
+            let stored: Vec<&[u8]> = cells[k..].iter().map(|c| c.unwrap()).collect();
+            if parity.iter().zip(&stored).any(|(want, got)| want.as_slice() != *got) {
+                corrupt.push((s, row));
+            }
+        }
+    }
+    if !missing.is_empty() {
+        println!("missing chunks: {missing:?} ({skipped} groups skipped)");
+    }
+    if corrupt.is_empty() {
+        println!(
+            "verify OK: {} stripes, {} groups checked",
+            m.stripes,
+            m.stripes * scheme.layout().rows_per_stripe() as u64 - skipped
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "corruption detected in {} group(s): {corrupt:?}",
+            corrupt.len()
+        ))
+    }
+}
+
+/// `ecfrm plan`: print the per-disk load distribution of a read — the
+/// paper's Figure 3 / Figure 7 views.
+pub fn plan(opts: &Options) -> Result<(), String> {
+    let code = Options::require(&opts.code, "code")?;
+    let layout = Options::require(&opts.layout, "layout")?;
+    let start = *Options::require(&opts.start, "start")?;
+    let count = *Options::require(&opts.count, "count")?;
+    let scheme = parse_scheme(code, layout, opts.seed)?;
+    let plan = if opts.failed.is_empty() {
+        scheme.normal_read_plan(start, count)
+    } else {
+        scheme.degraded_read_plan(start, count, &opts.failed)
+    };
+    println!(
+        "{}: read {count} elements from {start}{}",
+        scheme.name(),
+        if opts.failed.is_empty() {
+            String::new()
+        } else {
+            format!(" with failed disks {:?}", opts.failed)
+        }
+    );
+    let loads = plan.per_disk_load();
+    for (d, &l) in loads.iter().enumerate() {
+        let marker = if opts.failed.contains(&d) { " (failed)" } else { "" };
+        println!("  disk {d:>2}: {:<20} {l}{marker}", "#".repeat(l.min(20)));
+    }
+    println!(
+        "  max load {} | total fetched {} | repair fetched {} | cost {:.3}",
+        plan.max_load(),
+        plan.total_fetched(),
+        plan.repair_fetched(),
+        plan.cost()
+    );
+    if !plan.unreadable.is_empty() {
+        println!("  UNREADABLE elements: {:?}", plan.unreadable);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ecfrm-cli-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn opts_encode(dir: &Path, input: &Path) -> Options {
+        Options {
+            code: Some("lrc:6,2,2".into()),
+            layout: Some("ecfrm".into()),
+            element_size: Some(512),
+            input: Some(input.to_string_lossy().into_owned()),
+            dir: Some(dir.to_string_lossy().into_owned()),
+            seed: 7,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_with_missing_chunks() {
+        let dir = tmpdir("roundtrip");
+        let input = dir.join("input.bin");
+        let data: Vec<u8> = (0..50_000u32).map(|i| (i % 251) as u8).collect();
+        std::fs::write(&input, &data).unwrap();
+
+        encode(&opts_encode(&dir, &input)).unwrap();
+        assert!(dir.join("manifest.txt").exists());
+        assert!(dir.join(chunk_name(9)).exists());
+
+        // Delete three chunks — (6,2,2) LRC tolerates any 3.
+        for d in [0usize, 4, 8] {
+            std::fs::remove_file(dir.join(chunk_name(d))).unwrap();
+        }
+        let out = dir.join("restored.bin");
+        let dopts = Options {
+            dir: Some(dir.to_string_lossy().into_owned()),
+            output: Some(out.to_string_lossy().into_owned()),
+            ..Default::default()
+        };
+        decode(&dopts).unwrap();
+        assert_eq!(std::fs::read(&out).unwrap(), data);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn repair_regenerates_identical_chunk() {
+        let dir = tmpdir("repair");
+        let input = dir.join("input.bin");
+        let data: Vec<u8> = (0..20_000u32).map(|i| (i % 241) as u8).collect();
+        std::fs::write(&input, &data).unwrap();
+        encode(&opts_encode(&dir, &input)).unwrap();
+
+        let original = std::fs::read(dir.join(chunk_name(3))).unwrap();
+        std::fs::remove_file(dir.join(chunk_name(3))).unwrap();
+        let ropts = Options {
+            dir: Some(dir.to_string_lossy().into_owned()),
+            disk: Some(3),
+            ..Default::default()
+        };
+        repair(&ropts).unwrap();
+        assert_eq!(std::fs::read(dir.join(chunk_name(3))).unwrap(), original);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn decode_fails_cleanly_beyond_tolerance() {
+        let dir = tmpdir("beyond");
+        let input = dir.join("input.bin");
+        std::fs::write(&input, vec![9u8; 10_000]).unwrap();
+        encode(&opts_encode(&dir, &input)).unwrap();
+        for d in [0usize, 1, 2, 6] {
+            std::fs::remove_file(dir.join(chunk_name(d))).unwrap();
+        }
+        let dopts = Options {
+            dir: Some(dir.to_string_lossy().into_owned()),
+            output: Some(dir.join("x.bin").to_string_lossy().into_owned()),
+            ..Default::default()
+        };
+        assert!(decode(&dopts).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_input_still_roundtrips() {
+        let dir = tmpdir("empty");
+        let input = dir.join("input.bin");
+        std::fs::write(&input, b"").unwrap();
+        encode(&opts_encode(&dir, &input)).unwrap();
+        let out = dir.join("restored.bin");
+        let dopts = Options {
+            dir: Some(dir.to_string_lossy().into_owned()),
+            output: Some(out.to_string_lossy().into_owned()),
+            ..Default::default()
+        };
+        decode(&dopts).unwrap();
+        assert_eq!(std::fs::read(&out).unwrap().len(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_subcommand_runs_end_to_end() {
+        let opts = Options {
+            code: Some("rs:4,2".into()),
+            layout: Some("ecfrm".into()),
+            element_size: Some(1024),
+            count: Some(20),
+            seed: 5,
+            ..Default::default()
+        };
+        bench(&opts).unwrap();
+    }
+
+    #[test]
+    fn verify_detects_corruption_and_passes_clean() {
+        let dir = tmpdir("verify");
+        let input = dir.join("input.bin");
+        let data: Vec<u8> = (0..30_000u32).map(|i| (i % 253) as u8).collect();
+        std::fs::write(&input, &data).unwrap();
+        encode(&opts_encode(&dir, &input)).unwrap();
+        let vopts = Options {
+            dir: Some(dir.to_string_lossy().into_owned()),
+            ..Default::default()
+        };
+        verify(&vopts).unwrap();
+
+        // Flip one byte in one chunk.
+        let chunk = dir.join(chunk_name(4));
+        let mut bytes = std::fs::read(&chunk).unwrap();
+        bytes[100] ^= 0x55;
+        std::fs::write(&chunk, &bytes).unwrap();
+        let err = verify(&vopts).unwrap_err();
+        assert!(err.contains("corruption"), "{err}");
+
+        // Repairing the corrupt chunk from survivors restores it.
+        std::fs::remove_file(&chunk).unwrap();
+        let ropts = Options {
+            dir: Some(dir.to_string_lossy().into_owned()),
+            disk: Some(4),
+            ..Default::default()
+        };
+        repair(&ropts).unwrap();
+        verify(&vopts).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn plan_runs_for_normal_and_degraded() {
+        let p = Options {
+            code: Some("lrc:6,2,2".into()),
+            layout: Some("ecfrm".into()),
+            start: Some(0),
+            count: Some(8),
+            ..Default::default()
+        };
+        plan(&p).unwrap();
+        let mut pd = p;
+        pd.failed = vec![2];
+        plan(&pd).unwrap();
+    }
+
+    #[test]
+    fn info_reports_missing() {
+        let dir = tmpdir("info");
+        let input = dir.join("input.bin");
+        std::fs::write(&input, vec![1u8; 5000]).unwrap();
+        encode(&opts_encode(&dir, &input)).unwrap();
+        std::fs::remove_file(dir.join(chunk_name(2))).unwrap();
+        let iopts = Options {
+            dir: Some(dir.to_string_lossy().into_owned()),
+            ..Default::default()
+        };
+        info(&iopts).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,381 @@
+//! Generic matrix decoding for any systematic one-row code.
+//!
+//! Every element of a candidate code is a known linear combination of the
+//! `k` data elements (a row of the `n × k` generator `[I_k; P]`). An
+//! erased element `e` is reconstructible iff its generator row lies in the
+//! row space of the surviving rows; the decoder finds the combination
+//! `x` with `xᵀ · A = g_e` (where `A` stacks surviving rows) and replays
+//! it over the surviving byte regions. This one mechanism covers MDS
+//! decoding (Reed–Solomon), LRC local *and* global repair, and the partial
+//! patterns where only some erased elements can be saved.
+
+use crate::traits::CodeError;
+use ecfrm_gf::region::mul_add_region;
+use ecfrm_gf::{Field, Gf8, Matrix};
+
+/// Pick a maximal set of linearly independent rows from `candidates`
+/// (scanned in order), stopping once `want` rows are found. Returns `None`
+/// if fewer than `want` independent rows exist.
+///
+/// Used by planners that need *some* invertible `k`-subset, e.g. MDS
+/// repair source selection.
+pub fn select_independent_rows(
+    gen: &Matrix<Gf8>,
+    candidates: &[usize],
+    want: usize,
+) -> Option<Vec<usize>> {
+    let mut basis: Vec<Vec<u32>> = Vec::with_capacity(want);
+    let mut picked = Vec::with_capacity(want);
+    for &c in candidates {
+        let mut row: Vec<u32> = gen.row(c).to_vec();
+        reduce_against(&mut row, &basis);
+        if row.iter().any(|&x| x != 0) {
+            normalize(&mut row);
+            basis.push(row);
+            picked.push(c);
+            if picked.len() == want {
+                return Some(picked);
+            }
+        }
+    }
+    None
+}
+
+/// Reduce `row` against an echelon `basis` (each basis row normalised so
+/// its leading coefficient is 1).
+fn reduce_against(row: &mut [u32], basis: &[Vec<u32>]) {
+    let k = row.len();
+    for b in basis {
+        let lead = b.iter().position(|&x| x != 0).unwrap();
+        if row[lead] != 0 {
+            let f = row[lead]; // b[lead] == 1 after normalisation
+            for j in 0..k {
+                row[j] ^= Gf8::mul(f, b[j]);
+            }
+        }
+    }
+}
+
+/// Scale a nonzero row so its leading coefficient becomes 1.
+fn normalize(row: &mut [u32]) {
+    let lead = row.iter().position(|&x| x != 0).unwrap();
+    let inv = Gf8::inv(row[lead]);
+    for x in row.iter_mut() {
+        *x = Gf8::mul(*x, inv);
+    }
+}
+
+/// Solve `xᵀ · A = t` for each target row `t`, where `A` stacks the
+/// generator rows listed in `avail`.
+///
+/// Returns, per target, `Some(coeffs)` — one coefficient per entry of
+/// `avail` — or `None` when that target is outside the row space.
+fn solve_combinations(
+    gen: &Matrix<Gf8>,
+    avail: &[usize],
+    targets: &[Vec<u32>],
+) -> Vec<Option<Vec<u32>>> {
+    let k = gen.cols();
+    let a = avail.len();
+    // Build the k × (a + t) augmented system: columns are Aᵀ then targets.
+    let t = targets.len();
+    let mut m: Vec<Vec<u32>> = (0..k)
+        .map(|r| {
+            let mut row = Vec::with_capacity(a + t);
+            for &ai in avail {
+                row.push(gen[(ai, r)]);
+            }
+            for tg in targets {
+                row.push(tg[r]);
+            }
+            row
+        })
+        .collect();
+
+    // Gauss-Jordan over the first `a` columns.
+    let mut pivot_of_col: Vec<Option<usize>> = vec![None; a];
+    let mut rank_row = 0usize;
+    for col in 0..a {
+        if rank_row == k {
+            break;
+        }
+        if let Some(p) = (rank_row..k).find(|&r| m[r][col] != 0) {
+            m.swap(p, rank_row);
+            let inv = Gf8::inv(m[rank_row][col]);
+            for x in m[rank_row].iter_mut() {
+                *x = Gf8::mul(*x, inv);
+            }
+            for r in 0..k {
+                if r != rank_row && m[r][col] != 0 {
+                    let f = m[r][col];
+                    let (head, tail) = if r < rank_row {
+                        let (h, t2) = m.split_at_mut(rank_row);
+                        (&mut h[r], &t2[0])
+                    } else {
+                        let (h, t2) = m.split_at_mut(r);
+                        (&mut t2[0], &h[rank_row])
+                    };
+                    for (x, &b) in head.iter_mut().zip(tail.iter()) {
+                        *x ^= Gf8::mul(f, b);
+                    }
+                }
+            }
+            pivot_of_col[col] = Some(rank_row);
+            rank_row += 1;
+        }
+    }
+
+    // Rows rank_row..k are all-zero in the A-part; a target is solvable
+    // iff its augmented entries there are zero too.
+    targets
+        .iter()
+        .enumerate()
+        .map(|(ti, _)| {
+            let tcol = a + ti;
+            if (rank_row..k).any(|r| m[r][tcol] != 0) {
+                return None;
+            }
+            let mut x = vec![0u32; a];
+            for (col, piv) in pivot_of_col.iter().enumerate() {
+                if let Some(pr) = piv {
+                    x[col] = m[*pr][tcol];
+                }
+            }
+            Some(x)
+        })
+        .collect()
+}
+
+/// True when every element of the erasure pattern can be reconstructed.
+pub fn pattern_recoverable(gen: &Matrix<Gf8>, erased: &[usize]) -> bool {
+    let n = gen.rows();
+    let avail: Vec<usize> = (0..n).filter(|i| !erased.contains(i)).collect();
+    let targets: Vec<Vec<u32>> = erased
+        .iter()
+        .filter(|&&e| e < n)
+        .map(|&e| gen.row(e).to_vec())
+        .collect();
+    solve_combinations(gen, &avail, &targets)
+        .iter()
+        .all(|c| c.is_some())
+}
+
+/// True when the single element `target` can be reconstructed under the
+/// erasure pattern (the pattern may leave *other* elements dead).
+pub fn target_recoverable(gen: &Matrix<Gf8>, target: usize, erased: &[usize]) -> bool {
+    let n = gen.rows();
+    let avail: Vec<usize> = (0..n)
+        .filter(|i| !erased.contains(i) && *i != target)
+        .collect();
+    let t = vec![gen.row(target).to_vec()];
+    solve_combinations(gen, &avail, &t)[0].is_some()
+}
+
+/// Reconstruct every `None` shard in place from the survivors.
+///
+/// `len` is the region length in bytes; surviving shards must all have
+/// that length. Fails with [`CodeError::Unrecoverable`] if *any* erased
+/// shard is outside the surviving row space (no partial repair — callers
+/// wanting partial repair use [`target_recoverable`] +
+/// [`reconstruct_one`]).
+pub fn matrix_decode(
+    gen: &Matrix<Gf8>,
+    shards: &mut [Option<Vec<u8>>],
+    len: usize,
+) -> Result<(), CodeError> {
+    let n = gen.rows();
+    if shards.len() != n {
+        return Err(CodeError::Shape(format!(
+            "expected {n} shards, got {}",
+            shards.len()
+        )));
+    }
+    let erased: Vec<usize> = (0..n).filter(|&i| shards[i].is_none()).collect();
+    if erased.is_empty() {
+        return Ok(());
+    }
+    let avail: Vec<usize> = (0..n).filter(|&i| shards[i].is_some()).collect();
+    for &i in &avail {
+        if shards[i].as_ref().unwrap().len() != len {
+            return Err(CodeError::Shape(format!(
+                "shard {i} has length {} != {len}",
+                shards[i].as_ref().unwrap().len()
+            )));
+        }
+    }
+    let targets: Vec<Vec<u32>> = erased.iter().map(|&e| gen.row(e).to_vec()).collect();
+    let combos = solve_combinations(gen, &avail, &targets);
+    if combos.iter().any(|c| c.is_none()) {
+        return Err(CodeError::Unrecoverable { erased });
+    }
+    for (&e, combo) in erased.iter().zip(&combos) {
+        let coeffs = combo.as_ref().unwrap();
+        let mut out = vec![0u8; len];
+        for (&c, &src) in coeffs.iter().zip(&avail) {
+            if c != 0 {
+                mul_add_region(c as u8, shards[src].as_ref().unwrap(), &mut out);
+            }
+        }
+        shards[e] = Some(out);
+    }
+    Ok(())
+}
+
+/// Solve for the coefficient vector expressing `target` over `avail`:
+/// `shard[target] = Σᵢ coeffs[i] · shard[avail[i]]`. `None` when `avail`
+/// does not span the target.
+pub fn solve_coefficients(
+    gen: &Matrix<Gf8>,
+    target: usize,
+    avail: &[usize],
+) -> Option<Vec<u8>> {
+    let t = vec![gen.row(target).to_vec()];
+    let combo = solve_combinations(gen, avail, &t).pop().unwrap()?;
+    Some(combo.into_iter().map(|c| c as u8).collect())
+}
+
+/// A valid (not necessarily minimal) source set for reconstructing
+/// `target` from the elements in `avail`: the positions whose coefficient
+/// in the solved combination is non-zero.
+///
+/// Returns `None` when `avail` does not span `target`.
+pub fn solved_sources(gen: &Matrix<Gf8>, target: usize, avail: &[usize]) -> Option<Vec<usize>> {
+    let t = vec![gen.row(target).to_vec()];
+    let combo = solve_combinations(gen, avail, &t).pop().unwrap()?;
+    Some(
+        combo
+            .iter()
+            .zip(avail)
+            .filter(|(c, _)| **c != 0)
+            .map(|(_, &i)| i)
+            .collect(),
+    )
+}
+
+/// Reconstruct exactly one element from an explicit set of sources.
+///
+/// `sources` maps element index → region. Returns the rebuilt region, or
+/// `None` if the sources do not span the target.
+pub fn reconstruct_one(
+    gen: &Matrix<Gf8>,
+    target: usize,
+    sources: &[(usize, &[u8])],
+    len: usize,
+) -> Option<Vec<u8>> {
+    let avail: Vec<usize> = sources.iter().map(|(i, _)| *i).collect();
+    let t = vec![gen.row(target).to_vec()];
+    let combo = solve_combinations(gen, &avail, &t).pop().unwrap()?;
+    let mut out = vec![0u8; len];
+    for (c, (_, region)) in combo.iter().zip(sources) {
+        if *c != 0 {
+            assert_eq!(region.len(), len, "source region length mismatch");
+            mul_add_region(*c as u8, region, &mut out);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny (3,2) systematic code: p = d0 + d1 (XOR).
+    fn xor32() -> Matrix<Gf8> {
+        Matrix::from_data(3, 2, vec![1, 0, 0, 1, 1, 1])
+    }
+
+    #[test]
+    fn select_independent_rows_basic() {
+        let g = xor32();
+        assert_eq!(select_independent_rows(&g, &[0, 1, 2], 2), Some(vec![0, 1]));
+        assert_eq!(select_independent_rows(&g, &[2, 1, 0], 2), Some(vec![2, 1]));
+        // Row 2 = row 0 + row 1, so {0,1,2} has rank 2, not 3.
+        assert_eq!(select_independent_rows(&g, &[0, 1, 2], 3), None);
+    }
+
+    #[test]
+    fn pattern_recoverable_xor() {
+        let g = xor32();
+        assert!(pattern_recoverable(&g, &[0]));
+        assert!(pattern_recoverable(&g, &[1]));
+        assert!(pattern_recoverable(&g, &[2]));
+        assert!(!pattern_recoverable(&g, &[0, 1]));
+        assert!(!pattern_recoverable(&g, &[0, 2]));
+        assert!(pattern_recoverable(&g, &[]));
+    }
+
+    #[test]
+    fn decode_single_erasure_xor() {
+        let g = xor32();
+        let d0 = vec![1u8, 2, 3, 4];
+        let d1 = vec![5u8, 6, 7, 8];
+        let p: Vec<u8> = d0.iter().zip(&d1).map(|(a, b)| a ^ b).collect();
+        for lost in 0..3 {
+            let mut shards = vec![Some(d0.clone()), Some(d1.clone()), Some(p.clone())];
+            shards[lost] = None;
+            matrix_decode(&g, &mut shards, 4).unwrap();
+            assert_eq!(shards[0].as_deref().unwrap(), &d0[..]);
+            assert_eq!(shards[1].as_deref().unwrap(), &d1[..]);
+            assert_eq!(shards[2].as_deref().unwrap(), &p[..]);
+        }
+    }
+
+    #[test]
+    fn decode_unrecoverable_errors() {
+        let g = xor32();
+        let mut shards = vec![None, None, Some(vec![0u8; 4])];
+        let err = matrix_decode(&g, &mut shards, 4).unwrap_err();
+        assert!(matches!(err, CodeError::Unrecoverable { .. }));
+    }
+
+    #[test]
+    fn decode_rejects_bad_shapes() {
+        let g = xor32();
+        let mut too_few = vec![Some(vec![0u8; 4]), None];
+        assert!(matches!(
+            matrix_decode(&g, &mut too_few, 4),
+            Err(CodeError::Shape(_))
+        ));
+        let mut bad_len = vec![Some(vec![0u8; 4]), Some(vec![0u8; 3]), None];
+        assert!(matches!(
+            matrix_decode(&g, &mut bad_len, 4),
+            Err(CodeError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn target_recoverable_is_per_element() {
+        // Code with two independent halves: d0+d1=p0, d2+d3=p1 — written
+        // as a (6,4) generator. Losing d0,d1 kills that half but d2 stays
+        // repairable.
+        let g = Matrix::from_data(
+            6,
+            4,
+            vec![
+                1, 0, 0, 0, //
+                0, 1, 0, 0, //
+                0, 0, 1, 0, //
+                0, 0, 0, 1, //
+                1, 1, 0, 0, //
+                0, 0, 1, 1, //
+            ],
+        );
+        let erased = [0, 1, 2];
+        assert!(!target_recoverable(&g, 0, &erased));
+        assert!(!target_recoverable(&g, 1, &erased));
+        assert!(target_recoverable(&g, 2, &erased));
+        assert!(!pattern_recoverable(&g, &erased));
+    }
+
+    #[test]
+    fn reconstruct_one_with_explicit_sources() {
+        let g = xor32();
+        let d0 = vec![9u8, 9, 9, 9];
+        let d1 = vec![1u8, 2, 3, 4];
+        let p: Vec<u8> = d0.iter().zip(&d1).map(|(a, b)| a ^ b).collect();
+        let got = reconstruct_one(&g, 0, &[(1, &d1), (2, &p)], 4).unwrap();
+        assert_eq!(got, d0);
+        // d1 alone does not span d0.
+        assert!(reconstruct_one(&g, 0, &[(1, &d1)], 4).is_none());
+    }
+}

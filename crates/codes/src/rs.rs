@@ -1,0 +1,284 @@
+//! Systematic Reed–Solomon `(k, m)` — the code Google and Facebook deploy
+//! (paper §II-C) and the first candidate code the paper transforms.
+//!
+//! Two generator constructions are offered:
+//!
+//! * **Vandermonde-derived** ([`RsCode::vandermonde`]) — the classic Plank
+//!   construction: column-reduce a `(k+m) × k` Vandermonde matrix until
+//!   its top block is the identity; the bottom `m × k` block is the
+//!   parity matrix. MDS: any `m` erasures decode.
+//! * **Cauchy** ([`RsCode::cauchy`]) — identity stacked over a Cauchy
+//!   block; every square submatrix of a Cauchy matrix is invertible, so
+//!   the result is MDS by construction (Blömer et al., the basis of
+//!   "Cauchy Reed–Solomon" in the paper's related work).
+
+use crate::traits::{CandidateCode, ElementClass};
+use ecfrm_gf::{Gf8, Matrix};
+
+/// Which generator construction an [`RsCode`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RsVariant {
+    /// Plank's systematic-Vandermonde derivation.
+    Vandermonde,
+    /// Identity-over-Cauchy.
+    Cauchy,
+}
+
+/// Systematic Reed–Solomon over `GF(2^8)`: `k` data elements, `m` parity
+/// elements, tolerating any `m` erasures (MDS).
+#[derive(Debug, Clone)]
+pub struct RsCode {
+    k: usize,
+    m: usize,
+    variant: RsVariant,
+    parity: Matrix<Gf8>,
+    generator: Matrix<Gf8>,
+}
+
+impl RsCode {
+    /// Construct with the Vandermonde-derived generator.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, `m == 0`, or `k + m > 255` (positions would
+    /// repeat in `GF(2^8)`).
+    pub fn vandermonde(k: usize, m: usize) -> Self {
+        Self::build(k, m, RsVariant::Vandermonde)
+    }
+
+    /// Construct with the Cauchy generator.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, `m == 0`, or `k + m > 256`.
+    pub fn cauchy(k: usize, m: usize) -> Self {
+        Self::build(k, m, RsVariant::Cauchy)
+    }
+
+    fn build(k: usize, m: usize, variant: RsVariant) -> Self {
+        assert!(k > 0 && m > 0, "RS requires k > 0 and m > 0");
+        let parity = match variant {
+            RsVariant::Vandermonde => {
+                assert!(k + m <= 255, "RS(k,m) needs k+m <= 255 in GF(2^8)");
+                Matrix::<Gf8>::systematic_vandermonde_parity(k, m)
+            }
+            RsVariant::Cauchy => {
+                assert!(k + m <= 256, "Cauchy RS(k,m) needs k+m <= 256 in GF(2^8)");
+                Matrix::<Gf8>::cauchy(m, k)
+            }
+        };
+        let generator = Matrix::<Gf8>::identity(k).vstack(&parity);
+        Self {
+            k,
+            m,
+            variant,
+            parity,
+            generator,
+        }
+    }
+
+    /// Which construction this instance uses.
+    pub fn variant(&self) -> RsVariant {
+        self.variant
+    }
+}
+
+impl CandidateCode for RsCode {
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn m(&self) -> usize {
+        self.m
+    }
+
+    fn name(&self) -> String {
+        match self.variant {
+            RsVariant::Vandermonde => format!("RS({},{})", self.k, self.m),
+            RsVariant::Cauchy => format!("CRS({},{})", self.k, self.m),
+        }
+    }
+
+    fn parity_matrix(&self) -> &Matrix<Gf8> {
+        &self.parity
+    }
+
+    fn generator(&self) -> &Matrix<Gf8> {
+        &self.generator
+    }
+
+    fn classify(&self, idx: usize) -> ElementClass {
+        if idx < self.k {
+            ElementClass::Data
+        } else {
+            ElementClass::GlobalParity
+        }
+    }
+
+    fn fault_tolerance(&self) -> usize {
+        // MDS: any m erasures decode.
+        self.m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::RepairSpec;
+
+    fn sample_data(k: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| (0..len).map(|j| ((i * 131 + j * 7 + 3) % 256) as u8).collect())
+            .collect()
+    }
+
+    fn encode_all(code: &RsCode, data: &[Vec<u8>], len: usize) -> Vec<Vec<u8>> {
+        let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+        let mut parity = vec![vec![0u8; len]; code.m()];
+        code.encode(&refs, &mut parity);
+        parity
+    }
+
+    #[test]
+    fn roundtrip_all_paper_parameters() {
+        for (k, m) in [(6usize, 3usize), (8, 4), (10, 5)] {
+            for variant in [RsVariant::Vandermonde, RsVariant::Cauchy] {
+                let code = RsCode::build(k, m, variant);
+                let len = 64;
+                let data = sample_data(k, len);
+                let parity = encode_all(&code, &data, len);
+                // Erase the worst case: m elements, mixed data/parity.
+                let mut shards: Vec<Option<Vec<u8>>> = data
+                    .iter()
+                    .cloned()
+                    .map(Some)
+                    .chain(parity.iter().cloned().map(Some))
+                    .collect();
+                for i in 0..m {
+                    shards[i * 2] = None; // spread erasures
+                }
+                code.decode(&mut shards, len).unwrap();
+                for (i, d) in data.iter().enumerate() {
+                    assert_eq!(shards[i].as_deref().unwrap(), &d[..], "{k},{m} data {i}");
+                }
+                for (i, p) in parity.iter().enumerate() {
+                    assert_eq!(shards[k + i].as_deref().unwrap(), &p[..]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn any_m_erasures_recoverable_exhaustive_6_3() {
+        let code = RsCode::vandermonde(6, 3);
+        let n = 9;
+        for a in 0..n {
+            for b in a + 1..n {
+                for c in b + 1..n {
+                    assert!(
+                        code.is_recoverable(&[a, b, c]),
+                        "pattern [{a},{b},{c}] must decode (MDS)"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn m_plus_one_erasures_never_recoverable() {
+        let code = RsCode::vandermonde(6, 3);
+        // Any 4 erasures exceed MDS capacity.
+        assert!(!code.is_recoverable(&[0, 1, 2, 3]));
+        assert!(!code.is_recoverable(&[5, 6, 7, 8]));
+    }
+
+    #[test]
+    fn decode_recovers_after_m_random_failures() {
+        let code = RsCode::cauchy(10, 5);
+        let len = 33;
+        let data = sample_data(10, len);
+        let parity = encode_all(&code, &data, len);
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .map(Some)
+            .chain(parity.iter().cloned().map(Some))
+            .collect();
+        for i in [14usize, 0, 9, 3, 7] {
+            shards[i] = None;
+        }
+        code.decode(&mut shards, len).unwrap();
+        for (i, d) in data.iter().enumerate() {
+            assert_eq!(shards[i].as_deref().unwrap(), &d[..]);
+        }
+    }
+
+    #[test]
+    fn repair_spec_is_any_k_of_survivors() {
+        let code = RsCode::vandermonde(6, 3);
+        let spec = code.repair_spec(2, &[2]).expect("single failure repairable");
+        match spec {
+            RepairSpec::AnyOf { from, count } => {
+                assert_eq!(count, 6);
+                assert_eq!(from.len(), 8);
+                assert!(!from.contains(&2));
+            }
+            other => panic!("expected AnyOf, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repair_spec_fails_beyond_tolerance() {
+        let code = RsCode::vandermonde(6, 3);
+        assert!(code.repair_spec(0, &[0, 1, 2, 3]).is_none());
+    }
+
+    #[test]
+    fn zero_length_regions_encode() {
+        let code = RsCode::vandermonde(4, 2);
+        let data = sample_data(4, 0);
+        let parity = encode_all(&code, &data, 0);
+        assert!(parity.iter().all(|p| p.is_empty()));
+    }
+
+    #[test]
+    fn parity_is_linear_in_data() {
+        // encode(a ^ b) == encode(a) ^ encode(b): linearity is what the
+        // EC-FRM group construction relies on.
+        let code = RsCode::vandermonde(6, 3);
+        let len = 40;
+        let a = sample_data(6, len);
+        let b: Vec<Vec<u8>> = (0..6)
+            .map(|i| (0..len).map(|j| ((i * 31 + j * 17 + 11) % 256) as u8).collect())
+            .collect();
+        let ab: Vec<Vec<u8>> = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| x.iter().zip(y).map(|(p, q)| p ^ q).collect())
+            .collect();
+        let pa = encode_all(&code, &a, len);
+        let pb = encode_all(&code, &b, len);
+        let pab = encode_all(&code, &ab, len);
+        for i in 0..3 {
+            let want: Vec<u8> = pa[i].iter().zip(&pb[i]).map(|(x, y)| x ^ y).collect();
+            assert_eq!(pab[i], want);
+        }
+    }
+
+    #[test]
+    fn names_and_accessors() {
+        let v = RsCode::vandermonde(6, 3);
+        assert_eq!(v.name(), "RS(6,3)");
+        assert_eq!(v.n(), 9);
+        assert_eq!(v.fault_tolerance(), 3);
+        assert_eq!(v.classify(0), ElementClass::Data);
+        assert_eq!(v.classify(8), ElementClass::GlobalParity);
+        let c = RsCode::cauchy(4, 2);
+        assert_eq!(c.name(), "CRS(4,2)");
+        assert_eq!(c.variant(), RsVariant::Cauchy);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_k_panics() {
+        RsCode::vandermonde(0, 3);
+    }
+}

@@ -1,0 +1,123 @@
+//! Single-parity XOR code (`RAID-5` style): the smallest candidate code.
+//!
+//! `(k, 1)`: one parity element equal to the XOR of all data. Included
+//! because (a) it demonstrates EC-FRM works over *any* one-row code, not
+//! just RS/LRC, and (b) its tiny parameter space lets tests enumerate
+//! every case exhaustively.
+
+use crate::traits::{CandidateCode, ElementClass};
+use ecfrm_gf::{Gf8, Matrix};
+
+/// RAID-5 style `(k, 1)` code: one XOR parity.
+#[derive(Debug, Clone)]
+pub struct XorCode {
+    k: usize,
+    parity: Matrix<Gf8>,
+    generator: Matrix<Gf8>,
+}
+
+impl XorCode {
+    /// Construct a `(k, 1)` XOR code.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "XOR code requires k > 0");
+        let parity = Matrix::<Gf8>::from_data(1, k, vec![1; k]);
+        let generator = Matrix::<Gf8>::identity(k).vstack(&parity);
+        Self {
+            k,
+            parity,
+            generator,
+        }
+    }
+}
+
+impl CandidateCode for XorCode {
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn m(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> String {
+        format!("XOR({},1)", self.k)
+    }
+
+    fn parity_matrix(&self) -> &Matrix<Gf8> {
+        &self.parity
+    }
+
+    fn generator(&self) -> &Matrix<Gf8> {
+        &self.generator
+    }
+
+    fn classify(&self, idx: usize) -> ElementClass {
+        if idx < self.k {
+            ElementClass::Data
+        } else {
+            ElementClass::GlobalParity
+        }
+    }
+
+    fn fault_tolerance(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_is_xor_of_all_data() {
+        let code = XorCode::new(4);
+        let data: Vec<Vec<u8>> = (1..=4u8).map(|i| vec![i * 3; 8]).collect();
+        let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+        let mut parity = vec![vec![0u8; 8]; 1];
+        code.encode(&refs, &mut parity);
+        let want: Vec<u8> = (0..8)
+            .map(|j| data.iter().fold(0, |acc, d| acc ^ d[j]))
+            .collect();
+        assert_eq!(parity[0], want);
+    }
+
+    #[test]
+    fn every_single_erasure_recovers() {
+        let code = XorCode::new(5);
+        let data: Vec<Vec<u8>> = (0..5).map(|i| vec![(i * 7 + 1) as u8; 6]).collect();
+        let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+        let mut parity = vec![vec![0u8; 6]; 1];
+        code.encode(&refs, &mut parity);
+        for lost in 0..6 {
+            let mut shards: Vec<Option<Vec<u8>>> = data
+                .iter()
+                .cloned()
+                .map(Some)
+                .chain(parity.iter().cloned().map(Some))
+                .collect();
+            shards[lost] = None;
+            code.decode(&mut shards, 6).unwrap();
+            for (i, d) in data.iter().enumerate() {
+                assert_eq!(shards[i].as_deref().unwrap(), &d[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn double_erasure_fails() {
+        let code = XorCode::new(3);
+        assert!(!code.is_recoverable(&[0, 1]));
+        assert!(code.is_recoverable(&[2]));
+    }
+
+    #[test]
+    fn name_and_tolerance() {
+        let code = XorCode::new(6);
+        assert_eq!(code.name(), "XOR(6,1)");
+        assert_eq!(code.fault_tolerance(), 1);
+        assert_eq!(code.n(), 7);
+    }
+}

@@ -1,0 +1,160 @@
+//! Read plans: the per-disk access sets a read operation induces.
+//!
+//! The paper's performance model (§III, §V-A) is that a read completes
+//! when the slowest — in practice the most-loaded — disk finishes, so the
+//! quantity a layout is judged on is the **maximum per-disk element
+//! count** of the access set. A [`ReadPlan`] records every physical
+//! element fetch (demand or repair) exactly once and exposes the derived
+//! metrics: per-disk loads, max load, and degraded-read cost (total
+//! fetched / requested — the bandwidth metric of Figure 9a/9b).
+
+use ecfrm_layout::Loc;
+
+/// Why an element is being fetched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Purpose {
+    /// The element itself was requested by the user.
+    Demand,
+    /// The element feeds the reconstruction of a lost requested element.
+    Repair,
+}
+
+/// One physical element fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fetch {
+    /// Where the element lives.
+    pub loc: Loc,
+    /// Layout stripe containing it.
+    pub stripe: u64,
+    /// Candidate row (group) within the stripe.
+    pub row: usize,
+    /// Position within the candidate row (`0..n`).
+    pub pos: usize,
+    /// Demand or repair traffic.
+    pub purpose: Purpose,
+}
+
+/// The complete access set of one read operation.
+#[derive(Debug, Clone)]
+pub struct ReadPlan {
+    n_disks: usize,
+    /// Number of data elements the user requested.
+    pub requested: usize,
+    /// Unique physical fetches (no location appears twice).
+    pub fetches: Vec<Fetch>,
+    /// Requested elements that could not be served (unrecoverable); empty
+    /// in every scenario within the code's fault tolerance.
+    pub unreadable: Vec<u64>,
+}
+
+impl ReadPlan {
+    /// Create an empty plan over `n_disks` disks for `requested`
+    /// elements.
+    pub fn new(n_disks: usize, requested: usize) -> Self {
+        Self {
+            n_disks,
+            requested,
+            fetches: Vec::with_capacity(requested),
+            unreadable: Vec::new(),
+        }
+    }
+
+    /// Number of disks in the array.
+    pub fn n_disks(&self) -> usize {
+        self.n_disks
+    }
+
+    /// Elements fetched from each disk.
+    pub fn per_disk_load(&self) -> Vec<usize> {
+        let mut load = vec![0usize; self.n_disks];
+        for f in &self.fetches {
+            load[f.loc.disk] += 1;
+        }
+        load
+    }
+
+    /// The bottleneck: elements fetched from the most-loaded disk.
+    /// Zero-element reads have max load 0.
+    pub fn max_load(&self) -> usize {
+        self.per_disk_load().into_iter().max().unwrap_or(0)
+    }
+
+    /// Total elements fetched (demand + repair).
+    pub fn total_fetched(&self) -> usize {
+        self.fetches.len()
+    }
+
+    /// Elements fetched only for reconstruction.
+    pub fn repair_fetched(&self) -> usize {
+        self.fetches
+            .iter()
+            .filter(|f| f.purpose == Purpose::Repair)
+            .count()
+    }
+
+    /// Degraded read cost: total fetched / requested (Figure 9a/9b's
+    /// bandwidth-usage metric). 0 for empty reads.
+    pub fn cost(&self) -> f64 {
+        if self.requested == 0 {
+            0.0
+        } else {
+            self.total_fetched() as f64 / self.requested as f64
+        }
+    }
+
+    /// True if some fetch already targets `loc`.
+    pub fn contains(&self, loc: Loc) -> bool {
+        self.fetches.iter().any(|f| f.loc == loc)
+    }
+
+    /// Number of disks that serve at least one element.
+    pub fn disks_touched(&self) -> usize {
+        self.per_disk_load().iter().filter(|&&l| l > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fetch(disk: usize, offset: u64, purpose: Purpose) -> Fetch {
+        Fetch {
+            loc: Loc::new(disk, offset),
+            stripe: 0,
+            row: 0,
+            pos: disk,
+            purpose,
+        }
+    }
+
+    #[test]
+    fn loads_and_max() {
+        let mut p = ReadPlan::new(4, 3);
+        p.fetches.push(fetch(0, 0, Purpose::Demand));
+        p.fetches.push(fetch(0, 1, Purpose::Demand));
+        p.fetches.push(fetch(2, 0, Purpose::Repair));
+        assert_eq!(p.per_disk_load(), vec![2, 0, 1, 0]);
+        assert_eq!(p.max_load(), 2);
+        assert_eq!(p.total_fetched(), 3);
+        assert_eq!(p.repair_fetched(), 1);
+        assert_eq!(p.disks_touched(), 2);
+        assert!((p.cost() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_plan() {
+        let p = ReadPlan::new(8, 0);
+        assert_eq!(p.max_load(), 0);
+        assert_eq!(p.cost(), 0.0);
+        assert_eq!(p.disks_touched(), 0);
+    }
+
+    #[test]
+    fn contains_checks_location() {
+        let mut p = ReadPlan::new(2, 1);
+        p.fetches.push(fetch(1, 7, Purpose::Demand));
+        assert!(p.contains(Loc::new(1, 7)));
+        assert!(!p.contains(Loc::new(1, 8)));
+        assert!(!p.contains(Loc::new(0, 7)));
+    }
+}

@@ -1,0 +1,765 @@
+//! [`Scheme`]: a candidate code bound to a layout — the unit the paper
+//! evaluates ("RS", "R-RS", "EC-FRM-RS", …).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ecfrm_codes::{decode, CandidateCode, CodeError, RepairSpec};
+use ecfrm_layout::{
+    EcFrmLayout, Layout, Loc, RotatedLayout, ShuffledLayout, StandardLayout,
+};
+
+use crate::plan::{Fetch, Purpose, ReadPlan};
+use crate::stripe::StripeImage;
+
+/// A complete erasure-coding scheme: `(n, k)` candidate code + element
+/// placement. All read planning, encoding and reconstruction go through
+/// this type.
+#[derive(Clone)]
+pub struct Scheme {
+    code: Arc<dyn CandidateCode>,
+    layout: Arc<dyn Layout>,
+}
+
+impl std::fmt::Debug for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Scheme({})", self.name())
+    }
+}
+
+impl Scheme {
+    /// Bind `code` to an arbitrary layout.
+    ///
+    /// # Panics
+    /// Panics if the layout's `(n, k)` disagrees with the code's.
+    pub fn new(code: Arc<dyn CandidateCode>, layout: Arc<dyn Layout>) -> Self {
+        assert_eq!(layout.code_n(), code.n(), "layout n != code n");
+        assert_eq!(layout.code_k(), code.k(), "layout k != code k");
+        Self { code, layout }
+    }
+
+    /// The conventional horizontal form (paper's "RS" / "LRC").
+    pub fn standard(code: Arc<dyn CandidateCode>) -> Self {
+        let l = StandardLayout::new(code.n(), code.k());
+        Self::new(code, Arc::new(l))
+    }
+
+    /// The rotated-stripes form (paper's "R-RS" / "R-LRC").
+    pub fn rotated(code: Arc<dyn CandidateCode>) -> Self {
+        let l = RotatedLayout::new(code.n(), code.k());
+        Self::new(code, Arc::new(l))
+    }
+
+    /// The paper's transformation (paper's "EC-FRM-RS" / "EC-FRM-LRC").
+    pub fn ecfrm(code: Arc<dyn CandidateCode>) -> Self {
+        let l = EcFrmLayout::new(code.n(), code.k());
+        Self::new(code, Arc::new(l))
+    }
+
+    /// Rotation by `k` per stripe — the strongest rotation baseline
+    /// (ablation; see [`ecfrm_layout::KRotatedLayout`]).
+    pub fn krotated(code: Arc<dyn CandidateCode>) -> Self {
+        let l = ecfrm_layout::KRotatedLayout::new(code.n(), code.k());
+        Self::new(code, Arc::new(l))
+    }
+
+    /// Per-stripe random-permutation placement (ablation).
+    pub fn shuffled(code: Arc<dyn CandidateCode>, seed: u64) -> Self {
+        let l = ShuffledLayout::new(code.n(), code.k(), seed);
+        Self::new(code, Arc::new(l))
+    }
+
+    /// The candidate code.
+    pub fn code(&self) -> &dyn CandidateCode {
+        self.code.as_ref()
+    }
+
+    /// The layout.
+    pub fn layout(&self) -> &dyn Layout {
+        self.layout.as_ref()
+    }
+
+    /// Display name following the paper's convention: `RS(6,3)`,
+    /// `R-RS(6,3)`, `EC-FRM-RS(6,3)`, `SHUF-RS(6,3)`.
+    pub fn name(&self) -> String {
+        match self.layout.name() {
+            "standard" => self.code.name(),
+            "rotated" => format!("R-{}", self.code.name()),
+            "ecfrm" => format!("EC-FRM-{}", self.code.name()),
+            other => format!("{}-{}", other.to_uppercase(), self.code.name()),
+        }
+    }
+
+    /// Number of disks (`n`).
+    pub fn n_disks(&self) -> usize {
+        self.layout.n_disks()
+    }
+
+    /// Data elements per layout stripe.
+    pub fn data_per_stripe(&self) -> usize {
+        self.layout.data_per_stripe()
+    }
+
+    /// Encode one layout stripe (paper §IV-B Step 2): group `g`'s
+    /// parities are computed from data elements `g·k .. g·k+k` with the
+    /// candidate code's own encoding rules.
+    ///
+    /// `data` must hold exactly [`Self::data_per_stripe`] equally-sized
+    /// regions, in logical order.
+    ///
+    /// # Panics
+    /// Panics on arity or length mismatches.
+    pub fn encode_stripe(&self, stripe: u64, data: &[&[u8]]) -> StripeImage {
+        let dps = self.data_per_stripe();
+        assert_eq!(data.len(), dps, "expected {dps} data elements per stripe");
+        let element_size = data.first().map_or(0, |d| d.len());
+        assert!(
+            data.iter().all(|d| d.len() == element_size),
+            "all elements in a stripe must have equal size"
+        );
+        let k = self.code.k();
+        let pcount = self.code.n() - k;
+        let mut img = StripeImage::empty(self.layout.as_ref(), stripe, element_size);
+        for g in 0..self.layout.rows_per_stripe() {
+            let group_data = &data[g * k..(g + 1) * k];
+            let mut parity = vec![vec![0u8; element_size]; pcount];
+            self.code.encode(group_data, &mut parity);
+            let base = stripe * dps as u64 + (g * k) as u64;
+            for (t, d) in group_data.iter().enumerate() {
+                img.put(self.layout.data_location(base + t as u64), d.to_vec());
+            }
+            for (p, bytes) in parity.into_iter().enumerate() {
+                img.put(self.layout.parity_location(stripe, g, p), bytes);
+            }
+        }
+        debug_assert!(img.is_complete());
+        img
+    }
+
+    /// Plan a normal read of data elements `start .. start+count`
+    /// (paper §VI-B's workload unit). Every element is a demand fetch
+    /// from its own disk.
+    pub fn normal_read_plan(&self, start: u64, count: usize) -> ReadPlan {
+        let mut plan = ReadPlan::new(self.n_disks(), count);
+        for i in 0..count as u64 {
+            let idx = start + i;
+            let (stripe, row, pos) = self.layout.data_coordinates(idx);
+            plan.fetches.push(Fetch {
+                loc: self.layout.data_location(idx),
+                stripe,
+                row,
+                pos,
+                purpose: Purpose::Demand,
+            });
+        }
+        plan
+    }
+
+    /// Plan a degraded read of `start .. start+count` with the disks in
+    /// `failed` unavailable (paper §VI-C: one random erased disk).
+    ///
+    /// Demand elements on surviving disks are fetched directly; each
+    /// requested element on a failed disk is reconstructed within its
+    /// group, choosing repair sources that (a) are already being fetched
+    /// or (b) sit on the least-loaded surviving disks — greedy
+    /// minimisation of the bottleneck disk.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use ecfrm_codes::LrcCode;
+    /// use ecfrm_core::Scheme;
+    ///
+    /// let scheme = Scheme::ecfrm(Arc::new(LrcCode::new(6, 2, 2)));
+    /// let plan = scheme.degraded_read_plan(0, 8, &[0]);
+    /// assert!(plan.unreadable.is_empty());          // single failure: readable
+    /// assert!(plan.fetches.iter().all(|f| f.loc.disk != 0));
+    /// assert!(plan.cost() >= 1.0);                  // repair adds traffic
+    /// ```
+    pub fn degraded_read_plan(&self, start: u64, count: usize, failed: &[usize]) -> ReadPlan {
+        let mut plan = ReadPlan::new(self.n_disks(), count);
+        let is_failed = |d: usize| failed.contains(&d);
+        let mut loads = vec![0usize; self.n_disks()];
+        let mut lost: Vec<(u64, u64, usize, usize)> = Vec::new();
+
+        for i in 0..count as u64 {
+            let idx = start + i;
+            let loc = self.layout.data_location(idx);
+            let (stripe, row, pos) = self.layout.data_coordinates(idx);
+            if is_failed(loc.disk) {
+                lost.push((idx, stripe, row, pos));
+            } else {
+                plan.fetches.push(Fetch {
+                    loc,
+                    stripe,
+                    row,
+                    pos,
+                    purpose: Purpose::Demand,
+                });
+                loads[loc.disk] += 1;
+            }
+        }
+
+        for (idx, stripe, row, pos) in lost {
+            let row_locs = self.layout.row_locations(stripe, row);
+            let erased: Vec<usize> = (0..row_locs.len())
+                .filter(|&p| is_failed(row_locs[p].disk))
+                .collect();
+            let Some(spec) = self.code.repair_spec(pos, &erased) else {
+                plan.unreadable.push(idx);
+                continue;
+            };
+            let add = |p: usize, plan: &mut ReadPlan, loads: &mut [usize]| {
+                let loc = row_locs[p];
+                debug_assert!(!is_failed(loc.disk));
+                if !plan.contains(loc) {
+                    plan.fetches.push(Fetch {
+                        loc,
+                        stripe,
+                        row,
+                        pos: p,
+                        purpose: Purpose::Repair,
+                    });
+                    loads[loc.disk] += 1;
+                }
+            };
+            match spec {
+                RepairSpec::Exact { read } => {
+                    for p in read {
+                        add(p, &mut plan, &mut loads);
+                    }
+                }
+                RepairSpec::AnyOf { from, count: need } => {
+                    // Free sources first: already fetched for this plan.
+                    let (have, candidates): (Vec<usize>, Vec<usize>) = from
+                        .into_iter()
+                        .partition(|&p| plan.contains(row_locs[p]));
+                    let mut chosen: Vec<usize> = have.into_iter().take(need).collect();
+                    if chosen.len() < need {
+                        // Remaining sources: pick from the least-loaded
+                        // surviving disks, deterministically.
+                        let mut ranked: Vec<(usize, usize, usize)> = candidates
+                            .into_iter()
+                            .map(|p| (loads[row_locs[p].disk], row_locs[p].disk, p))
+                            .collect();
+                        ranked.sort_unstable();
+                        for (_, _, p) in ranked.into_iter().take(need - chosen.len()) {
+                            chosen.push(p);
+                        }
+                    }
+                    debug_assert_eq!(chosen.len(), need, "repair spec under-provisioned");
+                    for p in chosen {
+                        add(p, &mut plan, &mut loads);
+                    }
+                }
+            }
+        }
+        plan
+    }
+
+    /// Materialise the requested data elements from fetched bytes,
+    /// reconstructing any element that was not fetched directly
+    /// (paper §IV-D's per-group decode).
+    ///
+    /// `fetched` maps every planned location to its bytes. Returns the
+    /// `count` data regions in logical order.
+    pub fn assemble_read(
+        &self,
+        start: u64,
+        count: usize,
+        fetched: &HashMap<Loc, Vec<u8>>,
+    ) -> Result<Vec<Vec<u8>>, CodeError> {
+        self.assemble_read_impl(start, count, fetched, None)
+    }
+
+    /// [`Self::assemble_read`] with a
+    /// [`DecoderCache`](ecfrm_codes::DecoderCache): repeated repairs
+    /// of the same erasure geometry (every row while one disk is down)
+    /// reuse solved coefficient vectors instead of re-running Gaussian
+    /// elimination.
+    pub fn assemble_read_cached(
+        &self,
+        start: u64,
+        count: usize,
+        fetched: &HashMap<Loc, Vec<u8>>,
+        cache: &ecfrm_codes::DecoderCache,
+    ) -> Result<Vec<Vec<u8>>, CodeError> {
+        self.assemble_read_impl(start, count, fetched, Some(cache))
+    }
+
+    fn assemble_read_impl(
+        &self,
+        start: u64,
+        count: usize,
+        fetched: &HashMap<Loc, Vec<u8>>,
+        cache: Option<&ecfrm_codes::DecoderCache>,
+    ) -> Result<Vec<Vec<u8>>, CodeError> {
+        let element_size = match fetched.values().next() {
+            Some(v) => v.len(),
+            None if count == 0 => return Ok(Vec::new()),
+            None => {
+                return Err(CodeError::Shape("no fetched data to assemble".into()));
+            }
+        };
+        let mut out = Vec::with_capacity(count);
+        for i in 0..count as u64 {
+            let idx = start + i;
+            let loc = self.layout.data_location(idx);
+            if let Some(bytes) = fetched.get(&loc) {
+                out.push(bytes.clone());
+                continue;
+            }
+            // Reconstruct from whatever same-row fetches are available.
+            let (stripe, row, pos) = self.layout.data_coordinates(idx);
+            let row_locs = self.layout.row_locations(stripe, row);
+            let sources: Vec<(usize, &[u8])> = row_locs
+                .iter()
+                .enumerate()
+                .filter(|(p, _)| *p != pos)
+                .filter_map(|(p, l)| fetched.get(l).map(|b| (p, b.as_slice())))
+                .collect();
+            let rebuilt = match cache {
+                Some(c) => c.reconstruct(pos, &sources, element_size),
+                None => {
+                    decode::reconstruct_one(self.code.generator(), pos, &sources, element_size)
+                }
+            }
+            .ok_or(CodeError::Unrecoverable { erased: vec![pos] })?;
+            out.push(rebuilt);
+        }
+        Ok(out)
+    }
+
+    /// Check that every pattern of `f` simultaneous *disk* failures is
+    /// recoverable across `stripes` consecutive stripes — the
+    /// machine-checked form of the paper's §IV-C claim that EC-FRM
+    /// preserves candidate-code fault tolerance.
+    ///
+    /// Rotated and shuffled layouts are not stripe-invariant, so callers
+    /// should pass at least `n` stripes for them.
+    pub fn verify_disk_tolerance(&self, f: usize, stripes: u64) -> bool {
+        let n = self.n_disks();
+        if f > n {
+            return false;
+        }
+        let mut disks: Vec<usize> = (0..f).collect();
+        loop {
+            for stripe in 0..stripes {
+                for row in 0..self.layout.rows_per_stripe() {
+                    let locs = self.layout.row_locations(stripe, row);
+                    let erased: Vec<usize> = (0..locs.len())
+                        .filter(|&p| disks.contains(&locs[p].disk))
+                        .collect();
+                    if !self.code.is_recoverable(&erased) {
+                        return false;
+                    }
+                }
+            }
+            // Next f-combination of disks.
+            let mut advanced = false;
+            let mut i = f;
+            while i > 0 {
+                i -= 1;
+                if disks[i] != i + n - f {
+                    disks[i] += 1;
+                    for j in i + 1..f {
+                        disks[j] = disks[j - 1] + 1;
+                    }
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                return true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecfrm_codes::{LrcCode, RsCode, XorCode};
+
+    fn sample_elements(count: usize, size: usize) -> Vec<Vec<u8>> {
+        (0..count)
+            .map(|i| (0..size).map(|j| ((i * 101 + j * 31 + 7) % 256) as u8).collect())
+            .collect()
+    }
+
+    fn all_schemes(code: Arc<dyn CandidateCode>) -> Vec<Scheme> {
+        vec![
+            Scheme::standard(code.clone()),
+            Scheme::rotated(code.clone()),
+            Scheme::ecfrm(code.clone()),
+            Scheme::shuffled(code, 11),
+        ]
+    }
+
+    #[test]
+    fn names_follow_paper_convention() {
+        let rs: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(6, 3));
+        assert_eq!(Scheme::standard(rs.clone()).name(), "RS(6,3)");
+        assert_eq!(Scheme::rotated(rs.clone()).name(), "R-RS(6,3)");
+        assert_eq!(Scheme::ecfrm(rs.clone()).name(), "EC-FRM-RS(6,3)");
+        assert_eq!(Scheme::shuffled(rs, 1).name(), "SHUFFLED-RS(6,3)");
+        let lrc: Arc<dyn CandidateCode> = Arc::new(LrcCode::new(6, 2, 2));
+        assert_eq!(Scheme::ecfrm(lrc).name(), "EC-FRM-LRC(6,2,2)");
+    }
+
+    #[test]
+    fn encode_stripe_is_complete_for_all_layouts() {
+        let lrc: Arc<dyn CandidateCode> = Arc::new(LrcCode::new(6, 2, 2));
+        for scheme in all_schemes(lrc) {
+            let dps = scheme.data_per_stripe();
+            let data = sample_elements(dps, 16);
+            let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+            let img = scheme.encode_stripe(0, &refs);
+            assert!(img.is_complete(), "{}", scheme.name());
+            assert_eq!(
+                img.filled(),
+                scheme.layout().total_per_stripe(),
+                "{}",
+                scheme.name()
+            );
+        }
+    }
+
+    #[test]
+    fn figure_3a_standard_lrc_bottleneck() {
+        // Figure 3(a): 8-element read over standard (6,2,2) LRC — the
+        // most loaded disk serves 2 elements.
+        let lrc: Arc<dyn CandidateCode> = Arc::new(LrcCode::new(6, 2, 2));
+        let plan = Scheme::standard(lrc).normal_read_plan(0, 8);
+        assert_eq!(plan.max_load(), 2);
+        assert_eq!(plan.total_fetched(), 8);
+        assert_eq!(plan.disks_touched(), 6);
+    }
+
+    #[test]
+    fn figure_3b_rotated_lrc_still_bottlenecked() {
+        let lrc: Arc<dyn CandidateCode> = Arc::new(LrcCode::new(6, 2, 2));
+        let plan = Scheme::rotated(lrc).normal_read_plan(0, 8);
+        assert_eq!(plan.max_load(), 2);
+    }
+
+    #[test]
+    fn figure_7a_ecfrm_lrc_fixes_the_bottleneck() {
+        // Figure 7(a): same 8-element read over (6,2,2) EC-FRM-LRC — max
+        // load drops to 1 because all 10 disks hold data.
+        let lrc: Arc<dyn CandidateCode> = Arc::new(LrcCode::new(6, 2, 2));
+        let plan = Scheme::ecfrm(lrc).normal_read_plan(0, 8);
+        assert_eq!(plan.max_load(), 1);
+        assert_eq!(plan.disks_touched(), 8);
+    }
+
+    #[test]
+    fn normal_read_max_load_bound_ecfrm() {
+        // EC-FRM guarantee: a c-element read loads no disk more than
+        // ceil(c / n) — data is sequential across all n disks.
+        let rs: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(6, 3));
+        let scheme = Scheme::ecfrm(rs);
+        for start in 0..30u64 {
+            for count in 1..=20usize {
+                let plan = scheme.normal_read_plan(start, count);
+                let bound = count.div_ceil(9);
+                assert!(
+                    plan.max_load() <= bound,
+                    "start={start} count={count}: {} > {bound}",
+                    plan.max_load()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_normal_read_all_schemes() {
+        let rs: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(6, 3));
+        for scheme in all_schemes(rs) {
+            let dps = scheme.data_per_stripe();
+            let data = sample_elements(2 * dps, 8);
+            let mut fetched = HashMap::new();
+            for s in 0..2u64 {
+                let refs: Vec<&[u8]> =
+                    data[s as usize * dps..(s as usize + 1) * dps].iter().map(|v| v.as_slice()).collect();
+                let img = scheme.encode_stripe(s, &refs);
+                for (loc, bytes) in img.iter() {
+                    fetched.insert(loc, bytes.to_vec());
+                }
+            }
+            let start = 3u64;
+            let count = dps; // spans two stripes
+            let got = scheme.assemble_read(start, count, &fetched).unwrap();
+            for (i, g) in got.iter().enumerate() {
+                assert_eq!(g, &data[start as usize + i], "{} elem {i}", scheme.name());
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_read_reconstructs_lost_elements() {
+        let lrc: Arc<dyn CandidateCode> = Arc::new(LrcCode::new(6, 2, 2));
+        for scheme in all_schemes(lrc) {
+            let dps = scheme.data_per_stripe();
+            let data = sample_elements(2 * dps, 8);
+            // Encode two stripes; keep a full map, then drop failed disk.
+            let mut all = HashMap::new();
+            for s in 0..2u64 {
+                let refs: Vec<&[u8]> =
+                    data[s as usize * dps..(s as usize + 1) * dps].iter().map(|v| v.as_slice()).collect();
+                for (loc, bytes) in scheme.encode_stripe(s, &refs).iter() {
+                    all.insert(loc, bytes.to_vec());
+                }
+            }
+            for failed in 0..scheme.n_disks() {
+                let start = 1u64;
+                let count = (dps - 1).min(14);
+                let plan = scheme.degraded_read_plan(start, count, &[failed]);
+                assert!(plan.unreadable.is_empty(), "{} disk {failed}", scheme.name());
+                // Execute the plan against surviving disks only.
+                let fetched: HashMap<Loc, Vec<u8>> = plan
+                    .fetches
+                    .iter()
+                    .map(|f| {
+                        assert_ne!(f.loc.disk, failed, "plan reads failed disk");
+                        (f.loc, all[&f.loc].clone())
+                    })
+                    .collect();
+                let got = scheme.assemble_read(start, count, &fetched).unwrap();
+                for (i, g) in got.iter().enumerate() {
+                    assert_eq!(
+                        g,
+                        &data[start as usize + i],
+                        "{} failed={failed} elem {i}",
+                        scheme.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_cost_lrc_below_rs() {
+        // LRC's raison d'être (and preserved by EC-FRM): repairing a lost
+        // element costs k/l reads instead of k.
+        let rs: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(6, 3));
+        let lrc: Arc<dyn CandidateCode> = Arc::new(LrcCode::new(6, 2, 2));
+        let rs_scheme = Scheme::ecfrm(rs);
+        let lrc_scheme = Scheme::ecfrm(lrc);
+        let mut rs_cost = 0.0;
+        let mut lrc_cost = 0.0;
+        let mut cases = 0;
+        for start in 0..20u64 {
+            for failed in 0..9 {
+                let p = rs_scheme.degraded_read_plan(start, 10, &[failed]);
+                rs_cost += p.cost();
+                cases += 1;
+            }
+        }
+        rs_cost /= cases as f64;
+        let mut cases = 0;
+        for start in 0..20u64 {
+            for failed in 0..10 {
+                let p = lrc_scheme.degraded_read_plan(start, 10, &[failed]);
+                lrc_cost += p.cost();
+                cases += 1;
+            }
+        }
+        lrc_cost /= cases as f64;
+        assert!(
+            lrc_cost < rs_cost,
+            "LRC degraded cost {lrc_cost} should be below RS {rs_cost}"
+        );
+    }
+
+    #[test]
+    fn ecfrm_preserves_fault_tolerance_rs() {
+        // §IV-C: EC-FRM-RS(6,3) tolerates any 3 disk failures, like RS.
+        let rs: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(6, 3));
+        for scheme in all_schemes(rs) {
+            assert!(
+                scheme.verify_disk_tolerance(3, 9),
+                "{} must tolerate any 3 disks",
+                scheme.name()
+            );
+            assert!(
+                !scheme.verify_disk_tolerance(4, 9),
+                "{} cannot tolerate any 4 disks (MDS limit)",
+                scheme.name()
+            );
+        }
+    }
+
+    #[test]
+    fn ecfrm_preserves_fault_tolerance_lrc() {
+        let lrc: Arc<dyn CandidateCode> = Arc::new(LrcCode::new(6, 2, 2));
+        for scheme in all_schemes(lrc) {
+            assert!(
+                scheme.verify_disk_tolerance(3, 10),
+                "{} must tolerate any 3 disks",
+                scheme.name()
+            );
+        }
+    }
+
+    #[test]
+    fn ecfrm_preserves_fault_tolerance_xor() {
+        let xor: Arc<dyn CandidateCode> = Arc::new(XorCode::new(4));
+        for scheme in all_schemes(xor) {
+            assert!(scheme.verify_disk_tolerance(1, 5), "{}", scheme.name());
+            assert!(!scheme.verify_disk_tolerance(2, 5), "{}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn krotated_form_roundtrips_and_sits_between() {
+        let rs: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(6, 3));
+        let scheme = Scheme::krotated(rs.clone());
+        assert_eq!(scheme.name(), "KROTATED-RS(6,3)");
+        // Fault tolerance preserved (stripe period = n for the shift).
+        assert!(scheme.verify_disk_tolerance(3, 9));
+        // Roundtrip with a failure.
+        let dps = scheme.data_per_stripe();
+        let data = sample_elements(12 * dps, 8);
+        let mut all = HashMap::new();
+        for s in 0..12u64 {
+            let refs: Vec<&[u8]> =
+                data[s as usize * dps..(s as usize + 1) * dps].iter().map(|v| v.as_slice()).collect();
+            for (loc, bytes) in scheme.encode_stripe(s, &refs).iter() {
+                all.insert(loc, bytes.to_vec());
+            }
+        }
+        let plan = scheme.degraded_read_plan(3, 20, &[4]);
+        let fetched: HashMap<Loc, Vec<u8>> = plan
+            .fetches
+            .iter()
+            .map(|f| (f.loc, all[&f.loc].clone()))
+            .collect();
+        let got = scheme.assemble_read(3, 20, &fetched).unwrap();
+        for (i, g) in got.iter().enumerate() {
+            assert_eq!(g, &data[3 + i]);
+        }
+        // Normal-read balance: strictly better than standard on average,
+        // no better than EC-FRM.
+        let std = Scheme::standard(rs.clone());
+        let ec = Scheme::ecfrm(rs);
+        let mut sum = [0usize; 3];
+        for start in 0..60u64 {
+            for size in 1..=20usize {
+                sum[0] += std.normal_read_plan(start, size).max_load();
+                sum[1] += scheme.normal_read_plan(start, size).max_load();
+                sum[2] += ec.normal_read_plan(start, size).max_load();
+            }
+        }
+        assert!(sum[1] < sum[0], "k-rotation beats standard: {sum:?}");
+        assert!(sum[2] <= sum[1], "EC-FRM at least matches k-rotation: {sum:?}");
+    }
+
+    #[test]
+    fn multi_failure_degraded_plans_execute_correctly() {
+        // (6,2,2) LRC tolerates any 3 disks; plans must route around all
+        // of them and assembly must restore every element.
+        let lrc: Arc<dyn CandidateCode> = Arc::new(LrcCode::new(6, 2, 2));
+        let scheme = Scheme::ecfrm(lrc);
+        let dps = scheme.data_per_stripe();
+        let data = sample_elements(2 * dps, 8);
+        let mut all = HashMap::new();
+        for s in 0..2u64 {
+            let refs: Vec<&[u8]> =
+                data[s as usize * dps..(s as usize + 1) * dps].iter().map(|v| v.as_slice()).collect();
+            for (loc, bytes) in scheme.encode_stripe(s, &refs).iter() {
+                all.insert(loc, bytes.to_vec());
+            }
+        }
+        for failed in [[0usize, 1, 2], [3, 6, 9], [2, 5, 8], [0, 4, 9]] {
+            let plan = scheme.degraded_read_plan(2, 20, &failed);
+            assert!(plan.unreadable.is_empty(), "failed {failed:?}");
+            for f in &plan.fetches {
+                assert!(!failed.contains(&f.loc.disk), "plan uses downed disk");
+            }
+            let fetched: HashMap<Loc, Vec<u8>> = plan
+                .fetches
+                .iter()
+                .map(|f| (f.loc, all[&f.loc].clone()))
+                .collect();
+            let got = scheme.assemble_read(2, 20, &fetched).unwrap();
+            for (i, g) in got.iter().enumerate() {
+                assert_eq!(g, &data[2 + i], "failed {failed:?} elem {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_plan_with_multiple_failures_uses_joint_erasure_set() {
+        // Two failures in the SAME local group force the global fallback;
+        // the spec must not pretend the second failure is available.
+        let lrc: Arc<dyn CandidateCode> = Arc::new(LrcCode::new(6, 2, 2));
+        let scheme = Scheme::standard(lrc);
+        // Disks 0 and 1 are data positions 0 and 1 (same local group).
+        let plan = scheme.degraded_read_plan(0, 2, &[0, 1]);
+        assert!(plan.unreadable.is_empty());
+        // Repairs must involve global parities (disks 8/9), since local
+        // group 0 has two holes.
+        assert!(
+            plan.fetches.iter().any(|f| f.loc.disk >= 8),
+            "expected global-parity reads: {:?}",
+            plan.fetches
+        );
+    }
+
+    #[test]
+    fn cached_assembly_matches_uncached() {
+        let rs: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(6, 3));
+        let scheme = Scheme::ecfrm(rs);
+        let dps = scheme.data_per_stripe();
+        let data = sample_elements(dps, 8);
+        let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+        let all: HashMap<Loc, Vec<u8>> = scheme
+            .encode_stripe(0, &refs)
+            .iter()
+            .map(|(l, b)| (l, b.to_vec()))
+            .collect();
+        let cache = ecfrm_codes::DecoderCache::new(scheme.code().generator().clone());
+        for failed in 0..scheme.n_disks() {
+            let plan = scheme.degraded_read_plan(0, dps, &[failed]);
+            let fetched: HashMap<Loc, Vec<u8>> = plan
+                .fetches
+                .iter()
+                .map(|f| (f.loc, all[&f.loc].clone()))
+                .collect();
+            let direct = scheme.assemble_read(0, dps, &fetched).unwrap();
+            let cached = scheme
+                .assemble_read_cached(0, dps, &fetched, &cache)
+                .unwrap();
+            assert_eq!(direct, cached, "failed={failed}");
+        }
+        assert!(cache.stats().1 > 0);
+    }
+
+    #[test]
+    fn unreadable_reported_beyond_tolerance() {
+        let xor: Arc<dyn CandidateCode> = Arc::new(XorCode::new(4));
+        let scheme = Scheme::standard(xor);
+        // Two failed disks exceed XOR tolerance; requested elements on
+        // them are unreadable.
+        let plan = scheme.degraded_read_plan(0, 4, &[0, 1]);
+        assert_eq!(plan.unreadable.len(), 2);
+    }
+
+    #[test]
+    fn empty_read_plans() {
+        let rs: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(6, 3));
+        let scheme = Scheme::ecfrm(rs);
+        let plan = scheme.normal_read_plan(5, 0);
+        assert_eq!(plan.total_fetched(), 0);
+        let fetched = HashMap::new();
+        assert!(scheme.assemble_read(5, 0, &fetched).unwrap().is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_layout_rejected() {
+        let rs: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(6, 3));
+        let wrong = Arc::new(StandardLayout::new(10, 6));
+        Scheme::new(rs, wrong);
+    }
+}

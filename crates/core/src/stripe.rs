@@ -1,0 +1,136 @@
+//! In-memory image of one encoded layout stripe.
+//!
+//! A stripe is a `rows × n_disks` grid of equal-sized elements (paper
+//! Figure 4): for one-row layouts the grid is `1 × n`; for EC-FRM it is
+//! `n/gcd(n,k) × n`. [`StripeImage`] owns the bytes and is addressed by
+//! in-stripe grid coordinates, letting the object store and the tests
+//! move whole stripes to and from simulated disks.
+
+use ecfrm_layout::{Layout, Loc};
+
+/// One fully (or partially) materialised stripe.
+#[derive(Debug, Clone)]
+pub struct StripeImage {
+    /// Which layout stripe this is.
+    pub stripe: u64,
+    /// Grid width = number of disks.
+    pub n_disks: usize,
+    /// Grid height = offsets per stripe.
+    pub rows: usize,
+    /// Element size in bytes.
+    pub element_size: usize,
+    cells: Vec<Option<Vec<u8>>>,
+}
+
+impl StripeImage {
+    /// An empty (all-`None`) stripe image for `layout`, stripe index
+    /// `stripe`, with `element_size`-byte elements.
+    pub fn empty(layout: &dyn Layout, stripe: u64, element_size: usize) -> Self {
+        let n_disks = layout.n_disks();
+        let rows = layout.offsets_per_stripe() as usize;
+        Self {
+            stripe,
+            n_disks,
+            rows,
+            element_size,
+            cells: vec![None; n_disks * rows],
+        }
+    }
+
+    #[inline]
+    fn cell_index(&self, loc: Loc) -> usize {
+        let row = (loc.offset - self.stripe * self.rows as u64) as usize;
+        debug_assert!(row < self.rows, "offset outside this stripe");
+        debug_assert!(loc.disk < self.n_disks);
+        row * self.n_disks + loc.disk
+    }
+
+    /// Element bytes at `loc`, if present.
+    pub fn get(&self, loc: Loc) -> Option<&[u8]> {
+        self.cells[self.cell_index(loc)].as_deref()
+    }
+
+    /// Store element bytes at `loc`.
+    ///
+    /// # Panics
+    /// Panics if the byte length differs from `element_size`.
+    pub fn put(&mut self, loc: Loc, bytes: Vec<u8>) {
+        assert_eq!(bytes.len(), self.element_size, "element size mismatch");
+        let i = self.cell_index(loc);
+        self.cells[i] = Some(bytes);
+    }
+
+    /// Remove (erase) the element at `loc`, returning it.
+    pub fn take(&mut self, loc: Loc) -> Option<Vec<u8>> {
+        let i = self.cell_index(loc);
+        self.cells[i].take()
+    }
+
+    /// True when every cell holds bytes.
+    pub fn is_complete(&self) -> bool {
+        self.cells.iter().all(|c| c.is_some())
+    }
+
+    /// Number of filled cells.
+    pub fn filled(&self) -> usize {
+        self.cells.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Iterate `(Loc, &bytes)` over filled cells.
+    pub fn iter(&self) -> impl Iterator<Item = (Loc, &[u8])> + '_ {
+        let base = self.stripe * self.rows as u64;
+        self.cells.iter().enumerate().filter_map(move |(i, c)| {
+            c.as_deref().map(|bytes| {
+                (
+                    Loc::new(i % self.n_disks, base + (i / self.n_disks) as u64),
+                    bytes,
+                )
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecfrm_layout::{EcFrmLayout, StandardLayout};
+
+    #[test]
+    fn put_get_take_roundtrip() {
+        let layout = StandardLayout::new(5, 3);
+        let mut img = StripeImage::empty(&layout, 2, 4);
+        let loc = Loc::new(1, 2); // offset 2 = stripe 2 for standard
+        img.put(loc, vec![9, 8, 7, 6]);
+        assert_eq!(img.get(loc), Some(&[9u8, 8, 7, 6][..]));
+        assert_eq!(img.filled(), 1);
+        assert!(!img.is_complete());
+        assert_eq!(img.take(loc), Some(vec![9, 8, 7, 6]));
+        assert_eq!(img.get(loc), None);
+    }
+
+    #[test]
+    fn ecfrm_grid_dimensions() {
+        let layout = EcFrmLayout::new(10, 6);
+        let img = StripeImage::empty(&layout, 0, 8);
+        assert_eq!(img.rows, 5);
+        assert_eq!(img.n_disks, 10);
+    }
+
+    #[test]
+    fn iter_yields_absolute_locations() {
+        let layout = EcFrmLayout::new(10, 6);
+        let mut img = StripeImage::empty(&layout, 3, 2);
+        let loc = Loc::new(7, 3 * 5 + 4); // stripe 3, grid row 4
+        img.put(loc, vec![1, 2]);
+        let collected: Vec<Loc> = img.iter().map(|(l, _)| l).collect();
+        assert_eq!(collected, vec![loc]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_element_size_panics() {
+        let layout = StandardLayout::new(5, 3);
+        let mut img = StripeImage::empty(&layout, 0, 4);
+        img.put(Loc::new(0, 0), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Plan quality: the degraded-read planner's greedy source selection vs
+//! the exhaustive optimum.
+//!
+//! The planner picks repair sources greedily (already-fetched first, then
+//! least-loaded disks). This test enumerates *every* valid source
+//! combination for small scenarios and checks the greedy bottleneck is
+//! optimal or at most one element above it — i.e. the greedy heuristic
+//! does not silently squander EC-FRM's layout advantage.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use ecfrm_codes::{CandidateCode, RepairSpec, RsCode};
+use ecfrm_core::Scheme;
+use ecfrm_layout::Loc;
+
+/// All c-subsets of `from`.
+fn subsets(from: &[usize], c: usize) -> Vec<Vec<usize>> {
+    if c > from.len() {
+        return vec![];
+    }
+    let mut out = Vec::new();
+    let mut idx: Vec<usize> = (0..c).collect();
+    loop {
+        out.push(idx.iter().map(|&i| from[i]).collect());
+        let n = from.len();
+        let mut i = c;
+        let mut advanced = false;
+        while i > 0 {
+            i -= 1;
+            if idx[i] != i + n - c {
+                idx[i] += 1;
+                for j in i + 1..c {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return out;
+        }
+    }
+}
+
+/// Exhaustive minimum achievable max-load for a degraded read.
+fn brute_force_best(scheme: &Scheme, start: u64, count: usize, failed: usize) -> usize {
+    let layout = scheme.layout();
+    let code = scheme.code();
+    let mut demand: HashSet<Loc> = HashSet::new();
+    let mut lost: Vec<(u64, usize, usize)> = Vec::new();
+    for i in 0..count as u64 {
+        let idx = start + i;
+        let loc = layout.data_location(idx);
+        let (stripe, row, pos) = layout.data_coordinates(idx);
+        if loc.disk == failed {
+            lost.push((stripe, row, pos));
+        } else {
+            demand.insert(loc);
+        }
+    }
+    // Per lost element: the list of acceptable source-loc sets.
+    let mut options: Vec<Vec<Vec<Loc>>> = Vec::new();
+    for &(stripe, row, pos) in &lost {
+        let locs = layout.row_locations(stripe, row);
+        let erased: Vec<usize> = (0..locs.len())
+            .filter(|&p| locs[p].disk == failed)
+            .collect();
+        let spec = code.repair_spec(pos, &erased).expect("repairable");
+        let sets: Vec<Vec<Loc>> = match spec {
+            RepairSpec::Exact { read } => {
+                vec![read.into_iter().map(|p| locs[p]).collect()]
+            }
+            RepairSpec::AnyOf { from, count } => subsets(&from, count)
+                .into_iter()
+                .map(|s| s.into_iter().map(|p| locs[p]).collect())
+                .collect(),
+        };
+        options.push(sets);
+    }
+    // Cartesian product search.
+    fn recurse(
+        options: &[Vec<Vec<Loc>>],
+        acc: &mut HashSet<Loc>,
+        n_disks: usize,
+        best: &mut usize,
+    ) {
+        if options.is_empty() {
+            let mut load = vec![0usize; n_disks];
+            for l in acc.iter() {
+                load[l.disk] += 1;
+            }
+            *best = (*best).min(load.into_iter().max().unwrap_or(0));
+            return;
+        }
+        for set in &options[0] {
+            let added: Vec<Loc> = set.iter().filter(|l| !acc.contains(l)).copied().collect();
+            for &l in &added {
+                acc.insert(l);
+            }
+            recurse(&options[1..], acc, n_disks, best);
+            for l in &added {
+                acc.remove(l);
+            }
+        }
+    }
+    let mut best = usize::MAX;
+    let mut acc = demand;
+    recurse(&options, &mut acc, scheme.n_disks(), &mut best);
+    best
+}
+
+#[test]
+fn greedy_is_near_optimal_rs42() {
+    let code: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(4, 2));
+    for scheme in [
+        Scheme::standard(code.clone()),
+        Scheme::rotated(code.clone()),
+        Scheme::ecfrm(code.clone()),
+    ] {
+        let mut exact = 0usize;
+        let mut total = 0usize;
+        for start in 0..12u64 {
+            for count in 1..=8usize {
+                for failed in 0..scheme.n_disks() {
+                    let plan = scheme.degraded_read_plan(start, count, &[failed]);
+                    assert!(plan.unreadable.is_empty());
+                    let greedy = plan.max_load();
+                    let best = brute_force_best(&scheme, start, count, failed);
+                    assert!(
+                        greedy <= best + 1,
+                        "{}: start={start} count={count} failed={failed}: greedy {greedy} \
+                         vs optimal {best}",
+                        scheme.name()
+                    );
+                    if greedy == best {
+                        exact += 1;
+                    }
+                    total += 1;
+                }
+            }
+        }
+        // The greedy should hit the exact optimum almost always.
+        assert!(
+            exact * 10 >= total * 9,
+            "{}: greedy optimal in only {exact}/{total} scenarios",
+            scheme.name()
+        );
+    }
+}
+
+#[test]
+fn greedy_never_fetches_more_than_needed() {
+    // Total fetches = demand + k per lost element, minus overlaps —
+    // never more.
+    let code: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(4, 2));
+    let scheme = Scheme::ecfrm(code);
+    for start in 0..10u64 {
+        for failed in 0..6 {
+            let count = 8;
+            let plan = scheme.degraded_read_plan(start, count, &[failed]);
+            let lost = count - plan.fetches.iter()
+                .filter(|f| f.purpose == ecfrm_core::Purpose::Demand)
+                .count();
+            assert!(
+                plan.total_fetched() <= (count - lost) + lost * 4,
+                "start={start} failed={failed}: fetched {} for {} lost",
+                plan.total_fetched(),
+                lost
+            );
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! `GF(2^16)` with primitive polynomial `0x1100B`
+//! (x¹⁶ + x¹² + x³ + x + 1), the polynomial Jerasure uses for `w = 16`.
+//!
+//! Provided so codes can span more than 255 devices per stripe (the
+//! `GF(2^8)` limit). Tables are two 128 KiB statics generated at compile
+//! time; multiplication is log/antilog based (a full product table would
+//! be 8 GiB).
+
+use crate::field::{peasant_mul, Field};
+
+/// Primitive polynomial for this field (including the x¹⁶ term).
+pub const POLY16: u32 = 0x1100B;
+
+const ORDER: usize = 1 << 16;
+
+const fn build_exp() -> [u16; 2 * (ORDER - 1)] {
+    let mut t = [0u16; 2 * (ORDER - 1)];
+    let mut x: u32 = 1;
+    let mut i = 0;
+    while i < ORDER - 1 {
+        t[i] = x as u16;
+        t[i + (ORDER - 1)] = x as u16;
+        x = peasant_mul(x, 2, 16, POLY16);
+        i += 1;
+    }
+    t
+}
+
+const fn build_log(exp: &[u16; 2 * (ORDER - 1)]) -> [u16; ORDER] {
+    let mut t = [0u16; ORDER];
+    let mut i = 0;
+    while i < ORDER - 1 {
+        t[exp[i] as usize] = i as u16;
+        i += 1;
+    }
+    t
+}
+
+static EXP: [u16; 2 * (ORDER - 1)] = build_exp();
+static LOG: [u16; ORDER] = build_log(&EXP);
+
+/// Marker type implementing [`Field`] for `GF(2^16)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Gf16;
+
+impl Field for Gf16 {
+    const W: u32 = 16;
+    const ORDER: u32 = 1 << 16;
+    const POLY: u32 = POLY16;
+
+    #[inline]
+    fn mul(a: u32, b: u32) -> u32 {
+        debug_assert!(a < (1 << 16) && b < (1 << 16));
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        EXP[LOG[a as usize] as usize + LOG[b as usize] as usize] as u32
+    }
+
+    #[inline]
+    fn inv(a: u32) -> u32 {
+        assert!(a != 0 && a < (1 << 16), "inverse of zero");
+        EXP[(ORDER - 1 - LOG[a as usize] as usize) % (ORDER - 1)] as u32
+    }
+
+    #[inline]
+    fn exp(e: u32) -> u32 {
+        EXP[(e as usize) % (ORDER - 1)] as u32
+    }
+
+    #[inline]
+    fn log(a: u32) -> u32 {
+        assert!(a != 0 && a < (1 << 16), "log of zero");
+        LOG[a as usize] as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spot_check_against_peasant_reference() {
+        // Full 2^32 cross-product is too slow; stride through the field.
+        let mut a = 1u32;
+        for _ in 0..500 {
+            let mut b = 3u32;
+            for _ in 0..200 {
+                assert_eq!(Gf16::mul(a, b), peasant_mul(a, b, 16, POLY16));
+                b = b.wrapping_mul(48271) & 0xFFFF;
+            }
+            a = a.wrapping_mul(69621) & 0xFFFF;
+            if a == 0 {
+                a = 1;
+            }
+        }
+    }
+
+    #[test]
+    fn exp_log_roundtrip() {
+        for a in (1..ORDER as u32).step_by(251) {
+            assert_eq!(Gf16::exp(Gf16::log(a)), a);
+        }
+    }
+
+    #[test]
+    fn inverses_spot_check() {
+        for a in (1..ORDER as u32).step_by(509) {
+            assert_eq!(Gf16::mul(a, Gf16::inv(a)), 1);
+        }
+    }
+
+    #[test]
+    fn generator_period_is_full() {
+        // g^(order-1) == 1 and g^((order-1)/p) != 1 for prime factors p of
+        // 65535 = 3 * 5 * 17 * 257.
+        assert_eq!(Gf16::exp(65535), 1);
+        for p in [3u32, 5, 17, 257] {
+            assert_ne!(Gf16::exp(65535 / p), 1, "period divides 65535/{p}");
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! `GF(2^8)` with the primitive polynomial `0x11D`
+//! (x⁸ + x⁴ + x³ + x² + 1) — the field used by Jerasure, GF-Complete and
+//! most storage-oriented Reed–Solomon deployments.
+//!
+//! All tables are generated at compile time:
+//!
+//! * `EXP` — antilog table, doubled in length so `exp(log a + log b)` needs
+//!   no modular reduction;
+//! * `LOG` — discrete logarithms;
+//! * `MUL` — the full 256×256 product table (64 KiB). A single row of it
+//!   (`mul_row`) is the lookup table the region operations stream through,
+//!   which is the same strategy GF-Complete's "table" implementation uses;
+//! * `INV` — multiplicative inverses.
+
+use crate::field::{peasant_mul, Field};
+
+/// Primitive polynomial for this field (including the x⁸ term).
+pub const POLY8: u32 = 0x11D;
+
+const ORDER: usize = 256;
+
+const fn build_exp() -> [u8; 2 * (ORDER - 1)] {
+    let mut t = [0u8; 2 * (ORDER - 1)];
+    let mut x: u32 = 1;
+    let mut i = 0;
+    while i < ORDER - 1 {
+        t[i] = x as u8;
+        t[i + (ORDER - 1)] = x as u8;
+        x = peasant_mul(x, 2, 8, POLY8);
+        i += 1;
+    }
+    t
+}
+
+const fn build_log(exp: &[u8; 2 * (ORDER - 1)]) -> [u16; ORDER] {
+    // LOG[0] is a sentinel; callers must never use it.
+    let mut t = [0u16; ORDER];
+    let mut i = 0;
+    while i < ORDER - 1 {
+        t[exp[i] as usize] = i as u16;
+        i += 1;
+    }
+    t
+}
+
+const fn build_mul() -> [[u8; ORDER]; ORDER] {
+    let mut t = [[0u8; ORDER]; ORDER];
+    let mut a = 0;
+    while a < ORDER {
+        let mut b = 0;
+        while b < ORDER {
+            t[a][b] = peasant_mul(a as u32, b as u32, 8, POLY8) as u8;
+            b += 1;
+        }
+        a += 1;
+    }
+    t
+}
+
+const fn build_inv(exp: &[u8; 2 * (ORDER - 1)], log: &[u16; ORDER]) -> [u8; ORDER] {
+    let mut t = [0u8; ORDER];
+    let mut a = 1;
+    while a < ORDER {
+        let l = log[a] as usize;
+        t[a] = exp[(ORDER - 1 - l) % (ORDER - 1)];
+        a += 1;
+    }
+    t
+}
+
+/// Antilog table, doubled: `EXP[i] == g^i` for `i < 510`.
+pub static EXP: [u8; 2 * (ORDER - 1)] = build_exp();
+/// Log table: `LOG[a] == log_g a` for `a != 0`.
+pub static LOG: [u16; ORDER] = build_log(&EXP);
+/// Full product table: `MUL[a][b] == a*b`.
+pub static MUL: [[u8; ORDER]; ORDER] = build_mul();
+/// Inverse table: `INV[a] == a^-1` for `a != 0`.
+pub static INV: [u8; ORDER] = build_inv(&EXP, &LOG);
+
+/// Marker type implementing [`Field`] for `GF(2^8)`.
+///
+/// This is the field every byte-oriented code in the workspace uses: one
+/// field element per stored byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Gf8;
+
+impl Gf8 {
+    /// The 256-byte multiplication row for a constant `c`:
+    /// `row[b] == c * b`. Region operations stream source bytes through
+    /// this row.
+    #[inline(always)]
+    pub fn mul_row(c: u8) -> &'static [u8; 256] {
+        &MUL[c as usize]
+    }
+}
+
+impl Field for Gf8 {
+    const W: u32 = 8;
+    const ORDER: u32 = 256;
+    const POLY: u32 = POLY8;
+
+    #[inline(always)]
+    fn mul(a: u32, b: u32) -> u32 {
+        debug_assert!(a < 256 && b < 256);
+        MUL[a as usize][b as usize] as u32
+    }
+
+    #[inline(always)]
+    fn inv(a: u32) -> u32 {
+        assert!(a != 0 && a < 256, "inverse of zero (or out-of-field element)");
+        INV[a as usize] as u32
+    }
+
+    #[inline(always)]
+    fn exp(e: u32) -> u32 {
+        EXP[(e % 255) as usize] as u32
+    }
+
+    #[inline(always)]
+    fn log(a: u32) -> u32 {
+        assert!(a != 0 && a < 256, "log of zero (or out-of-field element)");
+        LOG[a as usize] as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_match_peasant_reference() {
+        for a in 0..256u32 {
+            for b in 0..256u32 {
+                assert_eq!(
+                    Gf8::mul(a, b),
+                    peasant_mul(a, b, 8, POLY8),
+                    "mismatch at {a}*{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exp_log_roundtrip() {
+        for a in 1..256u32 {
+            assert_eq!(Gf8::exp(Gf8::log(a)), a);
+        }
+        for e in 0..255u32 {
+            assert_eq!(Gf8::log(Gf8::exp(e)), e);
+        }
+    }
+
+    #[test]
+    fn exp_is_cyclic_with_period_255() {
+        assert_eq!(Gf8::exp(0), 1);
+        assert_eq!(Gf8::exp(255), 1);
+        // g is primitive: no smaller period.
+        for e in 1..255u32 {
+            assert_ne!(Gf8::exp(e), 1, "generator period divides {e}");
+        }
+    }
+
+    #[test]
+    fn inverses_are_inverses() {
+        for a in 1..256u32 {
+            assert_eq!(Gf8::mul(a, Gf8::inv(a)), 1);
+            assert_eq!(Gf8::div(a, a), 1);
+        }
+    }
+
+    #[test]
+    fn division_undoes_multiplication() {
+        for a in 0..256u32 {
+            for b in 1..256u32 {
+                assert_eq!(Gf8::div(Gf8::mul(a, b), b), a);
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        for a in [0u32, 1, 2, 3, 0x53, 0xFF] {
+            let mut acc = 1u32;
+            for e in 0..20u32 {
+                assert_eq!(Gf8::pow(a, e), acc, "a={a} e={e}");
+                acc = Gf8::mul(acc, a);
+            }
+        }
+    }
+
+    #[test]
+    fn pow_zero_conventions() {
+        assert_eq!(Gf8::pow(0, 0), 1);
+        assert_eq!(Gf8::pow(0, 5), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inv_of_zero_panics() {
+        Gf8::inv(0);
+    }
+
+    #[test]
+    fn mul_row_is_mul_table_row() {
+        for c in [0u8, 1, 2, 0x1D, 0xAB, 0xFF] {
+            let row = Gf8::mul_row(c);
+            for (b, &entry) in row.iter().enumerate() {
+                assert_eq!(entry as u32, Gf8::mul(c as u32, b as u32));
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Region operations over `GF(2^16)`: buffers hold one field element per
+//! little-endian byte pair.
+//!
+//! These are the wide-symbol counterparts of [`crate::region`], used by
+//! codes whose stripe exceeds the 255-element reach of `GF(2^8)`
+//! (GF-Complete's `w = 16` case). Multiplication is log/antilog per
+//! symbol — no product table exists at this width.
+
+use crate::field::Field;
+use crate::gf16::Gf16;
+
+/// `dst = c * src` over `GF(2^16)`, element-wise on byte-pair symbols.
+///
+/// # Panics
+/// Panics if lengths differ or are odd.
+pub fn mul_region16(c: u16, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(dst.len(), src.len(), "mul_region16 length mismatch");
+    assert_eq!(src.len() % 2, 0, "GF(2^16) regions hold whole symbols");
+    match c {
+        0 => dst.fill(0),
+        1 => dst.copy_from_slice(src),
+        _ => {
+            for (d, s) in dst.chunks_exact_mut(2).zip(src.chunks_exact(2)) {
+                let v = u16::from_le_bytes([s[0], s[1]]);
+                let p = Gf16::mul(c as u32, v as u32) as u16;
+                d.copy_from_slice(&p.to_le_bytes());
+            }
+        }
+    }
+}
+
+/// `dst ^= c * src` over `GF(2^16)`.
+///
+/// # Panics
+/// Panics if lengths differ or are odd.
+pub fn mul_add_region16(c: u16, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(dst.len(), src.len(), "mul_add_region16 length mismatch");
+    assert_eq!(src.len() % 2, 0, "GF(2^16) regions hold whole symbols");
+    match c {
+        0 => {}
+        1 => crate::region::xor_region(dst, src),
+        _ => {
+            for (d, s) in dst.chunks_exact_mut(2).zip(src.chunks_exact(2)) {
+                let v = u16::from_le_bytes([s[0], s[1]]);
+                let p = Gf16::mul(c as u32, v as u32) as u16;
+                let cur = u16::from_le_bytes([d[0], d[1]]);
+                d.copy_from_slice(&(cur ^ p).to_le_bytes());
+            }
+        }
+    }
+}
+
+/// Dot-product encode kernel over `GF(2^16)`: `dst = Σᵢ coeffs[i]·srcs[i]`.
+///
+/// # Panics
+/// Panics on arity or length mismatches.
+pub fn dot_region16(coeffs: &[u16], srcs: &[&[u8]], dst: &mut [u8]) {
+    assert_eq!(coeffs.len(), srcs.len(), "dot_region16 arity mismatch");
+    dst.fill(0);
+    for (&c, src) in coeffs.iter().zip(srcs) {
+        mul_add_region16(c, src, dst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(len: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x & 0xFF) as u8
+            })
+            .collect()
+    }
+
+    fn scalar_mul(c: u16, src: &[u8]) -> Vec<u8> {
+        src.chunks_exact(2)
+            .flat_map(|s| {
+                let v = u16::from_le_bytes([s[0], s[1]]);
+                (Gf16::mul(c as u32, v as u32) as u16).to_le_bytes()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mul_region_matches_scalar() {
+        let src = pseudo(512, 3);
+        for c in [0u16, 1, 2, 0x1234, 0xFFFF] {
+            let mut dst = vec![0u8; 512];
+            mul_region16(c, &src, &mut dst);
+            assert_eq!(dst, scalar_mul(c, &src), "c={c:#x}");
+        }
+    }
+
+    #[test]
+    fn mul_by_inverse_roundtrips() {
+        let src = pseudo(128, 5);
+        for c in [3u16, 0x101, 0xABCD] {
+            let mut mid = vec![0u8; 128];
+            let mut back = vec![0u8; 128];
+            mul_region16(c, &src, &mut mid);
+            let cinv = Gf16::inv(c as u32) as u16;
+            mul_region16(cinv, &mid, &mut back);
+            assert_eq!(back, src, "c={c:#x}");
+        }
+    }
+
+    #[test]
+    fn mul_add_accumulates() {
+        let src = pseudo(64, 7);
+        let init = pseudo(64, 8);
+        let mut dst = init.clone();
+        mul_add_region16(0x55AA, &src, &mut dst);
+        let want: Vec<u8> = scalar_mul(0x55AA, &src)
+            .iter()
+            .zip(&init)
+            .map(|(a, b)| a ^ b)
+            .collect();
+        assert_eq!(dst, want);
+    }
+
+    #[test]
+    fn dot_region_is_linear_combination() {
+        let a = pseudo(96, 10);
+        let b = pseudo(96, 11);
+        let mut dst = pseudo(96, 12); // must be overwritten
+        dot_region16(&[2, 3], &[&a, &b], &mut dst);
+        let mut want = scalar_mul(2, &a);
+        for (w, x) in want.iter_mut().zip(scalar_mul(3, &b)) {
+            *w ^= x;
+        }
+        assert_eq!(dst, want);
+    }
+
+    #[test]
+    #[should_panic]
+    fn odd_length_rejected() {
+        let mut d = vec![0u8; 3];
+        mul_region16(2, &[0u8; 3], &mut d);
+    }
+}

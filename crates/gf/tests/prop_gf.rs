@@ -1,0 +1,140 @@
+//! Property-based tests for the Galois-field substrate.
+
+use proptest::prelude::*;
+
+use ecfrm_gf::field::peasant_mul;
+use ecfrm_gf::region::{self, reference};
+use ecfrm_gf::{Field, Gf16, Gf4, Gf8, Matrix};
+
+/// Check the full field-axiom set for one (a, b, c) triple.
+fn axioms<F: Field>(a: u32, b: u32, c: u32) {
+    // Commutativity and associativity.
+    assert_eq!(F::mul(a, b), F::mul(b, a));
+    assert_eq!(F::mul(a, F::mul(b, c)), F::mul(F::mul(a, b), c));
+    // Distributivity over XOR-addition.
+    assert_eq!(F::mul(a, b ^ c), F::mul(a, b) ^ F::mul(a, c));
+    // Identities.
+    assert_eq!(F::mul(a, 1), a);
+    assert_eq!(F::mul(a, 0), 0);
+    // Inverses.
+    if a != 0 {
+        assert_eq!(F::mul(a, F::inv(a)), 1);
+        assert_eq!(F::div(F::mul(b, a), a), b);
+    }
+    // Reference multiplier agreement.
+    assert_eq!(F::mul(a, b), peasant_mul(a, b, F::W, F::POLY));
+}
+
+proptest! {
+    #[test]
+    fn gf8_axioms(a in 0u32..256, b in 0u32..256, c in 0u32..256) {
+        axioms::<Gf8>(a, b, c);
+    }
+
+    #[test]
+    fn gf4_axioms(a in 0u32..16, b in 0u32..16, c in 0u32..16) {
+        axioms::<Gf4>(a, b, c);
+    }
+
+    #[test]
+    fn gf16_axioms(a in 0u32..65536, b in 0u32..65536, c in 0u32..65536) {
+        axioms::<Gf16>(a, b, c);
+    }
+
+    #[test]
+    fn exp_log_bijection_gf8(a in 1u32..256) {
+        prop_assert_eq!(Gf8::exp(Gf8::log(a)), a);
+    }
+
+    #[test]
+    fn pow_laws_gf8(a in 1u32..256, e1 in 0u32..500, e2 in 0u32..500) {
+        // a^(e1+e2) == a^e1 * a^e2.
+        prop_assert_eq!(
+            Gf8::pow(a, e1 + e2),
+            Gf8::mul(Gf8::pow(a, e1), Gf8::pow(a, e2))
+        );
+    }
+
+    #[test]
+    fn region_kernels_match_reference(
+        c in 0u32..256,
+        data in proptest::collection::vec(any::<u8>(), 0..300),
+        acc in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let n = data.len().min(acc.len());
+        let src = &data[..n];
+        let mut got = acc[..n].to_vec();
+        let mut want = acc[..n].to_vec();
+        region::mul_add_region(c as u8, src, &mut got);
+        reference::mul_add_region(c as u8, src, &mut want);
+        prop_assert_eq!(&got, &want);
+
+        let mut got2 = vec![0u8; n];
+        let mut want2 = vec![0u8; n];
+        region::mul_region(c as u8, src, &mut got2);
+        reference::mul_region(c as u8, src, &mut want2);
+        prop_assert_eq!(got2, want2);
+    }
+
+    #[test]
+    fn region16_linear_in_both_arguments(
+        c in 0u32..65536,
+        words in proptest::collection::vec(any::<u16>(), 1..100),
+    ) {
+        // mul_region16 must act symbol-wise like the scalar field op.
+        let src: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let mut dst = vec![0u8; src.len()];
+        ecfrm_gf::region16::mul_region16(c as u16, &src, &mut dst);
+        for (w, d) in words.iter().zip(dst.chunks_exact(2)) {
+            let got = u16::from_le_bytes([d[0], d[1]]);
+            prop_assert_eq!(got as u32, Gf16::mul(c, *w as u32));
+        }
+    }
+
+    #[test]
+    fn matrix_inverse_roundtrip(
+        n in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        // Random matrix over GF(2^8); if invertible, A·A⁻¹ = I and the
+        // inverse inverts back.
+        let mut x = seed | 1;
+        let mut next = move || {
+            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+            (x % 256) as u32
+        };
+        let data: Vec<u32> = (0..n * n).map(|_| next()).collect();
+        let a = Matrix::<Gf8>::from_data(n, n, data);
+        if let Some(ainv) = a.invert() {
+            prop_assert_eq!(a.mul(&ainv), Matrix::<Gf8>::identity(n));
+            prop_assert_eq!(ainv.invert().unwrap(), a.clone());
+            prop_assert!(a.is_nonsingular());
+        } else {
+            prop_assert!(a.rank() < n);
+        }
+    }
+
+    #[test]
+    fn cauchy_matrices_always_invertible(rows in 1usize..8) {
+        let c = Matrix::<Gf8>::cauchy(rows, rows);
+        prop_assert!(c.invert().is_some());
+    }
+
+    #[test]
+    fn matmul_associative(
+        seed in any::<u64>(),
+        n in 1usize..5,
+    ) {
+        let mut x = seed | 1;
+        let mut next = move || {
+            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+            (x % 256) as u32
+        };
+        let mut m = |_: usize| {
+            let data: Vec<u32> = (0..n * n).map(|_| next()).collect();
+            Matrix::<Gf8>::from_data(n, n, data)
+        };
+        let (a, b, c) = (m(0), m(1), m(2));
+        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+    }
+}

@@ -1,0 +1,66 @@
+//! Stripe layouts: how the elements of an erasure code map onto disks.
+//!
+//! The EC-FRM paper's contribution is not a new code but a new *layout*:
+//! the same `(n, k)` candidate code laid out differently so that
+//! sequential data occupies all `n` disks instead of the `k` data disks.
+//! This crate implements the three forms §VI evaluates, plus one ablation:
+//!
+//! * [`StandardLayout`] — the conventional horizontal layout (Figure 3a):
+//!   data element `j` of every row on disk `j`, parities on dedicated
+//!   disks `k..n`;
+//! * [`RotatedLayout`] — the logical→physical rotation applied stripe by
+//!   stripe (Figure 3b), the "R-RS"/"R-LRC" baselines;
+//! * [`EcFrmLayout`] — the paper's construction (§IV-B, Eq. (1)–(4)):
+//!   `n/gcd(n,k)` candidate rows regrouped into one stripe of
+//!   `n/gcd(n,k)` rows × `n` columns with data laid row-major across all
+//!   disks;
+//! * [`ShuffledLayout`] — per-stripe pseudo-random permutation, an
+//!   ablation separating "spread across all disks" from "spread
+//!   *sequentially* across all disks";
+//! * [`KRotatedLayout`] — rotation by `k` per stripe, the strongest
+//!   rotation baseline: data placement matches EC-FRM's, but parity
+//!   still interrupts the sequence every `k` elements.
+//!
+//! All layouts implement [`Layout`], which maps between the logical data
+//! address space (sequential element indices, the paper's append-only
+//! write model) and physical `(disk, offset)` locations, in both
+//! directions.
+
+pub mod ecfrm;
+pub mod krotated;
+pub mod rotated;
+pub mod shuffled;
+pub mod standard;
+pub mod traits;
+
+pub use ecfrm::EcFrmLayout;
+pub use krotated::KRotatedLayout;
+pub use rotated::RotatedLayout;
+pub use shuffled::ShuffledLayout;
+pub use standard::StandardLayout;
+pub use traits::{Layout, Loc, StoredElement};
+
+/// Greatest common divisor (Euclid). The paper's `r = gcd(n, k)`.
+pub fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::gcd;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(10, 6), 2);
+        assert_eq!(gcd(9, 6), 3);
+        assert_eq!(gcd(12, 8), 4);
+        assert_eq!(gcd(15, 10), 5);
+        assert_eq!(gcd(7, 1), 1);
+        assert_eq!(gcd(5, 0), 5);
+        assert_eq!(gcd(0, 5), 5);
+    }
+}

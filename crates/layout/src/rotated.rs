@@ -1,0 +1,190 @@
+//! Rotated stripes (paper §II-A "Rotated Stripes", Figure 3b): the
+//! logical→physical disk mapping shifts by one disk per stripe — in the
+//! RAID-5 left-symmetric direction, so that the first data element of
+//! stripe `s+1` lands on the disk *after* the last parity element of
+//! stripe `s` and sequential data mostly continues around the array.
+//!
+//! This is the paper's stronger baseline ("R-RS" / "R-LRC"). It helps —
+//! every disk eventually holds data, and straddling reads continue onto
+//! fresh disks — but within a *single* stripe the parity elements still
+//! sit in the same row as the data and interrupt the sequential run, so
+//! an `l`-element read (`l > k`) still loads some disk twice
+//! (Figure 3b's double-loaded disk).
+
+use crate::traits::{Layout, Loc, StoredElement};
+
+/// Per-stripe rotated placement for an `(n, k)` candidate code:
+/// element at logical position `j` of stripe `s` lives on physical disk
+/// `(j - s) mod n` (left-symmetric rotation).
+#[derive(Debug, Clone)]
+pub struct RotatedLayout {
+    n: usize,
+    k: usize,
+}
+
+impl RotatedLayout {
+    /// Create a rotated layout over `n` disks with `k` data positions.
+    ///
+    /// # Panics
+    /// Panics unless `0 < k < n`.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(k > 0 && k < n, "rotated layout requires 0 < k < n");
+        Self { n, k }
+    }
+
+    #[inline]
+    fn rotate(&self, pos: usize, stripe: u64) -> usize {
+        let n = self.n as u64;
+        ((pos as u64 + n - stripe % n) % n) as usize
+    }
+
+    #[inline]
+    fn unrotate(&self, disk: usize, stripe: u64) -> usize {
+        ((disk as u64 + stripe) % self.n as u64) as usize
+    }
+}
+
+impl Layout for RotatedLayout {
+    fn name(&self) -> &'static str {
+        "rotated"
+    }
+
+    fn n_disks(&self) -> usize {
+        self.n
+    }
+
+    fn code_n(&self) -> usize {
+        self.n
+    }
+
+    fn code_k(&self) -> usize {
+        self.k
+    }
+
+    fn rows_per_stripe(&self) -> usize {
+        1
+    }
+
+    fn data_location(&self, idx: u64) -> Loc {
+        let stripe = idx / self.k as u64;
+        let pos = (idx % self.k as u64) as usize;
+        Loc::new(self.rotate(pos, stripe), stripe)
+    }
+
+    fn parity_location(&self, stripe: u64, row: usize, p: usize) -> Loc {
+        debug_assert_eq!(row, 0, "rotated layout has one row per stripe");
+        debug_assert!(p < self.n - self.k);
+        Loc::new(self.rotate(self.k + p, stripe), stripe)
+    }
+
+    fn element_at(&self, loc: Loc) -> StoredElement {
+        debug_assert!(loc.disk < self.n);
+        StoredElement {
+            stripe: loc.offset,
+            row: 0,
+            pos: self.unrotate(loc.disk, loc.offset),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripe_zero_matches_standard() {
+        let r = RotatedLayout::new(10, 6);
+        for idx in 0..6u64 {
+            assert_eq!(r.data_location(idx), Loc::new(idx as usize, 0));
+        }
+    }
+
+    #[test]
+    fn stripe_one_is_shifted_left_by_one() {
+        let r = RotatedLayout::new(10, 6);
+        // Data elements 6..12 are stripe 1, logical positions 0..5,
+        // physical disks 9, 0, 1, 2, 3, 4 (left-symmetric rotation).
+        let want = [9usize, 0, 1, 2, 3, 4];
+        for (i, idx) in (6u64..12).enumerate() {
+            assert_eq!(r.data_location(idx), Loc::new(want[i], 1));
+        }
+        // Parities of stripe 1 are on disks 5, 6, 7, 8.
+        let disks: Vec<usize> = (0..4).map(|p| r.parity_location(1, 0, p).disk).collect();
+        assert_eq!(disks, vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn small_straddling_reads_avoid_self_collision() {
+        // The reason for the left-symmetric direction: a read of ≤ k
+        // elements crossing one stripe boundary continues onto disks the
+        // tail did not use.
+        let r = RotatedLayout::new(10, 6);
+        for start in 0..60u64 {
+            for size in 1..=6usize {
+                let mut load = vec![0usize; 10];
+                for i in 0..size as u64 {
+                    load[r.data_location(start + i).disk] += 1;
+                }
+                assert_eq!(
+                    *load.iter().max().unwrap(),
+                    1,
+                    "start={start} size={size} load={load:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn element_at_inverts_mappings() {
+        let r = RotatedLayout::new(9, 6);
+        for idx in 0..108u64 {
+            let se = r.element_at(r.data_location(idx));
+            let (stripe, row, pos) = r.data_coordinates(idx);
+            assert_eq!(se, StoredElement { stripe, row, pos }, "idx={idx}");
+        }
+        for stripe in 0..18u64 {
+            for p in 0..3 {
+                let se = r.element_at(r.parity_location(stripe, 0, p));
+                assert_eq!(se.pos, 6 + p);
+                assert_eq!(se.stripe, stripe);
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_covers_all_disks_over_n_stripes() {
+        // Over n consecutive stripes, logical position 0 visits every
+        // physical disk exactly once: load spreads in aggregate.
+        let r = RotatedLayout::new(10, 6);
+        let mut seen: Vec<usize> = (0..10u64)
+            .map(|s| r.data_location(s * 6).disk)
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn each_stripe_occupies_distinct_disks() {
+        let r = RotatedLayout::new(10, 6);
+        for stripe in 0..20u64 {
+            let locs = r.row_locations(stripe, 0);
+            let mut disks: Vec<usize> = locs.iter().map(|l| l.disk).collect();
+            disks.sort_unstable();
+            disks.dedup();
+            assert_eq!(disks.len(), 10);
+        }
+    }
+
+    #[test]
+    fn figure_3b_parity_still_interrupts_sequential_run() {
+        // Figure 3(b): in rotated stripes the parity elements share the
+        // row with data, so an 8-element read still double-loads a disk.
+        // Read data elements 0..8 (stripes 0 and 1).
+        let r = RotatedLayout::new(10, 6);
+        let mut load = vec![0usize; 10];
+        for idx in 0..8u64 {
+            load[r.data_location(idx).disk] += 1;
+        }
+        assert_eq!(*load.iter().max().unwrap(), 2, "load = {load:?}");
+    }
+}

@@ -1,0 +1,169 @@
+//! Per-stripe pseudo-random placement — an ablation layout.
+//!
+//! Like [`RotatedLayout`](crate::RotatedLayout) this spreads parity over
+//! all disks across stripes, but instead of a rotation it applies an
+//! independent pseudo-random permutation per stripe. Comparing it with
+//! EC-FRM separates two effects the paper bundles together: "all disks
+//! hold data" (which shuffling also achieves, in aggregate) versus
+//! "sequential data occupies *consecutive* disks" (which only EC-FRM
+//! achieves and which is what bounds the most-loaded disk for
+//! several-element reads).
+
+use crate::traits::{Layout, Loc, StoredElement};
+
+/// Deterministic per-stripe shuffled placement for an `(n, k)` code.
+#[derive(Debug, Clone)]
+pub struct ShuffledLayout {
+    n: usize,
+    k: usize,
+    seed: u64,
+}
+
+/// SplitMix64 step: the standard 64-bit mixer, good enough to decorrelate
+/// per-stripe permutations.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl ShuffledLayout {
+    /// Create a shuffled layout over `n` disks with `k` data positions,
+    /// deterministic in `seed`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < k < n`.
+    pub fn new(n: usize, k: usize, seed: u64) -> Self {
+        assert!(k > 0 && k < n, "shuffled layout requires 0 < k < n");
+        Self { n, k, seed }
+    }
+
+    /// The permutation for `stripe`: `perm[logical pos] = physical disk`.
+    fn perm(&self, stripe: u64) -> Vec<usize> {
+        let mut state = self
+            .seed
+            .wrapping_mul(0x2545F4914F6CDD1D)
+            .wrapping_add(stripe.wrapping_mul(0x9E3779B97F4A7C15) | 1);
+        let mut p: Vec<usize> = (0..self.n).collect();
+        // Fisher-Yates driven by splitmix64.
+        for i in (1..self.n).rev() {
+            let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+            p.swap(i, j);
+        }
+        p
+    }
+}
+
+impl Layout for ShuffledLayout {
+    fn name(&self) -> &'static str {
+        "shuffled"
+    }
+
+    fn n_disks(&self) -> usize {
+        self.n
+    }
+
+    fn code_n(&self) -> usize {
+        self.n
+    }
+
+    fn code_k(&self) -> usize {
+        self.k
+    }
+
+    fn rows_per_stripe(&self) -> usize {
+        1
+    }
+
+    fn data_location(&self, idx: u64) -> Loc {
+        let stripe = idx / self.k as u64;
+        let pos = (idx % self.k as u64) as usize;
+        Loc::new(self.perm(stripe)[pos], stripe)
+    }
+
+    fn parity_location(&self, stripe: u64, row: usize, p: usize) -> Loc {
+        debug_assert_eq!(row, 0, "shuffled layout has one row per stripe");
+        debug_assert!(p < self.n - self.k);
+        Loc::new(self.perm(stripe)[self.k + p], stripe)
+    }
+
+    fn element_at(&self, loc: Loc) -> StoredElement {
+        debug_assert!(loc.disk < self.n);
+        let perm = self.perm(loc.offset);
+        let pos = perm
+            .iter()
+            .position(|&d| d == loc.disk)
+            .expect("permutation covers all disks");
+        StoredElement {
+            stripe: loc.offset,
+            row: 0,
+            pos,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_is_deterministic_and_valid() {
+        let l = ShuffledLayout::new(10, 6, 42);
+        for stripe in 0..50u64 {
+            let p1 = l.perm(stripe);
+            let p2 = l.perm(stripe);
+            assert_eq!(p1, p2);
+            let mut sorted = p1.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn different_stripes_get_different_permutations() {
+        let l = ShuffledLayout::new(10, 6, 42);
+        let distinct = (0..20u64)
+            .map(|s| l.perm(s))
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        assert!(distinct > 15, "permutations look constant: {distinct}/20");
+    }
+
+    #[test]
+    fn element_at_inverts_mappings() {
+        let l = ShuffledLayout::new(9, 6, 7);
+        for idx in 0..90u64 {
+            let se = l.element_at(l.data_location(idx));
+            let (stripe, row, pos) = l.data_coordinates(idx);
+            assert_eq!(se, StoredElement { stripe, row, pos });
+        }
+        for stripe in 0..15u64 {
+            for p in 0..3 {
+                let se = l.element_at(l.parity_location(stripe, 0, p));
+                assert_eq!(se.pos, 6 + p);
+            }
+        }
+    }
+
+    #[test]
+    fn each_stripe_occupies_distinct_disks() {
+        let l = ShuffledLayout::new(10, 6, 99);
+        for stripe in 0..20u64 {
+            let locs = l.row_locations(stripe, 0);
+            let mut disks: Vec<usize> = locs.iter().map(|l| l.disk).collect();
+            disks.sort_unstable();
+            disks.dedup();
+            assert_eq!(disks.len(), 10);
+        }
+    }
+
+    #[test]
+    fn seeds_change_placement() {
+        let a = ShuffledLayout::new(10, 6, 1);
+        let b = ShuffledLayout::new(10, 6, 2);
+        let differs = (0..20u64).any(|s| a.perm(s) != b.perm(s));
+        assert!(differs);
+    }
+}

@@ -1,0 +1,147 @@
+//! The conventional horizontal layout (paper Figure 1/2/3a).
+//!
+//! Every stripe is one candidate row. Data element `j` of the row always
+//! lives on disk `j` and parity `p` on disk `k + p`: parity disks are
+//! dedicated and **never** serve normal reads, which is exactly the
+//! bottleneck §III-A describes.
+
+use crate::traits::{Layout, Loc, StoredElement};
+
+/// Standard horizontal placement for an `(n, k)` candidate code.
+#[derive(Debug, Clone)]
+pub struct StandardLayout {
+    n: usize,
+    k: usize,
+}
+
+impl StandardLayout {
+    /// Create a standard layout over `n` disks with `k` data disks.
+    ///
+    /// # Panics
+    /// Panics unless `0 < k < n`.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(k > 0 && k < n, "standard layout requires 0 < k < n");
+        Self { n, k }
+    }
+}
+
+impl Layout for StandardLayout {
+    fn name(&self) -> &'static str {
+        "standard"
+    }
+
+    fn n_disks(&self) -> usize {
+        self.n
+    }
+
+    fn code_n(&self) -> usize {
+        self.n
+    }
+
+    fn code_k(&self) -> usize {
+        self.k
+    }
+
+    fn rows_per_stripe(&self) -> usize {
+        1
+    }
+
+    fn data_location(&self, idx: u64) -> Loc {
+        let stripe = idx / self.k as u64;
+        let pos = (idx % self.k as u64) as usize;
+        Loc::new(pos, stripe)
+    }
+
+    fn parity_location(&self, stripe: u64, row: usize, p: usize) -> Loc {
+        debug_assert_eq!(row, 0, "standard layout has one row per stripe");
+        debug_assert!(p < self.n - self.k);
+        Loc::new(self.k + p, stripe)
+    }
+
+    fn element_at(&self, loc: Loc) -> StoredElement {
+        debug_assert!(loc.disk < self.n);
+        StoredElement {
+            stripe: loc.offset,
+            row: 0,
+            pos: loc.disk,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_maps_to_data_disks_only() {
+        let l = StandardLayout::new(10, 6);
+        for idx in 0..60u64 {
+            let loc = l.data_location(idx);
+            assert!(loc.disk < 6, "data on parity disk at idx {idx}");
+            assert_eq!(loc.offset, idx / 6);
+        }
+    }
+
+    #[test]
+    fn parity_maps_to_parity_disks_only() {
+        let l = StandardLayout::new(10, 6);
+        for stripe in 0..5u64 {
+            for p in 0..4 {
+                let loc = l.parity_location(stripe, 0, p);
+                assert!(loc.disk >= 6);
+                assert_eq!(loc.offset, stripe);
+            }
+        }
+    }
+
+    #[test]
+    fn element_at_inverts_both_mappings() {
+        let l = StandardLayout::new(9, 6);
+        for idx in 0..54u64 {
+            let se = l.element_at(l.data_location(idx));
+            let (stripe, row, pos) = l.data_coordinates(idx);
+            assert_eq!(se, StoredElement { stripe, row, pos });
+        }
+        for stripe in 0..4u64 {
+            for p in 0..3 {
+                let se = l.element_at(l.parity_location(stripe, 0, p));
+                assert_eq!(
+                    se,
+                    StoredElement {
+                        stripe,
+                        row: 0,
+                        pos: 6 + p
+                    }
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn row_locations_cover_n_distinct_disks() {
+        let l = StandardLayout::new(10, 6);
+        for stripe in 0..3u64 {
+            let locs = l.row_locations(stripe, 0);
+            assert_eq!(locs.len(), 10);
+            let mut disks: Vec<usize> = locs.iter().map(|l| l.disk).collect();
+            disks.sort_unstable();
+            disks.dedup();
+            assert_eq!(disks.len(), 10, "row elements must hit distinct disks");
+        }
+    }
+
+    #[test]
+    fn contiguous_data_hits_distinct_disks_within_a_row() {
+        // §III-A assumption: contiguous elements on different disks —
+        // true inside one stripe for the standard layout.
+        let l = StandardLayout::new(10, 6);
+        let disks: Vec<usize> = (0..6u64).map(|i| l.data_location(i).disk).collect();
+        assert_eq!(disks, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn k_must_be_less_than_n() {
+        StandardLayout::new(6, 6);
+    }
+}

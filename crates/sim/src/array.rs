@@ -1,0 +1,231 @@
+//! Analytic disk-array timing: the paper's "read speed is limited by the
+//! slowest disk to respond" model (§I, §III-A), computed exactly.
+
+use rand::Rng;
+
+use crate::disk::DiskModel;
+
+/// Multiplicative per-access service-time jitter, uniform in
+/// `[1 - spread, 1 + spread]`.
+///
+/// Real disks vary access to access (queueing, head position, track
+/// location); jitter makes the "most-loaded disk is *usually* the
+/// slowest" statement of §III-B statistical rather than exact, as on the
+/// paper's testbed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Jitter {
+    /// Half-width of the uniform multiplier, `0.0 ≤ spread < 1.0`.
+    pub spread: f64,
+}
+
+impl Jitter {
+    /// Construct, validating the spread.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= spread < 1.0`.
+    pub fn new(spread: f64) -> Self {
+        assert!((0.0..1.0).contains(&spread), "spread must be in [0, 1)");
+        Self { spread }
+    }
+
+    fn sample(&self, rng: &mut impl Rng) -> f64 {
+        if self.spread == 0.0 {
+            1.0
+        } else {
+            1.0 + rng.random_range(-self.spread..=self.spread)
+        }
+    }
+}
+
+/// An array of (possibly heterogeneous) disk models evaluated under the
+/// max-over-disks completion-time rule.
+///
+/// ```
+/// use ecfrm_sim::{ArraySim, DiskModel};
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let array = ArraySim::uniform(10, DiskModel::savvio_10k3(), 1_000_000);
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// // Balanced 8-element read: one 17.1 ms element per disk.
+/// let t = array.read_time_ms(&[1, 1, 1, 1, 1, 1, 1, 1, 0, 0], &mut rng);
+/// assert!((t - 17.1).abs() < 1e-9);
+/// // Skewed plan: the double-loaded disk doubles the time.
+/// let t = array.read_time_ms(&[2, 1, 1, 1, 1, 1, 1, 0, 0, 0], &mut rng);
+/// assert!((t - 34.2).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArraySim {
+    disks: Vec<DiskModel>,
+    element_size: usize,
+    jitter: Option<Jitter>,
+}
+
+impl ArraySim {
+    /// A homogeneous array of `n` copies of `model` holding
+    /// `element_size`-byte elements.
+    pub fn uniform(n: usize, model: DiskModel, element_size: usize) -> Self {
+        assert!(n > 0, "array needs at least one disk");
+        Self {
+            disks: vec![model; n],
+            element_size,
+            jitter: None,
+        }
+    }
+
+    /// A heterogeneous array from explicit per-disk models.
+    pub fn heterogeneous(disks: Vec<DiskModel>, element_size: usize) -> Self {
+        assert!(!disks.is_empty(), "array needs at least one disk");
+        Self {
+            disks,
+            element_size,
+            jitter: None,
+        }
+    }
+
+    /// Enable per-access jitter.
+    pub fn with_jitter(mut self, jitter: Jitter) -> Self {
+        self.jitter = Some(jitter);
+        self
+    }
+
+    /// Number of disks.
+    pub fn n_disks(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// Element size in bytes.
+    pub fn element_size(&self) -> usize {
+        self.element_size
+    }
+
+    /// Completion time (ms) of a parallel read described by per-disk
+    /// element counts: each disk serves its queue sequentially; the read
+    /// completes when the last disk finishes.
+    ///
+    /// # Panics
+    /// Panics if `per_disk_load.len()` differs from the disk count.
+    pub fn read_time_ms(&self, per_disk_load: &[usize], rng: &mut impl Rng) -> f64 {
+        assert_eq!(
+            per_disk_load.len(),
+            self.disks.len(),
+            "load vector does not match disk count"
+        );
+        let mut worst: f64 = 0.0;
+        for (disk, &q) in self.disks.iter().zip(per_disk_load) {
+            let t: f64 = (0..q)
+                .map(|i| {
+                    let base = disk.queued_service_time_ms(i, self.element_size);
+                    match self.jitter {
+                        None => base,
+                        Some(j) => base * j.sample(rng),
+                    }
+                })
+                .sum();
+            worst = worst.max(t);
+        }
+        worst
+    }
+
+    /// Read speed in MB/s for a request of `requested_elements` under the
+    /// given load vector (the paper's Figure 8/9 metric).
+    pub fn read_speed_mb_s(
+        &self,
+        requested_elements: usize,
+        per_disk_load: &[usize],
+        rng: &mut impl Rng,
+    ) -> f64 {
+        let t = self.read_time_ms(per_disk_load, rng);
+        if t == 0.0 {
+            return 0.0;
+        }
+        crate::metrics::speed_mb_s(requested_elements * self.element_size, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn time_is_max_over_disks() {
+        let a = ArraySim::uniform(4, DiskModel::savvio_10k3(), 1_000_000);
+        let per = DiskModel::savvio_10k3().service_time_ms(1_000_000);
+        let t = a.read_time_ms(&[1, 3, 0, 2], &mut rng());
+        assert!((t - 3.0 * per).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_load_is_instant() {
+        let a = ArraySim::uniform(4, DiskModel::savvio_10k3(), 1_000_000);
+        assert_eq!(a.read_time_ms(&[0, 0, 0, 0], &mut rng()), 0.0);
+        assert_eq!(a.read_speed_mb_s(0, &[0, 0, 0, 0], &mut rng()), 0.0);
+    }
+
+    #[test]
+    fn speed_scales_with_bottleneck() {
+        // Same 8 requested elements; max load 1 must be twice as fast as
+        // max load 2 (the whole point of EC-FRM).
+        let a = ArraySim::uniform(10, DiskModel::savvio_10k3(), 1_000_000);
+        let balanced = vec![1, 1, 1, 1, 1, 1, 1, 1, 0, 0];
+        let skewed = vec![2, 2, 1, 1, 1, 1, 0, 0, 0, 0];
+        let s1 = a.read_speed_mb_s(8, &balanced, &mut rng());
+        let s2 = a.read_speed_mb_s(8, &skewed, &mut rng());
+        assert!((s1 / s2 - 2.0).abs() < 1e-9, "s1={s1} s2={s2}");
+    }
+
+    #[test]
+    fn heterogeneous_slow_disk_dominates() {
+        let mut disks = vec![DiskModel::savvio_10k3(); 4];
+        disks[3] = DiskModel::savvio_10k3().with_speed_factor(0.25);
+        let a = ArraySim::heterogeneous(disks, 1_000_000);
+        let t = a.read_time_ms(&[1, 1, 1, 1], &mut rng());
+        let slow = DiskModel::savvio_10k3()
+            .with_speed_factor(0.25)
+            .service_time_ms(1_000_000);
+        assert!((t - slow).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jitter_stays_in_bounds_and_perturbs() {
+        let a = ArraySim::uniform(2, DiskModel::savvio_10k3(), 1_000_000)
+            .with_jitter(Jitter::new(0.2));
+        let base = DiskModel::savvio_10k3().service_time_ms(1_000_000);
+        let mut r = rng();
+        let mut saw_different = false;
+        let mut prev: Option<f64> = None;
+        for _ in 0..100 {
+            let t = a.read_time_ms(&[1, 0], &mut r);
+            assert!(t >= base * 0.8 - 1e-9 && t <= base * 1.2 + 1e-9);
+            if let Some(p) = prev {
+                if (t - p).abs() > 1e-12 {
+                    saw_different = true;
+                }
+            }
+            prev = Some(t);
+        }
+        assert!(saw_different, "jitter should vary access times");
+    }
+
+    #[test]
+    fn zero_jitter_is_deterministic() {
+        let a = ArraySim::uniform(2, DiskModel::savvio_10k3(), 1_000_000)
+            .with_jitter(Jitter::new(0.0));
+        let t1 = a.read_time_ms(&[2, 1], &mut rng());
+        let t2 = a.read_time_ms(&[2, 1], &mut rng());
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn load_vector_length_checked() {
+        let a = ArraySim::uniform(4, DiskModel::savvio_10k3(), 1_000_000);
+        a.read_time_ms(&[1, 2], &mut rng());
+    }
+}

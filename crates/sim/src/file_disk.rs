@@ -1,0 +1,219 @@
+//! A real file-backed disk: one flat file, element-indexed.
+//!
+//! [`FileDisk`] stores fixed-size elements at `offset × element_size`
+//! within a single file, giving the object store and the CLI a
+//! persistence path through the same [`DiskBackend`] interface the
+//! in-memory disks use. Presence is tracked with an in-memory bitmap so
+//! absent elements read as `None` rather than zeros (sparse files would
+//! otherwise be indistinguishable from stored zeros).
+
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::threaded::DiskBackend;
+
+/// A disk persisted as one file of fixed-size elements.
+pub struct FileDisk {
+    path: PathBuf,
+    file: Mutex<File>,
+    element_size: usize,
+    present: Mutex<HashSet<u64>>,
+    failed: AtomicBool,
+}
+
+impl std::fmt::Debug for FileDisk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "FileDisk({}, {} B elements)",
+            self.path.display(),
+            self.element_size
+        )
+    }
+}
+
+impl FileDisk {
+    /// Create (or truncate) the backing file at `path`.
+    ///
+    /// # Errors
+    /// I/O errors from file creation.
+    pub fn create(path: impl AsRef<Path>, element_size: usize) -> std::io::Result<Self> {
+        assert!(element_size > 0, "element size must be positive");
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(Self {
+            path,
+            file: Mutex::new(file),
+            element_size,
+            present: Mutex::new(HashSet::new()),
+            failed: AtomicBool::new(false),
+        })
+    }
+
+    /// Open an existing backing file, treating every complete element
+    /// slot within the current file length as present.
+    ///
+    /// # Errors
+    /// I/O errors from opening or statting the file.
+    pub fn open(path: impl AsRef<Path>, element_size: usize) -> std::io::Result<Self> {
+        assert!(element_size > 0, "element size must be positive");
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let len = file.metadata()?.len();
+        let slots = len / element_size as u64;
+        Ok(Self {
+            path,
+            file: Mutex::new(file),
+            element_size,
+            present: Mutex::new((0..slots).collect()),
+            failed: AtomicBool::new(false),
+        })
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl DiskBackend for FileDisk {
+    fn read(&self, offset: u64) -> Option<Vec<u8>> {
+        if self.failed.load(Ordering::Acquire) {
+            return None;
+        }
+        if !self.present.lock().contains(&offset) {
+            return None;
+        }
+        let mut file = self.file.lock();
+        let mut buf = vec![0u8; self.element_size];
+        file.seek(SeekFrom::Start(offset * self.element_size as u64))
+            .ok()?;
+        file.read_exact(&mut buf).ok()?;
+        Some(buf)
+    }
+
+    fn write(&self, offset: u64, bytes: Vec<u8>) {
+        assert_eq!(
+            bytes.len(),
+            self.element_size,
+            "FileDisk stores fixed-size elements"
+        );
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(offset * self.element_size as u64))
+            .expect("seek");
+        file.write_all(&bytes).expect("write element");
+        self.present.lock().insert(offset);
+    }
+
+    fn fail(&self) {
+        self.failed.store(true, Ordering::Release);
+    }
+
+    fn heal(&self) {
+        self.failed.store(false, Ordering::Release);
+    }
+
+    fn wipe(&self) {
+        let file = self.file.lock();
+        file.set_len(0).expect("truncate");
+        self.present.lock().clear();
+    }
+
+    fn len(&self) -> usize {
+        self.present.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threaded::ThreadedArray;
+    use std::sync::Arc;
+
+    fn tmpfile(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ecfrm-filedisk-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let p = tmpfile("rw");
+        let d = FileDisk::create(&p, 8).unwrap();
+        assert!(d.is_empty());
+        d.write(3, vec![7u8; 8]);
+        d.write(0, vec![9u8; 8]);
+        assert_eq!(d.read(3), Some(vec![7u8; 8]));
+        assert_eq!(d.read(0), Some(vec![9u8; 8]));
+        assert_eq!(d.read(1), None, "hole must not read as zeros");
+        assert_eq!(d.len(), 2);
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn fail_heal_wipe() {
+        let p = tmpfile("fhw");
+        let d = FileDisk::create(&p, 4).unwrap();
+        d.write(0, vec![1, 2, 3, 4]);
+        d.fail();
+        assert_eq!(d.read(0), None);
+        d.heal();
+        assert_eq!(d.read(0), Some(vec![1, 2, 3, 4]));
+        d.wipe();
+        assert_eq!(d.read(0), None);
+        assert_eq!(d.len(), 0);
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn reopen_sees_previous_elements() {
+        let p = tmpfile("reopen");
+        {
+            let d = FileDisk::create(&p, 16).unwrap();
+            d.write(0, vec![5u8; 16]);
+            d.write(1, vec![6u8; 16]);
+        }
+        let d = FileDisk::open(&p, 16).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.read(1), Some(vec![6u8; 16]));
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn threaded_array_over_file_disks() {
+        let paths: Vec<PathBuf> = (0..3).map(|i| tmpfile(&format!("arr{i}"))).collect();
+        let backends: Vec<Arc<dyn DiskBackend>> = paths
+            .iter()
+            .map(|p| Arc::new(FileDisk::create(p, 8).unwrap()) as Arc<dyn DiskBackend>)
+            .collect();
+        let array = ThreadedArray::from_backends(backends);
+        array.write_batch(
+            (0..9u64)
+                .map(|i| (((i % 3) as usize, i / 3), vec![i as u8; 8]))
+                .collect(),
+        );
+        let got = array.read_batch(&[(0, 0), (1, 0), (2, 2)]);
+        assert_eq!(got[0], Some(vec![0u8; 8]));
+        assert_eq!(got[1], Some(vec![1u8; 8]));
+        assert_eq!(got[2], Some(vec![8u8; 8]));
+        for p in paths {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_element_size_write_panics() {
+        let p = tmpfile("wrong");
+        let d = FileDisk::create(&p, 8).unwrap();
+        d.write(0, vec![1u8; 4]);
+    }
+}

@@ -1,0 +1,42 @@
+//! The evaluation testbed: a disk-array simulator standing in for the
+//! paper's Xeon X5472 machine with a 16-disk Seagate Savvio 10K.3 array.
+//!
+//! Two engines are provided:
+//!
+//! * [`ArraySim`] — an analytic timing model. The paper's own performance
+//!   argument (§III) is that a parallel read completes when the slowest —
+//!   most-loaded — disk finishes; the model computes exactly that: per
+//!   disk, the sum of per-element service times (seek + rotation +
+//!   transfer, calibrated to the Savvio 10K.3 datasheet), optionally with
+//!   multiplicative jitter, and takes the maximum. Because every compared
+//!   layout runs on identical disk parameters, *relative* speeds depend
+//!   only on the load distributions — which is the result being
+//!   reproduced.
+//! * [`ThreadedArray`] — a real concurrent engine: one worker thread per
+//!   disk over in-memory ([`MemDisk`]) element storage, exercising the
+//!   actual parallel dispatch/collect code path a storage system would
+//!   use.
+//!
+//! Plus the paper's workload generators (§VI-B/C): uniformly random start
+//! element, size 1–20 elements, and (for degraded reads) a uniformly
+//! random failed disk.
+
+pub mod array;
+pub mod disk;
+pub mod event;
+pub mod file_disk;
+pub mod metrics;
+pub mod net;
+pub mod threaded;
+pub mod workload;
+
+pub use array::{ArraySim, Jitter};
+pub use disk::DiskModel;
+pub use event::{Completion, EventSim, Request};
+pub use file_disk::FileDisk;
+pub use metrics::{mean, speed_mb_s, stddev, Summary};
+pub use net::{ClusterSim, NetModel};
+pub use threaded::{DiskBackend, MemDisk, ThreadedArray};
+pub use workload::{
+    DegradedReadWorkload, NormalReadWorkload, ReadRequest, TraceObject, TraceWorkload, Zipf,
+};

@@ -1,0 +1,332 @@
+//! The paper's workload generators (§VI-B, §VI-C).
+//!
+//! * Normal reads: 2000 trials; each picks a uniformly random start data
+//!   element and a size uniform in 1–20 elements.
+//! * Degraded reads: 5000 trials; additionally a uniformly random erased
+//!   disk.
+//!
+//! Generators are deterministic given a seed (rand_chacha), so every
+//! figure regenerates bit-identically.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One read request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadRequest {
+    /// First data element.
+    pub start: u64,
+    /// Number of data elements.
+    pub size: usize,
+    /// Failed disk, if this is a degraded-read trial.
+    pub failed_disk: Option<usize>,
+}
+
+/// §VI-B: random (start, size) pairs over a data address space.
+#[derive(Debug, Clone)]
+pub struct NormalReadWorkload {
+    /// Number of trials (the paper uses 2000).
+    pub trials: usize,
+    /// Exclusive upper bound of the start-element space.
+    pub address_space: u64,
+    /// Minimum request size in elements (paper: 1).
+    pub min_size: usize,
+    /// Maximum request size in elements (paper: 20).
+    pub max_size: usize,
+}
+
+impl NormalReadWorkload {
+    /// The paper's §VI-B configuration over `address_space` elements.
+    pub fn paper(address_space: u64) -> Self {
+        Self {
+            trials: 2000,
+            address_space,
+            min_size: 1,
+            max_size: 20,
+        }
+    }
+
+    /// Generate the request sequence deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> Vec<ReadRequest> {
+        assert!(self.address_space > 0, "empty address space");
+        assert!(
+            self.min_size >= 1 && self.min_size <= self.max_size,
+            "invalid size range"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..self.trials)
+            .map(|_| ReadRequest {
+                start: rng.random_range(0..self.address_space),
+                size: rng.random_range(self.min_size..=self.max_size),
+                failed_disk: None,
+            })
+            .collect()
+    }
+}
+
+/// §VI-C: random (start, size, failed disk) triples.
+#[derive(Debug, Clone)]
+pub struct DegradedReadWorkload {
+    /// Number of trials (the paper uses 5000).
+    pub trials: usize,
+    /// Exclusive upper bound of the start-element space.
+    pub address_space: u64,
+    /// Minimum request size in elements (paper: 1).
+    pub min_size: usize,
+    /// Maximum request size in elements (paper: 20).
+    pub max_size: usize,
+    /// Number of disks the failed disk is drawn from.
+    pub n_disks: usize,
+}
+
+impl DegradedReadWorkload {
+    /// The paper's §VI-C configuration.
+    pub fn paper(address_space: u64, n_disks: usize) -> Self {
+        Self {
+            trials: 5000,
+            address_space,
+            min_size: 1,
+            max_size: 20,
+            n_disks,
+        }
+    }
+
+    /// Generate the request sequence deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> Vec<ReadRequest> {
+        assert!(self.address_space > 0, "empty address space");
+        assert!(self.n_disks > 0, "need at least one disk");
+        assert!(
+            self.min_size >= 1 && self.min_size <= self.max_size,
+            "invalid size range"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..self.trials)
+            .map(|_| ReadRequest {
+                start: rng.random_range(0..self.address_space),
+                size: rng.random_range(self.min_size..=self.max_size),
+                failed_disk: Some(rng.random_range(0..self.n_disks)),
+            })
+            .collect()
+    }
+}
+
+/// A Zipf(α) sampler over ranks `0..n` via inverse-CDF lookup — the
+/// standard model for object popularity in storage traces.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with exponent `alpha` (`alpha = 0`
+    /// is uniform; ~0.8–1.2 is typical of storage workloads).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `alpha < 0`.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(alpha >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 1..=n {
+            acc += 1.0 / (r as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Draw a rank (0 = most popular).
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// An object in a synthetic trace: where it starts and how many elements
+/// it spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceObject {
+    /// First data element.
+    pub start: u64,
+    /// Size in elements.
+    pub elements: usize,
+}
+
+/// A synthetic object-fetch trace: a library of variable-size objects
+/// laid out append-only, fetched whole with Zipf popularity — the
+/// "common files like MP3s" workload §III-A motivates EC-FRM with.
+#[derive(Debug, Clone)]
+pub struct TraceWorkload {
+    /// Number of objects in the library.
+    pub objects: usize,
+    /// Zipf popularity exponent.
+    pub zipf_alpha: f64,
+    /// Minimum object size in elements.
+    pub min_elements: usize,
+    /// Maximum object size in elements.
+    pub max_elements: usize,
+    /// Number of fetches to generate.
+    pub fetches: usize,
+}
+
+impl TraceWorkload {
+    /// Generate the object library and the fetch sequence (as whole-object
+    /// [`ReadRequest`]s), deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> (Vec<TraceObject>, Vec<ReadRequest>) {
+        assert!(self.objects > 0, "trace needs objects");
+        assert!(
+            self.min_elements >= 1 && self.min_elements <= self.max_elements,
+            "invalid object size range"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut objects = Vec::with_capacity(self.objects);
+        let mut cursor = 0u64;
+        for _ in 0..self.objects {
+            let elements = rng.random_range(self.min_elements..=self.max_elements);
+            objects.push(TraceObject {
+                start: cursor,
+                elements,
+            });
+            cursor += elements as u64;
+        }
+        // Popularity by library order: object 0 is hottest. Shuffle ranks
+        // so hot objects are not all physically adjacent.
+        let mut rank_of: Vec<usize> = (0..self.objects).collect();
+        for i in (1..self.objects).rev() {
+            let j = rng.random_range(0..=i);
+            rank_of.swap(i, j);
+        }
+        let zipf = Zipf::new(self.objects, self.zipf_alpha);
+        let fetches = (0..self.fetches)
+            .map(|_| {
+                let obj = objects[rank_of[zipf.sample(&mut rng)]];
+                ReadRequest {
+                    start: obj.start,
+                    size: obj.elements,
+                    failed_disk: None,
+                }
+            })
+            .collect();
+        (objects, fetches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let w = NormalReadWorkload::paper(1000);
+        assert_eq!(w.trials, 2000);
+        assert_eq!((w.min_size, w.max_size), (1, 20));
+        let d = DegradedReadWorkload::paper(1000, 10);
+        assert_eq!(d.trials, 5000);
+        assert_eq!(d.n_disks, 10);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w = NormalReadWorkload::paper(500);
+        assert_eq!(w.generate(7), w.generate(7));
+        assert_ne!(w.generate(7), w.generate(8));
+    }
+
+    #[test]
+    fn requests_respect_bounds() {
+        let w = DegradedReadWorkload::paper(300, 9);
+        for r in w.generate(3) {
+            assert!(r.start < 300);
+            assert!((1..=20).contains(&r.size));
+            assert!(r.failed_disk.unwrap() < 9);
+        }
+    }
+
+    #[test]
+    fn sizes_cover_full_range() {
+        // Over 5000 trials every size 1..=20 should appear.
+        let w = DegradedReadWorkload::paper(300, 9);
+        let mut seen = [false; 21];
+        for r in w.generate(5) {
+            seen[r.size] = true;
+        }
+        assert!(seen[1..=20].iter().all(|&s| s), "sizes missing: {seen:?}");
+    }
+
+    #[test]
+    fn failed_disks_cover_all_disks() {
+        let w = DegradedReadWorkload::paper(300, 10);
+        let mut seen = [false; 10];
+        for r in w.generate(11) {
+            seen[r.failed_disk.unwrap()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_address_space_rejected() {
+        NormalReadWorkload::paper(0).generate(1);
+    }
+
+    #[test]
+    fn zipf_uniform_when_alpha_zero() {
+        use rand::SeedableRng;
+        let z = Zipf::new(10, 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "not uniform: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        use rand::SeedableRng;
+        let z = Zipf::new(100, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut head = 0usize;
+        let trials = 10_000;
+        for _ in 0..trials {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With α = 1 over 100 ranks, the top 10 get ~56% of draws.
+        assert!(head > trials / 2, "head share too small: {head}/{trials}");
+    }
+
+    #[test]
+    fn trace_objects_are_contiguous_and_fetches_valid() {
+        let t = TraceWorkload {
+            objects: 50,
+            zipf_alpha: 0.9,
+            min_elements: 3,
+            max_elements: 12,
+            fetches: 500,
+        };
+        let (objects, fetches) = t.generate(7);
+        assert_eq!(objects.len(), 50);
+        let mut cursor = 0u64;
+        for o in &objects {
+            assert_eq!(o.start, cursor);
+            assert!((3..=12).contains(&o.elements));
+            cursor += o.elements as u64;
+        }
+        assert_eq!(fetches.len(), 500);
+        for f in &fetches {
+            assert!(objects
+                .iter()
+                .any(|o| o.start == f.start && o.elements == f.size));
+        }
+        // Determinism.
+        assert_eq!(t.generate(7).1, fetches);
+    }
+}

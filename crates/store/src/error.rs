@@ -1,0 +1,62 @@
+//! Store error type.
+
+use ecfrm_codes::CodeError;
+
+/// Errors surfaced by the object store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// No object with that name.
+    NotFound(String),
+    /// An object with that name already exists (append-only store:
+    /// objects are immutable).
+    AlreadyExists(String),
+    /// Requested byte range exceeds the object.
+    RangeOutOfBounds {
+        /// Object name.
+        name: String,
+        /// Object length in bytes.
+        len: u64,
+    },
+    /// Too many disks are down: some requested data is unrecoverable.
+    DataLoss(String),
+    /// A disk index was out of range.
+    NoSuchDisk(usize),
+    /// Decoding failed.
+    Code(CodeError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::NotFound(n) => write!(f, "object not found: {n}"),
+            StoreError::AlreadyExists(n) => write!(f, "object already exists: {n}"),
+            StoreError::RangeOutOfBounds { name, len } => {
+                write!(f, "range out of bounds for {name} (len {len})")
+            }
+            StoreError::DataLoss(msg) => write!(f, "data loss: {msg}"),
+            StoreError::NoSuchDisk(d) => write!(f, "no such disk: {d}"),
+            StoreError::Code(e) => write!(f, "decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<CodeError> for StoreError {
+    fn from(e: CodeError) -> Self {
+        StoreError::Code(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(StoreError::NotFound("a".into()).to_string().contains("a"));
+        assert!(StoreError::NoSuchDisk(7).to_string().contains('7'));
+        let c: StoreError = CodeError::Shape("x".into()).into();
+        assert!(matches!(c, StoreError::Code(_)));
+    }
+}

@@ -1,0 +1,39 @@
+//! An append-only erasure-coded object store — the "erasure coded cloud
+//! storage system" the paper targets, assembled from the workspace's
+//! pieces.
+//!
+//! The write path follows the paper's §I observation about cloud storage:
+//! writes are append-only and buffered until a stripe is full, then the
+//! whole stripe is erasure coded at once ("full stripe writes"), so write
+//! performance is layout-independent and *reads* are the metric that
+//! matters. The read path plans through the bound
+//! [`Scheme`](ecfrm_core::Scheme) (normal or degraded depending on disk
+//! state), executes the plan in parallel on a
+//! [`ThreadedArray`](ecfrm_sim::ThreadedArray), and reconstructs lost
+//! elements inline.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use ecfrm_codes::LrcCode;
+//! use ecfrm_core::Scheme;
+//! use ecfrm_store::ObjectStore;
+//!
+//! let scheme = Scheme::ecfrm(Arc::new(LrcCode::new(6, 2, 2)));
+//! let store = ObjectStore::new(scheme, 1024); // 1 KiB elements
+//! store.put("song.mp3", &vec![7u8; 10_000]).unwrap();
+//!
+//! // Normal read.
+//! assert_eq!(store.get("song.mp3").unwrap().len(), 10_000);
+//!
+//! // Degraded read: any single disk may fail.
+//! store.fail_disk(3).unwrap();
+//! assert_eq!(store.get("song.mp3").unwrap(), vec![7u8; 10_000]);
+//! ```
+
+pub mod error;
+pub mod meta;
+pub mod store;
+
+pub use error::StoreError;
+pub use meta::{ObjectMeta, ReadStats, ScrubReport, StoreStats};
+pub use store::ObjectStore;

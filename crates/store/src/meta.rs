@@ -1,0 +1,117 @@
+//! Object catalog entries and store statistics.
+
+/// Catalog entry: where an object lives in the logical byte stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectMeta {
+    /// Byte offset in the append-only logical stream.
+    pub offset: u64,
+    /// Object length in bytes.
+    pub len: u64,
+}
+
+impl ObjectMeta {
+    /// Inclusive first and exclusive last *data element* the object
+    /// spans, for `element_size`-byte elements.
+    pub fn element_range(&self, element_size: usize) -> (u64, u64) {
+        let es = element_size as u64;
+        let first = self.offset / es;
+        let last = (self.offset + self.len).div_ceil(es);
+        (first, last.max(first))
+    }
+}
+
+/// Per-read instrumentation returned by
+/// [`ObjectStore::get_with_stats`](crate::ObjectStore::get_with_stats).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadStats {
+    /// Data elements the request spanned.
+    pub requested_elements: usize,
+    /// Elements physically fetched (demand + repair).
+    pub fetched_elements: usize,
+    /// Elements fetched only for reconstruction.
+    pub repair_elements: usize,
+    /// Elements served by the most-loaded disk.
+    pub max_disk_load: usize,
+    /// Degraded-read cost (fetched / requested).
+    pub cost: f64,
+    /// Whether the read was planned around failed disks.
+    pub degraded: bool,
+    /// Wall-clock time of the parallel fetch + reconstruction.
+    pub elapsed: std::time::Duration,
+}
+
+/// Outcome of a parity scrub ([`ObjectStore::scrub`](crate::ObjectStore::scrub)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Stripes examined.
+    pub stripes_checked: u64,
+    /// Groups whose recomputed parity disagreed with storage, as
+    /// `(stripe, group)` pairs.
+    pub corrupt_groups: Vec<(u64, usize)>,
+    /// Elements that could not be read at all.
+    pub missing_elements: usize,
+}
+
+impl ScrubReport {
+    /// True when no corruption or missing element was found.
+    pub fn is_clean(&self) -> bool {
+        self.corrupt_groups.is_empty() && self.missing_elements == 0
+    }
+}
+
+/// A snapshot of store occupancy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of catalogued objects.
+    pub objects: usize,
+    /// Logical bytes appended (including per-object data only).
+    pub logical_bytes: u64,
+    /// Data elements sealed into stripes so far.
+    pub sealed_elements: u64,
+    /// Full stripes written.
+    pub stripes: u64,
+    /// Bytes sitting in the unsealed write buffer.
+    pub pending_bytes: usize,
+    /// Currently failed disks.
+    pub failed_disks: Vec<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_range_basics() {
+        let m = ObjectMeta { offset: 0, len: 10 };
+        assert_eq!(m.element_range(4), (0, 3)); // bytes 0..10 -> elems 0,1,2
+        let m = ObjectMeta { offset: 4, len: 4 };
+        assert_eq!(m.element_range(4), (1, 2));
+        let m = ObjectMeta { offset: 5, len: 2 };
+        assert_eq!(m.element_range(4), (1, 2));
+        let m = ObjectMeta { offset: 5, len: 6 };
+        assert_eq!(m.element_range(4), (1, 3));
+    }
+
+    #[test]
+    fn scrub_report_cleanliness() {
+        let clean = ScrubReport {
+            stripes_checked: 4,
+            corrupt_groups: vec![],
+            missing_elements: 0,
+        };
+        assert!(clean.is_clean());
+        let dirty = ScrubReport {
+            stripes_checked: 4,
+            corrupt_groups: vec![(1, 2)],
+            missing_elements: 0,
+        };
+        assert!(!dirty.is_clean());
+    }
+
+    #[test]
+    fn empty_object_spans_nothing() {
+        let m = ObjectMeta { offset: 8, len: 0 };
+        let (a, b) = m.element_range(4);
+        assert!(b <= a + 1, "empty object should span at most its start element");
+    }
+}

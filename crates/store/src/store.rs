@@ -1,0 +1,851 @@
+//! The [`ObjectStore`]: append-only, full-stripe-write, read-optimised.
+
+use std::collections::{BTreeSet, HashMap};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use rayon::prelude::*;
+
+use ecfrm_core::{DiskRecovery, Scheme};
+use ecfrm_layout::Loc;
+use ecfrm_sim::ThreadedArray;
+
+use crate::error::StoreError;
+use crate::meta::{ObjectMeta, ReadStats, ScrubReport, StoreStats};
+
+struct Inner {
+    catalog: HashMap<String, ObjectMeta>,
+    /// Unsealed logical bytes (tail of the append stream).
+    pending: Vec<u8>,
+    /// Total logical bytes appended, including alignment padding.
+    logical_len: u64,
+    /// Data elements sealed into full stripes.
+    sealed_elements: u64,
+    /// Full stripes written.
+    stripes: u64,
+    failed: BTreeSet<usize>,
+}
+
+/// An erasure-coded object store over a threaded disk array.
+///
+/// Objects are immutable byte blobs appended to a logical stream. The
+/// stream is chunked into fixed-size elements; once a full stripe of data
+/// elements accumulates it is encoded (all groups in parallel, via rayon)
+/// and written out. Reads plan through the scheme — normal or degraded —
+/// and execute on the array's worker threads.
+pub struct ObjectStore {
+    scheme: Scheme,
+    element_size: usize,
+    array: ThreadedArray,
+    inner: Mutex<Inner>,
+    /// Solved repair-coefficient vectors, reused across degraded reads
+    /// with the same erasure geometry.
+    decoder_cache: ecfrm_codes::DecoderCache,
+}
+
+impl std::fmt::Debug for ObjectStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ObjectStore({}, {}B elements)", self.scheme.name(), self.element_size)
+    }
+}
+
+impl ObjectStore {
+    /// Create a store using `scheme` with `element_size`-byte elements
+    /// (the paper's testbed uses ~1 MB elements; tests use small ones).
+    ///
+    /// # Panics
+    /// Panics if `element_size == 0`.
+    pub fn new(scheme: Scheme, element_size: usize) -> Self {
+        let array = ThreadedArray::new(scheme.n_disks());
+        Self::with_array(scheme, element_size, array)
+    }
+
+    /// Create a store over a caller-built array — e.g. file-backed disks
+    /// ([`ecfrm_sim::FileDisk`]) or latency-injected ones.
+    ///
+    /// # Panics
+    /// Panics if `element_size == 0` or the array's disk count differs
+    /// from the scheme's.
+    pub fn with_array(scheme: Scheme, element_size: usize, array: ThreadedArray) -> Self {
+        assert!(element_size > 0, "element size must be positive");
+        assert_eq!(
+            array.n_disks(),
+            scheme.n_disks(),
+            "array size must match the scheme"
+        );
+        let decoder_cache = ecfrm_codes::DecoderCache::new(scheme.code().generator().clone());
+        Self {
+            decoder_cache,
+            scheme,
+            element_size,
+            array,
+            inner: Mutex::new(Inner {
+                catalog: HashMap::new(),
+                pending: Vec::new(),
+                logical_len: 0,
+                sealed_elements: 0,
+                stripes: 0,
+                failed: BTreeSet::new(),
+            }),
+        }
+    }
+
+    /// The bound scheme.
+    pub fn scheme(&self) -> &Scheme {
+        &self.scheme
+    }
+
+    /// Element size in bytes.
+    pub fn element_size(&self) -> usize {
+        self.element_size
+    }
+
+    /// Append an object. Full stripes are sealed and encoded eagerly;
+    /// the tail stays buffered until [`Self::flush`] or a read needs it.
+    ///
+    /// # Errors
+    /// [`StoreError::AlreadyExists`] if the name is taken.
+    pub fn put(&self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock();
+        if inner.catalog.contains_key(name) {
+            return Err(StoreError::AlreadyExists(name.to_string()));
+        }
+        let meta = ObjectMeta {
+            offset: inner.logical_len,
+            len: bytes.len() as u64,
+        };
+        inner.catalog.insert(name.to_string(), meta);
+        inner.pending.extend_from_slice(bytes);
+        inner.logical_len += bytes.len() as u64;
+        self.seal_full_stripes(&mut inner);
+        Ok(())
+    }
+
+    /// Seal the pending tail by zero-padding to a stripe boundary, so
+    /// everything written so far becomes readable. Later appends start
+    /// after the padding (alignment loss, as in real append-only stores).
+    pub fn flush(&self) {
+        let mut inner = self.inner.lock();
+        self.flush_locked(&mut inner);
+    }
+
+    fn flush_locked(&self, inner: &mut Inner) {
+        if inner.pending.is_empty() {
+            return;
+        }
+        let stripe_bytes = self.stripe_bytes();
+        let pad = (stripe_bytes - inner.pending.len() % stripe_bytes) % stripe_bytes;
+        inner.pending.resize(inner.pending.len() + pad, 0);
+        inner.logical_len += pad as u64;
+        self.seal_full_stripes(inner);
+        debug_assert!(inner.pending.is_empty());
+    }
+
+    fn stripe_bytes(&self) -> usize {
+        self.scheme.data_per_stripe() * self.element_size
+    }
+
+    /// Encode and write out every complete stripe in the pending buffer.
+    fn seal_full_stripes(&self, inner: &mut Inner) {
+        let stripe_bytes = self.stripe_bytes();
+        let full = inner.pending.len() / stripe_bytes;
+        if full == 0 {
+            return;
+        }
+        let dps = self.scheme.data_per_stripe();
+        let first_stripe = inner.stripes;
+        let blocks: Vec<Vec<u8>> = (0..full)
+            .map(|i| inner.pending[i * stripe_bytes..(i + 1) * stripe_bytes].to_vec())
+            .collect();
+        inner.pending.drain(..full * stripe_bytes);
+
+        // Encode stripes in parallel: each is an independent set of
+        // group-by-group parity computations.
+        type StripeCells = (u64, Vec<(Loc, Vec<u8>)>);
+        let images: Vec<StripeCells> = blocks
+            .par_iter()
+            .enumerate()
+            .map(|(i, block)| {
+                let stripe = first_stripe + i as u64;
+                let refs: Vec<&[u8]> = block.chunks_exact(self.element_size).collect();
+                debug_assert_eq!(refs.len(), dps);
+                let img = self.scheme.encode_stripe(stripe, &refs);
+                let cells: Vec<(Loc, Vec<u8>)> =
+                    img.iter().map(|(loc, b)| (loc, b.to_vec())).collect();
+                (stripe, cells)
+            })
+            .collect();
+
+        let mut batch = Vec::with_capacity(full * self.scheme.layout().total_per_stripe());
+        for (_, cells) in images {
+            for (loc, bytes) in cells {
+                batch.push(((loc.disk, loc.offset), bytes));
+            }
+        }
+        self.array.write_batch(batch);
+        inner.stripes += full as u64;
+        inner.sealed_elements += (full * dps) as u64;
+    }
+
+    /// Read a whole object.
+    pub fn get(&self, name: &str) -> Result<Bytes, StoreError> {
+        let len = self.object_len(name)?;
+        self.get_range(name, 0, len)
+    }
+
+    /// Read a whole object and report how the read went (plan metrics +
+    /// wall-clock time) — the instrumentation behind the examples'
+    /// speed reports.
+    pub fn get_with_stats(&self, name: &str) -> Result<(Bytes, ReadStats), StoreError> {
+        let len = self.object_len(name)?;
+        self.get_range_with_stats(name, 0, len)
+    }
+
+    fn object_len(&self, name: &str) -> Result<u64, StoreError> {
+        self.inner
+            .lock()
+            .catalog
+            .get(name)
+            .map(|m| m.len)
+            .ok_or_else(|| StoreError::NotFound(name.to_string()))
+    }
+
+    /// Read `len` bytes of an object starting at byte `start` within it.
+    ///
+    /// If any referenced element is still unsealed the store flushes
+    /// first. Under failed disks the read is planned as a degraded read
+    /// and lost elements are reconstructed inline.
+    pub fn get_range(&self, name: &str, start: u64, len: u64) -> Result<Bytes, StoreError> {
+        Ok(self.get_range_with_stats(name, start, len)?.0)
+    }
+
+    /// [`Self::get_range`] plus per-read statistics.
+    pub fn get_range_with_stats(
+        &self,
+        name: &str,
+        start: u64,
+        len: u64,
+    ) -> Result<(Bytes, ReadStats), StoreError> {
+        let (meta, failed) = {
+            let mut inner = self.inner.lock();
+            let meta = *inner
+                .catalog
+                .get(name)
+                .ok_or_else(|| StoreError::NotFound(name.to_string()))?;
+            if start + len > meta.len {
+                return Err(StoreError::RangeOutOfBounds {
+                    name: name.to_string(),
+                    len: meta.len,
+                });
+            }
+            let sub = ObjectMeta {
+                offset: meta.offset + start,
+                len,
+            };
+            let (_, last) = sub.element_range(self.element_size);
+            if last > inner.sealed_elements {
+                self.flush_locked(&mut inner);
+            }
+            (sub, inner.failed.iter().copied().collect::<Vec<usize>>())
+        };
+        if len == 0 {
+            return Ok((
+                Bytes::new(),
+                ReadStats {
+                    requested_elements: 0,
+                    fetched_elements: 0,
+                    repair_elements: 0,
+                    max_disk_load: 0,
+                    cost: 0.0,
+                    degraded: !failed.is_empty(),
+                    elapsed: std::time::Duration::ZERO,
+                },
+            ));
+        }
+
+        let t0 = std::time::Instant::now();
+        let (first, last) = meta.element_range(self.element_size);
+        let count = (last - first) as usize;
+        let plan = if failed.is_empty() {
+            self.scheme.normal_read_plan(first, count)
+        } else {
+            self.scheme.degraded_read_plan(first, count, &failed)
+        };
+        if !plan.unreadable.is_empty() {
+            return Err(StoreError::DataLoss(format!(
+                "{} elements unrecoverable under failed disks {failed:?}",
+                plan.unreadable.len()
+            )));
+        }
+
+        // Execute the plan in parallel on the array.
+        let addrs: Vec<(usize, u64)> =
+            plan.fetches.iter().map(|f| (f.loc.disk, f.loc.offset)).collect();
+        let results = self.array.read_batch(&addrs);
+        let mut fetched: HashMap<Loc, Vec<u8>> = HashMap::with_capacity(addrs.len());
+        for (f, bytes) in plan.fetches.iter().zip(results) {
+            let bytes = bytes.ok_or_else(|| {
+                StoreError::DataLoss(format!(
+                    "disk {} did not return element at offset {}",
+                    f.loc.disk, f.loc.offset
+                ))
+            })?;
+            fetched.insert(f.loc, bytes);
+        }
+        let elements =
+            self.scheme
+                .assemble_read_cached(first, count, &fetched, &self.decoder_cache)?;
+
+        // Slice the requested byte range out of the element run.
+        let mut flat = Vec::with_capacity(count * self.element_size);
+        for e in elements {
+            flat.extend_from_slice(&e);
+        }
+        let begin = (meta.offset - first * self.element_size as u64) as usize;
+        let stats = ReadStats {
+            requested_elements: count,
+            fetched_elements: plan.total_fetched(),
+            repair_elements: plan.repair_fetched(),
+            max_disk_load: plan.max_load(),
+            cost: plan.cost(),
+            degraded: !failed.is_empty(),
+            elapsed: t0.elapsed(),
+        };
+        Ok((
+            Bytes::copy_from_slice(&flat[begin..begin + len as usize]),
+            stats,
+        ))
+    }
+
+    /// Recompute every group's parities from stored data and compare
+    /// with the stored parities — a scrub pass detecting silent
+    /// corruption. Flushes pending writes first.
+    ///
+    /// Elements on failed disks are counted as missing, not corrupt.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use ecfrm_codes::RsCode;
+    /// use ecfrm_core::Scheme;
+    /// use ecfrm_store::ObjectStore;
+    ///
+    /// let store = ObjectStore::new(
+    ///     Scheme::ecfrm(Arc::new(RsCode::vandermonde(6, 3))), 512);
+    /// store.put("x", &vec![1u8; 40_000]).unwrap();
+    /// assert!(store.scrub().unwrap().is_clean());
+    /// ```
+    pub fn scrub(&self) -> Result<ScrubReport, StoreError> {
+        let stripes = {
+            let mut inner = self.inner.lock();
+            self.flush_locked(&mut inner);
+            inner.stripes
+        };
+        let layout = self.scheme.layout();
+        let code = self.scheme.code();
+        let k = code.k();
+        let n = code.n();
+        let mut corrupt_groups = Vec::new();
+        let mut missing = 0usize;
+        for stripe in 0..stripes {
+            for row in 0..layout.rows_per_stripe() {
+                let locs = layout.row_locations(stripe, row);
+                let addrs: Vec<(usize, u64)> =
+                    locs.iter().map(|l| (l.disk, l.offset)).collect();
+                let cells = self.array.read_batch(&addrs);
+                if cells.iter().any(|c| c.is_none()) {
+                    missing += cells.iter().filter(|c| c.is_none()).count();
+                    continue;
+                }
+                let cells: Vec<Vec<u8>> = cells.into_iter().map(Option::unwrap).collect();
+                let data_refs: Vec<&[u8]> = cells[..k].iter().map(|v| v.as_slice()).collect();
+                let mut parity = vec![vec![0u8; self.element_size]; n - k];
+                code.encode(&data_refs, &mut parity);
+                if parity.iter().zip(&cells[k..]).any(|(want, got)| want != got) {
+                    corrupt_groups.push((stripe, row));
+                }
+            }
+        }
+        Ok(ScrubReport {
+            stripes_checked: stripes,
+            corrupt_groups,
+            missing_elements: missing,
+        })
+    }
+
+    /// Direct handle to the underlying array (failure injection,
+    /// corruption drills, inspection).
+    pub fn array(&self) -> &ThreadedArray {
+        &self.array
+    }
+
+    /// Mark a disk failed: subsequent reads plan around it.
+    pub fn fail_disk(&self, disk: usize) -> Result<(), StoreError> {
+        if disk >= self.scheme.n_disks() {
+            return Err(StoreError::NoSuchDisk(disk));
+        }
+        self.array.disk(disk).fail();
+        self.inner.lock().failed.insert(disk);
+        Ok(())
+    }
+
+    /// Clear a disk's failure flag (transient failure resolved with no
+    /// data loss — the paper's >90% case).
+    pub fn heal_disk(&self, disk: usize) -> Result<(), StoreError> {
+        if disk >= self.scheme.n_disks() {
+            return Err(StoreError::NoSuchDisk(disk));
+        }
+        self.array.disk(disk).heal();
+        self.inner.lock().failed.remove(&disk);
+        Ok(())
+    }
+
+    /// Rebuild a lost disk from the survivors (paper §IV-D), write the
+    /// reconstructed elements back, and return how many were rebuilt.
+    ///
+    /// Models the *permanent* failure path: the disk's contents are wiped
+    /// and regenerated group by group.
+    pub fn recover_disk(&self, disk: usize) -> Result<usize, StoreError> {
+        if disk >= self.scheme.n_disks() {
+            return Err(StoreError::NoSuchDisk(disk));
+        }
+        let (stripes, all_failed) = {
+            let mut inner = self.inner.lock();
+            self.flush_locked(&mut inner);
+            (inner.stripes, inner.failed.iter().copied().collect::<Vec<_>>())
+        };
+        let recovery = DiskRecovery::plan_among(&self.scheme, disk, &all_failed, stripes)
+            .map_err(StoreError::DataLoss)?;
+
+        // Fetch all distinct sources in one parallel batch.
+        let mut want: BTreeSet<(usize, u64)> = BTreeSet::new();
+        for t in &recovery.tasks {
+            for (_, loc) in &t.sources {
+                want.insert((loc.disk, loc.offset));
+            }
+        }
+        let addrs: Vec<(usize, u64)> = want.into_iter().collect();
+        let results = self.array.read_batch(&addrs);
+        let mut fetched: HashMap<Loc, Vec<u8>> = HashMap::with_capacity(addrs.len());
+        for (&(d, o), bytes) in addrs.iter().zip(results) {
+            let bytes = bytes.ok_or_else(|| {
+                StoreError::DataLoss(format!("recovery source on disk {d} offset {o} unreadable"))
+            })?;
+            fetched.insert(Loc::new(d, o), bytes);
+        }
+
+        // Rebuild every task in parallel.
+        let rebuilt: Vec<((usize, u64), Vec<u8>)> = recovery
+            .tasks
+            .par_iter()
+            .map(|task| {
+                let bytes =
+                    DiskRecovery::rebuild_one(&self.scheme, task, &fetched, self.element_size)
+                        .expect("plan sources span the target");
+                ((task.target.disk, task.target.offset), bytes)
+            })
+            .collect();
+        let count = rebuilt.len();
+
+        self.array.disk(disk).wipe();
+        self.array.disk(disk).heal();
+        self.array.write_batch(rebuilt);
+        self.inner.lock().failed.remove(&disk);
+        Ok(count)
+    }
+
+    /// Read several objects, planning/decoding in parallel (rayon).
+    /// Results are in input order.
+    pub fn get_many(&self, names: &[&str]) -> Vec<Result<Bytes, StoreError>> {
+        // Seal everything once up front so parallel reads never contend
+        // on the flush lock.
+        self.flush();
+        names.par_iter().map(|name| self.get(name)).collect()
+    }
+
+    /// Decoder-cache statistics: `(hits, misses)` of solved repair
+    /// systems.
+    pub fn decoder_cache_stats(&self) -> (u64, u64) {
+        self.decoder_cache.stats()
+    }
+
+    /// Occupancy snapshot.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock();
+        StoreStats {
+            objects: inner.catalog.len(),
+            logical_bytes: inner.logical_len,
+            sealed_elements: inner.sealed_elements,
+            stripes: inner.stripes,
+            pending_bytes: inner.pending.len(),
+            failed_disks: inner.failed.iter().copied().collect(),
+        }
+    }
+
+    /// Metadata for an object, if present.
+    pub fn meta(&self, name: &str) -> Option<ObjectMeta> {
+        self.inner.lock().catalog.get(name).copied()
+    }
+
+    /// Names of all stored objects (unordered).
+    pub fn list(&self) -> Vec<String> {
+        self.inner.lock().catalog.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecfrm_codes::{CandidateCode, LrcCode, RsCode};
+    use std::sync::Arc;
+
+    fn lrc_store() -> ObjectStore {
+        ObjectStore::new(Scheme::ecfrm(Arc::new(LrcCode::new(6, 2, 2))), 64)
+    }
+
+    fn blob(len: usize, seed: u8) -> Vec<u8> {
+        (0..len).map(|i| ((i * 31 + seed as usize * 7 + 1) % 256) as u8).collect()
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let store = lrc_store();
+        let data = blob(10_000, 1);
+        store.put("a", &data).unwrap();
+        assert_eq!(store.get("a").unwrap(), data);
+    }
+
+    #[test]
+    fn small_object_needs_flush_and_gets_it() {
+        let store = lrc_store();
+        let data = blob(10, 2);
+        store.put("tiny", &data).unwrap();
+        // Not yet sealed...
+        assert_eq!(store.stats().stripes, 0);
+        // ...but get() flushes automatically.
+        assert_eq!(store.get("tiny").unwrap(), data);
+        assert!(store.stats().stripes >= 1);
+    }
+
+    #[test]
+    fn multiple_objects_are_separate() {
+        let store = lrc_store();
+        let a = blob(5000, 3);
+        let b = blob(777, 4);
+        let c = blob(12_345, 5);
+        store.put("a", &a).unwrap();
+        store.put("b", &b).unwrap();
+        store.put("c", &c).unwrap();
+        assert_eq!(store.get("b").unwrap(), b);
+        assert_eq!(store.get("a").unwrap(), a);
+        assert_eq!(store.get("c").unwrap(), c);
+        assert_eq!(store.stats().objects, 3);
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let store = lrc_store();
+        store.put("x", &[1, 2, 3]).unwrap();
+        assert!(matches!(
+            store.put("x", &[4]),
+            Err(StoreError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn missing_object_not_found() {
+        let store = lrc_store();
+        assert!(matches!(store.get("nope"), Err(StoreError::NotFound(_))));
+    }
+
+    #[test]
+    fn range_reads() {
+        let store = lrc_store();
+        let data = blob(4000, 6);
+        store.put("r", &data).unwrap();
+        assert_eq!(store.get_range("r", 0, 10).unwrap(), &data[0..10]);
+        assert_eq!(store.get_range("r", 100, 500).unwrap(), &data[100..600]);
+        assert_eq!(store.get_range("r", 3990, 10).unwrap(), &data[3990..4000]);
+        assert_eq!(store.get_range("r", 0, 0).unwrap().len(), 0);
+        assert!(matches!(
+            store.get_range("r", 3990, 11),
+            Err(StoreError::RangeOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn degraded_read_under_every_single_disk_failure() {
+        let store = lrc_store();
+        let data = blob(20_000, 7);
+        store.put("d", &data).unwrap();
+        for disk in 0..10 {
+            store.fail_disk(disk).unwrap();
+            assert_eq!(store.get("d").unwrap(), data, "failed disk {disk}");
+            store.heal_disk(disk).unwrap();
+        }
+    }
+
+    #[test]
+    fn degraded_read_under_triple_failure_lrc() {
+        // (6,2,2) LRC tolerates any 3 disk failures.
+        let store = lrc_store();
+        let data = blob(8_000, 8);
+        store.put("t", &data).unwrap();
+        for disks in [[0, 1, 2], [3, 6, 9], [7, 8, 9]] {
+            for &d in &disks {
+                store.fail_disk(d).unwrap();
+            }
+            assert_eq!(store.get("t").unwrap(), data, "failed {disks:?}");
+            for &d in &disks {
+                store.heal_disk(d).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_failures_is_data_loss_not_garbage() {
+        let store = ObjectStore::new(
+            Scheme::ecfrm(Arc::new(RsCode::vandermonde(6, 3))),
+            64,
+        );
+        let data = blob(10_000, 9);
+        store.put("x", &data).unwrap();
+        store.get("x").unwrap(); // seal
+        for d in [0, 1, 2, 3] {
+            store.fail_disk(d).unwrap();
+        }
+        assert!(matches!(store.get("x"), Err(StoreError::DataLoss(_))));
+        for d in [0, 1, 2, 3] {
+            store.heal_disk(d).unwrap();
+        }
+        assert_eq!(store.get("x").unwrap(), data);
+    }
+
+    #[test]
+    fn recover_disk_restores_contents() {
+        let store = lrc_store();
+        let data = blob(30_000, 10);
+        store.put("big", &data).unwrap();
+        store.flush();
+        let before = store.array.disk(4).len();
+        assert!(before > 0);
+        // Lose disk 4 for real.
+        store.fail_disk(4).unwrap();
+        store.array.disk(4).wipe();
+        let rebuilt = store.recover_disk(4).unwrap();
+        assert_eq!(rebuilt, before);
+        assert!(store.stats().failed_disks.is_empty());
+        assert_eq!(store.get("big").unwrap(), data);
+    }
+
+    #[test]
+    fn recovery_works_for_every_disk_and_scheme_form() {
+        let code: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(6, 3));
+        for scheme in [
+            Scheme::standard(code.clone()),
+            Scheme::rotated(code.clone()),
+            Scheme::ecfrm(code.clone()),
+        ] {
+            let name = scheme.name();
+            let store = ObjectStore::new(scheme, 32);
+            let data = blob(9_000, 11);
+            store.put("o", &data).unwrap();
+            store.flush();
+            for d in 0..6 {
+                store.fail_disk(d).unwrap();
+                store.array.disk(d).wipe();
+                store.recover_disk(d).unwrap();
+                assert_eq!(store.get("o").unwrap(), data, "{name} disk {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn recover_under_concurrent_failures() {
+        // Rebuild disks one at a time while two others are still down —
+        // the multi-failure path the failure_drill example exercises.
+        let store = lrc_store();
+        let data = blob(15_000, 13);
+        store.put("m", &data).unwrap();
+        store.flush();
+        for d in [0usize, 4, 8] {
+            store.fail_disk(d).unwrap();
+            store.array.disk(d).wipe();
+        }
+        for d in [0usize, 4, 8] {
+            store.recover_disk(d).unwrap();
+        }
+        assert!(store.stats().failed_disks.is_empty());
+        assert_eq!(store.get("m").unwrap(), data);
+    }
+
+    #[test]
+    fn recover_beyond_tolerance_is_data_loss() {
+        let store = ObjectStore::new(
+            Scheme::ecfrm(Arc::new(RsCode::vandermonde(6, 3))),
+            64,
+        );
+        store.put("x", &blob(5_000, 14)).unwrap();
+        store.flush();
+        for d in [0usize, 1, 2, 3] {
+            store.fail_disk(d).unwrap();
+        }
+        assert!(matches!(store.recover_disk(0), Err(StoreError::DataLoss(_))));
+    }
+
+    #[test]
+    fn stats_track_growth() {
+        let store = lrc_store();
+        let s0 = store.stats();
+        assert_eq!(s0.objects, 0);
+        assert_eq!(s0.logical_bytes, 0);
+        store.put("a", &blob(100, 12)).unwrap();
+        let s1 = store.stats();
+        assert_eq!(s1.objects, 1);
+        assert_eq!(s1.logical_bytes, 100);
+        assert_eq!(s1.pending_bytes, 100);
+        store.flush();
+        let s2 = store.stats();
+        assert_eq!(s2.pending_bytes, 0);
+        assert!(s2.sealed_elements > 0);
+    }
+
+    #[test]
+    fn invalid_disk_operations() {
+        let store = lrc_store();
+        assert!(matches!(store.fail_disk(10), Err(StoreError::NoSuchDisk(10))));
+        assert!(matches!(store.heal_disk(99), Err(StoreError::NoSuchDisk(99))));
+        assert!(matches!(store.recover_disk(10), Err(StoreError::NoSuchDisk(10))));
+    }
+
+    #[test]
+    fn store_over_file_backed_disks() {
+        use ecfrm_sim::{DiskBackend, FileDisk, ThreadedArray};
+        let dir = std::env::temp_dir().join(format!("ecfrm-store-files-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let scheme = Scheme::ecfrm(Arc::new(LrcCode::new(6, 2, 2)));
+        let backends: Vec<Arc<dyn DiskBackend>> = (0..scheme.n_disks())
+            .map(|d| {
+                Arc::new(FileDisk::create(dir.join(format!("d{d}.bin")), 64).unwrap())
+                    as Arc<dyn DiskBackend>
+            })
+            .collect();
+        let store = ObjectStore::with_array(scheme, 64, ThreadedArray::from_backends(backends));
+        let data = blob(12_000, 30);
+        store.put("f", &data).unwrap();
+        assert_eq!(store.get("f").unwrap(), data);
+        // Degraded read off real files.
+        store.fail_disk(5).unwrap();
+        assert_eq!(store.get("f").unwrap(), data);
+        // Real loss: wipe the file, rebuild it.
+        store.array().disk(5).wipe();
+        store.recover_disk(5).unwrap();
+        assert_eq!(store.get("f").unwrap(), data);
+        assert!(store.scrub().unwrap().is_clean());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_stats_reflect_degradation() {
+        let store = lrc_store();
+        let data = blob(10_000, 20);
+        store.put("s", &data).unwrap();
+        let (bytes, normal) = store.get_with_stats("s").unwrap();
+        assert_eq!(bytes, data);
+        assert!(!normal.degraded);
+        assert_eq!(normal.repair_elements, 0);
+        assert!((normal.cost - 1.0).abs() < 1e-12);
+        assert!(normal.fetched_elements >= normal.requested_elements);
+
+        store.fail_disk(0).unwrap();
+        let (bytes, degraded) = store.get_with_stats("s").unwrap();
+        assert_eq!(bytes, data);
+        assert!(degraded.degraded);
+        assert!(degraded.cost >= 1.0);
+    }
+
+    #[test]
+    fn scrub_clean_then_detects_corruption() {
+        let store = lrc_store();
+        store.put("c", &blob(9_000, 21)).unwrap();
+        store.flush();
+        let report = store.scrub().unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert!(report.stripes_checked > 0);
+
+        // Flip a byte of one stored element.
+        let victim = store.array().disk(3);
+        let original = victim.read(0).expect("element exists");
+        let mut tampered = original.clone();
+        tampered[0] ^= 0xFF;
+        victim.write(0, tampered);
+        let report = store.scrub().unwrap();
+        assert!(!report.is_clean());
+        assert!(!report.corrupt_groups.is_empty());
+
+        // Restore and re-verify.
+        victim.write(0, original);
+        assert!(store.scrub().unwrap().is_clean());
+    }
+
+    #[test]
+    fn scrub_counts_missing_on_failed_disk() {
+        let store = lrc_store();
+        store.put("m", &blob(5_000, 22)).unwrap();
+        store.flush();
+        store.fail_disk(1).unwrap();
+        let report = store.scrub().unwrap();
+        assert!(report.missing_elements > 0);
+        assert!(report.corrupt_groups.is_empty());
+    }
+
+    #[test]
+    fn degraded_reads_reuse_decoder_cache() {
+        let store = lrc_store();
+        let data = blob(20_000, 23);
+        store.put("hot", &data).unwrap();
+        store.fail_disk(2).unwrap();
+        for _ in 0..10 {
+            assert_eq!(store.get("hot").unwrap(), data);
+        }
+        let (hits, misses) = store.decoder_cache_stats();
+        assert!(misses > 0, "cache must have been exercised");
+        assert!(
+            hits > misses * 3,
+            "repeated degraded reads should mostly hit: {hits} hits / {misses} misses"
+        );
+    }
+
+    #[test]
+    fn get_many_parallel_matches_serial() {
+        let store = lrc_store();
+        let objects: Vec<(String, Vec<u8>)> = (0..20)
+            .map(|i| (format!("o{i}"), blob(500 * (i + 1), i as u8)))
+            .collect();
+        for (n, d) in &objects {
+            store.put(n, d).unwrap();
+        }
+        let names: Vec<&str> = objects.iter().map(|(n, _)| n.as_str()).collect();
+        let got = store.get_many(&names);
+        for ((_, want), g) in objects.iter().zip(got) {
+            assert_eq!(g.unwrap(), &want[..]);
+        }
+        // Errors are per-object, not batch-fatal.
+        let got = store.get_many(&["o1", "missing", "o2"]);
+        assert!(got[0].is_ok());
+        assert!(matches!(got[1], Err(StoreError::NotFound(_))));
+        assert!(got[2].is_ok());
+    }
+
+    #[test]
+    fn list_and_meta() {
+        let store = lrc_store();
+        store.put("a", &[1]).unwrap();
+        store.put("b", &[2, 3]).unwrap();
+        let mut names = store.list();
+        names.sort();
+        assert_eq!(names, vec!["a", "b"]);
+        assert_eq!(store.meta("b").unwrap().len, 2);
+        assert!(store.meta("zz").is_none());
+    }
+}

@@ -1,0 +1,266 @@
+//! Generic XOR array codes over a `rows × cols` grid.
+//!
+//! A vertical code is a binary linear code whose codeword is the whole
+//! grid: every cell — data or parity — is a known XOR of the data cells,
+//! i.e. a 0/1 row of a generator matrix over `GF(2)` (embedded in
+//! `GF(2^8)`, so the workspace's matrix decoder applies unchanged).
+//! Disks are columns; a disk failure erases one whole column.
+
+use ecfrm_gf::region::dot_region;
+use ecfrm_gf::{Gf8, Matrix};
+
+use ecfrm_codes::decode::{matrix_decode, pattern_recoverable};
+use ecfrm_codes::CodeError;
+
+/// A concrete XOR array code instance.
+#[derive(Debug, Clone)]
+pub struct ArrayCode {
+    name: String,
+    cols: usize,
+    rows: usize,
+    /// `(row, col)` of each data cell, in data-index order (row-major for
+    /// the codes built here, so sequential data spreads across columns).
+    data_cells: Vec<(usize, usize)>,
+    /// `(rows·cols) × data_count` generator; cell `(r, c)` is generator
+    /// row `r·cols + c`.
+    generator: Matrix<Gf8>,
+    tolerance: usize,
+}
+
+impl ArrayCode {
+    /// Assemble an array code from its parts. Intended for the
+    /// constructors in [`crate::xcode`] / [`crate::weaver`]; exposed so
+    /// downstream experiments can define further vertical codes.
+    ///
+    /// # Panics
+    /// Panics if the generator shape is inconsistent, or a data cell's
+    /// generator row is not the expected identity row.
+    pub fn new(
+        name: String,
+        cols: usize,
+        rows: usize,
+        data_cells: Vec<(usize, usize)>,
+        generator: Matrix<Gf8>,
+        tolerance: usize,
+    ) -> Self {
+        assert_eq!(generator.rows(), rows * cols, "generator row count");
+        assert_eq!(generator.cols(), data_cells.len(), "generator col count");
+        for (i, &(r, c)) in data_cells.iter().enumerate() {
+            assert!(r < rows && c < cols, "data cell out of grid");
+            let row = generator.row(r * cols + c);
+            assert!(
+                row.iter().enumerate().all(|(j, &v)| v == u32::from(j == i)),
+                "data cell ({r},{c}) must carry data index {i} systematically"
+            );
+        }
+        Self {
+            name,
+            cols,
+            rows,
+            data_cells,
+            generator,
+            tolerance,
+        }
+    }
+
+    /// Code name, e.g. `"X-Code(5)"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of disks (columns).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Rows per stripe.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Data cells per stripe.
+    pub fn data_count(&self) -> usize {
+        self.data_cells.len()
+    }
+
+    /// Guaranteed column (disk) fault tolerance.
+    pub fn tolerance(&self) -> usize {
+        self.tolerance
+    }
+
+    /// Data fraction of the grid (the paper's storage-efficiency axis:
+    /// WEAVER never exceeds 50%).
+    pub fn storage_efficiency(&self) -> f64 {
+        self.data_count() as f64 / (self.rows * self.cols) as f64
+    }
+
+    /// Grid cell `(row, col)` of data index `i`.
+    pub fn data_cell(&self, i: usize) -> (usize, usize) {
+        self.data_cells[i]
+    }
+
+    /// The generator matrix (cell `(r, c)` ↔ row `r·cols + c`).
+    pub fn generator(&self) -> &Matrix<Gf8> {
+        &self.generator
+    }
+
+    /// Encode one stripe: from `data_count` regions to the full
+    /// `rows × cols` grid (row-major cell order).
+    ///
+    /// # Panics
+    /// Panics on arity or length mismatches.
+    pub fn encode(&self, data: &[&[u8]]) -> Vec<Vec<u8>> {
+        assert_eq!(data.len(), self.data_count(), "encode arity");
+        let len = data.first().map_or(0, |d| d.len());
+        assert!(data.iter().all(|d| d.len() == len), "unequal regions");
+        (0..self.rows * self.cols)
+            .map(|cell| {
+                let coeffs: Vec<u8> =
+                    self.generator.row(cell).iter().map(|&c| c as u8).collect();
+                let mut out = vec![0u8; len];
+                dot_region(&coeffs, data, &mut out);
+                out
+            })
+            .collect()
+    }
+
+    /// Reconstruct every `None` cell in place (row-major cell order).
+    ///
+    /// # Errors
+    /// [`CodeError::Unrecoverable`] when the erasure pattern exceeds what
+    /// the generator spans.
+    pub fn decode(
+        &self,
+        cells: &mut [Option<Vec<u8>>],
+        len: usize,
+    ) -> Result<(), CodeError> {
+        matrix_decode(&self.generator, cells, len)
+    }
+
+    /// True when losing exactly these columns is decodable.
+    pub fn columns_recoverable(&self, failed_cols: &[usize]) -> bool {
+        let erased: Vec<usize> = (0..self.rows * self.cols)
+            .filter(|cell| failed_cols.contains(&(cell % self.cols)))
+            .collect();
+        pattern_recoverable(&self.generator, &erased)
+    }
+
+    /// Exhaustively verify that any `t` column failures decode.
+    pub fn verify_column_tolerance(&self, t: usize) -> bool {
+        let n = self.cols;
+        if t > n {
+            return false;
+        }
+        let mut idx: Vec<usize> = (0..t).collect();
+        loop {
+            if !self.columns_recoverable(&idx) {
+                return false;
+            }
+            let mut advanced = false;
+            let mut i = t;
+            while i > 0 {
+                i -= 1;
+                if idx[i] != i + n - t {
+                    idx[i] += 1;
+                    for j in i + 1..t {
+                        idx[j] = idx[j - 1] + 1;
+                    }
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                return true;
+            }
+        }
+    }
+
+    /// Per-disk load of a normal read of data elements
+    /// `start..start+count` (data laid stripe after stripe in data-index
+    /// order). Vertical codes' selling point: this is as balanced as
+    /// EC-FRM's.
+    pub fn normal_read_load(&self, start: u64, count: usize) -> Vec<usize> {
+        let mut load = vec![0usize; self.cols];
+        let d = self.data_count() as u64;
+        for i in 0..count as u64 {
+            let idx = start + i;
+            let (_, col) = self.data_cells[(idx % d) as usize];
+            load[col] += 1;
+        }
+        load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy 2×2 vertical code: d0, d1 in row 0; parities d1, d0 in
+    /// row 1 swapped across columns (mirrored copies — tolerance 1).
+    fn mirror2() -> ArrayCode {
+        let generator = Matrix::from_data(
+            4,
+            2,
+            vec![
+                1, 0, // (0,0) = d0
+                0, 1, // (0,1) = d1
+                0, 1, // (1,0) = copy of d1
+                1, 0, // (1,1) = copy of d0
+            ],
+        );
+        ArrayCode::new("Mirror(2)".into(), 2, 2, vec![(0, 0), (0, 1)], generator, 1)
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let code = mirror2();
+        let d0 = vec![1u8, 2, 3];
+        let d1 = vec![9u8, 8, 7];
+        let grid = code.encode(&[&d0, &d1]);
+        assert_eq!(grid[0], d0);
+        assert_eq!(grid[1], d1);
+        assert_eq!(grid[2], d1);
+        assert_eq!(grid[3], d0);
+        // Lose column 0 (cells 0 and 2).
+        let mut cells: Vec<Option<Vec<u8>>> = grid.iter().cloned().map(Some).collect();
+        cells[0] = None;
+        cells[2] = None;
+        code.decode(&mut cells, 3).unwrap();
+        assert_eq!(cells[0].as_deref().unwrap(), &d0[..]);
+    }
+
+    #[test]
+    fn column_tolerance_checks() {
+        let code = mirror2();
+        assert!(code.verify_column_tolerance(1));
+        assert!(!code.verify_column_tolerance(2));
+        assert!(code.columns_recoverable(&[1]));
+        assert!(!code.columns_recoverable(&[0, 1]));
+    }
+
+    #[test]
+    fn efficiency_and_accessors() {
+        let code = mirror2();
+        assert_eq!(code.storage_efficiency(), 0.5);
+        assert_eq!(code.cols(), 2);
+        assert_eq!(code.rows(), 2);
+        assert_eq!(code.data_count(), 2);
+        assert_eq!(code.tolerance(), 1);
+        assert_eq!(code.data_cell(1), (0, 1));
+        assert_eq!(code.name(), "Mirror(2)");
+    }
+
+    #[test]
+    fn normal_read_load_spreads() {
+        let code = mirror2();
+        let load = code.normal_read_load(0, 4);
+        assert_eq!(load, vec![2, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_systematic_data_cell_rejected() {
+        let generator = Matrix::from_data(2, 1, vec![0, 1]); // (0,0) not d0
+        ArrayCode::new("bad".into(), 1, 2, vec![(0, 0)], generator, 0);
+    }
+}

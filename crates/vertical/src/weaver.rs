@@ -1,0 +1,122 @@
+//! WEAVER codes (Hafner, FAST 2005) — the paper's example of a vertical
+//! code that works for **any** number of disks but "always provides no
+//! more than 50% storage usage ratio" (§II-B).
+//!
+//! This is WEAVER(n, k=2, t=2): each disk holds one data element and one
+//! parity element; the parity on disk `i` is the XOR of the data on the
+//! next two disks around the ring:
+//!
+//! ```text
+//! P_i = D_{(i+1) mod n} ⊕ D_{(i+2) mod n}
+//! ```
+//!
+//! Fault tolerance 2, storage efficiency exactly 1/2, any `n ≥ 3`.
+
+use ecfrm_gf::Matrix;
+
+use crate::array_code::ArrayCode;
+
+/// Constructor for WEAVER(n, 2, 2) instances.
+pub struct Weaver;
+
+impl Weaver {
+    /// Build WEAVER(n, 2, 2) over `n` disks.
+    ///
+    /// # Panics
+    /// Panics unless `n ≥ 4` (with 3 disks the two failure patterns
+    /// collapse and tolerance drops below 2).
+    #[allow(clippy::new_ret_no_self)] // factory: WEAVER instances ARE ArrayCodes
+    pub fn new(n: usize) -> ArrayCode {
+        assert!(n >= 4, "WEAVER(n,2,2) requires n >= 4");
+        // Grid: row 0 data, row 1 parity; cell (r, c) = r*n + c.
+        let mut generator = Matrix::<ecfrm_gf::Gf8>::zero(2 * n, n);
+        for i in 0..n {
+            generator[(i, i)] = 1; // D_i
+            generator[(n + i, (i + 1) % n)] ^= 1;
+            generator[(n + i, (i + 2) % n)] ^= 1;
+        }
+        let data_cells: Vec<(usize, usize)> = (0..n).map(|i| (0, i)).collect();
+        ArrayCode::new(format!("WEAVER({n},2,2)"), n, 2, data_cells, generator, 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerates_any_two_columns_for_many_n() {
+        for n in 4..=12 {
+            let code = Weaver::new(n);
+            assert!(code.verify_column_tolerance(2), "WEAVER({n}) tolerance 2");
+        }
+    }
+
+    #[test]
+    fn does_not_tolerate_three_columns() {
+        let code = Weaver::new(8);
+        assert!(!code.verify_column_tolerance(3));
+    }
+
+    #[test]
+    fn applies_to_arbitrary_n_unlike_xcode() {
+        // 6 is composite: X-Code cannot exist, WEAVER can — the paper's
+        // "arbitrary number of disks" axis.
+        assert!(!crate::is_prime(6));
+        let code = Weaver::new(6);
+        assert!(code.verify_column_tolerance(2));
+    }
+
+    #[test]
+    fn storage_efficiency_is_half() {
+        for n in [4usize, 7, 10] {
+            let code = Weaver::new(n);
+            assert!((code.storage_efficiency() - 0.5).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_double_column_loss() {
+        let n = 7;
+        let code = Weaver::new(n);
+        let len = 8;
+        let data: Vec<Vec<u8>> = (0..n)
+            .map(|i| (0..len).map(|j| ((i * 23 + j * 7 + 1) % 256) as u8).collect())
+            .collect();
+        let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+        let grid = code.encode(&refs);
+        for a in 0..n {
+            for b in a + 1..n {
+                let mut cells: Vec<Option<Vec<u8>>> =
+                    grid.iter().cloned().map(Some).collect();
+                for (cell, slot) in cells.iter_mut().enumerate() {
+                    if cell % n == a || cell % n == b {
+                        *slot = None;
+                    }
+                }
+                code.decode(&mut cells, len).unwrap();
+                for (cell, want) in grid.iter().enumerate() {
+                    assert_eq!(cells[cell].as_deref().unwrap(), &want[..], "cols {a},{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parity_definition() {
+        let n = 5;
+        let code = Weaver::new(n);
+        let len = 4;
+        let data: Vec<Vec<u8>> = (0..n).map(|i| vec![1u8 << i; len]).collect();
+        let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+        let grid = code.encode(&refs);
+        // P_0 = D_1 ⊕ D_2 = 0b10 ^ 0b100 = 6.
+        assert_eq!(grid[n], vec![6u8; len]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn n3_rejected() {
+        Weaver::new(3);
+    }
+}

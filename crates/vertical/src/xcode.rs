@@ -1,0 +1,153 @@
+//! X-Code (Xu & Bruck, IEEE IT 1999): an MDS vertical code on `p` disks,
+//! `p` prime.
+//!
+//! The stripe is a `p × p` grid: rows `0..p−2` hold data; row `p−2`
+//! holds parities along slope-1 diagonals and row `p−1` along slope-(−1)
+//! anti-diagonals:
+//!
+//! ```text
+//! c[p−2][i] = Σ_{k=0}^{p−3} c[k][(i + k + 2) mod p]
+//! c[p−1][i] = Σ_{k=0}^{p−3} c[k][(i − k − 2) mod p]
+//! ```
+//!
+//! Tolerance is exactly 2 column failures, and the construction only
+//! exists for prime `p` — precisely the restrictions (§II-B) that keep
+//! vertical codes out of production cloud stores despite their good
+//! normal-read balance.
+
+use ecfrm_gf::Matrix;
+
+use crate::array_code::ArrayCode;
+use crate::is_prime;
+
+/// Constructor for X-Code instances.
+pub struct XCode;
+
+impl XCode {
+    /// Build X-Code over `p` disks.
+    ///
+    /// # Panics
+    /// Panics unless `p` is prime and `p ≥ 3` (the construction's
+    /// requirement — the "cannot apply to arbitrary number of disks"
+    /// restriction).
+    #[allow(clippy::new_ret_no_self)] // factory: X-Code instances ARE ArrayCodes
+    pub fn new(p: usize) -> ArrayCode {
+        assert!(p >= 3 && is_prime(p), "X-Code requires a prime p >= 3");
+        let data_rows = p - 2;
+        let data_count = data_rows * p;
+        // Data index for cell (k, j), k < p-2: k*p + j.
+        let mut generator = Matrix::<ecfrm_gf::Gf8>::zero(p * p, data_count);
+        // Systematic data cells.
+        for k in 0..data_rows {
+            for j in 0..p {
+                generator[(k * p + j, k * p + j)] = 1;
+            }
+        }
+        // Diagonal parity row p-2.
+        for i in 0..p {
+            for k in 0..data_rows {
+                let j = (i + k + 2) % p;
+                let cell = (p - 2) * p + i;
+                generator[(cell, k * p + j)] ^= 1;
+            }
+        }
+        // Anti-diagonal parity row p-1.
+        for i in 0..p {
+            for k in 0..data_rows {
+                let j = (i + p - ((k + 2) % p)) % p;
+                let cell = (p - 1) * p + i;
+                generator[(cell, k * p + j)] ^= 1;
+            }
+        }
+        let data_cells: Vec<(usize, usize)> = (0..data_rows)
+            .flat_map(|k| (0..p).map(move |j| (k, j)))
+            .collect();
+        ArrayCode::new(format!("X-Code({p})"), p, p, data_cells, generator, 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerates_any_two_columns_exhaustive() {
+        for p in [3usize, 5, 7] {
+            let code = XCode::new(p);
+            assert!(code.verify_column_tolerance(2), "X-Code({p}) must be MDS-2");
+            assert!(
+                !code.verify_column_tolerance(3),
+                "X-Code({p}) must NOT tolerate any 3 columns"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_double_column_loss() {
+        let p = 5;
+        let code = XCode::new(p);
+        let len = 16;
+        let data: Vec<Vec<u8>> = (0..code.data_count())
+            .map(|i| (0..len).map(|j| ((i * 17 + j * 5 + 3) % 256) as u8).collect())
+            .collect();
+        let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+        let grid = code.encode(&refs);
+        for (a, b) in [(0usize, 1usize), (0, 4), (2, 3)] {
+            let mut cells: Vec<Option<Vec<u8>>> = grid.iter().cloned().map(Some).collect();
+            for (cell, slot) in cells.iter_mut().enumerate() {
+                if cell % p == a || cell % p == b {
+                    *slot = None;
+                }
+            }
+            code.decode(&mut cells, len).unwrap();
+            for (cell, want) in grid.iter().enumerate() {
+                assert_eq!(cells[cell].as_deref().unwrap(), &want[..], "cols {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn parity_equations_match_definition() {
+        // Spot-check p = 5, parity cell (3, 0): contributions from
+        // (k, (0+k+2) mod 5), k = 0..2 → (0,2), (1,3), (2,4).
+        let code = XCode::new(5);
+        let len = 4;
+        let mut data = vec![vec![0u8; len]; code.data_count()];
+        // Set d(0,2)=1, d(1,3)=2, d(2,4)=4; expect parity = 7.
+        data[2] = vec![1; len];
+        data[5 + 3] = vec![2; len];
+        data[10 + 4] = vec![4; len];
+        let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+        let grid = code.encode(&refs);
+        assert_eq!(grid[3 * 5], vec![7u8; len]);
+    }
+
+    #[test]
+    fn storage_efficiency_is_p_minus_2_over_p() {
+        let code = XCode::new(7);
+        assert!((code.storage_efficiency() - 5.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normal_reads_balance_like_ecfrm() {
+        // The vertical selling point: any c ≤ p consecutive elements hit
+        // c distinct disks.
+        let code = XCode::new(7);
+        for start in 0..35u64 {
+            let load = code.normal_read_load(start, 7);
+            assert_eq!(*load.iter().max().unwrap(), 1, "start {start}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn composite_p_rejected() {
+        XCode::new(6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_p_rejected() {
+        XCode::new(2);
+    }
+}

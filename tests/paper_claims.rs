@@ -1,0 +1,205 @@
+//! The paper's quantitative claims, asserted as reproducible shapes.
+//!
+//! Each test cites the claim it checks. Absolute MB/s differ from the
+//! paper's testbed; the asserted quantities are the *relative* results —
+//! who wins, roughly by how much, and where the crossovers are. Bounds
+//! are set loosely around the paper's reported ranges so the tests are
+//! robust to seed changes while still failing if a layout regresses.
+
+use ecfrm_bench::experiment::{run_degraded, run_normal, ExperimentConfig};
+use ecfrm_bench::params::{lrc_params, lrc_schemes, rs_params, rs_schemes};
+use ecfrm_bench::report::gain_pct;
+
+fn cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        trials_normal: 800,
+        trials_degraded: 1200,
+        address_space: 6_000,
+        ..ExperimentConfig::default()
+    }
+}
+
+/// §VI-B / Figure 8(a): "EC-FRM-RS achieves 19.2% to 33.9% higher read
+/// speed [than standard RS]".
+#[test]
+fn fig8a_ecfrm_rs_normal_read_gain() {
+    let cfg = cfg();
+    for (k, m) in rs_params() {
+        let [std, _, ec] = rs_schemes(k, m);
+        let g = gain_pct(
+            run_normal(&ec, &cfg).speed_mb_s,
+            run_normal(&std, &cfg).speed_mb_s,
+        );
+        assert!(
+            (12.0..55.0).contains(&g),
+            "RS({k},{m}) EC-FRM gain {g:.1}% outside the paper's ballpark (19.2-33.9%)"
+        );
+    }
+}
+
+/// §VI-B / Figure 8(a): "EC-FRM-RS code achieves 17.7% to 18.1% higher
+/// read speed than Reed-Solomon code with rotated stripes".
+#[test]
+fn fig8a_ecfrm_rs_beats_rotated() {
+    let cfg = cfg();
+    for (k, m) in rs_params() {
+        let [_, rot, ec] = rs_schemes(k, m);
+        let g = gain_pct(
+            run_normal(&ec, &cfg).speed_mb_s,
+            run_normal(&rot, &cfg).speed_mb_s,
+        );
+        assert!(
+            (8.0..35.0).contains(&g),
+            "RS({k},{m}) EC-FRM-vs-rotated gain {g:.1}% outside ballpark (17.7-18.1%)"
+        );
+    }
+}
+
+/// §VI-B / Figure 8(b): "EC-FRM-LRC gains 23.5% to 46.9% higher read
+/// speed than standard LRC".
+#[test]
+fn fig8b_ecfrm_lrc_normal_read_gain() {
+    let cfg = cfg();
+    for (k, l, m) in lrc_params() {
+        let [std, _, ec] = lrc_schemes(k, l, m);
+        let g = gain_pct(
+            run_normal(&ec, &cfg).speed_mb_s,
+            run_normal(&std, &cfg).speed_mb_s,
+        );
+        assert!(
+            (18.0..60.0).contains(&g),
+            "LRC({k},{l},{m}) EC-FRM gain {g:.1}% outside ballpark (23.5-46.9%)"
+        );
+    }
+}
+
+/// §VI-B: rotated stripes land between standard and EC-FRM on normal
+/// reads (they "improve the read speed in some level" but "still provide
+/// much lower speed than EC-FRM-Code").
+#[test]
+fn rotated_sits_between_standard_and_ecfrm() {
+    let cfg = cfg();
+    for (k, m) in rs_params() {
+        let [std, rot, ec] = rs_schemes(k, m);
+        let s = run_normal(&std, &cfg).speed_mb_s;
+        let r = run_normal(&rot, &cfg).speed_mb_s;
+        let e = run_normal(&ec, &cfg).speed_mb_s;
+        assert!(s < r && r < e, "RS({k},{m}): expected {s:.0} < {r:.0} < {e:.0}");
+    }
+}
+
+/// §VI-C / Figure 9(a)(b): "the distinctions [in degraded read cost]
+/// between the different forms … are very tiny" (<0.9% RS, <0.7% LRC in
+/// the paper; we allow a few percent at our trial counts).
+#[test]
+fn fig9ab_degraded_cost_form_invariant() {
+    let cfg = cfg();
+    for (k, m) in rs_params() {
+        let [std, rot, ec] = rs_schemes(k, m);
+        let c: Vec<f64> = [&std, &rot, &ec]
+            .iter()
+            .map(|s| run_degraded(s, &cfg).cost)
+            .collect();
+        let spread = (c.iter().cloned().fold(f64::MIN, f64::max)
+            / c.iter().cloned().fold(f64::MAX, f64::min))
+            - 1.0;
+        assert!(spread < 0.06, "RS({k},{m}) cost spread {:.1}%", spread * 100.0);
+    }
+}
+
+/// §VI-C: "the degraded read cost for LRC code is much less than that in
+/// Reed-Solomon code" (locality: repairs read k/l, not k).
+#[test]
+fn fig9ab_lrc_cost_below_rs() {
+    let cfg = cfg();
+    for ((k, m), (lk, ll, lm)) in rs_params().into_iter().zip(lrc_params()) {
+        let [rs_std, _, _] = rs_schemes(k, m);
+        let [lrc_std, _, _] = lrc_schemes(lk, ll, lm);
+        let rs_cost = run_degraded(&rs_std, &cfg).cost;
+        let lrc_cost = run_degraded(&lrc_std, &cfg).cost;
+        assert!(
+            lrc_cost + 0.05 < rs_cost,
+            "LRC({lk},{ll},{lm}) cost {lrc_cost:.3} not clearly below RS({k},{m}) {rs_cost:.3}"
+        );
+    }
+}
+
+/// §VI-C / Figure 9(c): "EC-FRM-RS code achieves 9.1% to 9.9% higher
+/// [degraded read] speed than standard Reed-Solomon code".
+#[test]
+fn fig9c_ecfrm_rs_degraded_gain() {
+    let cfg = cfg();
+    for (k, m) in rs_params() {
+        let [std, _, ec] = rs_schemes(k, m);
+        let g = gain_pct(
+            run_degraded(&ec, &cfg).speed_mb_s,
+            run_degraded(&std, &cfg).speed_mb_s,
+        );
+        assert!(
+            (4.0..20.0).contains(&g),
+            "RS({k},{m}) degraded gain {g:.1}% outside ballpark (9.1-9.9%)"
+        );
+    }
+}
+
+/// §VI-C: against *rotated* RS the degraded-read margin is small and can
+/// go either way ("achieves 4.7% higher … when k = 10, but provides
+/// 0.26% and 2.9% lower … when k = 8 and k = 6") — assert only that the
+/// difference is small.
+#[test]
+fn fig9c_ecfrm_vs_rotated_is_a_wash() {
+    let cfg = cfg();
+    for (k, m) in rs_params() {
+        let [_, rot, ec] = rs_schemes(k, m);
+        let g = gain_pct(
+            run_degraded(&ec, &cfg).speed_mb_s,
+            run_degraded(&rot, &cfg).speed_mb_s,
+        );
+        assert!(
+            g.abs() < 12.0,
+            "RS({k},{m}) EC-FRM-vs-rotated degraded margin {g:.1}% should be small"
+        );
+    }
+}
+
+/// §VI-C / Figure 9(d): "EC-FRM-LRC code gains 3.3% to 12.8% higher
+/// degraded read speed than standard LRC code", and beats rotated LRC
+/// ("2.6%, 2.9%, and 5.7% higher … when k = 6, 8, 10").
+#[test]
+fn fig9d_ecfrm_lrc_degraded_gains() {
+    let cfg = cfg();
+    for (k, l, m) in lrc_params() {
+        let [std, rot, ec] = lrc_schemes(k, l, m);
+        let e = run_degraded(&ec, &cfg).speed_mb_s;
+        let g_std = gain_pct(e, run_degraded(&std, &cfg).speed_mb_s);
+        let g_rot = gain_pct(e, run_degraded(&rot, &cfg).speed_mb_s);
+        assert!(
+            (2.0..25.0).contains(&g_std),
+            "LRC({k},{l},{m}) degraded gain vs standard {g_std:.1}% outside ballpark"
+        );
+        assert!(
+            g_rot > 0.0,
+            "LRC({k},{l},{m}) EC-FRM should beat rotated on degraded reads ({g_rot:.1}%)"
+        );
+    }
+}
+
+/// §IV-C / §V-B: EC-FRM keeps the candidate code's fault tolerance and
+/// storage overhead for every Table I parameter set.
+#[test]
+fn properties_preserved_for_all_table_one_parameters() {
+    for (k, m) in rs_params() {
+        let [std, _, ec] = rs_schemes(k, m);
+        assert_eq!(std.n_disks(), ec.n_disks(), "storage overhead changed");
+        // EC-FRM placement is stripe-periodic, so 2 stripes suffice.
+        assert!(ec.verify_disk_tolerance(m, 2), "RS({k},{m})");
+    }
+    for (k, l, m) in lrc_params() {
+        let [_, _, ec] = lrc_schemes(k, l, m);
+        assert!(
+            ec.verify_disk_tolerance(m + 1, 2),
+            "LRC({k},{l},{m}) must tolerate any {} disks",
+            m + 1
+        );
+    }
+}
