@@ -1,7 +1,8 @@
 //! Criterion bench for Figure 9: degraded-read planning (repair source
 //! selection + timing) for every cell of Table I.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecfrm_bench::harness::{BenchmarkId, Criterion};
+use ecfrm_bench::{criterion_group, criterion_main};
 
 use ecfrm_bench::experiment::{run_degraded, ExperimentConfig};
 use ecfrm_bench::params::{lrc_params, lrc_schemes, rs_params, rs_schemes};

@@ -4,7 +4,8 @@
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ecfrm_bench::harness::{BenchmarkId, Criterion, Throughput};
+use ecfrm_bench::{criterion_group, criterion_main};
 
 use ecfrm_codes::{CandidateCode, LrcCode, RsCode};
 use ecfrm_core::Scheme;
@@ -13,7 +14,11 @@ const ELEMENT: usize = 64 * 1024;
 
 fn data(k: usize) -> Vec<Vec<u8>> {
     (0..k)
-        .map(|i| (0..ELEMENT).map(|j| ((i * 31 + j * 7 + 11) % 256) as u8).collect())
+        .map(|i| {
+            (0..ELEMENT)
+                .map(|j| ((i * 31 + j * 7 + 11) % 256) as u8)
+                .collect()
+        })
         .collect()
 }
 
@@ -31,10 +36,14 @@ fn bench_encode(c: &mut Criterion) {
         let d = data(k);
         let refs: Vec<&[u8]> = d.iter().map(|v| v.as_slice()).collect();
         g.throughput(Throughput::Bytes((k * ELEMENT) as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(code.name()), &code, |b, code| {
-            let mut parity = vec![vec![0u8; ELEMENT]; code.m()];
-            b.iter(|| code.encode(&refs, &mut parity));
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(code.name()),
+            &code,
+            |b, code| {
+                let mut parity = vec![vec![0u8; ELEMENT]; code.m()];
+                b.iter(|| code.encode(&refs, &mut parity));
+            },
+        );
     }
     g.finish();
 }
@@ -59,15 +68,19 @@ fn bench_decode(c: &mut Criterion) {
             .collect();
         let tolerance = code.fault_tolerance();
         g.throughput(Throughput::Bytes((tolerance * ELEMENT) as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(code.name()), &code, |b, code| {
-            b.iter(|| {
-                let mut s = shards.clone();
-                for slot in s.iter_mut().take(tolerance) {
-                    *slot = None;
-                }
-                code.decode(&mut s, ELEMENT).unwrap();
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(code.name()),
+            &code,
+            |b, code| {
+                b.iter(|| {
+                    let mut s = shards.clone();
+                    for slot in s.iter_mut().take(tolerance) {
+                        *slot = None;
+                    }
+                    code.decode(&mut s, ELEMENT).unwrap();
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -102,13 +115,11 @@ fn bench_decoder_cache(c: &mut Criterion) {
     let mut parity = vec![vec![0u8; ELEMENT]; code.m()];
     code.encode(&refs, &mut parity);
     let full: Vec<Vec<u8>> = d.into_iter().chain(parity).collect();
-    let sources: Vec<(usize, &[u8])> =
-        (1..7).map(|p| (p, full[p].as_slice())).collect();
+    let sources: Vec<(usize, &[u8])> = (1..7).map(|p| (p, full[p].as_slice())).collect();
     g.throughput(Throughput::Bytes(ELEMENT as u64));
     g.bench_function("uncached", |b| {
         b.iter(|| {
-            ecfrm_codes::decode::reconstruct_one(code.generator(), 0, &sources, ELEMENT)
-                .unwrap()
+            ecfrm_codes::decode::reconstruct_one(code.generator(), 0, &sources, ELEMENT).unwrap()
         })
     });
     let cache = DecoderCache::new(code.generator().clone());

@@ -1,12 +1,15 @@
 //! Criterion bench: the GF region kernels (the workspace's GF-Complete
 //! substitute) — multiply-accumulate and XOR over storage-sized buffers.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ecfrm_bench::harness::{BenchmarkId, Criterion, Throughput};
+use ecfrm_bench::{criterion_group, criterion_main};
 
 use ecfrm_gf::region::{dot_region, mul_add_region, mul_region, xor_region};
 
 fn buf(len: usize, seed: u8) -> Vec<u8> {
-    (0..len).map(|i| ((i * 131 + seed as usize * 7 + 1) % 256) as u8).collect()
+    (0..len)
+        .map(|i| ((i * 131 + seed as usize * 7 + 1) % 256) as u8)
+        .collect()
 }
 
 fn bench_kernels(c: &mut Criterion) {

@@ -1,7 +1,9 @@
 //! Criterion bench for Figure 8: normal-read planning + array timing for
-//! every (code, form, parameter) cell of the paper's Table I.
+//! every (code, form, parameter) cell of the paper's Table I — plus a
+//! loopback variant where reads cross real TCP sockets.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecfrm_bench::harness::{BenchmarkId, Criterion, Throughput};
+use ecfrm_bench::{criterion_group, criterion_main};
 
 use ecfrm_bench::experiment::{run_normal, ExperimentConfig};
 use ecfrm_bench::params::{lrc_params, lrc_schemes, rs_params, rs_schemes};
@@ -44,5 +46,49 @@ fn bench_fig8b(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fig8a, bench_fig8b);
+/// Normal reads over real loopback TCP: `ObjectStore` backed by
+/// `RemoteDisk` clients against in-process shard servers. Measures the
+/// wire path (framing + syscalls + connection pooling) that the
+/// simulated benches above deliberately exclude.
+fn bench_loopback_net(c: &mut Criterion) {
+    use ecfrm_net::Cluster;
+    use ecfrm_sim::ThreadedArray;
+    use ecfrm_store::ObjectStore;
+    use ecfrm_util::Rng;
+
+    const ELEMENT: usize = 4096;
+    const READ_ELEMS: u64 = 8;
+
+    let mut g = c.benchmark_group("normal_read_loopback_net");
+    g.throughput(Throughput::Bytes(READ_ELEMS * ELEMENT as u64));
+    for scheme in lrc_schemes(6, 2, 2) {
+        let cluster = Cluster::spawn(scheme.n_disks()).expect("loopback cluster");
+        let store = ObjectStore::with_array(
+            scheme.clone(),
+            ELEMENT,
+            ThreadedArray::from_backends(cluster.backends()),
+        );
+        let total: usize = 64 * scheme.data_per_stripe() * ELEMENT;
+        let data: Vec<u8> = (0..total).map(|i| (i % 251) as u8).collect();
+        store.put("bench", &data).expect("ingest");
+        store.flush();
+
+        let mut rng = Rng::seed_from_u64(42);
+        let span = total as u64 - READ_ELEMS * ELEMENT as u64;
+        g.bench_with_input(
+            BenchmarkId::new(scheme.name(), "8-element reads"),
+            &store,
+            |b, s| {
+                b.iter(|| {
+                    let start = rng.random_range(0..span);
+                    s.get_range("bench", start, READ_ELEMS * ELEMENT as u64)
+                        .expect("read over loopback")
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig8a, bench_fig8b, bench_loopback_net);
 criterion_main!(benches);

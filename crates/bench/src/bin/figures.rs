@@ -11,27 +11,26 @@
 
 use std::sync::Arc;
 
-use rayon::prelude::*;
-
 use ecfrm_bench::experiment::{run_degraded, run_normal, ExperimentConfig};
 use ecfrm_bench::params::{lrc_params, lrc_schemes, rs_params, rs_schemes};
 use ecfrm_bench::report::{degraded_cost_table, degraded_speed_table, gain_pct, normal_table};
 use ecfrm_codes::{CandidateCode, RsCode};
 use ecfrm_core::Scheme;
 use ecfrm_sim::{mean, DiskModel, NormalReadWorkload};
+use ecfrm_util::{par_map, Rng};
 
 fn fig8a(cfg: &ExperimentConfig) {
-    let rows: Vec<_> = rs_params()
-        .into_par_iter()
-        .map(|(k, m)| {
-            let schemes = rs_schemes(k, m);
-            let [s, r, e] = schemes;
-            (
-                format!("({k},{m})"),
-                [run_normal(&s, cfg), run_normal(&r, cfg), run_normal(&e, cfg)],
-            )
-        })
-        .collect();
+    let rows: Vec<_> = par_map(&rs_params(), |_, &(k, m)| {
+        let [s, r, e] = rs_schemes(k, m);
+        (
+            format!("({k},{m})"),
+            [
+                run_normal(&s, cfg),
+                run_normal(&r, cfg),
+                run_normal(&e, cfg),
+            ],
+        )
+    });
     println!(
         "{}",
         normal_table("Figure 8(a): normal read speed, RS forms (MB/s)", &rows)
@@ -39,16 +38,17 @@ fn fig8a(cfg: &ExperimentConfig) {
 }
 
 fn fig8b(cfg: &ExperimentConfig) {
-    let rows: Vec<_> = lrc_params()
-        .into_par_iter()
-        .map(|(k, l, m)| {
-            let [s, r, e] = lrc_schemes(k, l, m);
-            (
-                format!("({k},{l},{m})"),
-                [run_normal(&s, cfg), run_normal(&r, cfg), run_normal(&e, cfg)],
-            )
-        })
-        .collect();
+    let rows: Vec<_> = par_map(&lrc_params(), |_, &(k, l, m)| {
+        let [s, r, e] = lrc_schemes(k, l, m);
+        (
+            format!("({k},{l},{m})"),
+            [
+                run_normal(&s, cfg),
+                run_normal(&r, cfg),
+                run_normal(&e, cfg),
+            ],
+        )
+    });
     println!(
         "{}",
         normal_table("Figure 8(b): normal read speed, LRC forms (MB/s)", &rows)
@@ -56,37 +56,31 @@ fn fig8b(cfg: &ExperimentConfig) {
 }
 
 fn degraded_rows_rs(cfg: &ExperimentConfig) -> Vec<(String, [ecfrm_bench::DegradedResult; 3])> {
-    rs_params()
-        .into_par_iter()
-        .map(|(k, m)| {
-            let [s, r, e] = rs_schemes(k, m);
-            (
-                format!("({k},{m})"),
-                [
-                    run_degraded(&s, cfg),
-                    run_degraded(&r, cfg),
-                    run_degraded(&e, cfg),
-                ],
-            )
-        })
-        .collect()
+    par_map(&rs_params(), |_, &(k, m)| {
+        let [s, r, e] = rs_schemes(k, m);
+        (
+            format!("({k},{m})"),
+            [
+                run_degraded(&s, cfg),
+                run_degraded(&r, cfg),
+                run_degraded(&e, cfg),
+            ],
+        )
+    })
 }
 
 fn degraded_rows_lrc(cfg: &ExperimentConfig) -> Vec<(String, [ecfrm_bench::DegradedResult; 3])> {
-    lrc_params()
-        .into_par_iter()
-        .map(|(k, l, m)| {
-            let [s, r, e] = lrc_schemes(k, l, m);
-            (
-                format!("({k},{l},{m})"),
-                [
-                    run_degraded(&s, cfg),
-                    run_degraded(&r, cfg),
-                    run_degraded(&e, cfg),
-                ],
-            )
-        })
-        .collect()
+    par_map(&lrc_params(), |_, &(k, l, m)| {
+        let [s, r, e] = lrc_schemes(k, l, m);
+        (
+            format!("({k},{l},{m})"),
+            [
+                run_degraded(&s, cfg),
+                run_degraded(&r, cfg),
+                run_degraded(&e, cfg),
+            ],
+        )
+    })
 }
 
 fn fig9(cfg: &ExperimentConfig, which: &str) {
@@ -163,7 +157,10 @@ fn sweep_elem(cfg: &ExperimentConfig) {
 /// Ablation: gain per fixed read size (where does EC-FRM start to win?).
 fn sweep_size(cfg: &ExperimentConfig) {
     println!("Ablation: EC-FRM-RS(6,3) normal-read gain vs request size (elements)");
-    println!("{:<8} {:>12} {:>14} {:>10}", "size", "RS MB/s", "EC-FRM MB/s", "gain %");
+    println!(
+        "{:<8} {:>12} {:>14} {:>10}",
+        "size", "RS MB/s", "EC-FRM MB/s", "gain %"
+    );
     let [s, _, e] = rs_schemes(6, 3);
     for size in [1usize, 2, 4, 6, 7, 8, 10, 12, 16, 20] {
         let mut c = cfg.clone();
@@ -175,8 +172,8 @@ fn sweep_size(cfg: &ExperimentConfig) {
             max_size: size,
         };
         let sim = ecfrm_sim::ArraySim::uniform(s.n_disks(), c.disk, c.element_size);
-        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(c.seed);
-        let speeds_of = |scheme: &Scheme, rng: &mut rand::rngs::SmallRng| {
+        let mut rng = Rng::seed_from_u64(c.seed);
+        let speeds_of = |scheme: &Scheme, rng: &mut Rng| {
             let xs: Vec<f64> = wl
                 .generate(c.seed)
                 .iter()
@@ -189,7 +186,13 @@ fn sweep_size(cfg: &ExperimentConfig) {
         };
         let rs = speeds_of(&s, &mut rng);
         let ec = speeds_of(&e, &mut rng);
-        println!("{:<8} {:>12.1} {:>14.1} {:>+10.1}", size, rs, ec, gain_pct(ec, rs));
+        println!(
+            "{:<8} {:>12.1} {:>14.1} {:>+10.1}",
+            size,
+            rs,
+            ec,
+            gain_pct(ec, rs)
+        );
     }
     println!();
 }
@@ -207,7 +210,7 @@ fn hetero(cfg: &ExperimentConfig) {
         min_size: 1,
         max_size: 20,
     };
-    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     for scheme in rs_schemes(6, 3) {
         let xs: Vec<f64> = wl
             .generate(cfg.seed)
@@ -324,7 +327,7 @@ fn vertical(cfg: &ExperimentConfig) {
         max_size: 20,
     };
     let reqs = wl.generate(cfg.seed);
-    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let sim = ecfrm_sim::ArraySim::uniform(7, cfg.disk, cfg.element_size);
 
     // EC-FRM-RS(5,2): same 7 disks, same tolerance 2, efficiency 5/7.
@@ -445,8 +448,7 @@ fn bandwidth(cfg: &ExperimentConfig) {
             .generate(cfg.seed)
             .iter()
             .map(|r| {
-                let plan =
-                    scheme.degraded_read_plan(r.start, r.size, &[r.failed_disk.unwrap()]);
+                let plan = scheme.degraded_read_plan(r.start, r.size, &[r.failed_disk.unwrap()]);
                 cluster.read_speed_mb_s(r.size, &plan.per_disk_load())
             })
             .collect();

@@ -1,13 +1,9 @@
 //! Run one experiment cell: a scheme under a workload on the simulated
 //! array, summarised the way the paper reports it.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
 use ecfrm_core::Scheme;
-use ecfrm_sim::{
-    mean, ArraySim, DegradedReadWorkload, DiskModel, Jitter, NormalReadWorkload,
-};
+use ecfrm_sim::{mean, ArraySim, DegradedReadWorkload, DiskModel, Jitter, NormalReadWorkload};
+use ecfrm_util::Rng;
 
 /// Shared experiment knobs.
 #[derive(Debug, Clone)]
@@ -98,7 +94,7 @@ pub fn run_normal(scheme: &Scheme, cfg: &ExperimentConfig) -> NormalResult {
         max_size: 20,
     };
     let sim = cfg.sim(scheme.n_disks());
-    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xA5A5_A5A5);
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ 0xA5A5_A5A5);
     let mut speeds = Vec::with_capacity(cfg.trials_normal);
     let mut max_loads = Vec::with_capacity(cfg.trials_normal);
     let mut touched = Vec::with_capacity(cfg.trials_normal);
@@ -126,7 +122,7 @@ pub fn run_degraded(scheme: &Scheme, cfg: &ExperimentConfig) -> DegradedResult {
         n_disks: scheme.n_disks(),
     };
     let sim = cfg.sim(scheme.n_disks());
-    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5A5A_5A5A);
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ 0x5A5A_5A5A);
     let mut speeds = Vec::with_capacity(cfg.trials_degraded);
     let mut costs = Vec::with_capacity(cfg.trials_degraded);
     let mut max_loads = Vec::with_capacity(cfg.trials_degraded);

@@ -1,0 +1,239 @@
+//! A minimal benchmark harness with a criterion-flavoured API.
+//!
+//! The offline build carries no external crates, so this module supplies
+//! the small slice of the criterion surface the bench targets use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`] /
+//! [`BenchmarkGroup::bench_function`], [`Throughput::Bytes`], and
+//! [`Bencher::iter`], plus the `criterion_group!` / `criterion_main!`
+//! macros (exported from the crate root). Each benchmark warms up
+//! briefly, then runs for a fixed wall-clock budget and reports the mean
+//! iteration time (and MB/s when a throughput is set).
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per benchmark after warm-up.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+/// Warm-up budget per benchmark.
+const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+/// Hard cap on measured iterations (fast benches stop here).
+const MAX_ITERS: u64 = 100_000;
+
+/// Top-level benchmark driver. `--filter <substr>` (or a bare positional
+/// argument) restricts which benchmarks run, matching on the full
+/// `group/id` label.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Build a driver, reading the filter from the command line and
+    /// ignoring harness flags cargo passes (`--bench`, `--exact`, ...).
+    pub fn new() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with("--"))
+            .filter(|a| !a.is_empty());
+        Self { filter }
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            printed_header: false,
+        }
+    }
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// How to convert iteration time into a rate for reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration (reported as MB/s, 1 MB = 10^6 B).
+    Bytes(u64),
+    /// Logical elements processed per iteration (reported as Melem/s).
+    Elements(u64),
+}
+
+/// A benchmark label: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A label with distinct function and parameter parts.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// A label that is just a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    printed_header: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id.clone(), |b| f(b, input));
+        self
+    }
+
+    /// Run one benchmark with no input.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |b| f(b));
+        self
+    }
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let label = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !label.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if !self.printed_header {
+            println!("{}", self.name);
+            self.printed_header = true;
+        }
+        let mut bencher = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        if bencher.iters == 0 {
+            println!("  {id:<40} (no iterations)");
+            return;
+        }
+        let mean = bencher.elapsed.as_secs_f64() / bencher.iters as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(bytes)) => {
+                format!("  {:>10.1} MB/s", bytes as f64 / 1e6 / mean)
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>10.2} Melem/s", n as f64 / 1e6 / mean)
+            }
+            None => String::new(),
+        };
+        println!(
+            "  {:<40} {:>12}/iter  ({} iters){}",
+            id,
+            format_duration(mean),
+            bencher.iters,
+            rate
+        );
+    }
+
+    /// Close the group (a blank separator line).
+    pub fn finish(&mut self) {
+        if self.printed_header {
+            println!();
+        }
+    }
+}
+
+fn format_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Warm up, then run `f` repeatedly within the measurement budget,
+    /// recording iteration count and elapsed time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            std::hint::black_box(f());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < MEASURE_BUDGET && iters < MAX_ITERS {
+            std::hint::black_box(f());
+            iters += 1;
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert!(b.iters > 0);
+        assert!(count >= b.iters, "warm-up iterations also run");
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", "(6,3)").id, "f/(6,3)");
+        assert_eq!(BenchmarkId::from_parameter(42).id, "42");
+    }
+
+    #[test]
+    fn format_duration_scales() {
+        assert_eq!(format_duration(2.0), "2.000 s");
+        assert_eq!(format_duration(0.002), "2.000 ms");
+        assert_eq!(format_duration(0.000_002), "2.000 µs");
+        assert_eq!(format_duration(0.000_000_002), "2.0 ns");
+    }
+}

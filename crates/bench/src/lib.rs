@@ -17,8 +17,30 @@
 //! ```
 
 pub mod experiment;
+pub mod harness;
 pub mod params;
 pub mod report;
 
 pub use experiment::{run_degraded, run_normal, DegradedResult, ExperimentConfig, NormalResult};
 pub use params::{lrc_params, lrc_schemes, rs_params, rs_schemes, three_forms};
+
+/// Group benchmark functions under one driver function (criterion-style).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::harness::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Entry point running every group (criterion-style).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::harness::Criterion::new();
+            $( $group(&mut c); )+
+        }
+    };
+}

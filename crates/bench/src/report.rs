@@ -108,8 +108,14 @@ mod tests {
     #[test]
     fn tables_render_all_rows() {
         let rows = vec![
-            ("(6,3)".to_string(), [nr("RS", 100.0), nr("R-RS", 110.0), nr("EC", 130.0)]),
-            ("(8,4)".to_string(), [nr("RS", 90.0), nr("R-RS", 95.0), nr("EC", 120.0)]),
+            (
+                "(6,3)".to_string(),
+                [nr("RS", 100.0), nr("R-RS", 110.0), nr("EC", 130.0)],
+            ),
+            (
+                "(8,4)".to_string(),
+                [nr("RS", 90.0), nr("R-RS", 95.0), nr("EC", 120.0)],
+            ),
         ];
         let t = normal_table("Fig 8(a)", &rows);
         assert!(t.contains("(6,3)"));
@@ -118,7 +124,11 @@ mod tests {
 
         let drows = vec![(
             "(6,2,2)".to_string(),
-            [dr("LRC", 80.0, 1.10), dr("R-LRC", 85.0, 1.11), dr("EC", 90.0, 1.105)],
+            [
+                dr("LRC", 80.0, 1.10),
+                dr("R-LRC", 85.0, 1.11),
+                dr("EC", 90.0, 1.105),
+            ],
         )];
         assert!(degraded_speed_table("Fig 9(d)", &drows).contains("(6,2,2)"));
         assert!(degraded_cost_table("Fig 9(b)", &drows).contains("1.1000"));

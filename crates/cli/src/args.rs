@@ -31,6 +31,10 @@ pub struct Options {
     pub failed: Vec<usize>,
     /// `--seed 7` (shuffled layout).
     pub seed: u64,
+    /// `--listen 127.0.0.1:7000` (serve).
+    pub listen: Option<String>,
+    /// `--remote host:port,host:port,...` (bench over the wire).
+    pub remote: Vec<String>,
 }
 
 impl Options {
@@ -72,9 +76,11 @@ impl Options {
                 "--failed" => o
                     .failed
                     .push(value()?.parse().map_err(|e| format!("bad --failed: {e}"))?),
-                "--seed" => {
-                    o.seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?
-                }
+                "--seed" => o.seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+                "--listen" => o.listen = Some(value()?),
+                "--remote" => o
+                    .remote
+                    .extend(value()?.split(',').map(|a| a.trim().to_string())),
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -83,7 +89,8 @@ impl Options {
 
     /// Required-flag accessor with a friendly error.
     pub fn require<'a, T>(v: &'a Option<T>, name: &str) -> Result<&'a T, String> {
-        v.as_ref().ok_or_else(|| format!("missing required flag --{name}"))
+        v.as_ref()
+            .ok_or_else(|| format!("missing required flag --{name}"))
     }
 }
 
@@ -94,7 +101,11 @@ pub fn parse_code(spec: &str) -> Result<Arc<dyn CandidateCode>, String> {
         .ok_or_else(|| format!("bad code spec `{spec}` (expected kind:params)"))?;
     let nums: Vec<usize> = params
         .split(',')
-        .map(|p| p.trim().parse().map_err(|e| format!("bad code params: {e}")))
+        .map(|p| {
+            p.trim()
+                .parse()
+                .map_err(|e| format!("bad code params: {e}"))
+        })
         .collect::<Result<_, _>>()?;
     match (kind, nums.as_slice()) {
         ("rs", [k, m]) => Ok(Arc::new(RsCode::vandermonde(*k, *m))),
@@ -150,6 +161,24 @@ mod tests {
     }
 
     #[test]
+    fn parse_network_flags() {
+        let o = Options::parse(&sv(&[
+            "--listen",
+            "127.0.0.1:7000",
+            "--remote",
+            "10.0.0.1:7000,10.0.0.2:7000",
+            "--remote",
+            "10.0.0.3:7000",
+        ]))
+        .unwrap();
+        assert_eq!(o.listen.as_deref(), Some("127.0.0.1:7000"));
+        assert_eq!(
+            o.remote,
+            vec!["10.0.0.1:7000", "10.0.0.2:7000", "10.0.0.3:7000"]
+        );
+    }
+
+    #[test]
     fn missing_value_is_error() {
         assert!(Options::parse(&sv(&["--code"])).is_err());
         assert!(Options::parse(&sv(&["--bogus", "1"])).is_err());
@@ -168,8 +197,14 @@ mod tests {
 
     #[test]
     fn scheme_specs() {
-        assert_eq!(parse_scheme("rs:6,3", "ecfrm", 0).unwrap().name(), "EC-FRM-RS(6,3)");
-        assert_eq!(parse_scheme("lrc:6,2,2", "standard", 0).unwrap().name(), "LRC(6,2,2)");
+        assert_eq!(
+            parse_scheme("rs:6,3", "ecfrm", 0).unwrap().name(),
+            "EC-FRM-RS(6,3)"
+        );
+        assert_eq!(
+            parse_scheme("lrc:6,2,2", "standard", 0).unwrap().name(),
+            "LRC(6,2,2)"
+        );
         assert!(parse_scheme("rs:6,3", "diagonal", 0).is_err());
     }
 }

@@ -9,13 +9,20 @@
 //! ecfrm plan    --code lrc:6,2,2 --layout ecfrm --start 0 --count 8 [--failed 2]
 //! ```
 //!
+//! ```text
+//! ecfrm serve   --listen 127.0.0.1:7000 --dir ./shard0
+//! ecfrm bench   --code rs:4,2 --layout ecfrm \
+//!               --remote 127.0.0.1:7000,...   # one address per disk
+//! ```
+//!
 //! `encode` splits a file into elements, erasure codes it stripe by
 //! stripe under the chosen scheme, and writes one chunk file per disk
 //! plus a plain-text manifest. `decode` restores the original file even
 //! when up to `fault-tolerance` chunk files are deleted. `repair`
 //! regenerates one missing/corrupt chunk file. `plan` prints the per-disk
 //! access distribution of a read — the paper's Figures 3 and 7 as a
-//! command.
+//! command. `serve` exposes one shard over TCP and `bench --remote`
+//! drives the full put→encode→network→decode path against such shards.
 
 mod args;
 mod manifest;
@@ -47,6 +54,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "verify" => ops::verify(&opts),
         "plan" => ops::plan(&opts),
         "bench" => ops::bench(&opts),
+        "serve" => ops::serve(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -65,6 +73,8 @@ fn usage() -> String {
      \x20 info    --dir <chunk dir>\n\
      \x20 verify  --dir <chunk dir>\n\
      \x20 plan    --code <spec> --layout <name> --start <elem> --count <elems> [--failed <disk>]\n\
-     \x20 bench   --code <spec> --layout <name> [--element-size <bytes>] [--count <trials>]"
+     \x20 bench   --code <spec> --layout <name> [--element-size <bytes>] [--count <trials>]\n\
+     \x20         [--remote host:port,host:port,...]   (one address per disk)\n\
+     \x20 serve   --listen <host:port> [--dir <shard dir>] [--element-size <bytes>]"
         .to_string()
 }

@@ -22,11 +22,7 @@ fn read_chunks(dir: &Path, n: usize) -> Vec<Option<Vec<u8>>> {
 }
 
 /// Element bytes of `loc` within a per-disk chunk buffer.
-fn element_of(
-    chunks: &[Option<Vec<u8>>],
-    loc: Loc,
-    element_size: usize,
-) -> Option<&[u8]> {
+fn element_of(chunks: &[Option<Vec<u8>>], loc: Loc, element_size: usize) -> Option<&[u8]> {
     let chunk = chunks[loc.disk].as_ref()?;
     let start = loc.offset as usize * element_size;
     chunk.get(start..start + element_size)
@@ -101,7 +97,9 @@ pub fn decode(opts: &Options) -> Result<(), String> {
     let m = Manifest::load(dir)?;
     let scheme = scheme_of(&m)?;
     let chunks = read_chunks(dir, scheme.n_disks());
-    let missing: Vec<usize> = (0..scheme.n_disks()).filter(|&d| chunks[d].is_none()).collect();
+    let missing: Vec<usize> = (0..scheme.n_disks())
+        .filter(|&d| chunks[d].is_none())
+        .collect();
     if !missing.is_empty() {
         eprintln!("note: reconstructing around missing chunks {missing:?}");
     }
@@ -138,7 +136,10 @@ pub fn repair(opts: &Options) -> Result<(), String> {
     let m = Manifest::load(dir)?;
     let scheme = scheme_of(&m)?;
     if disk >= scheme.n_disks() {
-        return Err(format!("disk {disk} out of range (n = {})", scheme.n_disks()));
+        return Err(format!(
+            "disk {disk} out of range (n = {})",
+            scheme.n_disks()
+        ));
     }
     let chunks = read_chunks(dir, scheme.n_disks());
     let recovery = DiskRecovery::plan(&scheme, disk, m.stripes);
@@ -180,24 +181,68 @@ pub fn info(opts: &Options) -> Result<(), String> {
     let chunks = read_chunks(dir, scheme.n_disks());
     let present = chunks.iter().filter(|c| c.is_some()).count();
     println!("scheme          {}", scheme.name());
-    println!("disks           {} ({present} chunk files present)", scheme.n_disks());
+    println!(
+        "disks           {} ({present} chunk files present)",
+        scheme.n_disks()
+    );
     println!("element size    {} B", m.element_size);
     println!("stripes         {}", m.stripes);
     println!("rows per stripe {}", scheme.layout().rows_per_stripe());
     println!("data bytes      {}", m.data_len);
-    println!("fault tolerance any {} disks", scheme.code().fault_tolerance());
-    let missing: Vec<usize> = (0..scheme.n_disks()).filter(|&d| chunks[d].is_none()).collect();
+    println!(
+        "fault tolerance any {} disks",
+        scheme.code().fault_tolerance()
+    );
+    let missing: Vec<usize> = (0..scheme.n_disks())
+        .filter(|&d| chunks[d].is_none())
+        .collect();
     if !missing.is_empty() {
         println!("missing chunks  {missing:?}");
     }
     Ok(())
 }
 
+/// `ecfrm serve`: expose a shard (one disk's elements) over TCP so
+/// remote `ecfrm bench --remote` / `RemoteDisk` clients can read it.
+/// Backed by a `FileDisk` under `--dir` when given (persistent), else an
+/// in-memory disk. Runs until killed.
+pub fn serve(opts: &Options) -> Result<(), String> {
+    use ecfrm_net::ShardServer;
+    use ecfrm_sim::{DiskBackend, FileDisk, MemDisk};
+    use std::sync::Arc;
+
+    let listen = Options::require(&opts.listen, "listen")?;
+    let element_size = opts.element_size.unwrap_or(64 * 1024);
+    let backend: Arc<dyn DiskBackend> = match &opts.dir {
+        Some(dir) => {
+            let dir = Path::new(dir);
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+            let path = dir.join("shard.bin");
+            Arc::new(FileDisk::create(&path, element_size).map_err(|e| format!("shard file: {e}"))?)
+        }
+        None => Arc::new(MemDisk::new()),
+    };
+    let server = ShardServer::spawn(backend, listen).map_err(|e| format!("bind {listen}: {e}"))?;
+    println!(
+        "serving shard on {} ({})",
+        server.addr(),
+        if opts.dir.is_some() {
+            "file-backed"
+        } else {
+            "in-memory"
+        }
+    );
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
 /// `ecfrm bench`: a quick real-I/O microbenchmark — build a store over
-/// file-backed disks in a temp directory, ingest data, and replay the
-/// paper's random-read workload, reporting actual wall-clock speeds for
-/// normal and degraded reads.
+/// file-backed disks in a temp directory (or over `--remote` shard
+/// servers), ingest data, and replay the paper's random-read workload,
+/// reporting actual wall-clock speeds for normal and degraded reads.
 pub fn bench(opts: &Options) -> Result<(), String> {
+    use ecfrm_net::{RemoteDisk, RemoteDiskConfig};
     use ecfrm_sim::{DiskBackend, FileDisk, ThreadedArray};
     use std::sync::Arc;
     use std::time::Instant;
@@ -210,14 +255,40 @@ pub fn bench(opts: &Options) -> Result<(), String> {
 
     let dir = std::env::temp_dir().join(format!("ecfrm-bench-{}", std::process::id()));
     std::fs::create_dir_all(&dir).map_err(|e| format!("tmp dir: {e}"))?;
-    let backends: Vec<Arc<dyn DiskBackend>> = (0..scheme.n_disks())
-        .map(|d| {
-            Ok::<_, String>(Arc::new(
-                FileDisk::create(dir.join(format!("bench-d{d}.bin")), element_size)
-                    .map_err(|e| format!("disk {d}: {e}"))?,
-            ) as Arc<dyn DiskBackend>)
-        })
-        .collect::<Result<_, _>>()?;
+    let mut remotes: Vec<Arc<RemoteDisk>> = Vec::new();
+    let backends: Vec<Arc<dyn DiskBackend>> = if opts.remote.is_empty() {
+        (0..scheme.n_disks())
+            .map(|d| {
+                Ok::<_, String>(Arc::new(
+                    FileDisk::create(dir.join(format!("bench-d{d}.bin")), element_size)
+                        .map_err(|e| format!("disk {d}: {e}"))?,
+                ) as Arc<dyn DiskBackend>)
+            })
+            .collect::<Result<_, _>>()?
+    } else {
+        if opts.remote.len() != scheme.n_disks() {
+            return Err(format!(
+                "--remote needs exactly n = {} addresses, got {}",
+                scheme.n_disks(),
+                opts.remote.len()
+            ));
+        }
+        for a in &opts.remote {
+            let addr = a
+                .parse()
+                .map_err(|e| format!("bad --remote address `{a}`: {e}"))?;
+            let disk = Arc::new(RemoteDisk::new(addr, RemoteDiskConfig::default()));
+            // Health-check up front so a dead shard fails the bench with
+            // a clear message instead of silently running degraded.
+            disk.health()
+                .map_err(|e| format!("shard {a} unhealthy: {e:?}"))?;
+            remotes.push(disk);
+        }
+        remotes
+            .iter()
+            .map(|d| Arc::clone(d) as Arc<dyn DiskBackend>)
+            .collect()
+    };
     let store = ecfrm_store::ObjectStore::with_array(
         scheme.clone(),
         element_size,
@@ -279,6 +350,22 @@ pub fn bench(opts: &Options) -> Result<(), String> {
     };
     run("normal reads  ", None)?;
     run("degraded reads", Some(0))?;
+    if !remotes.is_empty() {
+        let net = remotes
+            .iter()
+            .fold(ecfrm_sim::NetStats::default(), |acc, d| {
+                acc.merge(&d.counters().snapshot())
+            });
+        println!(
+            "network: {} retries, {} hedges ({} won), {} timeouts, {} reconnects, {} failed",
+            net.retries,
+            net.hedges,
+            net.hedge_wins,
+            net.timeouts,
+            net.reconnects,
+            net.failed_requests
+        );
+    }
     let _ = std::fs::remove_dir_all(&dir);
     Ok(())
 }
@@ -292,8 +379,9 @@ pub fn verify(opts: &Options) -> Result<(), String> {
     let m = Manifest::load(dir)?;
     let scheme = scheme_of(&m)?;
     let chunks = read_chunks(dir, scheme.n_disks());
-    let missing: Vec<usize> =
-        (0..scheme.n_disks()).filter(|&d| chunks[d].is_none()).collect();
+    let missing: Vec<usize> = (0..scheme.n_disks())
+        .filter(|&d| chunks[d].is_none())
+        .collect();
     let k = scheme.code().k();
     let n = scheme.code().n();
     let mut corrupt: Vec<(u64, usize)> = Vec::new();
@@ -313,7 +401,11 @@ pub fn verify(opts: &Options) -> Result<(), String> {
             let mut parity = vec![vec![0u8; m.element_size]; n - k];
             scheme.code().encode(&data, &mut parity);
             let stored: Vec<&[u8]> = cells[k..].iter().map(|c| c.unwrap()).collect();
-            if parity.iter().zip(&stored).any(|(want, got)| want.as_slice() != *got) {
+            if parity
+                .iter()
+                .zip(&stored)
+                .any(|(want, got)| want.as_slice() != *got)
+            {
                 corrupt.push((s, row));
             }
         }
@@ -360,7 +452,11 @@ pub fn plan(opts: &Options) -> Result<(), String> {
     );
     let loads = plan.per_disk_load();
     for (d, &l) in loads.iter().enumerate() {
-        let marker = if opts.failed.contains(&d) { " (failed)" } else { "" };
+        let marker = if opts.failed.contains(&d) {
+            " (failed)"
+        } else {
+            ""
+        };
         println!("  disk {d:>2}: {:<20} {l}{marker}", "#".repeat(l.min(20)));
     }
     println!(
@@ -381,10 +477,7 @@ mod tests {
     use super::*;
 
     fn tmpdir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "ecfrm-cli-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("ecfrm-cli-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
@@ -494,6 +587,39 @@ mod tests {
             ..Default::default()
         };
         bench(&opts).unwrap();
+    }
+
+    #[test]
+    fn bench_subcommand_runs_over_loopback_remotes() {
+        use ecfrm_net::ShardServer;
+        use ecfrm_sim::MemDisk;
+        use std::sync::Arc;
+        // rs:4,2 → n = 6 shards, one loopback server each.
+        let servers: Vec<ShardServer> = (0..6)
+            .map(|_| ShardServer::spawn(Arc::new(MemDisk::new()), "127.0.0.1:0").unwrap())
+            .collect();
+        let opts = Options {
+            code: Some("rs:4,2".into()),
+            layout: Some("ecfrm".into()),
+            element_size: Some(512),
+            count: Some(10),
+            seed: 5,
+            remote: servers.iter().map(|s| s.addr().to_string()).collect(),
+            ..Default::default()
+        };
+        bench(&opts).unwrap();
+    }
+
+    #[test]
+    fn bench_rejects_wrong_remote_count() {
+        let opts = Options {
+            code: Some("rs:4,2".into()),
+            layout: Some("ecfrm".into()),
+            remote: vec!["127.0.0.1:1".into()],
+            ..Default::default()
+        };
+        let err = bench(&opts).unwrap_err();
+        assert!(err.contains("exactly n = 6"), "{err}");
     }
 
     #[test]

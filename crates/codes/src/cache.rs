@@ -76,10 +76,7 @@ impl DecoderCache {
         // Solve against the SORTED positions so the cached vector matches
         // the canonical key order.
         let solved = solve_coefficients(&self.generator, target, &key.1).map(Arc::new);
-        self.entries
-            .lock()
-            .unwrap()
-            .insert(key, solved.clone());
+        self.entries.lock().unwrap().insert(key, solved.clone());
         solved
     }
 
@@ -132,7 +129,11 @@ mod tests {
 
     fn encode_full(code: &dyn CandidateCode, len: usize) -> Vec<Vec<u8>> {
         let data: Vec<Vec<u8>> = (0..code.k())
-            .map(|i| (0..len).map(|j| ((i * 37 + j * 11 + 3) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 37 + j * 11 + 3) % 256) as u8)
+                    .collect()
+            })
             .collect();
         let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
         let mut parity = vec![vec![0u8; len]; code.m()];
@@ -165,8 +166,10 @@ mod tests {
         let cache = DecoderCache::new(code.generator().clone());
         // Same geometry 100 times: 1 miss, 99 hits.
         for _ in 0..100 {
-            let sources: Vec<(usize, &[u8])> =
-                [1usize, 2, 6].iter().map(|&p| (p, full[p].as_slice())).collect();
+            let sources: Vec<(usize, &[u8])> = [1usize, 2, 6]
+                .iter()
+                .map(|&p| (p, full[p].as_slice()))
+                .collect();
             let got = cache.reconstruct(0, &sources, len).unwrap();
             assert_eq!(got, full[0]);
         }
@@ -182,10 +185,14 @@ mod tests {
         let len = 8;
         let full = encode_full(&code, len);
         let cache = DecoderCache::new(code.generator().clone());
-        let fwd: Vec<(usize, &[u8])> =
-            [1usize, 2, 3, 4].iter().map(|&p| (p, full[p].as_slice())).collect();
-        let rev: Vec<(usize, &[u8])> =
-            [4usize, 3, 2, 1].iter().map(|&p| (p, full[p].as_slice())).collect();
+        let fwd: Vec<(usize, &[u8])> = [1usize, 2, 3, 4]
+            .iter()
+            .map(|&p| (p, full[p].as_slice()))
+            .collect();
+        let rev: Vec<(usize, &[u8])> = [4usize, 3, 2, 1]
+            .iter()
+            .map(|&p| (p, full[p].as_slice()))
+            .collect();
         let a = cache.reconstruct(0, &fwd, len).unwrap();
         let b = cache.reconstruct(0, &rev, len).unwrap();
         assert_eq!(a, full[0]);
@@ -201,8 +208,10 @@ mod tests {
         let len = 8;
         let full = encode_full(&code, len);
         let cache = DecoderCache::new(code.generator().clone());
-        let sources: Vec<(usize, &[u8])> =
-            [1usize, 2].iter().map(|&p| (p, full[p].as_slice())).collect();
+        let sources: Vec<(usize, &[u8])> = [1usize, 2]
+            .iter()
+            .map(|&p| (p, full[p].as_slice()))
+            .collect();
         assert!(cache.reconstruct(0, &sources, len).is_none());
         assert!(cache.reconstruct(0, &sources, len).is_none());
         let (hits, misses) = cache.stats();

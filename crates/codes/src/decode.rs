@@ -224,11 +224,7 @@ pub fn matrix_decode(
 /// Solve for the coefficient vector expressing `target` over `avail`:
 /// `shard[target] = Σᵢ coeffs[i] · shard[avail[i]]`. `None` when `avail`
 /// does not span the target.
-pub fn solve_coefficients(
-    gen: &Matrix<Gf8>,
-    target: usize,
-    avail: &[usize],
-) -> Option<Vec<u8>> {
+pub fn solve_coefficients(gen: &Matrix<Gf8>, target: usize, avail: &[usize]) -> Option<Vec<u8>> {
     let t = vec![gen.row(target).to_vec()];
     let combo = solve_combinations(gen, avail, &t).pop().unwrap()?;
     Some(combo.into_iter().map(|c| c as u8).collect())

@@ -50,7 +50,10 @@ impl LrcCode {
     /// coefficients stay distinct (`k <= 254`).
     pub fn new(k: usize, l: usize, m: usize) -> Self {
         assert!(k > 0 && l > 0 && m > 0, "LRC requires k, l, m > 0");
-        assert!(k.is_multiple_of(l), "LRC requires l | k (equal local groups)");
+        assert!(
+            k.is_multiple_of(l),
+            "LRC requires l | k (equal local groups)"
+        );
         assert!(k <= 254, "LRC(k,l,m) needs k <= 254 distinct coefficients");
         let n = k + l + m;
         let mut parity = Matrix::<Gf8>::zero(l + m, k);
@@ -267,7 +270,11 @@ mod tests {
 
     fn sample_data(k: usize, len: usize) -> Vec<Vec<u8>> {
         (0..k)
-            .map(|i| (0..len).map(|j| ((i * 37 + j * 13 + 5) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 37 + j * 13 + 5) % 256) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -315,10 +322,20 @@ mod tests {
         let code = LrcCode::new(6, 2, 2);
         // A lost data element reads its 2 group-mates + local parity.
         let spec = code.repair_spec(1, &[1]).unwrap();
-        assert_eq!(spec, RepairSpec::Exact { read: vec![0, 2, 6] });
+        assert_eq!(
+            spec,
+            RepairSpec::Exact {
+                read: vec![0, 2, 6]
+            }
+        );
         // A lost local parity reads its 3 data elements.
         let spec = code.repair_spec(7, &[7]).unwrap();
-        assert_eq!(spec, RepairSpec::Exact { read: vec![3, 4, 5] });
+        assert_eq!(
+            spec,
+            RepairSpec::Exact {
+                read: vec![3, 4, 5]
+            }
+        );
         // A lost global parity recomputes from all 6 data elements.
         let spec = code.repair_spec(8, &[8]).unwrap();
         assert_eq!(
@@ -350,7 +367,10 @@ mod tests {
             RepairSpec::Exact { read } => {
                 assert!(!read.contains(&0) && !read.contains(&1));
                 // Must use at least one global parity.
-                assert!(read.iter().any(|&i| i >= 8), "needs a global parity: {read:?}");
+                assert!(
+                    read.iter().any(|&i| i >= 8),
+                    "needs a global parity: {read:?}"
+                );
             }
             other => panic!("unexpected spec {other:?}"),
         }
@@ -428,7 +448,12 @@ mod tests {
         assert!(!code.is_recoverable(&[0, 1, 2, 6, 3]));
         assert!(code.is_recoverable_target(3, &[0, 1, 2, 6, 3]));
         let spec = code.repair_spec(3, &[0, 1, 2, 6, 3]).unwrap();
-        assert_eq!(spec, RepairSpec::Exact { read: vec![4, 5, 7] });
+        assert_eq!(
+            spec,
+            RepairSpec::Exact {
+                read: vec![4, 5, 7]
+            }
+        );
     }
 
     #[test]

@@ -126,7 +126,11 @@ mod tests {
 
     fn sample_data(k: usize, len: usize) -> Vec<Vec<u8>> {
         (0..k)
-            .map(|i| (0..len).map(|j| ((i * 131 + j * 7 + 3) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 131 + j * 7 + 3) % 256) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -214,7 +218,9 @@ mod tests {
     #[test]
     fn repair_spec_is_any_k_of_survivors() {
         let code = RsCode::vandermonde(6, 3);
-        let spec = code.repair_spec(2, &[2]).expect("single failure repairable");
+        let spec = code
+            .repair_spec(2, &[2])
+            .expect("single failure repairable");
         match spec {
             RepairSpec::AnyOf { from, count } => {
                 assert_eq!(count, 6);
@@ -247,7 +253,11 @@ mod tests {
         let len = 40;
         let a = sample_data(6, len);
         let b: Vec<Vec<u8>> = (0..6)
-            .map(|i| (0..len).map(|j| ((i * 31 + j * 17 + 11) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 31 + j * 17 + 11) % 256) as u8)
+                    .collect()
+            })
             .collect();
         let ab: Vec<Vec<u8>> = a
             .iter()

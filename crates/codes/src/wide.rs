@@ -127,8 +127,7 @@ impl WideRs {
         assert_eq!(data.len(), self.k, "encode expects k data regions");
         assert_eq!(parity.len(), self.m, "encode expects m parity regions");
         for (i, p) in parity.iter_mut().enumerate() {
-            let coeffs: Vec<u16> =
-                self.parity.row(i).iter().map(|&c| c as u16).collect();
+            let coeffs: Vec<u16> = self.parity.row(i).iter().map(|&c| c as u16).collect();
             dot_region16(&coeffs, data, p);
         }
     }
@@ -144,11 +143,7 @@ impl WideRs {
     /// # Errors
     /// [`CodeError::Unrecoverable`] beyond `m` erasures;
     /// [`CodeError::Shape`] on inconsistent shapes.
-    pub fn decode(
-        &self,
-        shards: &mut [Option<Vec<u8>>],
-        len: usize,
-    ) -> Result<(), CodeError> {
+    pub fn decode(&self, shards: &mut [Option<Vec<u8>>], len: usize) -> Result<(), CodeError> {
         let n = self.n();
         if shards.len() != n {
             return Err(CodeError::Shape(format!(
@@ -157,7 +152,9 @@ impl WideRs {
             )));
         }
         if !len.is_multiple_of(2) {
-            return Err(CodeError::Shape("GF(2^16) regions must be even-length".into()));
+            return Err(CodeError::Shape(
+                "GF(2^16) regions must be even-length".into(),
+            ));
         }
         let erased: Vec<usize> = (0..n).filter(|&i| shards[i].is_none()).collect();
         if erased.is_empty() {
@@ -168,7 +165,10 @@ impl WideRs {
         }
         // Select the first k surviving rows (any k suffice: MDS), invert,
         // and express each erased element over them.
-        let avail: Vec<usize> = (0..n).filter(|&i| shards[i].is_some()).take(self.k).collect();
+        let avail: Vec<usize> = (0..n)
+            .filter(|&i| shards[i].is_some())
+            .take(self.k)
+            .collect();
         let a = self.generator.select_rows(&avail);
         let ainv = a.invert().ok_or(CodeError::Unrecoverable {
             erased: erased.clone(),
@@ -198,7 +198,11 @@ mod tests {
 
     fn sample(k: usize, len: usize) -> Vec<Vec<u8>> {
         (0..k)
-            .map(|i| (0..len).map(|j| ((i * 29 + j * 13 + 1) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 29 + j * 13 + 1) % 256) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -288,5 +292,4 @@ mod tests {
             Err(CodeError::Shape(_))
         ));
     }
-
 }

@@ -96,8 +96,9 @@ impl DiskRecovery {
         for stripe in 0..stripes {
             for row in 0..layout.rows_per_stripe() {
                 let locs = layout.row_locations(stripe, row);
-                let erased: Vec<usize> =
-                    (0..locs.len()).filter(|&p| is_failed(locs[p].disk)).collect();
+                let erased: Vec<usize> = (0..locs.len())
+                    .filter(|&p| is_failed(locs[p].disk))
+                    .collect();
                 for &pos in &erased {
                     if locs[pos].disk != target {
                         continue; // this plan only rebuilds `target`
@@ -201,15 +202,15 @@ mod tests {
 
     fn sample_elements(count: usize, size: usize) -> Vec<Vec<u8>> {
         (0..count)
-            .map(|i| (0..size).map(|j| ((i * 59 + j * 17 + 3) % 256) as u8).collect())
+            .map(|i| {
+                (0..size)
+                    .map(|j| ((i * 59 + j * 17 + 3) % 256) as u8)
+                    .collect()
+            })
             .collect()
     }
 
-    fn encode_stripes(
-        scheme: &Scheme,
-        data: &[Vec<u8>],
-        stripes: u64,
-    ) -> HashMap<Loc, Vec<u8>> {
+    fn encode_stripes(scheme: &Scheme, data: &[Vec<u8>], stripes: u64) -> HashMap<Loc, Vec<u8>> {
         let dps = scheme.data_per_stripe();
         let mut all = HashMap::new();
         for s in 0..stripes {
@@ -254,10 +255,10 @@ mod tests {
                         for (_, loc) in &task.sources {
                             assert_ne!(loc.disk, failed, "source on failed disk");
                         }
-                        let rebuilt =
-                            DiskRecovery::rebuild_one(&scheme, task, &all, 8).unwrap();
+                        let rebuilt = DiskRecovery::rebuild_one(&scheme, task, &all, 8).unwrap();
                         assert_eq!(
-                            rebuilt, all[&task.target],
+                            rebuilt,
+                            all[&task.target],
                             "{} failed={failed} task={task:?}",
                             scheme.name()
                         );
@@ -296,7 +297,10 @@ mod tests {
             .filter(|(d, _)| *d != 2)
             .map(|(_, &l)| l)
             .collect();
-        assert!(surviving.iter().all(|&l| l > 0), "all survivors help: {load:?}");
+        assert!(
+            surviving.iter().all(|&l| l > 0),
+            "all survivors help: {load:?}"
+        );
         let max = *surviving.iter().max().unwrap();
         let min = *surviving.iter().min().unwrap();
         assert!(

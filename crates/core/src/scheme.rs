@@ -5,9 +5,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use ecfrm_codes::{decode, CandidateCode, CodeError, RepairSpec};
-use ecfrm_layout::{
-    EcFrmLayout, Layout, Loc, RotatedLayout, ShuffledLayout, StandardLayout,
-};
+use ecfrm_layout::{EcFrmLayout, Layout, Loc, RotatedLayout, ShuffledLayout, StandardLayout};
 
 use crate::plan::{Fetch, Purpose, ReadPlan};
 use crate::stripe::StripeImage;
@@ -230,9 +228,8 @@ impl Scheme {
                 }
                 RepairSpec::AnyOf { from, count: need } => {
                     // Free sources first: already fetched for this plan.
-                    let (have, candidates): (Vec<usize>, Vec<usize>) = from
-                        .into_iter()
-                        .partition(|&p| plan.contains(row_locs[p]));
+                    let (have, candidates): (Vec<usize>, Vec<usize>) =
+                        from.into_iter().partition(|&p| plan.contains(row_locs[p]));
                     let mut chosen: Vec<usize> = have.into_iter().take(need).collect();
                     if chosen.len() < need {
                         // Remaining sources: pick from the least-loaded
@@ -319,9 +316,7 @@ impl Scheme {
                 .collect();
             let rebuilt = match cache {
                 Some(c) => c.reconstruct(pos, &sources, element_size),
-                None => {
-                    decode::reconstruct_one(self.code.generator(), pos, &sources, element_size)
-                }
+                None => decode::reconstruct_one(self.code.generator(), pos, &sources, element_size),
             }
             .ok_or(CodeError::Unrecoverable { erased: vec![pos] })?;
             out.push(rebuilt);
@@ -382,7 +377,11 @@ mod tests {
 
     fn sample_elements(count: usize, size: usize) -> Vec<Vec<u8>> {
         (0..count)
-            .map(|i| (0..size).map(|j| ((i * 101 + j * 31 + 7) % 256) as u8).collect())
+            .map(|i| {
+                (0..size)
+                    .map(|j| ((i * 101 + j * 31 + 7) % 256) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -479,8 +478,10 @@ mod tests {
             let data = sample_elements(2 * dps, 8);
             let mut fetched = HashMap::new();
             for s in 0..2u64 {
-                let refs: Vec<&[u8]> =
-                    data[s as usize * dps..(s as usize + 1) * dps].iter().map(|v| v.as_slice()).collect();
+                let refs: Vec<&[u8]> = data[s as usize * dps..(s as usize + 1) * dps]
+                    .iter()
+                    .map(|v| v.as_slice())
+                    .collect();
                 let img = scheme.encode_stripe(s, &refs);
                 for (loc, bytes) in img.iter() {
                     fetched.insert(loc, bytes.to_vec());
@@ -504,8 +505,10 @@ mod tests {
             // Encode two stripes; keep a full map, then drop failed disk.
             let mut all = HashMap::new();
             for s in 0..2u64 {
-                let refs: Vec<&[u8]> =
-                    data[s as usize * dps..(s as usize + 1) * dps].iter().map(|v| v.as_slice()).collect();
+                let refs: Vec<&[u8]> = data[s as usize * dps..(s as usize + 1) * dps]
+                    .iter()
+                    .map(|v| v.as_slice())
+                    .collect();
                 for (loc, bytes) in scheme.encode_stripe(s, &refs).iter() {
                     all.insert(loc, bytes.to_vec());
                 }
@@ -514,7 +517,11 @@ mod tests {
                 let start = 1u64;
                 let count = (dps - 1).min(14);
                 let plan = scheme.degraded_read_plan(start, count, &[failed]);
-                assert!(plan.unreadable.is_empty(), "{} disk {failed}", scheme.name());
+                assert!(
+                    plan.unreadable.is_empty(),
+                    "{} disk {failed}",
+                    scheme.name()
+                );
                 // Execute the plan against surviving disks only.
                 let fetched: HashMap<Loc, Vec<u8>> = plan
                     .fetches
@@ -622,8 +629,10 @@ mod tests {
         let data = sample_elements(12 * dps, 8);
         let mut all = HashMap::new();
         for s in 0..12u64 {
-            let refs: Vec<&[u8]> =
-                data[s as usize * dps..(s as usize + 1) * dps].iter().map(|v| v.as_slice()).collect();
+            let refs: Vec<&[u8]> = data[s as usize * dps..(s as usize + 1) * dps]
+                .iter()
+                .map(|v| v.as_slice())
+                .collect();
             for (loc, bytes) in scheme.encode_stripe(s, &refs).iter() {
                 all.insert(loc, bytes.to_vec());
             }
@@ -651,7 +660,10 @@ mod tests {
             }
         }
         assert!(sum[1] < sum[0], "k-rotation beats standard: {sum:?}");
-        assert!(sum[2] <= sum[1], "EC-FRM at least matches k-rotation: {sum:?}");
+        assert!(
+            sum[2] <= sum[1],
+            "EC-FRM at least matches k-rotation: {sum:?}"
+        );
     }
 
     #[test]
@@ -664,8 +676,10 @@ mod tests {
         let data = sample_elements(2 * dps, 8);
         let mut all = HashMap::new();
         for s in 0..2u64 {
-            let refs: Vec<&[u8]> =
-                data[s as usize * dps..(s as usize + 1) * dps].iter().map(|v| v.as_slice()).collect();
+            let refs: Vec<&[u8]> = data[s as usize * dps..(s as usize + 1) * dps]
+                .iter()
+                .map(|v| v.as_slice())
+                .collect();
             for (loc, bytes) in scheme.encode_stripe(s, &refs).iter() {
                 all.insert(loc, bytes.to_vec());
             }

@@ -141,7 +141,12 @@ mod tests {
                 assert_eq!(p.reads.len(), 4);
                 assert_eq!(p.writes, p.reads);
                 // All on distinct disks (the group spans distinct disks).
-                assert_eq!(p.max_io(), 2, "{} idx {idx}: read+write per disk", scheme.name());
+                assert_eq!(
+                    p.max_io(),
+                    2,
+                    "{} idx {idx}: read+write per disk",
+                    scheme.name()
+                );
             }
         }
     }

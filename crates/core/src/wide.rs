@@ -244,7 +244,11 @@ mod tests {
 
     fn sample(count: usize, size: usize) -> Vec<Vec<u8>> {
         (0..count)
-            .map(|i| (0..size).map(|j| ((i * 73 + j * 11 + 9) % 256) as u8).collect())
+            .map(|i| {
+                (0..size)
+                    .map(|j| ((i * 73 + j * 11 + 9) % 256) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -260,8 +264,7 @@ mod tests {
         let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
         let img = scheme.encode_stripe(0, &refs);
         assert!(img.is_complete());
-        let all: HashMap<Loc, Vec<u8>> =
-            img.iter().map(|(l, b)| (l, b.to_vec())).collect();
+        let all: HashMap<Loc, Vec<u8>> = img.iter().map(|(l, b)| (l, b.to_vec())).collect();
 
         // Normal read across the stripe.
         let got = scheme.assemble_read(0, dps, &all).unwrap();
@@ -313,8 +316,10 @@ mod tests {
         let data = sample(dps * 2, 6);
         let mut all = HashMap::new();
         for s in 0..2u64 {
-            let refs: Vec<&[u8]> =
-                data[s as usize * dps..(s as usize + 1) * dps].iter().map(|v| v.as_slice()).collect();
+            let refs: Vec<&[u8]> = data[s as usize * dps..(s as usize + 1) * dps]
+                .iter()
+                .map(|v| v.as_slice())
+                .collect();
             for (l, b) in scheme.encode_stripe(s, &refs).iter() {
                 all.insert(l, b.to_vec());
             }

@@ -159,9 +159,12 @@ fn greedy_never_fetches_more_than_needed() {
         for failed in 0..6 {
             let count = 8;
             let plan = scheme.degraded_read_plan(start, count, &[failed]);
-            let lost = count - plan.fetches.iter()
-                .filter(|f| f.purpose == ecfrm_core::Purpose::Demand)
-                .count();
+            let lost = count
+                - plan
+                    .fetches
+                    .iter()
+                    .filter(|f| f.purpose == ecfrm_core::Purpose::Demand)
+                    .count();
             assert!(
                 plan.total_fetched() <= (count - lost) + lost * 4,
                 "start={start} failed={failed}: fetched {} for {} lost",

@@ -133,10 +133,7 @@ mod tests {
     fn peasant_mul_commutes() {
         for a in (0..256u32).step_by(7) {
             for b in (0..256u32).step_by(11) {
-                assert_eq!(
-                    peasant_mul(a, b, 8, 0x11D),
-                    peasant_mul(b, a, 8, 0x11D)
-                );
+                assert_eq!(peasant_mul(a, b, 8, 0x11D), peasant_mul(b, a, 8, 0x11D));
             }
         }
     }

@@ -88,14 +88,8 @@ mod tests {
                 assert_eq!(Gf4::mul(a, b), Gf4::mul(b, a));
                 assert_eq!(Gf4::mul(a, b), peasant_mul(a, b, 4, POLY4));
                 for c in 0..16u32 {
-                    assert_eq!(
-                        Gf4::mul(a, Gf4::mul(b, c)),
-                        Gf4::mul(Gf4::mul(a, b), c)
-                    );
-                    assert_eq!(
-                        Gf4::mul(a, b ^ c),
-                        Gf4::mul(a, b) ^ Gf4::mul(a, c)
-                    );
+                    assert_eq!(Gf4::mul(a, Gf4::mul(b, c)), Gf4::mul(Gf4::mul(a, b), c));
+                    assert_eq!(Gf4::mul(a, b ^ c), Gf4::mul(a, b) ^ Gf4::mul(a, c));
                 }
             }
         }

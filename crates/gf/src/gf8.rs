@@ -107,7 +107,10 @@ impl Field for Gf8 {
 
     #[inline(always)]
     fn inv(a: u32) -> u32 {
-        assert!(a != 0 && a < 256, "inverse of zero (or out-of-field element)");
+        assert!(
+            a != 0 && a < 256,
+            "inverse of zero (or out-of-field element)"
+        );
         INV[a as usize] as u32
     }
 

@@ -314,7 +314,11 @@ impl<F: Field> Matrix<F> {
     /// # Panics
     /// Panics if `k + m > F::ORDER`.
     pub fn systematic_vandermonde_parity(k: usize, m: usize) -> Self {
-        assert!(k + m <= F::ORDER as usize, "k+m too large for GF(2^{})", F::W);
+        assert!(
+            k + m <= F::ORDER as usize,
+            "k+m too large for GF(2^{})",
+            F::W
+        );
         let mut v = Self::vandermonde(k + m, k);
         // Column-reduce so the top k×k block becomes identity. Column
         // operations are multiplications on the right by invertible
@@ -417,8 +421,8 @@ mod tests {
             for r1 in r0 + 1..3 {
                 for c0 in 0..3 {
                     for c1 in c0 + 1..3 {
-                        let det = Gf4::mul(c[(r0, c0)], c[(r1, c1)])
-                            ^ Gf4::mul(c[(r0, c1)], c[(r1, c0)]);
+                        let det =
+                            Gf4::mul(c[(r0, c0)], c[(r1, c1)]) ^ Gf4::mul(c[(r0, c1)], c[(r1, c0)]);
                         assert_ne!(det, 0);
                     }
                 }

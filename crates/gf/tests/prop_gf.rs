@@ -1,10 +1,12 @@
-//! Property-based tests for the Galois-field substrate.
-
-use proptest::prelude::*;
+//! Randomised tests for the Galois-field substrate.
+//!
+//! Property-style: each test sweeps a seeded pseudo-random sample of the
+//! input space (fixed seeds, so failures reproduce deterministically).
 
 use ecfrm_gf::field::peasant_mul;
 use ecfrm_gf::region::{self, reference};
 use ecfrm_gf::{Field, Gf16, Gf4, Gf8, Matrix};
+use ecfrm_util::Rng;
 
 /// Check the full field-axiom set for one (a, b, c) triple.
 fn axioms<F: Field>(a: u32, b: u32, c: u32) {
@@ -25,116 +27,145 @@ fn axioms<F: Field>(a: u32, b: u32, c: u32) {
     assert_eq!(F::mul(a, b), peasant_mul(a, b, F::W, F::POLY));
 }
 
-proptest! {
-    #[test]
-    fn gf8_axioms(a in 0u32..256, b in 0u32..256, c in 0u32..256) {
-        axioms::<Gf8>(a, b, c);
+#[test]
+fn gf4_axioms_exhaustive() {
+    for a in 0..16 {
+        for b in 0..16 {
+            for c in 0..16 {
+                axioms::<Gf4>(a, b, c);
+            }
+        }
     }
+}
 
-    #[test]
-    fn gf4_axioms(a in 0u32..16, b in 0u32..16, c in 0u32..16) {
-        axioms::<Gf4>(a, b, c);
+#[test]
+fn gf8_axioms_sampled() {
+    let mut rng = Rng::seed_from_u64(0x6F8A);
+    for _ in 0..4096 {
+        axioms::<Gf8>(
+            rng.random_range(0u32..256),
+            rng.random_range(0u32..256),
+            rng.random_range(0u32..256),
+        );
     }
+}
 
-    #[test]
-    fn gf16_axioms(a in 0u32..65536, b in 0u32..65536, c in 0u32..65536) {
-        axioms::<Gf16>(a, b, c);
+#[test]
+fn gf16_axioms_sampled() {
+    let mut rng = Rng::seed_from_u64(0x6F16);
+    for _ in 0..4096 {
+        axioms::<Gf16>(
+            rng.random_range(0u32..65536),
+            rng.random_range(0u32..65536),
+            rng.random_range(0u32..65536),
+        );
     }
+}
 
-    #[test]
-    fn exp_log_bijection_gf8(a in 1u32..256) {
-        prop_assert_eq!(Gf8::exp(Gf8::log(a)), a);
+#[test]
+fn exp_log_bijection_gf8() {
+    for a in 1u32..256 {
+        assert_eq!(Gf8::exp(Gf8::log(a)), a);
     }
+}
 
-    #[test]
-    fn pow_laws_gf8(a in 1u32..256, e1 in 0u32..500, e2 in 0u32..500) {
-        // a^(e1+e2) == a^e1 * a^e2.
-        prop_assert_eq!(
+#[test]
+fn pow_laws_gf8() {
+    // a^(e1+e2) == a^e1 * a^e2.
+    let mut rng = Rng::seed_from_u64(0x709);
+    for _ in 0..2048 {
+        let a = rng.random_range(1u32..256);
+        let e1 = rng.random_range(0u32..500);
+        let e2 = rng.random_range(0u32..500);
+        assert_eq!(
             Gf8::pow(a, e1 + e2),
             Gf8::mul(Gf8::pow(a, e1), Gf8::pow(a, e2))
         );
     }
+}
 
-    #[test]
-    fn region_kernels_match_reference(
-        c in 0u32..256,
-        data in proptest::collection::vec(any::<u8>(), 0..300),
-        acc in proptest::collection::vec(any::<u8>(), 0..300),
-    ) {
-        let n = data.len().min(acc.len());
-        let src = &data[..n];
-        let mut got = acc[..n].to_vec();
-        let mut want = acc[..n].to_vec();
-        region::mul_add_region(c as u8, src, &mut got);
-        reference::mul_add_region(c as u8, src, &mut want);
-        prop_assert_eq!(&got, &want);
+#[test]
+fn region_kernels_match_reference() {
+    let mut rng = Rng::seed_from_u64(0x12E6);
+    for _ in 0..256 {
+        let c = rng.random_range(0u32..256) as u8;
+        let n = rng.random_range(0usize..300);
+        let mut src = vec![0u8; n];
+        rng.fill_bytes(&mut src);
+        let mut acc = vec![0u8; n];
+        rng.fill_bytes(&mut acc);
+
+        let mut got = acc.clone();
+        let mut want = acc.clone();
+        region::mul_add_region(c, &src, &mut got);
+        reference::mul_add_region(c, &src, &mut want);
+        assert_eq!(got, want, "mul_add_region mismatch for c={c} n={n}");
 
         let mut got2 = vec![0u8; n];
         let mut want2 = vec![0u8; n];
-        region::mul_region(c as u8, src, &mut got2);
-        reference::mul_region(c as u8, src, &mut want2);
-        prop_assert_eq!(got2, want2);
+        region::mul_region(c, &src, &mut got2);
+        reference::mul_region(c, &src, &mut want2);
+        assert_eq!(got2, want2, "mul_region mismatch for c={c} n={n}");
     }
+}
 
-    #[test]
-    fn region16_linear_in_both_arguments(
-        c in 0u32..65536,
-        words in proptest::collection::vec(any::<u16>(), 1..100),
-    ) {
-        // mul_region16 must act symbol-wise like the scalar field op.
+#[test]
+fn region16_acts_symbol_wise() {
+    // mul_region16 must act symbol-wise like the scalar field op.
+    let mut rng = Rng::seed_from_u64(0x12E16);
+    for _ in 0..256 {
+        let c = rng.random_range(0u32..65536);
+        let n_words = rng.random_range(1usize..100);
+        let words: Vec<u16> = (0..n_words)
+            .map(|_| rng.random_range(0u32..65536) as u16)
+            .collect();
         let src: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
         let mut dst = vec![0u8; src.len()];
         ecfrm_gf::region16::mul_region16(c as u16, &src, &mut dst);
         for (w, d) in words.iter().zip(dst.chunks_exact(2)) {
             let got = u16::from_le_bytes([d[0], d[1]]);
-            prop_assert_eq!(got as u32, Gf16::mul(c, *w as u32));
+            assert_eq!(got as u32, Gf16::mul(c, *w as u32));
         }
     }
+}
 
-    #[test]
-    fn matrix_inverse_roundtrip(
-        n in 1usize..6,
-        seed in any::<u64>(),
-    ) {
-        // Random matrix over GF(2^8); if invertible, A·A⁻¹ = I and the
-        // inverse inverts back.
-        let mut x = seed | 1;
-        let mut next = move || {
-            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
-            (x % 256) as u32
-        };
-        let data: Vec<u32> = (0..n * n).map(|_| next()).collect();
+#[test]
+fn matrix_inverse_roundtrip() {
+    // Random matrix over GF(2^8); if invertible, A·A⁻¹ = I and the
+    // inverse inverts back.
+    let mut rng = Rng::seed_from_u64(0x3A7);
+    for _ in 0..512 {
+        let n = rng.random_range(1usize..6);
+        let data: Vec<u32> = (0..n * n).map(|_| rng.random_range(0u32..256)).collect();
         let a = Matrix::<Gf8>::from_data(n, n, data);
         if let Some(ainv) = a.invert() {
-            prop_assert_eq!(a.mul(&ainv), Matrix::<Gf8>::identity(n));
-            prop_assert_eq!(ainv.invert().unwrap(), a.clone());
-            prop_assert!(a.is_nonsingular());
+            assert_eq!(a.mul(&ainv), Matrix::<Gf8>::identity(n));
+            assert_eq!(ainv.invert().unwrap(), a.clone());
+            assert!(a.is_nonsingular());
         } else {
-            prop_assert!(a.rank() < n);
+            assert!(a.rank() < n);
         }
     }
+}
 
-    #[test]
-    fn cauchy_matrices_always_invertible(rows in 1usize..8) {
+#[test]
+fn cauchy_matrices_always_invertible() {
+    for rows in 1usize..8 {
         let c = Matrix::<Gf8>::cauchy(rows, rows);
-        prop_assert!(c.invert().is_some());
+        assert!(c.invert().is_some(), "{rows}×{rows} Cauchy not invertible");
     }
+}
 
-    #[test]
-    fn matmul_associative(
-        seed in any::<u64>(),
-        n in 1usize..5,
-    ) {
-        let mut x = seed | 1;
-        let mut next = move || {
-            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
-            (x % 256) as u32
-        };
-        let mut m = |_: usize| {
-            let data: Vec<u32> = (0..n * n).map(|_| next()).collect();
+#[test]
+fn matmul_associative() {
+    let mut rng = Rng::seed_from_u64(0xA550C);
+    for _ in 0..512 {
+        let n = rng.random_range(1usize..5);
+        let mut m = || {
+            let data: Vec<u32> = (0..n * n).map(|_| rng.random_range(0u32..256)).collect();
             Matrix::<Gf8>::from_data(n, n, data)
         };
-        let (a, b, c) = (m(0), m(1), m(2));
-        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+        let (a, b, c) = (m(), m(), m());
+        assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
     }
 }

@@ -55,11 +55,7 @@ impl EcFrmLayout {
     /// Panics unless `0 < k < n`.
     pub fn new(n: usize, k: usize) -> Self {
         assert!(k > 0 && k < n, "EC-FRM layout requires 0 < k < n");
-        Self {
-            n,
-            k,
-            r: gcd(n, k),
-        }
+        Self { n, k, r: gcd(n, k) }
     }
 
     /// The paper's `r = gcd(n, k)`.
@@ -160,9 +156,7 @@ impl Layout for EcFrmLayout {
                     continue;
                 }
                 // Solve i·k ≡ start (mod n); i is unique in 0..n/r.
-                if let Some(i) =
-                    (0..self.n / self.r).find(|&i| (i * self.k) % self.n == start)
-                {
+                if let Some(i) = (0..self.n / self.r).find(|&i| (i * self.k) % self.n == start) {
                     return StoredElement {
                         stripe,
                         row: i,
@@ -298,7 +292,11 @@ mod tests {
             for idx in 0..(3 * dps) {
                 let se = l.element_at(l.data_location(idx));
                 let (stripe, row, pos) = l.data_coordinates(idx);
-                assert_eq!(se, StoredElement { stripe, row, pos }, "({n},{k}) idx={idx}");
+                assert_eq!(
+                    se,
+                    StoredElement { stripe, row, pos },
+                    "({n},{k}) idx={idx}"
+                );
             }
             for stripe in 0..3u64 {
                 for g in 0..l.rows_per_stripe() {
@@ -325,8 +323,9 @@ mod tests {
         // elements occupy n distinct disks.
         let l = paper_layout();
         for start in 0..60u64 {
-            let mut disks: Vec<usize> =
-                (start..start + 10).map(|i| l.data_location(i).disk).collect();
+            let mut disks: Vec<usize> = (start..start + 10)
+                .map(|i| l.data_location(i).disk)
+                .collect();
             disks.sort_unstable();
             disks.dedup();
             assert_eq!(disks.len(), 10, "start={start}");

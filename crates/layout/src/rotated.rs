@@ -156,9 +156,7 @@ mod tests {
         // Over n consecutive stripes, logical position 0 visits every
         // physical disk exactly once: load spreads in aggregate.
         let r = RotatedLayout::new(10, 6);
-        let mut seen: Vec<usize> = (0..10u64)
-            .map(|s| r.data_location(s * 6).disk)
-            .collect();
+        let mut seen: Vec<usize> = (0..10u64).map(|s| r.data_location(s * 6).disk).collect();
         seen.sort_unstable();
         assert_eq!(seen, (0..10).collect::<Vec<_>>());
     }

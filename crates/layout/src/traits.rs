@@ -117,7 +117,9 @@ pub trait Layout: Send + Sync + std::fmt::Debug {
         let k = self.code_k();
         let n = self.code_n();
         let base = stripe * self.data_per_stripe() as u64 + (row * k) as u64;
-        let mut locs: Vec<Loc> = (0..k as u64).map(|t| self.data_location(base + t)).collect();
+        let mut locs: Vec<Loc> = (0..k as u64)
+            .map(|t| self.data_location(base + t))
+            .collect();
         locs.extend((0..n - k).map(|p| self.parity_location(stripe, row, p)));
         locs
     }

@@ -1,0 +1,506 @@
+//! [`RemoteDisk`]: a [`DiskBackend`] that speaks the wire protocol.
+//!
+//! Drop-in client for a [`ShardServer`](crate::server::ShardServer):
+//! `ThreadedArray` and `ObjectStore` run unmodified over it. Failure
+//! handling is layered the way a production client would be:
+//!
+//! * **per-request timeouts** — a stuck server costs a bounded wait;
+//! * **bounded retries** with exponential backoff and jitter — transient
+//!   hiccups are absorbed;
+//! * **optional hedged reads** — after `hedge_after`, a duplicate
+//!   request races on a second connection and the first answer wins;
+//! * **absent-on-failure** — a request that exhausts every retry
+//!   returns `None`, which the store treats as a suspect disk and
+//!   replans the read degraded. The network failure domain degrades
+//!   into the erasure-code failure domain instead of erroring.
+//!
+//! Every event increments the shared [`NetCounters`], surfaced through
+//! [`DiskBackend::net_stats`] into the store's `ReadStats`.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ecfrm_sim::{DiskBackend, NetCounters, NetStats};
+use ecfrm_util::{Mutex, Rng};
+
+use crate::protocol::{read_response, write_request, Fault, NetError, Request, Response};
+
+/// Client-side resilience knobs.
+#[derive(Debug, Clone)]
+pub struct RemoteDiskConfig {
+    /// TCP connect deadline.
+    pub connect_timeout: Duration,
+    /// Per-request response deadline.
+    pub request_timeout: Duration,
+    /// Re-sends after the first attempt (0 = one attempt only).
+    pub max_retries: u32,
+    /// First backoff step; doubles each retry.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Launch a duplicate read on a second connection if the primary
+    /// has not answered within this window. `None` disables hedging.
+    pub hedge_after: Option<Duration>,
+    /// Idle connections kept for reuse.
+    pub pool_size: usize,
+}
+
+impl Default for RemoteDiskConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(1),
+            request_timeout: Duration::from_secs(1),
+            max_retries: 2,
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(100),
+            hedge_after: None,
+            pool_size: 2,
+        }
+    }
+}
+
+impl RemoteDiskConfig {
+    /// Tight timeouts for tests: failures are detected in tens of
+    /// milliseconds instead of seconds.
+    pub fn fast() -> Self {
+        Self {
+            connect_timeout: Duration::from_millis(200),
+            request_timeout: Duration::from_millis(200),
+            max_retries: 1,
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(10),
+            hedge_after: None,
+            pool_size: 2,
+        }
+    }
+}
+
+/// A remote shard, presented as a local [`DiskBackend`].
+pub struct RemoteDisk {
+    addr: SocketAddr,
+    cfg: RemoteDiskConfig,
+    pool: Mutex<Vec<TcpStream>>,
+    counters: Arc<NetCounters>,
+    ever_connected: AtomicBool,
+    rng: Mutex<Rng>,
+}
+
+impl std::fmt::Debug for RemoteDisk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RemoteDisk({})", self.addr)
+    }
+}
+
+impl RemoteDisk {
+    /// A client for the shard at `addr`. No connection is made until the
+    /// first request.
+    pub fn new(addr: SocketAddr, cfg: RemoteDiskConfig) -> Self {
+        Self {
+            addr,
+            cfg,
+            pool: Mutex::new(Vec::new()),
+            counters: Arc::new(NetCounters::new()),
+            ever_connected: AtomicBool::new(false),
+            rng: Mutex::new(Rng::seed_from_u64(addr.port() as u64 ^ 0xD15C)),
+        }
+    }
+
+    /// The shard address this client dials.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live handle to the transport counters.
+    pub fn counters(&self) -> Arc<NetCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Pop a pooled connection or dial a fresh one.
+    fn connection(&self) -> Result<TcpStream, NetError> {
+        if let Some(s) = self.pool.lock().pop() {
+            return Ok(s);
+        }
+        let stream = TcpStream::connect_timeout(&self.addr, self.cfg.connect_timeout)?;
+        stream.set_read_timeout(Some(self.cfg.request_timeout))?;
+        stream.set_write_timeout(Some(self.cfg.request_timeout))?;
+        stream.set_nodelay(true).ok();
+        if self.ever_connected.swap(true, Ordering::AcqRel) {
+            self.counters.reconnects.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(stream)
+    }
+
+    fn recycle(&self, stream: TcpStream) {
+        let mut pool = self.pool.lock();
+        if pool.len() < self.cfg.pool_size {
+            pool.push(stream);
+        }
+    }
+
+    /// One attempt: dial/reuse, send, await the response.
+    fn rpc_once(&self, req: &Request) -> Result<Response, NetError> {
+        let mut stream = self.connection()?;
+        match write_request(&mut stream, req).and_then(|()| read_response(&mut stream)) {
+            Ok(resp) => {
+                self.recycle(stream);
+                match resp {
+                    Response::Error(msg) => Err(NetError::Remote(msg)),
+                    ok => Ok(ok),
+                }
+            }
+            Err(e) => {
+                // The connection's framing state is unknown — drop it.
+                if matches!(e, NetError::Timeout) {
+                    self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Backoff before retry `attempt` (1-based): `base × 2^(attempt-1)`
+    /// capped, scaled by uniform jitter in [0.5, 1.5).
+    fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .cfg
+            .backoff_base
+            .saturating_mul(1u32 << (attempt - 1).min(16))
+            .min(self.cfg.backoff_cap);
+        let jitter = self.rng.lock().random_range(0.5f64..1.5);
+        exp.mul_f64(jitter)
+    }
+
+    /// Full resilience stack: attempts with backoff until one succeeds
+    /// or the retry budget is spent.
+    fn rpc(&self, req: &Request) -> Result<Response, NetError> {
+        let attempts = 1 + self.cfg.max_retries;
+        let mut last = None;
+        for attempt in 1..=attempts {
+            if attempt > 1 {
+                self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(self.backoff(attempt - 1));
+            }
+            match self.rpc_once(req) {
+                Ok(resp) => return Ok(resp),
+                Err(e) => last = Some(e),
+            }
+        }
+        self.counters
+            .failed_requests
+            .fetch_add(1, Ordering::Relaxed);
+        Err(last.expect("at least one attempt ran"))
+    }
+
+    /// A read with hedging: if the primary attempt has not answered
+    /// within `hedge_after`, race a duplicate on a second connection and
+    /// take whichever answers first. Loser responses are discarded (the
+    /// connections are not recycled into each other's streams, so no
+    /// frame mixing is possible).
+    fn hedged_read(&self, req: &Request, hedge_after: Duration) -> Result<Response, NetError> {
+        let (tx, rx) = mpsc::channel::<(bool, Result<Response, NetError>)>();
+        std::thread::scope(|scope| {
+            let primary_tx = tx.clone();
+            scope.spawn(move || {
+                let _ = primary_tx.send((false, self.rpc_once(req)));
+            });
+            let first = match rx.recv_timeout(hedge_after) {
+                Ok(result) => Some(result),
+                Err(mpsc::RecvTimeoutError::Timeout) => None,
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err(NetError::Protocol("hedge channel broke".into()))
+                }
+            };
+            let (from_hedge, result) = match first {
+                Some(r) => r,
+                None => {
+                    // Primary is slow: launch the hedge and take the
+                    // first answer from either.
+                    self.counters.hedges.fetch_add(1, Ordering::Relaxed);
+                    let hedge_tx = tx.clone();
+                    scope.spawn(move || {
+                        let _ = hedge_tx.send((true, self.rpc_once(req)));
+                    });
+                    // Prefer the first *successful* answer; fall back to
+                    // the second result if the first errored.
+                    match rx.recv() {
+                        Ok((who, Ok(resp))) => (who, Ok(resp)),
+                        Ok((_, Err(_))) => match rx.recv() {
+                            Ok(r) => r,
+                            Err(_) => return Err(NetError::Protocol("hedge channel broke".into())),
+                        },
+                        Err(_) => return Err(NetError::Protocol("hedge channel broke".into())),
+                    }
+                }
+            };
+            if from_hedge && result.is_ok() {
+                self.counters.hedge_wins.fetch_add(1, Ordering::Relaxed);
+            }
+            result
+        })
+    }
+
+    /// Read with the full stack: hedging (if enabled) inside the retry
+    /// loop.
+    fn read_rpc(&self, req: &Request) -> Result<Response, NetError> {
+        match self.cfg.hedge_after {
+            None => self.rpc(req),
+            Some(hedge_after) => {
+                let attempts = 1 + self.cfg.max_retries;
+                let mut last = None;
+                for attempt in 1..=attempts {
+                    if attempt > 1 {
+                        self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(self.backoff(attempt - 1));
+                    }
+                    match self.hedged_read(req, hedge_after) {
+                        Ok(resp) => return Ok(resp),
+                        Err(e) => last = Some(e),
+                    }
+                }
+                self.counters
+                    .failed_requests
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(last.expect("at least one attempt ran"))
+            }
+        }
+    }
+
+    /// Send a fault-injection command to the shard, with retries.
+    ///
+    /// # Errors
+    /// Transport failure after the full retry budget.
+    pub fn inject(&self, fault: Fault) -> Result<(), NetError> {
+        match self.rpc(&Request::InjectFault(fault))? {
+            Response::FaultInjected => Ok(()),
+            other => Err(NetError::Protocol(format!(
+                "unexpected response to fault injection: {other:?}"
+            ))),
+        }
+    }
+
+    /// Liveness probe: stored element count, or an error if the shard is
+    /// unreachable.
+    ///
+    /// # Errors
+    /// Transport failure after the full retry budget.
+    pub fn health(&self) -> Result<u64, NetError> {
+        match self.rpc(&Request::Health)? {
+            Response::Health { elements } => Ok(elements),
+            other => Err(NetError::Protocol(format!(
+                "unexpected response to health probe: {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch several elements in one round trip. `None` entries are
+    /// absent/failed elements; a transport failure after all retries
+    /// yields all-`None`.
+    pub fn read_batch(&self, offsets: &[u64]) -> Vec<Option<Vec<u8>>> {
+        match self.read_rpc(&Request::BatchGet {
+            offsets: offsets.to_vec(),
+        }) {
+            Ok(Response::Batch(items)) if items.len() == offsets.len() => items,
+            _ => vec![None; offsets.len()],
+        }
+    }
+}
+
+impl DiskBackend for RemoteDisk {
+    /// Fetch one element over the wire. Transport failure after the
+    /// full retry/hedge budget reads as *absent* — the caller's
+    /// degraded-read machinery takes it from there.
+    fn read(&self, offset: u64) -> Option<Vec<u8>> {
+        match self.read_rpc(&Request::GetElement { offset }) {
+            Ok(Response::Element(v)) => v,
+            _ => None,
+        }
+    }
+
+    fn write(&self, offset: u64, bytes: Vec<u8>) {
+        // DiskBackend writes are infallible by contract; a write that
+        // exhausts its retries is recorded in the counters (and the
+        // element will read back as absent).
+        let _ = self.rpc(&Request::PutElement { offset, bytes });
+    }
+
+    /// Remote failure injection: flips the *server's* backend, so every
+    /// client of that shard sees the failure.
+    fn fail(&self) {
+        let _ = self.inject(Fault::Fail);
+    }
+
+    fn heal(&self) {
+        let _ = self.inject(Fault::Heal);
+    }
+
+    fn wipe(&self) {
+        let _ = self.inject(Fault::Wipe);
+    }
+
+    fn len(&self) -> usize {
+        self.health().map_or(0, |n| n as usize)
+    }
+
+    fn net_stats(&self) -> Option<NetStats> {
+        Some(self.counters.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ShardServer;
+    use ecfrm_sim::MemDisk;
+
+    fn server() -> ShardServer {
+        ShardServer::spawn(Arc::new(MemDisk::new()), "127.0.0.1:0").unwrap()
+    }
+
+    #[test]
+    fn read_write_roundtrip_over_wire() {
+        let server = server();
+        let disk = RemoteDisk::new(server.addr(), RemoteDiskConfig::fast());
+        assert!(disk.is_empty());
+        disk.write(7, vec![1, 2, 3]);
+        assert_eq!(disk.read(7), Some(vec![1, 2, 3]));
+        assert_eq!(disk.read(8), None);
+        assert_eq!(disk.len(), 1);
+        let stats = disk.net_stats().unwrap();
+        assert_eq!(stats.failed_requests, 0);
+        assert_eq!(stats.timeouts, 0);
+    }
+
+    #[test]
+    fn batch_get_roundtrip() {
+        let server = server();
+        let disk = RemoteDisk::new(server.addr(), RemoteDiskConfig::fast());
+        for o in 0..3u64 {
+            disk.write(o, vec![o as u8; 4]);
+        }
+        let got = disk.read_batch(&[1, 5, 2]);
+        assert_eq!(got, vec![Some(vec![1u8; 4]), None, Some(vec![2u8; 4])]);
+    }
+
+    #[test]
+    fn fault_injection_via_backend_trait() {
+        let server = server();
+        let disk = RemoteDisk::new(server.addr(), RemoteDiskConfig::fast());
+        disk.write(0, vec![9]);
+        disk.fail();
+        assert_eq!(disk.read(0), None);
+        disk.heal();
+        assert_eq!(disk.read(0), Some(vec![9]));
+        disk.wipe();
+        assert_eq!(disk.read(0), None);
+        assert_eq!(disk.len(), 0);
+    }
+
+    #[test]
+    fn two_clients_share_one_shard() {
+        let server = server();
+        let a = RemoteDisk::new(server.addr(), RemoteDiskConfig::fast());
+        let b = RemoteDisk::new(server.addr(), RemoteDiskConfig::fast());
+        a.write(0, vec![5; 8]);
+        assert_eq!(b.read(0), Some(vec![5; 8]));
+        b.fail();
+        assert_eq!(a.read(0), None, "failure is server-side state");
+        b.heal();
+    }
+
+    #[test]
+    fn dead_server_reads_as_absent_with_counters() {
+        let mut server = server();
+        let disk = RemoteDisk::new(server.addr(), RemoteDiskConfig::fast());
+        disk.write(0, vec![1]);
+        assert_eq!(disk.read(0), Some(vec![1]));
+        server.kill();
+        let t0 = std::time::Instant::now();
+        assert_eq!(disk.read(0), None, "dead shard reads as absent");
+        // Bounded failure detection: fast() config allows ~(1+1) × 200ms
+        // plus backoff; it must not hang for seconds.
+        assert!(t0.elapsed() < Duration::from_secs(2));
+        let stats = disk.net_stats().unwrap();
+        assert!(stats.failed_requests >= 1, "{stats:?}");
+        assert!(stats.retries >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn unreachable_address_fails_fast_and_counts() {
+        // A port from the ephemeral range with no listener.
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let disk = RemoteDisk::new(addr, RemoteDiskConfig::fast());
+        assert_eq!(disk.read(0), None);
+        assert!(disk.net_stats().unwrap().failed_requests >= 1);
+    }
+
+    #[test]
+    fn retry_recovers_after_restart_on_same_port() {
+        let mut server = server();
+        let addr = server.addr();
+        let disk = RemoteDisk::new(addr, RemoteDiskConfig::fast());
+        disk.write(0, vec![3]);
+        server.kill();
+        assert_eq!(disk.read(0), None);
+        // Rebind the same port (data is gone — fresh MemDisk — but the
+        // transport must reconnect transparently).
+        let server2 = match ShardServer::spawn(Arc::new(MemDisk::new()), &addr.to_string()) {
+            Ok(s) => s,
+            Err(_) => return, // port taken by another process: skip
+        };
+        assert_eq!(server2.addr(), addr);
+        disk.write(1, vec![4]);
+        assert_eq!(disk.read(1), Some(vec![4]));
+        assert!(disk.net_stats().unwrap().reconnects >= 1);
+    }
+
+    #[test]
+    fn hedged_read_beats_straggler() {
+        let server = server();
+        let mut cfg = RemoteDiskConfig::fast();
+        cfg.request_timeout = Duration::from_secs(2);
+        cfg.hedge_after = Some(Duration::from_millis(30));
+        let disk = RemoteDisk::new(server.addr(), cfg);
+        disk.write(0, vec![7; 16]);
+
+        // Make the server a straggler: every read sleeps 150 ms. The
+        // hedge fires at 30 ms and (also delayed) still answers; the
+        // counters must show hedges were launched.
+        disk.inject(Fault::DelayMs(150)).unwrap();
+        let got = disk.read(0);
+        disk.inject(Fault::DelayMs(0)).unwrap();
+        assert_eq!(got, Some(vec![7; 16]));
+        let stats = disk.net_stats().unwrap();
+        assert!(stats.hedges >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn fast_reads_do_not_hedge() {
+        let server = server();
+        let mut cfg = RemoteDiskConfig::fast();
+        cfg.hedge_after = Some(Duration::from_millis(150));
+        let disk = RemoteDisk::new(server.addr(), cfg);
+        disk.write(0, vec![1]);
+        for _ in 0..20 {
+            assert_eq!(disk.read(0), Some(vec![1]));
+        }
+        assert_eq!(disk.net_stats().unwrap().hedges, 0);
+    }
+
+    #[test]
+    fn backoff_grows_and_respects_cap() {
+        let server = server();
+        let mut cfg = RemoteDiskConfig::fast();
+        cfg.backoff_base = Duration::from_millis(8);
+        cfg.backoff_cap = Duration::from_millis(20);
+        let disk = RemoteDisk::new(server.addr(), cfg);
+        // attempt 1: 8ms × jitter ∈ [4, 12); attempt 4+: capped 20 × jitter < 30.
+        for attempt in 1..=8 {
+            let d = disk.backoff(attempt);
+            assert!(d >= Duration::from_millis(4), "attempt {attempt}: {d:?}");
+            assert!(d < Duration::from_millis(30), "attempt {attempt}: {d:?}");
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! [`Cluster`]: an n-node loopback cluster in one process.
+//!
+//! Spawns one [`ShardServer`] per disk on an ephemeral `127.0.0.1` port
+//! and pairs each with a [`RemoteDisk`] client. Handing
+//! [`Cluster::backends`] to a `ThreadedArray` makes the whole EC-FRM
+//! stack — put → encode → **network** → decode — run over real TCP
+//! sockets, and [`Cluster::kill`] turns a node into a crashed server so
+//! degraded-read fallback can be exercised end to end.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use ecfrm_sim::{DiskBackend, MemDisk};
+
+use crate::client::{RemoteDisk, RemoteDiskConfig};
+use crate::server::ShardServer;
+
+/// `n` loopback shard servers plus one connected client per shard.
+pub struct Cluster {
+    servers: Vec<ShardServer>,
+    clients: Vec<Arc<RemoteDisk>>,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Cluster(n={})", self.servers.len())
+    }
+}
+
+impl Cluster {
+    /// Boot `n` servers over fresh [`MemDisk`]s with the given client
+    /// config.
+    ///
+    /// # Errors
+    /// Socket bind errors.
+    pub fn spawn_with(n: usize, cfg: &RemoteDiskConfig) -> std::io::Result<Self> {
+        let backends: Vec<Arc<dyn DiskBackend>> = (0..n)
+            .map(|_| Arc::new(MemDisk::new()) as Arc<dyn DiskBackend>)
+            .collect();
+        Self::spawn_over(backends, cfg)
+    }
+
+    /// Boot `n` servers with test-friendly fast timeouts.
+    ///
+    /// # Errors
+    /// Socket bind errors.
+    pub fn spawn(n: usize) -> std::io::Result<Self> {
+        Self::spawn_with(n, &RemoteDiskConfig::fast())
+    }
+
+    /// Boot one server per provided backend (e.g. `FileDisk`s for a
+    /// persistent cluster).
+    ///
+    /// # Errors
+    /// Socket bind errors.
+    pub fn spawn_over(
+        backends: Vec<Arc<dyn DiskBackend>>,
+        cfg: &RemoteDiskConfig,
+    ) -> std::io::Result<Self> {
+        let mut servers = Vec::with_capacity(backends.len());
+        let mut clients = Vec::with_capacity(backends.len());
+        for backend in backends {
+            let server = ShardServer::spawn(backend, "127.0.0.1:0")?;
+            clients.push(Arc::new(RemoteDisk::new(server.addr(), cfg.clone())));
+            servers.push(server);
+        }
+        Ok(Self { servers, clients })
+    }
+
+    /// Number of nodes (alive or killed).
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// True for a zero-node cluster.
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// The address node `i` listens on.
+    pub fn addr(&self, i: usize) -> SocketAddr {
+        self.servers[i].addr()
+    }
+
+    /// The client for node `i`.
+    pub fn client(&self, i: usize) -> &Arc<RemoteDisk> {
+        &self.clients[i]
+    }
+
+    /// One `DiskBackend` handle per node, for `ThreadedArray::new`.
+    pub fn backends(&self) -> Vec<Arc<dyn DiskBackend>> {
+        self.clients
+            .iter()
+            .map(|c| Arc::clone(c) as Arc<dyn DiskBackend>)
+            .collect()
+    }
+
+    /// Crash node `i`: its server stops serving and in-flight
+    /// connections drop. The paired client stays — its requests now
+    /// time out / fail, which is the point.
+    pub fn kill(&mut self, i: usize) {
+        self.servers[i].kill();
+    }
+
+    /// True once [`Self::kill`] has run for node `i`.
+    pub fn is_dead(&self, i: usize) -> bool {
+        self.servers[i].is_dead()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_spawns_distinct_nodes() {
+        let cluster = Cluster::spawn(4).unwrap();
+        assert_eq!(cluster.len(), 4);
+        let addrs: std::collections::BTreeSet<_> = (0..4).map(|i| cluster.addr(i)).collect();
+        assert_eq!(addrs.len(), 4, "each node gets its own port");
+    }
+
+    #[test]
+    fn backends_route_to_their_own_shard() {
+        let cluster = Cluster::spawn(3).unwrap();
+        let disks = cluster.backends();
+        for (i, d) in disks.iter().enumerate() {
+            d.write(0, vec![i as u8; 4]);
+        }
+        for (i, d) in disks.iter().enumerate() {
+            assert_eq!(d.read(0), Some(vec![i as u8; 4]));
+            assert_eq!(d.len(), 1);
+        }
+    }
+
+    #[test]
+    fn killed_node_reads_absent_others_unaffected() {
+        let mut cluster = Cluster::spawn(3).unwrap();
+        let disks = cluster.backends();
+        for d in &disks {
+            d.write(0, vec![9; 8]);
+        }
+        cluster.kill(1);
+        assert!(cluster.is_dead(1));
+        assert_eq!(disks[1].read(0), None);
+        assert_eq!(disks[0].read(0), Some(vec![9; 8]));
+        assert_eq!(disks[2].read(0), Some(vec![9; 8]));
+        let stats = disks[1].net_stats().unwrap();
+        assert!(stats.failed_requests >= 1);
+    }
+}

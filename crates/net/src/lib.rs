@@ -1,0 +1,28 @@
+//! ecfrm-net: a real networked shard service for EC-FRM.
+//!
+//! The crate turns any [`ecfrm_sim::DiskBackend`] into a TCP shard server
+//! and gives the client side a [`RemoteDisk`] adapter that implements the
+//! same trait over the wire — so `ThreadedArray` and `ObjectStore` run
+//! unmodified against remote shards, including degraded-read fallback
+//! when a node times out or dies mid-read.
+//!
+//! Layers:
+//! * [`protocol`] — versioned, length-prefixed binary framing with
+//!   `GetElement` / `PutElement` / `BatchGet` / `Health` / `InjectFault`.
+//! * [`server`] — [`ShardServer`], a thread-per-connection server
+//!   wrapping a `DiskBackend`.
+//! * [`client`] — [`RemoteDisk`], connection-pooled client with
+//!   per-request timeouts, bounded retries with exponential backoff and
+//!   jitter, and optional hedged reads.
+//! * [`cluster`] — [`Cluster`], an n-node loopback harness for tests,
+//!   benches, and the CLI.
+
+pub mod client;
+pub mod cluster;
+pub mod protocol;
+pub mod server;
+
+pub use client::{RemoteDisk, RemoteDiskConfig};
+pub use cluster::Cluster;
+pub use protocol::{Fault, NetError, Request, Response};
+pub use server::ShardServer;

@@ -1,0 +1,609 @@
+//! The wire protocol: a small, versioned, length-prefixed binary frame.
+//!
+//! Every frame is
+//!
+//! ```text
+//! [ magic "EFRM" : 4 ][ version : 1 ][ opcode : 1 ][ payload len : u32 LE ][ payload ]
+//! ```
+//!
+//! Integers inside payloads are little-endian. Five operations exist:
+//! `GetElement`, `PutElement`, `BatchGet`, `Health`, and `InjectFault`
+//! (the fault-injection side channel that lets a client drive a remote
+//! shard's failure state exactly like a local disk's).
+
+use std::io::{Read, Write};
+
+/// Frame magic.
+pub const MAGIC: [u8; 4] = *b"EFRM";
+/// Protocol version this build speaks.
+pub const VERSION: u8 = 1;
+/// Upper bound on a sane payload (guards allocation on corrupt frames).
+pub const MAX_PAYLOAD: u32 = 64 * 1024 * 1024;
+
+/// Transport / protocol failure.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// Malformed or unexpected frame.
+    Protocol(String),
+    /// The request exceeded its deadline.
+    Timeout,
+    /// The server reported an error.
+    Remote(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io error: {e}"),
+            NetError::Protocol(m) => write!(f, "protocol error: {m}"),
+            NetError::Timeout => write!(f, "request timed out"),
+            NetError::Remote(m) => write!(f, "remote error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        if matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ) {
+            NetError::Timeout
+        } else {
+            NetError::Io(e)
+        }
+    }
+}
+
+/// A failure-state change injected into a remote shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Reads return absent until healed.
+    Fail,
+    /// Clear the failure flag.
+    Heal,
+    /// Permanently erase contents.
+    Wipe,
+    /// Sleep this many milliseconds before serving each read (straggler
+    /// simulation; 0 clears it).
+    DelayMs(u64),
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Fetch one element.
+    GetElement {
+        /// Element offset on the shard.
+        offset: u64,
+    },
+    /// Store one element.
+    PutElement {
+        /// Element offset on the shard.
+        offset: u64,
+        /// Element bytes.
+        bytes: Vec<u8>,
+    },
+    /// Fetch several elements in one round trip.
+    BatchGet {
+        /// Element offsets, served in order.
+        offsets: Vec<u64>,
+    },
+    /// Liveness + occupancy probe.
+    Health,
+    /// Drive the shard's failure state.
+    InjectFault(Fault),
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// One element (`None` = absent or failed).
+    Element(Option<Vec<u8>>),
+    /// Write acknowledged.
+    Put,
+    /// Batched elements, in request order.
+    Batch(Vec<Option<Vec<u8>>>),
+    /// Health probe answer: stored element count.
+    Health {
+        /// Elements currently stored.
+        elements: u64,
+    },
+    /// Fault injection acknowledged.
+    FaultInjected,
+    /// Server-side failure.
+    Error(String),
+}
+
+const OP_GET: u8 = 1;
+const OP_PUT: u8 = 2;
+const OP_BATCH_GET: u8 = 3;
+const OP_HEALTH: u8 = 4;
+const OP_INJECT: u8 = 5;
+
+const RESP_ELEMENT: u8 = 129;
+const RESP_PUT: u8 = 130;
+const RESP_BATCH: u8 = 131;
+const RESP_HEALTH: u8 = 132;
+const RESP_FAULT: u8 = 133;
+const RESP_ERROR: u8 = 255;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], NetError> {
+        if self.pos + n > self.buf.len() {
+            return Err(NetError::Protocol("payload truncated".into()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, NetError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, NetError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, NetError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn done(&self) -> Result<(), NetError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(NetError::Protocol("trailing bytes in payload".into()))
+        }
+    }
+}
+
+/// `Some(bytes)` ↔ `[1][len:u32][bytes]`, `None` ↔ `[0]`.
+fn put_opt_bytes(out: &mut Vec<u8>, v: &Option<Vec<u8>>) {
+    match v {
+        Some(b) => {
+            out.push(1);
+            put_u32(out, b.len() as u32);
+            out.extend_from_slice(b);
+        }
+        None => out.push(0),
+    }
+}
+
+fn get_opt_bytes(c: &mut Cursor<'_>) -> Result<Option<Vec<u8>>, NetError> {
+    match c.u8()? {
+        0 => Ok(None),
+        1 => {
+            let len = c.u32()? as usize;
+            Ok(Some(c.take(len)?.to_vec()))
+        }
+        t => Err(NetError::Protocol(format!("bad option tag {t}"))),
+    }
+}
+
+impl Request {
+    fn opcode(&self) -> u8 {
+        match self {
+            Request::GetElement { .. } => OP_GET,
+            Request::PutElement { .. } => OP_PUT,
+            Request::BatchGet { .. } => OP_BATCH_GET,
+            Request::Health => OP_HEALTH,
+            Request::InjectFault(_) => OP_INJECT,
+        }
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::GetElement { offset } => put_u64(&mut out, *offset),
+            Request::PutElement { offset, bytes } => {
+                put_u64(&mut out, *offset);
+                put_u32(&mut out, bytes.len() as u32);
+                out.extend_from_slice(bytes);
+            }
+            Request::BatchGet { offsets } => {
+                put_u32(&mut out, offsets.len() as u32);
+                for &o in offsets {
+                    put_u64(&mut out, o);
+                }
+            }
+            Request::Health => {}
+            Request::InjectFault(fault) => match fault {
+                Fault::Fail => out.push(0),
+                Fault::Heal => out.push(1),
+                Fault::Wipe => out.push(2),
+                Fault::DelayMs(ms) => {
+                    out.push(3);
+                    put_u64(&mut out, *ms);
+                }
+            },
+        }
+        out
+    }
+
+    fn decode(opcode: u8, payload: &[u8]) -> Result<Self, NetError> {
+        let mut c = Cursor::new(payload);
+        let req = match opcode {
+            OP_GET => Request::GetElement { offset: c.u64()? },
+            OP_PUT => {
+                let offset = c.u64()?;
+                let len = c.u32()? as usize;
+                let bytes = c.take(len)?.to_vec();
+                Request::PutElement { offset, bytes }
+            }
+            OP_BATCH_GET => {
+                let n = c.u32()? as usize;
+                let mut offsets = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    offsets.push(c.u64()?);
+                }
+                Request::BatchGet { offsets }
+            }
+            OP_HEALTH => Request::Health,
+            OP_INJECT => {
+                let fault = match c.u8()? {
+                    0 => Fault::Fail,
+                    1 => Fault::Heal,
+                    2 => Fault::Wipe,
+                    3 => Fault::DelayMs(c.u64()?),
+                    t => return Err(NetError::Protocol(format!("bad fault tag {t}"))),
+                };
+                Request::InjectFault(fault)
+            }
+            op => return Err(NetError::Protocol(format!("unknown request opcode {op}"))),
+        };
+        c.done()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    fn opcode(&self) -> u8 {
+        match self {
+            Response::Element(_) => RESP_ELEMENT,
+            Response::Put => RESP_PUT,
+            Response::Batch(_) => RESP_BATCH,
+            Response::Health { .. } => RESP_HEALTH,
+            Response::FaultInjected => RESP_FAULT,
+            Response::Error(_) => RESP_ERROR,
+        }
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Element(v) => put_opt_bytes(&mut out, v),
+            Response::Put | Response::FaultInjected => {}
+            Response::Batch(items) => {
+                put_u32(&mut out, items.len() as u32);
+                for v in items {
+                    put_opt_bytes(&mut out, v);
+                }
+            }
+            Response::Health { elements } => put_u64(&mut out, *elements),
+            Response::Error(msg) => out.extend_from_slice(msg.as_bytes()),
+        }
+        out
+    }
+
+    fn decode(opcode: u8, payload: &[u8]) -> Result<Self, NetError> {
+        let mut c = Cursor::new(payload);
+        let resp = match opcode {
+            RESP_ELEMENT => Response::Element(get_opt_bytes(&mut c)?),
+            RESP_PUT => Response::Put,
+            RESP_BATCH => {
+                let n = c.u32()? as usize;
+                let mut items = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    items.push(get_opt_bytes(&mut c)?);
+                }
+                Response::Batch(items)
+            }
+            RESP_HEALTH => Response::Health { elements: c.u64()? },
+            RESP_FAULT => Response::FaultInjected,
+            RESP_ERROR => {
+                let msg = String::from_utf8_lossy(c.take(payload.len())?).into_owned();
+                return Ok(Response::Error(msg));
+            }
+            op => return Err(NetError::Protocol(format!("unknown response opcode {op}"))),
+        };
+        c.done()?;
+        Ok(resp)
+    }
+}
+
+fn write_frame(w: &mut impl Write, opcode: u8, payload: &[u8]) -> Result<(), NetError> {
+    if payload.len() as u64 > MAX_PAYLOAD as u64 {
+        return Err(NetError::Protocol(format!(
+            "payload of {} bytes exceeds the {MAX_PAYLOAD}-byte cap",
+            payload.len()
+        )));
+    }
+    let mut header = [0u8; 10];
+    header[..4].copy_from_slice(&MAGIC);
+    header[4] = VERSION;
+    header[5] = opcode;
+    header[6..10].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+fn read_frame(r: &mut impl Read) -> Result<(u8, Vec<u8>), NetError> {
+    let mut header = [0u8; 10];
+    r.read_exact(&mut header)?;
+    if header[..4] != MAGIC {
+        return Err(NetError::Protocol("bad magic".into()));
+    }
+    if header[4] != VERSION {
+        return Err(NetError::Protocol(format!(
+            "unsupported protocol version {} (this build speaks {VERSION})",
+            header[4]
+        )));
+    }
+    let len = u32::from_le_bytes(header[6..10].try_into().unwrap());
+    if len > MAX_PAYLOAD {
+        return Err(NetError::Protocol(format!(
+            "payload of {len} bytes exceeds the {MAX_PAYLOAD}-byte cap"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok((header[5], payload))
+}
+
+/// Outcome of one polling read attempt on a server connection whose
+/// socket has a short read timeout.
+#[derive(Debug)]
+pub enum PolledRequest {
+    /// A complete, well-formed request frame.
+    Frame(Request),
+    /// The timeout elapsed with no frame started — poll again.
+    Idle,
+    /// Peer hung up, the stop flag was raised, or the stream is garbage.
+    Closed,
+}
+
+/// Read one request frame from a socket with a short read timeout,
+/// without ever losing sync: a timeout *between* frames reports
+/// [`PolledRequest::Idle`], while a timeout *inside* a partially read
+/// frame keeps polling (checking `stop` each round) until the rest of
+/// the frame arrives.
+pub fn read_request_polling(
+    r: &mut impl Read,
+    stop: &std::sync::atomic::AtomicBool,
+) -> PolledRequest {
+    use std::sync::atomic::Ordering;
+
+    fn fill(
+        r: &mut impl Read,
+        buf: &mut [u8],
+        stop: &std::sync::atomic::AtomicBool,
+        idle_ok: bool,
+    ) -> Result<bool, ()> {
+        let mut filled = 0usize;
+        while filled < buf.len() {
+            if stop.load(Ordering::Acquire) {
+                return Err(());
+            }
+            match r.read(&mut buf[filled..]) {
+                Ok(0) => return Err(()),
+                Ok(n) => filled += n,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if filled == 0 && idle_ok {
+                        return Ok(false);
+                    }
+                    // Mid-frame: keep waiting for the rest.
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return Err(()),
+            }
+        }
+        Ok(true)
+    }
+
+    let mut header = [0u8; 10];
+    match fill(r, &mut header, stop, true) {
+        Ok(false) => return PolledRequest::Idle,
+        Ok(true) => {}
+        Err(()) => return PolledRequest::Closed,
+    }
+    if header[..4] != MAGIC || header[4] != VERSION {
+        return PolledRequest::Closed;
+    }
+    let len = u32::from_le_bytes(header[6..10].try_into().unwrap());
+    if len > MAX_PAYLOAD {
+        return PolledRequest::Closed;
+    }
+    let mut payload = vec![0u8; len as usize];
+    if fill(r, &mut payload, stop, false) != Ok(true) {
+        return PolledRequest::Closed;
+    }
+    match Request::decode(header[5], &payload) {
+        Ok(req) => PolledRequest::Frame(req),
+        Err(_) => PolledRequest::Closed,
+    }
+}
+
+/// Serialise one request onto a stream.
+///
+/// # Errors
+/// I/O failure, or an oversized payload.
+pub fn write_request(w: &mut impl Write, req: &Request) -> Result<(), NetError> {
+    write_frame(w, req.opcode(), &req.payload())
+}
+
+/// Read one request frame off a stream.
+///
+/// # Errors
+/// I/O failure or a malformed frame.
+pub fn read_request(r: &mut impl Read) -> Result<Request, NetError> {
+    let (opcode, payload) = read_frame(r)?;
+    Request::decode(opcode, &payload)
+}
+
+/// Serialise one response onto a stream.
+///
+/// # Errors
+/// I/O failure, or an oversized payload.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> Result<(), NetError> {
+    write_frame(w, resp.opcode(), &resp.payload())
+}
+
+/// Read one response frame off a stream.
+///
+/// # Errors
+/// I/O failure or a malformed frame.
+pub fn read_response(r: &mut impl Read) -> Result<Response, NetError> {
+    let (opcode, payload) = read_frame(r)?;
+    Response::decode(opcode, &payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).unwrap();
+        let got = read_request(&mut buf.as_slice()).unwrap();
+        assert_eq!(got, req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).unwrap();
+        let got = read_response(&mut buf.as_slice()).unwrap();
+        assert_eq!(got, resp);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_request(Request::GetElement { offset: 42 });
+        roundtrip_request(Request::PutElement {
+            offset: u64::MAX,
+            bytes: vec![1, 2, 3, 0, 255],
+        });
+        roundtrip_request(Request::PutElement {
+            offset: 0,
+            bytes: vec![],
+        });
+        roundtrip_request(Request::BatchGet {
+            offsets: vec![0, 7, 1 << 40],
+        });
+        roundtrip_request(Request::BatchGet { offsets: vec![] });
+        roundtrip_request(Request::Health);
+        for fault in [Fault::Fail, Fault::Heal, Fault::Wipe, Fault::DelayMs(250)] {
+            roundtrip_request(Request::InjectFault(fault));
+        }
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        roundtrip_response(Response::Element(Some(vec![9; 100])));
+        roundtrip_response(Response::Element(None));
+        roundtrip_response(Response::Put);
+        roundtrip_response(Response::Batch(vec![Some(vec![1]), None, Some(vec![])]));
+        roundtrip_response(Response::Health { elements: 12345 });
+        roundtrip_response(Response::FaultInjected);
+        roundtrip_response(Response::Error("disk on fire".into()));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &Request::Health).unwrap();
+        buf[0] = b'X';
+        assert!(matches!(
+            read_request(&mut buf.as_slice()),
+            Err(NetError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &Request::Health).unwrap();
+        buf[4] = VERSION + 1;
+        let err = read_request(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &Request::Health).unwrap();
+        buf[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_request(&mut buf.as_slice()),
+            Err(NetError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_is_io_error() {
+        let mut buf = Vec::new();
+        write_request(
+            &mut buf,
+            &Request::PutElement {
+                offset: 1,
+                bytes: vec![5; 64],
+            },
+        )
+        .unwrap();
+        buf.truncate(buf.len() - 10);
+        assert!(matches!(
+            read_request(&mut buf.as_slice()),
+            Err(NetError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let req = Request::GetElement { offset: 3 };
+        let mut payload = req.payload();
+        payload.push(0xEE);
+        assert!(matches!(
+            Request::decode(OP_GET, &payload),
+            Err(NetError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn timeout_errors_classified() {
+        let e: NetError = std::io::Error::new(std::io::ErrorKind::WouldBlock, "slow").into();
+        assert!(matches!(e, NetError::Timeout));
+        let e: NetError = std::io::Error::new(std::io::ErrorKind::TimedOut, "slow").into();
+        assert!(matches!(e, NetError::Timeout));
+        let e: NetError = std::io::Error::new(std::io::ErrorKind::ConnectionReset, "gone").into();
+        assert!(matches!(e, NetError::Io(_)));
+    }
+}

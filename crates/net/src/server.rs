@@ -1,0 +1,441 @@
+//! [`ShardServer`]: serve any [`DiskBackend`] over TCP.
+//!
+//! Thread-per-connection, with short socket timeouts so every thread
+//! notices the stop flag quickly. [`ShardServer::kill`] models a node
+//! crash: the accept loop and all connection handlers exit without
+//! draining in-flight requests, so clients see resets/timeouts — the
+//! stimulus the store's degraded-read fallback exists for.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ecfrm_sim::DiskBackend;
+use ecfrm_util::Mutex;
+
+use crate::protocol::{
+    read_request_polling, write_response, Fault, PolledRequest, Request, Response,
+};
+
+/// How often blocked accept/read loops wake to check the stop flag.
+const POLL: Duration = Duration::from_millis(20);
+
+struct Shared {
+    backend: Arc<dyn DiskBackend>,
+    stop: AtomicBool,
+    /// Injected per-read delay in ms (straggler simulation).
+    read_delay_ms: AtomicU64,
+}
+
+/// A TCP server exposing one disk shard.
+pub struct ShardServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ShardServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ShardServer({})", self.addr)
+    }
+}
+
+impl ShardServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// serving `backend`.
+    ///
+    /// # Errors
+    /// Socket bind errors.
+    pub fn spawn(backend: Arc<dyn DiskBackend>, addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            backend,
+            stop: AtomicBool::new(false),
+            read_delay_ms: AtomicU64::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
+        Ok(Self {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address clients should dial.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop serving: accept loop and every connection handler exit at
+    /// their next poll tick, dropping in-flight connections. Blocks
+    /// until the accept loop has exited.
+    pub fn kill(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// True once [`Self::kill`] has run.
+    pub fn is_dead(&self) -> bool {
+        self.shared.stop.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for ShardServer {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    // Connection handler threads park their handles here so the accept
+    // loop can join them on shutdown.
+    let handlers: Mutex<Vec<std::thread::JoinHandle<()>>> = Mutex::new(Vec::new());
+    while !shared.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(shared);
+                handlers.lock().push(std::thread::spawn(move || {
+                    serve_connection(stream, &shared)
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL);
+            }
+            Err(_) => break,
+        }
+    }
+    for h in handlers.into_inner() {
+        let _ = h.join();
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(POLL));
+    let _ = stream.set_nodelay(true);
+    let mut reader = std::io::BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = std::io::BufWriter::new(stream);
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return; // hard kill: drop the connection mid-stream
+        }
+        let req = match read_request_polling(&mut reader, &shared.stop) {
+            PolledRequest::Frame(req) => req,
+            PolledRequest::Idle => continue, // poll tick, check stop
+            PolledRequest::Closed => return, // peer gone, kill, or garbage
+        };
+        // A panicking backend (e.g. an element-size mismatch on a
+        // file-backed shard) must surface as a wire-level error the
+        // client can count and report — not kill the connection and
+        // masquerade as a network fault.
+        let resp = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle(&req, shared)))
+            .unwrap_or_else(|payload| Response::Error(panic_message(payload.as_ref())));
+        if write_response(&mut writer, &resp).is_err() {
+            return;
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("shard panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("shard panicked: {s}")
+    } else {
+        "shard panicked handling request".to_string()
+    }
+}
+
+/// Sleep the injected read delay in small slices so a kill interrupts it.
+fn straggle(shared: &Shared) {
+    let total = shared.read_delay_ms.load(Ordering::Acquire);
+    let mut slept = 0u64;
+    while slept < total && !shared.stop.load(Ordering::Acquire) {
+        let step = (total - slept).min(10);
+        std::thread::sleep(Duration::from_millis(step));
+        slept += step;
+    }
+}
+
+fn handle(req: &Request, shared: &Shared) -> Response {
+    match req {
+        Request::GetElement { offset } => {
+            straggle(shared);
+            Response::Element(shared.backend.read(*offset))
+        }
+        Request::PutElement { offset, bytes } => {
+            shared.backend.write(*offset, bytes.clone());
+            Response::Put
+        }
+        Request::BatchGet { offsets } => {
+            straggle(shared);
+            Response::Batch(offsets.iter().map(|&o| shared.backend.read(o)).collect())
+        }
+        Request::Health => Response::Health {
+            elements: shared.backend.len() as u64,
+        },
+        Request::InjectFault(fault) => {
+            match fault {
+                Fault::Fail => shared.backend.fail(),
+                Fault::Heal => shared.backend.heal(),
+                Fault::Wipe => shared.backend.wipe(),
+                Fault::DelayMs(ms) => shared.read_delay_ms.store(*ms, Ordering::Release),
+            }
+            Response::FaultInjected
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::write_request;
+    use ecfrm_sim::MemDisk;
+
+    fn dial(server: &ShardServer) -> TcpStream {
+        let s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        s
+    }
+
+    fn rpc(stream: &mut TcpStream, req: &Request) -> Response {
+        write_request(stream, req).unwrap();
+        crate::protocol::read_response(stream).unwrap()
+    }
+
+    #[test]
+    fn serves_put_get_health() {
+        let server = ShardServer::spawn(Arc::new(MemDisk::new()), "127.0.0.1:0").unwrap();
+        let mut c = dial(&server);
+        assert_eq!(
+            rpc(
+                &mut c,
+                &Request::PutElement {
+                    offset: 3,
+                    bytes: vec![1, 2, 3]
+                }
+            ),
+            Response::Put
+        );
+        assert_eq!(
+            rpc(&mut c, &Request::GetElement { offset: 3 }),
+            Response::Element(Some(vec![1, 2, 3]))
+        );
+        assert_eq!(
+            rpc(&mut c, &Request::GetElement { offset: 99 }),
+            Response::Element(None)
+        );
+        assert_eq!(
+            rpc(&mut c, &Request::Health),
+            Response::Health { elements: 1 }
+        );
+    }
+
+    #[test]
+    fn batch_get_preserves_order() {
+        let server = ShardServer::spawn(Arc::new(MemDisk::new()), "127.0.0.1:0").unwrap();
+        let mut c = dial(&server);
+        for o in 0..4u64 {
+            rpc(
+                &mut c,
+                &Request::PutElement {
+                    offset: o,
+                    bytes: vec![o as u8; 2],
+                },
+            );
+        }
+        assert_eq!(
+            rpc(
+                &mut c,
+                &Request::BatchGet {
+                    offsets: vec![2, 9, 0]
+                }
+            ),
+            Response::Batch(vec![Some(vec![2, 2]), None, Some(vec![0, 0])])
+        );
+    }
+
+    #[test]
+    fn fault_injection_controls_backend() {
+        let disk = Arc::new(MemDisk::new());
+        let server =
+            ShardServer::spawn(Arc::clone(&disk) as Arc<dyn DiskBackend>, "127.0.0.1:0").unwrap();
+        let mut c = dial(&server);
+        rpc(
+            &mut c,
+            &Request::PutElement {
+                offset: 0,
+                bytes: vec![7],
+            },
+        );
+        rpc(&mut c, &Request::InjectFault(Fault::Fail));
+        assert_eq!(
+            rpc(&mut c, &Request::GetElement { offset: 0 }),
+            Response::Element(None)
+        );
+        rpc(&mut c, &Request::InjectFault(Fault::Heal));
+        assert_eq!(
+            rpc(&mut c, &Request::GetElement { offset: 0 }),
+            Response::Element(Some(vec![7]))
+        );
+        rpc(&mut c, &Request::InjectFault(Fault::Wipe));
+        assert_eq!(
+            rpc(&mut c, &Request::GetElement { offset: 0 }),
+            Response::Element(None)
+        );
+    }
+
+    #[test]
+    fn injected_delay_slows_reads() {
+        let server = ShardServer::spawn(Arc::new(MemDisk::new()), "127.0.0.1:0").unwrap();
+        let mut c = dial(&server);
+        rpc(
+            &mut c,
+            &Request::PutElement {
+                offset: 0,
+                bytes: vec![1],
+            },
+        );
+        rpc(&mut c, &Request::InjectFault(Fault::DelayMs(80)));
+        let t0 = std::time::Instant::now();
+        rpc(&mut c, &Request::GetElement { offset: 0 });
+        assert!(t0.elapsed() >= Duration::from_millis(70));
+        rpc(&mut c, &Request::InjectFault(Fault::DelayMs(0)));
+        let t0 = std::time::Instant::now();
+        rpc(&mut c, &Request::GetElement { offset: 0 });
+        assert!(t0.elapsed() < Duration::from_millis(70));
+    }
+
+    /// A backend that panics on writes, like `FileDisk` does when the
+    /// served element size disagrees with what the client sends.
+    #[derive(Debug)]
+    struct SizeCheckedDisk {
+        inner: MemDisk,
+        element_size: usize,
+    }
+
+    impl DiskBackend for SizeCheckedDisk {
+        fn read(&self, offset: u64) -> Option<Vec<u8>> {
+            self.inner.read(offset)
+        }
+        fn write(&self, offset: u64, bytes: Vec<u8>) {
+            assert_eq!(bytes.len(), self.element_size, "element size mismatch");
+            self.inner.write(offset, bytes);
+        }
+        fn fail(&self) {
+            self.inner.fail();
+        }
+        fn heal(&self) {
+            self.inner.heal();
+        }
+        fn wipe(&self) {
+            self.inner.wipe();
+        }
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+    }
+
+    #[test]
+    fn backend_panic_becomes_wire_error_not_dead_connection() {
+        let server = ShardServer::spawn(
+            Arc::new(SizeCheckedDisk {
+                inner: MemDisk::new(),
+                element_size: 8,
+            }),
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let mut c = dial(&server);
+        // Wrong-sized write: the handler panics, but the client must get
+        // a structured error back instead of a dropped connection.
+        match rpc(
+            &mut c,
+            &Request::PutElement {
+                offset: 0,
+                bytes: vec![1; 3],
+            },
+        ) {
+            Response::Error(msg) => assert!(msg.contains("panicked"), "got: {msg}"),
+            other => panic!("expected Response::Error, got {other:?}"),
+        }
+        // Same connection still serves well-formed requests.
+        assert_eq!(
+            rpc(
+                &mut c,
+                &Request::PutElement {
+                    offset: 0,
+                    bytes: vec![2; 8],
+                }
+            ),
+            Response::Put
+        );
+        assert_eq!(
+            rpc(&mut c, &Request::GetElement { offset: 0 }),
+            Response::Element(Some(vec![2; 8]))
+        );
+    }
+
+    #[test]
+    fn kill_drops_connections_and_stops_accepting() {
+        let mut server = ShardServer::spawn(Arc::new(MemDisk::new()), "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        let mut c = dial(&server);
+        rpc(&mut c, &Request::Health);
+        server.kill();
+        assert!(server.is_dead());
+        // In-flight connection dies: the next RPC fails (EOF/reset) or
+        // times out rather than answering.
+        write_request(&mut c, &Request::Health).ok();
+        assert!(crate::protocol::read_response(&mut c).is_err());
+        // New connections are not served (a refused connect — the bind
+        // already released — is also fine).
+        if let Ok(mut s) = TcpStream::connect(addr) {
+            s.set_read_timeout(Some(Duration::from_millis(200)))
+                .unwrap();
+            write_request(&mut s, &Request::Health).ok();
+            assert!(crate::protocol::read_response(&mut s).is_err());
+        }
+    }
+
+    #[test]
+    fn concurrent_connections_are_served() {
+        let server = Arc::new(ShardServer::spawn(Arc::new(MemDisk::new()), "127.0.0.1:0").unwrap());
+        let threads: Vec<_> = (0..8u64)
+            .map(|i| {
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || {
+                    let mut c = dial(&server);
+                    rpc(
+                        &mut c,
+                        &Request::PutElement {
+                            offset: i,
+                            bytes: vec![i as u8; 16],
+                        },
+                    );
+                    assert_eq!(
+                        rpc(&mut c, &Request::GetElement { offset: i }),
+                        Response::Element(Some(vec![i as u8; 16]))
+                    );
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let mut c = dial(&server);
+        assert_eq!(
+            rpc(&mut c, &Request::Health),
+            Response::Health { elements: 8 }
+        );
+    }
+}

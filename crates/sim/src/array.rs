@@ -1,7 +1,7 @@
 //! Analytic disk-array timing: the paper's "read speed is limited by the
 //! slowest disk to respond" model (§I, §III-A), computed exactly.
 
-use rand::Rng;
+use ecfrm_util::Rng;
 
 use crate::disk::DiskModel;
 
@@ -28,7 +28,7 @@ impl Jitter {
         Self { spread }
     }
 
-    fn sample(&self, rng: &mut impl Rng) -> f64 {
+    fn sample(&self, rng: &mut Rng) -> f64 {
         if self.spread == 0.0 {
             1.0
         } else {
@@ -42,11 +42,10 @@ impl Jitter {
 ///
 /// ```
 /// use ecfrm_sim::{ArraySim, DiskModel};
-/// use rand::rngs::SmallRng;
-/// use rand::SeedableRng;
+/// use ecfrm_util::Rng;
 ///
 /// let array = ArraySim::uniform(10, DiskModel::savvio_10k3(), 1_000_000);
-/// let mut rng = SmallRng::seed_from_u64(1);
+/// let mut rng = Rng::seed_from_u64(1);
 /// // Balanced 8-element read: one 17.1 ms element per disk.
 /// let t = array.read_time_ms(&[1, 1, 1, 1, 1, 1, 1, 1, 0, 0], &mut rng);
 /// assert!((t - 17.1).abs() < 1e-9);
@@ -105,7 +104,7 @@ impl ArraySim {
     ///
     /// # Panics
     /// Panics if `per_disk_load.len()` differs from the disk count.
-    pub fn read_time_ms(&self, per_disk_load: &[usize], rng: &mut impl Rng) -> f64 {
+    pub fn read_time_ms(&self, per_disk_load: &[usize], rng: &mut Rng) -> f64 {
         assert_eq!(
             per_disk_load.len(),
             self.disks.len(),
@@ -133,7 +132,7 @@ impl ArraySim {
         &self,
         requested_elements: usize,
         per_disk_load: &[usize],
-        rng: &mut impl Rng,
+        rng: &mut Rng,
     ) -> f64 {
         let t = self.read_time_ms(per_disk_load, rng);
         if t == 0.0 {
@@ -146,11 +145,9 @@ impl ArraySim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
-    fn rng() -> SmallRng {
-        SmallRng::seed_from_u64(42)
+    fn rng() -> Rng {
+        Rng::seed_from_u64(42)
     }
 
     #[test]
@@ -194,8 +191,8 @@ mod tests {
 
     #[test]
     fn jitter_stays_in_bounds_and_perturbs() {
-        let a = ArraySim::uniform(2, DiskModel::savvio_10k3(), 1_000_000)
-            .with_jitter(Jitter::new(0.2));
+        let a =
+            ArraySim::uniform(2, DiskModel::savvio_10k3(), 1_000_000).with_jitter(Jitter::new(0.2));
         let base = DiskModel::savvio_10k3().service_time_ms(1_000_000);
         let mut r = rng();
         let mut saw_different = false;
@@ -215,8 +212,8 @@ mod tests {
 
     #[test]
     fn zero_jitter_is_deterministic() {
-        let a = ArraySim::uniform(2, DiskModel::savvio_10k3(), 1_000_000)
-            .with_jitter(Jitter::new(0.0));
+        let a =
+            ArraySim::uniform(2, DiskModel::savvio_10k3(), 1_000_000).with_jitter(Jitter::new(0.0));
         let t1 = a.read_time_ms(&[2, 1], &mut rng());
         let t2 = a.read_time_ms(&[2, 1], &mut rng());
         assert_eq!(t1, t2);

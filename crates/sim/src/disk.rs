@@ -112,8 +112,7 @@ mod tests {
         let d = DiskModel::savvio_10k3();
         let slow = d.with_speed_factor(0.5);
         assert!(
-            (slow.service_time_ms(1_000_000) - 2.0 * d.service_time_ms(1_000_000)).abs()
-                < 1e-9
+            (slow.service_time_ms(1_000_000) - 2.0 * d.service_time_ms(1_000_000)).abs() < 1e-9
         );
     }
 

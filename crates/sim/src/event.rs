@@ -185,14 +185,20 @@ impl EventSim {
         if makespan == 0.0 {
             return 0.0;
         }
-        let bytes: usize = completions.iter().map(|c| c.requested * self.element_size).sum();
+        let bytes: usize = completions
+            .iter()
+            .map(|c| c.requested * self.element_size)
+            .sum();
         crate::metrics::speed_mb_s(bytes, makespan)
     }
 
     /// Mean request latency in milliseconds.
     pub fn mean_latency_ms(&self, completions: &[Completion]) -> f64 {
         crate::metrics::mean(
-            &completions.iter().map(|c| c.latency_ms()).collect::<Vec<_>>(),
+            &completions
+                .iter()
+                .map(|c| c.latency_ms())
+                .collect::<Vec<_>>(),
         )
     }
 }
@@ -217,8 +223,14 @@ mod tests {
     fn single_client_matches_analytic_model() {
         let sim = one_ms_disks(4);
         let reqs = vec![
-            Request { loads: vec![2, 1, 0, 0], requested: 3 },
-            Request { loads: vec![0, 0, 3, 1], requested: 4 },
+            Request {
+                loads: vec![2, 1, 0, 0],
+                requested: 3,
+            },
+            Request {
+                loads: vec![0, 0, 3, 1],
+                requested: 4,
+            },
         ];
         let done = sim.run_closed_loop(&reqs, 1);
         // Request 0: max(2,1) = 2 ms. Request 1 issues at 2, takes 3 ms.
@@ -233,8 +245,14 @@ mod tests {
         let sim = one_ms_disks(4);
         // Two requests on disjoint disks: with 2 clients both finish at 2.
         let reqs = vec![
-            Request { loads: vec![2, 0, 0, 0], requested: 2 },
-            Request { loads: vec![0, 0, 2, 0], requested: 2 },
+            Request {
+                loads: vec![2, 0, 0, 0],
+                requested: 2,
+            },
+            Request {
+                loads: vec![0, 0, 2, 0],
+                requested: 2,
+            },
         ];
         let done = sim.run_closed_loop(&reqs, 2);
         assert_eq!(done[0].finish_ms, 2.0);
@@ -247,8 +265,14 @@ mod tests {
         // Two requests hitting the SAME disk: even with 2 clients the
         // second queues behind the first.
         let reqs = vec![
-            Request { loads: vec![2, 0, 0, 0], requested: 2 },
-            Request { loads: vec![2, 0, 0, 0], requested: 2 },
+            Request {
+                loads: vec![2, 0, 0, 0],
+                requested: 2,
+            },
+            Request {
+                loads: vec![2, 0, 0, 0],
+                requested: 2,
+            },
         ];
         let done = sim.run_closed_loop(&reqs, 2);
         assert_eq!(done[0].finish_ms, 2.0);
@@ -265,7 +289,10 @@ mod tests {
             track_to_track_ms: None,
         };
         let sim = EventSim::uniform(2, d, 1_000_000);
-        let reqs = vec![Request { loads: vec![1, 1], requested: 2 }];
+        let reqs = vec![Request {
+            loads: vec![1, 1],
+            requested: 2,
+        }];
         let done = sim.run_closed_loop(&reqs, 1);
         // 2 MB in 1000 ms = 2 MB/s.
         assert!((sim.throughput_mb_s(&done) - 2.0).abs() < 1e-9);
@@ -276,9 +303,18 @@ mod tests {
     fn open_loop_arrivals_are_clocked() {
         let sim = one_ms_disks(2);
         let reqs = vec![
-            Request { loads: vec![1, 0], requested: 1 },
-            Request { loads: vec![1, 0], requested: 1 },
-            Request { loads: vec![1, 0], requested: 1 },
+            Request {
+                loads: vec![1, 0],
+                requested: 1,
+            },
+            Request {
+                loads: vec![1, 0],
+                requested: 1,
+            },
+            Request {
+                loads: vec![1, 0],
+                requested: 1,
+            },
         ];
         // Arrivals every 0.5 ms on a 1 ms/element disk: queue builds up.
         let done = sim.run_open_loop(&reqs, 0.5);

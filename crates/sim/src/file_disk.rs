@@ -13,7 +13,7 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use parking_lot::Mutex;
+use ecfrm_util::Mutex;
 
 use crate::threaded::DiskBackend;
 

@@ -34,9 +34,9 @@ pub use array::{ArraySim, Jitter};
 pub use disk::DiskModel;
 pub use event::{Completion, EventSim, Request};
 pub use file_disk::FileDisk;
-pub use metrics::{mean, speed_mb_s, stddev, Summary};
+pub use metrics::{mean, speed_mb_s, stddev, NetCounters, NetStats, Summary};
 pub use net::{ClusterSim, NetModel};
-pub use threaded::{DiskBackend, MemDisk, ThreadedArray};
+pub use threaded::{Address, DiskBackend, MemDisk, ThreadedArray};
 pub use workload::{
     DegradedReadWorkload, NormalReadWorkload, ReadRequest, TraceObject, TraceWorkload, Zipf,
 };

@@ -160,7 +160,10 @@ mod tests {
         let load = [1usize, 1, 1, 1, 1, 1, 1, 1, 0, 0];
         let t10 = c10.read_time_ms(&load);
         let tinf = cinf.read_time_ms(&load);
-        assert!(t10 < tinf * 1.5, "10GbE should be near-sufficient: {t10} vs {tinf}");
+        assert!(
+            t10 < tinf * 1.5,
+            "10GbE should be near-sufficient: {t10} vs {tinf}"
+        );
     }
 
     #[test]

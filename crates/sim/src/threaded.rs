@@ -9,11 +9,13 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam_channel::{unbounded, Sender};
-use parking_lot::Mutex;
+use ecfrm_util::Mutex;
+
+use crate::metrics::NetStats;
 
 /// Address of one element on the array: `(disk, offset)`.
 pub type Address = (usize, u64);
@@ -38,6 +40,11 @@ pub trait DiskBackend: Send + Sync + std::fmt::Debug {
     /// True when no elements are stored.
     fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+    /// Network transport statistics, when this backend speaks to a
+    /// remote shard (see `ecfrm-net`). Local backends return `None`.
+    fn net_stats(&self) -> Option<NetStats> {
+        None
     }
 }
 
@@ -64,7 +71,6 @@ impl MemDisk {
             failed: AtomicBool::new(false),
         }
     }
-
 }
 
 impl DiskBackend for MemDisk {
@@ -163,7 +169,7 @@ impl ThreadedArray {
         let mut senders = Vec::with_capacity(n);
         let mut workers = Vec::with_capacity(n);
         for disk in &disks {
-            let (tx, rx) = unbounded::<Job>();
+            let (tx, rx) = channel::<Job>();
             let disk = Arc::clone(disk);
             senders.push(tx);
             workers.push(std::thread::spawn(move || {
@@ -172,7 +178,11 @@ impl ThreadedArray {
                         Job::Read { tag, offset, reply } => {
                             let _ = reply.send((tag, disk.read(offset)));
                         }
-                        Job::Write { offset, bytes, done } => {
+                        Job::Write {
+                            offset,
+                            bytes,
+                            done,
+                        } => {
                             disk.write(offset, bytes);
                             let _ = done.send(());
                         }
@@ -200,7 +210,7 @@ impl ThreadedArray {
 
     /// Write a batch of elements, waiting for all to land.
     pub fn write_batch(&self, items: Vec<(Address, Vec<u8>)>) {
-        let (done_tx, done_rx) = unbounded();
+        let (done_tx, done_rx) = channel();
         let count = items.len();
         for ((disk, offset), bytes) in items {
             self.senders[disk]
@@ -220,7 +230,7 @@ impl ThreadedArray {
     /// own queue concurrently with the others), returning results in
     /// request order. `None` entries are failed/absent elements.
     pub fn read_batch(&self, addrs: &[Address]) -> Vec<Option<Vec<u8>>> {
-        let (reply_tx, reply_rx) = unbounded();
+        let (reply_tx, reply_rx) = channel();
         for (tag, &(disk, offset)) in addrs.iter().enumerate() {
             self.senders[disk]
                 .send(Job::Read {
@@ -294,7 +304,11 @@ mod tests {
     #[test]
     fn failed_disk_returns_none_others_fine() {
         let a = ThreadedArray::new(3);
-        a.write_batch(vec![((0, 0), vec![1]), ((1, 0), vec![2]), ((2, 0), vec![3])]);
+        a.write_batch(vec![
+            ((0, 0), vec![1]),
+            ((1, 0), vec![2]),
+            ((2, 0), vec![3]),
+        ]);
         a.disk(1).fail();
         let got = a.read_batch(&[(0, 0), (1, 0), (2, 0)]);
         assert_eq!(got[0], Some(vec![1]));

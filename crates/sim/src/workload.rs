@@ -5,11 +5,10 @@
 //! * Degraded reads: 5000 trials; additionally a uniformly random erased
 //!   disk.
 //!
-//! Generators are deterministic given a seed (rand_chacha), so every
-//! figure regenerates bit-identically.
+//! Generators are deterministic given a seed, so every figure
+//! regenerates bit-identically.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use ecfrm_util::Rng;
 
 /// One read request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,7 +52,7 @@ impl NormalReadWorkload {
             self.min_size >= 1 && self.min_size <= self.max_size,
             "invalid size range"
         );
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         (0..self.trials)
             .map(|_| ReadRequest {
                 start: rng.random_range(0..self.address_space),
@@ -99,7 +98,7 @@ impl DegradedReadWorkload {
             self.min_size >= 1 && self.min_size <= self.max_size,
             "invalid size range"
         );
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         (0..self.trials)
             .map(|_| ReadRequest {
                 start: rng.random_range(0..self.address_space),
@@ -140,7 +139,7 @@ impl Zipf {
     }
 
     /// Draw a rank (0 = most popular).
-    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+    pub fn sample(&self, rng: &mut Rng) -> usize {
         let u: f64 = rng.random();
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
@@ -182,7 +181,7 @@ impl TraceWorkload {
             self.min_elements >= 1 && self.min_elements <= self.max_elements,
             "invalid object size range"
         );
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut objects = Vec::with_capacity(self.objects);
         let mut cursor = 0u64;
         for _ in 0..self.objects {
@@ -275,9 +274,8 @@ mod tests {
 
     #[test]
     fn zipf_uniform_when_alpha_zero() {
-        use rand::SeedableRng;
         let z = Zipf::new(10, 0.0);
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let mut counts = [0usize; 10];
         for _ in 0..10_000 {
             counts[z.sample(&mut rng)] += 1;
@@ -289,9 +287,8 @@ mod tests {
 
     #[test]
     fn zipf_skews_toward_low_ranks() {
-        use rand::SeedableRng;
         let z = Zipf::new(100, 1.0);
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let mut head = 0usize;
         let trials = 10_000;
         for _ in 0..trials {

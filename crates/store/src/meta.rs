@@ -1,5 +1,7 @@
 //! Object catalog entries and store statistics.
 
+use ecfrm_sim::NetStats;
+
 /// Catalog entry: where an object lives in the logical byte stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ObjectMeta {
@@ -36,6 +38,12 @@ pub struct ReadStats {
     pub cost: f64,
     /// Whether the read was planned around failed disks.
     pub degraded: bool,
+    /// Times the read re-planned after a disk stopped answering
+    /// mid-read (normal plan → degraded plan fallback).
+    pub replans: usize,
+    /// Network transport activity during this read (all-zero when every
+    /// backend is local).
+    pub net: NetStats,
     /// Wall-clock time of the parallel fetch + reconstruction.
     pub elapsed: std::time::Duration,
 }
@@ -112,6 +120,9 @@ mod tests {
     fn empty_object_spans_nothing() {
         let m = ObjectMeta { offset: 8, len: 0 };
         let (a, b) = m.element_range(4);
-        assert!(b <= a + 1, "empty object should span at most its start element");
+        assert!(
+            b <= a + 1,
+            "empty object should span at most its start element"
+        );
     }
 }

@@ -2,13 +2,11 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use bytes::Bytes;
-use parking_lot::Mutex;
-use rayon::prelude::*;
+use ecfrm_util::{par_map, Mutex};
 
 use ecfrm_core::{DiskRecovery, Scheme};
 use ecfrm_layout::Loc;
-use ecfrm_sim::ThreadedArray;
+use ecfrm_sim::{NetStats, ThreadedArray};
 
 use crate::error::StoreError;
 use crate::meta::{ObjectMeta, ReadStats, ScrubReport, StoreStats};
@@ -30,9 +28,12 @@ struct Inner {
 ///
 /// Objects are immutable byte blobs appended to a logical stream. The
 /// stream is chunked into fixed-size elements; once a full stripe of data
-/// elements accumulates it is encoded (all groups in parallel, via rayon)
-/// and written out. Reads plan through the scheme — normal or degraded —
-/// and execute on the array's worker threads.
+/// elements accumulates it is encoded (all stripes in parallel) and
+/// written out. Reads plan through the scheme — normal or degraded —
+/// and execute on the array's worker threads. When a disk stops
+/// answering mid-read (a remote shard timing out or dying), the read
+/// falls back to a degraded plan around the suspect disk instead of
+/// failing.
 pub struct ObjectStore {
     scheme: Scheme,
     element_size: usize,
@@ -45,7 +46,12 @@ pub struct ObjectStore {
 
 impl std::fmt::Debug for ObjectStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "ObjectStore({}, {}B elements)", self.scheme.name(), self.element_size)
+        write!(
+            f,
+            "ObjectStore({}, {}B elements)",
+            self.scheme.name(),
+            self.element_size
+        )
     }
 }
 
@@ -162,19 +168,14 @@ impl ObjectStore {
         // Encode stripes in parallel: each is an independent set of
         // group-by-group parity computations.
         type StripeCells = (u64, Vec<(Loc, Vec<u8>)>);
-        let images: Vec<StripeCells> = blocks
-            .par_iter()
-            .enumerate()
-            .map(|(i, block)| {
-                let stripe = first_stripe + i as u64;
-                let refs: Vec<&[u8]> = block.chunks_exact(self.element_size).collect();
-                debug_assert_eq!(refs.len(), dps);
-                let img = self.scheme.encode_stripe(stripe, &refs);
-                let cells: Vec<(Loc, Vec<u8>)> =
-                    img.iter().map(|(loc, b)| (loc, b.to_vec())).collect();
-                (stripe, cells)
-            })
-            .collect();
+        let images: Vec<StripeCells> = par_map(&blocks, |i, block| {
+            let stripe = first_stripe + i as u64;
+            let refs: Vec<&[u8]> = block.chunks_exact(self.element_size).collect();
+            debug_assert_eq!(refs.len(), dps);
+            let img = self.scheme.encode_stripe(stripe, &refs);
+            let cells: Vec<(Loc, Vec<u8>)> = img.iter().map(|(loc, b)| (loc, b.to_vec())).collect();
+            (stripe, cells)
+        });
 
         let mut batch = Vec::with_capacity(full * self.scheme.layout().total_per_stripe());
         for (_, cells) in images {
@@ -188,7 +189,7 @@ impl ObjectStore {
     }
 
     /// Read a whole object.
-    pub fn get(&self, name: &str) -> Result<Bytes, StoreError> {
+    pub fn get(&self, name: &str) -> Result<Vec<u8>, StoreError> {
         let len = self.object_len(name)?;
         self.get_range(name, 0, len)
     }
@@ -196,7 +197,7 @@ impl ObjectStore {
     /// Read a whole object and report how the read went (plan metrics +
     /// wall-clock time) — the instrumentation behind the examples'
     /// speed reports.
-    pub fn get_with_stats(&self, name: &str) -> Result<(Bytes, ReadStats), StoreError> {
+    pub fn get_with_stats(&self, name: &str) -> Result<(Vec<u8>, ReadStats), StoreError> {
         let len = self.object_len(name)?;
         self.get_range_with_stats(name, 0, len)
     }
@@ -214,9 +215,20 @@ impl ObjectStore {
     ///
     /// If any referenced element is still unsealed the store flushes
     /// first. Under failed disks the read is planned as a degraded read
-    /// and lost elements are reconstructed inline.
-    pub fn get_range(&self, name: &str, start: u64, len: u64) -> Result<Bytes, StoreError> {
+    /// and lost elements are reconstructed inline. A disk that stops
+    /// answering *during* the read (e.g. a remote shard timing out) is
+    /// marked suspect for this read and the plan falls back to degraded
+    /// around it.
+    pub fn get_range(&self, name: &str, start: u64, len: u64) -> Result<Vec<u8>, StoreError> {
         Ok(self.get_range_with_stats(name, start, len)?.0)
+    }
+
+    /// Sum of network transport counters across every backend that
+    /// exposes them (remote disks); all-zero for local arrays.
+    fn net_snapshot(&self) -> NetStats {
+        (0..self.array.n_disks())
+            .filter_map(|d| self.array.disk(d).net_stats())
+            .fold(NetStats::default(), |acc, s| acc.merge(&s))
     }
 
     /// [`Self::get_range`] plus per-read statistics.
@@ -225,7 +237,7 @@ impl ObjectStore {
         name: &str,
         start: u64,
         len: u64,
-    ) -> Result<(Bytes, ReadStats), StoreError> {
+    ) -> Result<(Vec<u8>, ReadStats), StoreError> {
         let (meta, failed) = {
             let mut inner = self.inner.lock();
             let meta = *inner
@@ -250,7 +262,7 @@ impl ObjectStore {
         };
         if len == 0 {
             return Ok((
-                Bytes::new(),
+                Vec::new(),
                 ReadStats {
                     requested_elements: 0,
                     fetched_elements: 0,
@@ -258,43 +270,73 @@ impl ObjectStore {
                     max_disk_load: 0,
                     cost: 0.0,
                     degraded: !failed.is_empty(),
+                    replans: 0,
+                    net: NetStats::default(),
                     elapsed: std::time::Duration::ZERO,
                 },
             ));
         }
 
         let t0 = std::time::Instant::now();
+        let net_before = self.net_snapshot();
         let (first, last) = meta.element_range(self.element_size);
         let count = (last - first) as usize;
-        let plan = if failed.is_empty() {
-            self.scheme.normal_read_plan(first, count)
-        } else {
-            self.scheme.degraded_read_plan(first, count, &failed)
-        };
-        if !plan.unreadable.is_empty() {
-            return Err(StoreError::DataLoss(format!(
-                "{} elements unrecoverable under failed disks {failed:?}",
-                plan.unreadable.len()
-            )));
-        }
 
-        // Execute the plan in parallel on the array.
-        let addrs: Vec<(usize, u64)> =
-            plan.fetches.iter().map(|f| (f.loc.disk, f.loc.offset)).collect();
-        let results = self.array.read_batch(&addrs);
-        let mut fetched: HashMap<Loc, Vec<u8>> = HashMap::with_capacity(addrs.len());
-        for (f, bytes) in plan.fetches.iter().zip(results) {
-            let bytes = bytes.ok_or_else(|| {
-                StoreError::DataLoss(format!(
-                    "disk {} did not return element at offset {}",
-                    f.loc.disk, f.loc.offset
-                ))
-            })?;
-            fetched.insert(f.loc, bytes);
-        }
-        let elements =
-            self.scheme
-                .assemble_read_cached(first, count, &fetched, &self.decoder_cache)?;
+        // Plan, fetch, and — when a disk stops answering mid-read —
+        // mark it suspect and replan degraded around it. Each iteration
+        // strictly grows the suspect set, so the loop terminates.
+        let mut suspects: BTreeSet<usize> = failed.iter().copied().collect();
+        let mut replans = 0usize;
+        let (elements, plan) = loop {
+            let down: Vec<usize> = suspects.iter().copied().collect();
+            let plan = if down.is_empty() {
+                self.scheme.normal_read_plan(first, count)
+            } else {
+                self.scheme.degraded_read_plan(first, count, &down)
+            };
+            if !plan.unreadable.is_empty() {
+                return Err(StoreError::DataLoss(format!(
+                    "{} elements unrecoverable under failed disks {down:?}",
+                    plan.unreadable.len()
+                )));
+            }
+
+            // Execute the plan in parallel on the array.
+            let addrs: Vec<(usize, u64)> = plan
+                .fetches
+                .iter()
+                .map(|f| (f.loc.disk, f.loc.offset))
+                .collect();
+            let results = self.array.read_batch(&addrs);
+            let mut fetched: HashMap<Loc, Vec<u8>> = HashMap::with_capacity(addrs.len());
+            let mut newly_suspect: BTreeSet<usize> = BTreeSet::new();
+            for (f, bytes) in plan.fetches.iter().zip(results) {
+                match bytes {
+                    Some(b) => {
+                        fetched.insert(f.loc, b);
+                    }
+                    None => {
+                        newly_suspect.insert(f.loc.disk);
+                    }
+                }
+            }
+            if newly_suspect.is_empty() {
+                let elements = self.scheme.assemble_read_cached(
+                    first,
+                    count,
+                    &fetched,
+                    &self.decoder_cache,
+                )?;
+                break (elements, plan);
+            }
+            if newly_suspect.iter().all(|d| suspects.contains(d)) {
+                return Err(StoreError::DataLoss(format!(
+                    "disks {newly_suspect:?} still unresponsive after degraded replan"
+                )));
+            }
+            suspects.extend(newly_suspect);
+            replans += 1;
+        };
 
         // Slice the requested byte range out of the element run.
         let mut flat = Vec::with_capacity(count * self.element_size);
@@ -308,13 +350,12 @@ impl ObjectStore {
             repair_elements: plan.repair_fetched(),
             max_disk_load: plan.max_load(),
             cost: plan.cost(),
-            degraded: !failed.is_empty(),
+            degraded: !suspects.is_empty(),
+            replans,
+            net: self.net_snapshot().since(&net_before),
             elapsed: t0.elapsed(),
         };
-        Ok((
-            Bytes::copy_from_slice(&flat[begin..begin + len as usize]),
-            stats,
-        ))
+        Ok((flat[begin..begin + len as usize].to_vec(), stats))
     }
 
     /// Recompute every group's parities from stored data and compare
@@ -349,8 +390,7 @@ impl ObjectStore {
         for stripe in 0..stripes {
             for row in 0..layout.rows_per_stripe() {
                 let locs = layout.row_locations(stripe, row);
-                let addrs: Vec<(usize, u64)> =
-                    locs.iter().map(|l| (l.disk, l.offset)).collect();
+                let addrs: Vec<(usize, u64)> = locs.iter().map(|l| (l.disk, l.offset)).collect();
                 let cells = self.array.read_batch(&addrs);
                 if cells.iter().any(|c| c.is_none()) {
                     missing += cells.iter().filter(|c| c.is_none()).count();
@@ -360,7 +400,11 @@ impl ObjectStore {
                 let data_refs: Vec<&[u8]> = cells[..k].iter().map(|v| v.as_slice()).collect();
                 let mut parity = vec![vec![0u8; self.element_size]; n - k];
                 code.encode(&data_refs, &mut parity);
-                if parity.iter().zip(&cells[k..]).any(|(want, got)| want != got) {
+                if parity
+                    .iter()
+                    .zip(&cells[k..])
+                    .any(|(want, got)| want != got)
+                {
                     corrupt_groups.push((stripe, row));
                 }
             }
@@ -411,7 +455,10 @@ impl ObjectStore {
         let (stripes, all_failed) = {
             let mut inner = self.inner.lock();
             self.flush_locked(&mut inner);
-            (inner.stripes, inner.failed.iter().copied().collect::<Vec<_>>())
+            (
+                inner.stripes,
+                inner.failed.iter().copied().collect::<Vec<_>>(),
+            )
         };
         let recovery = DiskRecovery::plan_among(&self.scheme, disk, &all_failed, stripes)
             .map_err(StoreError::DataLoss)?;
@@ -434,16 +481,11 @@ impl ObjectStore {
         }
 
         // Rebuild every task in parallel.
-        let rebuilt: Vec<((usize, u64), Vec<u8>)> = recovery
-            .tasks
-            .par_iter()
-            .map(|task| {
-                let bytes =
-                    DiskRecovery::rebuild_one(&self.scheme, task, &fetched, self.element_size)
-                        .expect("plan sources span the target");
-                ((task.target.disk, task.target.offset), bytes)
-            })
-            .collect();
+        let rebuilt: Vec<((usize, u64), Vec<u8>)> = par_map(&recovery.tasks, |_, task| {
+            let bytes = DiskRecovery::rebuild_one(&self.scheme, task, &fetched, self.element_size)
+                .expect("plan sources span the target");
+            ((task.target.disk, task.target.offset), bytes)
+        });
         let count = rebuilt.len();
 
         self.array.disk(disk).wipe();
@@ -453,13 +495,13 @@ impl ObjectStore {
         Ok(count)
     }
 
-    /// Read several objects, planning/decoding in parallel (rayon).
-    /// Results are in input order.
-    pub fn get_many(&self, names: &[&str]) -> Vec<Result<Bytes, StoreError>> {
+    /// Read several objects, planning/decoding in parallel. Results are
+    /// in input order.
+    pub fn get_many(&self, names: &[&str]) -> Vec<Result<Vec<u8>, StoreError>> {
         // Seal everything once up front so parallel reads never contend
         // on the flush lock.
         self.flush();
-        names.par_iter().map(|name| self.get(name)).collect()
+        par_map(names, |_, name| self.get(name))
     }
 
     /// Decoder-cache statistics: `(hits, misses)` of solved repair
@@ -503,7 +545,9 @@ mod tests {
     }
 
     fn blob(len: usize, seed: u8) -> Vec<u8> {
-        (0..len).map(|i| ((i * 31 + seed as usize * 7 + 1) % 256) as u8).collect()
+        (0..len)
+            .map(|i| ((i * 31 + seed as usize * 7 + 1) % 256) as u8)
+            .collect()
     }
 
     #[test]
@@ -603,10 +647,7 @@ mod tests {
 
     #[test]
     fn too_many_failures_is_data_loss_not_garbage() {
-        let store = ObjectStore::new(
-            Scheme::ecfrm(Arc::new(RsCode::vandermonde(6, 3))),
-            64,
-        );
+        let store = ObjectStore::new(Scheme::ecfrm(Arc::new(RsCode::vandermonde(6, 3))), 64);
         let data = blob(10_000, 9);
         store.put("x", &data).unwrap();
         store.get("x").unwrap(); // seal
@@ -680,16 +721,16 @@ mod tests {
 
     #[test]
     fn recover_beyond_tolerance_is_data_loss() {
-        let store = ObjectStore::new(
-            Scheme::ecfrm(Arc::new(RsCode::vandermonde(6, 3))),
-            64,
-        );
+        let store = ObjectStore::new(Scheme::ecfrm(Arc::new(RsCode::vandermonde(6, 3))), 64);
         store.put("x", &blob(5_000, 14)).unwrap();
         store.flush();
         for d in [0usize, 1, 2, 3] {
             store.fail_disk(d).unwrap();
         }
-        assert!(matches!(store.recover_disk(0), Err(StoreError::DataLoss(_))));
+        assert!(matches!(
+            store.recover_disk(0),
+            Err(StoreError::DataLoss(_))
+        ));
     }
 
     #[test]
@@ -712,9 +753,18 @@ mod tests {
     #[test]
     fn invalid_disk_operations() {
         let store = lrc_store();
-        assert!(matches!(store.fail_disk(10), Err(StoreError::NoSuchDisk(10))));
-        assert!(matches!(store.heal_disk(99), Err(StoreError::NoSuchDisk(99))));
-        assert!(matches!(store.recover_disk(10), Err(StoreError::NoSuchDisk(10))));
+        assert!(matches!(
+            store.fail_disk(10),
+            Err(StoreError::NoSuchDisk(10))
+        ));
+        assert!(matches!(
+            store.heal_disk(99),
+            Err(StoreError::NoSuchDisk(99))
+        ));
+        assert!(matches!(
+            store.recover_disk(10),
+            Err(StoreError::NoSuchDisk(10))
+        ));
     }
 
     #[test]

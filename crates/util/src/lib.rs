@@ -1,0 +1,23 @@
+//! Dependency-free utilities shared across the EC-FRM workspace.
+//!
+//! The build environment is fully offline, so the workspace carries no
+//! external crates. This crate supplies the three pieces the rest of the
+//! workspace would otherwise pull from crates.io:
+//!
+//! * [`Rng`] — a small, fast, seedable PRNG (xoshiro256**) with the
+//!   `random_range` / `random` surface the simulators and workload
+//!   generators need. Deterministic given a seed, so every figure and
+//!   test regenerates bit-identically.
+//! * [`Mutex`] — a [`std::sync::Mutex`] wrapper whose `lock()` returns
+//!   the guard directly (poisoning is collapsed into the inner value,
+//!   parking_lot-style), keeping call sites free of `unwrap()` noise.
+//! * [`par_map`] — scoped-thread parallel map over a slice, the rayon
+//!   `par_iter().map().collect()` shape the store and figure harness use.
+
+pub mod par;
+pub mod rng;
+pub mod sync;
+
+pub use par::par_map;
+pub use rng::Rng;
+pub use sync::Mutex;

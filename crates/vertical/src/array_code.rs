@@ -115,8 +115,7 @@ impl ArrayCode {
         assert!(data.iter().all(|d| d.len() == len), "unequal regions");
         (0..self.rows * self.cols)
             .map(|cell| {
-                let coeffs: Vec<u8> =
-                    self.generator.row(cell).iter().map(|&c| c as u8).collect();
+                let coeffs: Vec<u8> = self.generator.row(cell).iter().map(|&c| c as u8).collect();
                 let mut out = vec![0u8; len];
                 dot_region(&coeffs, data, &mut out);
                 out
@@ -129,11 +128,7 @@ impl ArrayCode {
     /// # Errors
     /// [`CodeError::Unrecoverable`] when the erasure pattern exceeds what
     /// the generator spans.
-    pub fn decode(
-        &self,
-        cells: &mut [Option<Vec<u8>>],
-        len: usize,
-    ) -> Result<(), CodeError> {
+    pub fn decode(&self, cells: &mut [Option<Vec<u8>>], len: usize) -> Result<(), CodeError> {
         matrix_decode(&self.generator, cells, len)
     }
 

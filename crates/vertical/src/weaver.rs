@@ -81,14 +81,17 @@ mod tests {
         let code = Weaver::new(n);
         let len = 8;
         let data: Vec<Vec<u8>> = (0..n)
-            .map(|i| (0..len).map(|j| ((i * 23 + j * 7 + 1) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 23 + j * 7 + 1) % 256) as u8)
+                    .collect()
+            })
             .collect();
         let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
         let grid = code.encode(&refs);
         for a in 0..n {
             for b in a + 1..n {
-                let mut cells: Vec<Option<Vec<u8>>> =
-                    grid.iter().cloned().map(Some).collect();
+                let mut cells: Vec<Option<Vec<u8>>> = grid.iter().cloned().map(Some).collect();
                 for (cell, slot) in cells.iter_mut().enumerate() {
                     if cell % n == a || cell % n == b {
                         *slot = None;

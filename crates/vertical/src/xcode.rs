@@ -88,7 +88,11 @@ mod tests {
         let code = XCode::new(p);
         let len = 16;
         let data: Vec<Vec<u8>> = (0..code.data_count())
-            .map(|i| (0..len).map(|j| ((i * 17 + j * 5 + 3) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 17 + j * 5 + 3) % 256) as u8)
+                    .collect()
+            })
             .collect();
         let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
         let grid = code.encode(&refs);

@@ -26,7 +26,9 @@ fn main() {
     println!("scheme: {} (tolerates any 3 of 9 disks)\n", scheme.name());
 
     let store = ObjectStore::new(scheme.clone(), 8192);
-    let payload: Vec<u8> = (0..2_000_000u32).map(|i| ((i * 7 + 13) % 256) as u8).collect();
+    let payload: Vec<u8> = (0..2_000_000u32)
+        .map(|i| ((i * 7 + 13) % 256) as u8)
+        .collect();
     store.put("volume.img", &payload).expect("put");
     store.flush();
 
@@ -64,7 +66,10 @@ fn main() {
     for d in [0, 4, 8] {
         store.fail_disk(d).expect("fail");
     }
-    assert_eq!(store.get("volume.img").expect("triple-degraded read"), payload);
+    assert_eq!(
+        store.get("volume.img").expect("triple-degraded read"),
+        payload
+    );
     println!("  triple-degraded read ok; rebuilding one disk at a time");
     for d in [0, 4, 8] {
         let n = store.recover_disk(d).expect("recover");

@@ -14,24 +14,27 @@
 
 use std::sync::Arc;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 use ecfrm::codes::{CandidateCode, LrcCode};
 use ecfrm::core::Scheme;
 use ecfrm::sim::{mean, speed_mb_s, ArraySim, DiskModel};
 use ecfrm::store::ObjectStore;
+use ecfrm::util::Rng;
 
 /// 1 MB elements, as in the paper's discussion.
 const ELEMENT: usize = 1_000_000;
 
 fn main() {
     let code: Arc<dyn CandidateCode> = Arc::new(LrcCode::new(6, 2, 2));
-    let mut rng = SmallRng::seed_from_u64(2015);
+    let mut rng = Rng::seed_from_u64(2015);
 
     // A library of songs: 3-12 MB each.
     let songs: Vec<(String, usize)> = (0..40)
-        .map(|i| (format!("track{i:02}.mp3"), rng.random_range(3..=12) * ELEMENT))
+        .map(|i| {
+            (
+                format!("track{i:02}.mp3"),
+                rng.random_range(3usize..=12) * ELEMENT,
+            )
+        })
         .collect();
     let total_mb: usize = songs.iter().map(|(_, s)| s / ELEMENT).sum();
     println!("library: {} songs, {total_mb} MB total\n", songs.len());
@@ -50,7 +53,7 @@ fn main() {
 
         // Replay 500 random song fetches; model each fetch's time from
         // its read plan on the Savvio array.
-        let mut replay = SmallRng::seed_from_u64(99);
+        let mut replay = Rng::seed_from_u64(99);
         let mut speeds = Vec::new();
         let mut worst_case_ms: f64 = 0.0;
         for _ in 0..500 {

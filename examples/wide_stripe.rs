@@ -42,11 +42,13 @@ fn main() {
 
     // 2. The code: GF(2^16) Reed-Solomon, any 60 of 300 elements may die.
     let rs = WideRs::new(K, M);
-    println!(
-        "WideRs({K},{M}): MDS over GF(2^16), tolerates any {M} of {N} elements"
-    );
+    println!("WideRs({K},{M}): MDS over GF(2^16), tolerates any {M} of {N} elements");
     let data: Vec<Vec<u8>> = (0..K)
-        .map(|i| (0..ELEMENT).map(|j| ((i * 31 + j * 7 + 5) % 256) as u8).collect())
+        .map(|i| {
+            (0..ELEMENT)
+                .map(|j| ((i * 31 + j * 7 + 5) % 256) as u8)
+                .collect()
+        })
         .collect();
     let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
     let mut parity = vec![vec![0u8; ELEMENT]; M];
@@ -74,9 +76,14 @@ fn main() {
             erased.push(e);
         }
     }
-    println!("erased {} elements: {:?}…", erased.len(), &erased[..8.min(erased.len())]);
+    println!(
+        "erased {} elements: {:?}…",
+        erased.len(),
+        &erased[..8.min(erased.len())]
+    );
     let t0 = std::time::Instant::now();
-    rs.decode(&mut shards, ELEMENT).expect("within MDS tolerance");
+    rs.decode(&mut shards, ELEMENT)
+        .expect("within MDS tolerance");
     println!("decoded in {:.0} ms", t0.elapsed().as_secs_f64() * 1e3);
     for (i, d) in data.iter().enumerate() {
         assert_eq!(shards[i].as_deref().unwrap(), &d[..], "data {i}");

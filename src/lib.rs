@@ -16,8 +16,12 @@
 //!   real threaded I/O engine;
 //! * [`store`] — an append-only erasure-coded object store built on all
 //!   of the above;
+//! * [`net`] — a real networked shard service: wire protocol, shard
+//!   servers, remote-disk clients with retries/hedging, and a loopback
+//!   cluster harness;
 //! * [`vertical`] — the vertical codes (X-Code, WEAVER) whose
-//!   restrictions motivate EC-FRM (paper §II-B).
+//!   restrictions motivate EC-FRM (paper §II-B);
+//! * [`util`] — dependency-free RNG, lock, and parallel-map utilities.
 //!
 //! ## Quickstart
 //!
@@ -40,8 +44,10 @@ pub use ecfrm_codes as codes;
 pub use ecfrm_core as core;
 pub use ecfrm_gf as gf;
 pub use ecfrm_layout as layout;
+pub use ecfrm_net as net;
 pub use ecfrm_sim as sim;
 pub use ecfrm_store as store;
+pub use ecfrm_util as util;
 pub use ecfrm_vertical as vertical;
 
 /// Crate version, from the workspace manifest.

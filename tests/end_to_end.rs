@@ -27,7 +27,9 @@ fn all_forms(code: Arc<dyn CandidateCode>) -> Vec<Scheme> {
 }
 
 fn blob(len: usize, seed: u8) -> Vec<u8> {
-    (0..len).map(|i| ((i * 131 + seed as usize * 41 + 17) % 256) as u8).collect()
+    (0..len)
+        .map(|i| ((i * 131 + seed as usize * 41 + 17) % 256) as u8)
+        .collect()
 }
 
 #[test]

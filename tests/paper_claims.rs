@@ -84,7 +84,10 @@ fn rotated_sits_between_standard_and_ecfrm() {
         let s = run_normal(&std, &cfg).speed_mb_s;
         let r = run_normal(&rot, &cfg).speed_mb_s;
         let e = run_normal(&ec, &cfg).speed_mb_s;
-        assert!(s < r && r < e, "RS({k},{m}): expected {s:.0} < {r:.0} < {e:.0}");
+        assert!(
+            s < r && r < e,
+            "RS({k},{m}): expected {s:.0} < {r:.0} < {e:.0}"
+        );
     }
 }
 
@@ -103,7 +106,11 @@ fn fig9ab_degraded_cost_form_invariant() {
         let spread = (c.iter().cloned().fold(f64::MIN, f64::max)
             / c.iter().cloned().fold(f64::MAX, f64::min))
             - 1.0;
-        assert!(spread < 0.06, "RS({k},{m}) cost spread {:.1}%", spread * 100.0);
+        assert!(
+            spread < 0.06,
+            "RS({k},{m}) cost spread {:.1}%",
+            spread * 100.0
+        );
     }
 }
 

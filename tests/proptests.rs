@@ -1,6 +1,7 @@
-//! Property-based tests over the whole stack (proptest).
+//! Randomised tests over the whole stack.
 //!
-//! Strategy-generated codes, layouts, data and failure patterns; the
+//! Property-style: seeded pseudo-random sweeps of codes, layouts, data
+//! and failure patterns (fixed seeds, so failures replay exactly); the
 //! properties are the paper's structural invariants:
 //!
 //! * layout mappings are bijective and group-column-disjoint for ANY
@@ -14,191 +15,235 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use proptest::prelude::*;
-
 use ecfrm::codes::{CandidateCode, LrcCode, RsCode, XorCode};
 use ecfrm::core::Scheme;
 use ecfrm::layout::{EcFrmLayout, Layout, Loc, RotatedLayout, ShuffledLayout, StandardLayout};
 use ecfrm::store::ObjectStore;
+use ecfrm::util::Rng;
 
 /// Any valid (n, k) pair with n ≤ 24 (keeps exhaustive sub-checks fast).
-fn nk() -> impl Strategy<Value = (usize, usize)> {
-    (2usize..=24).prop_flat_map(|n| (Just(n), 1usize..n))
+fn nk(rng: &mut Rng) -> (usize, usize) {
+    let n = rng.random_range(2usize..=24);
+    (n, rng.random_range(1usize..n))
 }
 
-/// A layout of any kind over (n, k).
-fn any_layout() -> impl Strategy<Value = Box<dyn Layout>> {
-    (nk(), 0usize..4, any::<u64>()).prop_map(|((n, k), kind, seed)| -> Box<dyn Layout> {
-        match kind {
-            0 => Box::new(StandardLayout::new(n, k)),
-            1 => Box::new(RotatedLayout::new(n, k)),
-            2 => Box::new(EcFrmLayout::new(n, k)),
-            _ => Box::new(ShuffledLayout::new(n, k, seed)),
-        }
-    })
+/// A layout of any kind over a random (n, k).
+fn any_layout(rng: &mut Rng) -> Box<dyn Layout> {
+    let (n, k) = nk(rng);
+    match rng.random_range(0usize..4) {
+        0 => Box::new(StandardLayout::new(n, k)),
+        1 => Box::new(RotatedLayout::new(n, k)),
+        2 => Box::new(EcFrmLayout::new(n, k)),
+        _ => Box::new(ShuffledLayout::new(n, k, rng.random())),
+    }
 }
 
 /// A small candidate code (RS, Cauchy-RS, LRC or XOR).
-fn any_code() -> impl Strategy<Value = Arc<dyn CandidateCode>> {
-    prop_oneof![
-        (2usize..=8, 1usize..=4).prop_map(|(k, m)| {
-            Arc::new(RsCode::vandermonde(k, m)) as Arc<dyn CandidateCode>
-        }),
-        (2usize..=8, 1usize..=4)
-            .prop_map(|(k, m)| Arc::new(RsCode::cauchy(k, m)) as Arc<dyn CandidateCode>),
-        (1usize..=4, 1usize..=2, 1usize..=3).prop_map(|(g, l, m)| {
-            Arc::new(LrcCode::new(g * l, l, m)) as Arc<dyn CandidateCode>
-        }),
-        (2usize..=8).prop_map(|k| Arc::new(XorCode::new(k)) as Arc<dyn CandidateCode>),
-    ]
+fn any_code(rng: &mut Rng) -> Arc<dyn CandidateCode> {
+    match rng.random_range(0usize..4) {
+        0 => {
+            let k = rng.random_range(2usize..=8);
+            let m = rng.random_range(1usize..=4);
+            Arc::new(RsCode::vandermonde(k, m))
+        }
+        1 => {
+            let k = rng.random_range(2usize..=8);
+            let m = rng.random_range(1usize..=4);
+            Arc::new(RsCode::cauchy(k, m))
+        }
+        2 => {
+            let g = rng.random_range(1usize..=4);
+            let l = rng.random_range(1usize..=2);
+            let m = rng.random_range(1usize..=3);
+            Arc::new(LrcCode::new(g * l, l, m))
+        }
+        _ => Arc::new(XorCode::new(rng.random_range(2usize..=8))),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn xorshift_bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut x = seed | 1;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x & 0xFF) as u8
+        })
+        .collect()
+}
 
-    /// data_location / element_at are mutually inverse for every layout.
-    #[test]
-    fn layout_data_mapping_inverts(layout in any_layout(), idx in 0u64..10_000) {
-        let loc = layout.data_location(idx);
-        prop_assert!(loc.disk < layout.n_disks());
-        let se = layout.element_at(loc);
-        let (stripe, row, pos) = layout.data_coordinates(idx);
-        prop_assert_eq!((se.stripe, se.row, se.pos), (stripe, row, pos));
+/// data_location / element_at are mutually inverse for every layout.
+#[test]
+fn layout_data_mapping_inverts() {
+    let mut rng = Rng::seed_from_u64(0x1A1);
+    for _ in 0..64 {
+        let layout = any_layout(&mut rng);
+        for _ in 0..32 {
+            let idx = rng.random_range(0u64..10_000);
+            let loc = layout.data_location(idx);
+            assert!(loc.disk < layout.n_disks());
+            let se = layout.element_at(loc);
+            let (stripe, row, pos) = layout.data_coordinates(idx);
+            assert_eq!((se.stripe, se.row, se.pos), (stripe, row, pos));
+        }
     }
+}
 
-    /// parity_location / element_at are mutually inverse.
-    #[test]
-    fn layout_parity_mapping_inverts(layout in any_layout(), stripe in 0u64..200) {
+/// parity_location / element_at are mutually inverse.
+#[test]
+fn layout_parity_mapping_inverts() {
+    let mut rng = Rng::seed_from_u64(0x1A2);
+    for _ in 0..64 {
+        let layout = any_layout(&mut rng);
+        let stripe = rng.random_range(0u64..200);
         let n = layout.code_n();
         let k = layout.code_k();
         for row in 0..layout.rows_per_stripe() {
             for p in 0..n - k {
                 let loc = layout.parity_location(stripe, row, p);
                 let se = layout.element_at(loc);
-                prop_assert_eq!((se.stripe, se.row, se.pos), (stripe, row, k + p));
+                assert_eq!((se.stripe, se.row, se.pos), (stripe, row, k + p));
             }
         }
     }
+}
 
-    /// Every candidate row of every layout occupies n distinct disks —
-    /// the property Lemma 1's fault-tolerance argument rests on.
-    #[test]
-    fn rows_hit_distinct_disks(layout in any_layout(), stripe in 0u64..50) {
+/// Every candidate row of every layout occupies n distinct disks — the
+/// property Lemma 1's fault-tolerance argument rests on.
+#[test]
+fn rows_hit_distinct_disks() {
+    let mut rng = Rng::seed_from_u64(0x1A3);
+    for _ in 0..64 {
+        let layout = any_layout(&mut rng);
+        let stripe = rng.random_range(0u64..50);
         for row in 0..layout.rows_per_stripe() {
             let locs = layout.row_locations(stripe, row);
             let mut disks: Vec<usize> = locs.iter().map(|l| l.disk).collect();
             disks.sort_unstable();
             disks.dedup();
-            prop_assert_eq!(disks.len(), layout.code_n());
+            assert_eq!(disks.len(), layout.code_n());
         }
     }
+}
 
-    /// Distinct data elements never collide physically.
-    #[test]
-    fn data_locations_injective(layout in any_layout(), base in 0u64..5_000) {
+/// Distinct data elements never collide physically.
+#[test]
+fn data_locations_injective() {
+    let mut rng = Rng::seed_from_u64(0x1A4);
+    for _ in 0..64 {
+        let layout = any_layout(&mut rng);
+        let base = rng.random_range(0u64..5_000);
         let span = (layout.data_per_stripe() * 2) as u64;
         let mut seen = std::collections::HashSet::new();
         for idx in base..base + span {
-            prop_assert!(seen.insert(layout.data_location(idx)), "collision at {}", idx);
+            assert!(seen.insert(layout.data_location(idx)), "collision at {idx}");
         }
     }
+}
 
-    /// Encode → erase within tolerance → decode restores everything,
-    /// for every code.
-    #[test]
-    fn code_roundtrip_within_tolerance(
-        code in any_code(),
-        seed in any::<u64>(),
-        len in 1usize..128,
-    ) {
+/// Encode → erase within tolerance → decode restores everything, for
+/// every code.
+#[test]
+fn code_roundtrip_within_tolerance() {
+    let mut rng = Rng::seed_from_u64(0x1A5);
+    for _ in 0..64 {
+        let code = any_code(&mut rng);
+        let seed: u64 = rng.random();
+        let len = rng.random_range(1usize..128);
         let k = code.k();
         let n = code.n();
         let t = code.fault_tolerance();
-        let mut x = seed | 1;
-        let mut byte = move || {
-            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
-            (x & 0xFF) as u8
-        };
-        let data: Vec<Vec<u8>> = (0..k).map(|_| (0..len).map(|_| byte()).collect()).collect();
+        let data: Vec<Vec<u8>> = (0..k)
+            .map(|i| xorshift_bytes(seed.wrapping_add(i as u64), len))
+            .collect();
         let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
         let mut parity = vec![vec![0u8; len]; code.m()];
         code.encode(&refs, &mut parity);
-        let full: Vec<Option<Vec<u8>>> = data.iter().cloned().map(Some)
-            .chain(parity.into_iter().map(Some)).collect();
-        // Erase t positions pseudo-randomly: Fisher-Yates on 0..n driven
-        // by a xorshift stream, take the first t.
+        let full: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .map(Some)
+            .chain(parity.into_iter().map(Some))
+            .collect();
+        // Erase t random positions.
         let mut shards = full.clone();
         let mut order: Vec<usize> = (0..n).collect();
-        let mut y = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
-        for i in (1..n).rev() {
-            y ^= y << 13; y ^= y >> 7; y ^= y << 17;
-            order.swap(i, (y % (i as u64 + 1)) as usize);
-        }
-        let erased = &order[..t];
-        for &e in erased {
+        rng.shuffle(&mut order);
+        for &e in &order[..t] {
             shards[e] = None;
         }
         code.decode(&mut shards, len).unwrap();
         for (i, want) in full.iter().enumerate() {
-            prop_assert_eq!(shards[i].as_ref(), want.as_ref());
+            assert_eq!(shards[i].as_ref(), want.as_ref());
         }
     }
+}
 
-    /// Degraded plans never touch failed disks and always cover the
-    /// requested elements.
-    #[test]
-    fn degraded_plans_sound(
-        code in any_code(),
-        start in 0u64..2_000,
-        count in 1usize..24,
-        fail_pick in any::<u64>(),
-    ) {
+/// Degraded plans never touch failed disks and always cover the
+/// requested elements.
+#[test]
+fn degraded_plans_sound() {
+    let mut rng = Rng::seed_from_u64(0x1A6);
+    for _ in 0..48 {
+        let code = any_code(&mut rng);
+        let start = rng.random_range(0u64..2_000);
+        let count = rng.random_range(1usize..24);
         let n = code.n();
-        let failed = (fail_pick % n as u64) as usize;
-        for scheme in [Scheme::standard(code.clone()), Scheme::rotated(code.clone()),
-                       Scheme::ecfrm(code.clone())] {
+        let failed = rng.random_range(0usize..n);
+        for scheme in [
+            Scheme::standard(code.clone()),
+            Scheme::rotated(code.clone()),
+            Scheme::ecfrm(code.clone()),
+        ] {
             let plan = scheme.degraded_read_plan(start, count, &[failed]);
-            prop_assert!(plan.unreadable.is_empty());
+            assert!(plan.unreadable.is_empty());
             for f in &plan.fetches {
-                prop_assert_ne!(f.loc.disk, failed);
+                assert_ne!(f.loc.disk, failed);
             }
             // No duplicate fetches.
             let mut locs: Vec<Loc> = plan.fetches.iter().map(|f| f.loc).collect();
             let total = locs.len();
             locs.sort_unstable();
             locs.dedup();
-            prop_assert_eq!(locs.len(), total, "duplicate fetch in plan");
+            assert_eq!(locs.len(), total, "duplicate fetch in plan");
             // Demand fetches = requested elements not on the failed disk.
             let lost = (0..count as u64)
                 .filter(|i| scheme.layout().data_location(start + i).disk == failed)
                 .count();
-            let demand = plan.fetches.iter()
-                .filter(|f| f.purpose == ecfrm::core::Purpose::Demand).count();
-            prop_assert_eq!(demand, count - lost);
+            let demand = plan
+                .fetches
+                .iter()
+                .filter(|f| f.purpose == ecfrm::core::Purpose::Demand)
+                .count();
+            assert_eq!(demand, count - lost);
         }
     }
+}
 
-    /// Executing a degraded plan and assembling yields the original data.
-    #[test]
-    fn degraded_execution_correct(
-        code in any_code(),
-        seed in any::<u64>(),
-        start_frac in 0.0f64..1.0,
-        count in 1usize..16,
-        fail_pick in any::<u64>(),
-    ) {
+/// Executing a degraded plan and assembling yields the original data.
+#[test]
+fn degraded_execution_correct() {
+    let mut rng = Rng::seed_from_u64(0x1A7);
+    for _ in 0..48 {
+        let code = any_code(&mut rng);
+        let seed: u64 = rng.random();
+        let start_frac: f64 = rng.random_range(0.0..1.0);
+        let count = rng.random_range(1usize..16);
         let scheme = Scheme::ecfrm(code);
         let dps = scheme.data_per_stripe();
         let stripes = 3u64;
         let len = 16usize;
         let total = stripes as usize * dps;
-        let mut x = seed | 1;
-        let mut byte = move || { x ^= x << 13; x ^= x >> 7; x ^= x << 17; (x & 0xFF) as u8 };
-        let data: Vec<Vec<u8>> = (0..total).map(|_| (0..len).map(|_| byte()).collect()).collect();
+        let data: Vec<Vec<u8>> = (0..total)
+            .map(|i| xorshift_bytes(seed.wrapping_add(i as u64), len))
+            .collect();
         let mut all: HashMap<Loc, Vec<u8>> = HashMap::new();
         for s in 0..stripes {
             let refs: Vec<&[u8]> = data[s as usize * dps..(s as usize + 1) * dps]
-                .iter().map(|v| v.as_slice()).collect();
+                .iter()
+                .map(|v| v.as_slice())
+                .collect();
             for (loc, bytes) in scheme.encode_stripe(s, &refs).iter() {
                 all.insert(loc, bytes.to_vec());
             }
@@ -206,39 +251,40 @@ proptest! {
         let count = count.min(total); // tiny codes have small stripes
         let max_start = (total - count) as u64;
         let start = (start_frac * max_start as f64) as u64;
-        let failed = (fail_pick % scheme.n_disks() as u64) as usize;
+        let failed = rng.random_range(0usize..scheme.n_disks());
         let plan = scheme.degraded_read_plan(start, count, &[failed]);
-        let fetched: HashMap<Loc, Vec<u8>> = plan.fetches.iter()
-            .map(|f| (f.loc, all[&f.loc].clone())).collect();
+        let fetched: HashMap<Loc, Vec<u8>> = plan
+            .fetches
+            .iter()
+            .map(|f| (f.loc, all[&f.loc].clone()))
+            .collect();
         let got = scheme.assemble_read(start, count, &fetched).unwrap();
         for (i, g) in got.iter().enumerate() {
-            prop_assert_eq!(g, &data[start as usize + i]);
+            assert_eq!(g, &data[start as usize + i]);
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// The store's byte interface is exact for arbitrary sizes/ranges.
-    #[test]
-    fn store_roundtrip_bytes(
-        len in 0usize..30_000,
-        range_frac in 0.0f64..1.0,
-        range_len_frac in 0.0f64..1.0,
-        element_size in prop_oneof![Just(64usize), Just(100), Just(256), Just(1000)],
-    ) {
+/// The store's byte interface is exact for arbitrary sizes/ranges.
+#[test]
+fn store_roundtrip_bytes() {
+    let mut rng = Rng::seed_from_u64(0x1A8);
+    for _ in 0..16 {
+        let len = rng.random_range(0usize..30_000);
+        let range_frac: f64 = rng.random_range(0.0..1.0);
+        let range_len_frac: f64 = rng.random_range(0.0..1.0);
+        let element_size = [64usize, 100, 256, 1000][rng.random_range(0usize..4)];
         let scheme = Scheme::ecfrm(Arc::new(LrcCode::new(6, 2, 2)));
         let store = ObjectStore::new(scheme, element_size);
         let data: Vec<u8> = (0..len).map(|i| ((i * 131 + 7) % 256) as u8).collect();
         store.put("obj", &data).unwrap();
-        prop_assert_eq!(&store.get("obj").unwrap()[..], &data[..]);
+        assert_eq!(&store.get("obj").unwrap()[..], &data[..]);
         if len > 0 {
             let start = (range_frac * (len - 1) as f64) as u64;
             let max_len = len as u64 - start;
             let rlen = (range_len_frac * max_len as f64) as u64;
             let got = store.get_range("obj", start, rlen).unwrap();
-            prop_assert_eq!(&got[..], &data[start as usize..(start + rlen) as usize]);
+            assert_eq!(&got[..], &data[start as usize..(start + rlen) as usize]);
         }
     }
 }
