@@ -8,7 +8,7 @@ use ecfrm_bench::harness::{BenchmarkId, Criterion, Throughput};
 use ecfrm_bench::{criterion_group, criterion_main};
 
 use ecfrm_codes::{CandidateCode, LrcCode, RsCode};
-use ecfrm_core::Scheme;
+use ecfrm_core::{LayoutKind, Scheme};
 
 const ELEMENT: usize = 64 * 1024;
 
@@ -89,7 +89,8 @@ fn bench_stripe_encode(c: &mut Criterion) {
     // Whole-stripe encoding through the Scheme (the store's write path).
     let mut g = c.benchmark_group("stripe_encode");
     let code: Arc<dyn CandidateCode> = Arc::new(LrcCode::new(6, 2, 2));
-    for scheme in [Scheme::standard(code.clone()), Scheme::ecfrm(code.clone())] {
+    for kind in [LayoutKind::Standard, LayoutKind::EcFrm] {
+        let scheme = Scheme::builder(code.clone()).layout(kind).build();
         let dps = scheme.data_per_stripe();
         let d = data(dps);
         let refs: Vec<&[u8]> = d.iter().map(|v| v.as_slice()).collect();

@@ -1,9 +1,13 @@
 //! Regenerate every table and figure of the EC-FRM paper's evaluation.
 //!
 //! ```text
-//! figures [--quick] [fig8a|fig8b|fig9a|fig9b|fig9c|fig9d|all|
+//! figures [--quick] [--json] [fig8a|fig8b|fig9a|fig9b|fig9c|fig9d|all|
 //!          sweep-elem|sweep-size|hetero|placement|cauchy|ablations]
 //! ```
+//!
+//! `--json` additionally writes one `BENCH_<figure>.json` per figure
+//! (fig8a/fig8b/fig9a–d) with tail-latency (p50/p95/p99 ms) and
+//! load-imbalance (max/mean disk load) columns next to the speeds.
 //!
 //! Absolute MB/s differ from the paper (their testbed is real hardware;
 //! ours is the calibrated Savvio model), but the comparisons — who wins
@@ -13,13 +17,25 @@ use std::sync::Arc;
 
 use ecfrm_bench::experiment::{run_degraded, run_normal, ExperimentConfig};
 use ecfrm_bench::params::{lrc_params, lrc_schemes, rs_params, rs_schemes};
-use ecfrm_bench::report::{degraded_cost_table, degraded_speed_table, gain_pct, normal_table};
+use ecfrm_bench::report::{
+    degraded_cost_table, degraded_json, degraded_speed_table, gain_pct, normal_json, normal_table,
+};
 use ecfrm_codes::{CandidateCode, RsCode};
-use ecfrm_core::Scheme;
+use ecfrm_core::{LayoutKind, Scheme};
 use ecfrm_sim::{mean, DiskModel, NormalReadWorkload};
 use ecfrm_util::{par_map, Rng};
 
-fn fig8a(cfg: &ExperimentConfig) {
+/// Write one figure's JSON report next to the working directory and say
+/// so; figures are regenerated wholesale, so overwriting is the point.
+fn write_json(name: &str, body: &str) {
+    let path = format!("BENCH_{name}.json");
+    match std::fs::write(&path, body) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
+
+fn fig8a(cfg: &ExperimentConfig, json: bool) {
     let rows: Vec<_> = par_map(&rs_params(), |_, &(k, m)| {
         let [s, r, e] = rs_schemes(k, m);
         (
@@ -35,9 +51,12 @@ fn fig8a(cfg: &ExperimentConfig) {
         "{}",
         normal_table("Figure 8(a): normal read speed, RS forms (MB/s)", &rows)
     );
+    if json {
+        write_json("fig8a", &normal_json("fig8a", &rows));
+    }
 }
 
-fn fig8b(cfg: &ExperimentConfig) {
+fn fig8b(cfg: &ExperimentConfig, json: bool) {
     let rows: Vec<_> = par_map(&lrc_params(), |_, &(k, l, m)| {
         let [s, r, e] = lrc_schemes(k, l, m);
         (
@@ -53,6 +72,9 @@ fn fig8b(cfg: &ExperimentConfig) {
         "{}",
         normal_table("Figure 8(b): normal read speed, LRC forms (MB/s)", &rows)
     );
+    if json {
+        write_json("fig8b", &normal_json("fig8b", &rows));
+    }
 }
 
 fn degraded_rows_rs(cfg: &ExperimentConfig) -> Vec<(String, [ecfrm_bench::DegradedResult; 3])> {
@@ -83,37 +105,29 @@ fn degraded_rows_lrc(cfg: &ExperimentConfig) -> Vec<(String, [ecfrm_bench::Degra
     })
 }
 
-fn fig9(cfg: &ExperimentConfig, which: &str) {
-    match which {
-        "a" => println!(
-            "{}",
-            degraded_cost_table(
-                "Figure 9(a): degraded read cost, RS forms (fetched/requested)",
-                &degraded_rows_rs(cfg)
-            )
-        ),
-        "b" => println!(
-            "{}",
-            degraded_cost_table(
-                "Figure 9(b): degraded read cost, LRC forms (fetched/requested)",
-                &degraded_rows_lrc(cfg)
-            )
-        ),
-        "c" => println!(
-            "{}",
-            degraded_speed_table(
-                "Figure 9(c): degraded read speed, RS forms (MB/s)",
-                &degraded_rows_rs(cfg)
-            )
-        ),
-        "d" => println!(
-            "{}",
-            degraded_speed_table(
-                "Figure 9(d): degraded read speed, LRC forms (MB/s)",
-                &degraded_rows_lrc(cfg)
-            )
-        ),
+fn fig9(cfg: &ExperimentConfig, which: &str, json: bool) {
+    let rows = match which {
+        "a" | "c" => degraded_rows_rs(cfg),
+        "b" | "d" => degraded_rows_lrc(cfg),
         _ => unreachable!(),
+    };
+    let table = match which {
+        "a" => degraded_cost_table(
+            "Figure 9(a): degraded read cost, RS forms (fetched/requested)",
+            &rows,
+        ),
+        "b" => degraded_cost_table(
+            "Figure 9(b): degraded read cost, LRC forms (fetched/requested)",
+            &rows,
+        ),
+        "c" => degraded_speed_table("Figure 9(c): degraded read speed, RS forms (MB/s)", &rows),
+        "d" => degraded_speed_table("Figure 9(d): degraded read speed, LRC forms (MB/s)", &rows),
+        _ => unreachable!(),
+    };
+    println!("{table}");
+    if json {
+        let name = format!("fig9{which}");
+        write_json(&name, &degraded_json(&name, &rows));
     }
 }
 
@@ -231,12 +245,13 @@ fn placement(cfg: &ExperimentConfig) {
     println!("Ablation: placement policy, RS(6,3) normal reads (MB/s)");
     let code: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(6, 3));
     let schemes = [
-        Scheme::standard(code.clone()),
-        Scheme::rotated(code.clone()),
-        Scheme::shuffled(code.clone(), 7),
-        Scheme::krotated(code.clone()),
-        Scheme::ecfrm(code),
-    ];
+        LayoutKind::Standard,
+        LayoutKind::Rotated,
+        LayoutKind::Shuffled,
+        LayoutKind::KRotated,
+        LayoutKind::EcFrm,
+    ]
+    .map(|kind| Scheme::builder(code.clone()).layout(kind).seed(7).build());
     for scheme in schemes {
         let r = run_normal(&scheme, cfg);
         println!(
@@ -296,8 +311,11 @@ fn concurrency(cfg: &ExperimentConfig) {
 fn cauchy(cfg: &ExperimentConfig) {
     println!("Ablation: EC-FRM over Cauchy-RS(6,3) (framework generality)");
     let code: Arc<dyn CandidateCode> = Arc::new(RsCode::cauchy(6, 3));
-    let s = run_normal(&Scheme::standard(code.clone()), cfg);
-    let e = run_normal(&Scheme::ecfrm(code), cfg);
+    let s = run_normal(&Scheme::builder(code.clone()).build(), cfg);
+    let e = run_normal(
+        &Scheme::builder(code).layout(LayoutKind::EcFrm).build(),
+        cfg,
+    );
     println!(
         "{:<20} {:>10.1}\n{:<20} {:>10.1}  ({:+.1}%)",
         s.scheme,
@@ -331,7 +349,9 @@ fn vertical(cfg: &ExperimentConfig) {
     let sim = ecfrm_sim::ArraySim::uniform(7, cfg.disk, cfg.element_size);
 
     // EC-FRM-RS(5,2): same 7 disks, same tolerance 2, efficiency 5/7.
-    let ec = Scheme::ecfrm(Arc::new(RsCode::vandermonde(5, 2)) as Arc<dyn CandidateCode>);
+    let ec = Scheme::builder(Arc::new(RsCode::vandermonde(5, 2)) as Arc<dyn CandidateCode>)
+        .layout(LayoutKind::EcFrm)
+        .build();
     let xs: Vec<f64> = reqs
         .iter()
         .map(|r| {
@@ -559,6 +579,7 @@ fn recovery(cfg: &ExperimentConfig) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
     let cfg = if quick {
         ExperimentConfig::quick()
     } else {
@@ -581,12 +602,12 @@ fn main() {
 
     for cmd in cmds {
         match cmd {
-            "fig8a" => fig8a(&cfg),
-            "fig8b" => fig8b(&cfg),
-            "fig9a" => fig9(&cfg, "a"),
-            "fig9b" => fig9(&cfg, "b"),
-            "fig9c" => fig9(&cfg, "c"),
-            "fig9d" => fig9(&cfg, "d"),
+            "fig8a" => fig8a(&cfg, json),
+            "fig8b" => fig8b(&cfg, json),
+            "fig9a" => fig9(&cfg, "a", json),
+            "fig9b" => fig9(&cfg, "b", json),
+            "fig9c" => fig9(&cfg, "c", json),
+            "fig9d" => fig9(&cfg, "d", json),
             "sweep-elem" => sweep_elem(&cfg),
             "sweep-size" => sweep_size(&cfg),
             "hetero" => hetero(&cfg),
@@ -612,17 +633,17 @@ fn main() {
                 recovery(&cfg);
             }
             "all" => {
-                fig8a(&cfg);
-                fig8b(&cfg);
-                fig9(&cfg, "a");
-                fig9(&cfg, "b");
-                fig9(&cfg, "c");
-                fig9(&cfg, "d");
+                fig8a(&cfg, json);
+                fig8b(&cfg, json);
+                fig9(&cfg, "a", json);
+                fig9(&cfg, "b", json);
+                fig9(&cfg, "c", json);
+                fig9(&cfg, "d", json);
             }
             other => {
                 eprintln!("unknown command: {other}");
                 eprintln!(
-                    "usage: figures [--quick] [fig8a|fig8b|fig9a|fig9b|fig9c|fig9d|all|\\\n                sweep-elem|sweep-size|hetero|placement|cauchy|ablations]"
+                    "usage: figures [--quick] [--json] [fig8a|fig8b|fig9a|fig9b|fig9c|fig9d|all|\\\n                sweep-elem|sweep-size|hetero|placement|cauchy|ablations]"
                 );
                 std::process::exit(2);
             }

@@ -2,6 +2,7 @@
 //! array, summarised the way the paper reports it.
 
 use ecfrm_core::Scheme;
+use ecfrm_obs::{DiskBoard, Histogram};
 use ecfrm_sim::{mean, ArraySim, DegradedReadWorkload, DiskModel, Jitter, NormalReadWorkload};
 use ecfrm_util::Rng;
 
@@ -59,6 +60,33 @@ impl ExperimentConfig {
     }
 }
 
+/// Per-trial latency percentiles and cumulative disk-load imbalance,
+/// distilled from an [`ecfrm_obs`] histogram + disk board.
+#[derive(Debug, Clone, Copy)]
+pub struct TailStats {
+    /// Median simulated request latency, ms.
+    pub p50_ms: f64,
+    /// 95th-percentile simulated request latency, ms.
+    pub p95_ms: f64,
+    /// 99th-percentile simulated request latency, ms.
+    pub p99_ms: f64,
+    /// Cumulative disk-load imbalance over the whole run: max/mean
+    /// elements read per disk (1.0 = perfectly even).
+    pub load_imbalance: f64,
+}
+
+impl TailStats {
+    fn from_obs(hist: &Histogram, board: &DiskBoard) -> Self {
+        let h = hist.snapshot();
+        Self {
+            p50_ms: h.p50() as f64 / 1e3,
+            p95_ms: h.p95() as f64 / 1e3,
+            p99_ms: h.p99() as f64 / 1e3,
+            load_imbalance: board.snapshot().imbalance(),
+        }
+    }
+}
+
 /// Aggregated outcome of a normal-read experiment (one Figure 8 bar).
 #[derive(Debug, Clone)]
 pub struct NormalResult {
@@ -70,6 +98,8 @@ pub struct NormalResult {
     pub mean_max_load: f64,
     /// Mean number of disks serving each request.
     pub mean_disks_touched: f64,
+    /// Latency tail + cumulative load-imbalance statistics.
+    pub tail: TailStats,
 }
 
 /// Aggregated outcome of a degraded-read experiment (Figure 9 bars).
@@ -83,6 +113,30 @@ pub struct DegradedResult {
     pub cost: f64,
     /// Mean bottleneck load.
     pub mean_max_load: f64,
+    /// Latency tail + cumulative load-imbalance statistics.
+    pub tail: TailStats,
+}
+
+/// Fold one trial into the latency histogram (simulated service time in
+/// µs) and the per-disk load board (elements + bytes actually fetched).
+fn observe_trial(
+    hist: &Histogram,
+    board: &DiskBoard,
+    requested_elements: usize,
+    element_size: usize,
+    speed_mb_s: f64,
+    per_disk_load: &[usize],
+) {
+    let bytes = (requested_elements * element_size) as f64;
+    if speed_mb_s > 0.0 {
+        // time_us = bytes / (speed MB/s): 1 MB = 1e6 B cancels 1e6 µs/s.
+        hist.record((bytes / speed_mb_s) as u64);
+    }
+    for (disk, &n) in per_disk_load.iter().enumerate() {
+        if n > 0 {
+            board.record(disk, n as u64, (n * element_size) as u64);
+        }
+    }
 }
 
 /// Run the §VI-B normal-read experiment for one scheme.
@@ -98,9 +152,14 @@ pub fn run_normal(scheme: &Scheme, cfg: &ExperimentConfig) -> NormalResult {
     let mut speeds = Vec::with_capacity(cfg.trials_normal);
     let mut max_loads = Vec::with_capacity(cfg.trials_normal);
     let mut touched = Vec::with_capacity(cfg.trials_normal);
+    let hist = Histogram::new();
+    let board = DiskBoard::new(scheme.n_disks());
     for req in wl.generate(cfg.seed) {
         let plan = scheme.normal_read_plan(req.start, req.size);
-        speeds.push(sim.read_speed_mb_s(req.size, &plan.per_disk_load(), &mut rng));
+        let load = plan.per_disk_load();
+        let speed = sim.read_speed_mb_s(req.size, &load, &mut rng);
+        observe_trial(&hist, &board, req.size, cfg.element_size, speed, &load);
+        speeds.push(speed);
         max_loads.push(plan.max_load() as f64);
         touched.push(plan.disks_touched() as f64);
     }
@@ -109,6 +168,7 @@ pub fn run_normal(scheme: &Scheme, cfg: &ExperimentConfig) -> NormalResult {
         speed_mb_s: mean(&speeds),
         mean_max_load: mean(&max_loads),
         mean_disks_touched: mean(&touched),
+        tail: TailStats::from_obs(&hist, &board),
     }
 }
 
@@ -126,11 +186,16 @@ pub fn run_degraded(scheme: &Scheme, cfg: &ExperimentConfig) -> DegradedResult {
     let mut speeds = Vec::with_capacity(cfg.trials_degraded);
     let mut costs = Vec::with_capacity(cfg.trials_degraded);
     let mut max_loads = Vec::with_capacity(cfg.trials_degraded);
+    let hist = Histogram::new();
+    let board = DiskBoard::new(scheme.n_disks());
     for req in wl.generate(cfg.seed.wrapping_add(1)) {
         let failed = req.failed_disk.expect("degraded workload sets a disk");
         let plan = scheme.degraded_read_plan(req.start, req.size, &[failed]);
         debug_assert!(plan.unreadable.is_empty(), "single failure always readable");
-        speeds.push(sim.read_speed_mb_s(req.size, &plan.per_disk_load(), &mut rng));
+        let load = plan.per_disk_load();
+        let speed = sim.read_speed_mb_s(req.size, &load, &mut rng);
+        observe_trial(&hist, &board, req.size, cfg.element_size, speed, &load);
+        speeds.push(speed);
         costs.push(plan.cost());
         max_loads.push(plan.max_load() as f64);
     }
@@ -139,6 +204,7 @@ pub fn run_degraded(scheme: &Scheme, cfg: &ExperimentConfig) -> DegradedResult {
         speed_mb_s: mean(&speeds),
         cost: mean(&costs),
         mean_max_load: mean(&max_loads),
+        tail: TailStats::from_obs(&hist, &board),
     }
 }
 
@@ -204,6 +270,26 @@ mod tests {
                 "{name} cost {c:.4} deviates from standard {c_std:.4}"
             );
         }
+    }
+
+    #[test]
+    fn tail_stats_are_populated_and_ecfrm_is_tighter() {
+        let cfg = ExperimentConfig::quick();
+        let [std, _, ec] = rs_schemes(6, 3);
+        let r_std = run_normal(&std, &cfg);
+        let r_ec = run_normal(&ec, &cfg);
+        assert!(r_std.tail.p50_ms > 0.0);
+        assert!(r_std.tail.p99_ms >= r_std.tail.p95_ms);
+        assert!(r_std.tail.p95_ms >= r_std.tail.p50_ms);
+        // The paper's Figure 8 mechanism: EC-FRM spreads sequential
+        // reads, so cumulative per-disk load is strictly more even.
+        assert!(
+            r_ec.tail.load_imbalance < r_std.tail.load_imbalance,
+            "EC-FRM imbalance {:.3} should beat standard {:.3}",
+            r_ec.tail.load_imbalance,
+            r_std.tail.load_imbalance
+        );
+        assert!(r_ec.tail.load_imbalance >= 1.0);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use ecfrm_codes::{CandidateCode, LrcCode, RsCode};
-use ecfrm_core::Scheme;
+use ecfrm_core::{LayoutKind, Scheme};
 
 /// Table I, left column: Reed–Solomon `(k, m)` parameters.
 pub fn rs_params() -> [(usize, usize); 3] {
@@ -18,11 +18,8 @@ pub fn lrc_params() -> [(usize, usize, usize); 3] {
 /// The three evaluated forms of a code: standard, rotated, EC-FRM —
 /// in the order the paper's figure legends use.
 pub fn three_forms(code: Arc<dyn CandidateCode>) -> [Scheme; 3] {
-    [
-        Scheme::standard(code.clone()),
-        Scheme::rotated(code.clone()),
-        Scheme::ecfrm(code),
-    ]
+    [LayoutKind::Standard, LayoutKind::Rotated, LayoutKind::EcFrm]
+        .map(|kind| Scheme::builder(code.clone()).layout(kind).build())
 }
 
 /// The three forms of `RS(k, m)`.

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use ecfrm_codes::{CandidateCode, LrcCode, RsCode, XorCode};
-use ecfrm_core::Scheme;
+use ecfrm_core::{LayoutKind, Scheme};
 
 /// Parsed command options.
 #[derive(Debug, Default)]
@@ -35,6 +35,12 @@ pub struct Options {
     pub listen: Option<String>,
     /// `--remote host:port,host:port,...` (bench over the wire).
     pub remote: Vec<String>,
+    /// `--stats`: print the metrics registry after the command.
+    pub stats: bool,
+    /// `--json file`: also dump the metrics registry as JSON.
+    pub json: Option<String>,
+    /// `--stripes small|full|<n>` (bench ingest size).
+    pub stripes: Option<String>,
 }
 
 impl Options {
@@ -81,6 +87,10 @@ impl Options {
                 "--remote" => o
                     .remote
                     .extend(value()?.split(',').map(|a| a.trim().to_string())),
+                // Boolean flags take no value.
+                "--stats" => o.stats = true,
+                "--json" => o.json = Some(value()?),
+                "--stripes" => o.stripes = Some(value()?),
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -91,6 +101,20 @@ impl Options {
     pub fn require<'a, T>(v: &'a Option<T>, name: &str) -> Result<&'a T, String> {
         v.as_ref()
             .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// Resolve `--stripes` to an ingest size: `small` = 8 stripes (the
+    /// CI smoke size), `full` = 64 (the default), or a literal count.
+    pub fn stripe_count(&self) -> Result<usize, String> {
+        match self.stripes.as_deref() {
+            None | Some("full") => Ok(64),
+            Some("small") => Ok(8),
+            Some(n) => n
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("bad --stripes `{n}` (use small|full|<positive count>)")),
+        }
     }
 }
 
@@ -118,18 +142,13 @@ pub fn parse_code(spec: &str) -> Result<Arc<dyn CandidateCode>, String> {
     }
 }
 
-/// Build a scheme from spec strings.
+/// Build a scheme from spec strings. Layout names are whatever
+/// [`LayoutKind::from_str`] accepts (`standard`, `rotated`, `krotated`,
+/// `shuffled`, `ecfrm`, case-insensitive).
 pub fn parse_scheme(code: &str, layout: &str, seed: u64) -> Result<Scheme, String> {
     let code = parse_code(code)?;
-    match layout {
-        "standard" => Ok(Scheme::standard(code)),
-        "rotated" => Ok(Scheme::rotated(code)),
-        "ecfrm" => Ok(Scheme::ecfrm(code)),
-        "shuffled" => Ok(Scheme::shuffled(code, seed)),
-        other => Err(format!(
-            "unknown layout `{other}` (use standard|rotated|ecfrm|shuffled)"
-        )),
-    }
+    let kind: LayoutKind = layout.parse()?;
+    Ok(Scheme::builder(code).layout(kind).seed(seed).build())
 }
 
 #[cfg(test)]
@@ -206,5 +225,36 @@ mod tests {
             "LRC(6,2,2)"
         );
         assert!(parse_scheme("rs:6,3", "diagonal", 0).is_err());
+        // Layout names route through LayoutKind::from_str, so every
+        // registered layout — including krotated — parses.
+        assert_eq!(
+            parse_scheme("rs:6,3", "krotated", 0).unwrap().name(),
+            "KROTATED-RS(6,3)"
+        );
+        assert!(parse_scheme("rs:6,3", "shuffled", 9).is_ok());
+    }
+
+    #[test]
+    fn stats_json_and_stripes_flags() {
+        let o = Options::parse(&sv(&[
+            "--stats",
+            "--json",
+            "out.json",
+            "--stripes",
+            "small",
+        ]))
+        .unwrap();
+        assert!(o.stats);
+        assert_eq!(o.json.as_deref(), Some("out.json"));
+        assert_eq!(o.stripe_count().unwrap(), 8);
+        assert_eq!(Options::default().stripe_count().unwrap(), 64);
+        let with = |s: &str| Options {
+            stripes: Some(s.into()),
+            ..Default::default()
+        };
+        assert_eq!(with("full").stripe_count().unwrap(), 64);
+        assert_eq!(with("12").stripe_count().unwrap(), 12);
+        assert!(with("0").stripe_count().is_err());
+        assert!(with("lots").stripe_count().is_err());
     }
 }

@@ -25,9 +25,11 @@
 //! drives the full put→encode→network→decode path against such shards.
 
 mod args;
+mod error;
 mod manifest;
 mod ops;
 
+use error::CliError;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -41,9 +43,9 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(argv: &[String]) -> Result<(), String> {
+fn run(argv: &[String]) -> Result<(), CliError> {
     let Some(cmd) = argv.first() else {
-        return Err(usage());
+        return Err(CliError::Usage(usage()));
     };
     let opts = args::Options::parse(&argv[1..])?;
     match cmd.as_str() {
@@ -55,11 +57,15 @@ fn run(argv: &[String]) -> Result<(), String> {
         "plan" => ops::plan(&opts),
         "bench" => ops::bench(&opts),
         "serve" => ops::serve(&opts),
+        "stats" => ops::stats(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n{}", usage())),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`\n{}",
+            usage()
+        ))),
     }
 }
 
@@ -74,7 +80,10 @@ fn usage() -> String {
      \x20 verify  --dir <chunk dir>\n\
      \x20 plan    --code <spec> --layout <name> --start <elem> --count <elems> [--failed <disk>]\n\
      \x20 bench   --code <spec> --layout <name> [--element-size <bytes>] [--count <trials>]\n\
+     \x20         [--stripes small|full|<n>] [--stats] [--json <file>]\n\
      \x20         [--remote host:port,host:port,...]   (one address per disk)\n\
-     \x20 serve   --listen <host:port> [--dir <shard dir>] [--element-size <bytes>]"
+     \x20 serve   --listen <host:port> [--dir <shard dir>] [--element-size <bytes>]\n\
+     \x20 stats   --remote host:port[,host:port,...] [--json <file>]\n\
+     layouts: standard | rotated | krotated | shuffled | ecfrm"
         .to_string()
 }

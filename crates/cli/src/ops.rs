@@ -3,10 +3,11 @@
 use std::collections::HashMap;
 use std::path::Path;
 
-use ecfrm_core::{DiskRecovery, Scheme};
+use ecfrm_core::{DiskRecovery, ReadCtx, Scheme};
 use ecfrm_layout::Loc;
 
 use crate::args::{parse_scheme, Options};
+use crate::error::CliError;
 use crate::manifest::{chunk_name, Manifest};
 
 /// Split a padded stripe block into element refs.
@@ -29,18 +30,18 @@ fn element_of(chunks: &[Option<Vec<u8>>], loc: Loc, element_size: usize) -> Opti
 }
 
 /// `ecfrm encode`: erasure code a file into per-disk chunk files.
-pub fn encode(opts: &Options) -> Result<(), String> {
+pub fn encode(opts: &Options) -> Result<(), CliError> {
     let code = Options::require(&opts.code, "code")?;
     let layout = Options::require(&opts.layout, "layout")?;
     let element_size = *Options::require(&opts.element_size, "element-size")?;
     let input = Options::require(&opts.input, "input")?;
     let dir = Path::new(Options::require(&opts.dir, "dir")?);
     if element_size == 0 {
-        return Err("--element-size must be positive".into());
+        return Err(CliError::Usage("--element-size must be positive".into()));
     }
 
     let scheme = parse_scheme(code, layout, opts.seed)?;
-    let data = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let data = std::fs::read(input).map_err(|e| CliError::io(format!("reading {input}"), e))?;
     let data_len = data.len() as u64;
     let dps = scheme.data_per_stripe();
     let stripe_bytes = dps * element_size;
@@ -63,10 +64,11 @@ pub fn encode(opts: &Options) -> Result<(), String> {
         }
     }
 
-    std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    std::fs::create_dir_all(dir)
+        .map_err(|e| CliError::io(format!("creating {}", dir.display()), e))?;
     for (d, buf) in disks.iter().enumerate() {
         std::fs::write(dir.join(chunk_name(d)), buf)
-            .map_err(|e| format!("writing chunk {d}: {e}"))?;
+            .map_err(|e| CliError::io(format!("writing chunk {d}"), e))?;
     }
     Manifest {
         code: code.clone(),
@@ -85,13 +87,13 @@ pub fn encode(opts: &Options) -> Result<(), String> {
 }
 
 /// Build the scheme recorded in a manifest.
-fn scheme_of(m: &Manifest) -> Result<Scheme, String> {
-    parse_scheme(&m.code, &m.layout, m.seed)
+fn scheme_of(m: &Manifest) -> Result<Scheme, CliError> {
+    Ok(parse_scheme(&m.code, &m.layout, m.seed)?)
 }
 
 /// `ecfrm decode`: restore the original file, reconstructing around any
 /// missing chunk files.
-pub fn decode(opts: &Options) -> Result<(), String> {
+pub fn decode(opts: &Options) -> Result<(), CliError> {
     let dir = Path::new(Options::require(&opts.dir, "dir")?);
     let output = Options::require(&opts.output, "output")?;
     let m = Manifest::load(dir)?;
@@ -117,29 +119,26 @@ pub fn decode(opts: &Options) -> Result<(), String> {
             }
         }
         let elements = scheme
-            .assemble_read(s * dps as u64, dps, &fetched)
-            .map_err(|e| format!("stripe {s}: {e}"))?;
+            .assemble_read(s * dps as u64, dps, &fetched, ReadCtx::default())
+            .map_err(|e| CliError::Store(ecfrm_store::StoreError::Code(e)))?;
         for e in elements {
             out.extend_from_slice(&e);
         }
     }
     out.truncate(m.data_len as usize);
-    std::fs::write(output, &out).map_err(|e| format!("writing {output}: {e}"))?;
+    std::fs::write(output, &out).map_err(|e| CliError::io(format!("writing {output}"), e))?;
     println!("decoded {} bytes to {output}", m.data_len);
     Ok(())
 }
 
 /// `ecfrm repair`: regenerate one chunk file from the survivors.
-pub fn repair(opts: &Options) -> Result<(), String> {
+pub fn repair(opts: &Options) -> Result<(), CliError> {
     let dir = Path::new(Options::require(&opts.dir, "dir")?);
     let disk = *Options::require(&opts.disk, "disk")?;
     let m = Manifest::load(dir)?;
     let scheme = scheme_of(&m)?;
     if disk >= scheme.n_disks() {
-        return Err(format!(
-            "disk {disk} out of range (n = {})",
-            scheme.n_disks()
-        ));
+        return Err(CliError::Store(ecfrm_store::StoreError::NoSuchDisk(disk)));
     }
     let chunks = read_chunks(dir, scheme.n_disks());
     let recovery = DiskRecovery::plan(&scheme, disk, m.stripes);
@@ -148,8 +147,12 @@ pub fn repair(opts: &Options) -> Result<(), String> {
     for task in &recovery.tasks {
         for (_, loc) in &task.sources {
             if !fetched.contains_key(loc) {
-                let bytes = element_of(&chunks, *loc, m.element_size)
-                    .ok_or_else(|| format!("repair source chunk {} missing too", loc.disk))?;
+                let bytes = element_of(&chunks, *loc, m.element_size).ok_or_else(|| {
+                    CliError::Store(ecfrm_store::StoreError::DataLoss(format!(
+                        "repair source chunk {} missing too",
+                        loc.disk
+                    )))
+                })?;
                 fetched.insert(*loc, bytes.to_vec());
             }
         }
@@ -158,13 +161,19 @@ pub fn repair(opts: &Options) -> Result<(), String> {
     let ops = scheme.layout().offsets_per_stripe();
     let mut buf = vec![0u8; (m.stripes * ops) as usize * m.element_size];
     for task in &recovery.tasks {
-        let bytes = DiskRecovery::rebuild_one(&scheme, task, &fetched, m.element_size)
-            .ok_or_else(|| format!("cannot rebuild element at offset {}", task.target.offset))?;
+        let bytes = DiskRecovery::rebuild_one(&scheme, task, &fetched, m.element_size).ok_or_else(
+            || {
+                CliError::Store(ecfrm_store::StoreError::DataLoss(format!(
+                    "cannot rebuild element at offset {}",
+                    task.target.offset
+                )))
+            },
+        )?;
         let at = task.target.offset as usize * m.element_size;
         buf[at..at + m.element_size].copy_from_slice(&bytes);
     }
     std::fs::write(dir.join(chunk_name(disk)), &buf)
-        .map_err(|e| format!("writing chunk {disk}: {e}"))?;
+        .map_err(|e| CliError::io(format!("writing chunk {disk}"), e))?;
     println!(
         "rebuilt chunk {disk} ({} elements) from {} source reads",
         recovery.total_rebuilt(),
@@ -174,7 +183,7 @@ pub fn repair(opts: &Options) -> Result<(), String> {
 }
 
 /// `ecfrm info`: describe a chunk directory.
-pub fn info(opts: &Options) -> Result<(), String> {
+pub fn info(opts: &Options) -> Result<(), CliError> {
     let dir = Path::new(Options::require(&opts.dir, "dir")?);
     let m = Manifest::load(dir)?;
     let scheme = scheme_of(&m)?;
@@ -206,7 +215,7 @@ pub fn info(opts: &Options) -> Result<(), String> {
 /// remote `ecfrm bench --remote` / `RemoteDisk` clients can read it.
 /// Backed by a `FileDisk` under `--dir` when given (persistent), else an
 /// in-memory disk. Runs until killed.
-pub fn serve(opts: &Options) -> Result<(), String> {
+pub fn serve(opts: &Options) -> Result<(), CliError> {
     use ecfrm_net::ShardServer;
     use ecfrm_sim::{DiskBackend, FileDisk, MemDisk};
     use std::sync::Arc;
@@ -216,13 +225,18 @@ pub fn serve(opts: &Options) -> Result<(), String> {
     let backend: Arc<dyn DiskBackend> = match &opts.dir {
         Some(dir) => {
             let dir = Path::new(dir);
-            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+            std::fs::create_dir_all(dir)
+                .map_err(|e| CliError::io(format!("creating {}", dir.display()), e))?;
             let path = dir.join("shard.bin");
-            Arc::new(FileDisk::create(&path, element_size).map_err(|e| format!("shard file: {e}"))?)
+            Arc::new(
+                FileDisk::create(&path, element_size)
+                    .map_err(|e| CliError::io("creating shard file", e))?,
+            )
         }
         None => Arc::new(MemDisk::new()),
     };
-    let server = ShardServer::spawn(backend, listen).map_err(|e| format!("bind {listen}: {e}"))?;
+    let server = ShardServer::spawn(backend, listen)
+        .map_err(|e| CliError::io(format!("bind {listen}"), e))?;
     println!(
         "serving shard on {} ({})",
         server.addr(),
@@ -241,7 +255,7 @@ pub fn serve(opts: &Options) -> Result<(), String> {
 /// file-backed disks in a temp directory (or over `--remote` shard
 /// servers), ingest data, and replay the paper's random-read workload,
 /// reporting actual wall-clock speeds for normal and degraded reads.
-pub fn bench(opts: &Options) -> Result<(), String> {
+pub fn bench(opts: &Options) -> Result<(), CliError> {
     use ecfrm_net::{RemoteDisk, RemoteDiskConfig};
     use ecfrm_sim::{DiskBackend, FileDisk, ThreadedArray};
     use std::sync::Arc;
@@ -252,36 +266,37 @@ pub fn bench(opts: &Options) -> Result<(), String> {
     let element_size = opts.element_size.unwrap_or(64 * 1024);
     let scheme = parse_scheme(code, layout, opts.seed)?;
     let trials = opts.count.unwrap_or(200);
+    let stripes = opts.stripe_count()?;
 
     let dir = std::env::temp_dir().join(format!("ecfrm-bench-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).map_err(|e| format!("tmp dir: {e}"))?;
+    std::fs::create_dir_all(&dir).map_err(|e| CliError::io("creating bench tmp dir", e))?;
     let mut remotes: Vec<Arc<RemoteDisk>> = Vec::new();
     let backends: Vec<Arc<dyn DiskBackend>> = if opts.remote.is_empty() {
         (0..scheme.n_disks())
             .map(|d| {
-                Ok::<_, String>(Arc::new(
+                Ok::<_, CliError>(Arc::new(
                     FileDisk::create(dir.join(format!("bench-d{d}.bin")), element_size)
-                        .map_err(|e| format!("disk {d}: {e}"))?,
+                        .map_err(|e| CliError::io(format!("creating bench disk {d}"), e))?,
                 ) as Arc<dyn DiskBackend>)
             })
             .collect::<Result<_, _>>()?
     } else {
         if opts.remote.len() != scheme.n_disks() {
-            return Err(format!(
+            return Err(CliError::Usage(format!(
                 "--remote needs exactly n = {} addresses, got {}",
                 scheme.n_disks(),
                 opts.remote.len()
-            ));
+            )));
         }
         for a in &opts.remote {
             let addr = a
                 .parse()
-                .map_err(|e| format!("bad --remote address `{a}`: {e}"))?;
+                .map_err(|e| CliError::Usage(format!("bad --remote address `{a}`: {e}")))?;
             let disk = Arc::new(RemoteDisk::new(addr, RemoteDiskConfig::default()));
             // Health-check up front so a dead shard fails the bench with
             // a clear message instead of silently running degraded.
             disk.health()
-                .map_err(|e| format!("shard {a} unhealthy: {e:?}"))?;
+                .map_err(|e| CliError::Usage(format!("shard {a} unhealthy: {e}")))?;
             remotes.push(disk);
         }
         remotes
@@ -295,14 +310,14 @@ pub fn bench(opts: &Options) -> Result<(), String> {
         ThreadedArray::from_backends(backends),
     );
 
-    // Ingest ~64 stripes worth of data.
+    // Ingest `stripes` stripes worth of data.
     let dps = scheme.data_per_stripe();
-    let total_elements = 64 * dps;
+    let total_elements = stripes * dps;
     let payload: Vec<u8> = (0..total_elements * element_size)
         .map(|i| (i % 251) as u8)
         .collect();
     let t0 = Instant::now();
-    store.put("bench", &payload).map_err(|e| e.to_string())?;
+    store.put("bench", &payload)?;
     store.flush();
     let ingest = t0.elapsed();
     println!(
@@ -321,9 +336,9 @@ pub fn bench(opts: &Options) -> Result<(), String> {
         x ^= x << 17;
         x % m
     };
-    let mut run = |label: &str, failed: Option<usize>| -> Result<(), String> {
+    let mut run = |label: &str, failed: Option<usize>| -> Result<(), CliError> {
         if let Some(d) = failed {
-            store.fail_disk(d).map_err(|e| e.to_string())?;
+            store.fail_disk(d)?;
         }
         let mut bytes = 0usize;
         let t0 = Instant::now();
@@ -331,9 +346,7 @@ pub fn bench(opts: &Options) -> Result<(), String> {
             let size = 1 + next(20) as usize;
             let start = next((total_elements - size) as u64) * element_size as u64;
             let len = (size * element_size) as u64;
-            let got = store
-                .get_range("bench", start, len)
-                .map_err(|e| e.to_string())?;
+            let got = store.get_range("bench", start, len)?;
             bytes += got.len();
         }
         let dt = t0.elapsed();
@@ -344,7 +357,7 @@ pub fn bench(opts: &Options) -> Result<(), String> {
             bytes as f64 / 1e6 / dt.as_secs_f64()
         );
         if let Some(d) = failed {
-            store.heal_disk(d).map_err(|e| e.to_string())?;
+            store.heal_disk(d)?;
         }
         Ok(())
     };
@@ -366,7 +379,66 @@ pub fn bench(opts: &Options) -> Result<(), String> {
             net.failed_requests
         );
     }
+    if opts.stats {
+        let snap = store.recorder().snapshot();
+        println!("\n-- store metrics ({}) --", scheme.name());
+        print!("{}", snap.render());
+        if !remotes.is_empty() {
+            println!("-- per-shard request latency (client side) --");
+            for disk in &remotes {
+                let lat = disk.request_latency();
+                println!("  {}: {}", disk.addr(), lat.summary("us"));
+            }
+        }
+    }
+    if let Some(path) = &opts.json {
+        let snap = store.recorder().snapshot();
+        std::fs::write(path, snap.to_json())
+            .map_err(|e| CliError::io(format!("writing {path}"), e))?;
+        println!("metrics JSON written to {path}");
+    }
     let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
+/// `ecfrm stats`: fetch and print the metrics registry of one or more
+/// shard servers (`--remote host:port,...`) over the wire.
+pub fn stats(opts: &Options) -> Result<(), CliError> {
+    use ecfrm_net::{RemoteDisk, RemoteDiskConfig};
+
+    if opts.remote.is_empty() {
+        return Err(CliError::Usage(
+            "stats needs --remote host:port[,host:port,...]".into(),
+        ));
+    }
+    let mut json_shards: Vec<(String, String)> = Vec::new();
+    for a in &opts.remote {
+        let addr = a
+            .parse()
+            .map_err(|e| CliError::Usage(format!("bad --remote address `{a}`: {e}")))?;
+        let disk = RemoteDisk::new(addr, RemoteDiskConfig::default());
+        let pairs = disk.stats()?;
+        println!("shard {a}:");
+        if pairs.is_empty() {
+            println!("  (no activity)");
+        }
+        let width = pairs.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, value) in &pairs {
+            println!("  {name:<width$} {value}");
+        }
+        if opts.json.is_some() {
+            let fields: Vec<(String, String)> = pairs
+                .iter()
+                .map(|(n, v)| (n.clone(), v.to_string()))
+                .collect();
+            json_shards.push((a.clone(), ecfrm_obs::json::object(&fields)));
+        }
+    }
+    if let Some(path) = &opts.json {
+        std::fs::write(path, ecfrm_obs::json::object(&json_shards))
+            .map_err(|e| CliError::io(format!("writing {path}"), e))?;
+        println!("metrics JSON written to {path}");
+    }
     Ok(())
 }
 
@@ -374,7 +446,7 @@ pub fn bench(opts: &Options) -> Result<(), String> {
 /// parities from the stored data and report mismatches and missing
 /// chunks. Exit is an `Err` when corruption is found, so scripts can
 /// gate on it.
-pub fn verify(opts: &Options) -> Result<(), String> {
+pub fn verify(opts: &Options) -> Result<(), CliError> {
     let dir = Path::new(Options::require(&opts.dir, "dir")?);
     let m = Manifest::load(dir)?;
     let scheme = scheme_of(&m)?;
@@ -421,16 +493,16 @@ pub fn verify(opts: &Options) -> Result<(), String> {
         );
         Ok(())
     } else {
-        Err(format!(
+        Err(CliError::Store(ecfrm_store::StoreError::DataLoss(format!(
             "corruption detected in {} group(s): {corrupt:?}",
             corrupt.len()
-        ))
+        ))))
     }
 }
 
 /// `ecfrm plan`: print the per-disk load distribution of a read — the
 /// paper's Figure 3 / Figure 7 views.
-pub fn plan(opts: &Options) -> Result<(), String> {
+pub fn plan(opts: &Options) -> Result<(), CliError> {
     let code = Options::require(&opts.code, "code")?;
     let layout = Options::require(&opts.layout, "layout")?;
     let start = *Options::require(&opts.start, "start")?;
@@ -611,6 +683,44 @@ mod tests {
     }
 
     #[test]
+    fn bench_with_stats_and_json_dump() {
+        let dir = tmpdir("bench-stats");
+        let json = dir.join("metrics.json");
+        let opts = Options {
+            code: Some("rs:4,2".into()),
+            layout: Some("ecfrm".into()),
+            element_size: Some(512),
+            count: Some(10),
+            seed: 5,
+            stats: true,
+            stripes: Some("small".into()),
+            json: Some(json.to_string_lossy().into_owned()),
+            ..Default::default()
+        };
+        bench(&opts).unwrap();
+        let dumped = std::fs::read_to_string(&json).unwrap();
+        assert!(dumped.contains("\"disk_load\""), "{dumped}");
+        assert!(dumped.contains("\"read_us\""), "{dumped}");
+        assert!(dumped.contains("\"imbalance\""), "{dumped}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_subcommand_queries_remote_shards() {
+        use ecfrm_net::ShardServer;
+        use ecfrm_sim::MemDisk;
+        use std::sync::Arc;
+        let server = ShardServer::spawn(Arc::new(MemDisk::new()), "127.0.0.1:0").unwrap();
+        let opts = Options {
+            remote: vec![server.addr().to_string()],
+            ..Default::default()
+        };
+        stats(&opts).unwrap();
+        // No --remote is a usage error.
+        assert!(stats(&Options::default()).is_err());
+    }
+
+    #[test]
     fn bench_rejects_wrong_remote_count() {
         let opts = Options {
             code: Some("rs:4,2".into()),
@@ -619,7 +729,7 @@ mod tests {
             ..Default::default()
         };
         let err = bench(&opts).unwrap_err();
-        assert!(err.contains("exactly n = 6"), "{err}");
+        assert!(err.to_string().contains("exactly n = 6"), "{err}");
     }
 
     #[test]
@@ -641,7 +751,7 @@ mod tests {
         bytes[100] ^= 0x55;
         std::fs::write(&chunk, &bytes).unwrap();
         let err = verify(&vopts).unwrap_err();
-        assert!(err.contains("corruption"), "{err}");
+        assert!(err.to_string().contains("corruption"), "{err}");
 
         // Repairing the corrupt chunk from survivors restores it.
         std::fs::remove_file(&chunk).unwrap();

@@ -28,7 +28,9 @@
 //! use ecfrm_core::Scheme;
 //!
 //! // (6,2,2) EC-FRM-LRC — the paper's running example.
-//! let scheme = Scheme::ecfrm(Arc::new(LrcCode::new(6, 2, 2)));
+//! let scheme = Scheme::builder(Arc::new(LrcCode::new(6, 2, 2)))
+//!     .layout(ecfrm_core::LayoutKind::EcFrm)
+//!     .build();
 //! let plan = scheme.normal_read_plan(0, 8);
 //! // Figure 7(a): the most loaded disk serves exactly one element.
 //! assert_eq!(plan.max_load(), 1);
@@ -41,9 +43,10 @@ pub mod stripe;
 pub mod update;
 pub mod wide;
 
+pub use ecfrm_layout::LayoutKind;
 pub use plan::{Fetch, Purpose, ReadPlan};
 pub use recover::DiskRecovery;
-pub use scheme::Scheme;
+pub use scheme::{ReadCtx, Scheme, SchemeBuilder};
 pub use stripe::StripeImage;
 pub use update::{append_stripe_plan, update_plan, WritePlan};
 pub use wide::WideScheme;

@@ -52,7 +52,9 @@ impl DiskRecovery {
     /// use ecfrm_codes::RsCode;
     /// use ecfrm_core::{DiskRecovery, Scheme};
     ///
-    /// let scheme = Scheme::ecfrm(Arc::new(RsCode::vandermonde(6, 3)));
+    /// let scheme = Scheme::builder(Arc::new(RsCode::vandermonde(6, 3)))
+    ///     .layout(ecfrm_core::LayoutKind::EcFrm)
+    ///     .build();
     /// let rec = DiskRecovery::plan(&scheme, 0, 4);
     /// // Every offset of the failed disk gets one rebuild task, each
     /// // reading k = 6 surviving elements.
@@ -198,7 +200,12 @@ impl DiskRecovery {
 mod tests {
     use super::*;
     use ecfrm_codes::{CandidateCode, LrcCode, RsCode};
+    use ecfrm_layout::LayoutKind;
     use std::sync::Arc;
+
+    fn ecfrm(code: Arc<dyn CandidateCode>) -> Scheme {
+        Scheme::builder(code).layout(LayoutKind::EcFrm).build()
+    }
 
     fn sample_elements(count: usize, size: usize) -> Vec<Vec<u8>> {
         (0..count)
@@ -232,11 +239,8 @@ mod tests {
             Arc::new(LrcCode::new(6, 2, 2)),
         ];
         for code in codes {
-            for scheme in [
-                Scheme::standard(code.clone()),
-                Scheme::rotated(code.clone()),
-                Scheme::ecfrm(code.clone()),
-            ] {
+            for kind in [LayoutKind::Standard, LayoutKind::Rotated, LayoutKind::EcFrm] {
+                let scheme = Scheme::builder(code.clone()).layout(kind).build();
                 let stripes = 4u64;
                 let dps = scheme.data_per_stripe();
                 let data = sample_elements(stripes as usize * dps, 8);
@@ -272,8 +276,8 @@ mod tests {
     fn lrc_recovery_reads_fewer_elements_than_rs() {
         let rs: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(6, 3));
         let lrc: Arc<dyn CandidateCode> = Arc::new(LrcCode::new(6, 2, 2));
-        let rs_rec = DiskRecovery::plan(&Scheme::ecfrm(rs), 0, 4);
-        let lrc_rec = DiskRecovery::plan(&Scheme::ecfrm(lrc), 0, 4);
+        let rs_rec = DiskRecovery::plan(&ecfrm(rs), 0, 4);
+        let lrc_rec = DiskRecovery::plan(&ecfrm(lrc), 0, 4);
         // Per rebuilt element: RS reads k = 6, LRC reads k/l = 3 (data)
         // or slightly more for global parities.
         let rs_per = rs_rec.total_reads() as f64 / rs_rec.total_rebuilt() as f64;
@@ -287,7 +291,7 @@ mod tests {
         // With EC-FRM, a failed disk's elements belong to different
         // groups whose sources span all surviving disks.
         let rs: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(6, 3));
-        let scheme = Scheme::ecfrm(rs);
+        let scheme = ecfrm(rs);
         let rec = DiskRecovery::plan(&scheme, 2, 6);
         let load = rec.read_load();
         assert_eq!(load[2], 0, "failed disk reads nothing");
@@ -313,7 +317,7 @@ mod tests {
     fn plan_among_avoids_all_downed_disks() {
         // RS(6,3): rebuild disk 0 while disks 4 and 8 are also down.
         let rs: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(6, 3));
-        let scheme = Scheme::ecfrm(rs);
+        let scheme = ecfrm(rs);
         let stripes = 3u64;
         let dps = scheme.data_per_stripe();
         let data = sample_elements(stripes as usize * dps, 8);
@@ -336,7 +340,7 @@ mod tests {
     #[test]
     fn plan_among_fails_beyond_tolerance() {
         let rs: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(6, 3));
-        let scheme = Scheme::ecfrm(rs);
+        let scheme = ecfrm(rs);
         // Four failures exceed RS(6,3)'s MDS limit.
         assert!(DiskRecovery::plan_among(&scheme, 0, &[0, 1, 2, 3], 2).is_err());
     }
@@ -345,7 +349,7 @@ mod tests {
     #[should_panic]
     fn invalid_disk_rejected() {
         let rs: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(6, 3));
-        let scheme = Scheme::standard(rs);
+        let scheme = Scheme::builder(rs).build();
         DiskRecovery::plan(&scheme, 9, 1);
     }
 }

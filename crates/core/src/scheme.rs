@@ -4,11 +4,44 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use ecfrm_codes::{decode, CandidateCode, CodeError, RepairSpec};
-use ecfrm_layout::{EcFrmLayout, Layout, Loc, RotatedLayout, ShuffledLayout, StandardLayout};
+use ecfrm_codes::{decode, CandidateCode, CodeError, DecoderCache, RepairSpec};
+use ecfrm_layout::{Layout, LayoutKind, Loc};
+use ecfrm_obs::Recorder;
 
 use crate::plan::{Fetch, Purpose, ReadPlan};
 use crate::stripe::StripeImage;
+
+/// Per-read context for [`Scheme::assemble_read`]: an optional
+/// [`DecoderCache`] (reuse solved coefficient vectors across repeated
+/// repairs of the same erasure geometry) and an optional [`Recorder`]
+/// (decode timing lands in its `decode_us` histogram and
+/// `decoded_elements` counter).
+///
+/// `ReadCtx::default()` is the plain uncached, unrecorded read.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReadCtx<'a> {
+    cache: Option<&'a DecoderCache>,
+    recorder: Option<&'a Recorder>,
+}
+
+impl<'a> ReadCtx<'a> {
+    /// No cache, no recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reuse solved decode coefficients from `cache`.
+    pub fn with_cache(mut self, cache: &'a DecoderCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Record decode timings into `recorder`.
+    pub fn with_recorder(mut self, recorder: &'a Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+}
 
 /// A complete erasure-coding scheme: `(n, k)` candidate code + element
 /// placement. All read planning, encoding and reconstruction go through
@@ -36,35 +69,71 @@ impl Scheme {
         Self { code, layout }
     }
 
+    /// Start building a scheme: pick the layout (and, for shuffled, the
+    /// seed) on the returned [`SchemeBuilder`].
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use ecfrm_codes::RsCode;
+    /// use ecfrm_core::{LayoutKind, Scheme};
+    ///
+    /// let scheme = Scheme::builder(Arc::new(RsCode::vandermonde(6, 3)))
+    ///     .layout(LayoutKind::EcFrm)
+    ///     .build();
+    /// assert_eq!(scheme.name(), "EC-FRM-RS(6,3)");
+    /// ```
+    pub fn builder(code: Arc<dyn CandidateCode>) -> SchemeBuilder {
+        SchemeBuilder {
+            code,
+            layout: LayoutKind::default(),
+            seed: 0,
+        }
+    }
+
     /// The conventional horizontal form (paper's "RS" / "LRC").
+    #[deprecated(since = "0.1.0", note = "use Scheme::builder(code).build()")]
     pub fn standard(code: Arc<dyn CandidateCode>) -> Self {
-        let l = StandardLayout::new(code.n(), code.k());
-        Self::new(code, Arc::new(l))
+        Self::builder(code).build()
     }
 
     /// The rotated-stripes form (paper's "R-RS" / "R-LRC").
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Scheme::builder(code).layout(LayoutKind::Rotated).build()"
+    )]
     pub fn rotated(code: Arc<dyn CandidateCode>) -> Self {
-        let l = RotatedLayout::new(code.n(), code.k());
-        Self::new(code, Arc::new(l))
+        Self::builder(code).layout(LayoutKind::Rotated).build()
     }
 
     /// The paper's transformation (paper's "EC-FRM-RS" / "EC-FRM-LRC").
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Scheme::builder(code).layout(LayoutKind::EcFrm).build()"
+    )]
     pub fn ecfrm(code: Arc<dyn CandidateCode>) -> Self {
-        let l = EcFrmLayout::new(code.n(), code.k());
-        Self::new(code, Arc::new(l))
+        Self::builder(code).layout(LayoutKind::EcFrm).build()
     }
 
     /// Rotation by `k` per stripe — the strongest rotation baseline
     /// (ablation; see [`ecfrm_layout::KRotatedLayout`]).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Scheme::builder(code).layout(LayoutKind::KRotated).build()"
+    )]
     pub fn krotated(code: Arc<dyn CandidateCode>) -> Self {
-        let l = ecfrm_layout::KRotatedLayout::new(code.n(), code.k());
-        Self::new(code, Arc::new(l))
+        Self::builder(code).layout(LayoutKind::KRotated).build()
     }
 
     /// Per-stripe random-permutation placement (ablation).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Scheme::builder(code).layout(LayoutKind::Shuffled).seed(seed).build()"
+    )]
     pub fn shuffled(code: Arc<dyn CandidateCode>, seed: u64) -> Self {
-        let l = ShuffledLayout::new(code.n(), code.k(), seed);
-        Self::new(code, Arc::new(l))
+        Self::builder(code)
+            .layout(LayoutKind::Shuffled)
+            .seed(seed)
+            .build()
     }
 
     /// The candidate code.
@@ -165,9 +234,11 @@ impl Scheme {
     /// ```
     /// use std::sync::Arc;
     /// use ecfrm_codes::LrcCode;
-    /// use ecfrm_core::Scheme;
+    /// use ecfrm_core::{LayoutKind, Scheme};
     ///
-    /// let scheme = Scheme::ecfrm(Arc::new(LrcCode::new(6, 2, 2)));
+    /// let scheme = Scheme::builder(Arc::new(LrcCode::new(6, 2, 2)))
+    ///     .layout(LayoutKind::EcFrm)
+    ///     .build();
     /// let plan = scheme.degraded_read_plan(0, 8, &[0]);
     /// assert!(plan.unreadable.is_empty());          // single failure: readable
     /// assert!(plan.fetches.iter().all(|f| f.loc.disk != 0));
@@ -259,36 +330,19 @@ impl Scheme {
     ///
     /// `fetched` maps every planned location to its bytes. Returns the
     /// `count` data regions in logical order.
+    ///
+    /// `ctx` carries the optional per-read extras: a
+    /// [`DecoderCache`] (repeated repairs of the same erasure geometry —
+    /// every row while one disk is down — reuse solved coefficient
+    /// vectors instead of re-running Gaussian elimination) and a
+    /// [`Recorder`] for decode timing. Pass `ReadCtx::default()` for a
+    /// plain read.
     pub fn assemble_read(
         &self,
         start: u64,
         count: usize,
         fetched: &HashMap<Loc, Vec<u8>>,
-    ) -> Result<Vec<Vec<u8>>, CodeError> {
-        self.assemble_read_impl(start, count, fetched, None)
-    }
-
-    /// [`Self::assemble_read`] with a
-    /// [`DecoderCache`](ecfrm_codes::DecoderCache): repeated repairs
-    /// of the same erasure geometry (every row while one disk is down)
-    /// reuse solved coefficient vectors instead of re-running Gaussian
-    /// elimination.
-    pub fn assemble_read_cached(
-        &self,
-        start: u64,
-        count: usize,
-        fetched: &HashMap<Loc, Vec<u8>>,
-        cache: &ecfrm_codes::DecoderCache,
-    ) -> Result<Vec<Vec<u8>>, CodeError> {
-        self.assemble_read_impl(start, count, fetched, Some(cache))
-    }
-
-    fn assemble_read_impl(
-        &self,
-        start: u64,
-        count: usize,
-        fetched: &HashMap<Loc, Vec<u8>>,
-        cache: Option<&ecfrm_codes::DecoderCache>,
+        ctx: ReadCtx<'_>,
     ) -> Result<Vec<Vec<u8>>, CodeError> {
         let element_size = match fetched.values().next() {
             Some(v) => v.len(),
@@ -298,6 +352,9 @@ impl Scheme {
             }
         };
         let mut out = Vec::with_capacity(count);
+        // Resolve instruments once per call, not per element.
+        let decode_hist = ctx.recorder.map(|r| r.histogram("decode_us"));
+        let mut decoded = 0u64;
         for i in 0..count as u64 {
             let idx = start + i;
             let loc = self.layout.data_location(idx);
@@ -314,12 +371,22 @@ impl Scheme {
                 .filter(|(p, _)| *p != pos)
                 .filter_map(|(p, l)| fetched.get(l).map(|b| (p, b.as_slice())))
                 .collect();
-            let rebuilt = match cache {
+            let t0 = decode_hist.as_ref().map(|_| std::time::Instant::now());
+            let rebuilt = match ctx.cache {
                 Some(c) => c.reconstruct(pos, &sources, element_size),
                 None => decode::reconstruct_one(self.code.generator(), pos, &sources, element_size),
             }
             .ok_or(CodeError::Unrecoverable { erased: vec![pos] })?;
+            if let (Some(h), Some(t0)) = (&decode_hist, t0) {
+                h.record_duration(t0.elapsed());
+                decoded += 1;
+            }
             out.push(rebuilt);
+        }
+        if let Some(r) = ctx.recorder {
+            if decoded > 0 {
+                r.counter("decoded_elements").add(decoded);
+            }
         }
         Ok(out)
     }
@@ -370,10 +437,55 @@ impl Scheme {
     }
 }
 
+/// Builds a [`Scheme`] from a candidate code, a [`LayoutKind`], and (for
+/// [`LayoutKind::Shuffled`]) a permutation seed. Obtained from
+/// [`Scheme::builder`]; the default layout is [`LayoutKind::Standard`]
+/// and the default seed is 0.
+#[derive(Clone)]
+pub struct SchemeBuilder {
+    code: Arc<dyn CandidateCode>,
+    layout: LayoutKind,
+    seed: u64,
+}
+
+impl std::fmt::Debug for SchemeBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SchemeBuilder({}, {}, seed {})",
+            self.code.name(),
+            self.layout,
+            self.seed
+        )
+    }
+}
+
+impl SchemeBuilder {
+    /// Choose the layout form.
+    pub fn layout(mut self, kind: LayoutKind) -> Self {
+        self.layout = kind;
+        self
+    }
+
+    /// Seed for layouts with randomised placement (only
+    /// [`LayoutKind::Shuffled`] consults it).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Construct the scheme.
+    pub fn build(self) -> Scheme {
+        let layout = self.layout.build(self.code.n(), self.code.k(), self.seed);
+        Scheme::new(self.code, layout)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use ecfrm_codes::{LrcCode, RsCode, XorCode};
+    use ecfrm_layout::StandardLayout;
 
     fn sample_elements(count: usize, size: usize) -> Vec<Vec<u8>> {
         (0..count)
@@ -385,24 +497,70 @@ mod tests {
             .collect()
     }
 
+    fn form(code: Arc<dyn CandidateCode>, kind: LayoutKind) -> Scheme {
+        Scheme::builder(code).layout(kind).build()
+    }
+
     fn all_schemes(code: Arc<dyn CandidateCode>) -> Vec<Scheme> {
         vec![
-            Scheme::standard(code.clone()),
-            Scheme::rotated(code.clone()),
-            Scheme::ecfrm(code.clone()),
-            Scheme::shuffled(code, 11),
+            form(code.clone(), LayoutKind::Standard),
+            form(code.clone(), LayoutKind::Rotated),
+            form(code.clone(), LayoutKind::EcFrm),
+            Scheme::builder(code)
+                .layout(LayoutKind::Shuffled)
+                .seed(11)
+                .build(),
         ]
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_match_builder() {
+        let rs: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(6, 3));
+        assert_eq!(
+            Scheme::standard(rs.clone()).name(),
+            form(rs.clone(), LayoutKind::Standard).name()
+        );
+        assert_eq!(
+            Scheme::rotated(rs.clone()).name(),
+            form(rs.clone(), LayoutKind::Rotated).name()
+        );
+        assert_eq!(
+            Scheme::ecfrm(rs.clone()).name(),
+            form(rs.clone(), LayoutKind::EcFrm).name()
+        );
+        assert_eq!(
+            Scheme::krotated(rs.clone()).name(),
+            form(rs.clone(), LayoutKind::KRotated).name()
+        );
+        // The shuffled shim must thread the seed through: same seed,
+        // same placement.
+        let a = Scheme::shuffled(rs.clone(), 7);
+        let b = Scheme::builder(rs)
+            .layout(LayoutKind::Shuffled)
+            .seed(7)
+            .build();
+        for idx in 0..40u64 {
+            assert_eq!(a.layout().data_location(idx), b.layout().data_location(idx));
+        }
     }
 
     #[test]
     fn names_follow_paper_convention() {
         let rs: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(6, 3));
-        assert_eq!(Scheme::standard(rs.clone()).name(), "RS(6,3)");
-        assert_eq!(Scheme::rotated(rs.clone()).name(), "R-RS(6,3)");
-        assert_eq!(Scheme::ecfrm(rs.clone()).name(), "EC-FRM-RS(6,3)");
-        assert_eq!(Scheme::shuffled(rs, 1).name(), "SHUFFLED-RS(6,3)");
+        assert_eq!(form(rs.clone(), LayoutKind::Standard).name(), "RS(6,3)");
+        assert_eq!(form(rs.clone(), LayoutKind::Rotated).name(), "R-RS(6,3)");
+        assert_eq!(form(rs.clone(), LayoutKind::EcFrm).name(), "EC-FRM-RS(6,3)");
+        assert_eq!(
+            Scheme::builder(rs)
+                .layout(LayoutKind::Shuffled)
+                .seed(1)
+                .build()
+                .name(),
+            "SHUFFLED-RS(6,3)"
+        );
         let lrc: Arc<dyn CandidateCode> = Arc::new(LrcCode::new(6, 2, 2));
-        assert_eq!(Scheme::ecfrm(lrc).name(), "EC-FRM-LRC(6,2,2)");
+        assert_eq!(form(lrc, LayoutKind::EcFrm).name(), "EC-FRM-LRC(6,2,2)");
     }
 
     #[test]
@@ -428,7 +586,7 @@ mod tests {
         // Figure 3(a): 8-element read over standard (6,2,2) LRC — the
         // most loaded disk serves 2 elements.
         let lrc: Arc<dyn CandidateCode> = Arc::new(LrcCode::new(6, 2, 2));
-        let plan = Scheme::standard(lrc).normal_read_plan(0, 8);
+        let plan = form(lrc, LayoutKind::Standard).normal_read_plan(0, 8);
         assert_eq!(plan.max_load(), 2);
         assert_eq!(plan.total_fetched(), 8);
         assert_eq!(plan.disks_touched(), 6);
@@ -437,7 +595,7 @@ mod tests {
     #[test]
     fn figure_3b_rotated_lrc_still_bottlenecked() {
         let lrc: Arc<dyn CandidateCode> = Arc::new(LrcCode::new(6, 2, 2));
-        let plan = Scheme::rotated(lrc).normal_read_plan(0, 8);
+        let plan = form(lrc, LayoutKind::Rotated).normal_read_plan(0, 8);
         assert_eq!(plan.max_load(), 2);
     }
 
@@ -446,7 +604,7 @@ mod tests {
         // Figure 7(a): same 8-element read over (6,2,2) EC-FRM-LRC — max
         // load drops to 1 because all 10 disks hold data.
         let lrc: Arc<dyn CandidateCode> = Arc::new(LrcCode::new(6, 2, 2));
-        let plan = Scheme::ecfrm(lrc).normal_read_plan(0, 8);
+        let plan = form(lrc, LayoutKind::EcFrm).normal_read_plan(0, 8);
         assert_eq!(plan.max_load(), 1);
         assert_eq!(plan.disks_touched(), 8);
     }
@@ -456,7 +614,7 @@ mod tests {
         // EC-FRM guarantee: a c-element read loads no disk more than
         // ceil(c / n) — data is sequential across all n disks.
         let rs: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(6, 3));
-        let scheme = Scheme::ecfrm(rs);
+        let scheme = form(rs, LayoutKind::EcFrm);
         for start in 0..30u64 {
             for count in 1..=20usize {
                 let plan = scheme.normal_read_plan(start, count);
@@ -489,7 +647,9 @@ mod tests {
             }
             let start = 3u64;
             let count = dps; // spans two stripes
-            let got = scheme.assemble_read(start, count, &fetched).unwrap();
+            let got = scheme
+                .assemble_read(start, count, &fetched, ReadCtx::default())
+                .unwrap();
             for (i, g) in got.iter().enumerate() {
                 assert_eq!(g, &data[start as usize + i], "{} elem {i}", scheme.name());
             }
@@ -531,7 +691,9 @@ mod tests {
                         (f.loc, all[&f.loc].clone())
                     })
                     .collect();
-                let got = scheme.assemble_read(start, count, &fetched).unwrap();
+                let got = scheme
+                    .assemble_read(start, count, &fetched, ReadCtx::default())
+                    .unwrap();
                 for (i, g) in got.iter().enumerate() {
                     assert_eq!(
                         g,
@@ -550,8 +712,8 @@ mod tests {
         // element costs k/l reads instead of k.
         let rs: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(6, 3));
         let lrc: Arc<dyn CandidateCode> = Arc::new(LrcCode::new(6, 2, 2));
-        let rs_scheme = Scheme::ecfrm(rs);
-        let lrc_scheme = Scheme::ecfrm(lrc);
+        let rs_scheme = form(rs, LayoutKind::EcFrm);
+        let lrc_scheme = form(lrc, LayoutKind::EcFrm);
         let mut rs_cost = 0.0;
         let mut lrc_cost = 0.0;
         let mut cases = 0;
@@ -620,7 +782,7 @@ mod tests {
     #[test]
     fn krotated_form_roundtrips_and_sits_between() {
         let rs: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(6, 3));
-        let scheme = Scheme::krotated(rs.clone());
+        let scheme = form(rs.clone(), LayoutKind::KRotated);
         assert_eq!(scheme.name(), "KROTATED-RS(6,3)");
         // Fault tolerance preserved (stripe period = n for the shift).
         assert!(scheme.verify_disk_tolerance(3, 9));
@@ -643,14 +805,16 @@ mod tests {
             .iter()
             .map(|f| (f.loc, all[&f.loc].clone()))
             .collect();
-        let got = scheme.assemble_read(3, 20, &fetched).unwrap();
+        let got = scheme
+            .assemble_read(3, 20, &fetched, ReadCtx::default())
+            .unwrap();
         for (i, g) in got.iter().enumerate() {
             assert_eq!(g, &data[3 + i]);
         }
         // Normal-read balance: strictly better than standard on average,
         // no better than EC-FRM.
-        let std = Scheme::standard(rs.clone());
-        let ec = Scheme::ecfrm(rs);
+        let std = form(rs.clone(), LayoutKind::Standard);
+        let ec = form(rs, LayoutKind::EcFrm);
         let mut sum = [0usize; 3];
         for start in 0..60u64 {
             for size in 1..=20usize {
@@ -671,7 +835,7 @@ mod tests {
         // (6,2,2) LRC tolerates any 3 disks; plans must route around all
         // of them and assembly must restore every element.
         let lrc: Arc<dyn CandidateCode> = Arc::new(LrcCode::new(6, 2, 2));
-        let scheme = Scheme::ecfrm(lrc);
+        let scheme = form(lrc, LayoutKind::EcFrm);
         let dps = scheme.data_per_stripe();
         let data = sample_elements(2 * dps, 8);
         let mut all = HashMap::new();
@@ -695,7 +859,9 @@ mod tests {
                 .iter()
                 .map(|f| (f.loc, all[&f.loc].clone()))
                 .collect();
-            let got = scheme.assemble_read(2, 20, &fetched).unwrap();
+            let got = scheme
+                .assemble_read(2, 20, &fetched, ReadCtx::default())
+                .unwrap();
             for (i, g) in got.iter().enumerate() {
                 assert_eq!(g, &data[2 + i], "failed {failed:?} elem {i}");
             }
@@ -707,7 +873,7 @@ mod tests {
         // Two failures in the SAME local group force the global fallback;
         // the spec must not pretend the second failure is available.
         let lrc: Arc<dyn CandidateCode> = Arc::new(LrcCode::new(6, 2, 2));
-        let scheme = Scheme::standard(lrc);
+        let scheme = form(lrc, LayoutKind::Standard);
         // Disks 0 and 1 are data positions 0 and 1 (same local group).
         let plan = scheme.degraded_read_plan(0, 2, &[0, 1]);
         assert!(plan.unreadable.is_empty());
@@ -723,7 +889,7 @@ mod tests {
     #[test]
     fn cached_assembly_matches_uncached() {
         let rs: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(6, 3));
-        let scheme = Scheme::ecfrm(rs);
+        let scheme = form(rs, LayoutKind::EcFrm);
         let dps = scheme.data_per_stripe();
         let data = sample_elements(dps, 8);
         let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
@@ -740,9 +906,11 @@ mod tests {
                 .iter()
                 .map(|f| (f.loc, all[&f.loc].clone()))
                 .collect();
-            let direct = scheme.assemble_read(0, dps, &fetched).unwrap();
+            let direct = scheme
+                .assemble_read(0, dps, &fetched, ReadCtx::default())
+                .unwrap();
             let cached = scheme
-                .assemble_read_cached(0, dps, &fetched, &cache)
+                .assemble_read(0, dps, &fetched, ReadCtx::new().with_cache(&cache))
                 .unwrap();
             assert_eq!(direct, cached, "failed={failed}");
         }
@@ -752,7 +920,7 @@ mod tests {
     #[test]
     fn unreadable_reported_beyond_tolerance() {
         let xor: Arc<dyn CandidateCode> = Arc::new(XorCode::new(4));
-        let scheme = Scheme::standard(xor);
+        let scheme = form(xor, LayoutKind::Standard);
         // Two failed disks exceed XOR tolerance; requested elements on
         // them are unreadable.
         let plan = scheme.degraded_read_plan(0, 4, &[0, 1]);
@@ -762,11 +930,42 @@ mod tests {
     #[test]
     fn empty_read_plans() {
         let rs: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(6, 3));
-        let scheme = Scheme::ecfrm(rs);
+        let scheme = form(rs, LayoutKind::EcFrm);
         let plan = scheme.normal_read_plan(5, 0);
         assert_eq!(plan.total_fetched(), 0);
         let fetched = HashMap::new();
-        assert!(scheme.assemble_read(5, 0, &fetched).unwrap().is_empty());
+        assert!(scheme
+            .assemble_read(5, 0, &fetched, ReadCtx::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn recorder_ctx_counts_decodes() {
+        let rs: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(6, 3));
+        let scheme = form(rs, LayoutKind::EcFrm);
+        let dps = scheme.data_per_stripe();
+        let data = sample_elements(dps, 8);
+        let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+        let all: HashMap<Loc, Vec<u8>> = scheme
+            .encode_stripe(0, &refs)
+            .iter()
+            .map(|(l, b)| (l, b.to_vec()))
+            .collect();
+        let plan = scheme.degraded_read_plan(0, dps, &[0]);
+        let fetched: HashMap<Loc, Vec<u8>> = plan
+            .fetches
+            .iter()
+            .map(|f| (f.loc, all[&f.loc].clone()))
+            .collect();
+        let rec = ecfrm_obs::Recorder::new();
+        scheme
+            .assemble_read(0, dps, &fetched, ReadCtx::new().with_recorder(&rec))
+            .unwrap();
+        let snap = rec.snapshot();
+        let decoded = snap.counters["decoded_elements"];
+        assert!(decoded > 0, "degraded read must reconstruct something");
+        assert_eq!(snap.histograms["decode_us"].count, decoded);
     }
 
     #[test]

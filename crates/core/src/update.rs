@@ -92,14 +92,12 @@ pub fn update_plan(scheme: &Scheme, idx: u64) -> WritePlan {
 mod tests {
     use super::*;
     use ecfrm_codes::{CandidateCode, LrcCode, RsCode};
+    use ecfrm_layout::LayoutKind;
     use std::sync::Arc;
 
     fn forms(code: Arc<dyn CandidateCode>) -> [Scheme; 3] {
-        [
-            Scheme::standard(code.clone()),
-            Scheme::rotated(code.clone()),
-            Scheme::ecfrm(code),
-        ]
+        [LayoutKind::Standard, LayoutKind::Rotated, LayoutKind::EcFrm]
+            .map(|kind| Scheme::builder(code.clone()).layout(kind).build())
     }
 
     #[test]
@@ -154,7 +152,7 @@ mod tests {
     #[test]
     fn update_touches_the_right_group() {
         let code: Arc<dyn CandidateCode> = Arc::new(LrcCode::new(6, 2, 2));
-        let scheme = Scheme::ecfrm(code);
+        let scheme = Scheme::builder(code).layout(LayoutKind::EcFrm).build();
         // Element 7 is in group 1; its parities are p3,2 p3,3 p4,4 p4,5
         // (paper §IV-E).
         let p = update_plan(&scheme, 7);
@@ -165,7 +163,7 @@ mod tests {
     #[test]
     fn append_plan_covers_whole_grid_once() {
         let code: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(6, 3));
-        let scheme = Scheme::ecfrm(code);
+        let scheme = Scheme::builder(code).layout(LayoutKind::EcFrm).build();
         let p = append_stripe_plan(&scheme, 2);
         assert!(p.reads.is_empty());
         let mut locs = p.writes.clone();

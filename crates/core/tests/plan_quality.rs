@@ -11,7 +11,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use ecfrm_codes::{CandidateCode, RepairSpec, RsCode};
-use ecfrm_core::Scheme;
+use ecfrm_core::{LayoutKind, Scheme};
 use ecfrm_layout::Loc;
 
 /// All c-subsets of `from`.
@@ -113,11 +113,8 @@ fn brute_force_best(scheme: &Scheme, start: u64, count: usize, failed: usize) ->
 #[test]
 fn greedy_is_near_optimal_rs42() {
     let code: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(4, 2));
-    for scheme in [
-        Scheme::standard(code.clone()),
-        Scheme::rotated(code.clone()),
-        Scheme::ecfrm(code.clone()),
-    ] {
+    for kind in [LayoutKind::Standard, LayoutKind::Rotated, LayoutKind::EcFrm] {
+        let scheme = Scheme::builder(code.clone()).layout(kind).build();
         let mut exact = 0usize;
         let mut total = 0usize;
         for start in 0..12u64 {
@@ -154,7 +151,7 @@ fn greedy_never_fetches_more_than_needed() {
     // Total fetches = demand + k per lost element, minus overlaps —
     // never more.
     let code: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(4, 2));
-    let scheme = Scheme::ecfrm(code);
+    let scheme = Scheme::builder(code).layout(LayoutKind::EcFrm).build();
     for start in 0..10u64 {
         for failed in 0..6 {
             let count = 8;

@@ -1,0 +1,135 @@
+//! [`LayoutKind`]: the one name-to-layout mapping for the workspace.
+//!
+//! The CLI, the bench harness and the scheme builder all need to turn a
+//! layout name ("standard", "ecfrm", …) into a [`Layout`]. Before this
+//! enum each of them carried its own match arms and they drifted (the
+//! CLI, for instance, never learned about `krotated`); now they all
+//! parse through [`LayoutKind::from_str`] and construct through
+//! [`LayoutKind::build`].
+
+use std::str::FromStr;
+use std::sync::Arc;
+
+use crate::{EcFrmLayout, KRotatedLayout, Layout, RotatedLayout, ShuffledLayout, StandardLayout};
+
+/// Every layout the workspace knows how to build, by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LayoutKind {
+    /// Conventional horizontal placement (paper's "RS"/"LRC" baseline).
+    #[default]
+    Standard,
+    /// Per-stripe rotation (paper's "R-RS"/"R-LRC" baseline).
+    Rotated,
+    /// Rotation by `k` per stripe (strongest rotation baseline,
+    /// ablation).
+    KRotated,
+    /// Per-stripe pseudo-random permutation (ablation; uses the builder
+    /// seed).
+    Shuffled,
+    /// The paper's transformation (§IV-B): sequential data across all
+    /// `n` disks.
+    EcFrm,
+}
+
+impl LayoutKind {
+    /// All kinds, in baseline → EC-FRM order.
+    pub const ALL: [LayoutKind; 5] = [
+        LayoutKind::Standard,
+        LayoutKind::Rotated,
+        LayoutKind::KRotated,
+        LayoutKind::Shuffled,
+        LayoutKind::EcFrm,
+    ];
+
+    /// Canonical lower-case name (`"standard"`, `"rotated"`,
+    /// `"krotated"`, `"shuffled"`, `"ecfrm"`), matching what
+    /// [`Layout::name`] reports for the built layout.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LayoutKind::Standard => "standard",
+            LayoutKind::Rotated => "rotated",
+            LayoutKind::KRotated => "krotated",
+            LayoutKind::Shuffled => "shuffled",
+            LayoutKind::EcFrm => "ecfrm",
+        }
+    }
+
+    /// Construct the layout for an `(n, k)` candidate code. `seed` is
+    /// only consulted by [`LayoutKind::Shuffled`].
+    pub fn build(&self, n: usize, k: usize, seed: u64) -> Arc<dyn Layout> {
+        match self {
+            LayoutKind::Standard => Arc::new(StandardLayout::new(n, k)),
+            LayoutKind::Rotated => Arc::new(RotatedLayout::new(n, k)),
+            LayoutKind::KRotated => Arc::new(KRotatedLayout::new(n, k)),
+            LayoutKind::Shuffled => Arc::new(ShuffledLayout::new(n, k, seed)),
+            LayoutKind::EcFrm => Arc::new(EcFrmLayout::new(n, k)),
+        }
+    }
+}
+
+impl std::fmt::Display for LayoutKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for LayoutKind {
+    type Err = String;
+
+    /// Parse a layout name, case-insensitively. Accepts the canonical
+    /// names plus the paper's spellings (`"ec-frm"`, `"k-rotated"`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "standard" => Ok(LayoutKind::Standard),
+            "rotated" => Ok(LayoutKind::Rotated),
+            "krotated" | "k-rotated" => Ok(LayoutKind::KRotated),
+            "shuffled" => Ok(LayoutKind::Shuffled),
+            "ecfrm" | "ec-frm" => Ok(LayoutKind::EcFrm),
+            other => Err(format!(
+                "unknown layout '{other}' (expected one of: standard, rotated, krotated, shuffled, ecfrm)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip_through_from_str() {
+        for kind in LayoutKind::ALL {
+            assert_eq!(kind.name().parse::<LayoutKind>().unwrap(), kind);
+            assert_eq!(kind.to_string(), kind.name());
+        }
+    }
+
+    #[test]
+    fn parsing_is_case_insensitive_and_accepts_paper_spellings() {
+        assert_eq!("EC-FRM".parse::<LayoutKind>().unwrap(), LayoutKind::EcFrm);
+        assert_eq!(
+            "Standard".parse::<LayoutKind>().unwrap(),
+            LayoutKind::Standard
+        );
+        assert_eq!(
+            "K-Rotated".parse::<LayoutKind>().unwrap(),
+            LayoutKind::KRotated
+        );
+        assert!("zigzag".parse::<LayoutKind>().is_err());
+    }
+
+    #[test]
+    fn build_produces_matching_layout() {
+        for kind in LayoutKind::ALL {
+            let l = kind.build(9, 6, 42);
+            assert_eq!(l.name(), kind.name());
+            assert_eq!(l.code_n(), 9);
+            assert_eq!(l.code_k(), 6);
+        }
+    }
+
+    #[test]
+    fn default_is_standard() {
+        assert_eq!(LayoutKind::default(), LayoutKind::Standard);
+    }
+}

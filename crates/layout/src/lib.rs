@@ -27,6 +27,7 @@
 //! directions.
 
 pub mod ecfrm;
+pub mod kind;
 pub mod krotated;
 pub mod rotated;
 pub mod shuffled;
@@ -34,6 +35,7 @@ pub mod standard;
 pub mod traits;
 
 pub use ecfrm::EcFrmLayout;
+pub use kind::LayoutKind;
 pub use krotated::KRotatedLayout;
 pub use rotated::RotatedLayout;
 pub use shuffled::ShuffledLayout;

@@ -23,6 +23,7 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
 
+use ecfrm_obs::{Histogram, HistogramSnapshot};
 use ecfrm_sim::{DiskBackend, NetCounters, NetStats};
 use ecfrm_util::{Mutex, Rng};
 
@@ -84,6 +85,9 @@ pub struct RemoteDisk {
     cfg: RemoteDiskConfig,
     pool: Mutex<Vec<TcpStream>>,
     counters: Arc<NetCounters>,
+    /// End-to-end latency of data-path requests (read / write / batch),
+    /// including retries and hedges, in microseconds.
+    request_us: Histogram,
     ever_connected: AtomicBool,
     rng: Mutex<Rng>,
 }
@@ -103,6 +107,7 @@ impl RemoteDisk {
             cfg,
             pool: Mutex::new(Vec::new()),
             counters: Arc::new(NetCounters::new()),
+            request_us: Histogram::new(),
             ever_connected: AtomicBool::new(false),
             rng: Mutex::new(Rng::seed_from_u64(addr.port() as u64 ^ 0xD15C)),
         }
@@ -116,6 +121,35 @@ impl RemoteDisk {
     /// Live handle to the transport counters.
     pub fn counters(&self) -> Arc<NetCounters> {
         Arc::clone(&self.counters)
+    }
+
+    /// Snapshot of the end-to-end data-path request latency histogram
+    /// (microseconds, including retries and hedges).
+    pub fn request_latency(&self) -> HistogramSnapshot {
+        self.request_us.snapshot()
+    }
+
+    /// Fetch the server's metrics registry as flat `(name, value)`
+    /// pairs — per-op serve counters plus the `serve_us` histogram
+    /// summary.
+    ///
+    /// # Errors
+    /// Transport failure after the full retry budget.
+    pub fn stats(&self) -> Result<Vec<(String, u64)>, NetError> {
+        match self.rpc(&Request::Stats)? {
+            Response::Stats(pairs) => Ok(pairs),
+            other => Err(NetError::Protocol(format!(
+                "unexpected response to stats request: {other:?}"
+            ))),
+        }
+    }
+
+    /// Run `f` and record its wall-clock in the request histogram.
+    fn timed<T>(&self, f: impl FnOnce() -> T) -> T {
+        let t0 = std::time::Instant::now();
+        let out = f();
+        self.request_us.record_duration(t0.elapsed());
+        out
     }
 
     /// Pop a pooled connection or dial a fresh one.
@@ -299,8 +333,10 @@ impl RemoteDisk {
     /// absent/failed elements; a transport failure after all retries
     /// yields all-`None`.
     pub fn read_batch(&self, offsets: &[u64]) -> Vec<Option<Vec<u8>>> {
-        match self.read_rpc(&Request::BatchGet {
-            offsets: offsets.to_vec(),
+        match self.timed(|| {
+            self.read_rpc(&Request::BatchGet {
+                offsets: offsets.to_vec(),
+            })
         }) {
             Ok(Response::Batch(items)) if items.len() == offsets.len() => items,
             _ => vec![None; offsets.len()],
@@ -313,7 +349,7 @@ impl DiskBackend for RemoteDisk {
     /// full retry/hedge budget reads as *absent* — the caller's
     /// degraded-read machinery takes it from there.
     fn read(&self, offset: u64) -> Option<Vec<u8>> {
-        match self.read_rpc(&Request::GetElement { offset }) {
+        match self.timed(|| self.read_rpc(&Request::GetElement { offset })) {
             Ok(Response::Element(v)) => v,
             _ => None,
         }
@@ -323,7 +359,7 @@ impl DiskBackend for RemoteDisk {
         // DiskBackend writes are infallible by contract; a write that
         // exhausts its retries is recorded in the counters (and the
         // element will read back as absent).
-        let _ = self.rpc(&Request::PutElement { offset, bytes });
+        let _ = self.timed(|| self.rpc(&Request::PutElement { offset, bytes }));
     }
 
     /// Remote failure injection: flips the *server's* backend, so every
@@ -487,6 +523,38 @@ mod tests {
             assert_eq!(disk.read(0), Some(vec![1]));
         }
         assert_eq!(disk.net_stats().unwrap().hedges, 0);
+    }
+
+    #[test]
+    fn request_latency_histogram_counts_data_requests() {
+        let server = server();
+        let disk = RemoteDisk::new(server.addr(), RemoteDiskConfig::fast());
+        disk.write(0, vec![1; 8]);
+        for _ in 0..5 {
+            assert_eq!(disk.read(0), Some(vec![1; 8]));
+        }
+        disk.read_batch(&[0, 1]);
+        let lat = disk.request_latency();
+        assert_eq!(lat.count, 7, "1 write + 5 reads + 1 batch");
+        assert!(lat.p99() >= lat.p50());
+    }
+
+    #[test]
+    fn stats_rpc_reports_server_side_counters() {
+        let server = server();
+        let disk = RemoteDisk::new(server.addr(), RemoteDiskConfig::fast());
+        disk.write(0, vec![2; 4]);
+        for _ in 0..3 {
+            disk.read(0);
+        }
+        let stats = disk.stats().unwrap();
+        let get = |name: &str| stats.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+        assert_eq!(get("serve.get"), Some(3));
+        assert_eq!(get("serve.put"), Some(1));
+        assert_eq!(get("serve_us.count"), Some(4));
+        // The same registry is visible locally on the server handle.
+        let local = server.recorder().snapshot();
+        assert_eq!(local.counters.get("serve.get"), Some(&3));
     }
 
     #[test]

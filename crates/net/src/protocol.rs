@@ -6,10 +6,11 @@
 //! [ magic "EFRM" : 4 ][ version : 1 ][ opcode : 1 ][ payload len : u32 LE ][ payload ]
 //! ```
 //!
-//! Integers inside payloads are little-endian. Five operations exist:
-//! `GetElement`, `PutElement`, `BatchGet`, `Health`, and `InjectFault`
+//! Integers inside payloads are little-endian. Six operations exist:
+//! `GetElement`, `PutElement`, `BatchGet`, `Health`, `InjectFault`
 //! (the fault-injection side channel that lets a client drive a remote
-//! shard's failure state exactly like a local disk's).
+//! shard's failure state exactly like a local disk's), and `Stats`
+//! (dump the server's metrics registry as flat name/value pairs).
 
 use std::io::{Read, Write};
 
@@ -59,6 +60,22 @@ impl From<std::io::Error> for NetError {
     }
 }
 
+/// A transport failure surfacing through the store reads as a network
+/// error; callers holding a `Result<_, StoreError>` can `?` net calls.
+impl From<NetError> for ecfrm_store::StoreError {
+    fn from(e: NetError) -> Self {
+        ecfrm_store::StoreError::Net(e.to_string())
+    }
+}
+
+/// A store failure crossing back onto the wire (e.g. a server-side
+/// handler) is reported to the peer as a remote error.
+impl From<ecfrm_store::StoreError> for NetError {
+    fn from(e: ecfrm_store::StoreError) -> Self {
+        NetError::Remote(e.to_string())
+    }
+}
+
 /// A failure-state change injected into a remote shard.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fault {
@@ -97,6 +114,8 @@ pub enum Request {
     Health,
     /// Drive the shard's failure state.
     InjectFault(Fault),
+    /// Dump the server's metrics registry.
+    Stats,
 }
 
 /// A server response.
@@ -115,6 +134,8 @@ pub enum Response {
     },
     /// Fault injection acknowledged.
     FaultInjected,
+    /// Flattened metrics: sorted `(name, value)` pairs.
+    Stats(Vec<(String, u64)>),
     /// Server-side failure.
     Error(String),
 }
@@ -124,12 +145,14 @@ const OP_PUT: u8 = 2;
 const OP_BATCH_GET: u8 = 3;
 const OP_HEALTH: u8 = 4;
 const OP_INJECT: u8 = 5;
+const OP_STATS: u8 = 6;
 
 const RESP_ELEMENT: u8 = 129;
 const RESP_PUT: u8 = 130;
 const RESP_BATCH: u8 = 131;
 const RESP_HEALTH: u8 = 132;
 const RESP_FAULT: u8 = 133;
+const RESP_STATS: u8 = 134;
 const RESP_ERROR: u8 = 255;
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -211,6 +234,7 @@ impl Request {
             Request::BatchGet { .. } => OP_BATCH_GET,
             Request::Health => OP_HEALTH,
             Request::InjectFault(_) => OP_INJECT,
+            Request::Stats => OP_STATS,
         }
     }
 
@@ -229,7 +253,7 @@ impl Request {
                     put_u64(&mut out, o);
                 }
             }
-            Request::Health => {}
+            Request::Health | Request::Stats => {}
             Request::InjectFault(fault) => match fault {
                 Fault::Fail => out.push(0),
                 Fault::Heal => out.push(1),
@@ -262,6 +286,7 @@ impl Request {
                 Request::BatchGet { offsets }
             }
             OP_HEALTH => Request::Health,
+            OP_STATS => Request::Stats,
             OP_INJECT => {
                 let fault = match c.u8()? {
                     0 => Fault::Fail,
@@ -287,6 +312,7 @@ impl Response {
             Response::Batch(_) => RESP_BATCH,
             Response::Health { .. } => RESP_HEALTH,
             Response::FaultInjected => RESP_FAULT,
+            Response::Stats(_) => RESP_STATS,
             Response::Error(_) => RESP_ERROR,
         }
     }
@@ -303,6 +329,14 @@ impl Response {
                 }
             }
             Response::Health { elements } => put_u64(&mut out, *elements),
+            Response::Stats(pairs) => {
+                put_u32(&mut out, pairs.len() as u32);
+                for (name, value) in pairs {
+                    put_u32(&mut out, name.len() as u32);
+                    out.extend_from_slice(name.as_bytes());
+                    put_u64(&mut out, *value);
+                }
+            }
             Response::Error(msg) => out.extend_from_slice(msg.as_bytes()),
         }
         out
@@ -323,6 +357,18 @@ impl Response {
             }
             RESP_HEALTH => Response::Health { elements: c.u64()? },
             RESP_FAULT => Response::FaultInjected,
+            RESP_STATS => {
+                let n = c.u32()? as usize;
+                let mut pairs = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    let len = c.u32()? as usize;
+                    let name = std::str::from_utf8(c.take(len)?)
+                        .map_err(|_| NetError::Protocol("stats name is not UTF-8".into()))?
+                        .to_string();
+                    pairs.push((name, c.u64()?));
+                }
+                Response::Stats(pairs)
+            }
             RESP_ERROR => {
                 let msg = String::from_utf8_lossy(c.take(payload.len())?).into_owned();
                 return Ok(Response::Error(msg));
@@ -521,6 +567,7 @@ mod tests {
         });
         roundtrip_request(Request::BatchGet { offsets: vec![] });
         roundtrip_request(Request::Health);
+        roundtrip_request(Request::Stats);
         for fault in [Fault::Fail, Fault::Heal, Fault::Wipe, Fault::DelayMs(250)] {
             roundtrip_request(Request::InjectFault(fault));
         }
@@ -534,6 +581,12 @@ mod tests {
         roundtrip_response(Response::Batch(vec![Some(vec![1]), None, Some(vec![])]));
         roundtrip_response(Response::Health { elements: 12345 });
         roundtrip_response(Response::FaultInjected);
+        roundtrip_response(Response::Stats(vec![]));
+        roundtrip_response(Response::Stats(vec![
+            ("serve.get".into(), 42),
+            ("serve_us.p99".into(), u64::MAX),
+            ("net.retries".into(), 0),
+        ]));
         roundtrip_response(Response::Error("disk on fire".into()));
     }
 

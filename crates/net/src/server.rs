@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use ecfrm_obs::{Counter, Histogram, Recorder};
 use ecfrm_sim::DiskBackend;
 use ecfrm_util::Mutex;
 
@@ -21,11 +22,50 @@ use crate::protocol::{
 /// How often blocked accept/read loops wake to check the stop flag.
 const POLL: Duration = Duration::from_millis(20);
 
+/// Pre-resolved metric handles so the request loop never touches the
+/// registry maps.
+struct ServerMetrics {
+    get: Counter,
+    put: Counter,
+    batch: Counter,
+    health: Counter,
+    inject: Counter,
+    stats: Counter,
+    serve_us: Histogram,
+}
+
+impl ServerMetrics {
+    fn new(recorder: &Recorder) -> Self {
+        Self {
+            get: recorder.counter("serve.get"),
+            put: recorder.counter("serve.put"),
+            batch: recorder.counter("serve.batch"),
+            health: recorder.counter("serve.health"),
+            inject: recorder.counter("serve.inject"),
+            stats: recorder.counter("serve.stats"),
+            serve_us: recorder.histogram("serve_us"),
+        }
+    }
+
+    fn count(&self, req: &Request) {
+        match req {
+            Request::GetElement { .. } => self.get.inc(),
+            Request::PutElement { .. } => self.put.inc(),
+            Request::BatchGet { .. } => self.batch.inc(),
+            Request::Health => self.health.inc(),
+            Request::InjectFault(_) => self.inject.inc(),
+            Request::Stats => self.stats.inc(),
+        }
+    }
+}
+
 struct Shared {
     backend: Arc<dyn DiskBackend>,
     stop: AtomicBool,
     /// Injected per-read delay in ms (straggler simulation).
     read_delay_ms: AtomicU64,
+    recorder: Recorder,
+    metrics: ServerMetrics,
 }
 
 /// A TCP server exposing one disk shard.
@@ -51,10 +91,14 @@ impl ShardServer {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        let recorder = Recorder::new();
+        let metrics = ServerMetrics::new(&recorder);
         let shared = Arc::new(Shared {
             backend,
             stop: AtomicBool::new(false),
             read_delay_ms: AtomicU64::new(0),
+            recorder,
+            metrics,
         });
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
@@ -68,6 +112,14 @@ impl ShardServer {
     /// The bound address clients should dial.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The server's metrics registry: per-op counters (`serve.get`,
+    /// `serve.put`, `serve.batch`, `serve.health`, `serve.inject`,
+    /// `serve.stats`) and the `serve_us` request-service histogram.
+    /// Remote clients can fetch the same data with [`Request::Stats`].
+    pub fn recorder(&self) -> &Recorder {
+        &self.shared.recorder
     }
 
     /// Stop serving: accept loop and every connection handler exit at
@@ -136,8 +188,11 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
         // file-backed shard) must surface as a wire-level error the
         // client can count and report — not kill the connection and
         // masquerade as a network fault.
+        shared.metrics.count(&req);
+        let t0 = std::time::Instant::now();
         let resp = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle(&req, shared)))
             .unwrap_or_else(|payload| Response::Error(panic_message(payload.as_ref())));
+        shared.metrics.serve_us.record_duration(t0.elapsed());
         if write_response(&mut writer, &resp).is_err() {
             return;
         }
@@ -192,6 +247,7 @@ fn handle(req: &Request, shared: &Shared) -> Response {
             }
             Response::FaultInjected
         }
+        Request::Stats => Response::Stats(shared.recorder.snapshot().flatten()),
     }
 }
 

@@ -31,7 +31,9 @@ fn store_over(cluster: &Cluster, scheme: Scheme) -> ObjectStore {
 }
 
 fn lrc_scheme() -> Scheme {
-    Scheme::ecfrm(Arc::new(LrcCode::new(6, 2, 2))) // n = 10 disks
+    Scheme::builder(Arc::new(LrcCode::new(6, 2, 2)))
+        .layout(ecfrm_core::LayoutKind::EcFrm)
+        .build() // n = 10 disks
 }
 
 #[test]

@@ -1,0 +1,181 @@
+//! Per-disk load accounting.
+//!
+//! The paper's central quantity: read speed is bounded by the most-loaded
+//! disk, so what matters per layout is not *how much* was read but *how
+//! evenly*. A [`DiskBoard`] keeps one `(elements, bytes)` atomic pair per
+//! disk; its snapshot reports max, mean, and the max/mean imbalance ratio
+//! (1.0 = perfectly even, higher = hot disk).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Fixed-size per-disk load tallies behind a cheap-clone handle.
+#[derive(Debug, Clone)]
+pub struct DiskBoard {
+    slots: Arc<Vec<(AtomicU64, AtomicU64)>>,
+}
+
+impl DiskBoard {
+    /// A board for `n_disks` disks, all tallies zero.
+    pub fn new(n_disks: usize) -> Self {
+        Self {
+            slots: Arc::new(
+                (0..n_disks)
+                    .map(|_| (AtomicU64::new(0), AtomicU64::new(0)))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Number of disk slots.
+    pub fn n_disks(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Credit `elements` element reads totalling `bytes` to `disk`.
+    /// Out-of-range disks are ignored (a board never panics a hot path).
+    pub fn record(&self, disk: usize, elements: u64, bytes: u64) {
+        if let Some((e, b)) = self.slots.get(disk) {
+            e.fetch_add(elements, Ordering::Relaxed);
+            b.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Point-in-time copy of all tallies.
+    pub fn snapshot(&self) -> DiskBoardSnapshot {
+        DiskBoardSnapshot {
+            elements: self
+                .slots
+                .iter()
+                .map(|(e, _)| e.load(Ordering::Relaxed))
+                .collect(),
+            bytes: self
+                .slots
+                .iter()
+                .map(|(_, b)| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Immutable copy of a [`DiskBoard`], with imbalance readout.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DiskBoardSnapshot {
+    /// Element reads served per disk.
+    pub elements: Vec<u64>,
+    /// Bytes served per disk.
+    pub bytes: Vec<u64>,
+}
+
+impl DiskBoardSnapshot {
+    /// Element count on the most-loaded disk.
+    pub fn max_elements(&self) -> u64 {
+        self.elements.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean element count across disks (0.0 for an empty board).
+    pub fn mean_elements(&self) -> f64 {
+        if self.elements.is_empty() {
+            0.0
+        } else {
+            self.elements.iter().sum::<u64>() as f64 / self.elements.len() as f64
+        }
+    }
+
+    /// Load-imbalance ratio max/mean: 1.0 is perfectly even, higher
+    /// means a hot disk. 0.0 when no load was recorded.
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.mean_elements();
+        if mean == 0.0 {
+            0.0
+        } else {
+            self.max_elements() as f64 / mean
+        }
+    }
+
+    /// Total element reads across all disks.
+    pub fn total_elements(&self) -> u64 {
+        self.elements.iter().sum()
+    }
+
+    /// Aligned per-disk table with a proportional bar per row, plus a
+    /// max/mean/imbalance footer.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        let max = self.max_elements();
+        out.push_str(&format!(
+            "  {:<6} {:>10} {:>14}  {}\n",
+            "disk", "elements", "bytes", "load"
+        ));
+        for (d, (e, b)) in self.elements.iter().zip(&self.bytes).enumerate() {
+            let bar_len = if max == 0 {
+                0
+            } else {
+                ((*e as f64 / max as f64) * 40.0).round() as usize
+            };
+            out.push_str(&format!(
+                "  {d:<6} {e:>10} {b:>14}  {}\n",
+                "#".repeat(bar_len)
+            ));
+        }
+        out.push_str(&format!(
+            "  max {} / mean {:.1} -> imbalance {:.3}\n",
+            max,
+            self.mean_elements(),
+            self.imbalance()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reads_back() {
+        let b = DiskBoard::new(3);
+        b.record(0, 2, 200);
+        b.record(2, 4, 400);
+        b.record(0, 1, 100);
+        let s = b.snapshot();
+        assert_eq!(s.elements, vec![3, 0, 4]);
+        assert_eq!(s.bytes, vec![300, 0, 400]);
+        assert_eq!(s.max_elements(), 4);
+        assert_eq!(s.total_elements(), 7);
+        assert!((s.mean_elements() - 7.0 / 3.0).abs() < 1e-12);
+        assert!((s.imbalance() - 4.0 / (7.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_disk_is_ignored() {
+        let b = DiskBoard::new(2);
+        b.record(5, 1, 1);
+        assert_eq!(b.snapshot().total_elements(), 0);
+    }
+
+    #[test]
+    fn even_load_has_imbalance_one() {
+        let b = DiskBoard::new(4);
+        for d in 0..4 {
+            b.record(d, 5, 50);
+        }
+        let s = b.snapshot();
+        assert!((s.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_board_imbalance_is_zero() {
+        assert_eq!(DiskBoard::new(3).snapshot().imbalance(), 0.0);
+        assert_eq!(DiskBoard::new(0).snapshot().imbalance(), 0.0);
+    }
+
+    #[test]
+    fn table_lists_every_disk() {
+        let b = DiskBoard::new(2);
+        b.record(0, 3, 30);
+        let t = b.snapshot().table();
+        assert!(t.contains("imbalance"));
+        assert_eq!(t.lines().count(), 4); // header + 2 disks + footer
+    }
+}

@@ -1,0 +1,336 @@
+//! Fixed-bucket log-scale histogram with percentile readout.
+//!
+//! The bucket layout is the HDR-histogram idea cut to its core: values
+//! below [`SUB_BUCKETS`] get exact unit-width buckets; every power-of-two
+//! octave above that is split into [`SUB_BUCKETS`] linear sub-buckets.
+//! With 4 sub-buckets the relative quantisation error is bounded by
+//! 1/4 = 25 % (the width of a sub-bucket over its lower bound), which is
+//! plenty for latency percentiles, and the whole `u64` range fits in
+//! [`BUCKETS`] = 252 slots — small enough to snapshot by copying.
+//!
+//! Recording is a single relaxed `fetch_add` on the bucket plus relaxed
+//! updates of count/sum/min/max: no locks, no allocation, safe to call
+//! from every disk worker thread at once.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// log2 of the number of linear sub-buckets per octave.
+const SUB_BITS: u32 = 2;
+/// Linear sub-buckets per power-of-two octave.
+pub const SUB_BUCKETS: usize = 1 << SUB_BITS;
+/// Total bucket count covering the full `u64` range.
+pub const BUCKETS: usize = SUB_BUCKETS + (64 - SUB_BITS as usize) * SUB_BUCKETS;
+
+/// Bucket index a value lands in.
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let sub = ((v >> (msb - SUB_BITS)) & (SUB_BUCKETS as u64 - 1)) as usize;
+        SUB_BUCKETS + (msb - SUB_BITS) as usize * SUB_BUCKETS + sub
+    }
+}
+
+/// Smallest value that lands in bucket `i` (the bucket's inclusive
+/// lower bound).
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    if i < SUB_BUCKETS {
+        i as u64
+    } else {
+        let msb = SUB_BITS + ((i - SUB_BUCKETS) / SUB_BUCKETS) as u32;
+        let sub = ((i - SUB_BUCKETS) % SUB_BUCKETS) as u64;
+        (1u64 << msb) + (sub << (msb - SUB_BITS))
+    }
+}
+
+/// Largest value that lands in bucket `i` (inclusive upper bound).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i + 1 >= BUCKETS {
+        u64::MAX
+    } else {
+        bucket_lower_bound(i + 1) - 1
+    }
+}
+
+#[derive(Debug)]
+struct Core {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A cheap-to-clone handle to a shared log-scale histogram.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    core: Arc<Core>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Fresh, empty histogram.
+    pub fn new() -> Self {
+        Self {
+            core: Arc::new(Core {
+                buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, v: u64) {
+        let c = &self.core;
+        c.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(v, Ordering::Relaxed);
+        c.min.fetch_min(v, Ordering::Relaxed);
+        c.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a duration in microseconds (the workspace's latency unit).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let c = &self.core;
+        HistogramSnapshot {
+            buckets: c
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: c.count.load(Ordering::Relaxed),
+            sum: c.sum.load(Ordering::Relaxed),
+            min: c.min.load(Ordering::Relaxed),
+            max: c.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable snapshot of a [`Histogram`], with percentile readout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Arithmetic mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: an upper-bound estimate from
+    /// the bucket the q-th observation falls in, clamped to the exact
+    /// recorded `max` (so `percentile(1.0) == max`). Returns 0 when
+    /// empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_upper_bound(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.percentile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// One-line human summary, e.g.
+    /// `n=512 mean=84.2us p50=78us p95=140us p99=190us max=212us`.
+    pub fn summary(&self, unit: &str) -> String {
+        if self.count == 0 {
+            return "n=0".to_string();
+        }
+        format!(
+            "n={} mean={:.1}{u} p50={}{u} p95={}{u} p99={}{u} max={}{u}",
+            self.count,
+            self.mean(),
+            self.p50(),
+            self.p95(),
+            self.p99(),
+            self.max,
+            u = unit,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        for v in 0..SUB_BUCKETS as u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower_bound(v as usize), v);
+            assert_eq!(bucket_upper_bound(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_are_contiguous_and_ordered() {
+        // Every bucket's lower bound is exactly one past the previous
+        // bucket's upper bound: no gaps, no overlaps.
+        for i in 1..BUCKETS - 1 {
+            assert_eq!(
+                bucket_lower_bound(i),
+                bucket_upper_bound(i - 1) + 1,
+                "gap/overlap at bucket {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn index_and_bounds_are_inverse() {
+        // The lower and upper bound of every bucket index back to it,
+        // including across octave boundaries.
+        for i in 0..BUCKETS - 1 {
+            assert_eq!(bucket_index(bucket_lower_bound(i)), i);
+            assert_eq!(bucket_index(bucket_upper_bound(i)), i);
+        }
+        // Spot-check octave edges.
+        for v in [3u64, 4, 7, 8, 15, 16, 1023, 1024, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(bucket_lower_bound(i) <= v);
+            assert!(v <= bucket_upper_bound(i));
+        }
+    }
+
+    #[test]
+    fn relative_error_bounded_by_sub_bucket_width() {
+        // Upper bound of a bucket overshoots its lower bound by at most
+        // 1/SUB_BUCKETS (25 %) — the promised quantisation error.
+        for i in SUB_BUCKETS..BUCKETS - 1 {
+            let lo = bucket_lower_bound(i) as f64;
+            let hi = bucket_upper_bound(i) as f64;
+            assert!((hi - lo) / lo <= 1.0 / SUB_BUCKETS as f64 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn percentiles_of_uniform_ramp() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min(), 1);
+        assert_eq!(s.max, 1000);
+        // Upper-bound estimates: within one sub-bucket (25 %) above the
+        // exact quantile, never below it.
+        for (q, exact) in [(0.50, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let got = s.percentile(q) as f64;
+            assert!(got >= exact * 0.999, "p{q} too low: {got} < {exact}");
+            assert!(got <= exact * 1.25 + 1.0, "p{q} too high: {got} vs {exact}");
+        }
+        assert_eq!(s.percentile(1.0), 1000);
+        assert!((s.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_value_percentiles_are_exact() {
+        let h = Histogram::new();
+        h.record(42);
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 42);
+        assert_eq!(s.p99(), 42);
+        assert_eq!(s.percentile(0.0), 42);
+        assert_eq!(s.max, 42);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let s = Histogram::new().snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.summary("us"), "n=0");
+    }
+
+    #[test]
+    fn duration_recording_uses_micros() {
+        let h = Histogram::new();
+        h.record_duration(Duration::from_millis(3));
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max, 3000);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for v in 0..1000u64 {
+                        h.record(t * 1000 + v);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.snapshot().count, 4000);
+    }
+}

@@ -1,0 +1,79 @@
+//! Minimal JSON emission helpers.
+//!
+//! The workspace is offline and carries no serde; everything we emit is
+//! flat metric data (string keys, numbers, arrays of numbers), so a few
+//! composable helpers cover it. Values passed to [`object`] must already
+//! be valid JSON fragments — numbers from [`number`], nested objects
+//! from [`object`], or arrays from [`array_u64`].
+
+/// Escape a string for use as a JSON string literal (quotes included).
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format a float as a JSON number (finite values only; non-finite
+/// values become `null`, which JSON cannot represent as a number).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        // Trim to a stable, compact form; f64 round-trips are overkill
+        // for metric readouts.
+        format!("{v:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A JSON array of unsigned integers.
+pub fn array_u64(xs: &[u64]) -> String {
+    let body: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+    format!("[{}]", body.join(","))
+}
+
+/// A JSON object from `(key, already-serialised-value)` pairs.
+pub fn object(fields: &[(String, String)]) -> String {
+    let body: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| format!("{}:{}", string(k), v))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_and_arrays() {
+        assert_eq!(number(1.5), "1.5000");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(array_u64(&[1, 2, 3]), "[1,2,3]");
+        assert_eq!(array_u64(&[]), "[]");
+    }
+
+    #[test]
+    fn objects_nest() {
+        let inner = object(&[("a".to_string(), "1".to_string())]);
+        let outer = object(&[("x".to_string(), inner)]);
+        assert_eq!(outer, "{\"x\":{\"a\":1}}");
+    }
+}

@@ -1,0 +1,158 @@
+//! Network transport counters.
+//!
+//! Incremented by remote disk clients (`ecfrm-net`) and snapshotted into
+//! [`NetStats`] for reporting. These predate the [`Recorder`] registry
+//! (they came in with the shard service) and keep their struct shape
+//! because `ReadStats` embeds the snapshot per read; the store also
+//! folds the same values into its registry as plain counters.
+//!
+//! [`Recorder`]: crate::Recorder
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe network transport counters.
+#[derive(Debug, Default)]
+pub struct NetCounters {
+    /// Requests re-sent after an error or timeout.
+    pub retries: AtomicU64,
+    /// Hedge requests launched against a second connection.
+    pub hedges: AtomicU64,
+    /// Hedge requests whose response arrived before the primary's.
+    pub hedge_wins: AtomicU64,
+    /// Requests that hit their per-request deadline.
+    pub timeouts: AtomicU64,
+    /// Connections re-established after a transport error.
+    pub reconnects: AtomicU64,
+    /// Requests that exhausted every retry and returned failure.
+    pub failed_requests: AtomicU64,
+}
+
+impl NetCounters {
+    /// Fresh counters, all zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot the current values.
+    pub fn snapshot(&self) -> NetStats {
+        NetStats {
+            retries: self.retries.load(Ordering::Relaxed),
+            hedges: self.hedges.load(Ordering::Relaxed),
+            hedge_wins: self.hedge_wins.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            failed_requests: self.failed_requests.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of [`NetCounters`]. Subtraction gives the
+/// delta over a window (e.g. one `get_range` call).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NetStats {
+    /// Requests re-sent after an error or timeout.
+    pub retries: u64,
+    /// Hedge requests launched against a second connection.
+    pub hedges: u64,
+    /// Hedge requests whose response arrived before the primary's.
+    pub hedge_wins: u64,
+    /// Requests that hit their per-request deadline.
+    pub timeouts: u64,
+    /// Connections re-established after a transport error.
+    pub reconnects: u64,
+    /// Requests that exhausted every retry and returned failure.
+    pub failed_requests: u64,
+}
+
+impl NetStats {
+    /// True when every counter is zero (e.g. a purely local read).
+    pub fn is_zero(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Counter-wise sum.
+    pub fn merge(&self, other: &Self) -> Self {
+        Self {
+            retries: self.retries + other.retries,
+            hedges: self.hedges + other.hedges,
+            hedge_wins: self.hedge_wins + other.hedge_wins,
+            timeouts: self.timeouts + other.timeouts,
+            reconnects: self.reconnects + other.reconnects,
+            failed_requests: self.failed_requests + other.failed_requests,
+        }
+    }
+
+    /// Counter-wise saturating difference (`self - earlier`), for
+    /// windowed deltas across a single operation.
+    pub fn since(&self, earlier: &Self) -> Self {
+        Self {
+            retries: self.retries.saturating_sub(earlier.retries),
+            hedges: self.hedges.saturating_sub(earlier.hedges),
+            hedge_wins: self.hedge_wins.saturating_sub(earlier.hedge_wins),
+            timeouts: self.timeouts.saturating_sub(earlier.timeouts),
+            reconnects: self.reconnects.saturating_sub(earlier.reconnects),
+            failed_requests: self.failed_requests.saturating_sub(earlier.failed_requests),
+        }
+    }
+
+    /// Fold this delta into a [`Recorder`](crate::Recorder)'s counters
+    /// under `net.*` names, so transport activity shows up alongside
+    /// the rest of a subsystem's metrics.
+    pub fn record_into(&self, recorder: &crate::Recorder) {
+        if self.is_zero() {
+            return;
+        }
+        for (name, v) in [
+            ("net.retries", self.retries),
+            ("net.hedges", self.hedges),
+            ("net.hedge_wins", self.hedge_wins),
+            ("net.timeouts", self.timeouts),
+            ("net.reconnects", self.reconnects),
+            ("net.failed_requests", self.failed_requests),
+        ] {
+            if v > 0 {
+                recorder.counter(name).add(v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_counters_snapshot_merge_since() {
+        let c = NetCounters::new();
+        assert!(c.snapshot().is_zero());
+        c.retries.fetch_add(3, Ordering::Relaxed);
+        c.timeouts.fetch_add(1, Ordering::Relaxed);
+        let a = c.snapshot();
+        assert_eq!((a.retries, a.timeouts), (3, 1));
+        c.hedges.fetch_add(2, Ordering::Relaxed);
+        c.retries.fetch_add(1, Ordering::Relaxed);
+        let b = c.snapshot();
+        let d = b.since(&a);
+        assert_eq!((d.retries, d.hedges, d.timeouts), (1, 2, 0));
+        let m = a.merge(&d);
+        assert_eq!(m, b);
+    }
+
+    #[test]
+    fn record_into_folds_nonzero_counters() {
+        let r = crate::Recorder::new();
+        NetStats::default().record_into(&r);
+        assert!(r.snapshot().counters.is_empty());
+        let d = NetStats {
+            retries: 2,
+            timeouts: 1,
+            ..Default::default()
+        };
+        d.record_into(&r);
+        d.record_into(&r);
+        let s = r.snapshot();
+        assert_eq!(s.counters["net.retries"], 4);
+        assert_eq!(s.counters["net.timeouts"], 2);
+        assert!(!s.counters.contains_key("net.hedges"));
+    }
+}

@@ -1,0 +1,362 @@
+//! The [`Recorder`] registry and its scalar instruments.
+//!
+//! A `Recorder` is the handle a subsystem threads through its stack:
+//! cloning it clones one `Arc`. Instruments are registered by name on
+//! first use; the lookup takes a short mutex hold, but the returned
+//! [`Counter`]/[`Gauge`]/[`Histogram`]/[`DiskBoard`] handles are
+//! lock-free, so hot paths resolve their instruments once (at
+//! construction time) and then only touch atomics.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ecfrm_util::Mutex;
+
+use crate::board::{DiskBoard, DiskBoardSnapshot};
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::json;
+
+/// Monotonically increasing counter behind a cheap-clone handle.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Signed point-in-time value (queue depths, open connections).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Fresh gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add a (possibly negative) delta.
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+    boards: Mutex<BTreeMap<String, DiskBoard>>,
+}
+
+/// A cheap-to-clone handle to a metrics registry.
+///
+/// Every `clone` shares the same registry, so a `Recorder` can be handed
+/// to each layer of the stack and snapshotted once at the top.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    registry: Arc<Registry>,
+}
+
+impl Recorder {
+    /// Fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, registering it on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.registry.counters.lock();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.registry.gauges.lock();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.registry.histograms.lock();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The disk board named `name`, registering it on first use with
+    /// `n_disks` slots (an existing board is returned as-is; boards are
+    /// fixed-size).
+    pub fn disk_board(&self, name: &str, n_disks: usize) -> DiskBoard {
+        let mut map = self.registry.boards.lock();
+        map.entry(name.to_string())
+            .or_insert_with(|| DiskBoard::new(n_disks))
+            .clone()
+    }
+
+    /// Point-in-time readout of every registered instrument.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .registry
+                .counters
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .registry
+                .gauges
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .registry
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+            boards: self
+                .registry
+                .boards
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time readout of a [`Recorder`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Disk-board snapshots by name.
+    pub boards: BTreeMap<String, DiskBoardSnapshot>,
+}
+
+impl Snapshot {
+    /// True when nothing was ever registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.boards.is_empty()
+    }
+
+    /// Flatten everything to `(name, u64)` pairs — the shape the wire
+    /// protocol's `Stats` message carries. Histograms flatten to their
+    /// `count`/`p50`/`p95`/`p99`/`max` (suffixed names); boards to
+    /// per-disk element counts plus totals; gauges are clamped at zero.
+    pub fn flatten(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        for (k, v) in &self.counters {
+            out.push((k.clone(), *v));
+        }
+        for (k, v) in &self.gauges {
+            out.push((k.clone(), (*v).max(0) as u64));
+        }
+        for (k, h) in &self.histograms {
+            out.push((format!("{k}.count"), h.count));
+            out.push((format!("{k}.p50"), h.p50()));
+            out.push((format!("{k}.p95"), h.p95()));
+            out.push((format!("{k}.p99"), h.p99()));
+            out.push((format!("{k}.max"), h.max));
+        }
+        for (k, b) in &self.boards {
+            for (d, (elems, bytes)) in b.elements.iter().zip(&b.bytes).enumerate() {
+                out.push((format!("{k}.disk{d}.elements"), *elems));
+                out.push((format!("{k}.disk{d}.bytes"), *bytes));
+            }
+        }
+        out
+    }
+
+    /// Human-readable rendering: counters and gauges as aligned
+    /// `name value` lines, each histogram as a one-line summary (values
+    /// are microseconds by convention), each board as a per-disk table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(0)
+            .max(8);
+        for (k, v) in &self.counters {
+            out.push_str(&format!("{k:<width$} {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("{k:<width$} {v}\n"));
+        }
+        for (k, h) in &self.histograms {
+            out.push_str(&format!("{k}: {}\n", h.summary("us")));
+        }
+        for (k, b) in &self.boards {
+            out.push_str(&format!("{k}:\n{}", b.table()));
+        }
+        out
+    }
+
+    /// Serialise to a JSON object (hand-rolled; the offline workspace
+    /// carries no serde). Histograms become objects with
+    /// `count/mean/p50/p95/p99/max`; boards become objects with
+    /// per-disk arrays plus `max/mean/imbalance`.
+    pub fn to_json(&self) -> String {
+        let mut root = Vec::new();
+        let counters: Vec<(String, String)> = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_string()))
+            .collect();
+        root.push(("counters".to_string(), json::object(&counters)));
+        let gauges: Vec<(String, String)> = self
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_string()))
+            .collect();
+        root.push(("gauges".to_string(), json::object(&gauges)));
+        let hists: Vec<(String, String)> = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let fields = vec![
+                    ("count".to_string(), h.count.to_string()),
+                    ("mean".to_string(), json::number(h.mean())),
+                    ("p50".to_string(), h.p50().to_string()),
+                    ("p95".to_string(), h.p95().to_string()),
+                    ("p99".to_string(), h.p99().to_string()),
+                    ("max".to_string(), h.max.to_string()),
+                ];
+                (k.clone(), json::object(&fields))
+            })
+            .collect();
+        root.push(("histograms".to_string(), json::object(&hists)));
+        let boards: Vec<(String, String)> = self
+            .boards
+            .iter()
+            .map(|(k, b)| {
+                let fields = vec![
+                    ("elements".to_string(), json::array_u64(&b.elements)),
+                    ("bytes".to_string(), json::array_u64(&b.bytes)),
+                    ("max".to_string(), b.max_elements().to_string()),
+                    ("mean".to_string(), json::number(b.mean_elements())),
+                    ("imbalance".to_string(), json::number(b.imbalance())),
+                ];
+                (k.clone(), json::object(&fields))
+            })
+            .collect();
+        root.push(("boards".to_string(), json::object(&boards)));
+        json::object(&root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let r = Recorder::new();
+        let c = r.counter("reads");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("reads").get(), 5);
+        let g = r.gauge("depth");
+        g.set(7);
+        g.add(-2);
+        assert_eq!(r.gauge("depth").get(), 5);
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let r = Recorder::new();
+        let r2 = r.clone();
+        r.counter("x").add(3);
+        r2.counter("x").add(4);
+        assert_eq!(r.snapshot().counters["x"], 7);
+    }
+
+    #[test]
+    fn snapshot_collects_everything() {
+        let r = Recorder::new();
+        r.counter("c").inc();
+        r.gauge("g").set(-1);
+        r.histogram("h").record(10);
+        r.disk_board("d", 2).record(1, 3, 300);
+        let s = r.snapshot();
+        assert_eq!(s.counters["c"], 1);
+        assert_eq!(s.gauges["g"], -1);
+        assert_eq!(s.histograms["h"].count, 1);
+        assert_eq!(s.boards["d"].elements, vec![0, 3]);
+        assert!(!s.is_empty());
+        assert!(Recorder::new().snapshot().is_empty());
+    }
+
+    #[test]
+    fn flatten_has_histogram_percentiles_and_board_disks() {
+        let r = Recorder::new();
+        r.counter("reads").add(2);
+        r.histogram("lat_us").record(100);
+        r.disk_board("load", 2).record(0, 1, 50);
+        let flat = r.snapshot().flatten();
+        let get = |name: &str| flat.iter().find(|(k, _)| k == name).map(|(_, v)| *v);
+        assert_eq!(get("reads"), Some(2));
+        assert_eq!(get("lat_us.count"), Some(1));
+        assert!(get("lat_us.p99").unwrap() >= 100);
+        assert_eq!(get("load.disk0.elements"), Some(1));
+        assert_eq!(get("load.disk1.bytes"), Some(0));
+    }
+
+    #[test]
+    fn render_and_json_are_well_formed() {
+        let r = Recorder::new();
+        r.counter("reads").add(2);
+        r.histogram("lat_us").record(100);
+        r.disk_board("load", 2).record(0, 1, 50);
+        let s = r.snapshot();
+        let text = s.render();
+        assert!(text.contains("reads"));
+        assert!(text.contains("p99"));
+        let js = s.to_json();
+        assert!(js.starts_with('{') && js.ends_with('}'));
+        assert!(js.contains("\"counters\""));
+        assert!(js.contains("\"reads\":2"));
+        assert!(js.contains("\"imbalance\""));
+    }
+}

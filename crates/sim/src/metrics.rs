@@ -1,7 +1,11 @@
-//! Small statistics helpers for the experiment harnesses, plus the
-//! network transport counters surfaced by remote disk backends.
+//! Small statistics helpers for the experiment harnesses.
+//!
+//! The network transport counters that used to live here moved to
+//! `ecfrm-obs` (the observability substrate); they are re-exported
+//! under their old names so existing `ecfrm_sim::{NetCounters,
+//! NetStats}` imports keep working.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+pub use ecfrm_obs::{NetCounters, NetStats};
 
 /// Bytes over milliseconds, reported as MB/s (1 MB = 10^6 bytes, matching
 /// the disk model's transfer-rate convention and the paper's MB/s axes).
@@ -64,93 +68,6 @@ impl Summary {
     }
 }
 
-/// Thread-safe network transport counters, incremented by remote disk
-/// clients (`ecfrm-net`) and snapshotted into [`NetStats`] for reporting.
-#[derive(Debug, Default)]
-pub struct NetCounters {
-    /// Requests re-sent after an error or timeout.
-    pub retries: AtomicU64,
-    /// Hedge requests launched against a second connection.
-    pub hedges: AtomicU64,
-    /// Hedge requests whose response arrived before the primary's.
-    pub hedge_wins: AtomicU64,
-    /// Requests that hit their per-request deadline.
-    pub timeouts: AtomicU64,
-    /// Connections re-established after a transport error.
-    pub reconnects: AtomicU64,
-    /// Requests that exhausted every retry and returned failure.
-    pub failed_requests: AtomicU64,
-}
-
-impl NetCounters {
-    /// Fresh counters, all zero.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Snapshot the current values.
-    pub fn snapshot(&self) -> NetStats {
-        NetStats {
-            retries: self.retries.load(Ordering::Relaxed),
-            hedges: self.hedges.load(Ordering::Relaxed),
-            hedge_wins: self.hedge_wins.load(Ordering::Relaxed),
-            timeouts: self.timeouts.load(Ordering::Relaxed),
-            reconnects: self.reconnects.load(Ordering::Relaxed),
-            failed_requests: self.failed_requests.load(Ordering::Relaxed),
-        }
-    }
-}
-
-/// A point-in-time snapshot of [`NetCounters`]. Subtraction gives the
-/// delta over a window (e.g. one `get_range` call).
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
-pub struct NetStats {
-    /// Requests re-sent after an error or timeout.
-    pub retries: u64,
-    /// Hedge requests launched against a second connection.
-    pub hedges: u64,
-    /// Hedge requests whose response arrived before the primary's.
-    pub hedge_wins: u64,
-    /// Requests that hit their per-request deadline.
-    pub timeouts: u64,
-    /// Connections re-established after a transport error.
-    pub reconnects: u64,
-    /// Requests that exhausted every retry and returned failure.
-    pub failed_requests: u64,
-}
-
-impl NetStats {
-    /// True when every counter is zero (e.g. a purely local read).
-    pub fn is_zero(&self) -> bool {
-        *self == Self::default()
-    }
-
-    /// Counter-wise sum.
-    pub fn merge(&self, other: &Self) -> Self {
-        Self {
-            retries: self.retries + other.retries,
-            hedges: self.hedges + other.hedges,
-            hedge_wins: self.hedge_wins + other.hedge_wins,
-            timeouts: self.timeouts + other.timeouts,
-            reconnects: self.reconnects + other.reconnects,
-            failed_requests: self.failed_requests + other.failed_requests,
-        }
-    }
-
-    /// Counter-wise saturating difference (`self - earlier`), for
-    /// windowed deltas across a single operation.
-    pub fn since(&self, earlier: &Self) -> Self {
-        Self {
-            retries: self.retries.saturating_sub(earlier.retries),
-            hedges: self.hedges.saturating_sub(earlier.hedges),
-            hedge_wins: self.hedge_wins.saturating_sub(earlier.hedge_wins),
-            timeouts: self.timeouts.saturating_sub(earlier.timeouts),
-            reconnects: self.reconnects.saturating_sub(earlier.reconnects),
-            failed_requests: self.failed_requests.saturating_sub(earlier.failed_requests),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,22 +106,5 @@ mod tests {
     #[should_panic]
     fn zero_time_speed_panics() {
         speed_mb_s(1, 0.0);
-    }
-
-    #[test]
-    fn net_counters_snapshot_merge_since() {
-        let c = NetCounters::new();
-        assert!(c.snapshot().is_zero());
-        c.retries.fetch_add(3, Ordering::Relaxed);
-        c.timeouts.fetch_add(1, Ordering::Relaxed);
-        let a = c.snapshot();
-        assert_eq!((a.retries, a.timeouts), (3, 1));
-        c.hedges.fetch_add(2, Ordering::Relaxed);
-        c.retries.fetch_add(1, Ordering::Relaxed);
-        let b = c.snapshot();
-        let d = b.since(&a);
-        assert_eq!((d.retries, d.hedges, d.timeouts), (1, 2, 0));
-        let m = a.merge(&d);
-        assert_eq!(m, b);
     }
 }

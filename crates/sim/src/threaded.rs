@@ -13,6 +13,7 @@ use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
 use std::time::Duration;
 
+use ecfrm_obs::DiskBoard;
 use ecfrm_util::Mutex;
 
 use crate::metrics::NetStats;
@@ -132,10 +133,15 @@ enum Job {
 }
 
 /// One worker thread per disk; jobs dispatched over channels.
+///
+/// Every served element read is tallied on a per-disk [`DiskBoard`]
+/// (count + bytes), so the paper's "most-loaded disk is the bottleneck"
+/// is directly observable per layout via [`ThreadedArray::load_board`].
 pub struct ThreadedArray {
     disks: Vec<Arc<dyn DiskBackend>>,
     senders: Vec<Sender<Job>>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    board: DiskBoard,
 }
 
 impl std::fmt::Debug for ThreadedArray {
@@ -166,17 +172,23 @@ impl ThreadedArray {
     pub fn from_backends(disks: Vec<Arc<dyn DiskBackend>>) -> Self {
         assert!(!disks.is_empty(), "array needs at least one disk");
         let n = disks.len();
+        let board = DiskBoard::new(n);
         let mut senders = Vec::with_capacity(n);
         let mut workers = Vec::with_capacity(n);
-        for disk in &disks {
+        for (d, disk) in disks.iter().enumerate() {
             let (tx, rx) = channel::<Job>();
             let disk = Arc::clone(disk);
+            let board = board.clone();
             senders.push(tx);
             workers.push(std::thread::spawn(move || {
                 while let Ok(job) = rx.recv() {
                     match job {
                         Job::Read { tag, offset, reply } => {
-                            let _ = reply.send((tag, disk.read(offset)));
+                            let bytes = disk.read(offset);
+                            if let Some(b) = &bytes {
+                                board.record(d, 1, b.len() as u64);
+                            }
+                            let _ = reply.send((tag, bytes));
                         }
                         Job::Write {
                             offset,
@@ -195,6 +207,7 @@ impl ThreadedArray {
             disks,
             senders,
             workers,
+            board,
         }
     }
 
@@ -206,6 +219,13 @@ impl ThreadedArray {
     /// Direct handle to a disk (for failure injection and inspection).
     pub fn disk(&self, d: usize) -> &Arc<dyn DiskBackend> {
         &self.disks[d]
+    }
+
+    /// The per-disk served-read tally board (elements + bytes per disk,
+    /// cumulative since construction). Cheap to clone; snapshot it for
+    /// a point-in-time load table.
+    pub fn load_board(&self) -> &DiskBoard {
+        &self.board
     }
 
     /// Write a batch of elements, waiting for all to land.
@@ -353,5 +373,21 @@ mod tests {
         let a = ThreadedArray::new(2);
         a.write_batch(vec![]);
         assert!(a.read_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn load_board_tallies_served_reads_per_disk() {
+        let a = ThreadedArray::new(3);
+        a.write_batch(vec![
+            ((0, 0), vec![1, 1]),
+            ((0, 1), vec![2, 2]),
+            ((1, 0), vec![3, 3]),
+        ]);
+        a.read_batch(&[(0, 0), (0, 1), (1, 0), (2, 0)]); // (2,0) misses
+        let s = a.load_board().snapshot();
+        assert_eq!(s.elements, vec![2, 1, 0]); // misses are not served
+        assert_eq!(s.bytes, vec![4, 2, 0]);
+        a.read_batch(&[(1, 0)]);
+        assert_eq!(a.load_board().snapshot().elements, vec![2, 2, 0]);
     }
 }

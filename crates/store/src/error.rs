@@ -23,6 +23,12 @@ pub enum StoreError {
     NoSuchDisk(usize),
     /// Decoding failed.
     Code(CodeError),
+    /// A network-layer failure reached the store (remote shards only).
+    ///
+    /// Carries the transport error's message; `ecfrm-net` provides
+    /// `From<NetError> for StoreError` so callers can `?` across the
+    /// store/network boundary without stringifying.
+    Net(String),
 }
 
 impl std::fmt::Display for StoreError {
@@ -36,6 +42,7 @@ impl std::fmt::Display for StoreError {
             StoreError::DataLoss(msg) => write!(f, "data loss: {msg}"),
             StoreError::NoSuchDisk(d) => write!(f, "no such disk: {d}"),
             StoreError::Code(e) => write!(f, "decode error: {e}"),
+            StoreError::Net(msg) => write!(f, "network error: {msg}"),
         }
     }
 }

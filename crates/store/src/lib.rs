@@ -18,7 +18,9 @@
 //! use ecfrm_core::Scheme;
 //! use ecfrm_store::ObjectStore;
 //!
-//! let scheme = Scheme::ecfrm(Arc::new(LrcCode::new(6, 2, 2)));
+//! let scheme = Scheme::builder(Arc::new(LrcCode::new(6, 2, 2)))
+//!     .layout(ecfrm_core::LayoutKind::EcFrm)
+//!     .build();
 //! let store = ObjectStore::new(scheme, 1024); // 1 KiB elements
 //! store.put("song.mp3", &vec![7u8; 10_000]).unwrap();
 //!

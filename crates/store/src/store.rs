@@ -4,12 +4,41 @@ use std::collections::{BTreeSet, HashMap};
 
 use ecfrm_util::{par_map, Mutex};
 
-use ecfrm_core::{DiskRecovery, Scheme};
+use ecfrm_core::{DiskRecovery, ReadCtx, Scheme};
 use ecfrm_layout::Loc;
+use ecfrm_obs::{Counter, DiskBoard, Histogram, Recorder};
 use ecfrm_sim::{NetStats, ThreadedArray};
 
 use crate::error::StoreError;
 use crate::meta::{ObjectMeta, ReadStats, ScrubReport, StoreStats};
+
+/// Pre-resolved instrument handles for the read hot path: one registry
+/// lookup each at construction, then pure atomics per read.
+struct StoreMetrics {
+    reads: Counter,
+    degraded_reads: Counter,
+    replans: Counter,
+    fetched_elements: Counter,
+    repair_elements: Counter,
+    plan_us: Histogram,
+    read_us: Histogram,
+    disk_load: DiskBoard,
+}
+
+impl StoreMetrics {
+    fn new(recorder: &Recorder, n_disks: usize) -> Self {
+        Self {
+            reads: recorder.counter("reads"),
+            degraded_reads: recorder.counter("degraded_reads"),
+            replans: recorder.counter("replans"),
+            fetched_elements: recorder.counter("fetched_elements"),
+            repair_elements: recorder.counter("repair_elements"),
+            plan_us: recorder.histogram("plan_us"),
+            read_us: recorder.histogram("read_us"),
+            disk_load: recorder.disk_board("disk_load", n_disks),
+        }
+    }
+}
 
 struct Inner {
     catalog: HashMap<String, ObjectMeta>,
@@ -42,6 +71,11 @@ pub struct ObjectStore {
     /// Solved repair-coefficient vectors, reused across degraded reads
     /// with the same erasure geometry.
     decoder_cache: ecfrm_codes::DecoderCache,
+    /// Observability registry: read/plan/decode latency histograms,
+    /// per-disk load board, read counters. Snapshot via
+    /// [`ObjectStore::recorder`].
+    recorder: Recorder,
+    metrics: StoreMetrics,
 }
 
 impl std::fmt::Debug for ObjectStore {
@@ -80,8 +114,12 @@ impl ObjectStore {
             "array size must match the scheme"
         );
         let decoder_cache = ecfrm_codes::DecoderCache::new(scheme.code().generator().clone());
+        let recorder = Recorder::new();
+        let metrics = StoreMetrics::new(&recorder, scheme.n_disks());
         Self {
             decoder_cache,
+            recorder,
+            metrics,
             scheme,
             element_size,
             array,
@@ -99,6 +137,15 @@ impl ObjectStore {
     /// The bound scheme.
     pub fn scheme(&self) -> &Scheme {
         &self.scheme
+    }
+
+    /// The store's metrics registry. Counters: `reads`,
+    /// `degraded_reads`, `replans`, `fetched_elements`,
+    /// `repair_elements`, `decoded_elements`, `net.*` (transport
+    /// deltas). Histograms (µs): `plan_us`, `read_us`, `decode_us`.
+    /// Disk board: `disk_load` (planned fetches per disk).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Element size in bytes.
@@ -289,11 +336,13 @@ impl ObjectStore {
         let mut replans = 0usize;
         let (elements, plan) = loop {
             let down: Vec<usize> = suspects.iter().copied().collect();
+            let t_plan = std::time::Instant::now();
             let plan = if down.is_empty() {
                 self.scheme.normal_read_plan(first, count)
             } else {
                 self.scheme.degraded_read_plan(first, count, &down)
             };
+            self.metrics.plan_us.record_duration(t_plan.elapsed());
             if !plan.unreadable.is_empty() {
                 return Err(StoreError::DataLoss(format!(
                     "{} elements unrecoverable under failed disks {down:?}",
@@ -321,11 +370,13 @@ impl ObjectStore {
                 }
             }
             if newly_suspect.is_empty() {
-                let elements = self.scheme.assemble_read_cached(
+                let elements = self.scheme.assemble_read(
                     first,
                     count,
                     &fetched,
-                    &self.decoder_cache,
+                    ReadCtx::new()
+                        .with_cache(&self.decoder_cache)
+                        .with_recorder(&self.recorder),
                 )?;
                 break (elements, plan);
             }
@@ -344,6 +395,7 @@ impl ObjectStore {
             flat.extend_from_slice(&e);
         }
         let begin = (meta.offset - first * self.element_size as u64) as usize;
+        let net_delta = self.net_snapshot().since(&net_before);
         let stats = ReadStats {
             requested_elements: count,
             fetched_elements: plan.total_fetched(),
@@ -352,9 +404,26 @@ impl ObjectStore {
             cost: plan.cost(),
             degraded: !suspects.is_empty(),
             replans,
-            net: self.net_snapshot().since(&net_before),
+            net: net_delta,
             elapsed: t0.elapsed(),
         };
+
+        let m = &self.metrics;
+        m.reads.inc();
+        if stats.degraded {
+            m.degraded_reads.inc();
+        }
+        if replans > 0 {
+            m.replans.add(replans as u64);
+        }
+        m.fetched_elements.add(stats.fetched_elements as u64);
+        m.repair_elements.add(stats.repair_elements as u64);
+        for f in &plan.fetches {
+            m.disk_load.record(f.loc.disk, 1, self.element_size as u64);
+        }
+        m.read_us.record_duration(stats.elapsed);
+        net_delta.record_into(&self.recorder);
+
         Ok((flat[begin..begin + len as usize].to_vec(), stats))
     }
 
@@ -371,7 +440,10 @@ impl ObjectStore {
     /// use ecfrm_store::ObjectStore;
     ///
     /// let store = ObjectStore::new(
-    ///     Scheme::ecfrm(Arc::new(RsCode::vandermonde(6, 3))), 512);
+    ///     Scheme::builder(Arc::new(RsCode::vandermonde(6, 3)))
+    ///         .layout(ecfrm_core::LayoutKind::EcFrm)
+    ///         .build(),
+    ///     512);
     /// store.put("x", &vec![1u8; 40_000]).unwrap();
     /// assert!(store.scrub().unwrap().is_clean());
     /// ```
@@ -538,10 +610,15 @@ impl ObjectStore {
 mod tests {
     use super::*;
     use ecfrm_codes::{CandidateCode, LrcCode, RsCode};
+    use ecfrm_core::LayoutKind;
     use std::sync::Arc;
 
+    fn ecfrm_scheme(code: Arc<dyn CandidateCode>) -> Scheme {
+        Scheme::builder(code).layout(LayoutKind::EcFrm).build()
+    }
+
     fn lrc_store() -> ObjectStore {
-        ObjectStore::new(Scheme::ecfrm(Arc::new(LrcCode::new(6, 2, 2))), 64)
+        ObjectStore::new(ecfrm_scheme(Arc::new(LrcCode::new(6, 2, 2))), 64)
     }
 
     fn blob(len: usize, seed: u8) -> Vec<u8> {
@@ -647,7 +724,7 @@ mod tests {
 
     #[test]
     fn too_many_failures_is_data_loss_not_garbage() {
-        let store = ObjectStore::new(Scheme::ecfrm(Arc::new(RsCode::vandermonde(6, 3))), 64);
+        let store = ObjectStore::new(ecfrm_scheme(Arc::new(RsCode::vandermonde(6, 3))), 64);
         let data = blob(10_000, 9);
         store.put("x", &data).unwrap();
         store.get("x").unwrap(); // seal
@@ -681,11 +758,8 @@ mod tests {
     #[test]
     fn recovery_works_for_every_disk_and_scheme_form() {
         let code: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(6, 3));
-        for scheme in [
-            Scheme::standard(code.clone()),
-            Scheme::rotated(code.clone()),
-            Scheme::ecfrm(code.clone()),
-        ] {
+        for kind in [LayoutKind::Standard, LayoutKind::Rotated, LayoutKind::EcFrm] {
+            let scheme = Scheme::builder(code.clone()).layout(kind).build();
             let name = scheme.name();
             let store = ObjectStore::new(scheme, 32);
             let data = blob(9_000, 11);
@@ -721,7 +795,7 @@ mod tests {
 
     #[test]
     fn recover_beyond_tolerance_is_data_loss() {
-        let store = ObjectStore::new(Scheme::ecfrm(Arc::new(RsCode::vandermonde(6, 3))), 64);
+        let store = ObjectStore::new(ecfrm_scheme(Arc::new(RsCode::vandermonde(6, 3))), 64);
         store.put("x", &blob(5_000, 14)).unwrap();
         store.flush();
         for d in [0usize, 1, 2, 3] {
@@ -773,7 +847,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("ecfrm-store-files-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
-        let scheme = Scheme::ecfrm(Arc::new(LrcCode::new(6, 2, 2)));
+        let scheme = ecfrm_scheme(Arc::new(LrcCode::new(6, 2, 2)));
         let backends: Vec<Arc<dyn DiskBackend>> = (0..scheme.n_disks())
             .map(|d| {
                 Arc::new(FileDisk::create(dir.join(format!("d{d}.bin")), 64).unwrap())

@@ -17,12 +17,12 @@
 use std::sync::Arc;
 
 use ecfrm::codes::{CandidateCode, RsCode};
-use ecfrm::core::{DiskRecovery, Scheme};
+use ecfrm::core::{DiskRecovery, LayoutKind, Scheme};
 use ecfrm::store::ObjectStore;
 
 fn main() {
     let code: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(6, 3));
-    let scheme = Scheme::ecfrm(code);
+    let scheme = Scheme::builder(code).layout(LayoutKind::EcFrm).build();
     println!("scheme: {} (tolerates any 3 of 9 disks)\n", scheme.name());
 
     let store = ObjectStore::new(scheme.clone(), 8192);

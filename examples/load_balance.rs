@@ -12,7 +12,7 @@
 use std::sync::Arc;
 
 use ecfrm::codes::{CandidateCode, LrcCode};
-use ecfrm::core::{ReadPlan, Scheme};
+use ecfrm::core::{LayoutKind, ReadPlan, Scheme};
 
 fn show(title: &str, plan: &ReadPlan, failed: &[usize]) {
     println!("{title}");
@@ -30,9 +30,11 @@ fn show(title: &str, plan: &ReadPlan, failed: &[usize]) {
 
 fn main() {
     let code: Arc<dyn CandidateCode> = Arc::new(LrcCode::new(6, 2, 2));
-    let standard = Scheme::standard(code.clone());
-    let rotated = Scheme::rotated(code.clone());
-    let ecfrm = Scheme::ecfrm(code);
+    let standard = Scheme::builder(code.clone()).build();
+    let rotated = Scheme::builder(code.clone())
+        .layout(LayoutKind::Rotated)
+        .build();
+    let ecfrm = Scheme::builder(code).layout(LayoutKind::EcFrm).build();
 
     println!("== Figure 3: the 8-element read bottleneck ==\n");
     show(

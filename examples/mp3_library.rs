@@ -15,7 +15,7 @@
 use std::sync::Arc;
 
 use ecfrm::codes::{CandidateCode, LrcCode};
-use ecfrm::core::Scheme;
+use ecfrm::core::{LayoutKind, Scheme};
 use ecfrm::sim::{mean, speed_mb_s, ArraySim, DiskModel};
 use ecfrm::store::ObjectStore;
 use ecfrm::util::Rng;
@@ -39,7 +39,12 @@ fn main() {
     let total_mb: usize = songs.iter().map(|(_, s)| s / ELEMENT).sum();
     println!("library: {} songs, {total_mb} MB total\n", songs.len());
 
-    for scheme in [Scheme::standard(code.clone()), Scheme::ecfrm(code.clone())] {
+    for scheme in [
+        Scheme::builder(code.clone()).build(),
+        Scheme::builder(code.clone())
+            .layout(LayoutKind::EcFrm)
+            .build(),
+    ] {
         let name = scheme.name();
         let sim = ArraySim::uniform(scheme.n_disks(), DiskModel::savvio_10k3(), ELEMENT);
         let store = ObjectStore::new(scheme, ELEMENT);

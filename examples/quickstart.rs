@@ -11,7 +11,7 @@
 use std::sync::Arc;
 
 use ecfrm::codes::{CandidateCode, LrcCode};
-use ecfrm::core::Scheme;
+use ecfrm::core::{LayoutKind, Scheme};
 use ecfrm::store::ObjectStore;
 
 fn main() {
@@ -25,9 +25,13 @@ fn main() {
     // 2. Bind it to layouts and compare the bottleneck of an 8-element
     //    read (paper Figure 3 vs Figure 7(a)).
     for scheme in [
-        Scheme::standard(code.clone()),
-        Scheme::rotated(code.clone()),
-        Scheme::ecfrm(code.clone()),
+        Scheme::builder(code.clone()).build(),
+        Scheme::builder(code.clone())
+            .layout(LayoutKind::Rotated)
+            .build(),
+        Scheme::builder(code.clone())
+            .layout(LayoutKind::EcFrm)
+            .build(),
     ] {
         let plan = scheme.normal_read_plan(0, 8);
         println!(
@@ -40,7 +44,10 @@ fn main() {
     println!();
 
     // 3. The full storage system over the EC-FRM form.
-    let store = ObjectStore::new(Scheme::ecfrm(code), 4096);
+    let store = ObjectStore::new(
+        Scheme::builder(code).layout(LayoutKind::EcFrm).build(),
+        4096,
+    );
     let payload: Vec<u8> = (0..1_000_000u32).map(|i| (i % 251) as u8).collect();
     store.put("dataset.bin", &payload).expect("put");
     let read = store.get("dataset.bin").expect("normal read");

@@ -28,12 +28,12 @@
 //! ```
 //! use std::sync::Arc;
 //! use ecfrm::codes::LrcCode;
-//! use ecfrm::core::Scheme;
+//! use ecfrm::core::{LayoutKind, Scheme};
 //!
 //! // Transform (6,2,2) LRC into its EC-FRM form and compare read plans.
 //! let code = Arc::new(LrcCode::new(6, 2, 2));
-//! let standard = Scheme::standard(code.clone());
-//! let ecfrm = Scheme::ecfrm(code);
+//! let standard = Scheme::builder(code.clone()).build();
+//! let ecfrm = Scheme::builder(code).layout(LayoutKind::EcFrm).build();
 //!
 //! // Paper Figure 3 vs Figure 7(a): the 8-element read's bottleneck.
 //! assert_eq!(standard.normal_read_plan(0, 8).max_load(), 2);
@@ -45,6 +45,7 @@ pub use ecfrm_core as core;
 pub use ecfrm_gf as gf;
 pub use ecfrm_layout as layout;
 pub use ecfrm_net as net;
+pub use ecfrm_obs as obs;
 pub use ecfrm_sim as sim;
 pub use ecfrm_store as store;
 pub use ecfrm_util as util;

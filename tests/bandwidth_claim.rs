@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use ecfrm::codes::{CandidateCode, LrcCode, RsCode};
-use ecfrm::core::Scheme;
+use ecfrm::core::{LayoutKind, Scheme};
 use ecfrm::sim::{ClusterSim, DiskModel, NetModel};
 
 fn mean_degraded_speed(scheme: &Scheme, cluster: &ClusterSim) -> f64 {
@@ -27,8 +27,11 @@ fn mean_degraded_speed(scheme: &Scheme, cluster: &ClusterSim) -> f64 {
 fn sufficient_bandwidth_preserves_layout_gains() {
     let code: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(6, 3));
     let cluster = ClusterSim::new(DiskModel::savvio_10k3(), NetModel::sufficient(), 1_000_000);
-    let std = mean_degraded_speed(&Scheme::standard(code.clone()), &cluster);
-    let ec = mean_degraded_speed(&Scheme::ecfrm(code), &cluster);
+    let std = mean_degraded_speed(&Scheme::builder(code.clone()).build(), &cluster);
+    let ec = mean_degraded_speed(
+        &Scheme::builder(code).layout(LayoutKind::EcFrm).build(),
+        &cluster,
+    );
     assert!(
         ec > std * 1.05,
         "with sufficient bandwidth EC-FRM must win: {ec:.1} vs {std:.1}"
@@ -44,8 +47,11 @@ fn bound_bandwidth_collapses_layout_gains() {
         rtt_ms: 0.0,
     };
     let cluster = ClusterSim::new(DiskModel::savvio_10k3(), slow, 1_000_000);
-    let std = mean_degraded_speed(&Scheme::standard(code.clone()), &cluster);
-    let ec = mean_degraded_speed(&Scheme::ecfrm(code), &cluster);
+    let std = mean_degraded_speed(&Scheme::builder(code.clone()).build(), &cluster);
+    let ec = mean_degraded_speed(
+        &Scheme::builder(code).layout(LayoutKind::EcFrm).build(),
+        &cluster,
+    );
     let gap = (ec / std - 1.0).abs();
     assert!(
         gap < 0.03,
@@ -65,8 +71,8 @@ fn under_bound_bandwidth_lrc_beats_rs_by_cost() {
         rtt_ms: 0.0,
     };
     let cluster = ClusterSim::new(DiskModel::savvio_10k3(), slow, 1_000_000);
-    let rs_speed = mean_degraded_speed(&Scheme::standard(rs), &cluster);
-    let lrc_speed = mean_degraded_speed(&Scheme::standard(lrc), &cluster);
+    let rs_speed = mean_degraded_speed(&Scheme::builder(rs).build(), &cluster);
+    let lrc_speed = mean_degraded_speed(&Scheme::builder(lrc).build(), &cluster);
     assert!(
         lrc_speed > rs_speed * 1.05,
         "LRC {lrc_speed:.1} should beat RS {rs_speed:.1} when bandwidth binds"

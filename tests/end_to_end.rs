@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use ecfrm::codes::{CandidateCode, LrcCode, RsCode, XorCode};
-use ecfrm::core::Scheme;
+use ecfrm::core::{LayoutKind, Scheme};
 use ecfrm::store::{ObjectStore, StoreError};
 
 fn all_codes() -> Vec<Arc<dyn CandidateCode>> {
@@ -19,10 +19,17 @@ fn all_codes() -> Vec<Arc<dyn CandidateCode>> {
 
 fn all_forms(code: Arc<dyn CandidateCode>) -> Vec<Scheme> {
     vec![
-        Scheme::standard(code.clone()),
-        Scheme::rotated(code.clone()),
-        Scheme::ecfrm(code.clone()),
-        Scheme::shuffled(code, 3),
+        Scheme::builder(code.clone()).build(),
+        Scheme::builder(code.clone())
+            .layout(LayoutKind::Rotated)
+            .build(),
+        Scheme::builder(code.clone())
+            .layout(LayoutKind::EcFrm)
+            .build(),
+        Scheme::builder(code)
+            .layout(LayoutKind::Shuffled)
+            .seed(3)
+            .build(),
     ]
 }
 
@@ -89,7 +96,7 @@ fn max_tolerance_degraded_reads() {
     for code in all_codes() {
         let t = code.fault_tolerance();
         let n = code.n();
-        let scheme = Scheme::ecfrm(code);
+        let scheme = Scheme::builder(code).layout(LayoutKind::EcFrm).build();
         let name = scheme.name();
         let store = ObjectStore::new(scheme, 128);
         let data = blob(25_000, 4);
@@ -120,7 +127,9 @@ fn max_tolerance_degraded_reads() {
 
 #[test]
 fn many_small_objects_across_stripes() {
-    let scheme = Scheme::ecfrm(Arc::new(LrcCode::new(6, 2, 2)));
+    let scheme = Scheme::builder(Arc::new(LrcCode::new(6, 2, 2)))
+        .layout(LayoutKind::EcFrm)
+        .build();
     let store = ObjectStore::new(scheme, 64);
     let objects: Vec<(String, Vec<u8>)> = (0..100)
         .map(|i| (format!("o{i}"), blob(37 * (i + 1), i as u8)))
@@ -137,7 +146,9 @@ fn many_small_objects_across_stripes() {
 
 #[test]
 fn range_reads_cross_stripe_boundaries() {
-    let scheme = Scheme::ecfrm(Arc::new(RsCode::vandermonde(6, 3)));
+    let scheme = Scheme::builder(Arc::new(RsCode::vandermonde(6, 3)))
+        .layout(LayoutKind::EcFrm)
+        .build();
     let store = ObjectStore::new(scheme.clone(), 100);
     let stripe_bytes = scheme.data_per_stripe() * 100;
     let data = blob(stripe_bytes * 3 + 57, 5);
@@ -152,7 +163,7 @@ fn range_reads_cross_stripe_boundaries() {
 
 #[test]
 fn data_loss_is_an_error_never_garbage() {
-    let scheme = Scheme::standard(Arc::new(XorCode::new(4)));
+    let scheme = Scheme::builder(Arc::new(XorCode::new(4))).build();
     let store = ObjectStore::new(scheme, 64);
     let data = blob(5_000, 6);
     store.put("obj", &data).unwrap();

@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use ecfrm::codes::LrcCode;
-use ecfrm::core::Scheme;
+use ecfrm::core::{LayoutKind, Scheme};
 use ecfrm::sim::{Address, DiskBackend, FileDisk, ThreadedArray};
 use ecfrm::store::ObjectStore;
 
@@ -85,7 +85,9 @@ fn file_disks_survive_reopen() {
 #[test]
 fn object_store_over_files_survives_reopen_and_disk_loss() {
     let dir = tmpdir("store");
-    let scheme = Scheme::ecfrm(Arc::new(LrcCode::new(6, 2, 2)));
+    let scheme = Scheme::builder(Arc::new(LrcCode::new(6, 2, 2)))
+        .layout(LayoutKind::EcFrm)
+        .build();
     let n = scheme.n_disks();
     let data: Vec<u8> = (0..20_000).map(|i| ((i * 7 + 3) % 256) as u8).collect();
     {

@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use ecfrm::codes::{CandidateCode, LrcCode, RsCode, XorCode};
-use ecfrm::core::Scheme;
+use ecfrm::core::{LayoutKind, ReadCtx, Scheme};
 use ecfrm::layout::{EcFrmLayout, Layout, Loc, RotatedLayout, ShuffledLayout, StandardLayout};
 use ecfrm::store::ObjectStore;
 use ecfrm::util::Rng;
@@ -192,9 +192,13 @@ fn degraded_plans_sound() {
         let n = code.n();
         let failed = rng.random_range(0usize..n);
         for scheme in [
-            Scheme::standard(code.clone()),
-            Scheme::rotated(code.clone()),
-            Scheme::ecfrm(code.clone()),
+            Scheme::builder(code.clone()).build(),
+            Scheme::builder(code.clone())
+                .layout(LayoutKind::Rotated)
+                .build(),
+            Scheme::builder(code.clone())
+                .layout(LayoutKind::EcFrm)
+                .build(),
         ] {
             let plan = scheme.degraded_read_plan(start, count, &[failed]);
             assert!(plan.unreadable.is_empty());
@@ -230,7 +234,7 @@ fn degraded_execution_correct() {
         let seed: u64 = rng.random();
         let start_frac: f64 = rng.random_range(0.0..1.0);
         let count = rng.random_range(1usize..16);
-        let scheme = Scheme::ecfrm(code);
+        let scheme = Scheme::builder(code).layout(LayoutKind::EcFrm).build();
         let dps = scheme.data_per_stripe();
         let stripes = 3u64;
         let len = 16usize;
@@ -258,7 +262,9 @@ fn degraded_execution_correct() {
             .iter()
             .map(|f| (f.loc, all[&f.loc].clone()))
             .collect();
-        let got = scheme.assemble_read(start, count, &fetched).unwrap();
+        let got = scheme
+            .assemble_read(start, count, &fetched, ReadCtx::default())
+            .unwrap();
         for (i, g) in got.iter().enumerate() {
             assert_eq!(g, &data[start as usize + i]);
         }
@@ -274,7 +280,9 @@ fn store_roundtrip_bytes() {
         let range_frac: f64 = rng.random_range(0.0..1.0);
         let range_len_frac: f64 = rng.random_range(0.0..1.0);
         let element_size = [64usize, 100, 256, 1000][rng.random_range(0usize..4)];
-        let scheme = Scheme::ecfrm(Arc::new(LrcCode::new(6, 2, 2)));
+        let scheme = Scheme::builder(Arc::new(LrcCode::new(6, 2, 2)))
+            .layout(LayoutKind::EcFrm)
+            .build();
         let store = ObjectStore::new(scheme, element_size);
         let data: Vec<u8> = (0..len).map(|i| ((i * 131 + 7) % 256) as u8).collect();
         store.put("obj", &data).unwrap();

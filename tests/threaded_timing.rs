@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use ecfrm::codes::LrcCode;
-use ecfrm::core::Scheme;
+use ecfrm::core::{LayoutKind, Scheme};
 use ecfrm::sim::ThreadedArray;
 use ecfrm::store::ObjectStore;
 
@@ -35,7 +35,7 @@ fn eight_element_object(store: &ObjectStore) -> Vec<u8> {
 #[test]
 fn standard_layout_pays_two_latencies() {
     let code = Arc::new(LrcCode::new(6, 2, 2));
-    let store = store_with_latency(Scheme::standard(code));
+    let store = store_with_latency(Scheme::builder(code).build());
     let data = eight_element_object(&store);
     let (bytes, stats) = store.get_with_stats("eight").unwrap();
     assert_eq!(bytes, data);
@@ -50,7 +50,7 @@ fn standard_layout_pays_two_latencies() {
 #[test]
 fn ecfrm_layout_pays_one_latency() {
     let code = Arc::new(LrcCode::new(6, 2, 2));
-    let store = store_with_latency(Scheme::ecfrm(code));
+    let store = store_with_latency(Scheme::builder(code).layout(LayoutKind::EcFrm).build());
     let data = eight_element_object(&store);
     let (bytes, stats) = store.get_with_stats("eight").unwrap();
     assert_eq!(bytes, data);
@@ -69,8 +69,8 @@ fn ecfrm_layout_pays_one_latency() {
 #[test]
 fn ecfrm_is_faster_in_wall_clock_across_many_reads() {
     let code = Arc::new(LrcCode::new(6, 2, 2));
-    let std_store = store_with_latency(Scheme::standard(code.clone()));
-    let ec_store = store_with_latency(Scheme::ecfrm(code));
+    let std_store = store_with_latency(Scheme::builder(code.clone()).build());
+    let ec_store = store_with_latency(Scheme::builder(code).layout(LayoutKind::EcFrm).build());
     let d1 = eight_element_object(&std_store);
     let d2 = eight_element_object(&ec_store);
     assert_eq!(d1, d2);
@@ -93,7 +93,7 @@ fn degraded_read_wall_clock_still_bounded() {
     // finishes in a small number of latencies (repair reads overlap with
     // demand reads on distinct disks).
     let code = Arc::new(LrcCode::new(6, 2, 2));
-    let store = store_with_latency(Scheme::ecfrm(code));
+    let store = store_with_latency(Scheme::builder(code).layout(LayoutKind::EcFrm).build());
     let data = eight_element_object(&store);
     store.fail_disk(0).unwrap();
     let (bytes, stats) = store.get_with_stats("eight").unwrap();
