@@ -4,7 +4,7 @@
 use ecfrm_bench::harness::{BenchmarkId, Criterion, Throughput};
 use ecfrm_bench::{criterion_group, criterion_main};
 
-use ecfrm_gf::region::{dot_region, mul_add_region, mul_region, xor_region};
+use ecfrm_gf::region::{dot_region, dot_region_multi, mul_add_region, mul_region, xor_region};
 
 fn buf(len: usize, seed: u8) -> Vec<u8> {
     (0..len)
@@ -48,5 +48,46 @@ fn bench_dot(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_kernels, bench_dot);
+fn bench_multi(c: &mut Criterion) {
+    // Fused all-parities-in-one-pass encode vs m independent dot passes,
+    // at the paper's (6,3) and (10,4) shapes.
+    let mut g = c.benchmark_group("gf_dot_region_multi");
+    let len = 64 * 1024;
+    for (k, m) in [(6usize, 3usize), (10, 4)] {
+        let srcs: Vec<Vec<u8>> = (0..k).map(|i| buf(len, i as u8)).collect();
+        let refs: Vec<&[u8]> = srcs.iter().map(|v| v.as_slice()).collect();
+        let rows: Vec<Vec<u8>> = (0..m)
+            .map(|r| (0..k).map(|i| ((r * 31 + i * 7 + 2) % 255) as u8).collect())
+            .collect();
+        let row_refs: Vec<&[u8]> = rows.iter().map(|v| v.as_slice()).collect();
+        let mut outs: Vec<Vec<u8>> = (0..m).map(|_| vec![0u8; len]).collect();
+        g.throughput(Throughput::Bytes((k * len) as u64));
+        g.bench_with_input(
+            BenchmarkId::new("fused", format!("({k},{m})")),
+            &k,
+            |b, _| {
+                b.iter(|| {
+                    let mut out_refs: Vec<&mut [u8]> =
+                        outs.iter_mut().map(|v| v.as_mut_slice()).collect();
+                    dot_region_multi(&row_refs, &refs, &mut out_refs)
+                })
+            },
+        );
+        let mut outs2: Vec<Vec<u8>> = (0..m).map(|_| vec![0u8; len]).collect();
+        g.bench_with_input(
+            BenchmarkId::new("independent", format!("({k},{m})")),
+            &k,
+            |b, _| {
+                b.iter(|| {
+                    for (row, out) in row_refs.iter().zip(outs2.iter_mut()) {
+                        dot_region(row, &refs, out);
+                    }
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_dot, bench_multi);
 criterion_main!(benches);

@@ -1,0 +1,249 @@
+//! GF region-kernel microbenchmark: MB/s for every compiled backend ×
+//! region size, plus the fused multi-parity encode kernel, emitted both
+//! as a console table and as machine-readable `BENCH_kernels.json`.
+//!
+//! ```text
+//! kernels [--quick] [--no-json]
+//! ```
+//!
+//! The JSON is what the README's kernel-throughput table and the CI
+//! smoke job consume. `speedup_mul_add_64k` maps each backend to its
+//! `mul_add_region` throughput at 64 KiB relative to the scalar
+//! product-row baseline — the headline number of the split-table
+//! rework.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use ecfrm_gf::kernel::{self, Kernel};
+use ecfrm_gf::{region, region16};
+
+const SIZES: &[usize] = &[4 * 1024, 64 * 1024, 1024 * 1024];
+const SPEEDUP_LEN: usize = 64 * 1024;
+
+/// One named benchmark closure: `(op label, body)`.
+type Op = (&'static str, Box<dyn FnMut()>);
+
+struct Row {
+    backend: &'static str,
+    op: &'static str,
+    len: usize,
+    mbps: f64,
+}
+
+fn buf(len: usize, seed: u8) -> Vec<u8> {
+    (0..len)
+        .map(|i| ((i * 131 + seed as usize * 7 + 1) % 256) as u8)
+        .collect()
+}
+
+/// Mean seconds per iteration of `f` after a short warm-up.
+fn measure(budget: Duration, mut f: impl FnMut()) -> f64 {
+    let warm = Instant::now();
+    while warm.elapsed() < budget / 5 {
+        f();
+        black_box(());
+    }
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < budget && iters < 10_000_000 {
+        f();
+        black_box(());
+        iters += 1;
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+fn mbps(bytes: usize, secs_per_iter: f64) -> f64 {
+    bytes as f64 / 1e6 / secs_per_iter
+}
+
+fn bench_backend(k: &'static Kernel, budget: Duration, rows: &mut Vec<Row>) {
+    for &len in SIZES {
+        let src = buf(len, 1);
+        let mut dst = buf(len, 2);
+        let ops: [Op; 4] = [
+            (
+                "mul_region",
+                Box::new({
+                    let src = src.clone();
+                    let mut dst = dst.clone();
+                    move || k.mul_region8(0x1D, &src, &mut dst)
+                }),
+            ),
+            (
+                "mul_add_region",
+                Box::new({
+                    let src = src.clone();
+                    let mut dst = dst.clone();
+                    move || k.mul_add_region8(0x1D, &src, &mut dst)
+                }),
+            ),
+            (
+                "mul_region16",
+                Box::new({
+                    let src = src.clone();
+                    let mut dst = dst.clone();
+                    move || k.mul_region16(0x1234, &src, &mut dst)
+                }),
+            ),
+            (
+                "mul_add_region16",
+                Box::new({
+                    let src = src.clone();
+                    move || k.mul_add_region16(0x1234, &src, &mut dst)
+                }),
+            ),
+        ];
+        for (op, mut f) in ops {
+            let secs = measure(budget, &mut f);
+            let rate = mbps(len, secs);
+            println!("  {:<10} {op:<18} {len:>8} B {rate:>10.0} MB/s", k.name);
+            rows.push(Row {
+                backend: k.name,
+                op,
+                len,
+                mbps: rate,
+            });
+        }
+    }
+}
+
+/// Fused multi-parity encode vs m independent dot passes, on the active
+/// (dispatched) backend.
+fn bench_fused(budget: Duration) -> (usize, usize, usize, f64, f64) {
+    let (kk, m, len) = (6usize, 3usize, SPEEDUP_LEN);
+    let srcs: Vec<Vec<u8>> = (0..kk).map(|i| buf(len, 10 + i as u8)).collect();
+    let src_refs: Vec<&[u8]> = srcs.iter().map(Vec::as_slice).collect();
+    let rows: Vec<Vec<u8>> = (0..m)
+        .map(|r| {
+            (0..kk)
+                .map(|i| ((r * 31 + i * 7 + 2) % 255) as u8)
+                .collect()
+        })
+        .collect();
+    let row_refs: Vec<&[u8]> = rows.iter().map(Vec::as_slice).collect();
+    let bytes = kk * len; // source bytes streamed per encode pass
+
+    let mut outs: Vec<Vec<u8>> = (0..m).map(|_| vec![0u8; len]).collect();
+    let fused_secs = measure(budget, || {
+        let mut out_refs: Vec<&mut [u8]> = outs.iter_mut().map(Vec::as_mut_slice).collect();
+        region::dot_region_multi(&row_refs, &src_refs, &mut out_refs);
+    });
+    let fused = mbps(bytes, fused_secs);
+
+    let mut outs2: Vec<Vec<u8>> = (0..m).map(|_| vec![0u8; len]).collect();
+    let indep_secs = measure(budget, || {
+        for (row, out) in row_refs.iter().zip(outs2.iter_mut()) {
+            region::dot_region(row, &src_refs, out);
+        }
+    });
+    let indep = mbps(bytes, indep_secs);
+    println!(
+        "  fused dot_region_multi k={kk} m={m} {len} B: {fused:>8.0} MB/s  (m independent dots: {indep:.0} MB/s)"
+    );
+    (kk, m, len, fused, indep)
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let no_json = args.iter().any(|a| a == "--no-json");
+    let budget = if quick {
+        Duration::from_millis(40)
+    } else {
+        Duration::from_millis(150)
+    };
+
+    let active = kernel::active();
+    println!("active kernel backend: {}", active.name);
+    println!();
+
+    let mut rows: Vec<Row> = Vec::new();
+    for k in kernel::backends() {
+        if !k.is_supported() {
+            println!("  {:<10} (unsupported on this CPU — skipped)", k.name);
+            continue;
+        }
+        bench_backend(k, budget, &mut rows);
+    }
+    println!();
+    let (fk, fm, flen, fused, indep) = bench_fused(budget);
+
+    // Per-backend speedup vs the scalar baseline: mul_add_region @ 64 KiB.
+    let scalar_rate = rows
+        .iter()
+        .find(|r| r.backend == "scalar" && r.op == "mul_add_region" && r.len == SPEEDUP_LEN)
+        .map(|r| r.mbps)
+        .unwrap_or(f64::NAN);
+    let speedups: Vec<(&'static str, f64)> = rows
+        .iter()
+        .filter(|r| r.op == "mul_add_region" && r.len == SPEEDUP_LEN)
+        .map(|r| (r.backend, r.mbps / scalar_rate))
+        .collect();
+    println!();
+    println!("mul_add_region speedup vs scalar @ 64 KiB:");
+    for (name, s) in &speedups {
+        println!("  {name:<10} {s:>6.2}x");
+    }
+
+    // A quick sanity roundtrip so a broken kernel never publishes numbers:
+    // every supported backend must agree with the scalar reference here.
+    let probe_src = buf(4097, 3);
+    let mut want = vec![0u8; probe_src.len()];
+    region::reference::mul_region(0x1D, &probe_src, &mut want);
+    for k in kernel::backends().iter().filter(|k| k.is_supported()) {
+        let mut got = vec![0u8; probe_src.len()];
+        k.mul_region8(0x1D, &probe_src, &mut got);
+        assert_eq!(got, want, "backend {} disagrees with reference", k.name);
+    }
+    let mut want16 = vec![0u8; 4096];
+    region16::reference::mul_region16(0x1234, &probe_src[..4096], &mut want16);
+    for k in kernel::backends().iter().filter(|k| k.is_supported()) {
+        let mut got = vec![0u8; 4096];
+        k.mul_region16(0x1234, &probe_src[..4096], &mut got);
+        assert_eq!(got, want16, "backend {} (w=16) disagrees", k.name);
+    }
+
+    if no_json {
+        return;
+    }
+    let mut body = String::from("{\n  \"bench\": \"kernels\",\n");
+    body.push_str(&format!("  \"active\": \"{}\",\n", active.name));
+    body.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"op\": \"{}\", \"len\": {}, \"mb_per_s\": {}}}{}\n",
+            r.backend,
+            r.op,
+            r.len,
+            json_f(r.mbps),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("  ],\n");
+    body.push_str(&format!(
+        "  \"fused\": {{\"k\": {fk}, \"m\": {fm}, \"len\": {flen}, \"dot_region_multi_mb_per_s\": {}, \"independent_dots_mb_per_s\": {}}},\n",
+        json_f(fused),
+        json_f(indep)
+    ));
+    body.push_str("  \"speedup_mul_add_64k\": {");
+    for (i, (name, s)) in speedups.iter().enumerate() {
+        body.push_str(&format!(
+            "\"{name}\": {}{}",
+            json_f(*s),
+            if i + 1 == speedups.len() { "" } else { ", " }
+        ));
+    }
+    body.push_str("}\n}\n");
+    std::fs::write("BENCH_kernels.json", &body).expect("write BENCH_kernels.json");
+    println!("\nwrote BENCH_kernels.json");
+}

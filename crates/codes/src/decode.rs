@@ -10,7 +10,7 @@
 //! patterns where only some erased elements can be saved.
 
 use crate::traits::CodeError;
-use ecfrm_gf::region::mul_add_region;
+use ecfrm_gf::region::{dot_region_multi, mul_add_region};
 use ecfrm_gf::{Field, Gf8, Matrix};
 
 /// Pick a maximal set of linearly independent rows from `candidates`
@@ -208,14 +208,23 @@ pub fn matrix_decode(
     if combos.iter().any(|c| c.is_none()) {
         return Err(CodeError::Unrecoverable { erased });
     }
-    for (&e, combo) in erased.iter().zip(&combos) {
-        let coeffs = combo.as_ref().unwrap();
-        let mut out = vec![0u8; len];
-        for (&c, &src) in coeffs.iter().zip(&avail) {
-            if c != 0 {
-                mul_add_region(c as u8, shards[src].as_ref().unwrap(), &mut out);
-            }
-        }
+    // All erased elements rebuild from the same survivor set, so the fused
+    // multi-output kernel streams each survivor once for every target.
+    let coeff_rows: Vec<Vec<u8>> = combos
+        .iter()
+        .map(|c| c.as_ref().unwrap().iter().map(|&x| x as u8).collect())
+        .collect();
+    let mut outs: Vec<Vec<u8>> = erased.iter().map(|_| vec![0u8; len]).collect();
+    {
+        let row_refs: Vec<&[u8]> = coeff_rows.iter().map(Vec::as_slice).collect();
+        let srcs: Vec<&[u8]> = avail
+            .iter()
+            .map(|&i| shards[i].as_deref().unwrap())
+            .collect();
+        let mut out_refs: Vec<&mut [u8]> = outs.iter_mut().map(Vec::as_mut_slice).collect();
+        dot_region_multi(&row_refs, &srcs, &mut out_refs);
+    }
+    for (&e, out) in erased.iter().zip(outs) {
         shards[e] = Some(out);
     }
     Ok(())

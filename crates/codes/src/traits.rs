@@ -122,7 +122,9 @@ pub trait CandidateCode: Send + Sync + std::fmt::Debug {
     /// `m`; LRC tolerates fewer than its parity count in the worst case.
     fn fault_tolerance(&self) -> usize;
 
-    /// Compute all `m` parities from the `k` data regions.
+    /// Compute all `m` parities from the `k` data regions in one fused
+    /// streaming pass (each data block is read once while cache-hot
+    /// instead of once per parity).
     ///
     /// # Panics
     /// Panics if slice arities or lengths mismatch the code parameters.
@@ -130,11 +132,12 @@ pub trait CandidateCode: Send + Sync + std::fmt::Debug {
         assert_eq!(data.len(), self.k(), "encode expects k data regions");
         assert_eq!(parity.len(), self.m(), "encode expects m parity regions");
         let pm = self.parity_matrix();
-        for (i, p) in parity.iter_mut().enumerate() {
-            assert_eq!(p.len(), data[0].len(), "parity region size mismatch");
-            let coeffs: Vec<u8> = pm.row(i).iter().map(|&c| c as u8).collect();
-            ecfrm_gf::region::dot_region(&coeffs, data, p);
-        }
+        let rows: Vec<Vec<u8>> = (0..self.m())
+            .map(|i| pm.row(i).iter().map(|&c| c as u8).collect())
+            .collect();
+        let row_refs: Vec<&[u8]> = rows.iter().map(Vec::as_slice).collect();
+        let mut dsts: Vec<&mut [u8]> = parity.iter_mut().map(Vec::as_mut_slice).collect();
+        ecfrm_gf::region::dot_region_multi(&row_refs, data, &mut dsts);
     }
 
     /// Reconstruct every `None` shard in place. `len` is the region size

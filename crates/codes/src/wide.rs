@@ -29,7 +29,7 @@
 //! [`Gf16`]: ecfrm_gf::Gf16
 //! [`EcFrmLayout`]: https://docs.rs/ecfrm-layout
 
-use ecfrm_gf::region16::{dot_region16, mul_add_region16};
+use ecfrm_gf::region16::{dot_region_multi16, mul_add_region16};
 use ecfrm_gf::{Gf16, Matrix};
 
 use crate::traits::CodeError;
@@ -119,17 +119,19 @@ impl WideRs {
     }
 
     /// Compute all parities from the `k` data regions (byte lengths must
-    /// be even: one symbol per byte pair).
+    /// be even: one symbol per byte pair) in one fused streaming pass.
     ///
     /// # Panics
     /// Panics on arity/length mismatches.
     pub fn encode(&self, data: &[&[u8]], parity: &mut [Vec<u8>]) {
         assert_eq!(data.len(), self.k, "encode expects k data regions");
         assert_eq!(parity.len(), self.m, "encode expects m parity regions");
-        for (i, p) in parity.iter_mut().enumerate() {
-            let coeffs: Vec<u16> = self.parity.row(i).iter().map(|&c| c as u16).collect();
-            dot_region16(&coeffs, data, p);
-        }
+        let rows: Vec<Vec<u16>> = (0..self.m)
+            .map(|i| self.parity.row(i).iter().map(|&c| c as u16).collect())
+            .collect();
+        let row_refs: Vec<&[u16]> = rows.iter().map(Vec::as_slice).collect();
+        let mut dsts: Vec<&mut [u8]> = parity.iter_mut().map(Vec::as_mut_slice).collect();
+        dot_region_multi16(&row_refs, data, &mut dsts);
     }
 
     /// True when the erasure pattern decodes (always, for ≤ m erasures —
@@ -173,19 +175,29 @@ impl WideRs {
         let ainv = a.invert().ok_or(CodeError::Unrecoverable {
             erased: erased.clone(),
         })?;
-        for &e in &erased {
-            // Coefficients of element e over the selected survivors:
-            // row_e(G) · A⁻¹.
-            let ge = self.generator.row(e).to_vec();
-            let row = Matrix::<Gf16>::from_data(1, self.k, ge);
-            let coeffs = row.mul(&ainv);
-            let mut out = vec![0u8; len];
-            for (j, &src) in avail.iter().enumerate() {
-                let c = coeffs[(0, j)] as u16;
-                if c != 0 {
-                    mul_add_region16(c, shards[src].as_ref().unwrap(), &mut out);
-                }
-            }
+        // Coefficients of element e over the selected survivors:
+        // row_e(G) · A⁻¹ — one row per erased element, replayed through
+        // the fused kernel so each survivor region streams once.
+        let coeff_rows: Vec<Vec<u16>> = erased
+            .iter()
+            .map(|&e| {
+                let ge = self.generator.row(e).to_vec();
+                let row = Matrix::<Gf16>::from_data(1, self.k, ge);
+                let coeffs = row.mul(&ainv);
+                (0..self.k).map(|j| coeffs[(0, j)] as u16).collect()
+            })
+            .collect();
+        let mut outs: Vec<Vec<u8>> = erased.iter().map(|_| vec![0u8; len]).collect();
+        {
+            let row_refs: Vec<&[u16]> = coeff_rows.iter().map(Vec::as_slice).collect();
+            let srcs: Vec<&[u8]> = avail
+                .iter()
+                .map(|&i| shards[i].as_deref().unwrap())
+                .collect();
+            let mut out_refs: Vec<&mut [u8]> = outs.iter_mut().map(Vec::as_mut_slice).collect();
+            dot_region_multi16(&row_refs, &srcs, &mut out_refs);
+        }
+        for (&e, out) in erased.iter().zip(outs) {
             shards[e] = Some(out);
         }
         Ok(())

@@ -178,6 +178,30 @@ impl Scheme {
     /// Panics on arity or length mismatches.
     pub fn encode_stripe(&self, stripe: u64, data: &[&[u8]]) -> StripeImage {
         let dps = self.data_per_stripe();
+        let element_size = data.first().map_or(0, |d| d.len());
+        let parities = self.encode_stripe_parities(stripe, data); // validates shapes
+        let mut img = StripeImage::empty(self.layout.as_ref(), stripe, element_size);
+        let base = stripe * dps as u64;
+        for (t, d) in data.iter().enumerate() {
+            img.put(self.layout.data_location(base + t as u64), d.to_vec());
+        }
+        for (loc, bytes) in parities {
+            img.put(loc, bytes);
+        }
+        debug_assert!(img.is_complete());
+        img
+    }
+
+    /// Compute only the parity cells of one layout stripe, returning
+    /// `(location, bytes)` pairs. This is the zero-copy building block
+    /// behind [`Self::encode_stripe`]: callers that already own the data
+    /// regions (e.g. the store's stripe-seal pipeline slicing its pending
+    /// buffer) avoid materialising a [`StripeImage`] full of data copies.
+    ///
+    /// # Panics
+    /// Panics on arity or length mismatches.
+    pub fn encode_stripe_parities(&self, stripe: u64, data: &[&[u8]]) -> Vec<(Loc, Vec<u8>)> {
+        let dps = self.data_per_stripe();
         assert_eq!(data.len(), dps, "expected {dps} data elements per stripe");
         let element_size = data.first().map_or(0, |d| d.len());
         assert!(
@@ -186,21 +210,16 @@ impl Scheme {
         );
         let k = self.code.k();
         let pcount = self.code.n() - k;
-        let mut img = StripeImage::empty(self.layout.as_ref(), stripe, element_size);
+        let mut out = Vec::with_capacity(self.layout.rows_per_stripe() * pcount);
         for g in 0..self.layout.rows_per_stripe() {
             let group_data = &data[g * k..(g + 1) * k];
             let mut parity = vec![vec![0u8; element_size]; pcount];
             self.code.encode(group_data, &mut parity);
-            let base = stripe * dps as u64 + (g * k) as u64;
-            for (t, d) in group_data.iter().enumerate() {
-                img.put(self.layout.data_location(base + t as u64), d.to_vec());
-            }
             for (p, bytes) in parity.into_iter().enumerate() {
-                img.put(self.layout.parity_location(stripe, g, p), bytes);
+                out.push((self.layout.parity_location(stripe, g, p), bytes));
             }
         }
-        debug_assert!(img.is_complete());
-        img
+        out
     }
 
     /// Plan a normal read of data elements `start .. start+count`

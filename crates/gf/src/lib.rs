@@ -7,8 +7,12 @@
 //!   with concrete implementations [`Gf4`], [`Gf8`] and [`Gf16`] backed by
 //!   compile-time generated logarithm/antilogarithm tables;
 //! * [`region`] — bulk "region" operations over byte buffers (XOR,
-//!   multiply-by-constant, multiply-accumulate), the hot loops of erasure
-//!   encoding and decoding, with 64-bit-wide XOR inner loops;
+//!   multiply-by-constant, multiply-accumulate, fused multi-parity dot
+//!   products), the hot loops of erasure encoding and decoding;
+//! * [`kernel`] — the runtime-dispatched split-table backends behind the
+//!   region ops: SSSE3/AVX2/NEON byte-shuffle kernels where available, a
+//!   portable 64-bit nibble-table loop otherwise, overridable via the
+//!   `ECFRM_FORCE_KERNEL` environment variable;
 //! * [`matrix`] — dense matrices over a field, with Gauss–Jordan
 //!   inversion, rank computation, and the Vandermonde / Cauchy
 //!   constructors used to derive systematic Reed–Solomon generator
@@ -30,6 +34,7 @@ pub mod field;
 pub mod gf16;
 pub mod gf4;
 pub mod gf8;
+pub mod kernel;
 pub mod matrix;
 pub mod region;
 pub mod region16;

@@ -8,31 +8,58 @@
 //!
 //! * [`xor_region`] — `dst ^= src`, processed 64 bits at a time;
 //! * [`mul_region`] / [`mul_add_region`] — multiply a region by a constant
-//!   (optionally accumulating), streaming through a single 256-byte row of
-//!   the product table so the lookup stays L1-resident;
-//! * [`dot_region`] — the full encode kernel: `dst = Σ cᵢ·srcᵢ`.
+//!   (optionally accumulating), dispatched to the runtime-selected
+//!   split-table backend in [`crate::kernel`] (SSSE3/AVX2/NEON byte
+//!   shuffles where the CPU has them, a portable nibble-table loop
+//!   otherwise);
+//! * [`dot_region`] — the full encode kernel: `dst = Σ cᵢ·srcᵢ`;
+//! * [`dot_region_multi`] — the fused variant producing all parity
+//!   regions in one streaming pass over the data regions.
 //!
 //! Constants 0 and 1 are special-cased (skip / plain XOR), which matters in
 //! practice because XOR-heavy codes such as LRC local parities hit those
 //! paths on every element.
 
-use crate::gf8::Gf8;
+use crate::kernel;
 
-/// `dst ^= src` over equal-length regions, 8 bytes at a time.
+/// Block size (bytes) for the fused multi-output kernels: large enough to
+/// amortise per-call overhead, small enough that one block of every
+/// output plus one source stays L1/L2-resident while streaming.
+pub const MULTI_BLOCK: usize = 32 * 1024;
+
+/// `dst ^= src` over equal-length regions, 8 bytes at a time. Tails
+/// shorter than a word are folded into one overlapping unaligned word
+/// whose already-processed bytes are masked out of the source.
 ///
 /// # Panics
 /// Panics if `dst.len() != src.len()`.
 pub fn xor_region(dst: &mut [u8], src: &[u8]) {
     assert_eq!(dst.len(), src.len(), "xor_region length mismatch");
-    let mut d = dst.chunks_exact_mut(8);
-    let mut s = src.chunks_exact(8);
-    for (dc, sc) in (&mut d).zip(&mut s) {
-        let a = u64::from_ne_bytes(dc.try_into().unwrap());
-        let b = u64::from_ne_bytes(sc.try_into().unwrap());
-        dc.copy_from_slice(&(a ^ b).to_ne_bytes());
+    let len = dst.len();
+    let n = len / 8 * 8;
+    let mut i = 0;
+    while i < n {
+        let a = u64::from_le_bytes(dst[i..i + 8].try_into().unwrap());
+        let b = u64::from_le_bytes(src[i..i + 8].try_into().unwrap());
+        dst[i..i + 8].copy_from_slice(&(a ^ b).to_le_bytes());
+        i += 8;
     }
-    for (db, sb) in d.into_remainder().iter_mut().zip(s.remainder()) {
-        *db ^= *sb;
+    let tail = len - n;
+    if tail > 0 {
+        if len >= 8 {
+            // One overlapping word at the end: the low `8 - tail` bytes
+            // were already XORed above, so mask them out of the source —
+            // a zero contribution leaves them untouched.
+            let w = len - 8;
+            let a = u64::from_le_bytes(dst[w..].try_into().unwrap());
+            let b = u64::from_le_bytes(src[w..].try_into().unwrap());
+            let mask = !0u64 << (8 * (8 - tail));
+            dst[w..].copy_from_slice(&(a ^ (b & mask)).to_le_bytes());
+        } else {
+            for (d, s) in dst[n..].iter_mut().zip(&src[n..]) {
+                *d ^= *s;
+            }
+        }
     }
 }
 
@@ -42,28 +69,7 @@ pub fn xor_region(dst: &mut [u8], src: &[u8]) {
 /// Panics if `dst.len() != src.len()`.
 pub fn mul_region(c: u8, src: &[u8], dst: &mut [u8]) {
     assert_eq!(dst.len(), src.len(), "mul_region length mismatch");
-    match c {
-        0 => dst.fill(0),
-        1 => dst.copy_from_slice(src),
-        _ => {
-            let row = Gf8::mul_row(c);
-            // Unrolled by 4: the bound checks vanish and the table row
-            // stays in L1 for the whole region.
-            let mut i = 0;
-            let n4 = src.len() / 4 * 4;
-            while i < n4 {
-                dst[i] = row[src[i] as usize];
-                dst[i + 1] = row[src[i + 1] as usize];
-                dst[i + 2] = row[src[i + 2] as usize];
-                dst[i + 3] = row[src[i + 3] as usize];
-                i += 4;
-            }
-            while i < src.len() {
-                dst[i] = row[src[i] as usize];
-                i += 1;
-            }
-        }
-    }
+    kernel::active().mul_region8(c, src, dst);
 }
 
 /// `dst ^= c * src` over `GF(2^8)`, element-wise (multiply–accumulate).
@@ -72,41 +78,88 @@ pub fn mul_region(c: u8, src: &[u8], dst: &mut [u8]) {
 /// Panics if `dst.len() != src.len()`.
 pub fn mul_add_region(c: u8, src: &[u8], dst: &mut [u8]) {
     assert_eq!(dst.len(), src.len(), "mul_add_region length mismatch");
-    match c {
-        0 => {}
-        1 => xor_region(dst, src),
-        _ => {
-            let row = Gf8::mul_row(c);
-            let mut i = 0;
-            let n4 = src.len() / 4 * 4;
-            while i < n4 {
-                dst[i] ^= row[src[i] as usize];
-                dst[i + 1] ^= row[src[i + 1] as usize];
-                dst[i + 2] ^= row[src[i + 2] as usize];
-                dst[i + 3] ^= row[src[i + 3] as usize];
-                i += 4;
-            }
-            while i < src.len() {
-                dst[i] ^= row[src[i] as usize];
-                i += 1;
-            }
-        }
-    }
+    kernel::active().mul_add_region8(c, src, dst);
 }
 
 /// Dot-product encode kernel: `dst = Σᵢ coeffs[i] · srcs[i]`.
 ///
 /// This is the inner loop of every parity computation: one output region
-/// accumulated from `k` input regions with per-input coefficients.
+/// accumulated from `k` input regions with per-input coefficients. The
+/// first nonzero term is written with a straight multiply (overwriting
+/// `dst`), so no zero-fill pass touches the output beforehand.
 ///
 /// # Panics
 /// Panics if `coeffs.len() != srcs.len()`, or any source length differs
 /// from `dst`.
 pub fn dot_region(coeffs: &[u8], srcs: &[&[u8]], dst: &mut [u8]) {
     assert_eq!(coeffs.len(), srcs.len(), "dot_region arity mismatch");
-    dst.fill(0);
+    let mut started = false;
     for (&c, src) in coeffs.iter().zip(srcs) {
-        mul_add_region(c, src, dst);
+        if started {
+            mul_add_region(c, src, dst);
+        } else if c != 0 {
+            mul_region(c, src, dst);
+            started = true;
+        } else {
+            assert_eq!(dst.len(), src.len(), "dot_region length mismatch");
+        }
+    }
+    if !started {
+        dst.fill(0);
+    }
+}
+
+/// Fused multi-output dot kernel: `dsts[r] = Σᵢ coeff_rows[r][i]·srcs[i]`
+/// for every output row `r`, in one blocked streaming pass.
+///
+/// Computing all `m` parities per block means each source block is read
+/// once while hot instead of `m` times from DRAM — for `(k, m)` encode
+/// this cuts memory traffic from `m·k` source reads to `k`, the trick
+/// behind ISA-L's `ec_encode_data`.
+///
+/// # Panics
+/// Panics if `coeff_rows.len() != dsts.len()`, any coefficient row's
+/// arity differs from `srcs.len()`, or any region length differs.
+pub fn dot_region_multi(coeff_rows: &[&[u8]], srcs: &[&[u8]], dsts: &mut [&mut [u8]]) {
+    assert_eq!(
+        coeff_rows.len(),
+        dsts.len(),
+        "dot_region_multi row/output arity mismatch"
+    );
+    let len = dsts.first().map_or(0, |d| d.len());
+    for d in dsts.iter() {
+        assert_eq!(d.len(), len, "dot_region_multi output length mismatch");
+    }
+    for s in srcs {
+        assert_eq!(s.len(), len, "dot_region_multi source length mismatch");
+    }
+    for row in coeff_rows {
+        assert_eq!(
+            row.len(),
+            srcs.len(),
+            "dot_region_multi coefficient arity mismatch"
+        );
+    }
+    let k = kernel::active();
+    let mut off = 0;
+    while off < len {
+        let end = (off + MULTI_BLOCK).min(len);
+        for (row, dst) in coeff_rows.iter().zip(dsts.iter_mut()) {
+            let db = &mut dst[off..end];
+            let mut started = false;
+            for (&c, src) in row.iter().zip(srcs) {
+                if started {
+                    k.mul_add_region8(c, &src[off..end], db);
+                } else if c != 0 {
+                    k.mul_region8(c, &src[off..end], db);
+                    started = true;
+                }
+            }
+            if !started {
+                db.fill(0);
+            }
+        }
+        off = end;
     }
 }
 
@@ -151,7 +204,7 @@ mod tests {
 
     #[test]
     fn xor_region_matches_scalar() {
-        for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 1000] {
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 63, 64, 65, 1000] {
             let a = pseudo_bytes(len, 1);
             let b = pseudo_bytes(len, 2);
             let mut got = a.clone();
@@ -201,6 +254,7 @@ mod tests {
     #[test]
     fn mul_region_by_inverse_roundtrips() {
         use crate::field::Field;
+        use crate::gf8::Gf8;
         let src = pseudo_bytes(256, 30);
         for c in [2u8, 7, 0x1D, 0xEE] {
             let mut mid = vec![0u8; src.len()];
@@ -227,7 +281,8 @@ mod tests {
 
     #[test]
     fn dot_region_overwrites_dst() {
-        // dst must be zeroed first, not accumulated into.
+        // dst contents must never leak into the result, even without a
+        // zero-fill pass.
         let s = pseudo_bytes(64, 50);
         let mut dst = pseudo_bytes(64, 51);
         dot_region(&[1], &[&s], &mut dst);
@@ -235,9 +290,76 @@ mod tests {
     }
 
     #[test]
+    fn dot_region_all_zero_coeffs_zeroes_dst() {
+        let s = pseudo_bytes(64, 52);
+        let mut dst = pseudo_bytes(64, 53);
+        dot_region(&[0, 0], &[&s, &s], &mut dst);
+        assert_eq!(dst, vec![0u8; 64]);
+    }
+
+    #[test]
+    fn dot_region_leading_zero_coeffs() {
+        // The first nonzero coefficient may appear anywhere in the row.
+        let s0 = pseudo_bytes(100, 54);
+        let s1 = pseudo_bytes(100, 55);
+        let mut got = pseudo_bytes(100, 56);
+        dot_region(&[0, 7], &[&s0, &s1], &mut got);
+        let mut want = vec![0u8; 100];
+        reference::mul_add_region(7, &s1, &mut want);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn dot_region_multi_matches_independent_dots() {
+        let srcs: Vec<Vec<u8>> = (0..4)
+            .map(|i| pseudo_bytes(MULTI_BLOCK + 97, 60 + i))
+            .collect();
+        let src_refs: Vec<&[u8]> = srcs.iter().map(Vec::as_slice).collect();
+        let rows: Vec<Vec<u8>> = vec![
+            vec![1, 1, 1, 1],
+            vec![0, 0, 0, 0],
+            vec![2, 0, 0x1D, 0xFF],
+            vec![0, 9, 0, 0],
+        ];
+        let row_refs: Vec<&[u8]> = rows.iter().map(Vec::as_slice).collect();
+        let len = srcs[0].len();
+        let mut outs: Vec<Vec<u8>> = (0..rows.len())
+            .map(|i| pseudo_bytes(len, 70 + i as u64))
+            .collect();
+        {
+            let mut out_refs: Vec<&mut [u8]> = outs.iter_mut().map(Vec::as_mut_slice).collect();
+            dot_region_multi(&row_refs, &src_refs, &mut out_refs);
+        }
+        for (row, got) in rows.iter().zip(&outs) {
+            let mut want = vec![0u8; len];
+            dot_region(row, &src_refs, &mut want);
+            assert_eq!(got, &want, "row={row:?}");
+        }
+    }
+
+    #[test]
+    fn dot_region_multi_no_outputs_or_sources() {
+        // m = 0 is a no-op; k = 0 zero-fills every output.
+        dot_region_multi(&[], &[], &mut []);
+        let mut out = pseudo_bytes(33, 80);
+        let row: &[u8] = &[];
+        dot_region_multi(&[row], &[], &mut [&mut out]);
+        assert_eq!(out, vec![0u8; 33]);
+    }
+
+    #[test]
     #[should_panic]
     fn mismatched_lengths_panic() {
         let mut d = [0u8; 4];
         xor_region(&mut d, &[0u8; 5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dot_region_mismatched_source_panics() {
+        let s0 = [0u8; 4];
+        let s1 = [0u8; 5];
+        let mut d = [0u8; 4];
+        dot_region(&[0, 1], &[&s0, &s1], &mut d);
     }
 }

@@ -32,6 +32,7 @@
 //! assert_eq!(store.get("song.mp3").unwrap(), vec![7u8; 10_000]);
 //! ```
 
+pub mod bufpool;
 pub mod error;
 pub mod meta;
 pub mod store;

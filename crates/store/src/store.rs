@@ -116,6 +116,15 @@ impl ObjectStore {
         let decoder_cache = ecfrm_codes::DecoderCache::new(scheme.code().generator().clone());
         let recorder = Recorder::new();
         let metrics = StoreMetrics::new(&recorder, scheme.n_disks());
+        // Record which GF region-kernel backend this process dispatched
+        // to (avx2/ssse3/neon/portable/scalar), so stats snapshots show
+        // what the encode/decode numbers were produced with.
+        recorder
+            .counter(&format!(
+                "kernel_backend.{}",
+                ecfrm_gf::kernel::active().name
+            ))
+            .inc();
         Self {
             decoder_cache,
             recorder,
@@ -199,6 +208,11 @@ impl ObjectStore {
     }
 
     /// Encode and write out every complete stripe in the pending buffer.
+    ///
+    /// Zero-copy pipeline: stripe blocks are slices straight over
+    /// `pending` (no per-stripe block copy), parities land in the write
+    /// batch by move, and data bytes are copied exactly once — into the
+    /// buffers the disks take ownership of.
     fn seal_full_stripes(&self, inner: &mut Inner) {
         let stripe_bytes = self.stripe_bytes();
         let full = inner.pending.len() / stripe_bytes;
@@ -207,28 +221,35 @@ impl ObjectStore {
         }
         let dps = self.scheme.data_per_stripe();
         let first_stripe = inner.stripes;
-        let blocks: Vec<Vec<u8>> = (0..full)
-            .map(|i| inner.pending[i * stripe_bytes..(i + 1) * stripe_bytes].to_vec())
+        let layout = self.scheme.layout();
+        let per_stripe = layout.total_per_stripe();
+        let blocks: Vec<&[u8]> = inner.pending[..full * stripe_bytes]
+            .chunks_exact(stripe_bytes)
             .collect();
-        inner.pending.drain(..full * stripe_bytes);
 
         // Encode stripes in parallel: each is an independent set of
         // group-by-group parity computations.
-        type StripeCells = (u64, Vec<(Loc, Vec<u8>)>);
-        let images: Vec<StripeCells> = par_map(&blocks, |i, block| {
+        type StripeCells = Vec<((usize, u64), Vec<u8>)>;
+        let stripes: Vec<StripeCells> = par_map(&blocks, |i, block| {
             let stripe = first_stripe + i as u64;
             let refs: Vec<&[u8]> = block.chunks_exact(self.element_size).collect();
             debug_assert_eq!(refs.len(), dps);
-            let img = self.scheme.encode_stripe(stripe, &refs);
-            let cells: Vec<(Loc, Vec<u8>)> = img.iter().map(|(loc, b)| (loc, b.to_vec())).collect();
-            (stripe, cells)
-        });
-
-        let mut batch = Vec::with_capacity(full * self.scheme.layout().total_per_stripe());
-        for (_, cells) in images {
-            for (loc, bytes) in cells {
-                batch.push(((loc.disk, loc.offset), bytes));
+            let mut cells: StripeCells = Vec::with_capacity(per_stripe);
+            let base = stripe * dps as u64;
+            for (t, d) in refs.iter().enumerate() {
+                let loc = layout.data_location(base + t as u64);
+                cells.push(((loc.disk, loc.offset), d.to_vec()));
             }
+            for (loc, bytes) in self.scheme.encode_stripe_parities(stripe, &refs) {
+                cells.push(((loc.disk, loc.offset), bytes));
+            }
+            cells
+        });
+        inner.pending.drain(..full * stripe_bytes);
+
+        let mut batch = Vec::with_capacity(full * per_stripe);
+        for cells in stripes {
+            batch.extend(cells);
         }
         self.array.write_batch(batch);
         inner.stripes += full as u64;
@@ -389,12 +410,24 @@ impl ObjectStore {
             replans += 1;
         };
 
-        // Slice the requested byte range out of the element run.
-        let mut flat = Vec::with_capacity(count * self.element_size);
-        for e in elements {
-            flat.extend_from_slice(&e);
-        }
+        // Copy the requested byte range straight out of the element run
+        // (no intermediate flattened buffer), then retire the element
+        // buffers to the thread-local pool for later scratch reuse.
         let begin = (meta.offset - first * self.element_size as u64) as usize;
+        let end = begin + len as usize;
+        let mut out = Vec::with_capacity(len as usize);
+        let mut cursor = 0usize;
+        for e in elements {
+            let estart = cursor;
+            cursor += e.len();
+            let s = begin.max(estart);
+            let t = end.min(cursor);
+            if s < t {
+                out.extend_from_slice(&e[s - estart..t - estart]);
+            }
+            crate::bufpool::give(e);
+        }
+        debug_assert_eq!(out.len(), len as usize);
         let net_delta = self.net_snapshot().since(&net_before);
         let stats = ReadStats {
             requested_elements: count,
@@ -424,7 +457,7 @@ impl ObjectStore {
         m.read_us.record_duration(stats.elapsed);
         net_delta.record_into(&self.recorder);
 
-        Ok((flat[begin..begin + len as usize].to_vec(), stats))
+        Ok((out, stats))
     }
 
     /// Recompute every group's parities from stored data and compare
@@ -470,7 +503,11 @@ impl ObjectStore {
                 }
                 let cells: Vec<Vec<u8>> = cells.into_iter().map(Option::unwrap).collect();
                 let data_refs: Vec<&[u8]> = cells[..k].iter().map(|v| v.as_slice()).collect();
-                let mut parity = vec![vec![0u8; self.element_size]; n - k];
+                // Scratch parities cycle through the thread-local pool:
+                // after the first group, re-derivation is allocation-free.
+                let mut parity: Vec<Vec<u8>> = (0..n - k)
+                    .map(|_| crate::bufpool::take(self.element_size))
+                    .collect();
                 code.encode(&data_refs, &mut parity);
                 if parity
                     .iter()
@@ -479,6 +516,8 @@ impl ObjectStore {
                 {
                     corrupt_groups.push((stripe, row));
                 }
+                crate::bufpool::give_all(parity);
+                crate::bufpool::give_all(cells);
             }
         }
         Ok(ScrubReport {
@@ -959,6 +998,19 @@ mod tests {
         assert!(got[0].is_ok());
         assert!(matches!(got[1], Err(StoreError::NotFound(_))));
         assert!(got[2].is_ok());
+    }
+
+    #[test]
+    fn recorder_reports_kernel_backend() {
+        let store = lrc_store();
+        let snap = store.recorder().snapshot();
+        let expected = format!("kernel_backend.{}", ecfrm_gf::kernel::active().name);
+        assert!(
+            snap.flatten()
+                .iter()
+                .any(|(name, v)| name == &expected && *v == 1),
+            "snapshot must carry {expected}"
+        );
     }
 
     #[test]
