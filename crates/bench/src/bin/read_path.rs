@@ -1,0 +1,240 @@
+//! Read-path microbenchmark: per-element vs batched vs coalesced.
+//!
+//! ```text
+//! read_path [--quick] [--no-json]
+//! ```
+//!
+//! Reads the address pattern of EC-FRM stripe reads under RS(6,3) —
+//! every disk serving one contiguous run of element offsets — through
+//! three strategies:
+//!
+//! * **per_element** — the pre-batching read path: one `Job::Read` (and,
+//!   remotely, one `GetElement` RPC) per element.
+//! * **batched** — one `Job::ReadMany` per disk; remotely one `BatchGet`
+//!   RPC per disk (`use_range` disabled to isolate batching).
+//! * **coalesced** — batched, plus the per-disk run collapses into a
+//!   single `GetRange` frame on the wire (remote only; locally the
+//!   coalescing happens inside one `read_many` call either way).
+//!
+//! Each strategy runs over a local `MemDisk` array and over a real
+//! loopback TCP cluster. The JSON lands in `BENCH_read_path.json`; the
+//! CI smoke job asserts batched beats per-element on loopback.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use ecfrm_net::{Cluster, RemoteDiskConfig};
+use ecfrm_sim::{Address, ThreadedArray};
+
+const N_DISKS: usize = 9; // RS(6,3): 6 data + 3 parity shards
+const ELEMENT: usize = 4096;
+const ROWS_PER_READ: u64 = 8; // elements per disk per stripe-shaped read
+
+fn element(d: usize, o: u64) -> Vec<u8> {
+    let seed = d * 1_000 + o as usize;
+    (0..ELEMENT)
+        .map(|i| ((i * 131 + seed) % 256) as u8)
+        .collect()
+}
+
+/// The stripe-read address list: every disk serves offsets `0..rows`
+/// as one ascending run, the shape EC-FRM's sequential layout produces
+/// for the data rows of consecutive stripes.
+fn stripe_addrs(rows: u64) -> Vec<Address> {
+    let mut addrs = Vec::with_capacity(N_DISKS * rows as usize);
+    for o in 0..rows {
+        for d in 0..N_DISKS {
+            addrs.push((d, o));
+        }
+    }
+    addrs
+}
+
+fn populate(array: &ThreadedArray, rows: u64) {
+    let items = stripe_addrs(rows)
+        .into_iter()
+        .map(|(d, o)| ((d, o), element(d, o)))
+        .collect();
+    array.write_batch(items);
+}
+
+/// Mean seconds per call of `f` after a warm-up pass.
+fn measure(iters: u32, mut f: impl FnMut()) -> f64 {
+    for _ in 0..iters.div_ceil(5).max(1) {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+fn check(got: &[Option<Vec<u8>>], addrs: &[Address]) {
+    assert_eq!(got.len(), addrs.len());
+    for (e, &(d, o)) in got.iter().zip(addrs) {
+        assert_eq!(e.as_deref(), Some(&element(d, o)[..]), "disk {d} off {o}");
+    }
+}
+
+struct Row {
+    setting: &'static str,
+    strategy: &'static str,
+    secs_per_read: f64,
+}
+
+impl Row {
+    fn mbps(&self) -> f64 {
+        (N_DISKS as u64 * ROWS_PER_READ * ELEMENT as u64) as f64 / 1e6 / self.secs_per_read
+    }
+}
+
+fn bench_array(
+    setting: &'static str,
+    array: &ThreadedArray,
+    strategies: &[&'static str],
+    iters: u32,
+    rows: &mut Vec<Row>,
+) {
+    let addrs = stripe_addrs(ROWS_PER_READ);
+    // Correctness gate: never publish numbers for a path that returns
+    // wrong bytes.
+    check(&array.read_batch_per_element(&addrs), &addrs);
+    check(&array.read_batch(&addrs), &addrs);
+    for &strategy in strategies {
+        let secs = match strategy {
+            "per_element" => measure(iters, || {
+                black_box(array.read_batch_per_element(black_box(&addrs)));
+            }),
+            _ => measure(iters, || {
+                black_box(array.read_batch(black_box(&addrs)));
+            }),
+        };
+        println!(
+            "  {setting:<16} {strategy:<12} {:>9.1} us/read {:>9.1} MB/s",
+            secs * 1e6,
+            Row {
+                setting,
+                strategy,
+                secs_per_read: secs
+            }
+            .mbps(),
+        );
+        rows.push(Row {
+            setting,
+            strategy,
+            secs_per_read: secs,
+        });
+    }
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".into()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let no_json = args.iter().any(|a| a == "--no-json");
+    let (local_iters, remote_iters) = if quick { (200, 30) } else { (2_000, 200) };
+
+    println!(
+        "read_path: RS(6,3) stripe reads, {N_DISKS} disks x {ROWS_PER_READ} \
+         elements x {ELEMENT} B"
+    );
+    let mut rows: Vec<Row> = Vec::new();
+
+    // Local: thread-per-disk over MemDisk, with a small per-access
+    // latency so the per-element channel chatter has something to hide.
+    let local = ThreadedArray::with_latency(N_DISKS, Duration::from_micros(20));
+    populate(&local, ROWS_PER_READ);
+    bench_array(
+        "local",
+        &local,
+        &["per_element", "batched"],
+        local_iters,
+        &mut rows,
+    );
+
+    // Loopback remote, ranges off: batching is one BatchGet per disk.
+    let mut no_range = RemoteDiskConfig::fast();
+    no_range.use_range = false;
+    let cluster = Cluster::spawn_with(N_DISKS, &no_range).unwrap();
+    let remote = ThreadedArray::from_backends(cluster.backends());
+    populate(&remote, ROWS_PER_READ);
+    bench_array(
+        "remote",
+        &remote,
+        &["per_element", "batched"],
+        remote_iters,
+        &mut rows,
+    );
+
+    // Loopback remote, ranges on: the per-disk run ships as one GetRange.
+    let ranged = Cluster::spawn_with(N_DISKS, &RemoteDiskConfig::fast()).unwrap();
+    let remote_ranged = ThreadedArray::from_backends(ranged.backends());
+    populate(&remote_ranged, ROWS_PER_READ);
+    bench_array(
+        "remote",
+        &remote_ranged,
+        &["coalesced"],
+        remote_iters,
+        &mut rows,
+    );
+    let coalesced_rpcs: u64 = (0..N_DISKS)
+        .map(|i| {
+            ranged
+                .client(i)
+                .stats()
+                .unwrap()
+                .into_iter()
+                .find(|(k, _)| k == "serve.range")
+                .map(|(_, v)| v)
+                .unwrap_or(0)
+        })
+        .sum();
+    println!("  coalesced run shipped {coalesced_rpcs} GetRange frames total");
+
+    let per_el = rows
+        .iter()
+        .find(|r| r.setting == "remote" && r.strategy == "per_element")
+        .unwrap()
+        .secs_per_read;
+    let batched = rows
+        .iter()
+        .find(|r| r.setting == "remote" && r.strategy == "batched")
+        .unwrap()
+        .secs_per_read;
+    let speedup = per_el / batched;
+    println!("\nloopback batched vs per-element speedup: {speedup:.2}x");
+
+    if no_json {
+        return;
+    }
+    let mut body = String::from("{\n  \"bench\": \"read_path\",\n");
+    body.push_str(&format!(
+        "  \"shape\": {{\"disks\": {N_DISKS}, \"rows\": {ROWS_PER_READ}, \"element\": {ELEMENT}}},\n"
+    ));
+    body.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"setting\": \"{}\", \"strategy\": \"{}\", \"us_per_read\": {}, \"mb_per_s\": {}}}{}\n",
+            r.setting,
+            r.strategy,
+            json_f(r.secs_per_read * 1e6),
+            json_f(r.mbps()),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("  ],\n");
+    body.push_str(&format!(
+        "  \"loopback_batched_speedup\": {}\n}}\n",
+        json_f(speedup)
+    ));
+    std::fs::write("BENCH_read_path.json", &body).expect("write BENCH_read_path.json");
+    println!("wrote BENCH_read_path.json");
+}

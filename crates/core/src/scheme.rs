@@ -90,52 +90,6 @@ impl Scheme {
         }
     }
 
-    /// The conventional horizontal form (paper's "RS" / "LRC").
-    #[deprecated(since = "0.1.0", note = "use Scheme::builder(code).build()")]
-    pub fn standard(code: Arc<dyn CandidateCode>) -> Self {
-        Self::builder(code).build()
-    }
-
-    /// The rotated-stripes form (paper's "R-RS" / "R-LRC").
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Scheme::builder(code).layout(LayoutKind::Rotated).build()"
-    )]
-    pub fn rotated(code: Arc<dyn CandidateCode>) -> Self {
-        Self::builder(code).layout(LayoutKind::Rotated).build()
-    }
-
-    /// The paper's transformation (paper's "EC-FRM-RS" / "EC-FRM-LRC").
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Scheme::builder(code).layout(LayoutKind::EcFrm).build()"
-    )]
-    pub fn ecfrm(code: Arc<dyn CandidateCode>) -> Self {
-        Self::builder(code).layout(LayoutKind::EcFrm).build()
-    }
-
-    /// Rotation by `k` per stripe — the strongest rotation baseline
-    /// (ablation; see [`ecfrm_layout::KRotatedLayout`]).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Scheme::builder(code).layout(LayoutKind::KRotated).build()"
-    )]
-    pub fn krotated(code: Arc<dyn CandidateCode>) -> Self {
-        Self::builder(code).layout(LayoutKind::KRotated).build()
-    }
-
-    /// Per-stripe random-permutation placement (ablation).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Scheme::builder(code).layout(LayoutKind::Shuffled).seed(seed).build()"
-    )]
-    pub fn shuffled(code: Arc<dyn CandidateCode>, seed: u64) -> Self {
-        Self::builder(code)
-            .layout(LayoutKind::Shuffled)
-            .seed(seed)
-            .build()
-    }
-
     /// The candidate code.
     pub fn code(&self) -> &dyn CandidateCode {
         self.code.as_ref()
@@ -530,38 +484,6 @@ mod tests {
                 .seed(11)
                 .build(),
         ]
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_match_builder() {
-        let rs: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(6, 3));
-        assert_eq!(
-            Scheme::standard(rs.clone()).name(),
-            form(rs.clone(), LayoutKind::Standard).name()
-        );
-        assert_eq!(
-            Scheme::rotated(rs.clone()).name(),
-            form(rs.clone(), LayoutKind::Rotated).name()
-        );
-        assert_eq!(
-            Scheme::ecfrm(rs.clone()).name(),
-            form(rs.clone(), LayoutKind::EcFrm).name()
-        );
-        assert_eq!(
-            Scheme::krotated(rs.clone()).name(),
-            form(rs.clone(), LayoutKind::KRotated).name()
-        );
-        // The shuffled shim must thread the seed through: same seed,
-        // same placement.
-        let a = Scheme::shuffled(rs.clone(), 7);
-        let b = Scheme::builder(rs)
-            .layout(LayoutKind::Shuffled)
-            .seed(7)
-            .build();
-        for idx in 0..40u64 {
-            assert_eq!(a.layout().data_location(idx), b.layout().data_location(idx));
-        }
     }
 
     #[test]

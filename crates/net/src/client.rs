@@ -47,6 +47,11 @@ pub struct RemoteDiskConfig {
     pub hedge_after: Option<Duration>,
     /// Idle connections kept for reuse.
     pub pool_size: usize,
+    /// Emit coalesced `GetRange` requests when a batch forms one
+    /// contiguous ascending run. Disabled, every batch goes out as
+    /// `BatchGet`. Even when enabled, the client auto-falls-back (and
+    /// stops asking) if the server predates the opcode.
+    pub use_range: bool,
 }
 
 impl Default for RemoteDiskConfig {
@@ -59,6 +64,7 @@ impl Default for RemoteDiskConfig {
             backoff_cap: Duration::from_millis(100),
             hedge_after: None,
             pool_size: 2,
+            use_range: true,
         }
     }
 }
@@ -75,6 +81,7 @@ impl RemoteDiskConfig {
             backoff_cap: Duration::from_millis(10),
             hedge_after: None,
             pool_size: 2,
+            use_range: true,
         }
     }
 }
@@ -89,6 +96,10 @@ pub struct RemoteDisk {
     /// including retries and hedges, in microseconds.
     request_us: Histogram,
     ever_connected: AtomicBool,
+    /// Cleared the first time a `GetRange` fails but a `BatchGet` of the
+    /// same offsets succeeds — the shard is alive but predates the
+    /// opcode, so stop asking (forward compatibility with old servers).
+    range_supported: AtomicBool,
     rng: Mutex<Rng>,
 }
 
@@ -109,6 +120,7 @@ impl RemoteDisk {
             counters: Arc::new(NetCounters::new()),
             request_us: Histogram::new(),
             ever_connected: AtomicBool::new(false),
+            range_supported: AtomicBool::new(true),
             rng: Mutex::new(Rng::seed_from_u64(addr.port() as u64 ^ 0xD15C)),
         }
     }
@@ -342,6 +354,22 @@ impl RemoteDisk {
             _ => vec![None; offsets.len()],
         }
     }
+
+    /// True while this client will still emit `GetRange` (config allows
+    /// it and the server has not demonstrated it predates the opcode).
+    pub fn range_enabled(&self) -> bool {
+        self.cfg.use_range && self.range_supported.load(Ordering::Acquire)
+    }
+}
+
+/// `Some(count)` when `offsets` is one contiguous ascending run
+/// (`o, o+1, …, o+len-1`) — the shape `GetRange` carries.
+fn contiguous_run(offsets: &[u64]) -> Option<u32> {
+    if offsets.is_empty() || offsets.len() > u32::MAX as usize {
+        return None;
+    }
+    let contiguous = offsets.windows(2).all(|w| w[1] == w[0].wrapping_add(1));
+    contiguous.then_some(offsets.len() as u32)
 }
 
 impl DiskBackend for RemoteDisk {
@@ -353,6 +381,50 @@ impl DiskBackend for RemoteDisk {
             Ok(Response::Element(v)) => v,
             _ => None,
         }
+    }
+
+    /// Fetch a whole batch in **one** RPC, with the retry/hedge stack
+    /// applied once per batch instead of once per element. A batch that
+    /// forms one contiguous ascending run goes out as the coalesced
+    /// `GetRange`; anything else (or a server that predates the opcode)
+    /// as `BatchGet`.
+    fn read_many(&self, offsets: &[u64]) -> Vec<Option<Vec<u8>>> {
+        if offsets.is_empty() {
+            return Vec::new();
+        }
+        if offsets.len() == 1 {
+            return vec![self.read(offsets[0])];
+        }
+        if self.range_enabled() {
+            if let Some(count) = contiguous_run(offsets) {
+                match self.timed(|| {
+                    self.read_rpc(&Request::GetRange {
+                        offset: offsets[0],
+                        count,
+                    })
+                }) {
+                    Ok(Response::Range(items)) if items.len() == offsets.len() => return items,
+                    _ => {
+                        // Either a transient fault or an old server (which
+                        // drops the connection on the unknown opcode). Retry
+                        // the batch as BatchGet; if *that* works, the shard
+                        // is alive but range-less — remember and stop asking.
+                        match self.timed(|| {
+                            self.read_rpc(&Request::BatchGet {
+                                offsets: offsets.to_vec(),
+                            })
+                        }) {
+                            Ok(Response::Batch(items)) if items.len() == offsets.len() => {
+                                self.range_supported.store(false, Ordering::Release);
+                                return items;
+                            }
+                            _ => return vec![None; offsets.len()],
+                        }
+                    }
+                }
+            }
+        }
+        self.read_batch(offsets)
     }
 
     fn write(&self, offset: u64, bytes: Vec<u8>) {
@@ -418,6 +490,82 @@ mod tests {
         }
         let got = disk.read_batch(&[1, 5, 2]);
         assert_eq!(got, vec![Some(vec![1u8; 4]), None, Some(vec![2u8; 4])]);
+    }
+
+    #[test]
+    fn read_many_coalesces_contiguous_run_into_one_range_rpc() {
+        let server = server();
+        let disk = RemoteDisk::new(server.addr(), RemoteDiskConfig::fast());
+        for o in 0..6u64 {
+            disk.write(o, vec![o as u8; 4]);
+        }
+        let got = disk.read_many(&[2, 3, 4, 5]);
+        assert_eq!(
+            got,
+            (2..6u64)
+                .map(|o| Some(vec![o as u8; 4]))
+                .collect::<Vec<_>>()
+        );
+        let stats = disk.stats().unwrap();
+        let get = |name: &str| stats.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+        assert_eq!(get("serve.range"), Some(1), "one coalesced RPC");
+        assert_eq!(get("serve.batch"), Some(0), "no per-batch fallback used");
+    }
+
+    #[test]
+    fn read_many_non_contiguous_uses_batch_get() {
+        let server = server();
+        let disk = RemoteDisk::new(server.addr(), RemoteDiskConfig::fast());
+        for o in 0..8u64 {
+            disk.write(o, vec![o as u8]);
+        }
+        let got = disk.read_many(&[7, 0, 3, 100]);
+        assert_eq!(got, vec![Some(vec![7]), Some(vec![0]), Some(vec![3]), None]);
+        let stats = disk.stats().unwrap();
+        let get = |name: &str| stats.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+        assert_eq!(get("serve.batch"), Some(1));
+        assert_eq!(get("serve.range"), Some(0));
+        assert!(disk.range_enabled(), "fallback must not disable range");
+    }
+
+    #[test]
+    fn read_many_matches_per_element_loop() {
+        let server = server();
+        let disk = RemoteDisk::new(server.addr(), RemoteDiskConfig::fast());
+        for o in [0u64, 1, 2, 3, 7] {
+            disk.write(o, vec![o as u8; 2]);
+        }
+        for offsets in [
+            vec![0u64, 1, 2, 3],
+            vec![3, 7, 1],
+            vec![5, 6],
+            vec![],
+            vec![7],
+        ] {
+            let want: Vec<Option<Vec<u8>>> = offsets.iter().map(|&o| disk.read(o)).collect();
+            assert_eq!(disk.read_many(&offsets), want, "offsets {offsets:?}");
+        }
+    }
+
+    #[test]
+    fn read_many_on_dead_server_is_all_absent() {
+        let mut server = server();
+        let disk = RemoteDisk::new(server.addr(), RemoteDiskConfig::fast());
+        disk.write(0, vec![1]);
+        server.kill();
+        assert_eq!(disk.read_many(&[0, 1, 2]), vec![None, None, None]);
+        // A transient outage must not permanently disable coalescing.
+        assert!(disk.range_enabled());
+    }
+
+    #[test]
+    fn contiguous_run_detection() {
+        assert_eq!(contiguous_run(&[]), None);
+        assert_eq!(contiguous_run(&[5]), Some(1));
+        assert_eq!(contiguous_run(&[5, 6, 7]), Some(3));
+        assert_eq!(contiguous_run(&[5, 7]), None);
+        assert_eq!(contiguous_run(&[6, 5]), None);
+        assert_eq!(contiguous_run(&[5, 5]), None);
     }
 
     #[test]

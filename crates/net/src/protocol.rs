@@ -6,11 +6,13 @@
 //! [ magic "EFRM" : 4 ][ version : 1 ][ opcode : 1 ][ payload len : u32 LE ][ payload ]
 //! ```
 //!
-//! Integers inside payloads are little-endian. Six operations exist:
+//! Integers inside payloads are little-endian. Seven operations exist:
 //! `GetElement`, `PutElement`, `BatchGet`, `Health`, `InjectFault`
 //! (the fault-injection side channel that lets a client drive a remote
-//! shard's failure state exactly like a local disk's), and `Stats`
-//! (dump the server's metrics registry as flat name/value pairs).
+//! shard's failure state exactly like a local disk's), `Stats`
+//! (dump the server's metrics registry as flat name/value pairs), and
+//! `GetRange` (the coalesced batch form: one contiguous run of
+//! elements, answered in a single bitmap-framed payload).
 
 use std::io::{Read, Write};
 
@@ -110,6 +112,18 @@ pub enum Request {
         /// Element offsets, served in order.
         offsets: Vec<u64>,
     },
+    /// Fetch a contiguous run of `count` elements starting at `offset`
+    /// — the coalesced form of [`Request::BatchGet`] a client emits
+    /// when a per-disk batch collapses into one sequential run (the
+    /// common case under EC-FRM's sequential layout). Additive in
+    /// protocol version 1: servers that predate it reject the opcode
+    /// and clients fall back to `BatchGet`.
+    GetRange {
+        /// First element offset of the run.
+        offset: u64,
+        /// Number of consecutive elements.
+        count: u32,
+    },
     /// Liveness + occupancy probe.
     Health,
     /// Drive the shard's failure state.
@@ -127,6 +141,11 @@ pub enum Response {
     Put,
     /// Batched elements, in request order.
     Batch(Vec<Option<Vec<u8>>>),
+    /// A contiguous run of elements answering [`Request::GetRange`]:
+    /// one frame carrying a presence bitmap plus the present elements'
+    /// bytes, so a fully-present run costs 4 + ⌈count/8⌉ bytes of
+    /// per-element framing total instead of 5 bytes *per element*.
+    Range(Vec<Option<Vec<u8>>>),
     /// Health probe answer: stored element count.
     Health {
         /// Elements currently stored.
@@ -146,6 +165,7 @@ const OP_BATCH_GET: u8 = 3;
 const OP_HEALTH: u8 = 4;
 const OP_INJECT: u8 = 5;
 const OP_STATS: u8 = 6;
+const OP_GET_RANGE: u8 = 7;
 
 const RESP_ELEMENT: u8 = 129;
 const RESP_PUT: u8 = 130;
@@ -153,6 +173,7 @@ const RESP_BATCH: u8 = 131;
 const RESP_HEALTH: u8 = 132;
 const RESP_FAULT: u8 = 133;
 const RESP_STATS: u8 = 134;
+const RESP_RANGE: u8 = 135;
 const RESP_ERROR: u8 = 255;
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -232,6 +253,7 @@ impl Request {
             Request::GetElement { .. } => OP_GET,
             Request::PutElement { .. } => OP_PUT,
             Request::BatchGet { .. } => OP_BATCH_GET,
+            Request::GetRange { .. } => OP_GET_RANGE,
             Request::Health => OP_HEALTH,
             Request::InjectFault(_) => OP_INJECT,
             Request::Stats => OP_STATS,
@@ -252,6 +274,10 @@ impl Request {
                 for &o in offsets {
                     put_u64(&mut out, o);
                 }
+            }
+            Request::GetRange { offset, count } => {
+                put_u64(&mut out, *offset);
+                put_u32(&mut out, *count);
             }
             Request::Health | Request::Stats => {}
             Request::InjectFault(fault) => match fault {
@@ -285,6 +311,10 @@ impl Request {
                 }
                 Request::BatchGet { offsets }
             }
+            OP_GET_RANGE => Request::GetRange {
+                offset: c.u64()?,
+                count: c.u32()?,
+            },
             OP_HEALTH => Request::Health,
             OP_STATS => Request::Stats,
             OP_INJECT => {
@@ -310,6 +340,7 @@ impl Response {
             Response::Element(_) => RESP_ELEMENT,
             Response::Put => RESP_PUT,
             Response::Batch(_) => RESP_BATCH,
+            Response::Range(_) => RESP_RANGE,
             Response::Health { .. } => RESP_HEALTH,
             Response::FaultInjected => RESP_FAULT,
             Response::Stats(_) => RESP_STATS,
@@ -326,6 +357,22 @@ impl Response {
                 put_u32(&mut out, items.len() as u32);
                 for v in items {
                     put_opt_bytes(&mut out, v);
+                }
+            }
+            Response::Range(items) => {
+                // [count:u32][presence bitmap: ceil(count/8) bytes, LSB
+                // first][per present element: len:u32 + bytes].
+                put_u32(&mut out, items.len() as u32);
+                let mut bitmap = vec![0u8; items.len().div_ceil(8)];
+                for (i, v) in items.iter().enumerate() {
+                    if v.is_some() {
+                        bitmap[i / 8] |= 1 << (i % 8);
+                    }
+                }
+                out.extend_from_slice(&bitmap);
+                for v in items.iter().flatten() {
+                    put_u32(&mut out, v.len() as u32);
+                    out.extend_from_slice(v);
                 }
             }
             Response::Health { elements } => put_u64(&mut out, *elements),
@@ -354,6 +401,23 @@ impl Response {
                     items.push(get_opt_bytes(&mut c)?);
                 }
                 Response::Batch(items)
+            }
+            RESP_RANGE => {
+                let n = c.u32()? as usize;
+                if n > MAX_PAYLOAD as usize {
+                    return Err(NetError::Protocol(format!("range count {n} implausible")));
+                }
+                let bitmap = c.take(n.div_ceil(8))?.to_vec();
+                let mut items = Vec::with_capacity(n.min(1 << 20));
+                for i in 0..n {
+                    if bitmap[i / 8] & (1 << (i % 8)) != 0 {
+                        let len = c.u32()? as usize;
+                        items.push(Some(c.take(len)?.to_vec()));
+                    } else {
+                        items.push(None);
+                    }
+                }
+                Response::Range(items)
             }
             RESP_HEALTH => Response::Health { elements: c.u64()? },
             RESP_FAULT => Response::FaultInjected,
@@ -566,6 +630,14 @@ mod tests {
             offsets: vec![0, 7, 1 << 40],
         });
         roundtrip_request(Request::BatchGet { offsets: vec![] });
+        roundtrip_request(Request::GetRange {
+            offset: 0,
+            count: 1,
+        });
+        roundtrip_request(Request::GetRange {
+            offset: 1 << 40,
+            count: u32::MAX,
+        });
         roundtrip_request(Request::Health);
         roundtrip_request(Request::Stats);
         for fault in [Fault::Fail, Fault::Heal, Fault::Wipe, Fault::DelayMs(250)] {
@@ -579,6 +651,16 @@ mod tests {
         roundtrip_response(Response::Element(None));
         roundtrip_response(Response::Put);
         roundtrip_response(Response::Batch(vec![Some(vec![1]), None, Some(vec![])]));
+        roundtrip_response(Response::Range(vec![]));
+        roundtrip_response(Response::Range(vec![Some(vec![7; 32])]));
+        roundtrip_response(Response::Range(vec![None, None, None]));
+        // Presence straddling a bitmap byte boundary, with empty and
+        // absent elements interleaved.
+        let mut items: Vec<Option<Vec<u8>>> = (0..19u8)
+            .map(|i| (i % 3 != 0).then(|| vec![i; i as usize]))
+            .collect();
+        items[8] = Some(vec![]);
+        roundtrip_response(Response::Range(items));
         roundtrip_response(Response::Health { elements: 12345 });
         roundtrip_response(Response::FaultInjected);
         roundtrip_response(Response::Stats(vec![]));

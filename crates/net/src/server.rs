@@ -22,12 +22,16 @@ use crate::protocol::{
 /// How often blocked accept/read loops wake to check the stop flag.
 const POLL: Duration = Duration::from_millis(20);
 
+/// Longest `GetRange` run a server will serve (element count).
+const MAX_RANGE: u32 = 1 << 20;
+
 /// Pre-resolved metric handles so the request loop never touches the
 /// registry maps.
 struct ServerMetrics {
     get: Counter,
     put: Counter,
     batch: Counter,
+    range: Counter,
     health: Counter,
     inject: Counter,
     stats: Counter,
@@ -40,6 +44,7 @@ impl ServerMetrics {
             get: recorder.counter("serve.get"),
             put: recorder.counter("serve.put"),
             batch: recorder.counter("serve.batch"),
+            range: recorder.counter("serve.range"),
             health: recorder.counter("serve.health"),
             inject: recorder.counter("serve.inject"),
             stats: recorder.counter("serve.stats"),
@@ -52,6 +57,7 @@ impl ServerMetrics {
             Request::GetElement { .. } => self.get.inc(),
             Request::PutElement { .. } => self.put.inc(),
             Request::BatchGet { .. } => self.batch.inc(),
+            Request::GetRange { .. } => self.range.inc(),
             Request::Health => self.health.inc(),
             Request::InjectFault(_) => self.inject.inc(),
             Request::Stats => self.stats.inc(),
@@ -115,8 +121,9 @@ impl ShardServer {
     }
 
     /// The server's metrics registry: per-op counters (`serve.get`,
-    /// `serve.put`, `serve.batch`, `serve.health`, `serve.inject`,
-    /// `serve.stats`) and the `serve_us` request-service histogram.
+    /// `serve.put`, `serve.batch`, `serve.range`, `serve.health`,
+    /// `serve.inject`, `serve.stats`) and the `serve_us`
+    /// request-service histogram.
     /// Remote clients can fetch the same data with [`Request::Stats`].
     pub fn recorder(&self) -> &Recorder {
         &self.shared.recorder
@@ -233,7 +240,20 @@ fn handle(req: &Request, shared: &Shared) -> Response {
         }
         Request::BatchGet { offsets } => {
             straggle(shared);
-            Response::Batch(offsets.iter().map(|&o| shared.backend.read(o)).collect())
+            Response::Batch(shared.backend.read_many(offsets))
+        }
+        Request::GetRange { offset, count } => {
+            // Even an all-absent answer allocates per requested slot, so
+            // bound the run length before touching the backend (a run
+            // longer than this could not fit a reply frame anyway).
+            if *count > MAX_RANGE {
+                return Response::Error(format!(
+                    "range of {count} elements exceeds the {MAX_RANGE}-element cap"
+                ));
+            }
+            straggle(shared);
+            let offsets: Vec<u64> = (0..u64::from(*count)).map(|i| offset + i).collect();
+            Response::Range(shared.backend.read_many(&offsets))
         }
         Request::Health => Response::Health {
             elements: shared.backend.len() as u64,
@@ -317,6 +337,69 @@ mod tests {
                 }
             ),
             Response::Batch(vec![Some(vec![2, 2]), None, Some(vec![0, 0])])
+        );
+    }
+
+    #[test]
+    fn get_range_serves_contiguous_run_with_holes() {
+        let server = ShardServer::spawn(Arc::new(MemDisk::new()), "127.0.0.1:0").unwrap();
+        let mut c = dial(&server);
+        for o in [2u64, 3, 5] {
+            rpc(
+                &mut c,
+                &Request::PutElement {
+                    offset: o,
+                    bytes: vec![o as u8; 2],
+                },
+            );
+        }
+        assert_eq!(
+            rpc(
+                &mut c,
+                &Request::GetRange {
+                    offset: 2,
+                    count: 4
+                }
+            ),
+            Response::Range(vec![
+                Some(vec![2, 2]),
+                Some(vec![3, 3]),
+                None,
+                Some(vec![5, 5])
+            ])
+        );
+        assert_eq!(
+            rpc(
+                &mut c,
+                &Request::GetRange {
+                    offset: 100,
+                    count: 2
+                }
+            ),
+            Response::Range(vec![None, None])
+        );
+        let snap = server.recorder().snapshot();
+        assert_eq!(snap.counters.get("serve.range").copied(), Some(2));
+    }
+
+    #[test]
+    fn oversized_range_rejected_with_error() {
+        let server = ShardServer::spawn(Arc::new(MemDisk::new()), "127.0.0.1:0").unwrap();
+        let mut c = dial(&server);
+        match rpc(
+            &mut c,
+            &Request::GetRange {
+                offset: 0,
+                count: u32::MAX,
+            },
+        ) {
+            Response::Error(msg) => assert!(msg.contains("cap"), "got: {msg}"),
+            other => panic!("expected Response::Error, got {other:?}"),
+        }
+        // Connection survives the rejection.
+        assert_eq!(
+            rpc(&mut c, &Request::Health),
+            Response::Health { elements: 0 }
         );
     }
 

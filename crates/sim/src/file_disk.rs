@@ -102,6 +102,47 @@ impl DiskBackend for FileDisk {
         Some(buf)
     }
 
+    /// Serve a whole batch in one pass: present offsets are sorted and
+    /// grouped into maximal sequential runs, each run served with one
+    /// seek followed by sequential reads — under EC-FRM's sequential
+    /// layout a stripe's slice of this disk usually collapses to a
+    /// single run.
+    fn read_many(&self, offsets: &[u64]) -> Vec<Option<Vec<u8>>> {
+        if self.failed.load(Ordering::Acquire) {
+            return vec![None; offsets.len()];
+        }
+        let mut out: Vec<Option<Vec<u8>>> = vec![None; offsets.len()];
+        // (offset, result slot) pairs for present elements only, sorted
+        // by offset so sequential runs become sequential file access.
+        let present = self.present.lock();
+        let mut wanted: Vec<(u64, usize)> = offsets
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| present.contains(o))
+            .map(|(i, &o)| (o, i))
+            .collect();
+        drop(present);
+        wanted.sort_unstable();
+        let es = self.element_size as u64;
+        let mut file = self.file.lock();
+        let mut next_pos: Option<u64> = None; // file cursor after last read
+        for (offset, slot) in wanted {
+            let pos = offset * es;
+            if next_pos != Some(pos) && file.seek(SeekFrom::Start(pos)).is_err() {
+                next_pos = None;
+                continue;
+            }
+            let mut buf = vec![0u8; self.element_size];
+            if file.read_exact(&mut buf).is_ok() {
+                out[slot] = Some(buf);
+                next_pos = Some(pos + es);
+            } else {
+                next_pos = None;
+            }
+        }
+        out
+    }
+
     fn write(&self, offset: u64, bytes: Vec<u8>) {
         assert_eq!(
             bytes.len(),
@@ -207,6 +248,24 @@ mod tests {
         for p in paths {
             let _ = std::fs::remove_file(p);
         }
+    }
+
+    #[test]
+    fn read_many_matches_per_element_loop() {
+        let p = tmpfile("many");
+        let d = FileDisk::create(&p, 8).unwrap();
+        for o in [0u64, 1, 2, 5, 9] {
+            d.write(o, vec![o as u8; 8]);
+        }
+        // Unsorted, with duplicates, holes, and out-of-range offsets.
+        let offsets = [9u64, 0, 3, 1, 2, 0, 100, 5];
+        let want: Vec<Option<Vec<u8>>> = offsets.iter().map(|&o| d.read(o)).collect();
+        assert_eq!(d.read_many(&offsets), want);
+        d.fail();
+        assert_eq!(d.read_many(&offsets), vec![None; offsets.len()]);
+        d.heal();
+        assert_eq!(d.read_many(&offsets), want);
+        let _ = std::fs::remove_file(&p);
     }
 
     #[test]

@@ -28,6 +28,17 @@ pub type Address = (usize, u64);
 pub trait DiskBackend: Send + Sync + std::fmt::Debug {
     /// Fetch the element at `offset`; `None` when absent or failed.
     fn read(&self, offset: u64) -> Option<Vec<u8>>;
+    /// Fetch several elements in one request, returned in input order
+    /// (`None` = absent or failed, per element).
+    ///
+    /// This is the vectored entry point of the batched read path: one
+    /// call per disk per array-level read. Backends override it to do
+    /// the whole batch in one pass — a single lock (in-memory), one
+    /// seek per sequential run (files), or one RPC round trip (remote
+    /// shards). The default serves each offset through [`Self::read`].
+    fn read_many(&self, offsets: &[u64]) -> Vec<Option<Vec<u8>>> {
+        offsets.iter().map(|&o| self.read(o)).collect()
+    }
     /// Store an element.
     fn write(&self, offset: u64, bytes: Vec<u8>);
     /// Mark failed: reads return `None` until healed.
@@ -87,6 +98,21 @@ impl DiskBackend for MemDisk {
         self.elements.lock().get(&offset).cloned()
     }
 
+    /// Serve a whole batch under one map lock. The simulated latency
+    /// stays *per element* (it models the disk's per-access service
+    /// time, which batching does not remove), but is paid as one sleep
+    /// so a large batch costs one scheduler round trip.
+    fn read_many(&self, offsets: &[u64]) -> Vec<Option<Vec<u8>>> {
+        if !self.latency.is_zero() && !offsets.is_empty() {
+            std::thread::sleep(self.latency * offsets.len() as u32);
+        }
+        if self.failed.load(Ordering::Acquire) {
+            return vec![None; offsets.len()];
+        }
+        let elements = self.elements.lock();
+        offsets.iter().map(|o| elements.get(o).cloned()).collect()
+    }
+
     fn write(&self, offset: u64, bytes: Vec<u8>) {
         self.elements.lock().insert(offset, bytes);
     }
@@ -119,17 +145,81 @@ impl Default for MemDisk {
 }
 
 enum Job {
+    /// Per-element read — the pre-batching baseline, kept for the
+    /// `read_path` microbench and differential tests.
     Read {
         tag: usize,
         offset: u64,
         reply: Sender<(usize, Option<Vec<u8>>)>,
     },
-    Write {
-        offset: u64,
-        bytes: Vec<u8>,
+    /// One vectored read covering every element this disk serves for
+    /// one array-level batch.
+    ReadMany {
+        tags: Vec<usize>,
+        offsets: Vec<u64>,
+        reply: Sender<DiskReply>,
+    },
+    /// One vectored write covering every element this disk stores for
+    /// one array-level batch.
+    WriteMany {
+        items: Vec<(u64, Vec<u8>)>,
         done: Sender<()>,
     },
     Shutdown,
+}
+
+/// One disk's answer to its slice of a batched read: the caller's
+/// request indices paired with the served bytes (`None` = absent or
+/// failed element).
+#[derive(Debug)]
+pub struct DiskReply {
+    /// Which disk answered.
+    pub disk: usize,
+    /// `(index into the submitted address slice, bytes)` pairs, in the
+    /// order the addresses were submitted for this disk.
+    pub items: Vec<(usize, Option<Vec<u8>>)>,
+}
+
+/// An in-flight batched read: per-disk replies stream out of
+/// [`Self::next_reply`] as each disk finishes its vectored request, so
+/// callers can start consuming (copying out, decoding) while slower
+/// disks are still working.
+///
+/// Dropping a `BatchRead` abandons any outstanding replies safely.
+#[derive(Debug)]
+pub struct BatchRead {
+    rx: std::sync::mpsc::Receiver<DiskReply>,
+    pending: usize,
+    jobs: usize,
+}
+
+impl BatchRead {
+    /// Number of per-disk jobs this batch dispatched — the array-level
+    /// request count (one vectored request per touched disk). For
+    /// remote backends this is the logical RPC count of the batch.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Next per-disk reply, blocking until one arrives; `None` once
+    /// every dispatched disk has answered. A worker that died mid-batch
+    /// (panicking backend) ends the stream early — the caller sees its
+    /// elements simply never arrive and treats them as absent.
+    pub fn next_reply(&mut self) -> Option<DiskReply> {
+        if self.pending == 0 {
+            return None;
+        }
+        match self.rx.recv() {
+            Ok(reply) => {
+                self.pending -= 1;
+                Some(reply)
+            }
+            Err(_) => {
+                self.pending = 0;
+                None
+            }
+        }
+    }
 }
 
 /// One worker thread per disk; jobs dispatched over channels.
@@ -190,12 +280,35 @@ impl ThreadedArray {
                             }
                             let _ = reply.send((tag, bytes));
                         }
-                        Job::Write {
-                            offset,
-                            bytes,
-                            done,
+                        Job::ReadMany {
+                            tags,
+                            offsets,
+                            reply,
                         } => {
-                            disk.write(offset, bytes);
+                            let results = disk.read_many(&offsets);
+                            debug_assert_eq!(results.len(), tags.len());
+                            let mut served = 0u64;
+                            let mut served_bytes = 0u64;
+                            let items: Vec<(usize, Option<Vec<u8>>)> = tags
+                                .into_iter()
+                                .zip(results)
+                                .map(|(tag, bytes)| {
+                                    if let Some(b) = &bytes {
+                                        served += 1;
+                                        served_bytes += b.len() as u64;
+                                    }
+                                    (tag, bytes)
+                                })
+                                .collect();
+                            if served > 0 {
+                                board.record(d, served, served_bytes);
+                            }
+                            let _ = reply.send(DiskReply { disk: d, items });
+                        }
+                        Job::WriteMany { items, done } => {
+                            for (offset, bytes) in items {
+                                disk.write(offset, bytes);
+                            }
                             let _ = done.send(());
                         }
                         Job::Shutdown => break,
@@ -228,42 +341,125 @@ impl ThreadedArray {
         &self.board
     }
 
-    /// Write a batch of elements, waiting for all to land.
+    /// Write a batch of elements, waiting for all to land: one vectored
+    /// [`Job::WriteMany`] per touched disk, so channel traffic is
+    /// O(disks), not O(elements). A dead worker (its backend panicked)
+    /// is skipped rather than panicking the caller — the lost elements
+    /// simply read back as absent, the same failure surface as a failed
+    /// disk.
     pub fn write_batch(&self, items: Vec<(Address, Vec<u8>)>) {
         let (done_tx, done_rx) = channel();
-        let count = items.len();
+        let mut by_disk: HashMap<usize, Vec<(u64, Vec<u8>)>> = HashMap::new();
         for ((disk, offset), bytes) in items {
-            self.senders[disk]
-                .send(Job::Write {
-                    offset,
-                    bytes,
+            by_disk.entry(disk).or_default().push((offset, bytes));
+        }
+        let mut dispatched = 0usize;
+        for (disk, items) in by_disk {
+            if self.senders[disk]
+                .send(Job::WriteMany {
+                    items,
                     done: done_tx.clone(),
                 })
-                .expect("worker alive");
+                .is_ok()
+            {
+                dispatched += 1;
+            }
         }
-        for _ in 0..count {
-            done_rx.recv().expect("worker alive");
+        drop(done_tx);
+        for _ in 0..dispatched {
+            if done_rx.recv().is_err() {
+                break; // a worker died mid-write; nothing left to wait for
+            }
+        }
+    }
+
+    /// Start a batched read: addresses are grouped by disk and **one**
+    /// vectored [`Job::ReadMany`] is enqueued per touched disk (the
+    /// reply [`Sender`] is cloned once per disk, not once per element).
+    /// Per-disk replies stream out of the returned [`BatchRead`] as
+    /// each disk finishes, so consumers can overlap decode/copy-out
+    /// with the slower disks' I/O.
+    ///
+    /// A dead worker (backend panicked earlier) answers immediately
+    /// with all-`None` items instead of panicking the caller.
+    pub fn read_batch_streaming(&self, addrs: &[Address]) -> BatchRead {
+        let (reply_tx, reply_rx) = channel::<DiskReply>();
+        let mut by_disk: HashMap<usize, (Vec<usize>, Vec<u64>)> = HashMap::new();
+        for (tag, &(disk, offset)) in addrs.iter().enumerate() {
+            let entry = by_disk.entry(disk).or_default();
+            entry.0.push(tag);
+            entry.1.push(offset);
+        }
+        let jobs = by_disk.len();
+        for (disk, (tags, offsets)) in by_disk {
+            let job = Job::ReadMany {
+                tags,
+                offsets,
+                reply: reply_tx.clone(),
+            };
+            if let Err(send_err) = self.senders[disk].send(job) {
+                // Worker gone: synthesise the all-absent reply ourselves.
+                let Job::ReadMany { tags, .. } = send_err.0 else {
+                    unreachable!("send returns the job it failed to send")
+                };
+                let _ = reply_tx.send(DiskReply {
+                    disk,
+                    items: tags.into_iter().map(|t| (t, None)).collect(),
+                });
+            }
+        }
+        BatchRead {
+            rx: reply_rx,
+            pending: jobs,
+            jobs,
         }
     }
 
     /// Read a batch of addresses **in parallel** (each disk serves its
     /// own queue concurrently with the others), returning results in
     /// request order. `None` entries are failed/absent elements.
+    ///
+    /// This is the collecting form of [`Self::read_batch_streaming`]:
+    /// one vectored request per disk, results reassembled into request
+    /// order.
     pub fn read_batch(&self, addrs: &[Address]) -> Vec<Option<Vec<u8>>> {
+        let mut batch = self.read_batch_streaming(addrs);
+        let mut out: Vec<Option<Vec<u8>>> = vec![None; addrs.len()];
+        while let Some(reply) = batch.next_reply() {
+            for (tag, bytes) in reply.items {
+                out[tag] = bytes;
+            }
+        }
+        out
+    }
+
+    /// The pre-batching read path: one [`Job::Read`] per element, one
+    /// reply-channel clone per element, one backend access per element.
+    /// Kept as the measured baseline for the `read_path` microbench and
+    /// as the reference side of the batched/per-element differential
+    /// tests. Production reads go through [`Self::read_batch`].
+    pub fn read_batch_per_element(&self, addrs: &[Address]) -> Vec<Option<Vec<u8>>> {
         let (reply_tx, reply_rx) = channel();
+        let mut dispatched = 0usize;
         for (tag, &(disk, offset)) in addrs.iter().enumerate() {
-            self.senders[disk]
+            if self.senders[disk]
                 .send(Job::Read {
                     tag,
                     offset,
                     reply: reply_tx.clone(),
                 })
-                .expect("worker alive");
+                .is_ok()
+            {
+                dispatched += 1;
+            }
         }
+        drop(reply_tx);
         let mut out: Vec<Option<Vec<u8>>> = vec![None; addrs.len()];
-        for _ in 0..addrs.len() {
-            let (tag, bytes) = reply_rx.recv().expect("worker alive");
-            out[tag] = bytes;
+        for _ in 0..dispatched {
+            match reply_rx.recv() {
+                Ok((tag, bytes)) => out[tag] = bytes,
+                Err(_) => break, // worker died mid-batch: leave the rest absent
+            }
         }
         out
     }
@@ -373,6 +569,101 @@ mod tests {
         let a = ThreadedArray::new(2);
         a.write_batch(vec![]);
         assert!(a.read_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn batched_and_per_element_paths_agree() {
+        // Same array, same addresses — including absent offsets and a
+        // failed disk — must answer identically through both paths.
+        let a = ThreadedArray::new(4);
+        let items: Vec<(Address, Vec<u8>)> = (0..32u64)
+            .map(|i| (((i % 4) as usize, i / 4), vec![i as u8; 5]))
+            .collect();
+        a.write_batch(items.clone());
+        a.disk(2).fail();
+        let mut addrs: Vec<Address> = items.iter().map(|(a, _)| *a).collect();
+        addrs.push((0, 999)); // absent offset
+        addrs.push((3, 777)); // absent offset
+        assert_eq!(a.read_batch(&addrs), a.read_batch_per_element(&addrs));
+    }
+
+    #[test]
+    fn one_job_per_touched_disk() {
+        let a = ThreadedArray::new(4);
+        a.write_batch(
+            (0..12u64)
+                .map(|i| (((i % 3) as usize, i / 3), vec![1]))
+                .collect(),
+        );
+        // 12 elements over disks {0,1,2} → exactly 3 per-disk jobs.
+        let addrs: Vec<Address> = (0..12u64).map(|i| ((i % 3) as usize, i / 3)).collect();
+        let mut batch = a.read_batch_streaming(&addrs);
+        assert_eq!(batch.jobs(), 3);
+        let mut replies = 0;
+        let mut elems = 0;
+        while let Some(reply) = batch.next_reply() {
+            replies += 1;
+            elems += reply.items.len();
+            assert!(reply.disk < 3);
+        }
+        assert_eq!(replies, 3);
+        assert_eq!(elems, 12);
+    }
+
+    /// A backend whose reads panic, killing its worker thread — the
+    /// harshest "dead worker" case the batch paths must survive.
+    #[derive(Debug)]
+    struct PanicDisk;
+    impl DiskBackend for PanicDisk {
+        fn read(&self, _offset: u64) -> Option<Vec<u8>> {
+            panic!("injected backend panic");
+        }
+        fn write(&self, _offset: u64, _bytes: Vec<u8>) {}
+        fn fail(&self) {}
+        fn heal(&self) {}
+        fn wipe(&self) {}
+        fn len(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn dead_worker_surfaces_as_none_not_panic() {
+        let healthy = Arc::new(MemDisk::new());
+        healthy.write(0, vec![9]);
+        let a = ThreadedArray::from_backends(vec![
+            healthy as Arc<dyn DiskBackend>,
+            Arc::new(PanicDisk) as Arc<dyn DiskBackend>,
+        ]);
+        // First read kills disk 1's worker mid-batch; healthy disk may or
+        // may not have answered first, but nothing panics on our side.
+        let got = a.read_batch(&[(0, 0), (1, 0)]);
+        assert_eq!(got[1], None);
+        // Worker 1 is now dead (channel disconnected). Subsequent batched
+        // reads and writes must still succeed without panicking, with the
+        // dead disk's elements absent.
+        let got = a.read_batch(&[(0, 0), (1, 0), (1, 7)]);
+        assert_eq!(got[0], Some(vec![9]));
+        assert_eq!(got[1], None);
+        assert_eq!(got[2], None);
+        let got = a.read_batch_per_element(&[(0, 0), (1, 0)]);
+        assert_eq!(got[0], Some(vec![9]));
+        assert_eq!(got[1], None);
+        a.write_batch(vec![((0, 1), vec![4]), ((1, 1), vec![5])]);
+        assert_eq!(a.read_batch(&[(0, 1)])[0], Some(vec![4]));
+    }
+
+    #[test]
+    fn memdisk_read_many_matches_per_element_loop() {
+        let d = MemDisk::new();
+        for o in 0..8u64 {
+            d.write(o, vec![o as u8; 4]);
+        }
+        let offsets = [3u64, 0, 100, 7, 3];
+        let want: Vec<Option<Vec<u8>>> = offsets.iter().map(|&o| d.read(o)).collect();
+        assert_eq!(d.read_many(&offsets), want);
+        d.fail();
+        assert_eq!(d.read_many(&offsets), vec![None; 5]);
     }
 
     #[test]

@@ -20,6 +20,16 @@ struct StoreMetrics {
     replans: Counter,
     fetched_elements: Counter,
     repair_elements: Counter,
+    /// Per-disk vectored requests issued by the batched read path (one
+    /// per touched disk per fetch round; for remote backends this is
+    /// the logical RPC count).
+    rpcs: Counter,
+    /// Elements carried by those vectored requests.
+    batch_elems: Counter,
+    /// Per-disk batches whose offsets formed one contiguous ascending
+    /// run of ≥ 2 elements — the batches a remote backend ships as a
+    /// single coalesced `GetRange`.
+    coalesced_runs: Counter,
     plan_us: Histogram,
     read_us: Histogram,
     disk_load: DiskBoard,
@@ -33,11 +43,37 @@ impl StoreMetrics {
             replans: recorder.counter("replans"),
             fetched_elements: recorder.counter("fetched_elements"),
             repair_elements: recorder.counter("repair_elements"),
+            rpcs: recorder.counter("read.rpcs"),
+            batch_elems: recorder.counter("read.batch_elems"),
+            coalesced_runs: recorder.counter("read.coalesced_runs"),
             plan_us: recorder.histogram("plan_us"),
             read_us: recorder.histogram("read_us"),
             disk_load: recorder.disk_board("disk_load", n_disks),
         }
     }
+
+    /// Tally one dispatched fetch round: `jobs` per-disk requests
+    /// covering `addrs`.
+    fn note_batch(&self, jobs: usize, addrs: &[(usize, u64)]) {
+        self.rpcs.add(jobs as u64);
+        self.batch_elems.add(addrs.len() as u64);
+        self.coalesced_runs.add(count_coalesced_runs(addrs) as u64);
+    }
+}
+
+/// How many per-disk groups of `addrs` (grouped in submission order, the
+/// way `ThreadedArray` dispatches them) form one contiguous ascending
+/// offset run of ≥ 2 elements — exactly the batches `RemoteDisk` ships
+/// as a coalesced `GetRange`.
+fn count_coalesced_runs(addrs: &[(usize, u64)]) -> usize {
+    let mut per_disk: HashMap<usize, Vec<u64>> = HashMap::new();
+    for &(d, o) in addrs {
+        per_disk.entry(d).or_default().push(o);
+    }
+    per_disk
+        .values()
+        .filter(|offs| offs.len() >= 2 && offs.windows(2).all(|w| w[1] == w[0].wrapping_add(1)))
+        .count()
 }
 
 struct Inner {
@@ -150,9 +186,13 @@ impl ObjectStore {
 
     /// The store's metrics registry. Counters: `reads`,
     /// `degraded_reads`, `replans`, `fetched_elements`,
-    /// `repair_elements`, `decoded_elements`, `net.*` (transport
-    /// deltas). Histograms (µs): `plan_us`, `read_us`, `decode_us`.
-    /// Disk board: `disk_load` (planned fetches per disk).
+    /// `repair_elements`, `decoded_elements`, `read.rpcs` (per-disk
+    /// vectored requests issued), `read.batch_elems` (elements those
+    /// requests carried), `read.coalesced_runs` (per-disk batches that
+    /// formed one contiguous run — shipped as a single `GetRange` on
+    /// remote backends), `net.*` (transport deltas). Histograms (µs):
+    /// `plan_us`, `read_us`, `decode_us`. Disk board: `disk_load`
+    /// (planned fetches per disk).
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
     }
@@ -350,12 +390,35 @@ impl ObjectStore {
         let (first, last) = meta.element_range(self.element_size);
         let count = (last - first) as usize;
 
+        // The requested byte range, relative to the first fetched
+        // element. Elements are copied straight into `out` (no
+        // intermediate flattened buffer) and their scratch buffers
+        // retired to the thread-local pool.
+        let begin = (meta.offset - first * self.element_size as u64) as usize;
+        let end = begin + len as usize;
+        let mut out = vec![0u8; len as usize];
+        let copy_element = |out: &mut [u8], idx: usize, e: &[u8]| {
+            let estart = idx * self.element_size;
+            let s = begin.max(estart);
+            let t = end.min(estart + e.len());
+            if s < t {
+                out[s - begin..t - begin].copy_from_slice(&e[s - estart..t - estart]);
+            }
+        };
+
         // Plan, fetch, and — when a disk stops answering mid-read —
         // mark it suspect and replan degraded around it. Each iteration
         // strictly grows the suspect set, so the loop terminates.
+        //
+        // Fetches go out as one vectored request per touched disk
+        // (`read_batch_streaming`), and per-disk replies are consumed
+        // as they arrive: on the normal path each answering disk's
+        // elements are copied into `out` while slower disks are still
+        // reading; on the degraded path arriving elements accumulate
+        // into the assemble map the same way.
         let mut suspects: BTreeSet<usize> = failed.iter().copied().collect();
         let mut replans = 0usize;
-        let (elements, plan) = loop {
+        let plan = loop {
             let down: Vec<usize> = suspects.iter().copied().collect();
             let t_plan = std::time::Instant::now();
             let plan = if down.is_empty() {
@@ -371,35 +434,62 @@ impl ObjectStore {
                 )));
             }
 
-            // Execute the plan in parallel on the array.
+            // Execute the plan: one vectored request per touched disk.
             let addrs: Vec<(usize, u64)> = plan
                 .fetches
                 .iter()
                 .map(|f| (f.loc.disk, f.loc.offset))
                 .collect();
-            let results = self.array.read_batch(&addrs);
-            let mut fetched: HashMap<Loc, Vec<u8>> = HashMap::with_capacity(addrs.len());
+            let mut batch = self.array.read_batch_streaming(&addrs);
+            self.metrics.note_batch(batch.jobs(), &addrs);
+            let touched: BTreeSet<usize> = addrs.iter().map(|&(d, _)| d).collect();
+            let mut answered: BTreeSet<usize> = BTreeSet::new();
             let mut newly_suspect: BTreeSet<usize> = BTreeSet::new();
-            for (f, bytes) in plan.fetches.iter().zip(results) {
-                match bytes {
-                    Some(b) => {
-                        fetched.insert(f.loc, b);
-                    }
-                    None => {
-                        newly_suspect.insert(f.loc.disk);
+            let normal = down.is_empty();
+            // Degraded reads collect into a map for group decode; the
+            // map stays empty on the normal path (fetch i IS demand
+            // element i, copied out directly as its disk answers).
+            let mut fetched: HashMap<Loc, Vec<u8>> = if normal {
+                HashMap::new()
+            } else {
+                HashMap::with_capacity(addrs.len())
+            };
+            while let Some(reply) = batch.next_reply() {
+                answered.insert(reply.disk);
+                for (tag, bytes) in reply.items {
+                    match bytes {
+                        Some(b) if normal => {
+                            copy_element(&mut out, tag, &b);
+                            crate::bufpool::give(b);
+                        }
+                        Some(b) => {
+                            fetched.insert(plan.fetches[tag].loc, b);
+                        }
+                        None => {
+                            newly_suspect.insert(addrs[tag].0);
+                        }
                     }
                 }
             }
+            // A worker that died mid-batch ends the reply stream early;
+            // its disk never answered and is suspect like any other.
+            newly_suspect.extend(touched.difference(&answered));
             if newly_suspect.is_empty() {
-                let elements = self.scheme.assemble_read(
-                    first,
-                    count,
-                    &fetched,
-                    ReadCtx::new()
-                        .with_cache(&self.decoder_cache)
-                        .with_recorder(&self.recorder),
-                )?;
-                break (elements, plan);
+                if !normal {
+                    let elements = self.scheme.assemble_read(
+                        first,
+                        count,
+                        &fetched,
+                        ReadCtx::new()
+                            .with_cache(&self.decoder_cache)
+                            .with_recorder(&self.recorder),
+                    )?;
+                    for (idx, e) in elements.into_iter().enumerate() {
+                        copy_element(&mut out, idx, &e);
+                        crate::bufpool::give(e);
+                    }
+                }
+                break plan;
             }
             if newly_suspect.iter().all(|d| suspects.contains(d)) {
                 return Err(StoreError::DataLoss(format!(
@@ -409,25 +499,6 @@ impl ObjectStore {
             suspects.extend(newly_suspect);
             replans += 1;
         };
-
-        // Copy the requested byte range straight out of the element run
-        // (no intermediate flattened buffer), then retire the element
-        // buffers to the thread-local pool for later scratch reuse.
-        let begin = (meta.offset - first * self.element_size as u64) as usize;
-        let end = begin + len as usize;
-        let mut out = Vec::with_capacity(len as usize);
-        let mut cursor = 0usize;
-        for e in elements {
-            let estart = cursor;
-            cursor += e.len();
-            let s = begin.max(estart);
-            let t = end.min(cursor);
-            if s < t {
-                out.extend_from_slice(&e[s - estart..t - estart]);
-            }
-            crate::bufpool::give(e);
-        }
-        debug_assert_eq!(out.len(), len as usize);
         let net_delta = self.net_snapshot().since(&net_before);
         let stats = ReadStats {
             requested_elements: count,
@@ -493,10 +564,23 @@ impl ObjectStore {
         let mut corrupt_groups = Vec::new();
         let mut missing = 0usize;
         for stripe in 0..stripes {
-            for row in 0..layout.rows_per_stripe() {
-                let locs = layout.row_locations(stripe, row);
-                let addrs: Vec<(usize, u64)> = locs.iter().map(|l| (l.disk, l.offset)).collect();
-                let cells = self.array.read_batch(&addrs);
+            // One batched read per stripe (one vectored request per
+            // disk) instead of one per row: n×rows elements arrive
+            // through `rows` per-disk requests.
+            let rows = layout.rows_per_stripe();
+            let mut addrs: Vec<(usize, u64)> = Vec::with_capacity(rows * n);
+            for row in 0..rows {
+                addrs.extend(
+                    layout
+                        .row_locations(stripe, row)
+                        .iter()
+                        .map(|l| (l.disk, l.offset)),
+                );
+            }
+            let mut stripe_cells = self.array.read_batch(&addrs).into_iter();
+            for row in 0..rows {
+                let cells: Vec<Option<Vec<u8>>> = stripe_cells.by_ref().take(n).collect();
+                debug_assert_eq!(cells.len(), n);
                 if cells.iter().any(|c| c.is_none()) {
                     missing += cells.iter().filter(|c| c.is_none()).count();
                     continue;
@@ -998,6 +1082,75 @@ mod tests {
         assert!(got[0].is_ok());
         assert!(matches!(got[1], Err(StoreError::NotFound(_))));
         assert!(got[2].is_ok());
+    }
+
+    #[test]
+    fn read_issues_one_rpc_per_touched_disk() {
+        // (6,3) EC-FRM over 9 disks: a full-stripe read touches every
+        // data element. The batched path must issue at most one
+        // per-disk request per disk per read round.
+        let store = ObjectStore::new(ecfrm_scheme(Arc::new(RsCode::vandermonde(6, 3))), 64);
+        let data = blob(30_000, 40);
+        store.put("x", &data).unwrap();
+        store.flush();
+        let before = store
+            .recorder()
+            .snapshot()
+            .counters
+            .get("read.rpcs")
+            .copied()
+            .unwrap_or(0);
+        assert_eq!(store.get("x").unwrap(), data);
+        let snap = store.recorder().snapshot();
+        let rpcs = snap.counters.get("read.rpcs").copied().unwrap() - before;
+        assert!(
+            rpcs <= store.scheme().n_disks() as u64,
+            "one read issued {rpcs} per-disk requests over {} disks",
+            store.scheme().n_disks()
+        );
+        assert!(rpcs >= 1);
+        let elems = snap.counters.get("read.batch_elems").copied().unwrap();
+        assert!(elems as usize >= data.len() / 64, "batch_elems: {elems}");
+    }
+
+    #[test]
+    fn sequential_layout_reads_coalesce_into_runs() {
+        // EC-FRM places data sequentially across all disks, so a read
+        // spanning two data rows hands (at least) the wrap-around disks
+        // a strictly contiguous per-disk offset run. (Full-object reads
+        // cross parity rows, which punch periodic holes in the per-disk
+        // offsets — those batches stay `BatchGet`.)
+        let store = ObjectStore::new(ecfrm_scheme(Arc::new(RsCode::vandermonde(6, 3))), 64);
+        store.put("x", &blob(30_000, 41)).unwrap();
+        store.flush();
+        // Elements 0..11: every disk serves offset 0, the first two also
+        // serve offset 1 → two [0, 1] runs.
+        store.get_range("x", 0, 700).unwrap();
+        let snap = store.recorder().snapshot();
+        let runs = snap
+            .counters
+            .get("read.coalesced_runs")
+            .copied()
+            .unwrap_or(0);
+        assert!(
+            runs >= 2,
+            "sequential layout produced {runs} coalesced runs, expected ≥ 2"
+        );
+    }
+
+    #[test]
+    fn count_coalesced_runs_rule() {
+        // One contiguous run per disk of ≥2 elements counts; gaps,
+        // singletons, and descending order do not.
+        assert_eq!(count_coalesced_runs(&[]), 0);
+        assert_eq!(count_coalesced_runs(&[(0, 5)]), 0);
+        assert_eq!(count_coalesced_runs(&[(0, 5), (0, 6), (0, 7)]), 1);
+        assert_eq!(count_coalesced_runs(&[(0, 5), (0, 7)]), 0);
+        assert_eq!(count_coalesced_runs(&[(0, 6), (0, 5)]), 0);
+        assert_eq!(
+            count_coalesced_runs(&[(0, 0), (1, 3), (0, 1), (1, 4), (2, 9)]),
+            2
+        );
     }
 
     #[test]
