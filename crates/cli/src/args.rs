@@ -41,6 +41,10 @@ pub struct Options {
     pub json: Option<String>,
     /// `--stripes small|full|<n>` (bench ingest size).
     pub stripes: Option<String>,
+    /// `--rate 5000000`: repair rate limit in bytes/second (drill).
+    pub rate: Option<u64>,
+    /// `--workers 2`: repair worker threads (drill).
+    pub workers: Option<usize>,
 }
 
 impl Options {
@@ -91,6 +95,16 @@ impl Options {
                 "--stats" => o.stats = true,
                 "--json" => o.json = Some(value()?),
                 "--stripes" => o.stripes = Some(value()?),
+                "--rate" => {
+                    o.rate = Some(value()?.parse().map_err(|e| format!("bad --rate: {e}"))?)
+                }
+                "--workers" => {
+                    o.workers = Some(
+                        value()?
+                            .parse()
+                            .map_err(|e| format!("bad --workers: {e}"))?,
+                    )
+                }
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -232,6 +246,17 @@ mod tests {
             "KROTATED-RS(6,3)"
         );
         assert!(parse_scheme("rs:6,3", "shuffled", 9).is_ok());
+    }
+
+    #[test]
+    fn repair_drill_flags() {
+        let o =
+            Options::parse(&sv(&["--rate", "5000000", "--workers", "4", "--disk", "3"])).unwrap();
+        assert_eq!(o.rate, Some(5_000_000));
+        assert_eq!(o.workers, Some(4));
+        assert_eq!(o.disk, Some(3));
+        assert!(Options::parse(&sv(&["--rate", "fast"])).is_err());
+        assert!(Options::parse(&sv(&["--workers", "-1"])).is_err());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! ecfrm serve   --listen 127.0.0.1:7000 --dir ./shard0
 //! ecfrm bench   --code rs:4,2 --layout ecfrm \
 //!               --remote 127.0.0.1:7000,...   # one address per disk
+//! ecfrm drill   --code rs:6,3 --layout ecfrm --disk 3 --rate 20000000
 //! ```
 //!
 //! `encode` splits a file into elements, erasure codes it stripe by
@@ -23,6 +24,9 @@
 //! access distribution of a read — the paper's Figures 3 and 7 as a
 //! command. `serve` exposes one shard over TCP and `bench --remote`
 //! drives the full put→encode→network→decode path against such shards.
+//! `drill` is a kill-and-repair fire drill: wipe a disk, restore full
+//! redundancy with the background repair pipeline under foreground
+//! load, and report both sides' performance.
 
 mod args;
 mod error;
@@ -56,6 +60,7 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "verify" => ops::verify(&opts),
         "plan" => ops::plan(&opts),
         "bench" => ops::bench(&opts),
+        "drill" => ops::drill(&opts),
         "serve" => ops::serve(&opts),
         "stats" => ops::stats(&opts),
         "help" | "--help" | "-h" => {
@@ -82,6 +87,9 @@ fn usage() -> String {
      \x20 bench   --code <spec> --layout <name> [--element-size <bytes>] [--count <trials>]\n\
      \x20         [--stripes small|full|<n>] [--stats] [--json <file>]\n\
      \x20         [--remote host:port,host:port,...]   (one address per disk)\n\
+     \x20 drill   [--code <spec>] [--layout <name>] [--disk <victim>] [--stripes small|full|<n>]\n\
+     \x20         [--workers <n>] [--rate <bytes/s>] [--stats] [--json <file>]\n\
+     \x20         (kill-and-repair fire drill: background repair under foreground load)\n\
      \x20 serve   --listen <host:port> [--dir <shard dir>] [--element-size <bytes>]\n\
      \x20 stats   --remote host:port[,host:port,...] [--json <file>]\n\
      layouts: standard | rotated | krotated | shuffled | ecfrm"

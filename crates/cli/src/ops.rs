@@ -401,6 +401,162 @@ pub fn bench(opts: &Options) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `ecfrm drill`: a kill-and-repair fire drill on an in-memory store.
+///
+/// Ingests `--stripes` worth of data, wipes one disk for real
+/// (`--disk`, default 0), and lets a background
+/// [`RepairManager`](ecfrm_store::RepairManager) restore full
+/// redundancy — `--workers` parallel reconstruction workers under an
+/// optional `--rate` bytes/second token-bucket limit — while a
+/// foreground reader keeps hammering the store. Reports foreground
+/// latency during repair (the paper's degraded-read service quality)
+/// against repair throughput and time-to-full-redundancy.
+pub fn drill(opts: &Options) -> Result<(), CliError> {
+    use ecfrm_sim::ThreadedArray;
+    use ecfrm_store::{ObjectStore, RepairConfig, RepairManager};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let code = opts.code.as_deref().unwrap_or("rs:6,3");
+    let layout = opts.layout.as_deref().unwrap_or("ecfrm");
+    let element_size = opts.element_size.unwrap_or(16 * 1024);
+    let scheme = parse_scheme(code, layout, opts.seed)?;
+    let stripes = opts.stripe_count()?;
+    let victim = opts.disk.unwrap_or(0);
+    if victim >= scheme.n_disks() {
+        return Err(CliError::Usage(format!(
+            "--disk {victim} out of range (scheme has {} disks)",
+            scheme.n_disks()
+        )));
+    }
+
+    let store = Arc::new(ObjectStore::with_array(
+        scheme.clone(),
+        element_size,
+        ThreadedArray::new(scheme.n_disks()),
+    ));
+    let total_elements = stripes * scheme.data_per_stripe();
+    let payload: Vec<u8> = (0..total_elements * element_size)
+        .map(|i| (i % 251) as u8)
+        .collect();
+    store.put("drill", &payload)?;
+    store.flush();
+    println!(
+        "{}: ingested {:.1} MB over {} disks ({} stripes)",
+        scheme.name(),
+        payload.len() as f64 / 1e6,
+        scheme.n_disks(),
+        store.stats().stripes,
+    );
+
+    // Lose the victim for real: contents gone, reads plan around it.
+    store.fail_disk(victim)?;
+    store.array().disk(victim).wipe();
+    println!("disk {victim} wiped; starting background repair");
+
+    let t0 = Instant::now();
+    let mgr = RepairManager::spawn(
+        Arc::clone(&store),
+        RepairConfig {
+            workers: opts.workers.unwrap_or(2),
+            rate_limit: opts.rate,
+            poll: Duration::from_millis(1),
+            replacer: None,
+        },
+    );
+
+    // Foreground load while repair runs: random small reads, latency
+    // sampled per read.
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let store = Arc::clone(&store);
+        let stop = Arc::clone(&stop);
+        let mut x = opts.seed | 1;
+        let len = payload.len() as u64;
+        let es = element_size as u64;
+        std::thread::spawn(move || -> Result<Vec<u64>, ecfrm_store::StoreError> {
+            let mut lat_us = Vec::new();
+            while !stop.load(Ordering::Acquire) {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let size = (1 + x % 8) * es;
+                let start = x % (len - size);
+                let t = Instant::now();
+                store.get_range("drill", start, size)?;
+                lat_us.push(t.elapsed().as_micros() as u64);
+            }
+            Ok(lat_us)
+        })
+    };
+
+    let finished = mgr.wait_idle(Duration::from_secs(600));
+    let elapsed = t0.elapsed();
+    stop.store(true, Ordering::Release);
+    let mut lat = reader
+        .join()
+        .map_err(|_| CliError::Usage("foreground reader panicked".into()))??;
+    if !finished {
+        return Err(CliError::Usage(format!(
+            "repair did not converge: {:?}",
+            mgr.progress()
+        )));
+    }
+
+    let progress = mgr.progress();
+    let snap = store.recorder().snapshot();
+    let repaired_bytes = snap.counters.get("repair.bytes").copied().unwrap_or(0);
+    println!(
+        "repair: {} stripes ({:.1} MB rebuilt) in {:.2}s ({:.1} MB/s){}",
+        progress.stripes_done,
+        repaired_bytes as f64 / 1e6,
+        elapsed.as_secs_f64(),
+        repaired_bytes as f64 / 1e6 / elapsed.as_secs_f64(),
+        match opts.rate {
+            Some(r) => format!(", rate limit {:.1} MB/s", r as f64 / 1e6),
+            None => String::new(),
+        },
+    );
+    if let Some(ms) = snap.gauges.get("repair.time_to_redundancy_ms") {
+        println!("time to full redundancy: {:.2}s", *ms as f64 / 1e3);
+    }
+    lat.sort_unstable();
+    if !lat.is_empty() {
+        let pct = |p: f64| lat[((lat.len() - 1) as f64 * p) as usize];
+        println!(
+            "foreground during repair: {} reads, p50 {} us, p99 {} us, max {} us",
+            lat.len(),
+            pct(0.50),
+            pct(0.99),
+            lat[lat.len() - 1],
+        );
+    }
+
+    // Prove the drill ended healthy: full redundancy, correct bytes.
+    if !store.stats().failed_disks.is_empty() {
+        return Err(CliError::Usage("disk still failed after repair".into()));
+    }
+    let (bytes, stats) = store.get_with_stats("drill")?;
+    if bytes != payload || stats.degraded || stats.repair_elements != 0 {
+        return Err(CliError::Usage(
+            "post-repair read was degraded or corrupt".into(),
+        ));
+    }
+    println!("post-repair read: normal plan, zero decodes, bytes verified");
+
+    if opts.stats {
+        println!("\n-- store metrics ({}) --", scheme.name());
+        print!("{}", snap.render());
+    }
+    if let Some(path) = &opts.json {
+        std::fs::write(path, snap.to_json())
+            .map_err(|e| CliError::io(format!("writing {path}"), e))?;
+        println!("metrics JSON written to {path}");
+    }
+    Ok(())
+}
+
 /// `ecfrm stats`: fetch and print the metrics registry of one or more
 /// shard servers (`--remote host:port,...`) over the wire.
 pub fn stats(opts: &Options) -> Result<(), CliError> {

@@ -37,6 +37,8 @@
 //! assert_eq!(shards[0].as_deref().unwrap(), &data[0][..]);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod decode;
 pub mod lrc;

@@ -36,6 +36,8 @@
 //! assert_eq!(plan.max_load(), 1);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod plan;
 pub mod recover;
 pub mod scheme;

@@ -89,13 +89,49 @@ impl DiskRecovery {
         all_failed: &[usize],
         stripes: u64,
     ) -> Result<Self, String> {
+        let ids: Vec<u64> = (0..stripes).collect();
+        Self::plan_stripes(scheme, target, all_failed, &ids)
+    }
+
+    /// Plan the recovery of `target` restricted to the given stripes —
+    /// the unit of work of an incremental (background) repair pipeline,
+    /// which rebuilds a lost disk stripe by stripe instead of in one
+    /// blocking pass. Greedy source balancing runs over exactly the
+    /// stripes given, so a one-stripe plan is self-contained.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use ecfrm_codes::RsCode;
+    /// use ecfrm_core::{DiskRecovery, Scheme};
+    ///
+    /// let scheme = Scheme::builder(Arc::new(RsCode::vandermonde(6, 3)))
+    ///     .layout(ecfrm_core::LayoutKind::EcFrm)
+    ///     .build();
+    /// let one = DiskRecovery::plan_stripes(&scheme, 0, &[0], &[7]).unwrap();
+    /// // Exactly the failed disk's elements of stripe 7.
+    /// assert_eq!(one.total_rebuilt() as u64, scheme.layout().offsets_per_stripe());
+    /// assert!(one.tasks.iter().all(|t| t.stripe == 7));
+    /// ```
+    ///
+    /// # Errors
+    /// Returns a description of the first unrecoverable element if the
+    /// combined failure pattern exceeds the code's tolerance.
+    ///
+    /// # Panics
+    /// Panics if `target` is not a valid disk.
+    pub fn plan_stripes(
+        scheme: &Scheme,
+        target: usize,
+        all_failed: &[usize],
+        stripe_ids: &[u64],
+    ) -> Result<Self, String> {
         let layout = scheme.layout();
         let code = scheme.code();
         assert!(target < layout.n_disks(), "failed disk out of range");
         let is_failed = |d: usize| d == target || all_failed.contains(&d);
         let mut loads = vec![0usize; layout.n_disks()];
         let mut tasks = Vec::new();
-        for stripe in 0..stripes {
+        for &stripe in stripe_ids {
             for row in 0..layout.rows_per_stripe() {
                 let locs = layout.row_locations(stripe, row);
                 let erased: Vec<usize> = (0..locs.len())

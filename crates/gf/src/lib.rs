@@ -30,6 +30,8 @@
 //! assert_eq!(Gf8::add(a, a), 0); // characteristic 2
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod field;
 pub mod gf16;
 pub mod gf4;

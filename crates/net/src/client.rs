@@ -84,6 +84,27 @@ impl RemoteDiskConfig {
             use_range: true,
         }
     }
+
+    /// Low-priority profile for background repair traffic: no hedging
+    /// (hedges exist to cut foreground tail latency; repair has no
+    /// tail-latency SLO and duplicate reads would double its load on
+    /// the survivors), relaxed timeouts with patient backoff (a busy
+    /// shard serving foreground reads is the expected case, not a
+    /// failure), a single pooled connection per shard, and coalesced
+    /// `GetRange` on (repair source batches are contiguous runs more
+    /// often than foreground ones).
+    pub fn repair() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(2),
+            request_timeout: Duration::from_secs(5),
+            max_retries: 3,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(1),
+            hedge_after: None,
+            pool_size: 1,
+            use_range: true,
+        }
+    }
 }
 
 /// A remote shard, presented as a local [`DiskBackend`].

@@ -16,6 +16,26 @@
 //!   jitter, and optional hedged reads.
 //! * [`cluster`] — [`Cluster`], an n-node loopback harness for tests,
 //!   benches, and the CLI.
+//!
+//! # Example
+//!
+//! Boot a three-node loopback cluster and round-trip an element over
+//! real TCP sockets:
+//!
+//! ```
+//! use ecfrm_net::Cluster;
+//! use ecfrm_sim::DiskBackend;
+//!
+//! let mut cluster = Cluster::spawn(3).unwrap();
+//! let shard0 = &cluster.backends()[0];
+//! shard0.write(0, b"hello over the wire".to_vec());
+//! assert_eq!(shard0.read(0).as_deref(), Some(&b"hello over the wire"[..]));
+//!
+//! // Kill a node: reads fail cleanly instead of hanging, which is what
+//! // lets the store fall back to a degraded-read plan.
+//! cluster.kill(0);
+//! assert!(cluster.backends()[0].read(0).is_none());
+//! ```
 
 pub mod client;
 pub mod cluster;

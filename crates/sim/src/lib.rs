@@ -24,6 +24,7 @@
 pub mod array;
 pub mod disk;
 pub mod event;
+pub mod fault;
 pub mod file_disk;
 pub mod metrics;
 pub mod net;
@@ -33,6 +34,7 @@ pub mod workload;
 pub use array::{ArraySim, Jitter};
 pub use disk::DiskModel;
 pub use event::{Completion, EventSim, Request};
+pub use fault::{FaultKind, FaultyDisk};
 pub use file_disk::FileDisk;
 pub use metrics::{mean, speed_mb_s, stddev, NetCounters, NetStats, Summary};
 pub use net::{ClusterSim, NetModel};

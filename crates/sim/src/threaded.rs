@@ -7,10 +7,11 @@
 //! disks ([`MemDisk`]) with optional injected per-access latency so the
 //! bottleneck behaviour is physically observable in examples and tests.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::Duration;
 
 use ecfrm_obs::DiskBoard;
@@ -222,21 +223,38 @@ impl BatchRead {
     }
 }
 
+/// One disk's live state: its backend and the channel to its worker.
+/// Behind a per-slot [`Mutex`] so a disk can be *re-registered* — its
+/// backend replaced or its dead worker respawned — through a shared
+/// reference while other disks keep serving.
+struct DiskSlot {
+    disk: Arc<dyn DiskBackend>,
+    sender: Sender<Job>,
+}
+
 /// One worker thread per disk; jobs dispatched over channels.
 ///
 /// Every served element read is tallied on a per-disk [`DiskBoard`]
 /// (count + bytes), so the paper's "most-loaded disk is the bottleneck"
 /// is directly observable per layout via [`ThreadedArray::load_board`].
+///
+/// The array also keeps a *suspect set*: disks whose worker died or
+/// that a reader reported as unresponsive
+/// ([`ThreadedArray::mark_suspect`]). The set is pure reporting — it
+/// never changes how jobs are dispatched — and feeds failure detectors
+/// such as the store's background `RepairManager`, which probe suspects
+/// and either clear them ([`ThreadedArray::clear_suspect`]) or promote
+/// them to failed and start reconstruction.
 pub struct ThreadedArray {
-    disks: Vec<Arc<dyn DiskBackend>>,
-    senders: Vec<Sender<Job>>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    slots: Vec<Mutex<DiskSlot>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
     board: DiskBoard,
+    suspects: Mutex<BTreeSet<usize>>,
 }
 
 impl std::fmt::Debug for ThreadedArray {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "ThreadedArray({} disks)", self.disks.len())
+        write!(f, "ThreadedArray({} disks)", self.slots.len())
     }
 }
 
@@ -263,75 +281,151 @@ impl ThreadedArray {
         assert!(!disks.is_empty(), "array needs at least one disk");
         let n = disks.len();
         let board = DiskBoard::new(n);
-        let mut senders = Vec::with_capacity(n);
+        let mut slots = Vec::with_capacity(n);
         let mut workers = Vec::with_capacity(n);
-        for (d, disk) in disks.iter().enumerate() {
-            let (tx, rx) = channel::<Job>();
-            let disk = Arc::clone(disk);
-            let board = board.clone();
-            senders.push(tx);
-            workers.push(std::thread::spawn(move || {
-                while let Ok(job) = rx.recv() {
-                    match job {
-                        Job::Read { tag, offset, reply } => {
-                            let bytes = disk.read(offset);
-                            if let Some(b) = &bytes {
-                                board.record(d, 1, b.len() as u64);
-                            }
-                            let _ = reply.send((tag, bytes));
-                        }
-                        Job::ReadMany {
-                            tags,
-                            offsets,
-                            reply,
-                        } => {
-                            let results = disk.read_many(&offsets);
-                            debug_assert_eq!(results.len(), tags.len());
-                            let mut served = 0u64;
-                            let mut served_bytes = 0u64;
-                            let items: Vec<(usize, Option<Vec<u8>>)> = tags
-                                .into_iter()
-                                .zip(results)
-                                .map(|(tag, bytes)| {
-                                    if let Some(b) = &bytes {
-                                        served += 1;
-                                        served_bytes += b.len() as u64;
-                                    }
-                                    (tag, bytes)
-                                })
-                                .collect();
-                            if served > 0 {
-                                board.record(d, served, served_bytes);
-                            }
-                            let _ = reply.send(DiskReply { disk: d, items });
-                        }
-                        Job::WriteMany { items, done } => {
-                            for (offset, bytes) in items {
-                                disk.write(offset, bytes);
-                            }
-                            let _ = done.send(());
-                        }
-                        Job::Shutdown => break,
-                    }
-                }
-            }));
+        for (d, disk) in disks.into_iter().enumerate() {
+            let (sender, handle) = Self::spawn_worker(d, Arc::clone(&disk), board.clone());
+            slots.push(Mutex::new(DiskSlot { disk, sender }));
+            workers.push(handle);
         }
         Self {
-            disks,
-            senders,
-            workers,
+            slots,
+            workers: Mutex::new(workers),
             board,
+            suspects: Mutex::new(BTreeSet::new()),
         }
+    }
+
+    /// Spawn one disk's worker loop over `disk`, returning its job
+    /// channel and join handle.
+    fn spawn_worker(
+        d: usize,
+        disk: Arc<dyn DiskBackend>,
+        board: DiskBoard,
+    ) -> (Sender<Job>, JoinHandle<()>) {
+        let (tx, rx) = channel::<Job>();
+        let handle = std::thread::spawn(move || {
+            while let Ok(job) = rx.recv() {
+                match job {
+                    Job::Read { tag, offset, reply } => {
+                        let bytes = disk.read(offset);
+                        if let Some(b) = &bytes {
+                            board.record(d, 1, b.len() as u64);
+                        }
+                        let _ = reply.send((tag, bytes));
+                    }
+                    Job::ReadMany {
+                        tags,
+                        offsets,
+                        reply,
+                    } => {
+                        let results = disk.read_many(&offsets);
+                        debug_assert_eq!(results.len(), tags.len());
+                        let mut served = 0u64;
+                        let mut served_bytes = 0u64;
+                        let items: Vec<(usize, Option<Vec<u8>>)> = tags
+                            .into_iter()
+                            .zip(results)
+                            .map(|(tag, bytes)| {
+                                if let Some(b) = &bytes {
+                                    served += 1;
+                                    served_bytes += b.len() as u64;
+                                }
+                                (tag, bytes)
+                            })
+                            .collect();
+                        if served > 0 {
+                            board.record(d, served, served_bytes);
+                        }
+                        let _ = reply.send(DiskReply { disk: d, items });
+                    }
+                    Job::WriteMany { items, done } => {
+                        for (offset, bytes) in items {
+                            disk.write(offset, bytes);
+                        }
+                        let _ = done.send(());
+                    }
+                    Job::Shutdown => break,
+                }
+            }
+        });
+        (tx, handle)
     }
 
     /// Number of disks.
     pub fn n_disks(&self) -> usize {
-        self.disks.len()
+        self.slots.len()
     }
 
-    /// Direct handle to a disk (for failure injection and inspection).
-    pub fn disk(&self, d: usize) -> &Arc<dyn DiskBackend> {
-        &self.disks[d]
+    /// Handle to a disk's current backend (for failure injection and
+    /// inspection). A clone — the slot itself may be re-registered
+    /// concurrently, after which this handle refers to the *old*
+    /// backend.
+    pub fn disk(&self, d: usize) -> Arc<dyn DiskBackend> {
+        Arc::clone(&self.slots[d].lock().disk)
+    }
+
+    /// A clone of disk `d`'s job channel.
+    fn sender(&self, d: usize) -> Sender<Job> {
+        self.slots[d].lock().sender.clone()
+    }
+
+    /// Re-register disk `d` with a replacement backend: the old worker
+    /// is shut down, a fresh worker is spawned over `backend`, and the
+    /// disk's suspect flag is cleared. Returns the previous backend.
+    ///
+    /// This is the "new drive in the slot" operation behind background
+    /// repair: a killed or crashed disk gets an empty replacement, the
+    /// repair pipeline rebuilds its elements onto it, and readers never
+    /// see the array change size.
+    pub fn replace_disk(&self, d: usize, backend: Arc<dyn DiskBackend>) -> Arc<dyn DiskBackend> {
+        let (sender, handle) = Self::spawn_worker(d, Arc::clone(&backend), self.board.clone());
+        let old = {
+            let mut slot = self.slots[d].lock();
+            let _ = slot.sender.send(Job::Shutdown);
+            std::mem::replace(
+                &mut *slot,
+                DiskSlot {
+                    disk: backend,
+                    sender,
+                },
+            )
+        };
+        self.workers.lock().push(handle);
+        self.clear_suspect(d);
+        old.disk
+    }
+
+    /// Respawn disk `d`'s worker thread over its existing backend — the
+    /// recovery path for a worker that died (panicking backend) while
+    /// the disk itself is still usable. Clears the suspect flag.
+    pub fn restart_disk(&self, d: usize) {
+        let backend = Arc::clone(&self.slots[d].lock().disk);
+        let (sender, handle) = Self::spawn_worker(d, backend, self.board.clone());
+        {
+            let mut slot = self.slots[d].lock();
+            let _ = slot.sender.send(Job::Shutdown);
+            slot.sender = sender;
+        }
+        self.workers.lock().push(handle);
+        self.clear_suspect(d);
+    }
+
+    /// Report disk `d` as unresponsive (timed out, answered all-absent,
+    /// or its worker died). Purely advisory: dispatch is unchanged, but
+    /// failure detectors poll this set.
+    pub fn mark_suspect(&self, d: usize) {
+        self.suspects.lock().insert(d);
+    }
+
+    /// Withdraw a suspicion — the disk answered again.
+    pub fn clear_suspect(&self, d: usize) {
+        self.suspects.lock().remove(&d);
+    }
+
+    /// Disks currently under suspicion, ascending.
+    pub fn suspects(&self) -> Vec<usize> {
+        self.suspects.lock().iter().copied().collect()
     }
 
     /// The per-disk served-read tally board (elements + bytes per disk,
@@ -355,7 +449,8 @@ impl ThreadedArray {
         }
         let mut dispatched = 0usize;
         for (disk, items) in by_disk {
-            if self.senders[disk]
+            if self
+                .sender(disk)
                 .send(Job::WriteMany {
                     items,
                     done: done_tx.clone(),
@@ -363,6 +458,8 @@ impl ThreadedArray {
                 .is_ok()
             {
                 dispatched += 1;
+            } else {
+                self.mark_suspect(disk);
             }
         }
         drop(done_tx);
@@ -397,8 +494,10 @@ impl ThreadedArray {
                 offsets,
                 reply: reply_tx.clone(),
             };
-            if let Err(send_err) = self.senders[disk].send(job) {
-                // Worker gone: synthesise the all-absent reply ourselves.
+            if let Err(send_err) = self.sender(disk).send(job) {
+                // Worker gone: synthesise the all-absent reply ourselves
+                // and report the disk for the failure detector.
+                self.mark_suspect(disk);
                 let Job::ReadMany { tags, .. } = send_err.0 else {
                     unreachable!("send returns the job it failed to send")
                 };
@@ -442,7 +541,8 @@ impl ThreadedArray {
         let (reply_tx, reply_rx) = channel();
         let mut dispatched = 0usize;
         for (tag, &(disk, offset)) in addrs.iter().enumerate() {
-            if self.senders[disk]
+            if self
+                .sender(disk)
                 .send(Job::Read {
                     tag,
                     offset,
@@ -451,6 +551,8 @@ impl ThreadedArray {
                 .is_ok()
             {
                 dispatched += 1;
+            } else {
+                self.mark_suspect(disk);
             }
         }
         drop(reply_tx);
@@ -467,10 +569,10 @@ impl ThreadedArray {
 
 impl Drop for ThreadedArray {
     fn drop(&mut self) {
-        for tx in &self.senders {
-            let _ = tx.send(Job::Shutdown);
+        for slot in &self.slots {
+            let _ = slot.lock().sender.send(Job::Shutdown);
         }
-        for w in self.workers.drain(..) {
+        for w in self.workers.lock().drain(..) {
             let _ = w.join();
         }
     }
@@ -664,6 +766,94 @@ mod tests {
         assert_eq!(d.read_many(&offsets), want);
         d.fail();
         assert_eq!(d.read_many(&offsets), vec![None; 5]);
+    }
+
+    #[test]
+    fn dead_worker_is_marked_suspect() {
+        let a = ThreadedArray::from_backends(vec![
+            Arc::new(MemDisk::new()) as Arc<dyn DiskBackend>,
+            Arc::new(PanicDisk) as Arc<dyn DiskBackend>,
+        ]);
+        assert!(a.suspects().is_empty());
+        let _ = a.read_batch(&[(1, 0)]); // kills worker 1
+        for _ in 0..100 {
+            let _ = a.read_batch(&[(1, 0)]); // send fails → suspect
+            if !a.suspects().is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(a.suspects(), vec![1]);
+        a.clear_suspect(1);
+        assert!(a.suspects().is_empty());
+    }
+
+    #[test]
+    fn restart_disk_revives_a_dead_worker() {
+        use crate::fault::FaultyDisk;
+        let healthy = Arc::new(MemDisk::new());
+        healthy.write(0, vec![3]);
+        let faulty = FaultyDisk::wrap(Arc::new(MemDisk::new()));
+        faulty.write(0, vec![9]);
+        let a = ThreadedArray::from_backends(vec![
+            healthy as Arc<dyn DiskBackend>,
+            Arc::new(PanicDisk) as Arc<dyn DiskBackend>,
+        ]);
+        let _ = a.read_batch(&[(1, 0)]); // worker 1 dies
+                                         // The worker's channel disconnects as its panic unwinds; retry
+                                         // until the failed send marks the disk suspect.
+        for _ in 0..100 {
+            let _ = a.read_batch(&[(1, 0)]);
+            if !a.suspects().is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(a.suspects(), vec![1]);
+        // Re-register a usable backend in slot 1; the array serves it.
+        a.replace_disk(1, faulty);
+        assert!(a.suspects().is_empty());
+        let got = a.read_batch(&[(0, 0), (1, 0)]);
+        assert_eq!(got[0], Some(vec![3]));
+        assert_eq!(got[1], Some(vec![9]));
+    }
+
+    #[test]
+    fn replace_disk_swaps_backend_and_returns_old() {
+        let a = ThreadedArray::new(2);
+        a.write_batch(vec![((0, 0), vec![1]), ((1, 0), vec![2])]);
+        let fresh = Arc::new(MemDisk::new());
+        fresh.write(0, vec![42]);
+        let old = a.replace_disk(1, fresh as Arc<dyn DiskBackend>);
+        assert_eq!(old.read(0), Some(vec![2]), "old backend handed back");
+        assert_eq!(a.read_batch(&[(1, 0)])[0], Some(vec![42]));
+        // Writes land on the replacement.
+        a.write_batch(vec![((1, 1), vec![7])]);
+        assert_eq!(a.read_batch(&[(1, 1)])[0], Some(vec![7]));
+    }
+
+    #[test]
+    fn restart_disk_keeps_backend_contents() {
+        let a = ThreadedArray::new(2);
+        a.write_batch(vec![((0, 0), vec![5])]);
+        a.restart_disk(0);
+        assert_eq!(a.read_batch(&[(0, 0)])[0], Some(vec![5]));
+    }
+
+    #[test]
+    fn faulty_disk_kill_mid_batch_reads_as_absent() {
+        use crate::fault::{FaultKind, FaultyDisk};
+        let inner = Arc::new(MemDisk::new());
+        let faulty = FaultyDisk::wrap(inner);
+        let a = ThreadedArray::from_backends(vec![
+            Arc::new(MemDisk::new()) as Arc<dyn DiskBackend>,
+            Arc::clone(&faulty) as Arc<dyn DiskBackend>,
+        ]);
+        a.write_batch(vec![((0, 0), vec![1]), ((1, 0), vec![2])]);
+        assert_eq!(a.read_batch(&[(1, 0)])[0], Some(vec![2]));
+        faulty.arm(FaultKind::Kill, 0);
+        assert_eq!(a.read_batch(&[(1, 0)])[0], None);
+        assert_eq!(a.read_batch(&[(0, 0)])[0], Some(vec![1]));
     }
 
     #[test]

@@ -21,6 +21,9 @@ pub enum StoreError {
     DataLoss(String),
     /// A disk index was out of range.
     NoSuchDisk(usize),
+    /// A stripe index beyond what has been sealed (repair of unsealed
+    /// data is meaningless — it has no parities yet).
+    NoSuchStripe(u64),
     /// Decoding failed.
     Code(CodeError),
     /// A network-layer failure reached the store (remote shards only).
@@ -41,6 +44,7 @@ impl std::fmt::Display for StoreError {
             }
             StoreError::DataLoss(msg) => write!(f, "data loss: {msg}"),
             StoreError::NoSuchDisk(d) => write!(f, "no such disk: {d}"),
+            StoreError::NoSuchStripe(s) => write!(f, "no such sealed stripe: {s}"),
             StoreError::Code(e) => write!(f, "decode error: {e}"),
             StoreError::Net(msg) => write!(f, "network error: {msg}"),
         }

@@ -12,6 +12,13 @@
 //! [`ThreadedArray`](ecfrm_sim::ThreadedArray), and reconstructs lost
 //! elements inline.
 //!
+//! Disk loss is handled *online*: a background [`RepairManager`] watches
+//! for unresponsive disks, rebuilds their stripes through the same
+//! batched read path and SIMD decode the foreground uses — stripes hot
+//! foreground reads touched first — under a token-bucket rate limit
+//! that keeps foreground tail latency bounded (see the
+//! [`repair`] module docs for the full pipeline).
+//!
 //! ```
 //! use std::sync::Arc;
 //! use ecfrm_codes::LrcCode;
@@ -35,8 +42,10 @@
 pub mod bufpool;
 pub mod error;
 pub mod meta;
+pub mod repair;
 pub mod store;
 
 pub use error::StoreError;
-pub use meta::{ObjectMeta, ReadStats, ScrubReport, StoreStats};
+pub use meta::{ObjectMeta, ReadStats, ScrubReport, StoreStats, StripeRepair};
+pub use repair::{RepairConfig, RepairManager, RepairProgress, RepairQueue, Replacer};
 pub use store::ObjectStore;

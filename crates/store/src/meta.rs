@@ -48,6 +48,19 @@ pub struct ReadStats {
     pub elapsed: std::time::Duration,
 }
 
+/// Outcome of rebuilding one stripe of one disk
+/// ([`ObjectStore::repair_stripe`](crate::ObjectStore::repair_stripe)) —
+/// the unit of work of the background repair pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StripeRepair {
+    /// Elements rebuilt and written back.
+    pub elements: usize,
+    /// Source bytes fetched from surviving disks.
+    pub bytes_read: u64,
+    /// Rebuilt bytes written to the target disk.
+    pub bytes_written: u64,
+}
+
 /// Outcome of a parity scrub ([`ObjectStore::scrub`](crate::ObjectStore::scrub)).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScrubReport {

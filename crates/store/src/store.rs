@@ -9,8 +9,11 @@ use ecfrm_layout::Loc;
 use ecfrm_obs::{Counter, DiskBoard, Histogram, Recorder};
 use ecfrm_sim::{NetStats, ThreadedArray};
 
+use std::sync::Arc;
+
 use crate::error::StoreError;
-use crate::meta::{ObjectMeta, ReadStats, ScrubReport, StoreStats};
+use crate::meta::{ObjectMeta, ReadStats, ScrubReport, StoreStats, StripeRepair};
+use crate::repair::RepairQueue;
 
 /// Pre-resolved instrument handles for the read hot path: one registry
 /// lookup each at construction, then pure atomics per read.
@@ -112,6 +115,10 @@ pub struct ObjectStore {
     /// [`ObjectStore::recorder`].
     recorder: Recorder,
     metrics: StoreMetrics,
+    /// Stripe repair queue. Degraded reads drop priority hints into it
+    /// (no-ops until a [`RepairManager`](crate::RepairManager) attaches)
+    /// so hot stripes regain redundancy first.
+    repair_queue: Arc<RepairQueue>,
 }
 
 impl std::fmt::Debug for ObjectStore {
@@ -165,6 +172,7 @@ impl ObjectStore {
             decoder_cache,
             recorder,
             metrics,
+            repair_queue: RepairQueue::new(),
             scheme,
             element_size,
             array,
@@ -200,6 +208,13 @@ impl ObjectStore {
     /// Element size in bytes.
     pub fn element_size(&self) -> usize {
         self.element_size
+    }
+
+    /// The store's stripe repair queue (drained by a
+    /// [`RepairManager`](crate::RepairManager); degraded reads feed it
+    /// priority hints).
+    pub fn repair_queue(&self) -> &Arc<RepairQueue> {
+        &self.repair_queue
     }
 
     /// Append an object. Full stripes are sealed and encoded eagerly;
@@ -474,6 +489,16 @@ impl ObjectStore {
             // A worker that died mid-batch ends the reply stream early;
             // its disk never answered and is suspect like any other.
             newly_suspect.extend(touched.difference(&answered));
+            // Feed the failure detector: a disk that served every
+            // requested element is vouched for again; one that stopped
+            // answering goes on the array's suspect list for the
+            // background repair pipeline to probe.
+            for &d in answered.difference(&newly_suspect) {
+                self.array.clear_suspect(d);
+            }
+            for &d in &newly_suspect {
+                self.array.mark_suspect(d);
+            }
             if newly_suspect.is_empty() {
                 if !normal {
                     let elements = self.scheme.assemble_read(
@@ -499,6 +524,18 @@ impl ObjectStore {
             suspects.extend(newly_suspect);
             replans += 1;
         };
+        // Leave breadcrumbs for the background repair pipeline: the
+        // stripes this degraded read actually touched, per down disk —
+        // they jump the repair queue so hot data regains redundancy
+        // first. (No-ops until a `RepairManager` attaches.)
+        if !suspects.is_empty() {
+            let dps = self.scheme.data_per_stripe() as u64;
+            for stripe in first / dps..=(last - 1) / dps {
+                for &d in &suspects {
+                    self.repair_queue.hint(d, stripe);
+                }
+            }
+        }
         let net_delta = self.net_snapshot().since(&net_before);
         let stats = ReadStats {
             requested_elements: count,
@@ -688,6 +725,79 @@ impl ObjectStore {
         self.array.write_batch(rebuilt);
         self.inner.lock().failed.remove(&disk);
         Ok(count)
+    }
+
+    /// Rebuild every element `disk` stores for `stripe` (data *and*
+    /// parity) from the survivors and write them back — the unit of
+    /// work of the background [`RepairManager`](crate::RepairManager).
+    ///
+    /// Unlike [`Self::recover_disk`] this neither wipes nor heals the
+    /// target: repair of a disk proceeds stripe by stripe while reads
+    /// keep planning around it, and the disk is healed only once every
+    /// stripe is back (so redundancy is restored atomically from the
+    /// planner's point of view).
+    ///
+    /// # Errors
+    /// [`StoreError::NoSuchDisk`] / [`StoreError::NoSuchStripe`] for
+    /// bad coordinates; [`StoreError::DataLoss`] if too many disks are
+    /// down or a repair source failed to answer (the source is marked
+    /// suspect and the stripe can be retried).
+    pub fn repair_stripe(&self, disk: usize, stripe: u64) -> Result<StripeRepair, StoreError> {
+        if disk >= self.scheme.n_disks() {
+            return Err(StoreError::NoSuchDisk(disk));
+        }
+        let (stripes, all_failed) = {
+            let inner = self.inner.lock();
+            (
+                inner.stripes,
+                inner.failed.iter().copied().collect::<Vec<_>>(),
+            )
+        };
+        if stripe >= stripes {
+            return Err(StoreError::NoSuchStripe(stripe));
+        }
+        let recovery = DiskRecovery::plan_stripes(&self.scheme, disk, &all_failed, &[stripe])
+            .map_err(StoreError::DataLoss)?;
+
+        // One parallel batch for all distinct sources of this stripe.
+        let mut want: BTreeSet<(usize, u64)> = BTreeSet::new();
+        for t in &recovery.tasks {
+            for (_, loc) in &t.sources {
+                want.insert((loc.disk, loc.offset));
+            }
+        }
+        let addrs: Vec<(usize, u64)> = want.into_iter().collect();
+        let results = self.array.read_batch(&addrs);
+        let mut fetched: HashMap<Loc, Vec<u8>> = HashMap::with_capacity(addrs.len());
+        let mut bytes_read = 0u64;
+        for (&(d, o), bytes) in addrs.iter().zip(results) {
+            let Some(b) = bytes else {
+                self.array.mark_suspect(d);
+                return Err(StoreError::DataLoss(format!(
+                    "repair source on disk {d} offset {o} unreadable"
+                )));
+            };
+            bytes_read += b.len() as u64;
+            fetched.insert(Loc::new(d, o), b);
+        }
+
+        // Stripe-level work is small; rebuild serially to keep repair's
+        // CPU footprint low (parallelism comes from the worker pool).
+        let mut rebuilt: Vec<((usize, u64), Vec<u8>)> = Vec::with_capacity(recovery.tasks.len());
+        let mut bytes_written = 0u64;
+        for task in &recovery.tasks {
+            let bytes = DiskRecovery::rebuild_one(&self.scheme, task, &fetched, self.element_size)
+                .expect("plan sources span the target");
+            bytes_written += bytes.len() as u64;
+            rebuilt.push(((task.target.disk, task.target.offset), bytes));
+        }
+        let elements = rebuilt.len();
+        self.array.write_batch(rebuilt);
+        Ok(StripeRepair {
+            elements,
+            bytes_read,
+            bytes_written,
+        })
     }
 
     /// Read several objects, planning/decoding in parallel. Results are
@@ -928,6 +1038,99 @@ mod tests {
             store.recover_disk(0),
             Err(StoreError::DataLoss(_))
         ));
+    }
+
+    #[test]
+    fn repair_stripe_by_stripe_restores_a_wiped_disk() {
+        let store = lrc_store();
+        let data = blob(30_000, 15);
+        store.put("big", &data).unwrap();
+        store.flush();
+        let elements = store.array.disk(4).len();
+        store.fail_disk(4).unwrap();
+        store.array.disk(4).wipe();
+        let stripes = store.stats().stripes;
+        let mut rebuilt = 0usize;
+        for s in 0..stripes {
+            let r = store.repair_stripe(4, s).unwrap();
+            assert!(r.elements > 0);
+            assert!(r.bytes_read > 0);
+            assert_eq!(r.bytes_written, r.elements as u64 * 64);
+            rebuilt += r.elements;
+        }
+        assert_eq!(rebuilt, elements, "every lost element rebuilt");
+        // Still planned around until healed — then fully back.
+        assert!(store.get_with_stats("big").unwrap().1.degraded);
+        store.heal_disk(4).unwrap();
+        let (bytes, stats) = store.get_with_stats("big").unwrap();
+        assert_eq!(bytes, data);
+        assert!(!stats.degraded);
+        assert_eq!(stats.repair_elements, 0);
+    }
+
+    #[test]
+    fn repair_stripe_rejects_bad_coordinates() {
+        let store = lrc_store();
+        store.put("x", &blob(5_000, 16)).unwrap();
+        store.flush();
+        assert!(matches!(
+            store.repair_stripe(10, 0),
+            Err(StoreError::NoSuchDisk(10))
+        ));
+        assert!(matches!(
+            store.repair_stripe(0, 999),
+            Err(StoreError::NoSuchStripe(999))
+        ));
+    }
+
+    #[test]
+    fn suspect_lifecycle_clears_on_answer_and_dedups_hints() {
+        use ecfrm_sim::{DiskBackend, FaultKind, FaultyDisk, MemDisk, ThreadedArray};
+        let scheme = ecfrm_scheme(Arc::new(RsCode::vandermonde(6, 3)));
+        let faulty: Vec<Arc<FaultyDisk>> = (0..scheme.n_disks())
+            .map(|_| FaultyDisk::wrap(Arc::new(MemDisk::new())))
+            .collect();
+        let backends: Vec<Arc<dyn DiskBackend>> = faulty
+            .iter()
+            .map(|f| Arc::clone(f) as Arc<dyn DiskBackend>)
+            .collect();
+        let store = ObjectStore::with_array(scheme, 64, ThreadedArray::from_backends(backends));
+        store.repair_queue().enable();
+        let data = blob(30_000, 50);
+        store.put("x", &data).unwrap();
+        store.flush();
+
+        // Disk 2 stops answering mid-workload: the read replans degraded
+        // around it, marks it suspect, and stages repair hints.
+        faulty[2].arm(FaultKind::Kill, 0);
+        let (bytes, stats) = store.get_with_stats("x").unwrap();
+        assert_eq!(bytes, data);
+        assert!(stats.degraded);
+        assert_eq!(stats.replans, 1, "exactly one mid-read replan");
+        assert_eq!(store.array().suspects(), vec![2]);
+        let staged = store.repair_queue().hint_count();
+        assert!(staged > 0, "degraded read stages repair hints");
+
+        // Re-reading the same range is another degraded read but must
+        // not stage duplicate work.
+        let (_, stats) = store.get_with_stats("x").unwrap();
+        assert!(stats.degraded);
+        assert_eq!(
+            store.repair_queue().hint_count(),
+            staged,
+            "hints dedup across repeated degraded reads"
+        );
+
+        // The disk answers again (transient blip): the next read plans
+        // normally, vouches for it, and the suspicion is withdrawn.
+        faulty[2].clear();
+        let (bytes, stats) = store.get_with_stats("x").unwrap();
+        assert_eq!(bytes, data);
+        assert!(!stats.degraded);
+        assert_eq!(stats.replans, 0);
+        assert!(store.array().suspects().is_empty(), "suspicion withdrawn");
+        // Hints are staging only — nothing was promoted to repair work.
+        assert_eq!(store.repair_queue().depth(), 0);
     }
 
     #[test]
