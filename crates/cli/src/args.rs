@@ -45,6 +45,9 @@ pub struct Options {
     pub rate: Option<u64>,
     /// `--workers 2`: repair worker threads (drill).
     pub workers: Option<usize>,
+    /// `--corrupt`: inject silent bit-rot instead of (drill) or in
+    /// addition to (scrub) the clean-loss fault.
+    pub corrupt: bool,
 }
 
 impl Options {
@@ -93,6 +96,7 @@ impl Options {
                     .extend(value()?.split(',').map(|a| a.trim().to_string())),
                 // Boolean flags take no value.
                 "--stats" => o.stats = true,
+                "--corrupt" => o.corrupt = true,
                 "--json" => o.json = Some(value()?),
                 "--stripes" => o.stripes = Some(value()?),
                 "--rate" => {
@@ -157,8 +161,8 @@ pub fn parse_code(spec: &str) -> Result<Arc<dyn CandidateCode>, String> {
 }
 
 /// Build a scheme from spec strings. Layout names are whatever
-/// [`LayoutKind::from_str`] accepts (`standard`, `rotated`, `krotated`,
-/// `shuffled`, `ecfrm`, case-insensitive).
+/// [`LayoutKind`]'s `FromStr` accepts (`standard`, `rotated`,
+/// `krotated`, `shuffled`, `ecfrm`, case-insensitive).
 pub fn parse_scheme(code: &str, layout: &str, seed: u64) -> Result<Scheme, String> {
     let code = parse_code(code)?;
     let kind: LayoutKind = layout.parse()?;
@@ -250,11 +254,21 @@ mod tests {
 
     #[test]
     fn repair_drill_flags() {
-        let o =
-            Options::parse(&sv(&["--rate", "5000000", "--workers", "4", "--disk", "3"])).unwrap();
+        let o = Options::parse(&sv(&[
+            "--rate",
+            "5000000",
+            "--workers",
+            "4",
+            "--disk",
+            "3",
+            "--corrupt",
+        ]))
+        .unwrap();
         assert_eq!(o.rate, Some(5_000_000));
         assert_eq!(o.workers, Some(4));
         assert_eq!(o.disk, Some(3));
+        assert!(o.corrupt);
+        assert!(!Options::default().corrupt);
         assert!(Options::parse(&sv(&["--rate", "fast"])).is_err());
         assert!(Options::parse(&sv(&["--workers", "-1"])).is_err());
     }

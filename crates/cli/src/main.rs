@@ -26,7 +26,12 @@
 //! drives the full put→encode→network→decode path against such shards.
 //! `drill` is a kill-and-repair fire drill: wipe a disk, restore full
 //! redundancy with the background repair pipeline under foreground
-//! load, and report both sides' performance.
+//! load, and report both sides' performance. With `--corrupt` the
+//! victim disk silently flips bits instead of dying: verify-on-read
+//! must catch every lie before it reaches a caller, heal the disk, and
+//! finish with a clean merkle scrub. `scrub` times the merkle scrub
+//! against the decode scrub and (with `--corrupt`) proves a planted
+//! flip is localized to the exact element.
 
 mod args;
 mod error;
@@ -61,6 +66,7 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "plan" => ops::plan(&opts),
         "bench" => ops::bench(&opts),
         "drill" => ops::drill(&opts),
+        "scrub" => ops::scrub(&opts),
         "serve" => ops::serve(&opts),
         "stats" => ops::stats(&opts),
         "help" | "--help" | "-h" => {
@@ -88,8 +94,12 @@ fn usage() -> String {
      \x20         [--stripes small|full|<n>] [--stats] [--json <file>]\n\
      \x20         [--remote host:port,host:port,...]   (one address per disk)\n\
      \x20 drill   [--code <spec>] [--layout <name>] [--disk <victim>] [--stripes small|full|<n>]\n\
-     \x20         [--workers <n>] [--rate <bytes/s>] [--stats] [--json <file>]\n\
-     \x20         (kill-and-repair fire drill: background repair under foreground load)\n\
+     \x20         [--workers <n>] [--rate <bytes/s>] [--corrupt] [--stats] [--json <file>]\n\
+     \x20         (kill-and-repair fire drill: background repair under foreground load;\n\
+     \x20          --corrupt injects silent bit-rot instead of a clean kill)\n\
+     \x20 scrub   [--code <spec>] [--layout <name>] [--stripes small|full|<n>] [--corrupt]\n\
+     \x20         [--stats] [--json <file>]\n\
+     \x20         (merkle vs decode scrub timing; --corrupt plants bit-rot and checks localization)\n\
      \x20 serve   --listen <host:port> [--dir <shard dir>] [--element-size <bytes>]\n\
      \x20 stats   --remote host:port[,host:port,...] [--json <file>]\n\
      layouts: standard | rotated | krotated | shuffled | ecfrm"

@@ -228,8 +228,10 @@ pub fn serve(opts: &Options) -> Result<(), CliError> {
             std::fs::create_dir_all(dir)
                 .map_err(|e| CliError::io(format!("creating {}", dir.display()), e))?;
             let path = dir.join("shard.bin");
+            // Shard files hold whole cells: element payload plus the
+            // store's checksum footer.
             Arc::new(
-                FileDisk::create(&path, element_size)
+                FileDisk::create(&path, element_size + ecfrm_integrity::FOOTER_LEN)
                     .map_err(|e| CliError::io("creating shard file", e))?,
             )
         }
@@ -275,8 +277,11 @@ pub fn bench(opts: &Options) -> Result<(), CliError> {
         (0..scheme.n_disks())
             .map(|d| {
                 Ok::<_, CliError>(Arc::new(
-                    FileDisk::create(dir.join(format!("bench-d{d}.bin")), element_size)
-                        .map_err(|e| CliError::io(format!("creating bench disk {d}"), e))?,
+                    FileDisk::create(
+                        dir.join(format!("bench-d{d}.bin")),
+                        element_size + ecfrm_integrity::FOOTER_LEN,
+                    )
+                    .map_err(|e| CliError::io(format!("creating bench disk {d}"), e))?,
                 ) as Arc<dyn DiskBackend>)
             })
             .collect::<Result<_, _>>()?
@@ -292,7 +297,14 @@ pub fn bench(opts: &Options) -> Result<(), CliError> {
             let addr = a
                 .parse()
                 .map_err(|e| CliError::Usage(format!("bad --remote address `{a}`: {e}")))?;
-            let disk = Arc::new(RemoteDisk::new(addr, RemoteDiskConfig::default()));
+            // Ship the store's integrity key: contiguous runs verify at
+            // the shard (`RangeChecked`), with automatic fallback on
+            // shards that predate the opcode.
+            let key = ecfrm_integrity::HashKey::DEFAULT;
+            let disk = Arc::new(RemoteDisk::new(
+                addr,
+                RemoteDiskConfig::default().with_integrity(key.k0, key.k1),
+            ));
             // Health-check up front so a dead shard fails the bench with
             // a clear message instead of silently running degraded.
             disk.health()
@@ -412,7 +424,7 @@ pub fn bench(opts: &Options) -> Result<(), CliError> {
 /// latency during repair (the paper's degraded-read service quality)
 /// against repair throughput and time-to-full-redundancy.
 pub fn drill(opts: &Options) -> Result<(), CliError> {
-    use ecfrm_sim::ThreadedArray;
+    use ecfrm_sim::{DiskBackend, FaultKind, FaultyDisk, MemDisk, ThreadedArray};
     use ecfrm_store::{ObjectStore, RepairConfig, RepairManager};
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
@@ -431,10 +443,21 @@ pub fn drill(opts: &Options) -> Result<(), CliError> {
         )));
     }
 
+    // Every disk gets a fault-injection wrapper so `--corrupt` can arm
+    // silent bit-rot on the victim mid-workload; disarmed wrappers are
+    // pure pass-through.
+    let faulty: Vec<Arc<FaultyDisk>> = (0..scheme.n_disks())
+        .map(|_| FaultyDisk::wrap(Arc::new(MemDisk::new())))
+        .collect();
     let store = Arc::new(ObjectStore::with_array(
         scheme.clone(),
         element_size,
-        ThreadedArray::new(scheme.n_disks()),
+        ThreadedArray::from_backends(
+            faulty
+                .iter()
+                .map(|f| Arc::clone(f) as Arc<dyn DiskBackend>)
+                .collect(),
+        ),
     ));
     let total_elements = stripes * scheme.data_per_stripe();
     let payload: Vec<u8> = (0..total_elements * element_size)
@@ -450,10 +473,19 @@ pub fn drill(opts: &Options) -> Result<(), CliError> {
         store.stats().stripes,
     );
 
-    // Lose the victim for real: contents gone, reads plan around it.
-    store.fail_disk(victim)?;
-    store.array().disk(victim).wipe();
-    println!("disk {victim} wiped; starting background repair");
+    if opts.corrupt {
+        // Silent bit-rot: the victim keeps answering but every served
+        // element comes back with one bit flipped. Nothing at the
+        // transport notices; verify-on-read must catch each lie before
+        // it reaches a caller and escalate the disk to repair.
+        faulty[victim].arm(FaultKind::FlipCorrupt, 0);
+        println!("disk {victim} now silently corrupting every read; starting verify-on-read drill");
+    } else {
+        // Lose the victim for real: contents gone, reads plan around it.
+        store.fail_disk(victim)?;
+        store.array().disk(victim).wipe();
+        println!("disk {victim} wiped; starting background repair");
+    }
 
     let t0 = Instant::now();
     let mgr = RepairManager::spawn(
@@ -467,36 +499,73 @@ pub fn drill(opts: &Options) -> Result<(), CliError> {
     );
 
     // Foreground load while repair runs: random small reads, latency
-    // sampled per read.
+    // sampled per read and every answer compared byte-for-byte against
+    // the known payload — a single leaked lie fails the drill.
     let stop = Arc::new(AtomicBool::new(false));
     let reader = {
         let store = Arc::clone(&store);
         let stop = Arc::clone(&stop);
+        let expected = payload.clone();
         let mut x = opts.seed | 1;
         let len = payload.len() as u64;
         let es = element_size as u64;
-        std::thread::spawn(move || -> Result<Vec<u64>, ecfrm_store::StoreError> {
-            let mut lat_us = Vec::new();
-            while !stop.load(Ordering::Acquire) {
-                x ^= x << 13;
-                x ^= x >> 7;
-                x ^= x << 17;
-                let size = (1 + x % 8) * es;
-                let start = x % (len - size);
-                let t = Instant::now();
-                store.get_range("drill", start, size)?;
-                lat_us.push(t.elapsed().as_micros() as u64);
-            }
-            Ok(lat_us)
-        })
+        std::thread::spawn(
+            move || -> Result<(Vec<u64>, u64), ecfrm_store::StoreError> {
+                let mut lat_us = Vec::new();
+                let mut wrong = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let size = (1 + x % 8) * es;
+                    let start = x % (len - size);
+                    let t = Instant::now();
+                    let bytes = store.get_range("drill", start, size)?;
+                    lat_us.push(t.elapsed().as_micros() as u64);
+                    if bytes != expected[start as usize..(start + size) as usize] {
+                        wrong += 1;
+                    }
+                }
+                Ok((lat_us, wrong))
+            },
+        )
     };
+
+    if opts.corrupt {
+        // Wait for the escalation chain: verify-on-read flags the lying
+        // disk suspect, the detector's footer-verifying probe confirms,
+        // and the disk is promoted to failed.
+        let deadline = Instant::now() + Duration::from_secs(120);
+        while !store.stats().failed_disks.contains(&victim) {
+            if Instant::now() > deadline {
+                return Err(CliError::Usage(
+                    "verify-on-read never escalated the corrupting disk to failed".into(),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        println!(
+            "verify-on-read caught the corruption; disk {victim} failed after {:.0} ms",
+            t0.elapsed().as_secs_f64() * 1e3
+        );
+        // The fuse corrupts the read path, not the media. Model the
+        // operator swapping the bad disk: clear the fault so the
+        // repair pipeline's rewrites verify and the disk re-enters
+        // service with fresh checksums.
+        faulty[victim].clear();
+    }
 
     let finished = mgr.wait_idle(Duration::from_secs(600));
     let elapsed = t0.elapsed();
     stop.store(true, Ordering::Release);
-    let mut lat = reader
+    let (mut lat, wrong_reads) = reader
         .join()
         .map_err(|_| CliError::Usage("foreground reader panicked".into()))??;
+    if wrong_reads > 0 {
+        return Err(CliError::Usage(format!(
+            "{wrong_reads} foreground reads returned corrupted bytes"
+        )));
+    }
     if !finished {
         return Err(CliError::Usage(format!(
             "repair did not converge: {:?}",
@@ -545,6 +614,160 @@ pub fn drill(opts: &Options) -> Result<(), CliError> {
     }
     println!("post-repair read: normal plan, zero decodes, bytes verified");
 
+    if opts.corrupt {
+        // The drill only counts if verification actually fired, and the
+        // re-sealed stripes must pass a full merkle scrub.
+        let caught = snap
+            .counters
+            .get("integrity.verify_fail")
+            .copied()
+            .unwrap_or(0);
+        if caught == 0 {
+            return Err(CliError::Usage(
+                "drill ran but integrity.verify_fail never incremented".into(),
+            ));
+        }
+        let report = store.scrub()?;
+        if !report.is_clean() {
+            return Err(CliError::Usage(format!(
+                "final merkle scrub found damage: {report:?}"
+            )));
+        }
+        println!(
+            "final merkle scrub clean ({} stripes); {caught} lies caught in-flight",
+            report.stripes_checked
+        );
+    }
+
+    if opts.stats {
+        println!("\n-- store metrics ({}) --", scheme.name());
+        print!("{}", snap.render());
+    }
+    if let Some(path) = &opts.json {
+        std::fs::write(path, snap.to_json())
+            .map_err(|e| CliError::io(format!("writing {path}"), e))?;
+        println!("metrics JSON written to {path}");
+    }
+    Ok(())
+}
+
+/// `ecfrm scrub`: integrity-scrub exercise and microbenchmark. Builds
+/// an in-memory store, ingests `--stripes` worth of data, and times the
+/// merkle scrub (checksum + manifest verification, no decoding) against
+/// the decode scrub (recompute every parity). With `--corrupt`, first
+/// plants one flipped byte on a disk behind the store's back and proves
+/// the merkle scrub localizes it to the exact element, then heals
+/// through the repair pipeline and finishes with a clean re-scrub.
+pub fn scrub(opts: &Options) -> Result<(), CliError> {
+    use ecfrm_sim::ThreadedArray;
+    use ecfrm_store::{ObjectStore, RepairConfig, RepairManager};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let code = opts.code.as_deref().unwrap_or("rs:6,3");
+    let layout = opts.layout.as_deref().unwrap_or("ecfrm");
+    let element_size = opts.element_size.unwrap_or(16 * 1024);
+    let scheme = parse_scheme(code, layout, opts.seed)?;
+    let stripes = opts.stripe_count()?;
+
+    let store = Arc::new(ObjectStore::with_array(
+        scheme.clone(),
+        element_size,
+        ThreadedArray::new(scheme.n_disks()),
+    ));
+    let total_elements = stripes * scheme.data_per_stripe();
+    let payload: Vec<u8> = (0..total_elements * element_size)
+        .map(|i| (i % 251) as u8)
+        .collect();
+    store.put("scrub", &payload)?;
+    store.flush();
+    let sealed = store.stats().stripes;
+    let cells_per_stripe = store
+        .manifest(0)
+        .map_or(scheme.data_per_stripe(), |m| m.n_elements());
+    let scrubbed_bytes = (sealed as usize * cells_per_stripe * element_size) as f64;
+    println!(
+        "{}: ingested {:.1} MB over {} disks ({sealed} stripes)",
+        scheme.name(),
+        payload.len() as f64 / 1e6,
+        scheme.n_disks(),
+    );
+
+    if opts.corrupt {
+        // One flipped byte on disk 0, behind the store's back: media
+        // bit-rot that no read has touched yet.
+        let victim_disk = 0usize;
+        let disk = store.array().disk(victim_disk);
+        let mut cell = disk
+            .read(0)
+            .ok_or_else(|| CliError::Usage("disk 0 offset 0 holds no element".into()))?;
+        cell[element_size / 2] ^= 0x10;
+        disk.write(0, cell);
+
+        let report = store.scrub()?;
+        if report.corrupt_elements.len() != 1 {
+            return Err(CliError::Usage(format!(
+                "merkle scrub should localize exactly 1 corrupt element, found {:?}",
+                report.corrupt_elements
+            )));
+        }
+        let (stripe, element) = report.corrupt_elements[0];
+        println!(
+            "planted bit-rot on disk {victim_disk}; merkle scrub localized it to \
+             stripe {stripe}, element {element} ({} groups flagged)",
+            report.corrupt_groups.len()
+        );
+
+        // Heal through the normal pipeline: fail the disk, let repair
+        // rebuild it from survivors with fresh checksums.
+        store.fail_disk(victim_disk)?;
+        let mgr = RepairManager::spawn(
+            Arc::clone(&store),
+            RepairConfig {
+                workers: opts.workers.unwrap_or(2),
+                rate_limit: None,
+                poll: Duration::from_millis(1),
+                replacer: None,
+            },
+        );
+        if !mgr.wait_idle(Duration::from_secs(600)) {
+            return Err(CliError::Usage("repair did not converge".into()));
+        }
+        mgr.shutdown();
+        let report = store.scrub()?;
+        if !report.is_clean() {
+            return Err(CliError::Usage(format!(
+                "re-scrub after repair still dirty: {report:?}"
+            )));
+        }
+        println!("healed through repair; re-scrub clean");
+    }
+
+    // Timed comparison: merkle scrub (footer + manifest verification,
+    // O(elements) hashing, no decode) vs decode scrub (recompute every
+    // parity through the code).
+    let t = Instant::now();
+    let merkle_report = store.scrub()?;
+    let merkle_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let decode_report = store.scrub_decode()?;
+    let decode_s = t.elapsed().as_secs_f64();
+    if !merkle_report.is_clean() || !decode_report.is_clean() {
+        return Err(CliError::Usage("scrub found unexpected damage".into()));
+    }
+    println!(
+        "merkle scrub: {sealed} stripes in {:.1} ms ({:.0} MB/s)",
+        merkle_s * 1e3,
+        scrubbed_bytes / 1e6 / merkle_s
+    );
+    println!(
+        "decode scrub: {sealed} stripes in {:.1} ms ({:.0} MB/s)  [decode/merkle time ratio {:.2}]",
+        decode_s * 1e3,
+        scrubbed_bytes / 1e6 / decode_s,
+        decode_s / merkle_s.max(1e-9)
+    );
+
+    let snap = store.recorder().snapshot();
     if opts.stats {
         println!("\n-- store metrics ({}) --", scheme.name());
         print!("{}", snap.render());

@@ -1,0 +1,364 @@
+//! A from-scratch keyed 64/128-bit block hash ("efh": ec-frm hash).
+//!
+//! Design: the classic 4-lane mix-and-merge shape (the shape xxHash and
+//! friends converge on, because it keeps four multiply/rotate chains in
+//! flight per 32-byte block), specialized for this workspace:
+//!
+//! * **keyed** — a 128-bit [`HashKey`] perturbs all four lane seeds and
+//!   the short-input path, so checksums are not forgeable by content
+//!   alone and distinct stores verify with distinct keys;
+//! * **64 and 128 bit digests from one pass** — [`hash128`] runs the
+//!   same block mix and finishes the accumulator twice through two
+//!   independent avalanche functions;
+//! * **no external crates, no unsafe** — per workspace policy.
+//!
+//! The wire/disk format built on it is the *element footer*: each stored
+//! cell is `payload || checksum` where the checksum is [`hash64`] under
+//! a key derived from the store key *and the cell's disk offset*
+//! ([`element_checksum`]). Folding the address in means a misdirected
+//! I/O — correct bytes fetched from the wrong address — fails
+//! verification just like a flipped bit.
+//!
+//! [`mod@reference`] holds an independently written byte-at-a-time
+//! implementation of the same specification; `tests/hash_backends.rs`
+//! sweeps both across lengths and key classes and requires bit-exact
+//! agreement, in the style of the GF kernel differential suite.
+
+/// Mix primes (odd, high-entropy bit patterns). Shared by the optimized
+/// and reference implementations; everything *structural* is written
+/// twice.
+pub(crate) const P1: u64 = 0x9E37_79B1_85EB_CA87;
+pub(crate) const P2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+pub(crate) const P3: u64 = 0x1656_67B1_9E37_79F9;
+pub(crate) const P4: u64 = 0x85EB_CA77_C2B2_AE63;
+pub(crate) const P5: u64 = 0x27D4_EB2F_1656_67C5;
+
+/// Domain tag for element-footer key derivation.
+const ELEMENT_TAG: u64 = 0x454C_454D; // "ELEM"
+
+/// Bytes appended to each stored element: one little-endian [`hash64`].
+pub const FOOTER_LEN: usize = 8;
+
+/// A 128-bit hashing key.
+///
+/// The key is *not* secret-grade (this is an integrity checksum, not a
+/// MAC against an adaptive adversary), but keying the hash keeps
+/// checksums store-specific and gives the merkle layer cheap domain
+/// separation via [`HashKey::derive`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashKey {
+    /// First key word; seeds the lane accumulators.
+    pub k0: u64,
+    /// Second key word; whitens the lanes and the finalizers.
+    pub k1: u64,
+}
+
+impl HashKey {
+    /// The well-known default store key.
+    pub const DEFAULT: HashKey = HashKey {
+        k0: 0xEC_F4_4D_00_5E_ED_00_01,
+        k1: 0x0123_4567_89AB_CDEF,
+    };
+
+    /// Derive a sub-key for a separate domain (`tag`) and position
+    /// (`salt`). Used for element footers (salt = disk offset) and
+    /// merkle leaves/nodes (salt = leaf index).
+    pub fn derive(&self, tag: u64, salt: u64) -> HashKey {
+        HashKey {
+            k0: self.k0 ^ tag.wrapping_mul(P2),
+            k1: self
+                .k1
+                .wrapping_add(salt.wrapping_mul(P5))
+                .rotate_left((tag & 63) as u32),
+        }
+    }
+}
+
+impl Default for HashKey {
+    fn default() -> Self {
+        HashKey::DEFAULT
+    }
+}
+
+#[inline(always)]
+fn round(acc: u64, lane: u64) -> u64 {
+    acc.wrapping_add(lane.wrapping_mul(P2))
+        .rotate_left(31)
+        .wrapping_mul(P1)
+}
+
+#[inline(always)]
+fn merge(h: u64, v: u64) -> u64 {
+    (h ^ round(0, v)).wrapping_mul(P1).wrapping_add(P4)
+}
+
+#[inline(always)]
+fn lanes_from(key: &HashKey) -> [u64; 4] {
+    [
+        key.k0.wrapping_add(P1).wrapping_add(P2) ^ key.k1,
+        key.k0.wrapping_add(P2) ^ key.k1.rotate_left(16),
+        key.k0 ^ key.k1.rotate_left(32),
+        key.k0.wrapping_sub(P1) ^ key.k1.rotate_left(48),
+    ]
+}
+
+#[inline(always)]
+fn short_seed(key: &HashKey) -> u64 {
+    key.k0
+        .wrapping_mul(P5)
+        .wrapping_add(key.k1.rotate_left(23))
+        .wrapping_add(P5)
+}
+
+/// Finalizer for the low 64 bits.
+#[inline(always)]
+fn avalanche_lo(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(P2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(P3);
+    h ^= h >> 32;
+    h
+}
+
+/// Independent finalizer for the high 64 bits of [`hash128`].
+#[inline(always)]
+fn avalanche_hi(key: &HashKey, pre: u64) -> u64 {
+    let mut g = (pre ^ key.k1.wrapping_mul(P3)).wrapping_add(key.k0.rotate_left(29));
+    g ^= g >> 31;
+    g = g.wrapping_mul(P4);
+    g ^= g >> 29;
+    g = g.wrapping_mul(P2);
+    g ^= g >> 33;
+    g
+}
+
+/// The shared single pass: mix every byte of `data` into one 64-bit
+/// accumulator (pre-avalanche).
+fn mix(key: &HashKey, data: &[u8]) -> u64 {
+    let len = data.len();
+    let mut h;
+    let mut tail = data;
+    if len >= 32 {
+        let mut v = lanes_from(key);
+        let mut blocks = data.chunks_exact(32);
+        for block in &mut blocks {
+            for (i, lane) in block.chunks_exact(8).enumerate() {
+                v[i] = round(v[i], u64::from_le_bytes(lane.try_into().unwrap()));
+            }
+        }
+        tail = blocks.remainder();
+        h = v[0]
+            .rotate_left(1)
+            .wrapping_add(v[1].rotate_left(7))
+            .wrapping_add(v[2].rotate_left(12))
+            .wrapping_add(v[3].rotate_left(18));
+        for lane in v {
+            h = merge(h, lane);
+        }
+    } else {
+        h = short_seed(key);
+    }
+    h = h.wrapping_add(len as u64);
+
+    let mut words = tail.chunks_exact(8);
+    for lane in &mut words {
+        h ^= round(0, u64::from_le_bytes(lane.try_into().unwrap()));
+        h = h.rotate_left(27).wrapping_mul(P1).wrapping_add(P4);
+    }
+    let mut rest = words.remainder();
+    if rest.len() >= 4 {
+        let w = u32::from_le_bytes(rest[..4].try_into().unwrap()) as u64;
+        h ^= w.wrapping_mul(P1);
+        h = h.rotate_left(23).wrapping_mul(P2).wrapping_add(P3);
+        rest = &rest[4..];
+    }
+    for &b in rest {
+        h ^= (b as u64).wrapping_mul(P5);
+        h = h.rotate_left(11).wrapping_mul(P1);
+    }
+    h
+}
+
+/// Keyed 64-bit hash of `data`.
+pub fn hash64(key: &HashKey, data: &[u8]) -> u64 {
+    avalanche_lo(mix(key, data))
+}
+
+/// Keyed 128-bit hash of `data`: the same single block pass finished by
+/// two independent avalanche functions (`hi << 64 | lo`).
+pub fn hash128(key: &HashKey, data: &[u8]) -> u128 {
+    let pre = mix(key, data);
+    ((avalanche_hi(key, pre) as u128) << 64) | avalanche_lo(pre) as u128
+}
+
+/// The checksum stored in an element's footer: [`hash64`] under a key
+/// derived from the store key and the element's disk `offset`, so a
+/// misdirected read fails verification.
+pub fn element_checksum(key: &HashKey, offset: u64, data: &[u8]) -> u64 {
+    hash64(&key.derive(ELEMENT_TAG, offset), data)
+}
+
+/// Append the 8-byte checksum footer for a cell destined for disk
+/// `offset` (the payload is everything currently in `cell`).
+pub fn append_footer(key: &HashKey, offset: u64, cell: &mut Vec<u8>) {
+    let sum = element_checksum(key, offset, cell);
+    cell.extend_from_slice(&sum.to_le_bytes());
+}
+
+/// Verify a stored cell (`payload || footer`) read back from disk
+/// `offset`. Returns the payload slice when the footer matches, `None`
+/// when the cell is too short or the checksum disagrees.
+pub fn verify_footer<'a>(key: &HashKey, offset: u64, cell: &'a [u8]) -> Option<&'a [u8]> {
+    if cell.len() < FOOTER_LEN {
+        return None;
+    }
+    let (payload, footer) = cell.split_at(cell.len() - FOOTER_LEN);
+    let stored = u64::from_le_bytes(footer.try_into().unwrap());
+    if element_checksum(key, offset, payload) == stored {
+        Some(payload)
+    } else {
+        None
+    }
+}
+
+/// Byte-at-a-time portable implementation of the same specification,
+/// written independently of the optimized path (no `chunks_exact`, no
+/// `from_le_bytes`): the differential suite requires bit-exact
+/// agreement with [`hash64`]/[`hash128`] on every input.
+pub mod reference {
+    use super::{avalanche_hi, avalanche_lo, HashKey, P1, P2, P3, P4, P5};
+
+    /// Assemble a little-endian word of `n` bytes starting at `at`.
+    fn word(data: &[u8], at: usize, n: usize) -> u64 {
+        let mut w = 0u64;
+        let mut i = n;
+        while i > 0 {
+            i -= 1;
+            w = (w << 8) | data[at + i] as u64;
+        }
+        w
+    }
+
+    // The reference deliberately avoids `rotate_left` so its bit motion
+    // is independent of the intrinsic the fast path leans on.
+    #[allow(clippy::manual_rotate)]
+    fn ref_round(acc: u64, lane: u64) -> u64 {
+        let mut a = acc.wrapping_add(lane.wrapping_mul(P2));
+        a = (a << 31) | (a >> 33);
+        a.wrapping_mul(P1)
+    }
+
+    fn ref_mix(key: &HashKey, data: &[u8]) -> u64 {
+        let len = data.len();
+        let mut pos = 0usize;
+        let mut h;
+        if len >= 32 {
+            let mut v = [
+                key.k0.wrapping_add(P1).wrapping_add(P2) ^ key.k1,
+                key.k0.wrapping_add(P2) ^ key.k1.rotate_left(16),
+                key.k0 ^ key.k1.rotate_left(32),
+                key.k0.wrapping_sub(P1) ^ key.k1.rotate_left(48),
+            ];
+            while len - pos >= 32 {
+                let mut i = 0;
+                while i < 4 {
+                    v[i] = ref_round(v[i], word(data, pos + 8 * i, 8));
+                    i += 1;
+                }
+                pos += 32;
+            }
+            h = v[0]
+                .rotate_left(1)
+                .wrapping_add(v[1].rotate_left(7))
+                .wrapping_add(v[2].rotate_left(12))
+                .wrapping_add(v[3].rotate_left(18));
+            let mut i = 0;
+            while i < 4 {
+                h = (h ^ ref_round(0, v[i])).wrapping_mul(P1).wrapping_add(P4);
+                i += 1;
+            }
+        } else {
+            h = key
+                .k0
+                .wrapping_mul(P5)
+                .wrapping_add(key.k1.rotate_left(23))
+                .wrapping_add(P5);
+        }
+        h = h.wrapping_add(len as u64);
+
+        while len - pos >= 8 {
+            h ^= ref_round(0, word(data, pos, 8));
+            h = h.rotate_left(27).wrapping_mul(P1).wrapping_add(P4);
+            pos += 8;
+        }
+        if len - pos >= 4 {
+            h ^= word(data, pos, 4).wrapping_mul(P1);
+            h = h.rotate_left(23).wrapping_mul(P2).wrapping_add(P3);
+            pos += 4;
+        }
+        while pos < len {
+            h ^= (data[pos] as u64).wrapping_mul(P5);
+            h = h.rotate_left(11).wrapping_mul(P1);
+            pos += 1;
+        }
+        h
+    }
+
+    /// Reference keyed 64-bit hash; must equal [`super::hash64`].
+    pub fn hash64(key: &HashKey, data: &[u8]) -> u64 {
+        avalanche_lo(ref_mix(key, data))
+    }
+
+    /// Reference keyed 128-bit hash; must equal [`super::hash128`].
+    pub fn hash128(key: &HashKey, data: &[u8]) -> u128 {
+        let pre = ref_mix(key, data);
+        ((avalanche_hi(key, pre) as u128) << 64) | avalanche_lo(pre) as u128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footer_roundtrip_and_rejections() {
+        let key = HashKey::DEFAULT;
+        let mut cell = vec![7u8; 100];
+        append_footer(&key, 42, &mut cell);
+        assert_eq!(cell.len(), 100 + FOOTER_LEN);
+        assert_eq!(verify_footer(&key, 42, &cell), Some(&vec![7u8; 100][..]));
+        // Wrong offset (misdirected read) fails.
+        assert_eq!(verify_footer(&key, 43, &cell), None);
+        // Any flipped payload bit fails.
+        let mut bad = cell.clone();
+        bad[50] ^= 0x01;
+        assert_eq!(verify_footer(&key, 42, &bad), None);
+        // Flipped footer bit fails.
+        let mut bad = cell.clone();
+        bad[100] ^= 0x80;
+        assert_eq!(verify_footer(&key, 42, &bad), None);
+        // Runt cell fails.
+        assert_eq!(verify_footer(&key, 42, &cell[..4]), None);
+    }
+
+    #[test]
+    fn keys_and_lengths_separate() {
+        let a = hash64(&HashKey::DEFAULT, b"hello");
+        let b = hash64(&HashKey { k0: 1, k1: 2 }, b"hello");
+        assert_ne!(a, b);
+        assert_ne!(
+            hash64(&HashKey::DEFAULT, b""),
+            hash64(&HashKey::DEFAULT, b"\0")
+        );
+        let h = hash128(&HashKey::DEFAULT, b"hello");
+        assert_ne!((h >> 64) as u64, h as u64, "hi and lo words must differ");
+    }
+
+    #[test]
+    fn empty_input_is_stable_across_impls() {
+        let key = HashKey::DEFAULT;
+        assert_eq!(hash64(&key, b""), reference::hash64(&key, b""));
+        assert_eq!(hash128(&key, b""), reference::hash128(&key, b""));
+    }
+}

@@ -1,0 +1,185 @@
+//! Merkle manifests over stripe elements.
+//!
+//! Each sealed stripe gets a binary merkle tree whose leaves are
+//! [`leaf_hash`]es of the element payloads in layout order (row by row,
+//! data then parity). The 128-bit root is the stripe's identity: a
+//! scrub can verify any single element against the root in O(log n)
+//! hashes — no decode, no other elements — and a mismatch localizes to
+//! the exact leaf.
+//!
+//! Domain separation keeps leaves and interior nodes in disjoint hash
+//! domains (a leaf can never be replayed as a node or vice versa), and
+//! the leaf index is folded into the leaf key so two identical elements
+//! at different positions hash differently.
+//!
+//! Odd nodes are *promoted*: a level of 5 hashes pairs the first four
+//! and carries the fifth up unchanged, so proofs simply skip that
+//! level for the promoted node.
+
+use crate::hash::{hash128, HashKey};
+
+/// Domain tag for leaf hashes.
+const LEAF_TAG: u64 = 0x4C45_4146; // "LEAF"
+/// Domain tag for interior node hashes.
+const NODE_TAG: u64 = 0x4E4F_4445; // "NODE"
+
+/// Hash an element payload into its leaf, bound to its position in the
+/// stripe.
+pub fn leaf_hash(key: &HashKey, index: u64, data: &[u8]) -> u128 {
+    hash128(&key.derive(LEAF_TAG, index), data)
+}
+
+/// Hash two children into their parent.
+fn node_hash(key: &HashKey, left: u128, right: u128) -> u128 {
+    let mut buf = [0u8; 32];
+    buf[..16].copy_from_slice(&left.to_le_bytes());
+    buf[16..].copy_from_slice(&right.to_le_bytes());
+    hash128(&key.derive(NODE_TAG, 0), &buf)
+}
+
+/// One step of a merkle proof: the sibling hash and which side it sits
+/// on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MerkleStep {
+    /// The sibling subtree's hash.
+    pub sibling: u128,
+    /// True when the sibling is the *left* child (our node is right).
+    pub sibling_is_left: bool,
+}
+
+/// A binary merkle tree over element leaf hashes, all levels retained.
+///
+/// Retaining interior levels costs 2n−1 hashes (32 bytes each) per
+/// stripe and makes proof extraction O(log n) lookups; only the root
+/// needs to be trusted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleTree {
+    /// `levels[0]` = leaves, last level = `[root]`.
+    levels: Vec<Vec<u128>>,
+}
+
+impl MerkleTree {
+    /// Build a tree from precomputed leaf hashes. Panics on zero leaves
+    /// (a sealed stripe always has n·rows elements).
+    pub fn from_leaves(key: &HashKey, leaves: Vec<u128>) -> Self {
+        assert!(!leaves.is_empty(), "merkle tree needs at least one leaf");
+        let mut levels = vec![leaves];
+        while levels.last().unwrap().len() > 1 {
+            let prev = levels.last().unwrap();
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                next.push(match pair {
+                    [l, r] => node_hash(key, *l, *r),
+                    [odd] => *odd, // promoted unchanged
+                    _ => unreachable!(),
+                });
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// The stripe root.
+    pub fn root(&self) -> u128 {
+        self.levels.last().unwrap()[0]
+    }
+
+    /// Number of leaves (elements) in the tree.
+    pub fn n_leaves(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// The stored leaf hash at `index`.
+    pub fn leaf(&self, index: usize) -> u128 {
+        self.levels[0][index]
+    }
+
+    /// The O(log n) inclusion proof for leaf `index`.
+    pub fn proof(&self, index: usize) -> Vec<MerkleStep> {
+        assert!(index < self.n_leaves(), "leaf index out of range");
+        let mut steps = Vec::new();
+        let mut i = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling = i ^ 1;
+            if sibling < level.len() {
+                steps.push(MerkleStep {
+                    sibling: level[sibling],
+                    sibling_is_left: sibling < i,
+                });
+            } // else: odd node promoted, no step at this level
+            i /= 2;
+        }
+        steps
+    }
+
+    /// Fold a leaf hash through a proof and compare against `root`.
+    /// Trusts nothing but the root.
+    pub fn verify(key: &HashKey, root: u128, leaf: u128, proof: &[MerkleStep]) -> bool {
+        let mut h = leaf;
+        for step in proof {
+            h = if step.sibling_is_left {
+                node_hash(key, step.sibling, h)
+            } else {
+                node_hash(key, h, step.sibling)
+            };
+        }
+        h == root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(key: &HashKey, n: usize) -> Vec<u128> {
+        (0..n)
+            .map(|i| leaf_hash(key, i as u64, format!("element-{i}").as_bytes()))
+            .collect()
+    }
+
+    #[test]
+    fn every_leaf_proves_against_the_root() {
+        let key = HashKey::DEFAULT;
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 40] {
+            let tree = MerkleTree::from_leaves(&key, leaves(&key, n));
+            for i in 0..n {
+                let proof = tree.proof(i);
+                assert!(
+                    proof.len() <= (usize::BITS - (n - 1).leading_zeros()) as usize,
+                    "proof for {i}/{n} longer than log2"
+                );
+                assert!(MerkleTree::verify(&key, tree.root(), tree.leaf(i), &proof));
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_leaf_wrong_index_wrong_root_all_fail() {
+        let key = HashKey::DEFAULT;
+        let tree = MerkleTree::from_leaves(&key, leaves(&key, 12));
+        let proof = tree.proof(5);
+        // Tampered element content.
+        let bad = leaf_hash(&key, 5, b"tampered");
+        assert!(!MerkleTree::verify(&key, tree.root(), bad, &proof));
+        // Same bytes, wrong position.
+        let moved = leaf_hash(&key, 6, b"element-5");
+        assert!(!MerkleTree::verify(&key, tree.root(), moved, &proof));
+        // Wrong root.
+        assert!(!MerkleTree::verify(
+            &key,
+            tree.root() ^ 1,
+            tree.leaf(5),
+            &proof
+        ));
+    }
+
+    #[test]
+    fn root_binds_every_position() {
+        let key = HashKey::DEFAULT;
+        let mut ls = leaves(&key, 9);
+        let t1 = MerkleTree::from_leaves(&key, ls.clone());
+        ls.swap(0, 8);
+        let t2 = MerkleTree::from_leaves(&key, ls);
+        assert_ne!(t1.root(), t2.root());
+    }
+}

@@ -1,0 +1,192 @@
+//! Differential suite pinning the optimized keyed hash against the
+//! byte-at-a-time implementation in `hash::reference`, in the style of
+//! the GF kernel backend suite.
+//!
+//! Every key class × length class {0, 1, 3, 4, 5, 7, 8, 9, 31, 32, 33,
+//! 63, 64, 65, 4096, 64 KiB ± 1} is exercised for both digest widths,
+//! plus a seeded random sweep over lengths 0..=1024 and avalanche /
+//! footer-format sanity checks.
+
+use ecfrm_integrity::hash::{self, reference};
+use ecfrm_integrity::{element_checksum, hash128, hash64, leaf_hash, HashKey, MerkleTree};
+
+/// Length classes: every branch boundary of the block/tail structure
+/// (32-byte blocks, 8-byte words, 4-byte word, loose bytes) ± 1, plus
+/// the acceptance sweep's 64 KiB ± 1.
+const LENGTHS: &[usize] = &[
+    0, 1, 3, 4, 5, 7, 8, 9, 12, 13, 31, 32, 33, 39, 40, 63, 64, 65, 4096, 65535, 65536, 65537,
+];
+
+fn pseudo(len: usize, seed: u64) -> Vec<u8> {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x & 0xFF) as u8
+        })
+        .collect()
+}
+
+/// Key classes: the default, degenerate all-zero / all-one keys, single
+/// set bits at both ends, and a spread of fixed "random" keys.
+fn keys() -> Vec<HashKey> {
+    let mut ks = vec![
+        HashKey::DEFAULT,
+        HashKey { k0: 0, k1: 0 },
+        HashKey {
+            k0: u64::MAX,
+            k1: u64::MAX,
+        },
+        HashKey { k0: 1, k1: 0 },
+        HashKey { k0: 0, k1: 1 },
+        HashKey { k0: 1 << 63, k1: 0 },
+        HashKey { k0: 0, k1: 1 << 63 },
+    ];
+    let mut x = 0xDEAD_BEEF_CAFE_F00Du64;
+    for _ in 0..8 {
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let k0 = next();
+        let k1 = next();
+        ks.push(HashKey { k0, k1 });
+    }
+    ks
+}
+
+#[test]
+fn hash64_matches_reference_across_lengths_and_keys() {
+    for key in keys() {
+        for &len in LENGTHS {
+            let data = pseudo(len, len as u64 ^ key.k0);
+            assert_eq!(
+                hash64(&key, &data),
+                reference::hash64(&key, &data),
+                "len={len} key={key:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn hash128_matches_reference_across_lengths_and_keys() {
+    for key in keys() {
+        for &len in LENGTHS {
+            let data = pseudo(len, len as u64 ^ key.k1);
+            assert_eq!(
+                hash128(&key, &data),
+                reference::hash128(&key, &data),
+                "len={len} key={key:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn seeded_sweep_every_length_to_1k() {
+    // Proptest-style seeded sweep: every length 0..=1024 with a
+    // length-derived seed, both widths, two keys.
+    for key in [
+        HashKey::DEFAULT,
+        HashKey {
+            k0: 77,
+            k1: 0x0F0F_F0F0,
+        },
+    ] {
+        for len in 0..=1024usize {
+            let data = pseudo(len, 0xA11C_E000 + len as u64);
+            assert_eq!(
+                hash64(&key, &data),
+                reference::hash64(&key, &data),
+                "len={len}"
+            );
+            assert_eq!(
+                hash128(&key, &data),
+                reference::hash128(&key, &data),
+                "len={len}"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_bit_flips_always_change_the_digest() {
+    // Avalanche sanity at a block boundary length: flipping any single
+    // bit of a 40-byte input (one full block + tail) must change both
+    // digests, and no two flips may collide with each other.
+    let key = HashKey::DEFAULT;
+    let base = pseudo(40, 99);
+    let h0 = hash64(&key, &base);
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(h0);
+    for byte in 0..base.len() {
+        for bit in 0..8 {
+            let mut flipped = base.clone();
+            flipped[byte] ^= 1 << bit;
+            let h = hash64(&key, &flipped);
+            assert!(seen.insert(h), "collision at byte {byte} bit {bit}");
+        }
+    }
+}
+
+#[test]
+fn element_checksum_binds_the_offset() {
+    let key = HashKey::DEFAULT;
+    let data = pseudo(4096, 7);
+    let sums: Vec<u64> = (0..64u64)
+        .map(|off| element_checksum(&key, off * 4104, &data))
+        .collect();
+    let unique: std::collections::HashSet<_> = sums.iter().collect();
+    assert_eq!(
+        unique.len(),
+        sums.len(),
+        "same bytes at different offsets must differ"
+    );
+}
+
+#[test]
+fn footer_survives_roundtrip_for_every_length_class() {
+    let key = HashKey::DEFAULT;
+    for &len in LENGTHS {
+        let payload = pseudo(len, 21);
+        let mut cell = payload.clone();
+        hash::append_footer(&key, 1234, &mut cell);
+        assert_eq!(
+            hash::verify_footer(&key, 1234, &cell),
+            Some(&payload[..]),
+            "len={len}"
+        );
+    }
+}
+
+#[test]
+fn merkle_localizes_a_flipped_byte_to_the_exact_element() {
+    // Stripe-shaped end-to-end check: 4 rows × 10 elements, corrupt one
+    // byte of one element, and require (a) exactly that leaf fails its
+    // O(log n) proof, (b) every other leaf still verifies.
+    let key = HashKey::DEFAULT;
+    let elements: Vec<Vec<u8>> = (0..40).map(|i| pseudo(512, 1000 + i)).collect();
+    let leaves: Vec<u128> = elements
+        .iter()
+        .enumerate()
+        .map(|(i, e)| leaf_hash(&key, i as u64, e))
+        .collect();
+    let tree = MerkleTree::from_leaves(&key, leaves);
+
+    let victim = 23usize;
+    let mut tampered = elements.clone();
+    tampered[victim][100] ^= 0x40;
+
+    let failures: Vec<usize> = (0..tampered.len())
+        .filter(|&i| {
+            let leaf = leaf_hash(&key, i as u64, &tampered[i]);
+            !MerkleTree::verify(&key, tree.root(), leaf, &tree.proof(i))
+        })
+        .collect();
+    assert_eq!(failures, vec![victim]);
+}

@@ -18,7 +18,7 @@
 //! [`DiskBackend::net_stats`] into the store's `ReadStats`.
 
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
@@ -27,7 +27,9 @@ use ecfrm_obs::{Histogram, HistogramSnapshot};
 use ecfrm_sim::{DiskBackend, NetCounters, NetStats};
 use ecfrm_util::{Mutex, Rng};
 
-use crate::protocol::{read_response, write_request, Fault, NetError, Request, Response};
+use crate::protocol::{
+    read_response, write_request, CheckedElement, Fault, NetError, Request, Response,
+};
 
 /// Client-side resilience knobs.
 #[derive(Debug, Clone)]
@@ -52,6 +54,14 @@ pub struct RemoteDiskConfig {
     /// `BatchGet`. Even when enabled, the client auto-falls-back (and
     /// stops asking) if the server predates the opcode.
     pub use_range: bool,
+    /// The store's integrity key `(k0, k1)`. When set (and `use_range`
+    /// allows coalescing), contiguous runs go out as `RangeChecked`:
+    /// the server verifies each cell's checksum footer at the source
+    /// and corrupt cells come back as a one-byte verdict instead of a
+    /// payload. `None` keeps all verification client-side. As with
+    /// `GetRange`, an old server that rejects the opcode demotes the
+    /// client to the unchecked path permanently.
+    pub integrity_key: Option<(u64, u64)>,
 }
 
 impl Default for RemoteDiskConfig {
@@ -65,11 +75,21 @@ impl Default for RemoteDiskConfig {
             hedge_after: None,
             pool_size: 2,
             use_range: true,
+            integrity_key: None,
         }
     }
 }
 
 impl RemoteDiskConfig {
+    /// Enable server-side footer verification with the given key: the
+    /// store's `(k0, k1)` integrity key words, shipped on every
+    /// `RangeChecked` request.
+    #[must_use]
+    pub fn with_integrity(mut self, k0: u64, k1: u64) -> Self {
+        self.integrity_key = Some((k0, k1));
+        self
+    }
+
     /// Tight timeouts for tests: failures are detected in tens of
     /// milliseconds instead of seconds.
     pub fn fast() -> Self {
@@ -82,6 +102,7 @@ impl RemoteDiskConfig {
             hedge_after: None,
             pool_size: 2,
             use_range: true,
+            integrity_key: None,
         }
     }
 
@@ -103,6 +124,7 @@ impl RemoteDiskConfig {
             hedge_after: None,
             pool_size: 1,
             use_range: true,
+            integrity_key: None,
         }
     }
 }
@@ -121,6 +143,14 @@ pub struct RemoteDisk {
     /// same offsets succeeds — the shard is alive but predates the
     /// opcode, so stop asking (forward compatibility with old servers).
     range_supported: AtomicBool,
+    /// Same demotion latch for `RangeChecked`: cleared the first time
+    /// the checked opcode fails but a `BatchGet` of the same offsets
+    /// succeeds.
+    checked_supported: AtomicBool,
+    /// Cells the server reported as failing footer verification
+    /// (`CheckedElement::Corrupt`). Surfaced via
+    /// [`RemoteDisk::remote_verify_fails`].
+    remote_verify_fails: AtomicU64,
     rng: Mutex<Rng>,
 }
 
@@ -142,6 +172,8 @@ impl RemoteDisk {
             request_us: Histogram::new(),
             ever_connected: AtomicBool::new(false),
             range_supported: AtomicBool::new(true),
+            checked_supported: AtomicBool::new(true),
+            remote_verify_fails: AtomicU64::new(0),
             rng: Mutex::new(Rng::seed_from_u64(addr.port() as u64 ^ 0xD15C)),
         }
     }
@@ -381,41 +413,57 @@ impl RemoteDisk {
     pub fn range_enabled(&self) -> bool {
         self.cfg.use_range && self.range_supported.load(Ordering::Acquire)
     }
-}
 
-/// `Some(count)` when `offsets` is one contiguous ascending run
-/// (`o, o+1, …, o+len-1`) — the shape `GetRange` carries.
-fn contiguous_run(offsets: &[u64]) -> Option<u32> {
-    if offsets.is_empty() || offsets.len() > u32::MAX as usize {
-        return None;
+    /// True while this client will still emit `RangeChecked` (an
+    /// integrity key is configured, coalescing is allowed, and the
+    /// server has not demonstrated it predates the opcode).
+    pub fn checked_enabled(&self) -> bool {
+        self.cfg.integrity_key.is_some()
+            && self.cfg.use_range
+            && self.checked_supported.load(Ordering::Acquire)
     }
-    let contiguous = offsets.windows(2).all(|w| w[1] == w[0].wrapping_add(1));
-    contiguous.then_some(offsets.len() as u32)
-}
 
-impl DiskBackend for RemoteDisk {
-    /// Fetch one element over the wire. Transport failure after the
-    /// full retry/hedge budget reads as *absent* — the caller's
-    /// degraded-read machinery takes it from there.
-    fn read(&self, offset: u64) -> Option<Vec<u8>> {
-        match self.timed(|| self.read_rpc(&Request::GetElement { offset })) {
-            Ok(Response::Element(v)) => v,
+    /// Cells the server has reported as corrupt (footer verification
+    /// failed at the source) over this client's lifetime.
+    pub fn remote_verify_fails(&self) -> u64 {
+        self.remote_verify_fails.load(Ordering::Relaxed)
+    }
+
+    /// One `RangeChecked` attempt for a contiguous run, or `None` if
+    /// the checked path is unavailable/failed (caller falls back).
+    /// Corrupt cells map to absent entries — the store's verify-on-read
+    /// treats both as erasures — after bumping the corrupt counter.
+    fn read_checked(&self, offset: u64, count: u32) -> Option<Vec<Option<Vec<u8>>>> {
+        let (k0, k1) = self.cfg.integrity_key?;
+        match self.timed(|| {
+            self.read_rpc(&Request::RangeChecked {
+                offset,
+                count,
+                k0,
+                k1,
+            })
+        }) {
+            Ok(Response::Checked(items)) if items.len() == count as usize => Some(
+                items
+                    .into_iter()
+                    .map(|item| match item {
+                        CheckedElement::Valid(bytes) => Some(bytes),
+                        CheckedElement::Missing => None,
+                        CheckedElement::Corrupt => {
+                            self.remote_verify_fails.fetch_add(1, Ordering::Relaxed);
+                            None
+                        }
+                    })
+                    .collect(),
+            ),
             _ => None,
         }
     }
 
-    /// Fetch a whole batch in **one** RPC, with the retry/hedge stack
-    /// applied once per batch instead of once per element. A batch that
-    /// forms one contiguous ascending run goes out as the coalesced
-    /// `GetRange`; anything else (or a server that predates the opcode)
-    /// as `BatchGet`.
-    fn read_many(&self, offsets: &[u64]) -> Vec<Option<Vec<u8>>> {
-        if offsets.is_empty() {
-            return Vec::new();
-        }
-        if offsets.len() == 1 {
-            return vec![self.read(offsets[0])];
-        }
+    /// The unchecked multi-element path: coalesced `GetRange` for a
+    /// contiguous run (with its own old-server fallback), `BatchGet`
+    /// otherwise.
+    fn read_many_unchecked(&self, offsets: &[u64]) -> Vec<Option<Vec<u8>>> {
         if self.range_enabled() {
             if let Some(count) = contiguous_run(offsets) {
                 match self.timed(|| {
@@ -446,6 +494,60 @@ impl DiskBackend for RemoteDisk {
             }
         }
         self.read_batch(offsets)
+    }
+}
+
+/// `Some(count)` when `offsets` is one contiguous ascending run
+/// (`o, o+1, …, o+len-1`) — the shape `GetRange` carries.
+fn contiguous_run(offsets: &[u64]) -> Option<u32> {
+    if offsets.is_empty() || offsets.len() > u32::MAX as usize {
+        return None;
+    }
+    let contiguous = offsets.windows(2).all(|w| w[1] == w[0].wrapping_add(1));
+    contiguous.then_some(offsets.len() as u32)
+}
+
+impl DiskBackend for RemoteDisk {
+    /// Fetch one element over the wire. Transport failure after the
+    /// full retry/hedge budget reads as *absent* — the caller's
+    /// degraded-read machinery takes it from there.
+    fn read(&self, offset: u64) -> Option<Vec<u8>> {
+        match self.timed(|| self.read_rpc(&Request::GetElement { offset })) {
+            Ok(Response::Element(v)) => v,
+            _ => None,
+        }
+    }
+
+    /// Fetch a whole batch in **one** RPC, with the retry/hedge stack
+    /// applied once per batch instead of once per element. A batch that
+    /// forms one contiguous ascending run goes out as the coalesced
+    /// `RangeChecked` (when an integrity key is configured) or
+    /// `GetRange`; anything else (or a server that predates the
+    /// opcodes) as `BatchGet`.
+    fn read_many(&self, offsets: &[u64]) -> Vec<Option<Vec<u8>>> {
+        if offsets.is_empty() {
+            return Vec::new();
+        }
+        if offsets.len() == 1 {
+            return vec![self.read(offsets[0])];
+        }
+        if self.checked_enabled() {
+            if let Some(count) = contiguous_run(offsets) {
+                if let Some(items) = self.read_checked(offsets[0], count) {
+                    return items;
+                }
+                // Transient fault or an old server. Retry unchecked
+                // (GetRange negotiates its own fallback below); if the
+                // shard answers, it is alive but checked-less —
+                // remember and stop asking.
+                let items = self.read_many_unchecked(offsets);
+                if items.iter().any(Option::is_some) {
+                    self.checked_supported.store(false, Ordering::Release);
+                }
+                return items;
+            }
+        }
+        self.read_many_unchecked(offsets)
     }
 
     fn write(&self, offset: u64, bytes: Vec<u8>) {
@@ -577,6 +679,93 @@ mod tests {
         assert_eq!(disk.read_many(&[0, 1, 2]), vec![None, None, None]);
         // A transient outage must not permanently disable coalescing.
         assert!(disk.range_enabled());
+    }
+
+    #[test]
+    fn read_many_checked_maps_corrupt_to_absent_and_counts() {
+        use ecfrm_integrity::{append_footer, HashKey};
+        let backend = Arc::new(MemDisk::new());
+        let server =
+            ShardServer::spawn(Arc::clone(&backend) as Arc<dyn DiskBackend>, "127.0.0.1:0")
+                .unwrap();
+        let key = HashKey::DEFAULT.derive(0x454C_454D, 7);
+        let disk = RemoteDisk::new(
+            server.addr(),
+            RemoteDiskConfig::fast().with_integrity(key.k0, key.k1),
+        );
+        for off in 0..4u64 {
+            let mut cell = vec![off as u8; 8];
+            append_footer(&key, off, &mut cell);
+            disk.write(off, cell);
+        }
+        // Flip a payload byte behind the server's back: bit rot.
+        let mut rotted = backend.read(2).unwrap();
+        rotted[3] ^= 0x80;
+        backend.write(2, rotted);
+
+        let got = disk.read_many(&[0, 1, 2, 3]);
+        assert!(got[0].is_some() && got[1].is_some() && got[3].is_some());
+        assert_eq!(got[2], None, "corrupt cell reads as absent");
+        assert_eq!(disk.remote_verify_fails(), 1);
+        assert!(disk.checked_enabled(), "corruption must not demote the op");
+        let stats = disk.stats().unwrap();
+        let get = |name: &str| stats.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+        assert_eq!(get("serve.checked"), Some(1));
+        assert_eq!(get("serve.checked_corrupt"), Some(1));
+        assert_eq!(get("serve.batch"), Some(0), "no fallback was needed");
+    }
+
+    #[test]
+    fn old_server_demotes_checked_to_unchecked_path() {
+        // A hand-rolled shard that predates `RangeChecked`: it drops the
+        // connection on the unknown opcode (exactly what an old
+        // `read_request` does with an unparseable frame) but serves
+        // `BatchGet`/`GetRange` fine.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let backend = Arc::new(MemDisk::new());
+        for off in 0..4u64 {
+            backend.write(off, vec![off as u8; 4]);
+        }
+        let serve_backend = Arc::clone(&backend);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { return };
+                let disk = Arc::clone(&serve_backend);
+                std::thread::spawn(move || loop {
+                    let req = match crate::protocol::read_request(&mut stream) {
+                        Ok(r) => r,
+                        Err(_) => return,
+                    };
+                    let resp = match req {
+                        Request::RangeChecked { .. } => return, // "unknown opcode"
+                        Request::BatchGet { offsets } => Response::Batch(disk.read_many(&offsets)),
+                        Request::GetRange { offset, count } => {
+                            let offsets: Vec<u64> =
+                                (0..u64::from(count)).map(|i| offset + i).collect();
+                            Response::Range(disk.read_many(&offsets))
+                        }
+                        Request::GetElement { offset } => Response::Element(disk.read(offset)),
+                        _ => Response::Error("unsupported".into()),
+                    };
+                    if crate::protocol::write_response(&mut stream, &resp).is_err() {
+                        return;
+                    }
+                });
+            }
+        });
+
+        let disk = RemoteDisk::new(addr, RemoteDiskConfig::fast().with_integrity(1, 2));
+        assert!(disk.checked_enabled());
+        let want: Vec<Option<Vec<u8>>> = (0..4u64).map(|o| Some(vec![o as u8; 4])).collect();
+        assert_eq!(disk.read_many(&[0, 1, 2, 3]), want);
+        assert!(
+            !disk.checked_enabled(),
+            "an answering but checked-less shard demotes the op permanently"
+        );
+        assert!(disk.range_enabled(), "range negotiation is independent");
+        // Subsequent batches skip the checked attempt entirely.
+        assert_eq!(disk.read_many(&[0, 1, 2, 3]), want);
     }
 
     #[test]

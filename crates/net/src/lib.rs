@@ -44,5 +44,5 @@ pub mod server;
 
 pub use client::{RemoteDisk, RemoteDiskConfig};
 pub use cluster::Cluster;
-pub use protocol::{Fault, NetError, Request, Response};
+pub use protocol::{CheckedElement, Fault, NetError, Request, Response};
 pub use server::ShardServer;

@@ -6,13 +6,17 @@
 //! [ magic "EFRM" : 4 ][ version : 1 ][ opcode : 1 ][ payload len : u32 LE ][ payload ]
 //! ```
 //!
-//! Integers inside payloads are little-endian. Seven operations exist:
+//! Integers inside payloads are little-endian. Eight operations exist:
 //! `GetElement`, `PutElement`, `BatchGet`, `Health`, `InjectFault`
 //! (the fault-injection side channel that lets a client drive a remote
 //! shard's failure state exactly like a local disk's), `Stats`
-//! (dump the server's metrics registry as flat name/value pairs), and
+//! (dump the server's metrics registry as flat name/value pairs),
 //! `GetRange` (the coalesced batch form: one contiguous run of
-//! elements, answered in a single bitmap-framed payload).
+//! elements, answered in a single bitmap-framed payload), and
+//! `RangeChecked` (a `GetRange` that carries the store's integrity key
+//! so the server verifies each element's checksum footer before
+//! shipping it, answering with a per-element verdict). Both range ops
+//! are additive: old servers reject the opcode and clients fall back.
 
 use std::io::{Read, Write};
 
@@ -124,12 +128,46 @@ pub enum Request {
         /// Number of consecutive elements.
         count: u32,
     },
+    /// [`Request::GetRange`] with server-side integrity verification:
+    /// the client ships its keyed-hash key and the server checks each
+    /// stored cell's checksum footer against its offset before
+    /// answering, classifying every element as valid, missing, or
+    /// corrupt ([`CheckedElement`]). Corrupt cells are detected at the
+    /// data, before crossing the network — the wire analogue of
+    /// verify-on-read. Additive in protocol version 1: servers that
+    /// predate it reject the opcode and clients fall back to
+    /// `BatchGet` (verifying client-side as always).
+    RangeChecked {
+        /// First element offset of the run.
+        offset: u64,
+        /// Number of consecutive elements.
+        count: u32,
+        /// First word of the store's integrity key.
+        k0: u64,
+        /// Second word of the store's integrity key.
+        k1: u64,
+    },
     /// Liveness + occupancy probe.
     Health,
     /// Drive the shard's failure state.
     InjectFault(Fault),
     /// Dump the server's metrics registry.
     Stats,
+}
+
+/// One element of a [`Response::Checked`] — the server's per-element
+/// integrity verdict for a [`Request::RangeChecked`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckedElement {
+    /// Not stored (or the shard is failed).
+    Missing,
+    /// Stored and the checksum footer verified; carries the full cell
+    /// (`payload || footer`) so the client can re-verify end-to-end.
+    Valid(Vec<u8>),
+    /// Stored but the checksum footer disagreed — the bytes are not
+    /// shipped (they are known-bad; the client treats this as an
+    /// erasure and saves the wire transfer).
+    Corrupt,
 }
 
 /// A server response.
@@ -146,6 +184,11 @@ pub enum Response {
     /// bytes, so a fully-present run costs 4 + ⌈count/8⌉ bytes of
     /// per-element framing total instead of 5 bytes *per element*.
     Range(Vec<Option<Vec<u8>>>),
+    /// A contiguous run answering [`Request::RangeChecked`]: one
+    /// status byte per element (so corrupt cells cost 1 byte, not a
+    /// wasted element transfer) followed by the valid elements' bytes
+    /// in order.
+    Checked(Vec<CheckedElement>),
     /// Health probe answer: stored element count.
     Health {
         /// Elements currently stored.
@@ -166,6 +209,7 @@ const OP_HEALTH: u8 = 4;
 const OP_INJECT: u8 = 5;
 const OP_STATS: u8 = 6;
 const OP_GET_RANGE: u8 = 7;
+const OP_RANGE_CHECKED: u8 = 8;
 
 const RESP_ELEMENT: u8 = 129;
 const RESP_PUT: u8 = 130;
@@ -174,6 +218,7 @@ const RESP_HEALTH: u8 = 132;
 const RESP_FAULT: u8 = 133;
 const RESP_STATS: u8 = 134;
 const RESP_RANGE: u8 = 135;
+const RESP_CHECKED: u8 = 136;
 const RESP_ERROR: u8 = 255;
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -254,6 +299,7 @@ impl Request {
             Request::PutElement { .. } => OP_PUT,
             Request::BatchGet { .. } => OP_BATCH_GET,
             Request::GetRange { .. } => OP_GET_RANGE,
+            Request::RangeChecked { .. } => OP_RANGE_CHECKED,
             Request::Health => OP_HEALTH,
             Request::InjectFault(_) => OP_INJECT,
             Request::Stats => OP_STATS,
@@ -278,6 +324,17 @@ impl Request {
             Request::GetRange { offset, count } => {
                 put_u64(&mut out, *offset);
                 put_u32(&mut out, *count);
+            }
+            Request::RangeChecked {
+                offset,
+                count,
+                k0,
+                k1,
+            } => {
+                put_u64(&mut out, *offset);
+                put_u32(&mut out, *count);
+                put_u64(&mut out, *k0);
+                put_u64(&mut out, *k1);
             }
             Request::Health | Request::Stats => {}
             Request::InjectFault(fault) => match fault {
@@ -315,6 +372,12 @@ impl Request {
                 offset: c.u64()?,
                 count: c.u32()?,
             },
+            OP_RANGE_CHECKED => Request::RangeChecked {
+                offset: c.u64()?,
+                count: c.u32()?,
+                k0: c.u64()?,
+                k1: c.u64()?,
+            },
             OP_HEALTH => Request::Health,
             OP_STATS => Request::Stats,
             OP_INJECT => {
@@ -341,6 +404,7 @@ impl Response {
             Response::Put => RESP_PUT,
             Response::Batch(_) => RESP_BATCH,
             Response::Range(_) => RESP_RANGE,
+            Response::Checked(_) => RESP_CHECKED,
             Response::Health { .. } => RESP_HEALTH,
             Response::FaultInjected => RESP_FAULT,
             Response::Stats(_) => RESP_STATS,
@@ -373,6 +437,26 @@ impl Response {
                 for v in items.iter().flatten() {
                     put_u32(&mut out, v.len() as u32);
                     out.extend_from_slice(v);
+                }
+            }
+            Response::Checked(items) => {
+                // [count:u32][status byte per element: 0=missing,
+                // 1=valid, 2=corrupt][per valid element, in order:
+                // len:u32 + bytes]. Corrupt cells ship a verdict but
+                // no payload.
+                put_u32(&mut out, items.len() as u32);
+                for item in items {
+                    out.push(match item {
+                        CheckedElement::Missing => 0,
+                        CheckedElement::Valid(_) => 1,
+                        CheckedElement::Corrupt => 2,
+                    });
+                }
+                for item in items {
+                    if let CheckedElement::Valid(v) = item {
+                        put_u32(&mut out, v.len() as u32);
+                        out.extend_from_slice(v);
+                    }
                 }
             }
             Response::Health { elements } => put_u64(&mut out, *elements),
@@ -418,6 +502,28 @@ impl Response {
                     }
                 }
                 Response::Range(items)
+            }
+            RESP_CHECKED => {
+                let n = c.u32()? as usize;
+                if n > MAX_PAYLOAD as usize {
+                    return Err(NetError::Protocol(format!("checked count {n} implausible")));
+                }
+                let statuses = c.take(n)?.to_vec();
+                let mut items = Vec::with_capacity(n.min(1 << 20));
+                for s in statuses {
+                    items.push(match s {
+                        0 => CheckedElement::Missing,
+                        1 => {
+                            let len = c.u32()? as usize;
+                            CheckedElement::Valid(c.take(len)?.to_vec())
+                        }
+                        2 => CheckedElement::Corrupt,
+                        t => {
+                            return Err(NetError::Protocol(format!("bad checked status {t}")));
+                        }
+                    });
+                }
+                Response::Checked(items)
             }
             RESP_HEALTH => Response::Health { elements: c.u64()? },
             RESP_FAULT => Response::FaultInjected,
@@ -638,6 +744,18 @@ mod tests {
             offset: 1 << 40,
             count: u32::MAX,
         });
+        roundtrip_request(Request::RangeChecked {
+            offset: 0,
+            count: 1,
+            k0: 0,
+            k1: 0,
+        });
+        roundtrip_request(Request::RangeChecked {
+            offset: 1 << 40,
+            count: 4096,
+            k0: u64::MAX,
+            k1: 0xDEAD_BEEF_CAFE_F00D,
+        });
         roundtrip_request(Request::Health);
         roundtrip_request(Request::Stats);
         for fault in [Fault::Fail, Fault::Heal, Fault::Wipe, Fault::DelayMs(250)] {
@@ -661,6 +779,21 @@ mod tests {
             .collect();
         items[8] = Some(vec![]);
         roundtrip_response(Response::Range(items));
+        roundtrip_response(Response::Checked(vec![]));
+        roundtrip_response(Response::Checked(vec![CheckedElement::Valid(vec![7; 32])]));
+        roundtrip_response(Response::Checked(vec![
+            CheckedElement::Missing,
+            CheckedElement::Corrupt,
+            CheckedElement::Missing,
+        ]));
+        // All three verdicts interleaved, with an empty valid cell.
+        roundtrip_response(Response::Checked(vec![
+            CheckedElement::Valid(vec![1, 2, 3]),
+            CheckedElement::Corrupt,
+            CheckedElement::Valid(vec![]),
+            CheckedElement::Missing,
+            CheckedElement::Valid(vec![0xFF; 4096]),
+        ]));
         roundtrip_response(Response::Health { elements: 12345 });
         roundtrip_response(Response::FaultInjected);
         roundtrip_response(Response::Stats(vec![]));
@@ -728,6 +861,29 @@ mod tests {
         payload.push(0xEE);
         assert!(matches!(
             Request::decode(OP_GET, &payload),
+            Err(NetError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn bad_checked_status_rejected() {
+        // count=1, status byte 7 (only 0/1/2 are defined).
+        let mut payload = Vec::new();
+        put_u32(&mut payload, 1);
+        payload.push(7);
+        let err = Response::decode(RESP_CHECKED, &payload).unwrap_err();
+        assert!(err.to_string().contains("checked status"), "{err}");
+    }
+
+    #[test]
+    fn checked_truncated_valid_bytes_rejected() {
+        let mut payload = Vec::new();
+        put_u32(&mut payload, 1);
+        payload.push(1); // valid...
+        put_u32(&mut payload, 100); // ...claiming 100 bytes
+        payload.extend_from_slice(&[9; 10]); // but shipping 10
+        assert!(matches!(
+            Response::decode(RESP_CHECKED, &payload),
             Err(NetError::Protocol(_))
         ));
     }

@@ -15,8 +15,10 @@ use ecfrm_obs::{Counter, Histogram, Recorder};
 use ecfrm_sim::DiskBackend;
 use ecfrm_util::Mutex;
 
+use ecfrm_integrity::{verify_footer, HashKey};
+
 use crate::protocol::{
-    read_request_polling, write_response, Fault, PolledRequest, Request, Response,
+    read_request_polling, write_response, CheckedElement, Fault, PolledRequest, Request, Response,
 };
 
 /// How often blocked accept/read loops wake to check the stop flag.
@@ -32,6 +34,8 @@ struct ServerMetrics {
     put: Counter,
     batch: Counter,
     range: Counter,
+    checked: Counter,
+    checked_corrupt: Counter,
     health: Counter,
     inject: Counter,
     stats: Counter,
@@ -45,6 +49,8 @@ impl ServerMetrics {
             put: recorder.counter("serve.put"),
             batch: recorder.counter("serve.batch"),
             range: recorder.counter("serve.range"),
+            checked: recorder.counter("serve.checked"),
+            checked_corrupt: recorder.counter("serve.checked_corrupt"),
             health: recorder.counter("serve.health"),
             inject: recorder.counter("serve.inject"),
             stats: recorder.counter("serve.stats"),
@@ -58,6 +64,7 @@ impl ServerMetrics {
             Request::PutElement { .. } => self.put.inc(),
             Request::BatchGet { .. } => self.batch.inc(),
             Request::GetRange { .. } => self.range.inc(),
+            Request::RangeChecked { .. } => self.checked.inc(),
             Request::Health => self.health.inc(),
             Request::InjectFault(_) => self.inject.inc(),
             Request::Stats => self.stats.inc(),
@@ -121,9 +128,11 @@ impl ShardServer {
     }
 
     /// The server's metrics registry: per-op counters (`serve.get`,
-    /// `serve.put`, `serve.batch`, `serve.range`, `serve.health`,
-    /// `serve.inject`, `serve.stats`) and the `serve_us`
-    /// request-service histogram.
+    /// `serve.put`, `serve.batch`, `serve.range`, `serve.checked`,
+    /// `serve.health`, `serve.inject`, `serve.stats`), the
+    /// `serve.checked_corrupt` count of cells that failed server-side
+    /// footer verification, and the `serve_us` request-service
+    /// histogram.
     /// Remote clients can fetch the same data with [`Request::Stats`].
     pub fn recorder(&self) -> &Recorder {
         &self.shared.recorder
@@ -255,6 +264,41 @@ fn handle(req: &Request, shared: &Shared) -> Response {
             let offsets: Vec<u64> = (0..u64::from(*count)).map(|i| offset + i).collect();
             Response::Range(shared.backend.read_many(&offsets))
         }
+        Request::RangeChecked {
+            offset,
+            count,
+            k0,
+            k1,
+        } => {
+            if *count > MAX_RANGE {
+                return Response::Error(format!(
+                    "range of {count} elements exceeds the {MAX_RANGE}-element cap"
+                ));
+            }
+            straggle(shared);
+            let key = HashKey { k0: *k0, k1: *k1 };
+            let offsets: Vec<u64> = (0..u64::from(*count)).map(|i| offset + i).collect();
+            let items = shared
+                .backend
+                .read_many(&offsets)
+                .into_iter()
+                .zip(&offsets)
+                .map(|(cell, &off)| match cell {
+                    None => CheckedElement::Missing,
+                    // Verify at the source: a corrupt cell costs a
+                    // status byte on the wire, not a payload transfer
+                    // the client would throw away anyway.
+                    Some(cell) if verify_footer(&key, off, &cell).is_some() => {
+                        CheckedElement::Valid(cell)
+                    }
+                    Some(_) => {
+                        shared.metrics.checked_corrupt.inc();
+                        CheckedElement::Corrupt
+                    }
+                })
+                .collect();
+            Response::Checked(items)
+        }
         Request::Health => Response::Health {
             elements: shared.backend.len() as u64,
         },
@@ -380,6 +424,67 @@ mod tests {
         );
         let snap = server.recorder().snapshot();
         assert_eq!(snap.counters.get("serve.range").copied(), Some(2));
+    }
+
+    #[test]
+    fn range_checked_classifies_valid_missing_and_corrupt() {
+        let server = ShardServer::spawn(Arc::new(MemDisk::new()), "127.0.0.1:0").unwrap();
+        let mut c = dial(&server);
+        let key = HashKey::DEFAULT.derive(0x454C_454D, 0);
+        // Offsets 0 and 2 hold properly footered cells; offset 1 is a
+        // hole; offset 3 holds a cell whose payload was flipped after
+        // sealing.
+        for off in [0u64, 2, 3] {
+            let mut cell = vec![off as u8; 16];
+            ecfrm_integrity::append_footer(&key, off, &mut cell);
+            if off == 3 {
+                cell[4] ^= 0x40;
+            }
+            rpc(
+                &mut c,
+                &Request::PutElement {
+                    offset: off,
+                    bytes: cell,
+                },
+            );
+        }
+        let mut good0 = vec![0u8; 16];
+        ecfrm_integrity::append_footer(&key, 0, &mut good0);
+        let mut good2 = vec![2u8; 16];
+        ecfrm_integrity::append_footer(&key, 2, &mut good2);
+        assert_eq!(
+            rpc(
+                &mut c,
+                &Request::RangeChecked {
+                    offset: 0,
+                    count: 4,
+                    k0: key.k0,
+                    k1: key.k1,
+                }
+            ),
+            Response::Checked(vec![
+                CheckedElement::Valid(good0),
+                CheckedElement::Missing,
+                CheckedElement::Valid(good2),
+                CheckedElement::Corrupt,
+            ])
+        );
+        let snap = server.recorder().snapshot();
+        assert_eq!(snap.counters.get("serve.checked").copied(), Some(1));
+        assert_eq!(snap.counters.get("serve.checked_corrupt").copied(), Some(1));
+        // The cap applies to the checked variant too.
+        match rpc(
+            &mut c,
+            &Request::RangeChecked {
+                offset: 0,
+                count: u32::MAX,
+                k0: key.k0,
+                k1: key.k1,
+            },
+        ) {
+            Response::Error(msg) => assert!(msg.contains("cap"), "got: {msg}"),
+            other => panic!("expected Response::Error, got {other:?}"),
+        }
     }
 
     #[test]

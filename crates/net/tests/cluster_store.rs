@@ -12,6 +12,7 @@ use std::time::Duration;
 
 use ecfrm_codes::LrcCode;
 use ecfrm_core::Scheme;
+use ecfrm_integrity::FOOTER_LEN;
 use ecfrm_net::{Cluster, RemoteDiskConfig};
 use ecfrm_sim::{DiskBackend, FileDisk, ThreadedArray};
 use ecfrm_store::ObjectStore;
@@ -146,18 +147,24 @@ fn hedged_reads_mask_a_straggler_shard() {
 #[test]
 fn file_backed_cluster_roundtrips() {
     // FileDisk shards behind the servers: bytes cross the network AND
-    // hit real files, exercising the full persistent path.
+    // hit real files, exercising the full persistent path. Shard files
+    // hold whole cells — payload plus the store's checksum footer.
     let scheme = lrc_scheme();
     let dir = std::env::temp_dir().join(format!("ecfrm-net-filetest-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
     let backends: Vec<Arc<dyn DiskBackend>> = (0..scheme.n_disks())
         .map(|d| {
-            Arc::new(FileDisk::create(dir.join(format!("shard{d}.bin")), ELEMENT).unwrap())
-                as Arc<dyn DiskBackend>
+            Arc::new(
+                FileDisk::create(dir.join(format!("shard{d}.bin")), ELEMENT + FOOTER_LEN).unwrap(),
+            ) as Arc<dyn DiskBackend>
         })
         .collect();
-    let cluster = Cluster::spawn_over(backends, &RemoteDiskConfig::fast()).unwrap();
+    // Ship the store's integrity key so contiguous runs go out as
+    // `RangeChecked` and shards verify footers at the source.
+    let key = ecfrm_integrity::HashKey::DEFAULT;
+    let cfg = RemoteDiskConfig::fast().with_integrity(key.k0, key.k1);
+    let cluster = Cluster::spawn_over(backends, &cfg).unwrap();
     let store = store_over(&cluster, scheme);
 
     let data = payload(35_000);
@@ -166,6 +173,16 @@ fn file_backed_cluster_roundtrips() {
     assert_eq!(store.get("obj").unwrap(), data);
     // The shard files really hold the elements.
     assert!(std::fs::metadata(dir.join("shard0.bin")).unwrap().len() > 0);
+    // Store-sealed cells on a real file-backed shard verify at the
+    // source: a contiguous run goes out as `RangeChecked` and comes
+    // back valid (the store's footers were written with this key).
+    let got = cluster.client(0).read_many(&[0, 1]);
+    assert!(got[0].is_some(), "shard 0 offset 0 must verify server-side");
+    assert!(cluster.client(0).checked_enabled(), "op must not demote");
+    let stats = cluster.client(0).stats().unwrap();
+    let get = |name: &str| stats.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+    assert_eq!(get("serve.checked"), Some(1));
+    assert_eq!(get("serve.checked_corrupt"), Some(0));
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -17,8 +17,10 @@
 //! * [`FaultKind::Delay`] — every read pays an extra service delay: the
 //!   straggler that trips hedged reads and suspect timeouts.
 //! * [`FaultKind::FlipCorrupt`] — served bytes come back with one bit
-//!   flipped: silent corruption, invisible to the transport and caught
-//!   only by a parity scrub.
+//!   flipped (at an offset-derived position, so no fixed byte a reader
+//!   could special-case): silent corruption, invisible to the
+//!   transport, caught by the store's per-element checksum
+//!   verification on read or by a verifying scrub.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -49,8 +51,9 @@ pub enum FaultKind {
     Kill,
     /// Serve reads after an extra per-read delay (a straggler).
     Delay(Duration),
-    /// Serve reads with one bit flipped in the returned bytes (silent
-    /// corruption — only a scrub can see it).
+    /// Serve reads with one bit flipped in the returned bytes, at a
+    /// position derived from the element's offset (silent corruption —
+    /// only checksum verification or a scrub can see it).
     FlipCorrupt,
 }
 
@@ -150,10 +153,15 @@ impl FaultyDisk {
         *self.fault.lock()
     }
 
-    fn corrupt(bytes: Option<Vec<u8>>) -> Option<Vec<u8>> {
+    /// Flip one bit of a served element. Both the byte index and the
+    /// bit are derived from the offset, so a batch of elements corrupts
+    /// in different positions and nothing short of an actual integrity
+    /// check (not a "first byte looks odd" heuristic) can catch it.
+    fn corrupt(offset: u64, bytes: Option<Vec<u8>>) -> Option<Vec<u8>> {
         bytes.map(|mut b| {
-            if let Some(first) = b.first_mut() {
-                *first ^= 0x01;
+            if !b.is_empty() {
+                let byte = (offset as usize).wrapping_mul(31) % b.len();
+                b[byte] ^= 1 << (offset % 8);
             }
             b
         })
@@ -168,7 +176,7 @@ impl DiskBackend for FaultyDisk {
                 std::thread::sleep(d);
                 self.inner.read(offset)
             }
-            Some(FaultKind::FlipCorrupt) => Self::corrupt(self.inner.read(offset)),
+            Some(FaultKind::FlipCorrupt) => Self::corrupt(offset, self.inner.read(offset)),
             None => self.inner.read(offset),
         }
     }
@@ -184,7 +192,8 @@ impl DiskBackend for FaultyDisk {
                 .inner
                 .read_many(offsets)
                 .into_iter()
-                .map(Self::corrupt)
+                .zip(offsets)
+                .map(|(bytes, &off)| Self::corrupt(off, bytes))
                 .collect(),
             None => self.inner.read_many(offsets),
         }
@@ -281,15 +290,68 @@ mod tests {
         assert!(t0.elapsed() >= Duration::from_millis(25));
     }
 
+    /// Bits that differ between `a` and `b`.
+    fn hamming(a: &[u8], b: &[u8]) -> u32 {
+        a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones()).sum()
+    }
+
     #[test]
-    fn flip_corrupt_flips_exactly_one_bit() {
+    fn flip_corrupt_flips_exactly_one_offset_derived_bit() {
         let d = loaded();
         d.arm(FaultKind::FlipCorrupt, 0);
-        let got = d.read(5).unwrap();
-        assert_eq!(got[0], 5 ^ 0x01);
-        assert_eq!(&got[1..], &[5, 5, 5]);
+        let got5 = d.read(5).unwrap();
+        assert_eq!(hamming(&got5, &[5; 4]), 1, "exactly one bit flipped");
+        let got2 = d.read(2).unwrap();
+        assert_eq!(hamming(&got2, &[2; 4]), 1);
+        // Different offsets corrupt different positions: no fixed byte
+        // a reader could special-case.
+        let pos = |got: &[u8], clean: u8| got.iter().position(|&x| x != clean);
+        assert_ne!(pos(&got5, 5), pos(&got2, 2));
         // Absent elements stay absent, not corrupted into existence.
         assert!(d.read(100).is_none());
+    }
+
+    #[test]
+    fn flip_corrupt_reaches_vectored_batch_replies() {
+        let inner = Arc::new(MemDisk::new());
+        for o in 0..4u64 {
+            inner.write(o, vec![7u8; 16]);
+        }
+        let d = FaultyDisk::wrap(inner);
+        d.arm(FaultKind::FlipCorrupt, 0);
+        let got = d.read_many(&[0, 1, 2, 100]);
+        for (i, g) in got[..3].iter().enumerate() {
+            let g = g.as_ref().unwrap();
+            assert_eq!(hamming(g, &[7u8; 16]), 1, "element {i}: one bit flipped");
+        }
+        assert_eq!(got[3], None);
+        // Per-offset positions differ across the batch.
+        let pos = |g: &Option<Vec<u8>>| g.as_ref().unwrap().iter().position(|&x| x != 7);
+        assert_ne!(pos(&got[0]), pos(&got[1]));
+    }
+
+    #[test]
+    fn flip_corrupt_reaches_threaded_array_batches() {
+        use crate::ThreadedArray;
+        let make = || {
+            let m = Arc::new(MemDisk::new());
+            for o in 0..4u64 {
+                m.write(o, vec![7u8; 16]);
+            }
+            m
+        };
+        let faulty = FaultyDisk::wrap(make());
+        let array = ThreadedArray::from_backends(vec![
+            Arc::clone(&faulty) as Arc<dyn DiskBackend>,
+            make() as Arc<dyn DiskBackend>,
+        ]);
+        faulty.arm(FaultKind::FlipCorrupt, 0);
+        let got = array.read_batch(&[(0, 0), (0, 1), (1, 0)]);
+        // The faulty disk's replies are corrupted even through the
+        // array's per-disk vectored read path; the clean disk's are not.
+        assert_eq!(hamming(got[0].as_ref().unwrap(), &[7u8; 16]), 1);
+        assert_eq!(hamming(got[1].as_ref().unwrap(), &[7u8; 16]), 1);
+        assert_eq!(got[2].as_ref().unwrap(), &vec![7u8; 16]);
     }
 
     #[test]

@@ -436,7 +436,7 @@ impl ThreadedArray {
     }
 
     /// Write a batch of elements, waiting for all to land: one vectored
-    /// [`Job::WriteMany`] per touched disk, so channel traffic is
+    /// `Job::WriteMany` per touched disk, so channel traffic is
     /// O(disks), not O(elements). A dead worker (its backend panicked)
     /// is skipped rather than panicking the caller — the lost elements
     /// simply read back as absent, the same failure surface as a failed
@@ -471,7 +471,7 @@ impl ThreadedArray {
     }
 
     /// Start a batched read: addresses are grouped by disk and **one**
-    /// vectored [`Job::ReadMany`] is enqueued per touched disk (the
+    /// vectored `Job::ReadMany` is enqueued per touched disk (the
     /// reply [`Sender`] is cloned once per disk, not once per element).
     /// Per-disk replies stream out of the returned [`BatchRead`] as
     /// each disk finishes, so consumers can overlap decode/copy-out
@@ -532,7 +532,7 @@ impl ThreadedArray {
         out
     }
 
-    /// The pre-batching read path: one [`Job::Read`] per element, one
+    /// The pre-batching read path: one `Job::Read` per element, one
     /// reply-channel clone per element, one backend access per element.
     /// Kept as the measured baseline for the `read_path` microbench and
     /// as the reference side of the batched/per-element differential

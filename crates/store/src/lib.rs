@@ -46,6 +46,6 @@ pub mod repair;
 pub mod store;
 
 pub use error::StoreError;
-pub use meta::{ObjectMeta, ReadStats, ScrubReport, StoreStats, StripeRepair};
+pub use meta::{ObjectMeta, ReadStats, ScrubReport, StoreStats, StripeManifest, StripeRepair};
 pub use repair::{RepairConfig, RepairManager, RepairProgress, RepairQueue, Replacer};
 pub use store::ObjectStore;

@@ -1,5 +1,7 @@
-//! Object catalog entries and store statistics.
+//! Object catalog entries, stripe integrity manifests, and store
+//! statistics.
 
+use ecfrm_integrity::{leaf_hash, HashKey, MerkleStep, MerkleTree};
 use ecfrm_sim::NetStats;
 
 /// Catalog entry: where an object lives in the logical byte stream.
@@ -61,14 +63,67 @@ pub struct StripeRepair {
     pub bytes_written: u64,
 }
 
-/// Outcome of a parity scrub ([`ObjectStore::scrub`](crate::ObjectStore::scrub)).
+/// The integrity manifest of one sealed stripe: a merkle tree over the
+/// stripe's element payloads in layout order (row by row, data then
+/// parity within each row).
+///
+/// The 128-bit [`root`](Self::root) is the stripe's identity. A scrub
+/// — or any reader holding nothing but the root — can check a single
+/// element in O(log n) hashes via [`verify_element`](Self::verify_element),
+/// and a mismatch localizes to that exact element without decoding the
+/// stripe or touching its siblings.
 #[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StripeManifest {
+    tree: MerkleTree,
+}
+
+impl StripeManifest {
+    /// Wrap a built merkle tree (leaves must be in layout order).
+    pub fn new(tree: MerkleTree) -> Self {
+        StripeManifest { tree }
+    }
+
+    /// The stripe's merkle root.
+    pub fn root(&self) -> u128 {
+        self.tree.root()
+    }
+
+    /// Number of elements (leaves) the manifest covers.
+    pub fn n_elements(&self) -> usize {
+        self.tree.n_leaves()
+    }
+
+    /// The O(log n) inclusion proof for the element at `index`.
+    pub fn proof(&self, index: usize) -> Vec<MerkleStep> {
+        self.tree.proof(index)
+    }
+
+    /// Verify `payload` as the element at `index` against the root via
+    /// its merkle path — O(log n) hashes, trusting only the root.
+    pub fn verify_element(&self, key: &HashKey, index: usize, payload: &[u8]) -> bool {
+        let leaf = leaf_hash(key, index as u64, payload);
+        MerkleTree::verify(key, self.root(), leaf, &self.proof(index))
+    }
+}
+
+/// Outcome of a scrub ([`ObjectStore::scrub`](crate::ObjectStore::scrub)
+/// verifies merkle manifests;
+/// [`ObjectStore::scrub_decode`](crate::ObjectStore::scrub_decode)
+/// re-derives parity equations).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ScrubReport {
     /// Stripes examined.
     pub stripes_checked: u64,
     /// Groups whose recomputed parity disagreed with storage, as
-    /// `(stripe, group)` pairs.
+    /// `(stripe, group)` pairs. The merkle scrub derives the group from
+    /// the offending element; the decode scrub cannot do better than
+    /// this granularity.
     pub corrupt_groups: Vec<(u64, usize)>,
+    /// Exact elements whose checksum or merkle path failed, as
+    /// `(stripe, element index in layout order)` pairs. Only the merkle
+    /// scrub can localize this precisely; the decode scrub leaves it
+    /// empty.
+    pub corrupt_elements: Vec<(u64, usize)>,
     /// Elements that could not be read at all.
     pub missing_elements: usize,
 }
@@ -76,7 +131,9 @@ pub struct ScrubReport {
 impl ScrubReport {
     /// True when no corruption or missing element was found.
     pub fn is_clean(&self) -> bool {
-        self.corrupt_groups.is_empty() && self.missing_elements == 0
+        self.corrupt_groups.is_empty()
+            && self.corrupt_elements.is_empty()
+            && self.missing_elements == 0
     }
 }
 
@@ -117,16 +174,40 @@ mod tests {
     fn scrub_report_cleanliness() {
         let clean = ScrubReport {
             stripes_checked: 4,
-            corrupt_groups: vec![],
-            missing_elements: 0,
+            ..Default::default()
         };
         assert!(clean.is_clean());
         let dirty = ScrubReport {
             stripes_checked: 4,
             corrupt_groups: vec![(1, 2)],
-            missing_elements: 0,
+            ..Default::default()
         };
         assert!(!dirty.is_clean());
+        let pinpointed = ScrubReport {
+            stripes_checked: 4,
+            corrupt_elements: vec![(1, 17)],
+            ..Default::default()
+        };
+        assert!(!pinpointed.is_clean());
+    }
+
+    #[test]
+    fn stripe_manifest_localizes_and_rejects() {
+        let key = HashKey::DEFAULT;
+        let elements: Vec<Vec<u8>> = (0..12).map(|i| vec![i as u8; 64]).collect();
+        let leaves: Vec<u128> = elements
+            .iter()
+            .enumerate()
+            .map(|(i, e)| leaf_hash(&key, i as u64, e))
+            .collect();
+        let m = StripeManifest::new(MerkleTree::from_leaves(&key, leaves));
+        assert_eq!(m.n_elements(), 12);
+        for (i, e) in elements.iter().enumerate() {
+            assert!(m.verify_element(&key, i, e));
+        }
+        // Wrong bytes and right-bytes-wrong-slot both fail.
+        assert!(!m.verify_element(&key, 3, &[0xFFu8; 64]));
+        assert!(!m.verify_element(&key, 3, &elements[4]));
     }
 
     #[test]

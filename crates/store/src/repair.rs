@@ -598,8 +598,12 @@ fn detector_loop(sh: &Shared) {
             if stats.stripes == 0 {
                 continue; // nothing sealed: nothing to probe against or repair
             }
-            // Every disk stores offset 0 once a stripe is sealed.
-            if store.array().read_batch(&[(d, 0)])[0].is_some() {
+            // Every disk stores offset 0 once a stripe is sealed. The
+            // probe verifies the cell's checksum footer, so a disk that
+            // answers with *corrupt* bytes (silent corruption, not
+            // silence) is promoted instead of vouched for — without
+            // this, a lying disk would cycle suspect → cleared forever.
+            if store.probe_disk(d) {
                 store.array().clear_suspect(d);
                 queue.reset_disk(d);
             } else {

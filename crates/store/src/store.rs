@@ -5,14 +5,16 @@ use std::collections::{BTreeSet, HashMap};
 use ecfrm_util::{par_map, Mutex};
 
 use ecfrm_core::{DiskRecovery, ReadCtx, Scheme};
+use ecfrm_integrity::{append_footer, leaf_hash, verify_footer, HashKey, MerkleTree, FOOTER_LEN};
 use ecfrm_layout::Loc;
 use ecfrm_obs::{Counter, DiskBoard, Histogram, Recorder};
 use ecfrm_sim::{NetStats, ThreadedArray};
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use crate::error::StoreError;
-use crate::meta::{ObjectMeta, ReadStats, ScrubReport, StoreStats, StripeRepair};
+use crate::meta::{ObjectMeta, ReadStats, ScrubReport, StoreStats, StripeManifest, StripeRepair};
 use crate::repair::RepairQueue;
 
 /// Pre-resolved instrument handles for the read hot path: one registry
@@ -33,8 +35,16 @@ struct StoreMetrics {
     /// run of ≥ 2 elements — the batches a remote backend ships as a
     /// single coalesced `GetRange`.
     coalesced_runs: Counter,
+    /// Elements whose checksum footer (or merkle path, during scrub)
+    /// failed verification — each is treated as an erasure.
+    verify_fail: Counter,
+    /// Elements a scrub pass checked against their stripe manifest.
+    elements_verified: Counter,
     plan_us: Histogram,
     read_us: Histogram,
+    /// Time spent verifying checksum footers (per read / per scrubbed
+    /// stripe).
+    verify_us: Histogram,
     disk_load: DiskBoard,
 }
 
@@ -49,8 +59,11 @@ impl StoreMetrics {
             rpcs: recorder.counter("read.rpcs"),
             batch_elems: recorder.counter("read.batch_elems"),
             coalesced_runs: recorder.counter("read.coalesced_runs"),
+            verify_fail: recorder.counter("integrity.verify_fail"),
+            elements_verified: recorder.counter("scrub.elements_verified"),
             plan_us: recorder.histogram("plan_us"),
             read_us: recorder.histogram("read_us"),
+            verify_us: recorder.histogram("verify_us"),
             disk_load: recorder.disk_board("disk_load", n_disks),
         }
     }
@@ -89,6 +102,10 @@ struct Inner {
     sealed_elements: u64,
     /// Full stripes written.
     stripes: u64,
+    /// Per-stripe integrity manifests, indexed by stripe number. Built
+    /// at seal time; repair rewrites identical payloads, so manifests
+    /// stay valid for the stripe's lifetime.
+    manifests: Vec<StripeManifest>,
     failed: BTreeSet<usize>,
 }
 
@@ -119,6 +136,15 @@ pub struct ObjectStore {
     /// (no-ops until a [`RepairManager`](crate::RepairManager) attaches)
     /// so hot stripes regain redundancy first.
     repair_queue: Arc<RepairQueue>,
+    /// The keyed-hash key every element footer and merkle manifest is
+    /// computed under.
+    key: HashKey,
+    /// When set (the default), the batched read path verifies each
+    /// element's checksum footer as its disk answers and treats a
+    /// mismatch exactly like an erasure. Clearing it skips the check
+    /// (footers are still stripped) — the bench uses this to price
+    /// verify-on-read.
+    verify_reads: AtomicBool,
 }
 
 impl std::fmt::Debug for ObjectStore {
@@ -182,8 +208,11 @@ impl ObjectStore {
                 logical_len: 0,
                 sealed_elements: 0,
                 stripes: 0,
+                manifests: Vec::new(),
                 failed: BTreeSet::new(),
             }),
+            key: HashKey::DEFAULT,
+            verify_reads: AtomicBool::new(true),
         }
     }
 
@@ -198,8 +227,11 @@ impl ObjectStore {
     /// vectored requests issued), `read.batch_elems` (elements those
     /// requests carried), `read.coalesced_runs` (per-disk batches that
     /// formed one contiguous run — shipped as a single `GetRange` on
-    /// remote backends), `net.*` (transport deltas). Histograms (µs):
-    /// `plan_us`, `read_us`, `decode_us`. Disk board: `disk_load`
+    /// remote backends), `integrity.verify_fail` (elements whose
+    /// checksum or merkle path failed), `scrub.elements_verified`,
+    /// `net.*` (transport deltas). Histograms (µs): `plan_us`,
+    /// `read_us`, `decode_us`, `verify_us` (checksum verification
+    /// time per read / per scrubbed stripe). Disk board: `disk_load`
     /// (planned fetches per disk).
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
@@ -215,6 +247,30 @@ impl ObjectStore {
     /// priority hints).
     pub fn repair_queue(&self) -> &Arc<RepairQueue> {
         &self.repair_queue
+    }
+
+    /// The keyed-hash key element footers and merkle manifests are
+    /// computed under (remote shard clients pass it on the wire so
+    /// servers can pre-verify coalesced runs).
+    pub fn integrity_key(&self) -> HashKey {
+        self.key
+    }
+
+    /// Whether the read path verifies checksum footers (on by default).
+    pub fn verify_reads(&self) -> bool {
+        self.verify_reads.load(Ordering::Relaxed)
+    }
+
+    /// Enable/disable verify-on-read. With verification off, footers
+    /// are still stripped but mismatches go undetected — only the
+    /// overhead bench should turn this off.
+    pub fn set_verify_reads(&self, on: bool) {
+        self.verify_reads.store(on, Ordering::Relaxed);
+    }
+
+    /// The integrity manifest of `stripe`, if sealed.
+    pub fn manifest(&self, stripe: u64) -> Option<StripeManifest> {
+        self.inner.lock().manifests.get(stripe as usize).cloned()
     }
 
     /// Append an object. Full stripes are sealed and encoded eagerly;
@@ -283,9 +339,12 @@ impl ObjectStore {
             .collect();
 
         // Encode stripes in parallel: each is an independent set of
-        // group-by-group parity computations.
+        // group-by-group parity computations. Each cell leaves here as
+        // `payload || checksum footer`, and each stripe additionally
+        // yields its merkle manifest (leaves in layout order).
         type StripeCells = Vec<((usize, u64), Vec<u8>)>;
-        let stripes: Vec<StripeCells> = par_map(&blocks, |i, block| {
+        let rows = layout.rows_per_stripe();
+        let stripes: Vec<(StripeCells, StripeManifest)> = par_map(&blocks, |i, block| {
             let stripe = first_stripe + i as u64;
             let refs: Vec<&[u8]> = block.chunks_exact(self.element_size).collect();
             debug_assert_eq!(refs.len(), dps);
@@ -293,18 +352,37 @@ impl ObjectStore {
             let base = stripe * dps as u64;
             for (t, d) in refs.iter().enumerate() {
                 let loc = layout.data_location(base + t as u64);
-                cells.push(((loc.disk, loc.offset), d.to_vec()));
+                let mut cell = Vec::with_capacity(self.element_size + FOOTER_LEN);
+                cell.extend_from_slice(d);
+                append_footer(&self.key, loc.offset, &mut cell);
+                cells.push(((loc.disk, loc.offset), cell));
             }
-            for (loc, bytes) in self.scheme.encode_stripe_parities(stripe, &refs) {
+            for (loc, mut bytes) in self.scheme.encode_stripe_parities(stripe, &refs) {
+                append_footer(&self.key, loc.offset, &mut bytes);
                 cells.push(((loc.disk, loc.offset), bytes));
             }
-            cells
+            // Manifest leaves in layout order: row by row, data then
+            // parity within each row (the order scrub reads them back).
+            let by_addr: HashMap<(usize, u64), &[u8]> = cells
+                .iter()
+                .map(|((d, o), cell)| ((*d, *o), &cell[..self.element_size]))
+                .collect();
+            let mut leaves = Vec::with_capacity(per_stripe);
+            for row in 0..rows {
+                for loc in layout.row_locations(stripe, row) {
+                    let payload = by_addr[&(loc.disk, loc.offset)];
+                    leaves.push(leaf_hash(&self.key, leaves.len() as u64, payload));
+                }
+            }
+            let manifest = StripeManifest::new(MerkleTree::from_leaves(&self.key, leaves));
+            (cells, manifest)
         });
         inner.pending.drain(..full * stripe_bytes);
 
         let mut batch = Vec::with_capacity(full * per_stripe);
-        for cells in stripes {
+        for (cells, manifest) in stripes {
             batch.extend(cells);
+            inner.manifests.push(manifest);
         }
         self.array.write_batch(batch);
         inner.stripes += full as u64;
@@ -431,6 +509,8 @@ impl ObjectStore {
         // elements are copied into `out` while slower disks are still
         // reading; on the degraded path arriving elements accumulate
         // into the assemble map the same way.
+        let verify = self.verify_reads.load(Ordering::Relaxed);
+        let mut verify_spent = std::time::Duration::ZERO;
         let mut suspects: BTreeSet<usize> = failed.iter().copied().collect();
         let mut replans = 0usize;
         let plan = loop {
@@ -473,12 +553,33 @@ impl ObjectStore {
                 answered.insert(reply.disk);
                 for (tag, bytes) in reply.items {
                     match bytes {
-                        Some(b) if normal => {
-                            copy_element(&mut out, tag, &b);
-                            crate::bufpool::give(b);
-                        }
-                        Some(b) => {
-                            fetched.insert(plan.fetches[tag].loc, b);
+                        Some(mut b) => {
+                            // Verify-on-read: a cell whose checksum
+                            // footer disagrees is *exactly* an erasure —
+                            // the disk goes suspect and the read replans
+                            // degraded around it. With verification off
+                            // the footer is only stripped.
+                            let ok = if verify {
+                                let t_v = std::time::Instant::now();
+                                let ok = verify_footer(&self.key, addrs[tag].1, &b).is_some();
+                                verify_spent += t_v.elapsed();
+                                ok
+                            } else {
+                                b.len() >= self.element_size
+                            };
+                            if !ok {
+                                self.metrics.verify_fail.inc();
+                                newly_suspect.insert(addrs[tag].0);
+                                crate::bufpool::give(b);
+                                continue;
+                            }
+                            b.truncate(self.element_size);
+                            if normal {
+                                copy_element(&mut out, tag, &b);
+                                crate::bufpool::give(b);
+                            } else {
+                                fetched.insert(plan.fetches[tag].loc, b);
+                            }
                         }
                         None => {
                             newly_suspect.insert(addrs[tag].0);
@@ -559,6 +660,9 @@ impl ObjectStore {
         }
         m.fetched_elements.add(stats.fetched_elements as u64);
         m.repair_elements.add(stats.repair_elements as u64);
+        if verify_spent > std::time::Duration::ZERO {
+            m.verify_us.record_duration(verify_spent);
+        }
         for f in &plan.fetches {
             m.disk_load.record(f.loc.disk, 1, self.element_size as u64);
         }
@@ -568,11 +672,32 @@ impl ObjectStore {
         Ok((out, stats))
     }
 
-    /// Recompute every group's parities from stored data and compare
-    /// with the stored parities — a scrub pass detecting silent
-    /// corruption. Flushes pending writes first.
+    /// All cell addresses of `stripe` in layout order (row by row) —
+    /// the manifest's leaf order.
+    fn stripe_addrs(&self, stripe: u64) -> Vec<(usize, u64)> {
+        let layout = self.scheme.layout();
+        let rows = layout.rows_per_stripe();
+        let n = self.scheme.code().n();
+        let mut addrs: Vec<(usize, u64)> = Vec::with_capacity(rows * n);
+        for row in 0..rows {
+            addrs.extend(
+                layout
+                    .row_locations(stripe, row)
+                    .iter()
+                    .map(|l| (l.disk, l.offset)),
+            );
+        }
+        addrs
+    }
+
+    /// Verifying merkle scrub: check every stored element's checksum
+    /// footer *and* its O(log n) merkle path against the stripe root —
+    /// no decoding, no parity recomputation — and localize any mismatch
+    /// to the exact `(stripe, element)`. Flushes pending writes first.
     ///
     /// Elements on failed disks are counted as missing, not corrupt.
+    /// For the decode-based parity cross-check (slower, group-granular)
+    /// see [`Self::scrub_decode`].
     ///
     /// ```
     /// use std::sync::Arc;
@@ -594,6 +719,62 @@ impl ObjectStore {
             self.flush_locked(&mut inner);
             inner.stripes
         };
+        let n = self.scheme.code().n();
+        let mut corrupt_elements: Vec<(u64, usize)> = Vec::new();
+        let mut corrupt_groups: Vec<(u64, usize)> = Vec::new();
+        let mut missing = 0usize;
+        for stripe in 0..stripes {
+            let manifest = self
+                .manifest(stripe)
+                .expect("every sealed stripe has a manifest");
+            // One batched read per stripe (one vectored request per
+            // disk), cells arriving in leaf order.
+            let addrs = self.stripe_addrs(stripe);
+            let t_v = std::time::Instant::now();
+            for (i, cell) in self.array.read_batch(&addrs).into_iter().enumerate() {
+                let Some(cell) = cell else {
+                    missing += 1;
+                    continue;
+                };
+                self.metrics.elements_verified.inc();
+                // Footer first (one hash), merkle path second: both must
+                // agree for the element to count as intact.
+                let ok = verify_footer(&self.key, addrs[i].1, &cell)
+                    .map(|payload| manifest.verify_element(&self.key, i, payload))
+                    .unwrap_or(false);
+                if !ok {
+                    self.metrics.verify_fail.inc();
+                    corrupt_elements.push((stripe, i));
+                    let group = (stripe, i / n);
+                    if corrupt_groups.last() != Some(&group) {
+                        corrupt_groups.push(group);
+                    }
+                }
+                crate::bufpool::give(cell);
+            }
+            self.metrics.verify_us.record_duration(t_v.elapsed());
+        }
+        Ok(ScrubReport {
+            stripes_checked: stripes,
+            corrupt_groups,
+            corrupt_elements,
+            missing_elements: missing,
+        })
+    }
+
+    /// Decode-based scrub: recompute every group's parities from stored
+    /// data and compare with the stored parities. Group-granular (it
+    /// cannot say *which* element of a dirty group lies) and pays a
+    /// full re-encode per group; kept as the cross-check that needs no
+    /// manifests and as the merkle scrub's benchmark baseline.
+    ///
+    /// Elements on failed disks are counted as missing, not corrupt.
+    pub fn scrub_decode(&self) -> Result<ScrubReport, StoreError> {
+        let stripes = {
+            let mut inner = self.inner.lock();
+            self.flush_locked(&mut inner);
+            inner.stripes
+        };
         let layout = self.scheme.layout();
         let code = self.scheme.code();
         let k = code.k();
@@ -601,19 +782,8 @@ impl ObjectStore {
         let mut corrupt_groups = Vec::new();
         let mut missing = 0usize;
         for stripe in 0..stripes {
-            // One batched read per stripe (one vectored request per
-            // disk) instead of one per row: n×rows elements arrive
-            // through `rows` per-disk requests.
             let rows = layout.rows_per_stripe();
-            let mut addrs: Vec<(usize, u64)> = Vec::with_capacity(rows * n);
-            for row in 0..rows {
-                addrs.extend(
-                    layout
-                        .row_locations(stripe, row)
-                        .iter()
-                        .map(|l| (l.disk, l.offset)),
-                );
-            }
+            let addrs = self.stripe_addrs(stripe);
             let mut stripe_cells = self.array.read_batch(&addrs).into_iter();
             for row in 0..rows {
                 let cells: Vec<Option<Vec<u8>>> = stripe_cells.by_ref().take(n).collect();
@@ -622,7 +792,12 @@ impl ObjectStore {
                     missing += cells.iter().filter(|c| c.is_none()).count();
                     continue;
                 }
-                let cells: Vec<Vec<u8>> = cells.into_iter().map(Option::unwrap).collect();
+                let mut cells: Vec<Vec<u8>> = cells.into_iter().map(Option::unwrap).collect();
+                // Strip checksum footers; the parity equations hold over
+                // payloads.
+                for c in &mut cells {
+                    c.truncate(self.element_size);
+                }
                 let data_refs: Vec<&[u8]> = cells[..k].iter().map(|v| v.as_slice()).collect();
                 // Scratch parities cycle through the thread-local pool:
                 // after the first group, re-derivation is allocation-free.
@@ -644,8 +819,22 @@ impl ObjectStore {
         Ok(ScrubReport {
             stripes_checked: stripes,
             corrupt_groups,
+            corrupt_elements: Vec::new(),
             missing_elements: missing,
         })
+    }
+
+    /// Probe a suspect disk: read its first element *and verify the
+    /// checksum footer*. Verification matters — a disk silently
+    /// corrupting answers happily serves probe reads, and without the
+    /// footer check the failure detector would vouch for it forever.
+    /// Used by the [`RepairManager`](crate::RepairManager) detector to
+    /// decide transient blip vs lost/lying disk.
+    pub fn probe_disk(&self, disk: usize) -> bool {
+        match self.array.read_batch(&[(disk, 0)]).pop().flatten() {
+            Some(cell) => verify_footer(&self.key, 0, &cell).is_some(),
+            None => false,
+        }
     }
 
     /// Direct handle to the underlying array (failure injection,
@@ -706,16 +895,29 @@ impl ObjectStore {
         let results = self.array.read_batch(&addrs);
         let mut fetched: HashMap<Loc, Vec<u8>> = HashMap::with_capacity(addrs.len());
         for (&(d, o), bytes) in addrs.iter().zip(results) {
-            let bytes = bytes.ok_or_else(|| {
+            let mut bytes = bytes.ok_or_else(|| {
                 StoreError::DataLoss(format!("recovery source on disk {d} offset {o} unreadable"))
             })?;
+            // A corrupt source would be silently encoded into the
+            // rebuilt disk; verify before trusting it.
+            if verify_footer(&self.key, o, &bytes).is_none() {
+                self.metrics.verify_fail.inc();
+                self.array.mark_suspect(d);
+                return Err(StoreError::DataLoss(format!(
+                    "recovery source on disk {d} offset {o} failed checksum verification"
+                )));
+            }
+            bytes.truncate(self.element_size);
             fetched.insert(Loc::new(d, o), bytes);
         }
 
-        // Rebuild every task in parallel.
+        // Rebuild every task in parallel, re-sealing each element with
+        // a fresh checksum footer at its target offset.
         let rebuilt: Vec<((usize, u64), Vec<u8>)> = par_map(&recovery.tasks, |_, task| {
-            let bytes = DiskRecovery::rebuild_one(&self.scheme, task, &fetched, self.element_size)
-                .expect("plan sources span the target");
+            let mut bytes =
+                DiskRecovery::rebuild_one(&self.scheme, task, &fetched, self.element_size)
+                    .expect("plan sources span the target");
+            append_footer(&self.key, task.target.offset, &mut bytes);
             ((task.target.disk, task.target.offset), bytes)
         });
         let count = rebuilt.len();
@@ -771,23 +973,37 @@ impl ObjectStore {
         let mut fetched: HashMap<Loc, Vec<u8>> = HashMap::with_capacity(addrs.len());
         let mut bytes_read = 0u64;
         for (&(d, o), bytes) in addrs.iter().zip(results) {
-            let Some(b) = bytes else {
+            let Some(mut b) = bytes else {
                 self.array.mark_suspect(d);
                 return Err(StoreError::DataLoss(format!(
                     "repair source on disk {d} offset {o} unreadable"
                 )));
             };
             bytes_read += b.len() as u64;
+            // Repair must not launder corruption into freshly sealed
+            // cells: a source that fails verification is as bad as one
+            // that never answered — suspect it and retry the stripe.
+            if verify_footer(&self.key, o, &b).is_none() {
+                self.metrics.verify_fail.inc();
+                self.array.mark_suspect(d);
+                return Err(StoreError::DataLoss(format!(
+                    "repair source on disk {d} offset {o} failed checksum verification"
+                )));
+            }
+            b.truncate(self.element_size);
             fetched.insert(Loc::new(d, o), b);
         }
 
         // Stripe-level work is small; rebuild serially to keep repair's
         // CPU footprint low (parallelism comes from the worker pool).
+        // Each rebuilt element is re-sealed with a fresh footer.
         let mut rebuilt: Vec<((usize, u64), Vec<u8>)> = Vec::with_capacity(recovery.tasks.len());
         let mut bytes_written = 0u64;
         for task in &recovery.tasks {
-            let bytes = DiskRecovery::rebuild_one(&self.scheme, task, &fetched, self.element_size)
-                .expect("plan sources span the target");
+            let mut bytes =
+                DiskRecovery::rebuild_one(&self.scheme, task, &fetched, self.element_size)
+                    .expect("plan sources span the target");
+            append_footer(&self.key, task.target.offset, &mut bytes);
             bytes_written += bytes.len() as u64;
             rebuilt.push(((task.target.disk, task.target.offset), bytes));
         }
@@ -1055,7 +1271,11 @@ mod tests {
             let r = store.repair_stripe(4, s).unwrap();
             assert!(r.elements > 0);
             assert!(r.bytes_read > 0);
-            assert_eq!(r.bytes_written, r.elements as u64 * 64);
+            // Rebuilt cells carry a fresh checksum footer each.
+            assert_eq!(
+                r.bytes_written,
+                r.elements as u64 * (64 + FOOTER_LEN as u64)
+            );
             rebuilt += r.elements;
         }
         assert_eq!(rebuilt, elements, "every lost element rebuilt");
@@ -1176,7 +1396,7 @@ mod tests {
         let scheme = ecfrm_scheme(Arc::new(LrcCode::new(6, 2, 2)));
         let backends: Vec<Arc<dyn DiskBackend>> = (0..scheme.n_disks())
             .map(|d| {
-                Arc::new(FileDisk::create(dir.join(format!("d{d}.bin")), 64).unwrap())
+                Arc::new(FileDisk::create(dir.join(format!("d{d}.bin")), 64 + FOOTER_LEN).unwrap())
                     as Arc<dyn DiskBackend>
             })
             .collect();
@@ -1222,6 +1442,7 @@ mod tests {
         let report = store.scrub().unwrap();
         assert!(report.is_clean(), "{report:?}");
         assert!(report.stripes_checked > 0);
+        assert!(store.scrub_decode().unwrap().is_clean());
 
         // Flip a byte of one stored element.
         let victim = store.array().disk(3);
@@ -1231,11 +1452,114 @@ mod tests {
         victim.write(0, tampered);
         let report = store.scrub().unwrap();
         assert!(!report.is_clean());
+        assert_eq!(
+            report.corrupt_elements.len(),
+            1,
+            "merkle scrub localizes the single flipped byte: {report:?}"
+        );
         assert!(!report.corrupt_groups.is_empty());
+        // The decode cross-check sees the same stripe dirty (at group
+        // granularity only).
+        let decode_report = store.scrub_decode().unwrap();
+        assert!(!decode_report.is_clean());
+        assert!(decode_report.corrupt_elements.is_empty());
 
         // Restore and re-verify.
         victim.write(0, original);
         assert!(store.scrub().unwrap().is_clean());
+    }
+
+    #[test]
+    fn merkle_scrub_localizes_flip_to_the_exact_element() {
+        // Corrupt one byte of one known cell and require the scrub to
+        // name exactly that (stripe, leaf) via the merkle path.
+        let store = lrc_store();
+        store.put("c", &blob(9_000, 33)).unwrap();
+        store.flush();
+        let disk = 7usize;
+        let victim = store.array().disk(disk);
+        let original = victim.read(0).expect("element exists");
+        let mut tampered = original.clone();
+        tampered[17] ^= 0x04;
+        victim.write(0, tampered);
+
+        let report = store.scrub().unwrap();
+        assert_eq!(report.corrupt_elements.len(), 1, "{report:?}");
+        let (stripe, leaf) = report.corrupt_elements[0];
+        assert_eq!(stripe, 0);
+        // The named leaf really is disk 7 offset 0 in layout order.
+        let layout = store.scheme().layout();
+        let n = store.scheme().code().n();
+        let loc = layout.row_locations(0, leaf / n)[leaf % n];
+        assert_eq!((loc.disk, loc.offset), (disk, 0));
+        // And the manifest confirms the element once restored.
+        let payload = &original[..store.element_size()];
+        assert!(store
+            .manifest(0)
+            .unwrap()
+            .verify_element(&store.integrity_key(), leaf, payload));
+    }
+
+    #[test]
+    fn verify_on_read_treats_corruption_as_erasure() {
+        use ecfrm_sim::{DiskBackend, FaultKind, FaultyDisk, MemDisk, ThreadedArray};
+        let scheme = ecfrm_scheme(Arc::new(RsCode::vandermonde(6, 3)));
+        let faulty: Vec<Arc<FaultyDisk>> = (0..scheme.n_disks())
+            .map(|_| FaultyDisk::wrap(Arc::new(MemDisk::new())))
+            .collect();
+        let backends: Vec<Arc<dyn DiskBackend>> = faulty
+            .iter()
+            .map(|f| Arc::clone(f) as Arc<dyn DiskBackend>)
+            .collect();
+        let store = ObjectStore::with_array(scheme, 64, ThreadedArray::from_backends(backends));
+        store.repair_queue().enable();
+        let data = blob(30_000, 51);
+        store.put("x", &data).unwrap();
+        store.flush();
+
+        // Disk 2 starts lying: every read comes back bit-flipped. The
+        // read must detect it, replan degraded, and still return
+        // byte-correct data.
+        faulty[2].arm(FaultKind::FlipCorrupt, 0);
+        let (bytes, stats) = store.get_with_stats("x").unwrap();
+        assert_eq!(bytes, data, "corrupted answers never reach the caller");
+        assert!(stats.degraded);
+        assert_eq!(stats.replans, 1);
+        assert_eq!(store.array().suspects(), vec![2]);
+        assert!(store.repair_queue().hint_count() > 0, "stripe hints staged");
+        let snap = store.recorder().snapshot();
+        assert!(*snap.counters.get("integrity.verify_fail").unwrap() > 0);
+
+        // The probe sees through the lie too: corrupt answers must not
+        // clear the suspicion.
+        assert!(!store.probe_disk(2));
+        // Honest again: probe passes, reads are clean and normal.
+        faulty[2].clear();
+        assert!(store.probe_disk(2));
+        let (bytes, stats) = store.get_with_stats("x").unwrap();
+        assert_eq!(bytes, data);
+        assert!(!stats.degraded);
+    }
+
+    #[test]
+    fn verify_toggle_and_manifest_exposure() {
+        let store = lrc_store();
+        assert!(store.verify_reads());
+        store.set_verify_reads(false);
+        assert!(!store.verify_reads());
+        let data = blob(9_000, 52);
+        store.put("x", &data).unwrap();
+        // Unverified reads still strip footers and return exact bytes.
+        assert_eq!(store.get("x").unwrap(), data);
+        store.set_verify_reads(true);
+        assert_eq!(store.get("x").unwrap(), data);
+        // Every sealed stripe has a manifest; out-of-range is None.
+        let stripes = store.stats().stripes;
+        assert!(stripes > 0);
+        for s in 0..stripes {
+            assert!(store.manifest(s).is_some());
+        }
+        assert!(store.manifest(stripes).is_none());
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   real threaded I/O engine;
 //! * [`store`] — an append-only erasure-coded object store built on all
 //!   of the above;
+//! * [`integrity`] — end-to-end integrity: a from-scratch keyed block
+//!   hash, per-element checksum footers, and merkle stripe manifests
+//!   that let a scrub localize a flipped byte without decoding;
 //! * [`net`] — a real networked shard service: wire protocol, shard
 //!   servers, remote-disk clients with retries/hedging, and a loopback
 //!   cluster harness;
@@ -43,6 +46,7 @@
 pub use ecfrm_codes as codes;
 pub use ecfrm_core as core;
 pub use ecfrm_gf as gf;
+pub use ecfrm_integrity as integrity;
 pub use ecfrm_layout as layout;
 pub use ecfrm_net as net;
 pub use ecfrm_obs as obs;

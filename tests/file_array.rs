@@ -9,10 +9,14 @@ use std::sync::Arc;
 
 use ecfrm::codes::LrcCode;
 use ecfrm::core::{LayoutKind, Scheme};
+use ecfrm::integrity::FOOTER_LEN;
 use ecfrm::sim::{Address, DiskBackend, FileDisk, ThreadedArray};
 use ecfrm::store::ObjectStore;
 
 const ELEMENT: usize = 256;
+/// On-disk cell size for store-backed disks: payload plus the
+/// per-element checksum footer the store appends at seal time.
+const CELL: usize = ELEMENT + FOOTER_LEN;
 
 fn tmpdir(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("ecfrm-file-array-{tag}-{}", std::process::id()));
@@ -21,10 +25,10 @@ fn tmpdir(tag: &str) -> std::path::PathBuf {
     dir
 }
 
-fn file_backends(dir: &std::path::Path, n: usize) -> Vec<Arc<dyn DiskBackend>> {
+fn file_backends(dir: &std::path::Path, n: usize, cell: usize) -> Vec<Arc<dyn DiskBackend>> {
     (0..n)
         .map(|d| {
-            Arc::new(FileDisk::create(dir.join(format!("d{d}.bin")), ELEMENT).unwrap())
+            Arc::new(FileDisk::create(dir.join(format!("d{d}.bin")), cell).unwrap())
                 as Arc<dyn DiskBackend>
         })
         .collect()
@@ -33,7 +37,7 @@ fn file_backends(dir: &std::path::Path, n: usize) -> Vec<Arc<dyn DiskBackend>> {
 #[test]
 fn threaded_array_roundtrips_through_files() {
     let dir = tmpdir("roundtrip");
-    let array = ThreadedArray::from_backends(file_backends(&dir, 4));
+    let array = ThreadedArray::from_backends(file_backends(&dir, 4, ELEMENT));
 
     let items: Vec<(Address, Vec<u8>)> = (0..32u64)
         .map(|i| {
@@ -60,7 +64,7 @@ fn threaded_array_roundtrips_through_files() {
 fn file_disks_survive_reopen() {
     let dir = tmpdir("reopen");
     {
-        let array = ThreadedArray::from_backends(file_backends(&dir, 3));
+        let array = ThreadedArray::from_backends(file_backends(&dir, 3, ELEMENT));
         array.write_batch(
             (0..9u64)
                 .map(|i| (((i % 3) as usize, i / 3), vec![i as u8 + 1; ELEMENT]))
@@ -94,7 +98,7 @@ fn object_store_over_files_survives_reopen_and_disk_loss() {
         let store = ObjectStore::with_array(
             scheme.clone(),
             ELEMENT,
-            ThreadedArray::from_backends(file_backends(&dir, n)),
+            ThreadedArray::from_backends(file_backends(&dir, n, CELL)),
         );
         store.put("obj", &data).unwrap();
         store.flush();
@@ -107,7 +111,7 @@ fn object_store_over_files_survives_reopen_and_disk_loss() {
     // identically (FileDisk offsets are deterministic).
     let reopened: Vec<Arc<dyn DiskBackend>> = (0..n)
         .map(|d| {
-            Arc::new(FileDisk::open(dir.join(format!("d{d}.bin")), ELEMENT).unwrap())
+            Arc::new(FileDisk::open(dir.join(format!("d{d}.bin")), CELL).unwrap())
                 as Arc<dyn DiskBackend>
         })
         .collect();
