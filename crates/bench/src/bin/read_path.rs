@@ -21,6 +21,8 @@
 //! CI smoke job asserts batched beats per-element on loopback.
 
 use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ecfrm_net::{Cluster, RemoteDiskConfig};
@@ -128,6 +130,85 @@ fn bench_array(
     }
 }
 
+/// One concurrency level's latency summary.
+struct ConcRow {
+    level: usize,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+/// Small cells for the concurrency sweep: latency under load is about
+/// request-count pipelining, not payload bandwidth.
+const C_ELEMENT: usize = 64;
+const C_OFFSETS: u64 = 64;
+
+/// The concurrency axis: `level` stripe-shaped reads in flight at once
+/// over the multiplexed wire — each read is one single-element
+/// submission per disk, completed by the demux engine as responses
+/// land. Latency is submit-to-last-completion per read, stamped in the
+/// completion callback.
+fn bench_concurrency(levels: &[usize]) -> Vec<ConcRow> {
+    // Generous deadline: at 10k in-flight reads the *queueing* delay is
+    // the thing being measured, and it must not trip the sweep.
+    let cfg = RemoteDiskConfig::builder()
+        .request_timeout(Duration::from_secs(30))
+        .build();
+    let cluster = Cluster::spawn_with(N_DISKS, &cfg).unwrap();
+    let backends = cluster.backends();
+    for (d, disk) in backends.iter().enumerate() {
+        for o in 0..C_OFFSETS {
+            let seed = d * 1_000 + o as usize;
+            disk.write(
+                o,
+                (0..C_ELEMENT)
+                    .map(|i| ((i * 131 + seed) % 256) as u8)
+                    .collect(),
+            );
+        }
+    }
+    // Warm each client through mux negotiation so the sweep measures
+    // steady-state submissions, not the first-use probe.
+    for disk in &backends {
+        assert!(disk.read(0).is_some());
+    }
+
+    let mut out = Vec::new();
+    for &level in levels {
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, Instant)>();
+        let mut submit_at = Vec::with_capacity(level);
+        for i in 0..level {
+            let o = i as u64 % C_OFFSETS;
+            let remaining = Arc::new(AtomicUsize::new(N_DISKS));
+            submit_at.push(Instant::now());
+            for disk in &backends {
+                let remaining = Arc::clone(&remaining);
+                let tx = tx.clone();
+                disk.submit_read_many(&[o]).on_complete(move |r| {
+                    assert!(r[0].is_some(), "concurrency read must not fail");
+                    if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        let _ = tx.send((i, Instant::now()));
+                    }
+                });
+            }
+        }
+        drop(tx);
+        let mut lat_us = vec![0.0f64; level];
+        for (i, done) in rx {
+            lat_us[i] = done.duration_since(submit_at[i]).as_secs_f64() * 1e6;
+        }
+        lat_us.sort_by(f64::total_cmp);
+        let p50 = lat_us[(level - 1) / 2];
+        let p99 = lat_us[(((level - 1) as f64) * 0.99).round() as usize];
+        println!("  concurrency {level:>6} in-flight: p50 {p50:>10.1} us   p99 {p99:>10.1} us");
+        out.push(ConcRow {
+            level,
+            p50_us: p50,
+            p99_us: p99,
+        });
+    }
+    out
+}
+
 fn json_f(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.3}")
@@ -161,8 +242,10 @@ fn main() {
     );
 
     // Loopback remote, ranges off: batching is one BatchGet per disk.
-    let mut no_range = RemoteDiskConfig::fast();
-    no_range.use_range = false;
+    let no_range = RemoteDiskConfig::builder()
+        .low_latency()
+        .use_range(false)
+        .build();
     let cluster = Cluster::spawn_with(N_DISKS, &no_range).unwrap();
     let remote = ThreadedArray::from_backends(cluster.backends());
     populate(&remote, ROWS_PER_READ);
@@ -175,7 +258,8 @@ fn main() {
     );
 
     // Loopback remote, ranges on: the per-disk run ships as one GetRange.
-    let ranged = Cluster::spawn_with(N_DISKS, &RemoteDiskConfig::fast()).unwrap();
+    let ranged =
+        Cluster::spawn_with(N_DISKS, &RemoteDiskConfig::builder().low_latency().build()).unwrap();
     let remote_ranged = ThreadedArray::from_backends(ranged.backends());
     populate(&remote_ranged, ROWS_PER_READ);
     bench_array(
@@ -212,6 +296,15 @@ fn main() {
     let speedup = per_el / batched;
     println!("\nloopback batched vs per-element speedup: {speedup:.2}x");
 
+    // The concurrency axis: in-flight stripe reads over the mux engine.
+    println!("\nconcurrency sweep ({C_ELEMENT} B cells, mux transport):");
+    let levels: &[usize] = if quick {
+        &[1, 16, 128]
+    } else {
+        &[1, 64, 512, 2048, 10_000]
+    };
+    let conc = bench_concurrency(levels);
+
     if no_json {
         return;
     }
@@ -228,6 +321,17 @@ fn main() {
             json_f(r.secs_per_read * 1e6),
             json_f(r.mbps()),
             if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("  ],\n");
+    body.push_str("  \"concurrency\": [\n");
+    for (i, c) in conc.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"level\": {}, \"p50_us\": {}, \"p99_us\": {}}}{}\n",
+            c.level,
+            json_f(c.p50_us),
+            json_f(c.p99_us),
+            if i + 1 == conc.len() { "" } else { "," }
         ));
     }
     body.push_str("  ],\n");

@@ -16,6 +16,8 @@
 //! cargo run -p ecfrm-bench --release --bin figures -- all
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod experiment;
 pub mod harness;
 pub mod params;

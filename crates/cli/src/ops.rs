@@ -303,7 +303,9 @@ pub fn bench(opts: &Options) -> Result<(), CliError> {
             let key = ecfrm_integrity::HashKey::DEFAULT;
             let disk = Arc::new(RemoteDisk::new(
                 addr,
-                RemoteDiskConfig::default().with_integrity(key.k0, key.k1),
+                RemoteDiskConfig::builder()
+                    .integrity_key(key.k0, key.k1)
+                    .build(),
             ));
             // Health-check up front so a dead shard fails the bench with
             // a clear message instead of silently running degraded.
@@ -795,7 +797,7 @@ pub fn stats(opts: &Options) -> Result<(), CliError> {
         let addr = a
             .parse()
             .map_err(|e| CliError::Usage(format!("bad --remote address `{a}`: {e}")))?;
-        let disk = RemoteDisk::new(addr, RemoteDiskConfig::default());
+        let disk = RemoteDisk::new(addr, RemoteDiskConfig::builder().build());
         let pairs = disk.stats()?;
         println!("shard {a}:");
         if pairs.is_empty() {

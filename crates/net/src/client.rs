@@ -1,44 +1,62 @@
 //! [`RemoteDisk`]: a [`DiskBackend`] that speaks the wire protocol.
 //!
 //! Drop-in client for a [`ShardServer`](crate::server::ShardServer):
-//! `ThreadedArray` and `ObjectStore` run unmodified over it. Failure
-//! handling is layered the way a production client would be:
+//! `ThreadedArray` and `ObjectStore` run unmodified over it. Two
+//! transports are layered behind the one trait:
 //!
-//! * **per-request timeouts** — a stuck server costs a bounded wait;
-//! * **bounded retries** with exponential backoff and jitter — transient
-//!   hiccups are absorbed;
-//! * **optional hedged reads** — after `hedge_after`, a duplicate
-//!   request races on a second connection and the first answer wins;
-//! * **absent-on-failure** — a request that exhausts every retry
-//!   returns `None`, which the store treats as a suspect disk and
-//!   replans the read degraded. The network failure domain degrades
-//!   into the erasure-code failure domain instead of erroring.
+//! * **multiplexed** (preferred) — one connection per shard carries many
+//!   in-flight requests, id-tagged with [`Request::Mux`] framing. A
+//!   demux thread matches responses to completion callbacks, so
+//!   [`DiskBackend::submit_read_many`] is truly non-blocking and the
+//!   store's reactor can keep thousands of stripe reads in flight.
+//!   Support is negotiated on first use with a `Mux(Health)` probe; a
+//!   shard that predates the opcode permanently demotes this client to
+//!   the legacy transport (the PR-4-style additive-negotiation rule: an
+//!   *answering* shard demotes, a transient outage does not).
+//! * **legacy pooled** — one blocking request per pooled connection,
+//!   with the full resilience stack: per-request timeouts, bounded
+//!   retries with exponential backoff, and optional hedged reads
+//!   (`hedge_after` — a tail-latency tool for the blocking path; the
+//!   multiplexed path gets its tail protection from the store's
+//!   replanning instead).
+//!
+//! On either path, a read that ultimately fails returns *absent*
+//! (`None`) — the store treats it as a suspect disk and replans the
+//! read degraded, so the network failure domain degrades into the
+//! erasure-code failure domain instead of erroring.
 //!
 //! Every event increments the shared [`NetCounters`], surfaced through
 //! [`DiskBackend::net_stats`] into the store's `ReadStats`.
 
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ecfrm_obs::{Histogram, HistogramSnapshot};
-use ecfrm_sim::{DiskBackend, NetCounters, NetStats};
+use ecfrm_sim::{io_pair, DiskBackend, IoHandle, NetCounters, NetStats};
 use ecfrm_util::{Mutex, Rng};
 
 use crate::protocol::{
-    read_response, write_request, CheckedElement, Fault, NetError, Request, Response,
+    read_response, read_response_polling, write_request, CheckedElement, Fault, NetError,
+    PolledResponse, Request, Response,
 };
 
-/// Client-side resilience knobs.
-#[derive(Debug, Clone)]
+/// Client-side resilience knobs. Build one with
+/// [`RemoteDiskConfig::builder`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct RemoteDiskConfig {
     /// TCP connect deadline.
     pub connect_timeout: Duration,
     /// Per-request response deadline.
     pub request_timeout: Duration,
-    /// Re-sends after the first attempt (0 = one attempt only).
+    /// Re-sends after the first attempt (0 = one attempt only). Applies
+    /// to the legacy blocking path; multiplexed submissions are
+    /// single-attempt (a failure completes as absent and the store
+    /// replans).
     pub max_retries: u32,
     /// First backoff step; doubles each retry.
     pub backoff_base: Duration,
@@ -46,6 +64,9 @@ pub struct RemoteDiskConfig {
     pub backoff_cap: Duration,
     /// Launch a duplicate read on a second connection if the primary
     /// has not answered within this window. `None` disables hedging.
+    /// Legacy-path only: hedging and multiplexing are alternative
+    /// tail-latency strategies, so configs that hedge usually also set
+    /// `multiplex: false`.
     pub hedge_after: Option<Duration>,
     /// Idle connections kept for reuse.
     pub pool_size: usize,
@@ -62,6 +83,11 @@ pub struct RemoteDiskConfig {
     /// `GetRange`, an old server that rejects the opcode demotes the
     /// client to the unchecked path permanently.
     pub integrity_key: Option<(u64, u64)>,
+    /// Allow the multiplexed transport (one connection, many in-flight
+    /// requests). Disabled, every request takes the legacy pooled path
+    /// — the shape of a pre-mux client, kept for wire compatibility
+    /// tests and for hedging configs.
+    pub multiplex: bool,
 }
 
 impl Default for RemoteDiskConfig {
@@ -76,11 +102,31 @@ impl Default for RemoteDiskConfig {
             pool_size: 2,
             use_range: true,
             integrity_key: None,
+            multiplex: true,
         }
     }
 }
 
 impl RemoteDiskConfig {
+    /// Start building a config from the defaults, in the
+    /// `Scheme::builder` style:
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use ecfrm_net::RemoteDiskConfig;
+    ///
+    /// let cfg = RemoteDiskConfig::builder()
+    ///     .request_timeout(Duration::from_millis(500))
+    ///     .pool_size(4)
+    ///     .build();
+    /// assert_eq!(cfg.pool_size, 4);
+    /// ```
+    pub fn builder() -> RemoteDiskConfigBuilder {
+        RemoteDiskConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
+
     /// Enable server-side footer verification with the given key: the
     /// store's `(k0, k1)` integrity key words, shipped on every
     /// `RangeChecked` request.
@@ -92,41 +138,403 @@ impl RemoteDiskConfig {
 
     /// Tight timeouts for tests: failures are detected in tens of
     /// milliseconds instead of seconds.
+    #[deprecated(note = "use RemoteDiskConfig::builder().low_latency().build()")]
     pub fn fast() -> Self {
-        Self {
-            connect_timeout: Duration::from_millis(200),
-            request_timeout: Duration::from_millis(200),
-            max_retries: 1,
-            backoff_base: Duration::from_millis(2),
-            backoff_cap: Duration::from_millis(10),
-            hedge_after: None,
-            pool_size: 2,
-            use_range: true,
-            integrity_key: None,
+        Self::builder().low_latency().build()
+    }
+
+    /// Low-priority profile for background repair traffic.
+    #[deprecated(note = "use RemoteDiskConfig::builder().repair_profile().build()")]
+    pub fn repair() -> Self {
+        Self::builder().repair_profile().build()
+    }
+}
+
+/// Fluent constructor for [`RemoteDiskConfig`]: chain knob setters
+/// and/or a preset, then [`build`](Self::build).
+#[derive(Debug, Clone)]
+pub struct RemoteDiskConfigBuilder {
+    cfg: RemoteDiskConfig,
+}
+
+impl RemoteDiskConfigBuilder {
+    /// TCP connect deadline.
+    #[must_use]
+    pub fn connect_timeout(mut self, d: Duration) -> Self {
+        self.cfg.connect_timeout = d;
+        self
+    }
+
+    /// Per-request response deadline.
+    #[must_use]
+    pub fn request_timeout(mut self, d: Duration) -> Self {
+        self.cfg.request_timeout = d;
+        self
+    }
+
+    /// Re-sends after the first attempt (0 = one attempt only).
+    #[must_use]
+    pub fn max_retries(mut self, n: u32) -> Self {
+        self.cfg.max_retries = n;
+        self
+    }
+
+    /// Exponential backoff: first step and ceiling.
+    #[must_use]
+    pub fn backoff(mut self, base: Duration, cap: Duration) -> Self {
+        self.cfg.backoff_base = base;
+        self.cfg.backoff_cap = cap;
+        self
+    }
+
+    /// Hedge window for the legacy read path (`None` disables hedging).
+    #[must_use]
+    pub fn hedge_after(mut self, d: Option<Duration>) -> Self {
+        self.cfg.hedge_after = d;
+        self
+    }
+
+    /// Idle connections kept for reuse.
+    #[must_use]
+    pub fn pool_size(mut self, n: usize) -> Self {
+        self.cfg.pool_size = n;
+        self
+    }
+
+    /// Allow coalesced `GetRange` requests for contiguous runs.
+    #[must_use]
+    pub fn use_range(mut self, yes: bool) -> Self {
+        self.cfg.use_range = yes;
+        self
+    }
+
+    /// The store's `(k0, k1)` integrity key, enabling server-side
+    /// footer verification via `RangeChecked`.
+    #[must_use]
+    pub fn integrity_key(mut self, k0: u64, k1: u64) -> Self {
+        self.cfg.integrity_key = Some((k0, k1));
+        self
+    }
+
+    /// Allow the multiplexed transport.
+    #[must_use]
+    pub fn multiplex(mut self, yes: bool) -> Self {
+        self.cfg.multiplex = yes;
+        self
+    }
+
+    /// Preset: tight timeouts for tests and latency-sensitive callers —
+    /// failures are detected in tens of milliseconds instead of
+    /// seconds.
+    #[must_use]
+    pub fn low_latency(mut self) -> Self {
+        self.cfg.connect_timeout = Duration::from_millis(200);
+        self.cfg.request_timeout = Duration::from_millis(200);
+        self.cfg.max_retries = 1;
+        self.cfg.backoff_base = Duration::from_millis(2);
+        self.cfg.backoff_cap = Duration::from_millis(10);
+        self
+    }
+
+    /// Preset: low-priority profile for background repair traffic — no
+    /// hedging (hedges exist to cut foreground tail latency; repair has
+    /// no tail-latency SLO and duplicate reads would double its load on
+    /// the survivors), relaxed timeouts with patient backoff (a busy
+    /// shard serving foreground reads is the expected case, not a
+    /// failure), and a single pooled connection per shard.
+    #[must_use]
+    pub fn repair_profile(mut self) -> Self {
+        self.cfg.connect_timeout = Duration::from_secs(2);
+        self.cfg.request_timeout = Duration::from_secs(5);
+        self.cfg.max_retries = 3;
+        self.cfg.backoff_base = Duration::from_millis(50);
+        self.cfg.backoff_cap = Duration::from_secs(1);
+        self.cfg.hedge_after = None;
+        self.cfg.pool_size = 1;
+        self
+    }
+
+    /// Finish: the assembled config.
+    #[must_use]
+    pub fn build(self) -> RemoteDiskConfig {
+        self.cfg
+    }
+}
+
+/// How often the demux reader wakes when idle, to check liveness and
+/// sweep request deadlines.
+const MUX_POLL: Duration = Duration::from_millis(10);
+
+/// Mux negotiation has not run yet (first data request triggers it).
+const MUX_UNKNOWN: u8 = 0;
+/// The shard answered the `Mux(Health)` probe: multiplex everything.
+const MUX_ON: u8 = 1;
+/// The shard answered legacy but not mux: never ask again.
+const MUX_OFF: u8 = 2;
+
+/// Completion callback for one multiplexed request — guaranteed to run
+/// exactly once: with the response, a timeout, or a transport error.
+type MuxCallback = Box<dyn FnOnce(Result<Response, NetError>) + Send>;
+
+struct MuxPending {
+    deadline: Instant,
+    done: MuxCallback,
+}
+
+/// State shared between submitters and the demux reader thread.
+struct MuxShared {
+    pending: Mutex<HashMap<u64, MuxPending>>,
+    /// Set on any unclean event (EOF, garbage frame, failed write) and
+    /// on intentional shutdown; the reader polls it as its stop flag.
+    dead: AtomicBool,
+    counters: Arc<NetCounters>,
+}
+
+impl MuxShared {
+    /// Complete every outstanding request with a transport error
+    /// (callbacks run outside the lock).
+    fn fail_all(&self) {
+        let drained: Vec<MuxPending> = self.pending.lock().drain().map(|(_, p)| p).collect();
+        for p in drained {
+            (p.done)(Err(NetError::Protocol("mux connection lost".into())));
         }
     }
 
-    /// Low-priority profile for background repair traffic: no hedging
-    /// (hedges exist to cut foreground tail latency; repair has no
-    /// tail-latency SLO and duplicate reads would double its load on
-    /// the survivors), relaxed timeouts with patient backoff (a busy
-    /// shard serving foreground reads is the expected case, not a
-    /// failure), a single pooled connection per shard, and coalesced
-    /// `GetRange` on (repair source batches are contiguous runs more
-    /// often than foreground ones).
-    pub fn repair() -> Self {
-        Self {
-            connect_timeout: Duration::from_secs(2),
-            request_timeout: Duration::from_secs(5),
-            max_retries: 3,
-            backoff_base: Duration::from_millis(50),
-            backoff_cap: Duration::from_secs(1),
-            hedge_after: None,
-            pool_size: 1,
-            use_range: true,
-            integrity_key: None,
+    /// Time out every request past its deadline (callbacks run outside
+    /// the lock). The connection itself stays up; a late response for a
+    /// swept id is dropped on arrival.
+    fn sweep(&self) {
+        let now = Instant::now();
+        let expired: Vec<MuxPending> = {
+            let mut pending = self.pending.lock();
+            let ids: Vec<u64> = pending
+                .iter()
+                .filter(|(_, p)| p.deadline <= now)
+                .map(|(&id, _)| id)
+                .collect();
+            ids.iter().filter_map(|id| pending.remove(id)).collect()
+        };
+        for p in expired {
+            self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+            (p.done)(Err(NetError::Timeout));
         }
     }
+}
+
+/// One multiplexed connection to a shard: submitters write id-tagged
+/// frames under the writer lock; a demux thread reads responses and
+/// fires the matching callbacks as they land, whatever the order.
+struct MuxConn {
+    writer: Mutex<BufWriter<TcpStream>>,
+    shared: Arc<MuxShared>,
+    next_id: AtomicU64,
+}
+
+/// Why a multiplexed connection could not be established.
+#[derive(Debug)]
+enum MuxProbe {
+    /// The shard answered the probe with a *plain* response: it is alive
+    /// but predates the mux opcode. Carries the still-clean connection
+    /// so the caller can recycle it into the legacy pool.
+    Unsupported(TcpStream),
+    /// Transport-level failure: an old server dropping the unknown
+    /// opcode, or an outage — indistinguishable without a legacy probe.
+    /// The error is carried for `Debug` output only; negotiation cares
+    /// about the *kind* of failure, not its detail.
+    Transport(#[allow(dead_code)] NetError),
+}
+
+impl MuxConn {
+    /// Dial a fresh connection and negotiate: one `Mux(Health)` probe,
+    /// answered in kind, promotes the connection to a demuxed transport.
+    fn establish(
+        addr: SocketAddr,
+        cfg: &RemoteDiskConfig,
+        counters: &Arc<NetCounters>,
+    ) -> Result<Self, MuxProbe> {
+        let dial = || -> Result<TcpStream, NetError> {
+            let stream = TcpStream::connect_timeout(&addr, cfg.connect_timeout)?;
+            stream.set_read_timeout(Some(cfg.request_timeout))?;
+            stream.set_write_timeout(Some(cfg.request_timeout))?;
+            stream.set_nodelay(true).ok();
+            Ok(stream)
+        };
+        let mut stream = dial().map_err(MuxProbe::Transport)?;
+        let probe = Request::Mux {
+            id: 0,
+            inner: Box::new(Request::Health),
+        };
+        match write_request(&mut stream, &probe).and_then(|()| read_response(&mut stream)) {
+            Ok(Response::Mux { .. }) => {}
+            Ok(_) => return Err(MuxProbe::Unsupported(stream)),
+            Err(e) => {
+                if matches!(e, NetError::Timeout) {
+                    counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                }
+                counters.conns_discarded.fetch_add(1, Ordering::Relaxed);
+                return Err(MuxProbe::Transport(e));
+            }
+        }
+        // Promoted: the reader needs a short timeout so it can poll the
+        // stop flag and sweep deadlines while idle.
+        if stream.set_read_timeout(Some(MUX_POLL)).is_err() {
+            counters.conns_discarded.fetch_add(1, Ordering::Relaxed);
+            return Err(MuxProbe::Transport(NetError::Protocol(
+                "could not re-arm read timeout".into(),
+            )));
+        }
+        let reader = match stream.try_clone() {
+            Ok(r) => r,
+            Err(e) => {
+                counters.conns_discarded.fetch_add(1, Ordering::Relaxed);
+                return Err(MuxProbe::Transport(e.into()));
+            }
+        };
+        let shared = Arc::new(MuxShared {
+            pending: Mutex::new(HashMap::new()),
+            dead: AtomicBool::new(false),
+            counters: Arc::clone(counters),
+        });
+        let reader_shared = Arc::clone(&shared);
+        std::thread::spawn(move || demux_loop(BufReader::new(reader), &reader_shared));
+        Ok(Self {
+            writer: Mutex::new(BufWriter::new(stream)),
+            shared,
+            next_id: AtomicU64::new(1),
+        })
+    }
+
+    fn is_dead(&self) -> bool {
+        self.shared.dead.load(Ordering::Acquire)
+    }
+
+    /// Send `req` id-tagged. `done` runs exactly once — with the
+    /// response, with `Timeout` after the deadline, or with a transport
+    /// error if the connection dies first.
+    fn submit(&self, req: Request, timeout: Duration, done: MuxCallback) {
+        if self.is_dead() {
+            return done(Err(NetError::Protocol("mux connection dead".into())));
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.shared.pending.lock().insert(
+            id,
+            MuxPending {
+                deadline: Instant::now() + timeout,
+                done,
+            },
+        );
+        let framed = Request::Mux {
+            id,
+            inner: Box::new(req),
+        };
+        let wrote = write_request(&mut *self.writer.lock(), &framed).is_ok();
+        if !wrote && !self.shared.dead.swap(true, Ordering::AcqRel) {
+            // First to notice the death: account the discard (the reader
+            // will see the stop flag and exit without double-counting).
+            self.shared
+                .counters
+                .conns_discarded
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        if !wrote || self.is_dead() {
+            // Either our write failed, or the reader died and drained
+            // `pending` while we were inserting. Whoever still finds the
+            // entry completes it; a missing entry means the reader beat
+            // us to it.
+            if let Some(p) = self.shared.pending.lock().remove(&id) {
+                (p.done)(Err(NetError::Protocol("mux connection lost".into())));
+            }
+        }
+    }
+}
+
+impl Drop for MuxConn {
+    fn drop(&mut self) {
+        // Intentional shutdown: stop the reader (it exits at its next
+        // poll tick) without counting a discarded connection.
+        self.shared.dead.store(true, Ordering::Release);
+    }
+}
+
+/// The demux reader: matches id-tagged responses to pending callbacks,
+/// sweeps deadlines while idle, and on connection death fails every
+/// outstanding request.
+fn demux_loop(mut reader: BufReader<TcpStream>, shared: &Arc<MuxShared>) {
+    loop {
+        match read_response_polling(&mut reader, &shared.dead) {
+            PolledResponse::Frame(Response::Mux { id, inner }) => {
+                let entry = shared.pending.lock().remove(&id);
+                if let Some(p) = entry {
+                    (p.done)(match *inner {
+                        Response::Error(msg) => Err(NetError::Remote(msg)),
+                        ok => Ok(ok),
+                    });
+                }
+                // else: a late response for a swept id — drop it.
+                shared.sweep();
+            }
+            PolledResponse::Frame(_) => {
+                // A plain response on a mux connection: framing
+                // confusion, the stream is unusable.
+                if !shared.dead.swap(true, Ordering::AcqRel) {
+                    shared
+                        .counters
+                        .conns_discarded
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                break;
+            }
+            PolledResponse::Idle => shared.sweep(),
+            PolledResponse::Closed => {
+                // EOF/garbage — or the stop flag raised by an intentional
+                // shutdown, which must not count as a discard.
+                if !shared.dead.swap(true, Ordering::AcqRel) {
+                    shared
+                        .counters
+                        .conns_discarded
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                break;
+            }
+        }
+    }
+    shared.fail_all();
+}
+
+/// Which read shape went out, for decoding the mux reply.
+enum ReadShape {
+    Element,
+    Batch,
+    Range,
+    Checked,
+}
+
+/// Map a read response back onto per-offset cells. `None` on any
+/// shape/length mismatch (the caller treats it as a failed request).
+fn map_read_response(
+    resp: Response,
+    shape: &ReadShape,
+    n: usize,
+    remote_verify_fails: &AtomicU64,
+) -> Option<Vec<Option<Vec<u8>>>> {
+    let items = match (shape, resp) {
+        (ReadShape::Element, Response::Element(v)) => vec![v],
+        (ReadShape::Batch, Response::Batch(items)) => items,
+        (ReadShape::Range, Response::Range(items)) => items,
+        (ReadShape::Checked, Response::Checked(items)) => items
+            .into_iter()
+            .map(|item| match item {
+                CheckedElement::Valid(bytes) => Some(bytes),
+                CheckedElement::Missing => None,
+                CheckedElement::Corrupt => {
+                    remote_verify_fails.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            })
+            .collect(),
+        _ => return None,
+    };
+    (items.len() == n).then_some(items)
 }
 
 /// A remote shard, presented as a local [`DiskBackend`].
@@ -147,10 +555,16 @@ pub struct RemoteDisk {
     /// the checked opcode fails but a `BatchGet` of the same offsets
     /// succeeds.
     checked_supported: AtomicBool,
+    /// Three-state mux negotiation latch: [`MUX_UNKNOWN`] until the
+    /// first data request probes, then [`MUX_ON`] or [`MUX_OFF`].
+    mux_state: AtomicU8,
+    /// The live multiplexed connection, when negotiated on. Also serves
+    /// as the negotiation/re-dial critical section.
+    mux: Mutex<Option<Arc<MuxConn>>>,
     /// Cells the server reported as failing footer verification
     /// (`CheckedElement::Corrupt`). Surfaced via
     /// [`RemoteDisk::remote_verify_fails`].
-    remote_verify_fails: AtomicU64,
+    remote_verify_fails: Arc<AtomicU64>,
     rng: Mutex<Rng>,
 }
 
@@ -173,7 +587,9 @@ impl RemoteDisk {
             ever_connected: AtomicBool::new(false),
             range_supported: AtomicBool::new(true),
             checked_supported: AtomicBool::new(true),
-            remote_verify_fails: AtomicU64::new(0),
+            mux_state: AtomicU8::new(MUX_UNKNOWN),
+            mux: Mutex::new(None),
+            remote_verify_fails: Arc::new(AtomicU64::new(0)),
             rng: Mutex::new(Rng::seed_from_u64(addr.port() as u64 ^ 0xD15C)),
         }
     }
@@ -232,6 +648,8 @@ impl RemoteDisk {
         Ok(stream)
     }
 
+    /// Return a connection to the pool — only ever called after a clean
+    /// request/response exchange, so its framing state is known-good.
     fn recycle(&self, stream: TcpStream) {
         let mut pool = self.pool.lock();
         if pool.len() < self.cfg.pool_size {
@@ -251,7 +669,11 @@ impl RemoteDisk {
                 }
             }
             Err(e) => {
-                // The connection's framing state is unknown — drop it.
+                // The connection's framing state is unknown — drop it
+                // (and account the drop) rather than recycling.
+                self.counters
+                    .conns_discarded
+                    .fetch_add(1, Ordering::Relaxed);
                 if matches!(e, NetError::Timeout) {
                     self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
                 }
@@ -429,6 +851,173 @@ impl RemoteDisk {
         self.remote_verify_fails.load(Ordering::Relaxed)
     }
 
+    /// True while requests go over the multiplexed transport (config
+    /// allows it and negotiation latched it on).
+    pub fn mux_enabled(&self) -> bool {
+        self.cfg.multiplex && self.mux_state.load(Ordering::Acquire) == MUX_ON
+    }
+
+    /// Whether to take the mux path, negotiating on first use.
+    fn use_mux(&self) -> bool {
+        if !self.cfg.multiplex {
+            return false;
+        }
+        match self.mux_state.load(Ordering::Acquire) {
+            MUX_ON => true,
+            MUX_OFF => false,
+            _ => self.negotiate_mux(),
+        }
+    }
+
+    /// First-use negotiation, serialized on the mux slot lock: probe
+    /// with `Mux(Health)`; an in-kind answer latches mux on, a *plain*
+    /// answer (or an answering legacy path after a dropped probe)
+    /// latches it off permanently, and a total outage leaves the state
+    /// unknown so a later request re-probes.
+    fn negotiate_mux(&self) -> bool {
+        let mut slot = self.mux.lock();
+        match self.mux_state.load(Ordering::Acquire) {
+            MUX_ON => return true,
+            MUX_OFF => return false,
+            _ => {}
+        }
+        match MuxConn::establish(self.addr, &self.cfg, &self.counters) {
+            Ok(conn) => {
+                *slot = Some(Arc::new(conn));
+                self.mux_state.store(MUX_ON, Ordering::Release);
+                true
+            }
+            Err(MuxProbe::Unsupported(stream)) => {
+                // The shard answered without demuxing: it predates the
+                // opcode. The exchange was clean, so the connection is
+                // reusable by the legacy path.
+                self.recycle(stream);
+                self.mux_state.store(MUX_OFF, Ordering::Release);
+                false
+            }
+            Err(MuxProbe::Transport(_)) => {
+                // Ambiguous: an old server dropping the unknown opcode
+                // looks exactly like an outage. Ask on the legacy path;
+                // only an *answering* shard demotes (a transient outage
+                // must not latch mux off).
+                if self.health().is_ok() {
+                    self.mux_state.store(MUX_OFF, Ordering::Release);
+                }
+                false
+            }
+        }
+    }
+
+    /// The live mux connection, re-dialing if the previous one died.
+    /// `None` means the transport is unavailable right now (caller
+    /// falls back to the blocking path, which carries the retry
+    /// budget).
+    fn mux_conn(&self) -> Option<Arc<MuxConn>> {
+        let mut slot = self.mux.lock();
+        if let Some(conn) = slot.as_ref() {
+            if !conn.is_dead() {
+                return Some(Arc::clone(conn));
+            }
+            *slot = None;
+        }
+        // Mux was negotiated on, so the server speaks it: this is an
+        // outage or restart, not a protocol question.
+        self.counters.reconnects.fetch_add(1, Ordering::Relaxed);
+        match MuxConn::establish(self.addr, &self.cfg, &self.counters) {
+            Ok(conn) => {
+                let conn = Arc::new(conn);
+                *slot = Some(Arc::clone(&conn));
+                Some(conn)
+            }
+            Err(MuxProbe::Unsupported(stream)) => {
+                // The shard came back *older* (rollback): demote.
+                self.recycle(stream);
+                self.mux_state.store(MUX_OFF, Ordering::Release);
+                None
+            }
+            Err(MuxProbe::Transport(_)) => None,
+        }
+    }
+
+    /// Pick the wire shape for a batch of offsets: single element,
+    /// coalesced (checked) range for one contiguous ascending run, or
+    /// order-preserving batch.
+    fn plan_read(&self, offsets: &[u64]) -> (Request, ReadShape) {
+        if offsets.len() == 1 {
+            return (
+                Request::GetElement { offset: offsets[0] },
+                ReadShape::Element,
+            );
+        }
+        if let Some(count) = contiguous_run(offsets) {
+            if self.checked_enabled() {
+                let (k0, k1) = self
+                    .cfg
+                    .integrity_key
+                    .expect("checked_enabled implies a key");
+                return (
+                    Request::RangeChecked {
+                        offset: offsets[0],
+                        count,
+                        k0,
+                        k1,
+                    },
+                    ReadShape::Checked,
+                );
+            }
+            if self.range_enabled() {
+                return (
+                    Request::GetRange {
+                        offset: offsets[0],
+                        count,
+                    },
+                    ReadShape::Range,
+                );
+            }
+        }
+        (
+            Request::BatchGet {
+                offsets: offsets.to_vec(),
+            },
+            ReadShape::Batch,
+        )
+    }
+
+    /// The blocking read path: retries, backoff, hedging, and the
+    /// range/checked opcode negotiation. Used when multiplexing is off
+    /// (old servers, hedging configs) and as the fallback when the mux
+    /// transport cannot be (re-)established.
+    fn read_many_blocking(&self, offsets: &[u64]) -> Vec<Option<Vec<u8>>> {
+        if offsets.is_empty() {
+            return Vec::new();
+        }
+        if offsets.len() == 1 {
+            let got =
+                match self.timed(|| self.read_rpc(&Request::GetElement { offset: offsets[0] })) {
+                    Ok(Response::Element(v)) => v,
+                    _ => None,
+                };
+            return vec![got];
+        }
+        if self.checked_enabled() {
+            if let Some(count) = contiguous_run(offsets) {
+                if let Some(items) = self.read_checked(offsets[0], count) {
+                    return items;
+                }
+                // Transient fault or an old server. Retry unchecked
+                // (GetRange negotiates its own fallback below); if the
+                // shard answers, it is alive but checked-less —
+                // remember and stop asking.
+                let items = self.read_many_unchecked(offsets);
+                if items.iter().any(Option::is_some) {
+                    self.checked_supported.store(false, Ordering::Release);
+                }
+                return items;
+            }
+        }
+        self.read_many_unchecked(offsets)
+    }
+
     /// One `RangeChecked` attempt for a contiguous run, or `None` if
     /// the checked path is unavailable/failed (caller falls back).
     /// Corrupt cells map to absent entries — the store's verify-on-read
@@ -508,46 +1097,56 @@ fn contiguous_run(offsets: &[u64]) -> Option<u32> {
 }
 
 impl DiskBackend for RemoteDisk {
-    /// Fetch one element over the wire. Transport failure after the
-    /// full retry/hedge budget reads as *absent* — the caller's
-    /// degraded-read machinery takes it from there.
-    fn read(&self, offset: u64) -> Option<Vec<u8>> {
-        match self.timed(|| self.read_rpc(&Request::GetElement { offset })) {
-            Ok(Response::Element(v)) => v,
-            _ => None,
+    /// Submit a batch read. Over the multiplexed transport this is
+    /// truly non-blocking: the request goes out id-tagged on the shared
+    /// connection and the handle completes when the demux thread
+    /// delivers the response (or its deadline passes — mux submissions
+    /// are single-attempt; a failure completes as all-absent and the
+    /// store replans degraded). When multiplexing is off or
+    /// unavailable, the blocking path — with its full retry/hedge
+    /// budget — runs inline and the handle returns already complete.
+    fn submit_read_many(&self, offsets: &[u64]) -> IoHandle {
+        if offsets.is_empty() {
+            return IoHandle::ready(Vec::new());
         }
+        if !self.use_mux() {
+            return IoHandle::ready(self.read_many_blocking(offsets));
+        }
+        let Some(conn) = self.mux_conn() else {
+            // Transport down right now: the blocking path carries the
+            // retry budget and the failure accounting.
+            return IoHandle::ready(self.read_many_blocking(offsets));
+        };
+        let (handle, completer) = io_pair(offsets.len());
+        let (req, shape) = self.plan_read(offsets);
+        let n = offsets.len();
+        let counters = Arc::clone(&self.counters);
+        let request_us = self.request_us.clone();
+        let verify_fails = Arc::clone(&self.remote_verify_fails);
+        let t0 = Instant::now();
+        conn.submit(
+            req,
+            self.cfg.request_timeout,
+            Box::new(move |res| {
+                request_us.record_duration(t0.elapsed());
+                let results = res
+                    .ok()
+                    .and_then(|resp| map_read_response(resp, &shape, n, &verify_fails))
+                    .unwrap_or_else(|| {
+                        counters.failed_requests.fetch_add(1, Ordering::Relaxed);
+                        vec![None; n]
+                    });
+                completer.complete(results);
+            }),
+        );
+        handle
     }
 
-    /// Fetch a whole batch in **one** RPC, with the retry/hedge stack
-    /// applied once per batch instead of once per element. A batch that
-    /// forms one contiguous ascending run goes out as the coalesced
-    /// `RangeChecked` (when an integrity key is configured) or
-    /// `GetRange`; anything else (or a server that predates the
-    /// opcodes) as `BatchGet`.
-    fn read_many(&self, offsets: &[u64]) -> Vec<Option<Vec<u8>>> {
-        if offsets.is_empty() {
-            return Vec::new();
-        }
-        if offsets.len() == 1 {
-            return vec![self.read(offsets[0])];
-        }
-        if self.checked_enabled() {
-            if let Some(count) = contiguous_run(offsets) {
-                if let Some(items) = self.read_checked(offsets[0], count) {
-                    return items;
-                }
-                // Transient fault or an old server. Retry unchecked
-                // (GetRange negotiates its own fallback below); if the
-                // shard answers, it is alive but checked-less —
-                // remember and stop asking.
-                let items = self.read_many_unchecked(offsets);
-                if items.iter().any(Option::is_some) {
-                    self.checked_supported.store(false, Ordering::Release);
-                }
-                return items;
-            }
-        }
-        self.read_many_unchecked(offsets)
+    /// True once mux negotiation has latched on: submissions return
+    /// un-completed handles, so the array drives this backend from the
+    /// reactor's completion side instead of parking a pool worker on it.
+    fn submits_async(&self) -> bool {
+        self.mux_enabled()
     }
 
     fn write(&self, offset: u64, bytes: Vec<u8>) {
@@ -590,10 +1189,58 @@ mod tests {
         ShardServer::spawn(Arc::new(MemDisk::new()), "127.0.0.1:0").unwrap()
     }
 
+    /// The test profile, post-deprecation: tight timeouts via the
+    /// builder.
+    fn fast() -> RemoteDiskConfig {
+        RemoteDiskConfig::builder().low_latency().build()
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn builder_presets_match_deprecated_shims() {
+        assert_eq!(
+            RemoteDiskConfig::fast(),
+            RemoteDiskConfig::builder().low_latency().build()
+        );
+        assert_eq!(
+            RemoteDiskConfig::repair(),
+            RemoteDiskConfig::builder().repair_profile().build()
+        );
+        assert_eq!(
+            RemoteDiskConfig::builder().build(),
+            RemoteDiskConfig::default()
+        );
+    }
+
+    #[test]
+    fn builder_sets_individual_knobs() {
+        let cfg = RemoteDiskConfig::builder()
+            .connect_timeout(Duration::from_millis(10))
+            .request_timeout(Duration::from_millis(20))
+            .max_retries(7)
+            .backoff(Duration::from_millis(1), Duration::from_millis(2))
+            .hedge_after(Some(Duration::from_millis(30)))
+            .pool_size(9)
+            .use_range(false)
+            .integrity_key(3, 4)
+            .multiplex(false)
+            .build();
+        assert_eq!(cfg.connect_timeout, Duration::from_millis(10));
+        assert_eq!(cfg.request_timeout, Duration::from_millis(20));
+        assert_eq!(cfg.max_retries, 7);
+        assert_eq!(cfg.backoff_base, Duration::from_millis(1));
+        assert_eq!(cfg.backoff_cap, Duration::from_millis(2));
+        assert_eq!(cfg.hedge_after, Some(Duration::from_millis(30)));
+        assert_eq!(cfg.pool_size, 9);
+        assert!(!cfg.use_range);
+        assert_eq!(cfg.integrity_key, Some((3, 4)));
+        assert!(!cfg.multiplex);
+    }
+
     #[test]
     fn read_write_roundtrip_over_wire() {
         let server = server();
-        let disk = RemoteDisk::new(server.addr(), RemoteDiskConfig::fast());
+        let disk = RemoteDisk::new(server.addr(), fast());
         assert!(disk.is_empty());
         disk.write(7, vec![1, 2, 3]);
         assert_eq!(disk.read(7), Some(vec![1, 2, 3]));
@@ -602,12 +1249,14 @@ mod tests {
         let stats = disk.net_stats().unwrap();
         assert_eq!(stats.failed_requests, 0);
         assert_eq!(stats.timeouts, 0);
+        assert!(disk.mux_enabled(), "a live new server negotiates mux on");
+        assert!(disk.submits_async());
     }
 
     #[test]
     fn batch_get_roundtrip() {
         let server = server();
-        let disk = RemoteDisk::new(server.addr(), RemoteDiskConfig::fast());
+        let disk = RemoteDisk::new(server.addr(), fast());
         for o in 0..3u64 {
             disk.write(o, vec![o as u8; 4]);
         }
@@ -618,7 +1267,7 @@ mod tests {
     #[test]
     fn read_many_coalesces_contiguous_run_into_one_range_rpc() {
         let server = server();
-        let disk = RemoteDisk::new(server.addr(), RemoteDiskConfig::fast());
+        let disk = RemoteDisk::new(server.addr(), fast());
         for o in 0..6u64 {
             disk.write(o, vec![o as u8; 4]);
         }
@@ -638,7 +1287,7 @@ mod tests {
     #[test]
     fn read_many_non_contiguous_uses_batch_get() {
         let server = server();
-        let disk = RemoteDisk::new(server.addr(), RemoteDiskConfig::fast());
+        let disk = RemoteDisk::new(server.addr(), fast());
         for o in 0..8u64 {
             disk.write(o, vec![o as u8]);
         }
@@ -654,7 +1303,7 @@ mod tests {
     #[test]
     fn read_many_matches_per_element_loop() {
         let server = server();
-        let disk = RemoteDisk::new(server.addr(), RemoteDiskConfig::fast());
+        let disk = RemoteDisk::new(server.addr(), fast());
         for o in [0u64, 1, 2, 3, 7] {
             disk.write(o, vec![o as u8; 2]);
         }
@@ -671,14 +1320,37 @@ mod tests {
     }
 
     #[test]
+    fn mux_path_serves_many_concurrent_submissions() {
+        let server = server();
+        let disk = RemoteDisk::new(server.addr(), fast());
+        for o in 0..64u64 {
+            disk.write(o, vec![o as u8; 8]);
+        }
+        // Trigger negotiation, then pile up in-flight submissions on
+        // the one connection before collecting any of them.
+        assert_eq!(disk.read(0), Some(vec![0u8; 8]));
+        assert!(disk.submits_async());
+        let handles: Vec<IoHandle> = (0..64u64).map(|o| disk.submit_read_many(&[o])).collect();
+        for (o, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.wait(), vec![Some(vec![o as u8; 8])], "offset {o}");
+        }
+        let stats = disk.stats().unwrap();
+        let get = |name: &str| stats.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+        assert!(get("serve.mux").unwrap() >= 65, "{stats:?}");
+        assert_eq!(disk.net_stats().unwrap().failed_requests, 0);
+    }
+
+    #[test]
     fn read_many_on_dead_server_is_all_absent() {
         let mut server = server();
-        let disk = RemoteDisk::new(server.addr(), RemoteDiskConfig::fast());
+        let disk = RemoteDisk::new(server.addr(), fast());
         disk.write(0, vec![1]);
         server.kill();
         assert_eq!(disk.read_many(&[0, 1, 2]), vec![None, None, None]);
-        // A transient outage must not permanently disable coalescing.
+        // A transient outage must not permanently disable coalescing —
+        // or multiplexing.
         assert!(disk.range_enabled());
+        assert!(!disk.mux_enabled(), "outage leaves mux undetermined");
     }
 
     #[test]
@@ -689,10 +1361,7 @@ mod tests {
             ShardServer::spawn(Arc::clone(&backend) as Arc<dyn DiskBackend>, "127.0.0.1:0")
                 .unwrap();
         let key = HashKey::DEFAULT.derive(0x454C_454D, 7);
-        let disk = RemoteDisk::new(
-            server.addr(),
-            RemoteDiskConfig::fast().with_integrity(key.k0, key.k1),
-        );
+        let disk = RemoteDisk::new(server.addr(), fast().with_integrity(key.k0, key.k1));
         for off in 0..4u64 {
             let mut cell = vec![off as u8; 8];
             append_footer(&key, off, &mut cell);
@@ -720,7 +1389,8 @@ mod tests {
         // A hand-rolled shard that predates `RangeChecked`: it drops the
         // connection on the unknown opcode (exactly what an old
         // `read_request` does with an unparseable frame) but serves
-        // `BatchGet`/`GetRange` fine.
+        // `BatchGet`/`GetRange` fine. It answers a `Mux` probe with a
+        // plain error, so mux negotiation latches off first.
         let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let backend = Arc::new(MemDisk::new());
@@ -755,7 +1425,7 @@ mod tests {
             }
         });
 
-        let disk = RemoteDisk::new(addr, RemoteDiskConfig::fast().with_integrity(1, 2));
+        let disk = RemoteDisk::new(addr, fast().with_integrity(1, 2));
         assert!(disk.checked_enabled());
         let want: Vec<Option<Vec<u8>>> = (0..4u64).map(|o| Some(vec![o as u8; 4])).collect();
         assert_eq!(disk.read_many(&[0, 1, 2, 3]), want);
@@ -764,8 +1434,95 @@ mod tests {
             "an answering but checked-less shard demotes the op permanently"
         );
         assert!(disk.range_enabled(), "range negotiation is independent");
+        assert!(!disk.mux_enabled(), "plain probe answer demotes mux");
         // Subsequent batches skip the checked attempt entirely.
         assert_eq!(disk.read_many(&[0, 1, 2, 3]), want);
+    }
+
+    #[test]
+    fn old_server_dropping_mux_frames_latches_mux_off() {
+        // A pre-mux shard as it actually behaves: an unknown opcode is
+        // an unparseable frame, so the connection is dropped. The
+        // legacy path answers fine — the client must latch mux off
+        // after one probe and never ask again.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let probes = Arc::new(AtomicU64::new(0));
+        let backend = Arc::new(MemDisk::new());
+        backend.write(0, vec![9; 4]);
+        let serve_backend = Arc::clone(&backend);
+        let serve_probes = Arc::clone(&probes);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { return };
+                let disk = Arc::clone(&serve_backend);
+                let probes = Arc::clone(&serve_probes);
+                std::thread::spawn(move || loop {
+                    let req = match crate::protocol::read_request(&mut stream) {
+                        Ok(r) => r,
+                        Err(_) => return,
+                    };
+                    let resp = match req {
+                        Request::Mux { .. } => {
+                            probes.fetch_add(1, Ordering::Relaxed);
+                            return; // old server: drop on unknown opcode
+                        }
+                        Request::Health => Response::Health {
+                            elements: disk.len() as u64,
+                        },
+                        Request::GetElement { offset } => Response::Element(disk.read(offset)),
+                        Request::BatchGet { offsets } => Response::Batch(disk.read_many(&offsets)),
+                        Request::GetRange { offset, count } => {
+                            let offsets: Vec<u64> =
+                                (0..u64::from(count)).map(|i| offset + i).collect();
+                            Response::Range(disk.read_many(&offsets))
+                        }
+                        _ => Response::Error("unsupported".into()),
+                    };
+                    if crate::protocol::write_response(&mut stream, &resp).is_err() {
+                        return;
+                    }
+                });
+            }
+        });
+
+        let disk = RemoteDisk::new(addr, fast());
+        assert_eq!(disk.read(0), Some(vec![9; 4]));
+        assert!(!disk.mux_enabled());
+        assert!(!disk.submits_async());
+        assert_eq!(disk.read(0), Some(vec![9; 4]));
+        assert_eq!(
+            probes.load(Ordering::Relaxed),
+            1,
+            "exactly one probe, then never again"
+        );
+        assert!(
+            disk.net_stats().unwrap().conns_discarded >= 1,
+            "the dropped probe connection is accounted"
+        );
+    }
+
+    #[test]
+    fn legacy_client_against_new_server_stays_plain() {
+        // Old-client wire compatibility: a client configured like a
+        // pre-mux build (no multiplex) must work against a new server
+        // without ever emitting the new opcode.
+        let server = server();
+        let cfg = RemoteDiskConfig::builder()
+            .low_latency()
+            .multiplex(false)
+            .build();
+        let disk = RemoteDisk::new(server.addr(), cfg);
+        for o in 0..4u64 {
+            disk.write(o, vec![o as u8; 4]);
+        }
+        let want: Vec<Option<Vec<u8>>> = (0..4u64).map(|o| Some(vec![o as u8; 4])).collect();
+        assert_eq!(disk.read_many(&[0, 1, 2, 3]), want);
+        assert!(!disk.submits_async());
+        let stats = disk.stats().unwrap();
+        let get = |name: &str| stats.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+        assert_eq!(get("serve.mux"), Some(0), "no mux frames on the wire");
+        assert_eq!(get("serve.range"), Some(1));
     }
 
     #[test]
@@ -781,7 +1538,7 @@ mod tests {
     #[test]
     fn fault_injection_via_backend_trait() {
         let server = server();
-        let disk = RemoteDisk::new(server.addr(), RemoteDiskConfig::fast());
+        let disk = RemoteDisk::new(server.addr(), fast());
         disk.write(0, vec![9]);
         disk.fail();
         assert_eq!(disk.read(0), None);
@@ -795,8 +1552,8 @@ mod tests {
     #[test]
     fn two_clients_share_one_shard() {
         let server = server();
-        let a = RemoteDisk::new(server.addr(), RemoteDiskConfig::fast());
-        let b = RemoteDisk::new(server.addr(), RemoteDiskConfig::fast());
+        let a = RemoteDisk::new(server.addr(), fast());
+        let b = RemoteDisk::new(server.addr(), fast());
         a.write(0, vec![5; 8]);
         assert_eq!(b.read(0), Some(vec![5; 8]));
         b.fail();
@@ -807,25 +1564,47 @@ mod tests {
     #[test]
     fn dead_server_reads_as_absent_with_counters() {
         let mut server = server();
-        let disk = RemoteDisk::new(server.addr(), RemoteDiskConfig::fast());
+        let disk = RemoteDisk::new(server.addr(), fast());
         disk.write(0, vec![1]);
         assert_eq!(disk.read(0), Some(vec![1]));
+        assert!(disk.mux_enabled());
         server.kill();
         let t0 = std::time::Instant::now();
         assert_eq!(disk.read(0), None, "dead shard reads as absent");
-        // Bounded failure detection: fast() config allows ~(1+1) × 200ms
-        // plus backoff; it must not hang for seconds.
+        // Bounded failure detection: the low-latency profile allows
+        // ~(1+1) × 200ms plus backoff; it must not hang for seconds.
         assert!(t0.elapsed() < Duration::from_secs(2));
         let stats = disk.net_stats().unwrap();
         assert!(stats.failed_requests >= 1, "{stats:?}");
         assert!(stats.retries >= 1, "{stats:?}");
+        assert!(stats.conns_discarded >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn in_flight_mux_submissions_complete_when_server_dies() {
+        let mut server = server();
+        let disk = RemoteDisk::new(server.addr(), fast());
+        disk.write(0, vec![7; 4]);
+        assert_eq!(disk.read(0), Some(vec![7; 4]));
+        assert!(disk.submits_async());
+        // Make the server a straggler so submissions are still in
+        // flight when it dies mid-request.
+        disk.inject(Fault::DelayMs(150)).unwrap();
+        let handles: Vec<IoHandle> = (0..8u64).map(|_| disk.submit_read_many(&[0])).collect();
+        server.kill();
+        // Every handle must complete (all-absent), not hang: the demux
+        // thread fails outstanding requests when the connection dies.
+        for h in handles {
+            assert_eq!(h.wait(), vec![None]);
+        }
+        assert!(disk.net_stats().unwrap().conns_discarded >= 1);
     }
 
     #[test]
     fn unreachable_address_fails_fast_and_counts() {
         // A port from the ephemeral range with no listener.
         let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
-        let disk = RemoteDisk::new(addr, RemoteDiskConfig::fast());
+        let disk = RemoteDisk::new(addr, fast());
         assert_eq!(disk.read(0), None);
         assert!(disk.net_stats().unwrap().failed_requests >= 1);
     }
@@ -834,7 +1613,7 @@ mod tests {
     fn retry_recovers_after_restart_on_same_port() {
         let mut server = server();
         let addr = server.addr();
-        let disk = RemoteDisk::new(addr, RemoteDiskConfig::fast());
+        let disk = RemoteDisk::new(addr, fast());
         disk.write(0, vec![3]);
         server.kill();
         assert_eq!(disk.read(0), None);
@@ -848,14 +1627,18 @@ mod tests {
         disk.write(1, vec![4]);
         assert_eq!(disk.read(1), Some(vec![4]));
         assert!(disk.net_stats().unwrap().reconnects >= 1);
+        assert!(disk.mux_enabled(), "mux comes back with the server");
     }
 
     #[test]
     fn hedged_read_beats_straggler() {
         let server = server();
-        let mut cfg = RemoteDiskConfig::fast();
-        cfg.request_timeout = Duration::from_secs(2);
-        cfg.hedge_after = Some(Duration::from_millis(30));
+        let cfg = RemoteDiskConfig::builder()
+            .low_latency()
+            .request_timeout(Duration::from_secs(2))
+            .hedge_after(Some(Duration::from_millis(30)))
+            .multiplex(false) // hedging is a legacy-path strategy
+            .build();
         let disk = RemoteDisk::new(server.addr(), cfg);
         disk.write(0, vec![7; 16]);
 
@@ -873,8 +1656,11 @@ mod tests {
     #[test]
     fn fast_reads_do_not_hedge() {
         let server = server();
-        let mut cfg = RemoteDiskConfig::fast();
-        cfg.hedge_after = Some(Duration::from_millis(150));
+        let cfg = RemoteDiskConfig::builder()
+            .low_latency()
+            .hedge_after(Some(Duration::from_millis(150)))
+            .multiplex(false)
+            .build();
         let disk = RemoteDisk::new(server.addr(), cfg);
         disk.write(0, vec![1]);
         for _ in 0..20 {
@@ -886,7 +1672,7 @@ mod tests {
     #[test]
     fn request_latency_histogram_counts_data_requests() {
         let server = server();
-        let disk = RemoteDisk::new(server.addr(), RemoteDiskConfig::fast());
+        let disk = RemoteDisk::new(server.addr(), fast());
         disk.write(0, vec![1; 8]);
         for _ in 0..5 {
             assert_eq!(disk.read(0), Some(vec![1; 8]));
@@ -900,7 +1686,7 @@ mod tests {
     #[test]
     fn stats_rpc_reports_server_side_counters() {
         let server = server();
-        let disk = RemoteDisk::new(server.addr(), RemoteDiskConfig::fast());
+        let disk = RemoteDisk::new(server.addr(), fast());
         disk.write(0, vec![2; 4]);
         for _ in 0..3 {
             disk.read(0);
@@ -909,7 +1695,9 @@ mod tests {
         let get = |name: &str| stats.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
         assert_eq!(get("serve.get"), Some(3));
         assert_eq!(get("serve.put"), Some(1));
-        assert_eq!(get("serve_us.count"), Some(4));
+        // 1 put + the Mux(Health) negotiation probe + 3 gets.
+        assert_eq!(get("serve_us.count"), Some(5));
+        assert_eq!(get("serve.mux"), Some(4), "probe + 3 mux'd reads");
         // The same registry is visible locally on the server handle.
         let local = server.recorder().snapshot();
         assert_eq!(local.counters.get("serve.get"), Some(&3));
@@ -918,9 +1706,10 @@ mod tests {
     #[test]
     fn backoff_grows_and_respects_cap() {
         let server = server();
-        let mut cfg = RemoteDiskConfig::fast();
-        cfg.backoff_base = Duration::from_millis(8);
-        cfg.backoff_cap = Duration::from_millis(20);
+        let cfg = RemoteDiskConfig::builder()
+            .low_latency()
+            .backoff(Duration::from_millis(8), Duration::from_millis(20))
+            .build();
         let disk = RemoteDisk::new(server.addr(), cfg);
         // attempt 1: 8ms × jitter ∈ [4, 12); attempt 4+: capped 20 × jitter < 30.
         for attempt in 1..=8 {

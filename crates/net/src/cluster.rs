@@ -45,7 +45,7 @@ impl Cluster {
     /// # Errors
     /// Socket bind errors.
     pub fn spawn(n: usize) -> std::io::Result<Self> {
-        Self::spawn_with(n, &RemoteDiskConfig::fast())
+        Self::spawn_with(n, &RemoteDiskConfig::builder().low_latency().build())
     }
 
     /// Boot one server per provided backend (e.g. `FileDisk`s for a

@@ -10,10 +10,13 @@
 //! * [`protocol`] — versioned, length-prefixed binary framing with
 //!   `GetElement` / `PutElement` / `BatchGet` / `Health` / `InjectFault`.
 //! * [`server`] — [`ShardServer`], a thread-per-connection server
-//!   wrapping a `DiskBackend`.
-//! * [`client`] — [`RemoteDisk`], connection-pooled client with
-//!   per-request timeouts, bounded retries with exponential backoff and
-//!   jitter, and optional hedged reads.
+//!   wrapping a `DiskBackend`, with a per-connection demux pool for
+//!   multiplexed (`Mux`-framed) requests.
+//! * [`client`] — [`RemoteDisk`]: multiplexed by default (one
+//!   connection per shard carrying many id-tagged in-flight requests,
+//!   negotiated with old-server fallback), with a pooled blocking path
+//!   behind it carrying per-request timeouts, bounded retries with
+//!   exponential backoff and jitter, and optional hedged reads.
 //! * [`cluster`] — [`Cluster`], an n-node loopback harness for tests,
 //!   benches, and the CLI.
 //!
@@ -36,6 +39,8 @@
 //! cluster.kill(0);
 //! assert!(cluster.backends()[0].read(0).is_none());
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod client;
 pub mod cluster;

@@ -17,6 +17,14 @@
 //! so the server verifies each element's checksum footer before
 //! shipping it, answering with a per-element verdict). Both range ops
 //! are additive: old servers reject the opcode and clients fall back.
+//!
+//! A ninth operation, `Mux`, wraps any other request together with a
+//! client-chosen 64-bit request id; the matching [`Response::Mux`]
+//! echoes the id, letting a client keep many requests in flight over
+//! **one** connection and match completions as they land in any order.
+//! Like the range ops it is additive in version 1: old servers reject
+//! (and drop the connection on) the opcode, and clients latch back to
+//! the pooled one-request-per-connection discipline.
 
 use std::io::{Read, Write};
 
@@ -153,6 +161,18 @@ pub enum Request {
     InjectFault(Fault),
     /// Dump the server's metrics registry.
     Stats,
+    /// Any other request wrapped with a client-chosen id, for keeping
+    /// many requests in flight over one connection. The server answers
+    /// with [`Response::Mux`] carrying the same id; answers may arrive
+    /// in any order. Nesting a `Mux` inside a `Mux` is a protocol
+    /// error. Additive in protocol version 1: servers that predate it
+    /// reject the opcode and clients fall back to pooled connections.
+    Mux {
+        /// Client-chosen request id, echoed by the response.
+        id: u64,
+        /// The wrapped request.
+        inner: Box<Request>,
+    },
 }
 
 /// One element of a [`Response::Checked`] — the server's per-element
@@ -200,6 +220,14 @@ pub enum Response {
     Stats(Vec<(String, u64)>),
     /// Server-side failure.
     Error(String),
+    /// The answer to a [`Request::Mux`]: the wrapped response plus the
+    /// request's id, so the client can match completions out of order.
+    Mux {
+        /// The id of the request this answers.
+        id: u64,
+        /// The wrapped response.
+        inner: Box<Response>,
+    },
 }
 
 const OP_GET: u8 = 1;
@@ -210,6 +238,7 @@ const OP_INJECT: u8 = 5;
 const OP_STATS: u8 = 6;
 const OP_GET_RANGE: u8 = 7;
 const OP_RANGE_CHECKED: u8 = 8;
+const OP_MUX: u8 = 9;
 
 const RESP_ELEMENT: u8 = 129;
 const RESP_PUT: u8 = 130;
@@ -219,6 +248,7 @@ const RESP_FAULT: u8 = 133;
 const RESP_STATS: u8 = 134;
 const RESP_RANGE: u8 = 135;
 const RESP_CHECKED: u8 = 136;
+const RESP_MUX: u8 = 137;
 const RESP_ERROR: u8 = 255;
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -267,6 +297,13 @@ impl<'a> Cursor<'a> {
             Err(NetError::Protocol("trailing bytes in payload".into()))
         }
     }
+
+    /// Everything not yet consumed (for wrapped inner payloads).
+    fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        s
+    }
 }
 
 /// `Some(bytes)` ↔ `[1][len:u32][bytes]`, `None` ↔ `[0]`.
@@ -303,6 +340,7 @@ impl Request {
             Request::Health => OP_HEALTH,
             Request::InjectFault(_) => OP_INJECT,
             Request::Stats => OP_STATS,
+            Request::Mux { .. } => OP_MUX,
         }
     }
 
@@ -337,6 +375,12 @@ impl Request {
                 put_u64(&mut out, *k1);
             }
             Request::Health | Request::Stats => {}
+            Request::Mux { id, inner } => {
+                // [id:u64][inner opcode:u8][inner payload].
+                put_u64(&mut out, *id);
+                out.push(inner.opcode());
+                out.extend_from_slice(&inner.payload());
+            }
             Request::InjectFault(fault) => match fault {
                 Fault::Fail => out.push(0),
                 Fault::Heal => out.push(1),
@@ -380,6 +424,18 @@ impl Request {
             },
             OP_HEALTH => Request::Health,
             OP_STATS => Request::Stats,
+            OP_MUX => {
+                let id = c.u64()?;
+                let op = c.u8()?;
+                if op == OP_MUX {
+                    return Err(NetError::Protocol("nested mux request".into()));
+                }
+                let inner = Request::decode(op, c.rest())?;
+                Request::Mux {
+                    id,
+                    inner: Box::new(inner),
+                }
+            }
             OP_INJECT => {
                 let fault = match c.u8()? {
                     0 => Fault::Fail,
@@ -409,6 +465,7 @@ impl Response {
             Response::FaultInjected => RESP_FAULT,
             Response::Stats(_) => RESP_STATS,
             Response::Error(_) => RESP_ERROR,
+            Response::Mux { .. } => RESP_MUX,
         }
     }
 
@@ -469,6 +526,12 @@ impl Response {
                 }
             }
             Response::Error(msg) => out.extend_from_slice(msg.as_bytes()),
+            Response::Mux { id, inner } => {
+                // [id:u64][inner opcode:u8][inner payload].
+                put_u64(&mut out, *id);
+                out.push(inner.opcode());
+                out.extend_from_slice(&inner.payload());
+            }
         }
         out
     }
@@ -539,6 +602,18 @@ impl Response {
                 }
                 Response::Stats(pairs)
             }
+            RESP_MUX => {
+                let id = c.u64()?;
+                let op = c.u8()?;
+                if op == RESP_MUX {
+                    return Err(NetError::Protocol("nested mux response".into()));
+                }
+                let inner = Response::decode(op, c.rest())?;
+                Response::Mux {
+                    id,
+                    inner: Box::new(inner),
+                }
+            }
             RESP_ERROR => {
                 let msg = String::from_utf8_lossy(c.take(payload.len())?).into_owned();
                 return Ok(Response::Error(msg));
@@ -603,15 +678,18 @@ pub enum PolledRequest {
     Closed,
 }
 
-/// Read one request frame from a socket with a short read timeout,
-/// without ever losing sync: a timeout *between* frames reports
-/// [`PolledRequest::Idle`], while a timeout *inside* a partially read
-/// frame keeps polling (checking `stop` each round) until the rest of
-/// the frame arrives.
-pub fn read_request_polling(
-    r: &mut impl Read,
-    stop: &std::sync::atomic::AtomicBool,
-) -> PolledRequest {
+/// Outcome of one polling read attempt for a raw frame.
+enum PolledFrame {
+    Frame(u8, Vec<u8>),
+    Idle,
+    Closed,
+}
+
+/// Read one raw frame from a socket with a short read timeout, without
+/// ever losing sync: a timeout *between* frames reports `Idle`, while a
+/// timeout *inside* a partially read frame keeps polling (checking
+/// `stop` each round) until the rest of the frame arrives.
+fn poll_frame(r: &mut impl Read, stop: &std::sync::atomic::AtomicBool) -> PolledFrame {
     use std::sync::atomic::Ordering;
 
     fn fill(
@@ -648,24 +726,70 @@ pub fn read_request_polling(
 
     let mut header = [0u8; 10];
     match fill(r, &mut header, stop, true) {
-        Ok(false) => return PolledRequest::Idle,
+        Ok(false) => return PolledFrame::Idle,
         Ok(true) => {}
-        Err(()) => return PolledRequest::Closed,
+        Err(()) => return PolledFrame::Closed,
     }
     if header[..4] != MAGIC || header[4] != VERSION {
-        return PolledRequest::Closed;
+        return PolledFrame::Closed;
     }
     let len = u32::from_le_bytes(header[6..10].try_into().unwrap());
     if len > MAX_PAYLOAD {
-        return PolledRequest::Closed;
+        return PolledFrame::Closed;
     }
     let mut payload = vec![0u8; len as usize];
     if fill(r, &mut payload, stop, false) != Ok(true) {
-        return PolledRequest::Closed;
+        return PolledFrame::Closed;
     }
-    match Request::decode(header[5], &payload) {
-        Ok(req) => PolledRequest::Frame(req),
-        Err(_) => PolledRequest::Closed,
+    PolledFrame::Frame(header[5], payload)
+}
+
+/// Read one request frame from a socket with a short read timeout,
+/// without ever losing sync: a timeout *between* frames reports
+/// [`PolledRequest::Idle`], while a timeout *inside* a partially read
+/// frame keeps polling (checking `stop` each round) until the rest of
+/// the frame arrives.
+pub fn read_request_polling(
+    r: &mut impl Read,
+    stop: &std::sync::atomic::AtomicBool,
+) -> PolledRequest {
+    match poll_frame(r, stop) {
+        PolledFrame::Idle => PolledRequest::Idle,
+        PolledFrame::Closed => PolledRequest::Closed,
+        PolledFrame::Frame(opcode, payload) => match Request::decode(opcode, &payload) {
+            Ok(req) => PolledRequest::Frame(req),
+            Err(_) => PolledRequest::Closed,
+        },
+    }
+}
+
+/// Outcome of one polling read attempt on a multiplexed client
+/// connection whose socket has a short read timeout.
+#[derive(Debug)]
+pub enum PolledResponse {
+    /// A complete, well-formed response frame.
+    Frame(Response),
+    /// The timeout elapsed with no frame started — poll again (and
+    /// sweep request deadlines).
+    Idle,
+    /// Peer hung up, the stop flag was raised, or the stream is garbage.
+    Closed,
+}
+
+/// Read one response frame from a socket with a short read timeout —
+/// the demux side of a multiplexed connection. Same sync discipline as
+/// [`read_request_polling`]: idle only ever between frames.
+pub fn read_response_polling(
+    r: &mut impl Read,
+    stop: &std::sync::atomic::AtomicBool,
+) -> PolledResponse {
+    match poll_frame(r, stop) {
+        PolledFrame::Idle => PolledResponse::Idle,
+        PolledFrame::Closed => PolledResponse::Closed,
+        PolledFrame::Frame(opcode, payload) => match Response::decode(opcode, &payload) {
+            Ok(resp) => PolledResponse::Frame(resp),
+            Err(_) => PolledResponse::Closed,
+        },
     }
 }
 
@@ -761,6 +885,57 @@ mod tests {
         for fault in [Fault::Fail, Fault::Heal, Fault::Wipe, Fault::DelayMs(250)] {
             roundtrip_request(Request::InjectFault(fault));
         }
+    }
+
+    #[test]
+    fn mux_request_roundtrips() {
+        roundtrip_request(Request::Mux {
+            id: 0,
+            inner: Box::new(Request::Health),
+        });
+        roundtrip_request(Request::Mux {
+            id: u64::MAX,
+            inner: Box::new(Request::RangeChecked {
+                offset: 1 << 33,
+                count: 512,
+                k0: 7,
+                k1: u64::MAX,
+            }),
+        });
+        roundtrip_request(Request::Mux {
+            id: 42,
+            inner: Box::new(Request::PutElement {
+                offset: 3,
+                bytes: vec![1, 2, 3],
+            }),
+        });
+    }
+
+    #[test]
+    fn mux_response_roundtrips() {
+        roundtrip_response(Response::Mux {
+            id: 9,
+            inner: Box::new(Response::Range(vec![Some(vec![5; 16]), None])),
+        });
+        roundtrip_response(Response::Mux {
+            id: 1 << 50,
+            inner: Box::new(Response::Error("shard offline".into())),
+        });
+    }
+
+    #[test]
+    fn nested_mux_rejected() {
+        let req = Request::Mux {
+            id: 1,
+            inner: Box::new(Request::Mux {
+                id: 2,
+                inner: Box::new(Request::Health),
+            }),
+        };
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).unwrap();
+        let err = read_request(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("nested mux"), "{err}");
     }
 
     #[test]

@@ -1,13 +1,19 @@
 //! [`ShardServer`]: serve any [`DiskBackend`] over TCP.
 //!
 //! Thread-per-connection, with short socket timeouts so every thread
-//! notices the stop flag quickly. [`ShardServer::kill`] models a node
-//! crash: the accept loop and all connection handlers exit without
-//! draining in-flight requests, so clients see resets/timeouts — the
-//! stimulus the store's degraded-read fallback exists for.
+//! notices the stop flag quickly. A connection that speaks the
+//! multiplexed framing ([`Request::Mux`]) additionally gets a small
+//! demux worker pool: wrapped requests are handled concurrently and
+//! their responses written back, id-tagged, in completion order through
+//! one shared writer — so one connection can carry many in-flight
+//! requests. [`ShardServer::kill`] models a node crash: the accept loop
+//! and all connection handlers exit without draining in-flight
+//! requests, so clients see resets/timeouts — the stimulus the store's
+//! degraded-read fallback exists for.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -27,6 +33,16 @@ const POLL: Duration = Duration::from_millis(20);
 /// Longest `GetRange` run a server will serve (element count).
 const MAX_RANGE: u32 = 1 << 20;
 
+/// Demux workers per multiplexed connection: how many wrapped requests
+/// one connection services concurrently. Small and fixed — the client
+/// may queue thousands of submissions, but per-connection handler
+/// parallelism beyond a few threads only buys writer-lock contention.
+const MUX_WORKERS: usize = 4;
+
+/// Bound on a blocked socket write, so a stalled client cannot wedge a
+/// handler (and therefore `kill`) forever.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
 /// Pre-resolved metric handles so the request loop never touches the
 /// registry maps.
 struct ServerMetrics {
@@ -39,6 +55,7 @@ struct ServerMetrics {
     health: Counter,
     inject: Counter,
     stats: Counter,
+    mux: Counter,
     serve_us: Histogram,
 }
 
@@ -54,6 +71,7 @@ impl ServerMetrics {
             health: recorder.counter("serve.health"),
             inject: recorder.counter("serve.inject"),
             stats: recorder.counter("serve.stats"),
+            mux: recorder.counter("serve.mux"),
             serve_us: recorder.histogram("serve_us"),
         }
     }
@@ -68,6 +86,12 @@ impl ServerMetrics {
             Request::Health => self.health.inc(),
             Request::InjectFault(_) => self.inject.inc(),
             Request::Stats => self.stats.inc(),
+            // A mux frame counts its envelope *and* the request inside,
+            // so per-op counters stay comparable across transports.
+            Request::Mux { inner, .. } => {
+                self.mux.inc();
+                self.count(inner);
+            }
         }
     }
 }
@@ -129,10 +153,11 @@ impl ShardServer {
 
     /// The server's metrics registry: per-op counters (`serve.get`,
     /// `serve.put`, `serve.batch`, `serve.range`, `serve.checked`,
-    /// `serve.health`, `serve.inject`, `serve.stats`), the
-    /// `serve.checked_corrupt` count of cells that failed server-side
-    /// footer verification, and the `serve_us` request-service
-    /// histogram.
+    /// `serve.health`, `serve.inject`, `serve.stats`), the `serve.mux`
+    /// count of multiplexed envelopes (each also counts its inner op),
+    /// the `serve.checked_corrupt` count of cells that failed
+    /// server-side footer verification, and the `serve_us`
+    /// request-service histogram.
     /// Remote clients can fetch the same data with [`Request::Stats`].
     pub fn recorder(&self) -> &Recorder {
         &self.shared.recorder
@@ -183,14 +208,113 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
-fn serve_connection(stream: TcpStream, shared: &Shared) {
+/// The writer half of a connection, shared between the inline request
+/// loop and any mux demux workers so id-tagged responses interleave
+/// without tearing frames.
+type SharedWriter = Arc<Mutex<std::io::BufWriter<TcpStream>>>;
+
+/// Count, time, handle, and write one request's response. Returns
+/// `false` if the response could not be written (connection is dead).
+///
+/// A panicking backend (e.g. an element-size mismatch on a file-backed
+/// shard) must surface as a wire-level error the client can count and
+/// report — not kill the connection and masquerade as a network fault.
+fn serve_one(req: &Request, mux_id: Option<u64>, shared: &Shared, writer: &SharedWriter) -> bool {
+    shared.metrics.count(req);
+    let t0 = std::time::Instant::now();
+    let resp = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle(req, shared)))
+        .unwrap_or_else(|payload| Response::Error(panic_message(payload.as_ref())));
+    shared.metrics.serve_us.record_duration(t0.elapsed());
+    let resp = match mux_id {
+        Some(id) => Response::Mux {
+            id,
+            inner: Box::new(resp),
+        },
+        None => resp,
+    };
+    write_response(&mut *writer.lock(), &resp).is_ok()
+}
+
+/// The demux worker pool a connection grows on its first mux frame.
+///
+/// Workers share one receiver: whoever holds the lock blocks in `recv`,
+/// the rest queue on the mutex, so dequeue is serialized but handling —
+/// the expensive part, including injected straggle delays — overlaps up
+/// to [`MUX_WORKERS`] deep. Dropping the pool closes the channel; each
+/// worker drains out and is joined.
+struct MuxPool {
+    tx: Option<Sender<Request>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl MuxPool {
+    fn spawn(shared: &Arc<Shared>, writer: &SharedWriter) -> Self {
+        let (tx, rx) = channel::<Request>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..MUX_WORKERS)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(shared);
+                let writer = Arc::clone(writer);
+                std::thread::spawn(move || mux_worker(&rx, &shared, &writer))
+            })
+            .collect();
+        Self {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    fn submit(&self, req: Request) -> bool {
+        self.tx.as_ref().is_some_and(|tx| tx.send(req).is_ok())
+    }
+}
+
+impl Drop for MuxPool {
+    fn drop(&mut self) {
+        self.tx = None; // close the channel so workers drain and exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn mux_worker(rx: &Mutex<Receiver<Request>>, shared: &Arc<Shared>, writer: &SharedWriter) {
+    loop {
+        // Hold the receiver lock only while dequeuing, never while
+        // handling, so a slow request doesn't starve the pool.
+        let req = match rx.lock().recv() {
+            Ok(req) => req,
+            Err(_) => return, // channel closed: connection loop exited
+        };
+        if shared.stop.load(Ordering::Acquire) {
+            return; // hard kill: abandon the in-flight request
+        }
+        let (id, inner) = match req {
+            Request::Mux { id, inner } => (id, inner),
+            _ => unreachable!("only mux frames are submitted to the pool"),
+        };
+        // The envelope is counted here; `serve_one` counts the inner op
+        // (it only ever sees the unwrapped request).
+        shared.metrics.mux.inc();
+        if !serve_one(&inner, Some(id), shared, writer) {
+            return; // dead socket: stop servicing this connection
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
     let _ = stream.set_read_timeout(Some(POLL));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
     let _ = stream.set_nodelay(true);
     let mut reader = std::io::BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     });
-    let mut writer = std::io::BufWriter::new(stream);
+    let writer: SharedWriter = Arc::new(Mutex::new(std::io::BufWriter::new(stream)));
+    // Spawned lazily on the first mux frame: plain sequential clients
+    // never pay for the pool.
+    let mut mux_pool: Option<MuxPool> = None;
     loop {
         if shared.stop.load(Ordering::Acquire) {
             return; // hard kill: drop the connection mid-stream
@@ -200,17 +324,22 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
             PolledRequest::Idle => continue, // poll tick, check stop
             PolledRequest::Closed => return, // peer gone, kill, or garbage
         };
-        // A panicking backend (e.g. an element-size mismatch on a
-        // file-backed shard) must surface as a wire-level error the
-        // client can count and report — not kill the connection and
-        // masquerade as a network fault.
-        shared.metrics.count(&req);
-        let t0 = std::time::Instant::now();
-        let resp = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle(&req, shared)))
-            .unwrap_or_else(|payload| Response::Error(panic_message(payload.as_ref())));
-        shared.metrics.serve_us.record_duration(t0.elapsed());
-        if write_response(&mut writer, &resp).is_err() {
-            return;
+        match req {
+            // Mux frames fan out to the pool so many can be in flight;
+            // responses come back id-tagged in completion order.
+            req @ Request::Mux { .. } => {
+                let pool = mux_pool.get_or_insert_with(|| MuxPool::spawn(shared, &writer));
+                if !pool.submit(req) {
+                    return;
+                }
+            }
+            // Everything else keeps the one-at-a-time path: response
+            // written before the next frame is read.
+            req => {
+                if !serve_one(&req, None, shared, &writer) {
+                    return;
+                }
+            }
         }
     }
 }
@@ -312,6 +441,10 @@ fn handle(req: &Request, shared: &Shared) -> Response {
             Response::FaultInjected
         }
         Request::Stats => Response::Stats(shared.recorder.snapshot().flatten()),
+        // Unreachable through serve_connection (mux frames are unwrapped
+        // before dispatch) and the decoder rejects nesting, but the match
+        // must be total and the answer must be a wire error, not a panic.
+        Request::Mux { .. } => Response::Error("nested mux not supported".to_string()),
     }
 }
 
@@ -568,8 +701,8 @@ mod tests {
     }
 
     impl DiskBackend for SizeCheckedDisk {
-        fn read(&self, offset: u64) -> Option<Vec<u8>> {
-            self.inner.read(offset)
+        fn submit_read_many(&self, offsets: &[u64]) -> ecfrm_sim::IoHandle {
+            self.inner.submit_read_many(offsets)
         }
         fn write(&self, offset: u64, bytes: Vec<u8>) {
             assert_eq!(bytes.len(), self.element_size, "element size mismatch");
@@ -649,6 +782,99 @@ mod tests {
             write_request(&mut s, &Request::Health).ok();
             assert!(crate::protocol::read_response(&mut s).is_err());
         }
+    }
+
+    #[test]
+    fn mux_frames_pipeline_on_one_connection() {
+        let server = ShardServer::spawn(Arc::new(MemDisk::new()), "127.0.0.1:0").unwrap();
+        let mut c = dial(&server);
+        for o in 0..6u64 {
+            rpc(
+                &mut c,
+                &Request::PutElement {
+                    offset: o,
+                    bytes: vec![o as u8; 4],
+                },
+            );
+        }
+        // Fire a burst of id-tagged reads without waiting for replies,
+        // then collect: every id must come back with its own element,
+        // whatever order the pool finished in.
+        for id in 0..6u64 {
+            write_request(
+                &mut c,
+                &Request::Mux {
+                    id: 100 + id,
+                    inner: Box::new(Request::GetElement { offset: id }),
+                },
+            )
+            .unwrap();
+        }
+        let mut seen = std::collections::BTreeMap::new();
+        for _ in 0..6 {
+            match crate::protocol::read_response(&mut c).unwrap() {
+                Response::Mux { id, inner } => {
+                    seen.insert(id, *inner);
+                }
+                other => panic!("expected Response::Mux, got {other:?}"),
+            }
+        }
+        for id in 0..6u64 {
+            assert_eq!(
+                seen.get(&(100 + id)),
+                Some(&Response::Element(Some(vec![id as u8; 4]))),
+                "id {id}"
+            );
+        }
+        // Envelope and inner op both counted; plain path still works on
+        // the same connection after mux traffic.
+        let snap = server.recorder().snapshot();
+        assert_eq!(snap.counters.get("serve.mux").copied(), Some(6));
+        assert_eq!(snap.counters.get("serve.get").copied(), Some(6));
+        assert_eq!(
+            rpc(&mut c, &Request::Health),
+            Response::Health { elements: 6 }
+        );
+    }
+
+    #[test]
+    fn mux_requests_are_served_concurrently() {
+        let server = ShardServer::spawn(Arc::new(MemDisk::new()), "127.0.0.1:0").unwrap();
+        let mut c = dial(&server);
+        rpc(
+            &mut c,
+            &Request::PutElement {
+                offset: 0,
+                bytes: vec![1],
+            },
+        );
+        rpc(&mut c, &Request::InjectFault(Fault::DelayMs(80)));
+        // Four delayed reads in flight at once: if the pool overlaps
+        // them they finish in ~1 delay, not 4 back-to-back.
+        let t0 = std::time::Instant::now();
+        for id in 0..4u64 {
+            write_request(
+                &mut c,
+                &Request::Mux {
+                    id,
+                    inner: Box::new(Request::GetElement { offset: 0 }),
+                },
+            )
+            .unwrap();
+        }
+        for _ in 0..4 {
+            match crate::protocol::read_response(&mut c).unwrap() {
+                Response::Mux { inner, .. } => {
+                    assert_eq!(*inner, Response::Element(Some(vec![1])));
+                }
+                other => panic!("expected Response::Mux, got {other:?}"),
+            }
+        }
+        assert!(
+            t0.elapsed() < Duration::from_millis(240),
+            "4×80 ms requests took {:?} — pool is not overlapping them",
+            t0.elapsed()
+        );
     }
 
     #[test]

@@ -145,8 +145,12 @@ fn get_range_partial_failure_still_decodes() {
 #[test]
 fn old_client_without_get_range_talks_to_new_server() {
     let scheme = rs_scheme();
-    let mut cfg = RemoteDiskConfig::fast();
-    cfg.use_range = false; // a client built before opcode 7 existed
+    // A client built before opcode 7 (or mux) existed.
+    let cfg = RemoteDiskConfig::builder()
+        .low_latency()
+        .use_range(false)
+        .multiplex(false)
+        .build();
     let cluster = Cluster::spawn_with(scheme.n_disks(), &cfg).unwrap();
     let store = store_over(&cluster, scheme.clone());
 
@@ -213,7 +217,7 @@ fn new_client_falls_back_to_batch_get_on_old_server() {
         data.insert(o, vec![o as u8 + 1; 16]);
     }
     let addr = spawn_old_server(data.clone());
-    let disk = RemoteDisk::new(addr, RemoteDiskConfig::fast());
+    let disk = RemoteDisk::new(addr, RemoteDiskConfig::builder().low_latency().build());
     assert!(disk.range_enabled());
 
     // A contiguous run tempts the client into GetRange; the old server

@@ -124,9 +124,12 @@ fn fail_disk_routes_fault_injection_over_the_wire() {
 #[test]
 fn hedged_reads_mask_a_straggler_shard() {
     let scheme = lrc_scheme();
-    let mut cfg = RemoteDiskConfig::fast();
-    cfg.request_timeout = Duration::from_secs(2);
-    cfg.hedge_after = Some(Duration::from_millis(40));
+    let cfg = RemoteDiskConfig::builder()
+        .low_latency()
+        .request_timeout(Duration::from_secs(2))
+        .hedge_after(Some(Duration::from_millis(40)))
+        .multiplex(false) // hedging is a legacy-path tail-latency tool
+        .build();
     let cluster = Cluster::spawn_with(scheme.n_disks(), &cfg).unwrap();
     let store = store_over(&cluster, scheme);
 
@@ -163,7 +166,10 @@ fn file_backed_cluster_roundtrips() {
     // Ship the store's integrity key so contiguous runs go out as
     // `RangeChecked` and shards verify footers at the source.
     let key = ecfrm_integrity::HashKey::DEFAULT;
-    let cfg = RemoteDiskConfig::fast().with_integrity(key.k0, key.k1);
+    let cfg = RemoteDiskConfig::builder()
+        .low_latency()
+        .integrity_key(key.k0, key.k1)
+        .build();
     let cluster = Cluster::spawn_over(backends, &cfg).unwrap();
     let store = store_over(&cluster, scheme);
 

@@ -29,6 +29,8 @@
 //! disk client increments — live here too, re-exported by `ecfrm-sim`
 //! for compatibility with their original home.
 
+#![warn(missing_docs)]
+
 pub mod board;
 pub mod hist;
 pub mod json;

@@ -25,6 +25,9 @@ pub struct NetCounters {
     pub reconnects: AtomicU64,
     /// Requests that exhausted every retry and returned failure.
     pub failed_requests: AtomicU64,
+    /// Connections dropped instead of being returned for reuse, because
+    /// an error or timeout left their framing state unknown.
+    pub conns_discarded: AtomicU64,
 }
 
 impl NetCounters {
@@ -42,6 +45,7 @@ impl NetCounters {
             timeouts: self.timeouts.load(Ordering::Relaxed),
             reconnects: self.reconnects.load(Ordering::Relaxed),
             failed_requests: self.failed_requests.load(Ordering::Relaxed),
+            conns_discarded: self.conns_discarded.load(Ordering::Relaxed),
         }
     }
 }
@@ -62,6 +66,9 @@ pub struct NetStats {
     pub reconnects: u64,
     /// Requests that exhausted every retry and returned failure.
     pub failed_requests: u64,
+    /// Connections dropped instead of being returned for reuse, because
+    /// an error or timeout left their framing state unknown.
+    pub conns_discarded: u64,
 }
 
 impl NetStats {
@@ -79,6 +86,7 @@ impl NetStats {
             timeouts: self.timeouts + other.timeouts,
             reconnects: self.reconnects + other.reconnects,
             failed_requests: self.failed_requests + other.failed_requests,
+            conns_discarded: self.conns_discarded + other.conns_discarded,
         }
     }
 
@@ -92,6 +100,7 @@ impl NetStats {
             timeouts: self.timeouts.saturating_sub(earlier.timeouts),
             reconnects: self.reconnects.saturating_sub(earlier.reconnects),
             failed_requests: self.failed_requests.saturating_sub(earlier.failed_requests),
+            conns_discarded: self.conns_discarded.saturating_sub(earlier.conns_discarded),
         }
     }
 
@@ -109,6 +118,7 @@ impl NetStats {
             ("net.timeouts", self.timeouts),
             ("net.reconnects", self.reconnects),
             ("net.failed_requests", self.failed_requests),
+            ("net.conns_discarded", self.conns_discarded),
         ] {
             if v > 0 {
                 recorder.counter(name).add(v);

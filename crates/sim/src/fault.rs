@@ -169,20 +169,13 @@ impl FaultyDisk {
 }
 
 impl DiskBackend for FaultyDisk {
-    fn read(&self, offset: u64) -> Option<Vec<u8>> {
-        match self.tick(1) {
-            Some(FaultKind::Kill) => None,
-            Some(FaultKind::Delay(d)) => {
-                std::thread::sleep(d);
-                self.inner.read(offset)
-            }
-            Some(FaultKind::FlipCorrupt) => Self::corrupt(offset, self.inner.read(offset)),
-            None => self.inner.read(offset),
-        }
-    }
-
-    fn read_many(&self, offsets: &[u64]) -> Vec<Option<Vec<u8>>> {
-        match self.tick(offsets.len() as u64) {
+    /// One vectored entry point covers the whole read surface: the
+    /// per-element `read` shim ticks the fuse by one through here, a
+    /// vectored batch ticks it by its length. Served inline (the fault
+    /// decision and any delay happen on the servicing thread), so a
+    /// wrapped blocking backend keeps its timing behaviour.
+    fn submit_read_many(&self, offsets: &[u64]) -> crate::reactor::IoHandle {
+        let results = match self.tick(offsets.len() as u64) {
             Some(FaultKind::Kill) => vec![None; offsets.len()],
             Some(FaultKind::Delay(d)) => {
                 std::thread::sleep(d);
@@ -196,7 +189,8 @@ impl DiskBackend for FaultyDisk {
                 .map(|(bytes, &off)| Self::corrupt(off, bytes))
                 .collect(),
             None => self.inner.read_many(offsets),
-        }
+        };
+        crate::reactor::IoHandle::ready(results)
     }
 
     fn write(&self, offset: u64, bytes: Vec<u8>) {

@@ -84,30 +84,10 @@ impl FileDisk {
     pub fn path(&self) -> &Path {
         &self.path
     }
-}
 
-impl DiskBackend for FileDisk {
-    fn read(&self, offset: u64) -> Option<Vec<u8>> {
-        if self.failed.load(Ordering::Acquire) {
-            return None;
-        }
-        if !self.present.lock().contains(&offset) {
-            return None;
-        }
-        let mut file = self.file.lock();
-        let mut buf = vec![0u8; self.element_size];
-        file.seek(SeekFrom::Start(offset * self.element_size as u64))
-            .ok()?;
-        file.read_exact(&mut buf).ok()?;
-        Some(buf)
-    }
-
-    /// Serve a whole batch in one pass: present offsets are sorted and
-    /// grouped into maximal sequential runs, each run served with one
-    /// seek followed by sequential reads — under EC-FRM's sequential
-    /// layout a stripe's slice of this disk usually collapses to a
-    /// single run.
-    fn read_many(&self, offsets: &[u64]) -> Vec<Option<Vec<u8>>> {
+    /// The sorted-run vectored read: present offsets sorted, maximal
+    /// sequential runs served with one seek each.
+    fn read_sorted_runs(&self, offsets: &[u64]) -> Vec<Option<Vec<u8>>> {
         if self.failed.load(Ordering::Acquire) {
             return vec![None; offsets.len()];
         }
@@ -141,6 +121,18 @@ impl DiskBackend for FileDisk {
             }
         }
         out
+    }
+}
+
+impl DiskBackend for FileDisk {
+    /// Serve a whole batch in one pass per submission: present offsets
+    /// are sorted and grouped into maximal sequential runs, each run
+    /// served with one seek followed by sequential reads — under
+    /// EC-FRM's sequential layout a stripe's slice of this disk usually
+    /// collapses to a single run. Serviced inline (one reactor-pool
+    /// wakeup drives the whole sorted pass).
+    fn submit_read_many(&self, offsets: &[u64]) -> crate::reactor::IoHandle {
+        crate::reactor::IoHandle::ready(self.read_sorted_runs(offsets))
     }
 
     fn write(&self, offset: u64, bytes: Vec<u8>) {

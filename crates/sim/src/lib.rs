@@ -12,14 +12,17 @@
 //!   layout runs on identical disk parameters, *relative* speeds depend
 //!   only on the load distributions — which is the result being
 //!   reproduced.
-//! * [`ThreadedArray`] — a real concurrent engine: one worker thread per
-//!   disk over in-memory ([`MemDisk`]) element storage, exercising the
-//!   actual parallel dispatch/collect code path a storage system would
+//! * [`ThreadedArray`] — a real concurrent engine: a completion-driven
+//!   reactor ([`reactor`]) submitting one vectored operation per disk
+//!   over in-memory ([`MemDisk`]) element storage, exercising the
+//!   actual parallel submit/complete code path a storage system would
 //!   use.
 //!
 //! Plus the paper's workload generators (§VI-B/C): uniformly random start
 //! element, size 1–20 elements, and (for degraded reads) a uniformly
 //! random failed disk.
+
+#![warn(missing_docs)]
 
 pub mod array;
 pub mod disk;
@@ -28,6 +31,7 @@ pub mod fault;
 pub mod file_disk;
 pub mod metrics;
 pub mod net;
+pub mod reactor;
 pub mod threaded;
 pub mod workload;
 
@@ -38,6 +42,7 @@ pub use fault::{FaultKind, FaultyDisk};
 pub use file_disk::FileDisk;
 pub use metrics::{mean, speed_mb_s, stddev, NetCounters, NetStats, Summary};
 pub use net::{ClusterSim, NetModel};
+pub use reactor::{io_pair, IoCompleter, IoHandle, IoResults, IoSnapshot, Reactor, ReactorStats};
 pub use threaded::{Address, DiskBackend, MemDisk, ThreadedArray};
 pub use workload::{
     DegradedReadWorkload, NormalReadWorkload, ReadRequest, TraceObject, TraceWorkload, Zipf,

@@ -1,0 +1,616 @@
+//! Completion-driven I/O core: submission/completion queues without an
+//! async runtime.
+//!
+//! The engine has two halves:
+//!
+//! * [`IoHandle`] / [`IoCompleter`] — a one-shot completion slot created
+//!   by [`io_pair`]. The submitter keeps the handle; whoever services
+//!   the operation keeps the completer. Completion can be consumed
+//!   blocking ([`IoHandle::wait`]), polled ([`IoHandle::try_take`]), or
+//!   delivered as a callback ([`IoHandle::on_complete`]) the moment the
+//!   result lands — the shape `ThreadedArray`'s streaming reads use so
+//!   decode starts while slower disks are still working.
+//! * [`Reactor`] — a bounded worker pool draining a shared submission
+//!   queue of vectored backend operations. Blocking backends (memory,
+//!   files) are serviced here; backends that are themselves
+//!   completion-driven (a multiplexed remote client) bypass the pool
+//!   entirely and complete their handles from their own demux thread.
+//!
+//! Everything is built from `std` primitives (`Mutex`, `Condvar`,
+//! `VecDeque`) in the `ecfrm-util` spirit: no external async runtime,
+//! no dependency.
+//!
+//! # Lifecycle invariant
+//!
+//! Every submission completes exactly once. If the servicing side dies —
+//! the backend panics, the reactor shuts down with ops still queued, the
+//! remote connection drops — the [`IoCompleter`] is dropped and the slot
+//! completes as all-`None` ("every element absent"), which is the same
+//! failure surface as a failed disk. Waiters therefore never deadlock on
+//! a lost operation.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar};
+use std::thread::JoinHandle;
+
+use ecfrm_util::Mutex;
+
+use crate::threaded::DiskBackend;
+
+/// The payload of a completed vectored read: one entry per submitted
+/// offset, in submission order (`None` = absent or failed element).
+pub type IoResults = Vec<Option<Vec<u8>>>;
+
+/// Callback invoked when a submission completes.
+type IoCallback = Box<dyn FnOnce(IoResults) + Send + 'static>;
+
+struct IoSlot {
+    outcome: Option<IoResults>,
+    callback: Option<IoCallback>,
+}
+
+struct IoShared {
+    slot: Mutex<IoSlot>,
+    cv: Condvar,
+}
+
+/// The submitter's half of a one-shot completion slot: redeem it for the
+/// operation's results by blocking, polling, or registering a callback.
+///
+/// Obtained from [`DiskBackend::submit_read_many`] or [`io_pair`].
+pub struct IoHandle {
+    shared: Arc<IoShared>,
+}
+
+/// The servicing half of a one-shot completion slot. Call
+/// [`IoCompleter::complete`] with the results; dropping it without
+/// completing delivers all-`None` for the `expected` submitted offsets,
+/// so an abandoned operation still completes (see module docs).
+pub struct IoCompleter {
+    shared: Arc<IoShared>,
+    expected: usize,
+    done: bool,
+}
+
+impl std::fmt::Debug for IoHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "IoHandle(done: {})", self.is_done())
+    }
+}
+
+impl std::fmt::Debug for IoCompleter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "IoCompleter(expected: {})", self.expected)
+    }
+}
+
+/// Create a linked handle/completer pair for an operation covering
+/// `expected` offsets. The completer guarantees completion: dropped
+/// without a result, it delivers `vec![None; expected]`.
+pub fn io_pair(expected: usize) -> (IoHandle, IoCompleter) {
+    let shared = Arc::new(IoShared {
+        slot: Mutex::new(IoSlot {
+            outcome: None,
+            callback: None,
+        }),
+        cv: Condvar::new(),
+    });
+    (
+        IoHandle {
+            shared: Arc::clone(&shared),
+        },
+        IoCompleter {
+            shared,
+            expected,
+            done: false,
+        },
+    )
+}
+
+impl IoHandle {
+    /// A handle that is already complete — for backends that service the
+    /// request inline (memory, files) and only need the completion
+    /// *shape*, not actual asynchrony.
+    pub fn ready(results: IoResults) -> Self {
+        let (handle, completer) = io_pair(results.len());
+        completer.complete(results);
+        handle
+    }
+
+    /// True once the result has landed (and has not been taken).
+    pub fn is_done(&self) -> bool {
+        self.shared.slot.lock().outcome.is_some()
+    }
+
+    /// Take the results if the operation has completed, without
+    /// blocking.
+    pub fn try_take(&mut self) -> Option<IoResults> {
+        self.shared.slot.lock().outcome.take()
+    }
+
+    /// Block until the operation completes and return its results.
+    pub fn wait(self) -> IoResults {
+        let mut slot = self.shared.slot.lock();
+        loop {
+            if let Some(results) = slot.outcome.take() {
+                return results;
+            }
+            slot = self
+                .shared
+                .cv
+                .wait(slot)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Deliver the results to `f` as soon as they land — immediately if
+    /// the operation already completed, otherwise from the thread that
+    /// completes it. Consumes the handle; exactly one delivery happens.
+    pub fn on_complete<F>(self, f: F)
+    where
+        F: FnOnce(IoResults) + Send + 'static,
+    {
+        let ready = {
+            let mut slot = self.shared.slot.lock();
+            match slot.outcome.take() {
+                Some(results) => Some(results),
+                None => {
+                    slot.callback = Some(Box::new(f));
+                    return;
+                }
+            }
+        };
+        if let Some(results) = ready {
+            f(results);
+        }
+    }
+}
+
+impl IoCompleter {
+    /// Deliver the operation's results, waking waiters and firing any
+    /// registered callback (outside the slot lock).
+    pub fn complete(mut self, results: IoResults) {
+        self.done = true;
+        self.deliver(results);
+    }
+
+    fn deliver(&self, results: IoResults) {
+        let callback = {
+            let mut slot = self.shared.slot.lock();
+            match slot.callback.take() {
+                Some(cb) => Some(cb),
+                None => {
+                    slot.outcome = Some(results);
+                    self.shared.cv.notify_all();
+                    return;
+                }
+            }
+        };
+        if let Some(cb) = callback {
+            cb(results);
+        }
+    }
+}
+
+impl Drop for IoCompleter {
+    fn drop(&mut self) {
+        if !self.done {
+            self.deliver(vec![None; self.expected]);
+        }
+    }
+}
+
+/// Live counters for the I/O engine: submissions, completions, panics,
+/// plus queue-depth / in-flight gauges. Cheap to clone (all handles
+/// share the same atomics); snapshot with [`ReactorStats::snapshot`].
+#[derive(Debug, Default)]
+pub struct ReactorStats {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    panics: AtomicU64,
+    queue_depth: AtomicI64,
+    inflight: AtomicI64,
+}
+
+/// A point-in-time snapshot of [`ReactorStats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IoSnapshot {
+    /// Vectored operations submitted (pool and async paths).
+    pub submitted: u64,
+    /// Operations whose completion has been delivered.
+    pub completed: u64,
+    /// Operations whose backend panicked (completed as all-`None`).
+    pub panics: u64,
+    /// Operations queued, waiting for a pool worker.
+    pub queue_depth: i64,
+    /// Operations currently being serviced (pool + async in flight).
+    pub inflight: i64,
+}
+
+impl ReactorStats {
+    /// Snapshot the current values.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            inflight: self.inflight.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn note_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_completed(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn inflight_add(&self, delta: i64) {
+        self.inflight.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    fn depth_add(&self, delta: i64) {
+        self.queue_depth.fetch_add(delta, Ordering::Relaxed);
+    }
+}
+
+impl IoSnapshot {
+    /// Fold this snapshot into a recorder: `io.queue_depth` /
+    /// `io.inflight` gauges (point-in-time) and `io.submitted` /
+    /// `io.completed` / `io.panics` cumulative counters, set to the
+    /// engine's lifetime totals.
+    pub fn record_into(&self, recorder: &ecfrm_obs::Recorder) {
+        recorder.gauge("io.queue_depth").set(self.queue_depth);
+        recorder.gauge("io.inflight").set(self.inflight);
+        recorder.gauge("io.submitted").set(self.submitted as i64);
+        recorder.gauge("io.completed").set(self.completed as i64);
+        recorder.gauge("io.panics").set(self.panics as i64);
+    }
+}
+
+enum OpKind {
+    Read(Vec<u64>),
+    Write(Vec<(u64, Vec<u8>)>),
+}
+
+/// One queued submission: the backend to drive, what to do, where to
+/// complete, and an optional hook fired if the backend panics (used by
+/// `ThreadedArray` to mark the disk suspect).
+struct Op {
+    backend: Arc<dyn DiskBackend>,
+    kind: OpKind,
+    completer: IoCompleter,
+    panic_hook: Option<Box<dyn FnOnce() + Send + 'static>>,
+}
+
+struct SubmitQueue {
+    ops: Mutex<QueueInner>,
+    cv: Condvar,
+}
+
+struct QueueInner {
+    ops: VecDeque<Op>,
+    shutdown: bool,
+}
+
+impl SubmitQueue {
+    fn push(&self, op: Op) -> bool {
+        let mut inner = self.ops.lock();
+        if inner.shutdown {
+            return false; // op dropped → completer delivers all-None
+        }
+        inner.ops.push_back(op);
+        self.cv.notify_one();
+        true
+    }
+
+    fn pop(&self) -> Option<Op> {
+        let mut inner = self.ops.lock();
+        loop {
+            if let Some(op) = inner.ops.pop_front() {
+                return Some(op);
+            }
+            if inner.shutdown {
+                return None;
+            }
+            inner = self
+                .cv
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Flip to shutdown and drain unserviced ops (their completers
+    /// deliver all-`None` as they drop).
+    fn close(&self) -> VecDeque<Op> {
+        let mut inner = self.ops.lock();
+        inner.shutdown = true;
+        self.cv.notify_all();
+        std::mem::take(&mut inner.ops)
+    }
+}
+
+/// A bounded worker pool servicing vectored backend operations from a
+/// shared submission queue, delivering each result through its
+/// [`IoCompleter`] as it lands.
+///
+/// A panicking backend does **not** kill its worker: the panic is
+/// caught, the op completes as all-`None`, the per-op panic hook fires
+/// (suspect marking), and the worker moves on to the next submission.
+pub struct Reactor {
+    queue: Arc<SubmitQueue>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    stats: Arc<ReactorStats>,
+}
+
+impl std::fmt::Debug for Reactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Reactor({} workers)", self.workers.lock().len())
+    }
+}
+
+impl Reactor {
+    /// Spawn a reactor with `workers` pool threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let queue = Arc::new(SubmitQueue {
+            ops: Mutex::new(QueueInner {
+                ops: VecDeque::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let stats = Arc::new(ReactorStats::default());
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let stats = Arc::clone(&stats);
+                std::thread::spawn(move || Self::worker_loop(&queue, &stats))
+            })
+            .collect();
+        Self {
+            queue,
+            workers: Mutex::new(handles),
+            stats,
+        }
+    }
+
+    fn worker_loop(queue: &SubmitQueue, stats: &ReactorStats) {
+        while let Some(op) = queue.pop() {
+            stats.depth_add(-1);
+            stats.inflight_add(1);
+            let Op {
+                backend,
+                kind,
+                completer,
+                panic_hook,
+            } = op;
+            let outcome = catch_unwind(AssertUnwindSafe(|| match kind {
+                OpKind::Read(offsets) => backend.read_many(&offsets),
+                OpKind::Write(items) => {
+                    for (offset, bytes) in items {
+                        backend.write(offset, bytes);
+                    }
+                    Vec::new()
+                }
+            }));
+            stats.inflight_add(-1);
+            stats.note_completed();
+            match outcome {
+                Ok(results) => completer.complete(results),
+                Err(_) => {
+                    stats.note_panic();
+                    if let Some(hook) = panic_hook {
+                        // The hook is engine code (suspect marking), but
+                        // isolate it anyway: a worker must not die.
+                        let _ = catch_unwind(AssertUnwindSafe(hook));
+                    }
+                    drop(completer); // delivers all-None
+                }
+            }
+        }
+    }
+
+    /// Shared counters/gauges for this engine.
+    pub fn stats(&self) -> Arc<ReactorStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Queue a vectored read against `backend`; the returned handle
+    /// completes when a pool worker has serviced it. `panic_hook` fires
+    /// (once, from the worker) if the backend panics.
+    pub fn submit_read(
+        &self,
+        backend: Arc<dyn DiskBackend>,
+        offsets: Vec<u64>,
+        panic_hook: Option<Box<dyn FnOnce() + Send + 'static>>,
+    ) -> IoHandle {
+        let (handle, completer) = io_pair(offsets.len());
+        self.submit(Op {
+            backend,
+            kind: OpKind::Read(offsets),
+            completer,
+            panic_hook,
+        });
+        handle
+    }
+
+    /// Queue a vectored write against `backend`; the returned handle
+    /// completes (with an empty result vector) once every element has
+    /// been written.
+    pub fn submit_write(
+        &self,
+        backend: Arc<dyn DiskBackend>,
+        items: Vec<(u64, Vec<u8>)>,
+        panic_hook: Option<Box<dyn FnOnce() + Send + 'static>>,
+    ) -> IoHandle {
+        let (handle, completer) = io_pair(0);
+        self.submit(Op {
+            backend,
+            kind: OpKind::Write(items),
+            completer,
+            panic_hook,
+        });
+        handle
+    }
+
+    fn submit(&self, op: Op) {
+        self.stats.note_submitted();
+        self.stats.depth_add(1);
+        if !self.queue.push(op) {
+            self.stats.depth_add(-1); // dropped: completer → all-None
+        }
+    }
+
+    /// Stop accepting submissions, complete queued-but-unserviced ops as
+    /// all-`None`, and join the pool. Idempotent.
+    pub fn shutdown(&self) {
+        let abandoned = self.queue.close();
+        for op in abandoned {
+            self.stats.depth_add(-1);
+            self.stats.note_completed();
+            drop(op); // completer delivers all-None
+        }
+        for handle in self.workers.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threaded::MemDisk;
+    use std::sync::mpsc::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn ready_handle_completes_immediately() {
+        let h = IoHandle::ready(vec![Some(vec![1]), None]);
+        assert!(h.is_done());
+        assert_eq!(h.wait(), vec![Some(vec![1]), None]);
+    }
+
+    #[test]
+    fn wait_blocks_until_completion() {
+        let (h, c) = io_pair(1);
+        let waiter = std::thread::spawn(move || h.wait());
+        std::thread::sleep(Duration::from_millis(10));
+        c.complete(vec![Some(vec![7])]);
+        assert_eq!(waiter.join().unwrap(), vec![Some(vec![7])]);
+    }
+
+    #[test]
+    fn try_take_polls_without_blocking() {
+        let (mut h, c) = io_pair(1);
+        assert_eq!(h.try_take(), None);
+        c.complete(vec![None]);
+        assert_eq!(h.try_take(), Some(vec![None]));
+        assert_eq!(h.try_take(), None, "results are taken once");
+    }
+
+    #[test]
+    fn dropped_completer_delivers_all_none() {
+        let (h, c) = io_pair(3);
+        drop(c);
+        assert_eq!(h.wait(), vec![None, None, None]);
+    }
+
+    #[test]
+    fn callback_fires_on_late_and_early_completion() {
+        // Early: already complete when the callback is registered.
+        let (tx, rx) = channel();
+        let tx2 = tx.clone();
+        IoHandle::ready(vec![Some(vec![1])]).on_complete(move |r| tx2.send(r).unwrap());
+        assert_eq!(rx.recv().unwrap(), vec![Some(vec![1])]);
+        // Late: callback registered first, completion arrives after.
+        let (h, c) = io_pair(1);
+        h.on_complete(move |r| tx.send(r).unwrap());
+        c.complete(vec![Some(vec![2])]);
+        assert_eq!(rx.recv().unwrap(), vec![Some(vec![2])]);
+    }
+
+    #[test]
+    fn reactor_services_reads_and_writes() {
+        let reactor = Reactor::new(2);
+        let disk: Arc<dyn DiskBackend> = Arc::new(MemDisk::new());
+        reactor
+            .submit_write(Arc::clone(&disk), vec![(0, vec![1]), (1, vec![2])], None)
+            .wait();
+        let got = reactor
+            .submit_read(Arc::clone(&disk), vec![0, 1, 9], None)
+            .wait();
+        assert_eq!(got, vec![Some(vec![1]), Some(vec![2]), None]);
+        let snap = reactor.stats().snapshot();
+        assert_eq!(snap.submitted, 2);
+        assert_eq!(snap.completed, 2);
+        assert_eq!((snap.queue_depth, snap.inflight), (0, 0));
+    }
+
+    #[derive(Debug)]
+    struct PanicBackend;
+    impl DiskBackend for PanicBackend {
+        fn submit_read_many(&self, _offsets: &[u64]) -> IoHandle {
+            panic!("injected backend panic");
+        }
+        fn write(&self, _offset: u64, _bytes: Vec<u8>) {
+            panic!("injected backend panic");
+        }
+        fn fail(&self) {}
+        fn heal(&self) {}
+        fn wipe(&self) {}
+        fn len(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn panicking_backend_completes_all_none_and_fires_hook() {
+        let reactor = Reactor::new(1);
+        let (tx, rx) = channel();
+        let got = reactor
+            .submit_read(
+                Arc::new(PanicBackend),
+                vec![0, 1],
+                Some(Box::new(move || tx.send(()).unwrap())),
+            )
+            .wait();
+        assert_eq!(got, vec![None, None]);
+        rx.recv().unwrap();
+        // The worker survived the panic and serves the next op.
+        let disk: Arc<dyn DiskBackend> = Arc::new(MemDisk::new());
+        disk.write(0, vec![5]);
+        assert_eq!(
+            reactor.submit_read(disk, vec![0], None).wait(),
+            vec![Some(vec![5])]
+        );
+        assert_eq!(reactor.stats().snapshot().panics, 1);
+    }
+
+    #[test]
+    fn shutdown_completes_queued_ops_as_all_none() {
+        // One worker, blocked on a slow op; queued ops behind it are
+        // abandoned by shutdown and must still complete.
+        let reactor = Reactor::new(1);
+        let slow: Arc<dyn DiskBackend> = Arc::new(MemDisk::with_latency(Duration::from_millis(30)));
+        slow.write(0, vec![1]);
+        let first = reactor.submit_read(Arc::clone(&slow), vec![0], None);
+        let queued = reactor.submit_read(Arc::clone(&slow), vec![0, 0], None);
+        reactor.shutdown();
+        assert_eq!(first.wait(), vec![Some(vec![1])]);
+        assert_eq!(queued.wait(), vec![None, None]);
+    }
+}

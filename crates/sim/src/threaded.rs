@@ -1,45 +1,80 @@
 //! A real concurrent disk-array engine.
 //!
 //! [`ArraySim`](crate::ArraySim) *models* time; [`ThreadedArray`] actually
-//! runs the parallel I/O structure of an erasure-coded read: one worker
-//! thread per disk, jobs fanned out over channels, results collected —
-//! the code path a storage frontend would execute, here over in-memory
-//! disks ([`MemDisk`]) with optional injected per-access latency so the
-//! bottleneck behaviour is physically observable in examples and tests.
+//! runs the parallel I/O structure of an erasure-coded read. Since the
+//! reactor redesign it is a thin driver over the completion engine in
+//! [`crate::reactor`]: array-level reads submit one vectored operation
+//! per touched disk, a bounded worker pool services blocking backends
+//! ([`MemDisk`], files), completion-driven backends (a multiplexed
+//! remote client) complete from their own demux thread, and per-disk
+//! replies stream back to the caller as they land so decode starts while
+//! slower disks are still working.
 
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
 use ecfrm_obs::DiskBoard;
 use ecfrm_util::Mutex;
 
 use crate::metrics::NetStats;
+use crate::reactor::{IoHandle, IoResults, Reactor, ReactorStats};
 
 /// Address of one element on the array: `(disk, offset)`.
 pub type Address = (usize, u64);
 
 /// What the array needs from a disk: element-granular read/write plus
 /// failure injection. Implemented by [`MemDisk`] (in-memory, optional
-/// simulated latency) and [`FileDisk`](crate::file_disk::FileDisk)
-/// (real files).
+/// simulated latency), [`FileDisk`](crate::file_disk::FileDisk) (real
+/// files), and `RemoteDisk` in `ecfrm-net` (a shard over TCP).
+///
+/// The one required I/O method is the **submission entry point**
+/// [`Self::submit_read_many`]: it hands back an
+/// [`IoHandle`] that completes with the
+/// batch's results. The blocking [`Self::read_many`] and per-element
+/// [`Self::read`] are default-implemented shims over it, so a new
+/// backend implements exactly one read method.
 pub trait DiskBackend: Send + Sync + std::fmt::Debug {
-    /// Fetch the element at `offset`; `None` when absent or failed.
-    fn read(&self, offset: u64) -> Option<Vec<u8>>;
-    /// Fetch several elements in one request, returned in input order
-    /// (`None` = absent or failed, per element).
+    /// Submit one vectored read covering `offsets`, returning a
+    /// completion handle that resolves to one entry per offset, in
+    /// input order (`None` = absent or failed element).
     ///
     /// This is the vectored entry point of the batched read path: one
-    /// call per disk per array-level read. Backends override it to do
-    /// the whole batch in one pass — a single lock (in-memory), one
-    /// seek per sequential run (files), or one RPC round trip (remote
-    /// shards). The default serves each offset through [`Self::read`].
+    /// submission per disk per array-level read. A blocking backend may
+    /// service the request inline — a single lock (in-memory), one seek
+    /// per sorted sequential run (files) — and return an
+    /// already-completed handle ([`IoHandle::ready`]); the array then
+    /// drives it from the reactor pool so callers never block on
+    /// submission. A completion-driven backend (multiplexed remote
+    /// shard) returns a pending handle, completes it from its own demux
+    /// thread, and reports [`Self::submits_async`] = `true`.
+    fn submit_read_many(&self, offsets: &[u64]) -> IoHandle;
+
+    /// Fetch several elements in one request, blocking until served:
+    /// submit + wait. Migration shim — batch consumers should prefer
+    /// the submission form.
     fn read_many(&self, offsets: &[u64]) -> Vec<Option<Vec<u8>>> {
-        offsets.iter().map(|&o| self.read(o)).collect()
+        self.submit_read_many(offsets).wait()
     }
+
+    /// Fetch the element at `offset`; `None` when absent or failed.
+    /// Default: a one-element vectored read.
+    fn read(&self, offset: u64) -> Option<Vec<u8>> {
+        self.read_many(std::slice::from_ref(&offset))
+            .pop()
+            .flatten()
+    }
+
+    /// True when [`Self::submit_read_many`] is genuinely non-blocking
+    /// (completes from the backend's own machinery). The array submits
+    /// such backends directly from the driver thread instead of
+    /// occupying a reactor pool worker.
+    fn submits_async(&self) -> bool {
+        false
+    }
+
     /// Store an element.
     fn write(&self, offset: u64, bytes: Vec<u8>);
     /// Mark failed: reads return `None` until healed.
@@ -87,31 +122,19 @@ impl MemDisk {
 }
 
 impl DiskBackend for MemDisk {
-    /// Fetch an element; `None` if absent or the disk is failed. Sleeps
-    /// the configured latency on every (attempted) access.
-    fn read(&self, offset: u64) -> Option<Vec<u8>> {
-        if !self.latency.is_zero() {
-            std::thread::sleep(self.latency);
-        }
-        if self.failed.load(Ordering::Acquire) {
-            return None;
-        }
-        self.elements.lock().get(&offset).cloned()
-    }
-
-    /// Serve a whole batch under one map lock. The simulated latency
-    /// stays *per element* (it models the disk's per-access service
-    /// time, which batching does not remove), but is paid as one sleep
-    /// so a large batch costs one scheduler round trip.
-    fn read_many(&self, offsets: &[u64]) -> Vec<Option<Vec<u8>>> {
+    /// Serve a whole batch under one map lock, inline. The simulated
+    /// latency stays *per element* (it models the disk's per-access
+    /// service time, which batching does not remove), but is paid as
+    /// one sleep so a large batch costs one scheduler round trip.
+    fn submit_read_many(&self, offsets: &[u64]) -> IoHandle {
         if !self.latency.is_zero() && !offsets.is_empty() {
             std::thread::sleep(self.latency * offsets.len() as u32);
         }
         if self.failed.load(Ordering::Acquire) {
-            return vec![None; offsets.len()];
+            return IoHandle::ready(vec![None; offsets.len()]);
         }
         let elements = self.elements.lock();
-        offsets.iter().map(|o| elements.get(o).cloned()).collect()
+        IoHandle::ready(offsets.iter().map(|o| elements.get(o).cloned()).collect())
     }
 
     fn write(&self, offset: u64, bytes: Vec<u8>) {
@@ -145,30 +168,6 @@ impl Default for MemDisk {
     }
 }
 
-enum Job {
-    /// Per-element read — the pre-batching baseline, kept for the
-    /// `read_path` microbench and differential tests.
-    Read {
-        tag: usize,
-        offset: u64,
-        reply: Sender<(usize, Option<Vec<u8>>)>,
-    },
-    /// One vectored read covering every element this disk serves for
-    /// one array-level batch.
-    ReadMany {
-        tags: Vec<usize>,
-        offsets: Vec<u64>,
-        reply: Sender<DiskReply>,
-    },
-    /// One vectored write covering every element this disk stores for
-    /// one array-level batch.
-    WriteMany {
-        items: Vec<(u64, Vec<u8>)>,
-        done: Sender<()>,
-    },
-    Shutdown,
-}
-
 /// One disk's answer to its slice of a batched read: the caller's
 /// request indices paired with the served bytes (`None` = absent or
 /// failed element).
@@ -182,9 +181,9 @@ pub struct DiskReply {
 }
 
 /// An in-flight batched read: per-disk replies stream out of
-/// [`Self::next_reply`] as each disk finishes its vectored request, so
-/// callers can start consuming (copying out, decoding) while slower
-/// disks are still working.
+/// [`Self::next_reply`] as each disk's submission completes, so callers
+/// can start consuming (copying out, decoding) while slower disks are
+/// still working.
 ///
 /// Dropping a `BatchRead` abandons any outstanding replies safely.
 #[derive(Debug)]
@@ -195,17 +194,19 @@ pub struct BatchRead {
 }
 
 impl BatchRead {
-    /// Number of per-disk jobs this batch dispatched — the array-level
-    /// request count (one vectored request per touched disk). For
-    /// remote backends this is the logical RPC count of the batch.
+    /// Number of per-disk submissions this batch dispatched — the
+    /// array-level request count (one vectored request per touched
+    /// disk). For remote backends this is the logical RPC count of the
+    /// batch.
     pub fn jobs(&self) -> usize {
         self.jobs
     }
 
     /// Next per-disk reply, blocking until one arrives; `None` once
-    /// every dispatched disk has answered. A worker that died mid-batch
-    /// (panicking backend) ends the stream early — the caller sees its
-    /// elements simply never arrive and treats them as absent.
+    /// every dispatched disk has answered. The completion engine
+    /// guarantees every submission answers — a panicking backend's
+    /// submission completes as all-`None` — so the stream always runs
+    /// to exactly [`Self::jobs`] replies.
     pub fn next_reply(&mut self) -> Option<DiskReply> {
         if self.pending == 0 {
             return None;
@@ -223,33 +224,33 @@ impl BatchRead {
     }
 }
 
-/// One disk's live state: its backend and the channel to its worker.
-/// Behind a per-slot [`Mutex`] so a disk can be *re-registered* — its
-/// backend replaced or its dead worker respawned — through a shared
-/// reference while other disks keep serving.
-struct DiskSlot {
-    disk: Arc<dyn DiskBackend>,
-    sender: Sender<Job>,
-}
-
-/// One worker thread per disk; jobs dispatched over channels.
+/// The array engine: a submission/completion reactor shared by every
+/// disk, plus per-slot backend registration.
+///
+/// Array-level reads group addresses by disk and submit **one** vectored
+/// operation per touched disk. Blocking backends are serviced by the
+/// reactor's bounded worker pool (sized to the disk count by default, so
+/// independent disks overlap while same-disk batches serialise their
+/// per-element service time); completion-driven backends
+/// ([`DiskBackend::submits_async`]) are submitted inline and complete
+/// from their own machinery.
 ///
 /// Every served element read is tallied on a per-disk [`DiskBoard`]
 /// (count + bytes), so the paper's "most-loaded disk is the bottleneck"
 /// is directly observable per layout via [`ThreadedArray::load_board`].
 ///
-/// The array also keeps a *suspect set*: disks whose worker died or
+/// The array also keeps a *suspect set*: disks whose backend panicked or
 /// that a reader reported as unresponsive
 /// ([`ThreadedArray::mark_suspect`]). The set is pure reporting — it
-/// never changes how jobs are dispatched — and feeds failure detectors
-/// such as the store's background `RepairManager`, which probe suspects
-/// and either clear them ([`ThreadedArray::clear_suspect`]) or promote
-/// them to failed and start reconstruction.
+/// never changes how submissions are dispatched — and feeds failure
+/// detectors such as the store's background `RepairManager`, which probe
+/// suspects and either clear them ([`ThreadedArray::clear_suspect`]) or
+/// promote them to failed and start reconstruction.
 pub struct ThreadedArray {
-    slots: Vec<Mutex<DiskSlot>>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
+    slots: Vec<Mutex<Arc<dyn DiskBackend>>>,
+    reactor: Reactor,
     board: DiskBoard,
-    suspects: Mutex<BTreeSet<usize>>,
+    suspects: Arc<Mutex<BTreeSet<usize>>>,
 }
 
 impl std::fmt::Debug for ThreadedArray {
@@ -272,84 +273,32 @@ impl ThreadedArray {
         Self::from_backends(disks)
     }
 
-    /// Spawn workers over caller-supplied disk backends (in-memory,
-    /// file-backed, or custom).
+    /// An array over caller-supplied disk backends (in-memory,
+    /// file-backed, or remote), with one reactor pool worker per disk —
+    /// enough to drive every blocking backend concurrently.
     ///
     /// # Panics
     /// Panics if `disks` is empty.
     pub fn from_backends(disks: Vec<Arc<dyn DiskBackend>>) -> Self {
-        assert!(!disks.is_empty(), "array needs at least one disk");
-        let n = disks.len();
-        let board = DiskBoard::new(n);
-        let mut slots = Vec::with_capacity(n);
-        let mut workers = Vec::with_capacity(n);
-        for (d, disk) in disks.into_iter().enumerate() {
-            let (sender, handle) = Self::spawn_worker(d, Arc::clone(&disk), board.clone());
-            slots.push(Mutex::new(DiskSlot { disk, sender }));
-            workers.push(handle);
-        }
-        Self {
-            slots,
-            workers: Mutex::new(workers),
-            board,
-            suspects: Mutex::new(BTreeSet::new()),
-        }
+        let workers = disks.len();
+        Self::from_backends_with_workers(disks, workers)
     }
 
-    /// Spawn one disk's worker loop over `disk`, returning its job
-    /// channel and join handle.
-    fn spawn_worker(
-        d: usize,
-        disk: Arc<dyn DiskBackend>,
-        board: DiskBoard,
-    ) -> (Sender<Job>, JoinHandle<()>) {
-        let (tx, rx) = channel::<Job>();
-        let handle = std::thread::spawn(move || {
-            while let Ok(job) = rx.recv() {
-                match job {
-                    Job::Read { tag, offset, reply } => {
-                        let bytes = disk.read(offset);
-                        if let Some(b) = &bytes {
-                            board.record(d, 1, b.len() as u64);
-                        }
-                        let _ = reply.send((tag, bytes));
-                    }
-                    Job::ReadMany {
-                        tags,
-                        offsets,
-                        reply,
-                    } => {
-                        let results = disk.read_many(&offsets);
-                        debug_assert_eq!(results.len(), tags.len());
-                        let mut served = 0u64;
-                        let mut served_bytes = 0u64;
-                        let items: Vec<(usize, Option<Vec<u8>>)> = tags
-                            .into_iter()
-                            .zip(results)
-                            .map(|(tag, bytes)| {
-                                if let Some(b) = &bytes {
-                                    served += 1;
-                                    served_bytes += b.len() as u64;
-                                }
-                                (tag, bytes)
-                            })
-                            .collect();
-                        if served > 0 {
-                            board.record(d, served, served_bytes);
-                        }
-                        let _ = reply.send(DiskReply { disk: d, items });
-                    }
-                    Job::WriteMany { items, done } => {
-                        for (offset, bytes) in items {
-                            disk.write(offset, bytes);
-                        }
-                        let _ = done.send(());
-                    }
-                    Job::Shutdown => break,
-                }
-            }
-        });
-        (tx, handle)
+    /// An array over caller-supplied backends with an explicit reactor
+    /// pool size, for workloads whose concurrency is not one-op-per-disk
+    /// (e.g. many foreground readers over few disks).
+    ///
+    /// # Panics
+    /// Panics if `disks` is empty.
+    pub fn from_backends_with_workers(disks: Vec<Arc<dyn DiskBackend>>, workers: usize) -> Self {
+        assert!(!disks.is_empty(), "array needs at least one disk");
+        let board = DiskBoard::new(disks.len());
+        Self {
+            slots: disks.into_iter().map(Mutex::new).collect(),
+            reactor: Reactor::new(workers),
+            board,
+            suspects: Arc::new(Mutex::new(BTreeSet::new())),
+        }
     }
 
     /// Number of disks.
@@ -362,58 +311,42 @@ impl ThreadedArray {
     /// concurrently, after which this handle refers to the *old*
     /// backend.
     pub fn disk(&self, d: usize) -> Arc<dyn DiskBackend> {
-        Arc::clone(&self.slots[d].lock().disk)
+        Arc::clone(&self.slots[d].lock())
     }
 
-    /// A clone of disk `d`'s job channel.
-    fn sender(&self, d: usize) -> Sender<Job> {
-        self.slots[d].lock().sender.clone()
+    /// Live submission/completion counters and queue-depth / in-flight
+    /// gauges for the array's I/O engine.
+    pub fn io_stats(&self) -> Arc<ReactorStats> {
+        self.reactor.stats()
     }
 
-    /// Re-register disk `d` with a replacement backend: the old worker
-    /// is shut down, a fresh worker is spawned over `backend`, and the
-    /// disk's suspect flag is cleared. Returns the previous backend.
+    /// Re-register disk `d` with a replacement backend; in-flight
+    /// submissions finish against the old backend, new submissions see
+    /// the replacement. Clears the disk's suspect flag and returns the
+    /// previous backend.
     ///
     /// This is the "new drive in the slot" operation behind background
     /// repair: a killed or crashed disk gets an empty replacement, the
     /// repair pipeline rebuilds its elements onto it, and readers never
     /// see the array change size.
     pub fn replace_disk(&self, d: usize, backend: Arc<dyn DiskBackend>) -> Arc<dyn DiskBackend> {
-        let (sender, handle) = Self::spawn_worker(d, Arc::clone(&backend), self.board.clone());
-        let old = {
-            let mut slot = self.slots[d].lock();
-            let _ = slot.sender.send(Job::Shutdown);
-            std::mem::replace(
-                &mut *slot,
-                DiskSlot {
-                    disk: backend,
-                    sender,
-                },
-            )
-        };
-        self.workers.lock().push(handle);
+        let old = std::mem::replace(&mut *self.slots[d].lock(), backend);
         self.clear_suspect(d);
-        old.disk
+        old
     }
 
-    /// Respawn disk `d`'s worker thread over its existing backend — the
-    /// recovery path for a worker that died (panicking backend) while
-    /// the disk itself is still usable. Clears the suspect flag.
+    /// Re-arm disk `d` after a fault, keeping its backend: clears the
+    /// suspect flag. (Under the shared reactor there is no per-disk
+    /// thread to respawn — a panicking backend no longer kills a
+    /// worker — so this is the lightweight counterpart of
+    /// [`Self::replace_disk`] for disks that are still usable.)
     pub fn restart_disk(&self, d: usize) {
-        let backend = Arc::clone(&self.slots[d].lock().disk);
-        let (sender, handle) = Self::spawn_worker(d, backend, self.board.clone());
-        {
-            let mut slot = self.slots[d].lock();
-            let _ = slot.sender.send(Job::Shutdown);
-            slot.sender = sender;
-        }
-        self.workers.lock().push(handle);
         self.clear_suspect(d);
     }
 
     /// Report disk `d` as unresponsive (timed out, answered all-absent,
-    /// or its worker died). Purely advisory: dispatch is unchanged, but
-    /// failure detectors poll this set.
+    /// or its backend panicked). Purely advisory: dispatch is unchanged,
+    /// but failure detectors poll this set.
     pub fn mark_suspect(&self, d: usize) {
         self.suspects.lock().insert(d);
     }
@@ -435,50 +368,99 @@ impl ThreadedArray {
         &self.board
     }
 
+    /// A hook that marks disk `d` suspect, for the reactor's panic path.
+    fn suspect_hook(&self, d: usize) -> Box<dyn FnOnce() + Send + 'static> {
+        let suspects = Arc::clone(&self.suspects);
+        Box::new(move || {
+            suspects.lock().insert(d);
+        })
+    }
+
+    /// Submit one vectored read for disk `d` covering `(tags, offsets)`
+    /// and deliver its [`DiskReply`] on `reply` when it completes —
+    /// via the reactor pool for blocking backends, directly for
+    /// completion-driven ones. Served elements are tallied on the load
+    /// board at completion.
+    fn dispatch_read(
+        &self,
+        d: usize,
+        tags: Vec<usize>,
+        offsets: Vec<u64>,
+        reply: Sender<DiskReply>,
+    ) {
+        let backend = self.disk(d);
+        let board = self.board.clone();
+        let deliver = move |results: IoResults| {
+            debug_assert_eq!(results.len(), tags.len());
+            let mut served = 0u64;
+            let mut served_bytes = 0u64;
+            let items: Vec<(usize, Option<Vec<u8>>)> = tags
+                .into_iter()
+                .zip(results)
+                .map(|(tag, bytes)| {
+                    if let Some(b) = &bytes {
+                        served += 1;
+                        served_bytes += b.len() as u64;
+                    }
+                    (tag, bytes)
+                })
+                .collect();
+            if served > 0 {
+                board.record(d, served, served_bytes);
+            }
+            let _ = reply.send(DiskReply { disk: d, items });
+        };
+        if backend.submits_async() {
+            // Completion-driven backend: submit from this thread, let
+            // its own machinery complete the handle. Track it in the
+            // engine gauges so in-flight covers both paths.
+            let stats = self.reactor.stats();
+            stats.note_submitted();
+            stats.inflight_add(1);
+            backend.submit_read_many(&offsets).on_complete(move |r| {
+                stats.inflight_add(-1);
+                stats.note_completed();
+                deliver(r);
+            });
+        } else {
+            let hook = self.suspect_hook(d);
+            self.reactor
+                .submit_read(backend, offsets, Some(hook))
+                .on_complete(deliver);
+        }
+    }
+
     /// Write a batch of elements, waiting for all to land: one vectored
-    /// `Job::WriteMany` per touched disk, so channel traffic is
-    /// O(disks), not O(elements). A dead worker (its backend panicked)
-    /// is skipped rather than panicking the caller — the lost elements
-    /// simply read back as absent, the same failure surface as a failed
-    /// disk.
+    /// write submission per touched disk, so engine traffic is O(disks),
+    /// not O(elements). A panicking backend is marked suspect rather
+    /// than panicking the caller — the lost elements simply read back
+    /// as absent, the same failure surface as a failed disk.
     pub fn write_batch(&self, items: Vec<(Address, Vec<u8>)>) {
-        let (done_tx, done_rx) = channel();
         let mut by_disk: HashMap<usize, Vec<(u64, Vec<u8>)>> = HashMap::new();
         for ((disk, offset), bytes) in items {
             by_disk.entry(disk).or_default().push((offset, bytes));
         }
-        let mut dispatched = 0usize;
-        for (disk, items) in by_disk {
-            if self
-                .sender(disk)
-                .send(Job::WriteMany {
-                    items,
-                    done: done_tx.clone(),
-                })
-                .is_ok()
-            {
-                dispatched += 1;
-            } else {
-                self.mark_suspect(disk);
-            }
-        }
-        drop(done_tx);
-        for _ in 0..dispatched {
-            if done_rx.recv().is_err() {
-                break; // a worker died mid-write; nothing left to wait for
-            }
+        let handles: Vec<IoHandle> = by_disk
+            .into_iter()
+            .map(|(disk, items)| {
+                self.reactor
+                    .submit_write(self.disk(disk), items, Some(self.suspect_hook(disk)))
+            })
+            .collect();
+        for handle in handles {
+            let _ = handle.wait();
         }
     }
 
     /// Start a batched read: addresses are grouped by disk and **one**
-    /// vectored `Job::ReadMany` is enqueued per touched disk (the
-    /// reply [`Sender`] is cloned once per disk, not once per element).
-    /// Per-disk replies stream out of the returned [`BatchRead`] as
-    /// each disk finishes, so consumers can overlap decode/copy-out
-    /// with the slower disks' I/O.
+    /// vectored read is submitted per touched disk. Per-disk replies
+    /// stream out of the returned [`BatchRead`] as each submission
+    /// completes, so consumers can overlap decode/copy-out with the
+    /// slower disks' I/O.
     ///
-    /// A dead worker (backend panicked earlier) answers immediately
-    /// with all-`None` items instead of panicking the caller.
+    /// A panicking backend's submission completes immediately as
+    /// all-`None` (and the disk is marked suspect) instead of panicking
+    /// the caller.
     pub fn read_batch_streaming(&self, addrs: &[Address]) -> BatchRead {
         let (reply_tx, reply_rx) = channel::<DiskReply>();
         let mut by_disk: HashMap<usize, (Vec<usize>, Vec<u64>)> = HashMap::new();
@@ -489,23 +471,7 @@ impl ThreadedArray {
         }
         let jobs = by_disk.len();
         for (disk, (tags, offsets)) in by_disk {
-            let job = Job::ReadMany {
-                tags,
-                offsets,
-                reply: reply_tx.clone(),
-            };
-            if let Err(send_err) = self.sender(disk).send(job) {
-                // Worker gone: synthesise the all-absent reply ourselves
-                // and report the disk for the failure detector.
-                self.mark_suspect(disk);
-                let Job::ReadMany { tags, .. } = send_err.0 else {
-                    unreachable!("send returns the job it failed to send")
-                };
-                let _ = reply_tx.send(DiskReply {
-                    disk,
-                    items: tags.into_iter().map(|t| (t, None)).collect(),
-                });
-            }
+            self.dispatch_read(disk, tags, offsets, reply_tx.clone());
         }
         BatchRead {
             rx: reply_rx,
@@ -515,8 +481,8 @@ impl ThreadedArray {
     }
 
     /// Read a batch of addresses **in parallel** (each disk serves its
-    /// own queue concurrently with the others), returning results in
-    /// request order. `None` entries are failed/absent elements.
+    /// own submissions concurrently with the others), returning results
+    /// in request order. `None` entries are failed/absent elements.
     ///
     /// This is the collecting form of [`Self::read_batch_streaming`]:
     /// one vectored request per disk, results reassembled into request
@@ -532,49 +498,29 @@ impl ThreadedArray {
         out
     }
 
-    /// The pre-batching read path: one `Job::Read` per element, one
-    /// reply-channel clone per element, one backend access per element.
-    /// Kept as the measured baseline for the `read_path` microbench and
-    /// as the reference side of the batched/per-element differential
-    /// tests. Production reads go through [`Self::read_batch`].
+    /// The pre-batching read path: one single-element submission per
+    /// address, one backend access per element. Kept as the measured
+    /// baseline for the `read_path` microbench and as the reference
+    /// side of the batched/per-element differential tests. Production
+    /// reads go through [`Self::read_batch`].
     pub fn read_batch_per_element(&self, addrs: &[Address]) -> Vec<Option<Vec<u8>>> {
-        let (reply_tx, reply_rx) = channel();
-        let mut dispatched = 0usize;
+        let (reply_tx, reply_rx) = channel::<DiskReply>();
         for (tag, &(disk, offset)) in addrs.iter().enumerate() {
-            if self
-                .sender(disk)
-                .send(Job::Read {
-                    tag,
-                    offset,
-                    reply: reply_tx.clone(),
-                })
-                .is_ok()
-            {
-                dispatched += 1;
-            } else {
-                self.mark_suspect(disk);
-            }
+            self.dispatch_read(disk, vec![tag], vec![offset], reply_tx.clone());
         }
         drop(reply_tx);
         let mut out: Vec<Option<Vec<u8>>> = vec![None; addrs.len()];
-        for _ in 0..dispatched {
+        for _ in 0..addrs.len() {
             match reply_rx.recv() {
-                Ok((tag, bytes)) => out[tag] = bytes,
-                Err(_) => break, // worker died mid-batch: leave the rest absent
+                Ok(reply) => {
+                    for (tag, bytes) in reply.items {
+                        out[tag] = bytes;
+                    }
+                }
+                Err(_) => break,
             }
         }
         out
-    }
-}
-
-impl Drop for ThreadedArray {
-    fn drop(&mut self) {
-        for slot in &self.slots {
-            let _ = slot.lock().sender.send(Job::Shutdown);
-        }
-        for w in self.workers.lock().drain(..) {
-            let _ = w.join();
-        }
     }
 }
 
@@ -712,12 +658,12 @@ mod tests {
         assert_eq!(elems, 12);
     }
 
-    /// A backend whose reads panic, killing its worker thread — the
-    /// harshest "dead worker" case the batch paths must survive.
+    /// A backend whose reads panic — the harshest failure case the
+    /// batch paths must survive without panicking the caller.
     #[derive(Debug)]
     struct PanicDisk;
     impl DiskBackend for PanicDisk {
-        fn read(&self, _offset: u64) -> Option<Vec<u8>> {
+        fn submit_read_many(&self, _offsets: &[u64]) -> IoHandle {
             panic!("injected backend panic");
         }
         fn write(&self, _offset: u64, _bytes: Vec<u8>) {}
@@ -730,20 +676,18 @@ mod tests {
     }
 
     #[test]
-    fn dead_worker_surfaces_as_none_not_panic() {
+    fn panicking_backend_surfaces_as_none_not_panic() {
         let healthy = Arc::new(MemDisk::new());
         healthy.write(0, vec![9]);
         let a = ThreadedArray::from_backends(vec![
             healthy as Arc<dyn DiskBackend>,
             Arc::new(PanicDisk) as Arc<dyn DiskBackend>,
         ]);
-        // First read kills disk 1's worker mid-batch; healthy disk may or
-        // may not have answered first, but nothing panics on our side.
+        // Disk 1's backend panics mid-batch; the reactor catches it and
+        // completes the submission as all-None — nothing panics on our
+        // side and the pool worker survives to serve later batches.
         let got = a.read_batch(&[(0, 0), (1, 0)]);
         assert_eq!(got[1], None);
-        // Worker 1 is now dead (channel disconnected). Subsequent batched
-        // reads and writes must still succeed without panicking, with the
-        // dead disk's elements absent.
         let got = a.read_batch(&[(0, 0), (1, 0), (1, 7)]);
         assert_eq!(got[0], Some(vec![9]));
         assert_eq!(got[1], None);
@@ -769,27 +713,22 @@ mod tests {
     }
 
     #[test]
-    fn dead_worker_is_marked_suspect() {
+    fn panicking_backend_is_marked_suspect() {
         let a = ThreadedArray::from_backends(vec![
             Arc::new(MemDisk::new()) as Arc<dyn DiskBackend>,
             Arc::new(PanicDisk) as Arc<dyn DiskBackend>,
         ]);
         assert!(a.suspects().is_empty());
-        let _ = a.read_batch(&[(1, 0)]); // kills worker 1
-        for _ in 0..100 {
-            let _ = a.read_batch(&[(1, 0)]); // send fails → suspect
-            if !a.suspects().is_empty() {
-                break;
-            }
-            std::thread::sleep(Duration::from_millis(1));
-        }
+        // The panic hook fires before the submission completes, so the
+        // suspect is visible as soon as the read returns.
+        let _ = a.read_batch(&[(1, 0)]);
         assert_eq!(a.suspects(), vec![1]);
         a.clear_suspect(1);
         assert!(a.suspects().is_empty());
     }
 
     #[test]
-    fn restart_disk_revives_a_dead_worker() {
+    fn replace_disk_revives_a_panicking_slot() {
         use crate::fault::FaultyDisk;
         let healthy = Arc::new(MemDisk::new());
         healthy.write(0, vec![3]);
@@ -799,16 +738,7 @@ mod tests {
             healthy as Arc<dyn DiskBackend>,
             Arc::new(PanicDisk) as Arc<dyn DiskBackend>,
         ]);
-        let _ = a.read_batch(&[(1, 0)]); // worker 1 dies
-                                         // The worker's channel disconnects as its panic unwinds; retry
-                                         // until the failed send marks the disk suspect.
-        for _ in 0..100 {
-            let _ = a.read_batch(&[(1, 0)]);
-            if !a.suspects().is_empty() {
-                break;
-            }
-            std::thread::sleep(Duration::from_millis(1));
-        }
+        let _ = a.read_batch(&[(1, 0)]); // panics → all-None + suspect
         assert_eq!(a.suspects(), vec![1]);
         // Re-register a usable backend in slot 1; the array serves it.
         a.replace_disk(1, faulty);
@@ -870,5 +800,18 @@ mod tests {
         assert_eq!(s.bytes, vec![4, 2, 0]);
         a.read_batch(&[(1, 0)]);
         assert_eq!(a.load_board().snapshot().elements, vec![2, 2, 0]);
+    }
+
+    #[test]
+    fn io_stats_track_submissions_and_completions() {
+        let a = ThreadedArray::new(2);
+        a.write_batch(vec![((0, 0), vec![1]), ((1, 0), vec![2])]);
+        a.read_batch(&[(0, 0), (1, 0)]);
+        let snap = a.io_stats().snapshot();
+        // 2 write submissions + 2 read submissions, all completed.
+        assert_eq!(snap.submitted, 4);
+        assert_eq!(snap.completed, 4);
+        assert_eq!((snap.queue_depth, snap.inflight), (0, 0));
+        assert_eq!(snap.panics, 0);
     }
 }

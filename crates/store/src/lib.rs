@@ -39,6 +39,8 @@
 //! assert_eq!(store.get("song.mp3").unwrap(), vec![7u8; 10_000]);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod bufpool;
 pub mod error;
 pub mod meta;

@@ -668,6 +668,10 @@ impl ObjectStore {
         }
         m.read_us.record_duration(stats.elapsed);
         net_delta.record_into(&self.recorder);
+        // Reactor-level I/O gauges (queue depth, in-flight submissions)
+        // alongside the read counters, so a stats snapshot shows how
+        // loaded the completion engine was at the end of this read.
+        self.array.io_stats().snapshot().record_into(&self.recorder);
 
         Ok((out, stats))
     }
