@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use ecfrm_codes::{CandidateCode, LrcCode, RsCode, XorCode};
 use ecfrm_core::{LayoutKind, Scheme};
+use ecfrm_sim::FileIoConfig;
 
 /// Parsed command options.
 #[derive(Debug, Default)]
@@ -48,6 +49,9 @@ pub struct Options {
     /// `--corrupt`: inject silent bit-rot instead of (drill) or in
     /// addition to (scrub) the clean-loss fault.
     pub corrupt: bool,
+    /// `--file-io auto|blocking|uring[:depth]` (serve/bench local
+    /// disks).
+    pub file_io: Option<String>,
 }
 
 impl Options {
@@ -102,6 +106,7 @@ impl Options {
                 "--rate" => {
                     o.rate = Some(value()?.parse().map_err(|e| format!("bad --rate: {e}"))?)
                 }
+                "--file-io" => o.file_io = Some(value()?),
                 "--workers" => {
                     o.workers = Some(
                         value()?
@@ -119,6 +124,33 @@ impl Options {
     pub fn require<'a, T>(v: &'a Option<T>, name: &str) -> Result<&'a T, String> {
         v.as_ref()
             .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// Resolve `--file-io` to a [`FileIoConfig`]: `auto` (probe, the
+    /// default), `blocking`, `uring`, or `uring:<depth>` for an
+    /// explicit queue depth. The `ECFRM_FORCE_FILE_IO` environment
+    /// variable still overrides whatever is chosen here.
+    pub fn file_io_config(&self) -> Result<FileIoConfig, String> {
+        let spec = self.file_io.as_deref().unwrap_or("auto");
+        match spec {
+            "auto" => Ok(FileIoConfig::default()),
+            "blocking" => Ok(FileIoConfig::blocking()),
+            "uring" => Ok(FileIoConfig::uring(FileIoConfig::default().depth)),
+            _ => {
+                if let Some(depth) = spec.strip_prefix("uring:") {
+                    let depth = depth
+                        .parse::<u32>()
+                        .ok()
+                        .filter(|&d| d > 0)
+                        .ok_or_else(|| format!("bad --file-io depth `{depth}`"))?;
+                    Ok(FileIoConfig::uring(depth))
+                } else {
+                    Err(format!(
+                        "bad --file-io `{spec}` (use auto|blocking|uring[:depth])"
+                    ))
+                }
+            }
+        }
     }
 
     /// Resolve `--stripes` to an ingest size: `small` = 8 stripes (the
@@ -271,6 +303,35 @@ mod tests {
         assert!(!Options::default().corrupt);
         assert!(Options::parse(&sv(&["--rate", "fast"])).is_err());
         assert!(Options::parse(&sv(&["--workers", "-1"])).is_err());
+    }
+
+    #[test]
+    fn file_io_flag() {
+        use ecfrm_sim::FileIoMode;
+        let with = |s: &str| Options {
+            file_io: Some(s.into()),
+            ..Default::default()
+        };
+        let o = Options::parse(&sv(&["--file-io", "uring:32"])).unwrap();
+        assert_eq!(o.file_io.as_deref(), Some("uring:32"));
+        let cfg = o.file_io_config().unwrap();
+        assert_eq!(cfg.mode, FileIoMode::Uring);
+        assert_eq!(cfg.depth, 32);
+        assert_eq!(
+            Options::default().file_io_config().unwrap().mode,
+            FileIoMode::Auto
+        );
+        assert_eq!(
+            with("blocking").file_io_config().unwrap().mode,
+            FileIoMode::Blocking
+        );
+        assert_eq!(
+            with("uring").file_io_config().unwrap().mode,
+            FileIoMode::Uring
+        );
+        assert!(with("uring:0").file_io_config().is_err());
+        assert!(with("uring:lots").file_io_config().is_err());
+        assert!(with("mmap").file_io_config().is_err());
     }
 
     #[test]

@@ -92,6 +92,7 @@ fn usage() -> String {
      \x20 plan    --code <spec> --layout <name> --start <elem> --count <elems> [--failed <disk>]\n\
      \x20 bench   --code <spec> --layout <name> [--element-size <bytes>] [--count <trials>]\n\
      \x20         [--stripes small|full|<n>] [--stats] [--json <file>]\n\
+     \x20         [--file-io auto|blocking|uring[:depth]]   (local disk read backend)\n\
      \x20         [--remote host:port,host:port,...]   (one address per disk)\n\
      \x20 drill   [--code <spec>] [--layout <name>] [--disk <victim>] [--stripes small|full|<n>]\n\
      \x20         [--workers <n>] [--rate <bytes/s>] [--corrupt] [--stats] [--json <file>]\n\
@@ -101,6 +102,7 @@ fn usage() -> String {
      \x20         [--stats] [--json <file>]\n\
      \x20         (merkle vs decode scrub timing; --corrupt plants bit-rot and checks localization)\n\
      \x20 serve   --listen <host:port> [--dir <shard dir>] [--element-size <bytes>]\n\
+     \x20         [--file-io auto|blocking|uring[:depth]]\n\
      \x20 stats   --remote host:port[,host:port,...] [--json <file>]\n\
      layouts: standard | rotated | krotated | shuffled | ecfrm"
         .to_string()

@@ -222,6 +222,8 @@ pub fn serve(opts: &Options) -> Result<(), CliError> {
 
     let listen = Options::require(&opts.listen, "listen")?;
     let element_size = opts.element_size.unwrap_or(64 * 1024);
+    let file_io = opts.file_io_config().map_err(CliError::Usage)?;
+    let mut storage = "in-memory".to_string();
     let backend: Arc<dyn DiskBackend> = match &opts.dir {
         Some(dir) => {
             let dir = Path::new(dir);
@@ -230,24 +232,17 @@ pub fn serve(opts: &Options) -> Result<(), CliError> {
             let path = dir.join("shard.bin");
             // Shard files hold whole cells: element payload plus the
             // store's checksum footer.
-            Arc::new(
-                FileDisk::create(&path, element_size + ecfrm_integrity::FOOTER_LEN)
-                    .map_err(|e| CliError::io("creating shard file", e))?,
-            )
+            let disk =
+                FileDisk::create_with(&path, element_size + ecfrm_integrity::FOOTER_LEN, file_io)
+                    .map_err(|e| CliError::io("creating shard file", e))?;
+            storage = format!("file-backed, {} reads", disk.io_backend());
+            Arc::new(disk)
         }
         None => Arc::new(MemDisk::new()),
     };
     let server = ShardServer::spawn(backend, listen)
         .map_err(|e| CliError::io(format!("bind {listen}"), e))?;
-    println!(
-        "serving shard on {} ({})",
-        server.addr(),
-        if opts.dir.is_some() {
-            "file-backed"
-        } else {
-            "in-memory"
-        }
-    );
+    println!("serving shard on {} ({storage})", server.addr());
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
     }
@@ -272,19 +267,24 @@ pub fn bench(opts: &Options) -> Result<(), CliError> {
 
     let dir = std::env::temp_dir().join(format!("ecfrm-bench-{}", std::process::id()));
     std::fs::create_dir_all(&dir).map_err(|e| CliError::io("creating bench tmp dir", e))?;
+    let file_io = opts.file_io_config().map_err(CliError::Usage)?;
     let mut remotes: Vec<Arc<RemoteDisk>> = Vec::new();
     let backends: Vec<Arc<dyn DiskBackend>> = if opts.remote.is_empty() {
-        (0..scheme.n_disks())
+        let disks = (0..scheme.n_disks())
             .map(|d| {
-                Ok::<_, CliError>(Arc::new(
-                    FileDisk::create(
-                        dir.join(format!("bench-d{d}.bin")),
-                        element_size + ecfrm_integrity::FOOTER_LEN,
-                    )
-                    .map_err(|e| CliError::io(format!("creating bench disk {d}"), e))?,
-                ) as Arc<dyn DiskBackend>)
+                FileDisk::create_with(
+                    dir.join(format!("bench-d{d}.bin")),
+                    element_size + ecfrm_integrity::FOOTER_LEN,
+                    file_io,
+                )
+                .map_err(|e| CliError::io(format!("creating bench disk {d}"), e))
             })
-            .collect::<Result<_, _>>()?
+            .collect::<Result<Vec<_>, _>>()?;
+        println!("local disks     {} reads", disks[0].io_backend());
+        disks
+            .into_iter()
+            .map(|d| Arc::new(d) as Arc<dyn DiskBackend>)
+            .collect()
     } else {
         if opts.remote.len() != scheme.n_disks() {
             return Err(CliError::Usage(format!(

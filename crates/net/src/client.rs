@@ -135,19 +135,6 @@ impl RemoteDiskConfig {
         self.integrity_key = Some((k0, k1));
         self
     }
-
-    /// Tight timeouts for tests: failures are detected in tens of
-    /// milliseconds instead of seconds.
-    #[deprecated(note = "use RemoteDiskConfig::builder().low_latency().build()")]
-    pub fn fast() -> Self {
-        Self::builder().low_latency().build()
-    }
-
-    /// Low-priority profile for background repair traffic.
-    #[deprecated(note = "use RemoteDiskConfig::builder().repair_profile().build()")]
-    pub fn repair() -> Self {
-        Self::builder().repair_profile().build()
-    }
 }
 
 /// Fluent constructor for [`RemoteDiskConfig`]: chain knob setters
@@ -1189,23 +1176,13 @@ mod tests {
         ShardServer::spawn(Arc::new(MemDisk::new()), "127.0.0.1:0").unwrap()
     }
 
-    /// The test profile, post-deprecation: tight timeouts via the
-    /// builder.
+    /// The test profile: tight timeouts via the builder.
     fn fast() -> RemoteDiskConfig {
         RemoteDiskConfig::builder().low_latency().build()
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn builder_presets_match_deprecated_shims() {
-        assert_eq!(
-            RemoteDiskConfig::fast(),
-            RemoteDiskConfig::builder().low_latency().build()
-        );
-        assert_eq!(
-            RemoteDiskConfig::repair(),
-            RemoteDiskConfig::builder().repair_profile().build()
-        );
+    fn builder_default_matches_config_default() {
         assert_eq!(
             RemoteDiskConfig::builder().build(),
             RemoteDiskConfig::default()
@@ -1592,11 +1569,22 @@ mod tests {
         disk.inject(Fault::DelayMs(150)).unwrap();
         let handles: Vec<IoHandle> = (0..8u64).map(|_| disk.submit_read_many(&[0])).collect();
         server.kill();
-        // Every handle must complete (all-absent), not hang: the demux
-        // thread fails outstanding requests when the connection dies.
+        // Every handle must complete, not hang: the demux thread fails
+        // outstanding requests when the connection dies. A request the
+        // server answered in the instant before the kill legitimately
+        // resolves to its real bytes; everything else is absent —
+        // never torn, never wrong.
+        let mut absent = 0;
         for h in handles {
-            assert_eq!(h.wait(), vec![None]);
+            match h.wait().as_slice() {
+                [None] => absent += 1,
+                [Some(bytes)] => assert_eq!(bytes, &vec![7u8; 4]),
+                other => panic!("batch kept its shape: {other:?}"),
+            }
         }
+        // With an extra 150 ms of service delay per request, the kill
+        // always beats most of the 8 outstanding requests.
+        assert!(absent >= 1, "kill left no request unanswered");
         assert!(disk.net_stats().unwrap().conns_discarded >= 1);
     }
 

@@ -33,17 +33,19 @@ pub mod metrics;
 pub mod net;
 pub mod reactor;
 pub mod threaded;
+pub mod uring;
 pub mod workload;
 
 pub use array::{ArraySim, Jitter};
 pub use disk::DiskModel;
 pub use event::{Completion, EventSim, Request};
 pub use fault::{FaultKind, FaultyDisk};
-pub use file_disk::FileDisk;
+pub use file_disk::{FileDisk, FileIoConfig, FileIoMode};
 pub use metrics::{mean, speed_mb_s, stddev, NetCounters, NetStats, Summary};
 pub use net::{ClusterSim, NetModel};
 pub use reactor::{io_pair, IoCompleter, IoHandle, IoResults, IoSnapshot, Reactor, ReactorStats};
 pub use threaded::{Address, DiskBackend, MemDisk, ThreadedArray};
+pub use uring::UringSnapshot;
 pub use workload::{
     DegradedReadWorkload, NormalReadWorkload, ReadRequest, TraceObject, TraceWorkload, Zipf,
 };

@@ -608,6 +608,12 @@ mod tests {
         let slow: Arc<dyn DiskBackend> = Arc::new(MemDisk::with_latency(Duration::from_millis(30)));
         slow.write(0, vec![1]);
         let first = reactor.submit_read(Arc::clone(&slow), vec![0], None);
+        // Wait for the worker to dequeue `first` (queue_depth drops to
+        // zero) — otherwise shutdown races the dequeue and may abandon
+        // it too.
+        while reactor.stats().snapshot().queue_depth > 0 {
+            std::thread::yield_now();
+        }
         let queued = reactor.submit_read(Arc::clone(&slow), vec![0, 0], None);
         reactor.shutdown();
         assert_eq!(first.wait(), vec![Some(vec![1])]);

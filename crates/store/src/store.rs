@@ -672,6 +672,12 @@ impl ObjectStore {
         // alongside the read counters, so a stats snapshot shows how
         // loaded the completion engine was at the end of this read.
         self.array.io_stats().snapshot().record_into(&self.recorder);
+        // Kernel-level backend gauges: uring engine totals plus the
+        // count of local file I/O errors absorbed into `None` results.
+        ecfrm_sim::uring::snapshot().record_into(&self.recorder);
+        self.recorder
+            .gauge("io.file_errors")
+            .set(ecfrm_sim::file_disk::io_error_count() as i64);
 
         Ok((out, stats))
     }

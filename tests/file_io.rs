@@ -1,0 +1,224 @@
+//! Differential suite for the `FileDisk` read backends.
+//!
+//! The same randomized batch workload — absent offsets, duplicate and
+//! overlapping sequential runs, element sizes straddling the 512/4096
+//! alignment boundaries `O_DIRECT` cares about — runs against three
+//! backends: `MemDisk` (the reference), the blocking sorted-pass
+//! `FileDisk`, and the io_uring `FileDisk`. Bytes must be identical
+//! everywhere, and the reactor's `io.submitted == io.completed` balance
+//! must hold after every array-level pass.
+//!
+//! Under `ECFRM_FORCE_FILE_IO=blocking` (the CI fallback leg) or on
+//! kernels without io_uring, the uring disk silently degrades to the
+//! blocking path and the suite still runs end to end — the differential
+//! property is backend-independent by construction.
+//!
+//! A separate test kills the uring engine mid-flight and asserts every
+//! outstanding handle resolves (to all-`None` or to complete pre-kill
+//! bytes) instead of hanging.
+
+use std::sync::Arc;
+
+use ecfrm::sim::{DiskBackend, FileDisk, FileIoConfig, FileIoMode, MemDisk, ThreadedArray};
+
+/// Element sizes ±1 around the alignment boundaries, plus a tiny one.
+const SIZES: &[usize] = &[8, 511, 512, 513, 4096, 4097];
+const PRESENT_SPAN: u64 = 96;
+const PROBE_SPAN: u64 = 128; // offsets beyond PRESENT_SPAN probe absence
+const TRIALS: usize = 40;
+
+fn xorshift(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
+}
+
+fn element(offset: u64, es: usize, salt: u64) -> Vec<u8> {
+    let seed = offset.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt;
+    (0..es)
+        .map(|i| (seed.wrapping_add(i as u64).wrapping_mul(131) % 251) as u8)
+        .collect()
+}
+
+fn tmpfile(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("ecfrm-fileio-{tag}-{}", std::process::id()))
+}
+
+/// Whether this run can construct a disk that genuinely uses uring.
+fn uring_available() -> bool {
+    ecfrm::sim::uring::supported() && std::env::var("ECFRM_FORCE_FILE_IO").is_err()
+}
+
+/// A random batch: mixed present/absent offsets, duplicates, and
+/// sequential runs (so the uring coalescer sees both shapes).
+fn random_batch(x: &mut u64) -> Vec<u64> {
+    let len = (xorshift(x) % 48) as usize;
+    let mut batch = Vec::with_capacity(len);
+    while batch.len() < len {
+        let o = xorshift(x) % PROBE_SPAN;
+        batch.push(o);
+        // Half the time, extend into a short sequential run.
+        if xorshift(x).is_multiple_of(2) {
+            let run = xorshift(x) % 4;
+            for d in 1..=run {
+                if batch.len() < len {
+                    batch.push((o + d) % PROBE_SPAN);
+                }
+            }
+        }
+    }
+    batch
+}
+
+#[test]
+fn backends_read_identical_bytes() {
+    for &es in SIZES {
+        let salt = es as u64;
+        let mem = MemDisk::new();
+        let pb = tmpfile(&format!("diff-blk-{es}"));
+        let pu = tmpfile(&format!("diff-ur-{es}"));
+        let blocking = FileDisk::create_with(&pb, es, FileIoConfig::blocking()).unwrap();
+        // Auto mode: uring where the kernel has it, blocking fallback
+        // elsewhere (and under ECFRM_FORCE_FILE_IO=blocking) — the
+        // differential property must hold either way.
+        let uring = FileDisk::create_with(&pu, es, FileIoConfig::default()).unwrap();
+        if uring_available() {
+            assert!(
+                uring.io_backend().starts_with("uring"),
+                "probe says uring works, auto disk must use it (got {})",
+                uring.io_backend()
+            );
+        }
+
+        // Populate a random subset so some offsets inside the span are
+        // genuinely absent on all three disks.
+        let mut x = 0xD1F7 + salt;
+        for o in 0..PRESENT_SPAN {
+            if !xorshift(&mut x).is_multiple_of(4) {
+                let bytes = element(o, es, salt);
+                mem.write(o, bytes.clone());
+                blocking.write(o, bytes.clone());
+                uring.write(o, bytes);
+            }
+        }
+
+        for trial in 0..TRIALS {
+            let batch = random_batch(&mut x);
+            let want = mem.read_many(&batch);
+            assert_eq!(
+                blocking.read_many(&batch),
+                want,
+                "blocking diverged from MemDisk (es {es}, trial {trial})"
+            );
+            assert_eq!(
+                uring.read_many(&batch),
+                want,
+                "{} diverged from MemDisk (es {es}, trial {trial})",
+                uring.io_backend()
+            );
+        }
+        let _ = std::fs::remove_file(&pb);
+        let _ = std::fs::remove_file(&pu);
+    }
+}
+
+#[test]
+fn arrays_balance_submissions_across_backends() {
+    const ES: usize = 513; // unaligned on purpose
+    let make = |mode: FileIoMode, tag: &str| -> (ThreadedArray, Vec<std::path::PathBuf>) {
+        let paths: Vec<_> = (0..3).map(|d| tmpfile(&format!("bal-{tag}-{d}"))).collect();
+        let backends: Vec<Arc<dyn DiskBackend>> = paths
+            .iter()
+            .map(|p| {
+                let cfg = FileIoConfig {
+                    mode,
+                    ..FileIoConfig::default()
+                };
+                Arc::new(FileDisk::create_with(p, ES, cfg).unwrap()) as Arc<dyn DiskBackend>
+            })
+            .collect();
+        (ThreadedArray::from_backends(backends), paths)
+    };
+
+    for (mode, tag) in [(FileIoMode::Blocking, "blk"), (FileIoMode::Auto, "auto")] {
+        let (array, paths) = make(mode, tag);
+        let items: Vec<_> = (0..60u64)
+            .map(|i| (((i % 3) as usize, i / 3), element(i, ES, 99)))
+            .collect();
+        let want: Vec<_> = items.iter().map(|(_, b)| b.clone()).collect();
+        let addrs: Vec<_> = items.iter().map(|(a, _)| *a).collect();
+        array.write_batch(items);
+
+        let mut x = 0xBA1A;
+        for _ in 0..20 {
+            let pick: Vec<_> = (0..24)
+                .map(|_| addrs[(xorshift(&mut x) % addrs.len() as u64) as usize])
+                .collect();
+            let got = array.read_batch(&pick);
+            for (g, a) in got.iter().zip(&pick) {
+                let idx = addrs.iter().position(|p| p == a).unwrap();
+                assert_eq!(g.as_ref(), Some(&want[idx]), "wrong bytes ({tag})");
+            }
+        }
+        let io = array.io_stats().snapshot();
+        assert_eq!(
+            io.submitted, io.completed,
+            "read_batch waits for every reply, so submissions balance ({tag})"
+        );
+        drop(array);
+        for p in paths {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+#[test]
+fn mid_flight_kill_resolves_all_handles() {
+    if !uring_available() {
+        eprintln!("uring unavailable (kernel or ECFRM_FORCE_FILE_IO) — skipped");
+        return;
+    }
+    const ES: usize = 4096;
+    let p = tmpfile("kill");
+    let disk = Arc::new(
+        FileDisk::create_with(
+            &p,
+            ES,
+            FileIoConfig {
+                mode: FileIoMode::Uring,
+                depth: 4, // tiny ring: plenty still queued at kill time
+                direct: true,
+            },
+        )
+        .unwrap(),
+    );
+    assert!(disk.io_backend().starts_with("uring"));
+    for o in 0..PROBE_SPAN {
+        disk.write(o, element(o, ES, 7));
+    }
+
+    let handles: Vec<_> = (0..64)
+        .map(|_| disk.submit_read_many(&(0..PROBE_SPAN).collect::<Vec<_>>()))
+        .collect();
+    assert!(disk.kill_io_engine(), "uring disk has an engine to kill");
+    for (i, handle) in handles.into_iter().enumerate() {
+        let got = handle.wait(); // the hang is the failure mode
+        assert_eq!(got.len(), PROBE_SPAN as usize, "batch {i} kept its shape");
+        for (o, g) in got.iter().enumerate() {
+            // Batches that completed before the kill carry real bytes;
+            // killed ones are None. Never torn, never wrong.
+            if let Some(bytes) = g {
+                assert_eq!(bytes, &element(o as u64, ES, 7), "batch {i} elem {o}");
+            }
+        }
+    }
+    // The engine stays dead: later submissions resolve all-None.
+    assert_eq!(disk.read_many(&[0, 1]), vec![None, None]);
+    // The blocking disk has no engine, and says so.
+    let pb = tmpfile("kill-blk");
+    let blocking = FileDisk::create_with(&pb, ES, FileIoConfig::blocking()).unwrap();
+    assert!(!blocking.kill_io_engine());
+    let _ = std::fs::remove_file(&p);
+    let _ = std::fs::remove_file(&pb);
+}
