@@ -22,6 +22,12 @@
 //! but leaves the foreground's tail close to its no-repair baseline
 //! (the `baseline` row, measured degraded with repair paused). The
 //! JSON lands in `BENCH_repair.json`.
+//!
+//! Two more rows price repair *network traffic* over a real loopback
+//! cluster: `naive` fetches every source element raw, `combined` lets
+//! helpers pre-sum server-side over `CombineRange` — 1/k of the wire
+//! bytes at RS(6,3). `--assert-combine` turns the <0.5× ratio into a
+//! hard assertion (the CI smoke gate).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -29,7 +35,8 @@ use std::time::{Duration, Instant};
 
 use ecfrm_codes::RsCode;
 use ecfrm_core::{LayoutKind, Scheme};
-use ecfrm_sim::ThreadedArray;
+use ecfrm_net::Cluster;
+use ecfrm_sim::{DiskBackend, ThreadedArray};
 use ecfrm_store::{ObjectStore, RepairConfig, RepairManager};
 
 const ELEMENT: usize = 4096;
@@ -58,6 +65,10 @@ struct Trial {
     fg_reads: usize,
     fg_p50_us: u64,
     fg_p99_us: u64,
+    /// Bytes the rebuilder ingested off the wire (`repair.wire_bytes`).
+    wire_bytes: u64,
+    /// Wall clock from first lost stripe to full redundancy.
+    time_to_redundancy_ms: f64,
 }
 
 fn pct(sorted: &[u64], p: f64) -> u64 {
@@ -153,12 +164,12 @@ fn run_trial(label: &str, rate_limit: Option<u64>, stripes: usize) -> Trial {
         "{label}: stripe count mismatch"
     );
 
-    let repair_secs = snap
+    let ttr_ms = snap
         .gauges
         .get("repair.time_to_redundancy_ms")
-        .map(|ms| *ms as f64 / 1e3)
-        .unwrap_or(f64::NAN)
-        .max(1e-4);
+        .map(|ms| *ms as f64)
+        .unwrap_or(f64::NAN);
+    let repair_secs = (ttr_ms / 1e3).max(1e-4);
     let rebuilt = snap.counters.get("repair.bytes").copied().unwrap_or(0);
     let trial = Trial {
         label: label.to_string(),
@@ -168,6 +179,8 @@ fn run_trial(label: &str, rate_limit: Option<u64>, stripes: usize) -> Trial {
         fg_reads: lat.len(),
         fg_p50_us: pct(&lat, 0.50),
         fg_p99_us: pct(&lat, 0.99),
+        wire_bytes: snap.counters.get("repair.wire_bytes").copied().unwrap_or(0),
+        time_to_redundancy_ms: ttr_ms,
     };
     mgr.shutdown();
     trial
@@ -205,6 +218,67 @@ fn run_baseline(stripes: usize, window: Duration) -> Trial {
         fg_reads: lat.len(),
         fg_p50_us: pct(&lat, 0.50),
         fg_p99_us: pct(&lat, 0.99),
+        wire_bytes: 0,
+        time_to_redundancy_ms: f64::NAN,
+    }
+}
+
+/// Repair-traffic trial over a real loopback cluster: wipe the victim
+/// shard and rebuild it stripe by stripe with `repair_stripe`, pricing
+/// the bytes the rebuilder ingested off the wire. `combined = false`
+/// fetches every source element raw (k·rows cells per stripe);
+/// `combined = true` lets helpers pre-sum server-side over
+/// `CombineRange`, so only `rows` sealed regions cross per stripe —
+/// 1/k of the naive traffic at RS(6,3).
+fn run_wire_trial(label: &str, combined: bool, stripes: usize) -> Trial {
+    let scheme = scheme();
+    let data = payload(stripes, scheme.data_per_stripe());
+    let cluster = Cluster::spawn(scheme.n_disks()).expect("spawn loopback cluster");
+    let store = ObjectStore::with_array(
+        scheme.clone(),
+        ELEMENT,
+        ThreadedArray::from_backends(cluster.backends()),
+    );
+    store.set_combined_repair(combined);
+    store.put("obj", &data).unwrap();
+    store.flush();
+    cluster.client(VICTIM).wipe();
+
+    let t = Instant::now();
+    let mut rebuilt = 0u64;
+    for s in 0..stripes as u64 {
+        rebuilt += store
+            .repair_stripe(VICTIM, s)
+            .expect("stripe repair failed")
+            .bytes_written;
+    }
+    let elapsed = t.elapsed();
+
+    // Correctness gate, same as the rate-limit trials.
+    assert_eq!(
+        store.get("obj").unwrap(),
+        data,
+        "{label}: repaired store returned wrong bytes"
+    );
+    let snap = store.recorder().snapshot();
+    if combined {
+        assert_eq!(
+            snap.counters.get("repair.combined_stripes").copied(),
+            Some(stripes as u64),
+            "{label}: not every stripe took the combined path"
+        );
+    }
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    Trial {
+        label: label.to_string(),
+        rate_limit: None,
+        repair_secs: secs,
+        repair_mb_per_s: rebuilt as f64 / 1e6 / secs,
+        fg_reads: 0,
+        fg_p50_us: 0,
+        fg_p99_us: 0,
+        wire_bytes: snap.counters.get("repair.wire_bytes").copied().unwrap_or(0),
+        time_to_redundancy_ms: elapsed.as_secs_f64() * 1e3,
     }
 }
 
@@ -220,6 +294,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let no_json = args.iter().any(|a| a == "--no-json");
+    let assert_combine = args.iter().any(|a| a == "--assert-combine");
     let stripes = if quick { 96 } else { 256 };
 
     // Unlimited, then two throttles. Limits are on total repair traffic
@@ -245,14 +320,19 @@ fn main() {
     for &(label, rate) in settings {
         rows.push(run_trial(label, rate, stripes));
     }
+    // Repair-traffic rows: same shape, real loopback cluster, naive raw
+    // fetches vs server-side CombineRange partial sums.
+    let wire_stripes = if quick { 48 } else { 128 };
+    rows.push(run_wire_trial("naive", false, wire_stripes));
+    rows.push(run_wire_trial("combined", true, wire_stripes));
 
     println!(
-        "\n  {:<10} {:>12} {:>12} {:>9} {:>10} {:>10}",
-        "rate", "repair s", "repair MB/s", "fg reads", "p50 us", "p99 us"
+        "\n  {:<10} {:>12} {:>12} {:>9} {:>10} {:>10} {:>10}",
+        "rate", "repair s", "repair MB/s", "fg reads", "p50 us", "p99 us", "wire MB"
     );
     for r in &rows {
         println!(
-            "  {:<10} {:>12} {:>12} {:>9} {:>10} {:>10}",
+            "  {:<10} {:>12} {:>12} {:>9} {:>10} {:>10} {:>10}",
             r.label,
             if r.repair_secs.is_finite() {
                 format!("{:.3}", r.repair_secs)
@@ -267,10 +347,15 @@ fn main() {
             r.fg_reads,
             r.fg_p50_us,
             r.fg_p99_us,
+            if r.wire_bytes > 0 {
+                format!("{:.2}", r.wire_bytes as f64 / 1e6)
+            } else {
+                "-".into()
+            },
         );
     }
     let unlimited = rows.iter().find(|r| r.label == "unlimited").unwrap();
-    let tightest = rows.last().unwrap();
+    let tightest = rows.iter().find(|r| r.label == "10MB/s").unwrap();
     println!(
         "\nrate limiting: p99 {} us (unlimited) -> {} us (at {}), \
          repair {:.1} MB/s -> {:.1} MB/s",
@@ -280,6 +365,25 @@ fn main() {
         unlimited.repair_mb_per_s,
         tightest.repair_mb_per_s,
     );
+    let naive = rows.iter().find(|r| r.label == "naive").unwrap();
+    let combined = rows.iter().find(|r| r.label == "combined").unwrap();
+    let ratio = combined.wire_bytes as f64 / naive.wire_bytes as f64;
+    println!(
+        "repair traffic: naive {:.2} MB on the wire, combined {:.2} MB \
+         ({ratio:.3}x, 1/k = {:.3}) over {wire_stripes} stripes",
+        naive.wire_bytes as f64 / 1e6,
+        combined.wire_bytes as f64 / 1e6,
+        1.0 / 6.0,
+    );
+    if assert_combine {
+        assert!(
+            2 * combined.wire_bytes < naive.wire_bytes,
+            "combined repair shipped {} wire bytes, expected < 0.5x naive ({})",
+            combined.wire_bytes,
+            naive.wire_bytes,
+        );
+        println!("assert-combine: OK (combined < 0.5x naive)");
+    }
 
     if no_json {
         return;
@@ -295,7 +399,8 @@ fn main() {
         body.push_str(&format!(
             "    {{\"rate\": \"{}\", \"rate_limit_bytes_per_s\": {}, \
              \"repair_secs\": {}, \"repair_mb_per_s\": {}, \
-             \"fg_reads\": {}, \"fg_p50_us\": {}, \"fg_p99_us\": {}}}{}\n",
+             \"fg_reads\": {}, \"fg_p50_us\": {}, \"fg_p99_us\": {}, \
+             \"wire_bytes\": {}, \"time_to_redundancy_ms\": {}}}{}\n",
             r.label,
             r.rate_limit
                 .map(|v| v.to_string())
@@ -305,6 +410,8 @@ fn main() {
             r.fg_reads,
             r.fg_p50_us,
             r.fg_p99_us,
+            r.wire_bytes,
+            json_f(r.time_to_redundancy_ms),
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }

@@ -52,6 +52,9 @@ pub struct Options {
     /// `--file-io auto|blocking|uring[:depth]` (serve/bench local
     /// disks).
     pub file_io: Option<String>,
+    /// `--racks 3`: split the disks into that many contiguous failure
+    /// domains; repair and degraded reads prefer same-rack helpers.
+    pub racks: Option<usize>,
 }
 
 impl Options {
@@ -107,6 +110,9 @@ impl Options {
                     o.rate = Some(value()?.parse().map_err(|e| format!("bad --rate: {e}"))?)
                 }
                 "--file-io" => o.file_io = Some(value()?),
+                "--racks" => {
+                    o.racks = Some(value()?.parse().map_err(|e| format!("bad --racks: {e}"))?)
+                }
                 "--workers" => {
                     o.workers = Some(
                         value()?
@@ -194,11 +200,27 @@ pub fn parse_code(spec: &str) -> Result<Arc<dyn CandidateCode>, String> {
 
 /// Build a scheme from spec strings. Layout names are whatever
 /// [`LayoutKind`]'s `FromStr` accepts (`standard`, `rotated`,
-/// `krotated`, `shuffled`, `ecfrm`, case-insensitive).
-pub fn parse_scheme(code: &str, layout: &str, seed: u64) -> Result<Scheme, String> {
+/// `krotated`, `shuffled`, `ecfrm`, case-insensitive). `racks`
+/// partitions the disks into that many contiguous failure domains
+/// (helper selection prefers the failed disk's domain); `None` leaves
+/// the scheme domain-blind.
+pub fn parse_scheme(
+    code: &str,
+    layout: &str,
+    seed: u64,
+    racks: Option<usize>,
+) -> Result<Scheme, String> {
     let code = parse_code(code)?;
+    let n = code.n();
     let kind: LayoutKind = layout.parse()?;
-    Ok(Scheme::builder(code).layout(kind).seed(seed).build())
+    let mut builder = Scheme::builder(code).layout(kind).seed(seed);
+    if let Some(r) = racks {
+        if r == 0 || r > n {
+            return Err(format!("bad --racks {r}: need between 1 and {n} racks"));
+        }
+        builder = builder.racks(r);
+    }
+    Ok(builder.build())
 }
 
 #[cfg(test)]
@@ -267,21 +289,46 @@ mod tests {
     #[test]
     fn scheme_specs() {
         assert_eq!(
-            parse_scheme("rs:6,3", "ecfrm", 0).unwrap().name(),
+            parse_scheme("rs:6,3", "ecfrm", 0, None).unwrap().name(),
             "EC-FRM-RS(6,3)"
         );
         assert_eq!(
-            parse_scheme("lrc:6,2,2", "standard", 0).unwrap().name(),
+            parse_scheme("lrc:6,2,2", "standard", 0, None)
+                .unwrap()
+                .name(),
             "LRC(6,2,2)"
         );
-        assert!(parse_scheme("rs:6,3", "diagonal", 0).is_err());
+        assert!(parse_scheme("rs:6,3", "diagonal", 0, None).is_err());
         // Layout names route through LayoutKind::from_str, so every
         // registered layout — including krotated — parses.
         assert_eq!(
-            parse_scheme("rs:6,3", "krotated", 0).unwrap().name(),
+            parse_scheme("rs:6,3", "krotated", 0, None).unwrap().name(),
             "KROTATED-RS(6,3)"
         );
-        assert!(parse_scheme("rs:6,3", "shuffled", 9).is_ok());
+        assert!(parse_scheme("rs:6,3", "shuffled", 9, None).is_ok());
+    }
+
+    #[test]
+    fn racks_flag_partitions_failure_domains() {
+        let o = Options::parse(&sv(&["--racks", "3"])).unwrap();
+        assert_eq!(o.racks, Some(3));
+        // RS(6,3) has 9 disks: 3 contiguous racks of 3.
+        let scheme = parse_scheme("rs:6,3", "ecfrm", 0, Some(3)).unwrap();
+        assert_eq!(scheme.domains().n_domains(), 3);
+        assert!(scheme.domains().same_domain(0, 2));
+        assert!(!scheme.domains().same_domain(2, 3));
+        // Domain-blind by default, and bad counts are caught before the
+        // builder can panic.
+        assert_eq!(
+            parse_scheme("rs:6,3", "ecfrm", 0, None)
+                .unwrap()
+                .domains()
+                .n_domains(),
+            1
+        );
+        assert!(parse_scheme("rs:6,3", "ecfrm", 0, Some(0)).is_err());
+        assert!(parse_scheme("rs:6,3", "ecfrm", 0, Some(10)).is_err());
+        assert!(Options::parse(&sv(&["--racks", "many"])).is_err());
     }
 
     #[test]

@@ -98,6 +98,8 @@ fn usage() -> String {
      \x20         [--workers <n>] [--rate <bytes/s>] [--corrupt] [--stats] [--json <file>]\n\
      \x20         (kill-and-repair fire drill: background repair under foreground load;\n\
      \x20          --corrupt injects silent bit-rot instead of a clean kill)\n\
+     \x20 every scheme command also takes [--racks <n>]: contiguous failure domains;\n\
+     \x20         repair and degraded reads prefer same-rack helpers\n\
      \x20 scrub   [--code <spec>] [--layout <name>] [--stripes small|full|<n>] [--corrupt]\n\
      \x20         [--stats] [--json <file>]\n\
      \x20         (merkle vs decode scrub timing; --corrupt plants bit-rot and checks localization)\n\

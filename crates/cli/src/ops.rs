@@ -40,7 +40,7 @@ pub fn encode(opts: &Options) -> Result<(), CliError> {
         return Err(CliError::Usage("--element-size must be positive".into()));
     }
 
-    let scheme = parse_scheme(code, layout, opts.seed)?;
+    let scheme = parse_scheme(code, layout, opts.seed, opts.racks)?;
     let data = std::fs::read(input).map_err(|e| CliError::io(format!("reading {input}"), e))?;
     let data_len = data.len() as u64;
     let dps = scheme.data_per_stripe();
@@ -88,7 +88,7 @@ pub fn encode(opts: &Options) -> Result<(), CliError> {
 
 /// Build the scheme recorded in a manifest.
 fn scheme_of(m: &Manifest) -> Result<Scheme, CliError> {
-    Ok(parse_scheme(&m.code, &m.layout, m.seed)?)
+    Ok(parse_scheme(&m.code, &m.layout, m.seed, None)?)
 }
 
 /// `ecfrm decode`: restore the original file, reconstructing around any
@@ -261,7 +261,7 @@ pub fn bench(opts: &Options) -> Result<(), CliError> {
     let code = Options::require(&opts.code, "code")?;
     let layout = Options::require(&opts.layout, "layout")?;
     let element_size = opts.element_size.unwrap_or(64 * 1024);
-    let scheme = parse_scheme(code, layout, opts.seed)?;
+    let scheme = parse_scheme(code, layout, opts.seed, opts.racks)?;
     let trials = opts.count.unwrap_or(200);
     let stripes = opts.stripe_count()?;
 
@@ -435,7 +435,7 @@ pub fn drill(opts: &Options) -> Result<(), CliError> {
     let code = opts.code.as_deref().unwrap_or("rs:6,3");
     let layout = opts.layout.as_deref().unwrap_or("ecfrm");
     let element_size = opts.element_size.unwrap_or(16 * 1024);
-    let scheme = parse_scheme(code, layout, opts.seed)?;
+    let scheme = parse_scheme(code, layout, opts.seed, opts.racks)?;
     let stripes = opts.stripe_count()?;
     let victim = opts.disk.unwrap_or(0);
     if victim >= scheme.n_disks() {
@@ -669,7 +669,7 @@ pub fn scrub(opts: &Options) -> Result<(), CliError> {
     let code = opts.code.as_deref().unwrap_or("rs:6,3");
     let layout = opts.layout.as_deref().unwrap_or("ecfrm");
     let element_size = opts.element_size.unwrap_or(16 * 1024);
-    let scheme = parse_scheme(code, layout, opts.seed)?;
+    let scheme = parse_scheme(code, layout, opts.seed, opts.racks)?;
     let stripes = opts.stripe_count()?;
 
     let store = Arc::new(ObjectStore::with_array(
@@ -888,7 +888,7 @@ pub fn plan(opts: &Options) -> Result<(), CliError> {
     let layout = Options::require(&opts.layout, "layout")?;
     let start = *Options::require(&opts.start, "start")?;
     let count = *Options::require(&opts.count, "count")?;
-    let scheme = parse_scheme(code, layout, opts.seed)?;
+    let scheme = parse_scheme(code, layout, opts.seed, opts.racks)?;
     let plan = if opts.failed.is_empty() {
         scheme.normal_read_plan(start, count)
     } else {

@@ -45,7 +45,7 @@ pub mod stripe;
 pub mod update;
 pub mod wide;
 
-pub use ecfrm_layout::LayoutKind;
+pub use ecfrm_layout::{DomainMap, LayoutKind};
 pub use plan::{Fetch, Purpose, ReadPlan};
 pub use recover::DiskRecovery;
 pub use scheme::{ReadCtx, Scheme, SchemeBuilder};

@@ -150,10 +150,17 @@ impl DiskRecovery {
                     let chosen: Vec<usize> = match spec {
                         RepairSpec::Exact { read } => read,
                         RepairSpec::AnyOf { from, count } => {
-                            let mut ranked: Vec<(usize, usize, usize)> = from
+                            // Prefer helpers sharing the failed disk's
+                            // failure domain — rebuild traffic stays
+                            // inside the rack — then balance loads.
+                            let domains = scheme.domains();
+                            let mut ranked: Vec<(bool, usize, usize, usize)> = from
                                 .into_iter()
                                 .filter(|&p| !is_failed(locs[p].disk))
-                                .map(|p| (loads[locs[p].disk], locs[p].disk, p))
+                                .map(|p| {
+                                    let d = locs[p].disk;
+                                    (!domains.same_domain(target, d), loads[d], d, p)
+                                })
                                 .collect();
                             ranked.sort_unstable();
                             if ranked.len() < count {
@@ -163,7 +170,11 @@ impl DiskRecovery {
                                     ranked.len()
                                 ));
                             }
-                            ranked.into_iter().take(count).map(|(_, _, p)| p).collect()
+                            ranked
+                                .into_iter()
+                                .take(count)
+                                .map(|(_, _, _, p)| p)
+                                .collect()
                         }
                     };
                     debug_assert!(
@@ -236,7 +247,7 @@ impl DiskRecovery {
 mod tests {
     use super::*;
     use ecfrm_codes::{CandidateCode, LrcCode, RsCode};
-    use ecfrm_layout::LayoutKind;
+    use ecfrm_layout::{DomainMap, LayoutKind};
     use std::sync::Arc;
 
     fn ecfrm(code: Arc<dyn CandidateCode>) -> Scheme {
@@ -346,6 +357,26 @@ mod tests {
         assert!(
             max - min <= rec.total_rebuilt(),
             "recovery load wildly unbalanced: {load:?}"
+        );
+    }
+
+    #[test]
+    fn rack_aware_plan_keeps_rebuild_traffic_inside_the_rack() {
+        // Rack 0 holds the failed disk plus exactly k = 6 survivors, so
+        // every rebuild can be served without crossing racks — and with
+        // domain labels set, it must be.
+        let rs: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(6, 3));
+        let scheme = Scheme::builder(rs)
+            .layout(LayoutKind::EcFrm)
+            .domains(DomainMap::from_labels(&[0, 1, 1, 0, 0, 0, 0, 0, 0]))
+            .build();
+        let rec = DiskRecovery::plan(&scheme, 0, 6);
+        let load = rec.read_load();
+        assert_eq!(load[1], 0, "cross-rack helper used: {load:?}");
+        assert_eq!(load[2], 0, "cross-rack helper used: {load:?}");
+        assert!(
+            load[3..].iter().all(|&l| l > 0),
+            "all in-rack survivors help: {load:?}"
         );
     }
 

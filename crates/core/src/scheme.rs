@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use ecfrm_codes::{decode, CandidateCode, CodeError, DecoderCache, RepairSpec};
-use ecfrm_layout::{Layout, LayoutKind, Loc};
+use ecfrm_layout::{DomainMap, Layout, LayoutKind, Loc};
 use ecfrm_obs::Recorder;
 
 use crate::plan::{Fetch, Purpose, ReadPlan};
@@ -50,6 +50,7 @@ impl<'a> ReadCtx<'a> {
 pub struct Scheme {
     code: Arc<dyn CandidateCode>,
     layout: Arc<dyn Layout>,
+    domains: Arc<DomainMap>,
 }
 
 impl std::fmt::Debug for Scheme {
@@ -64,9 +65,34 @@ impl Scheme {
     /// # Panics
     /// Panics if the layout's `(n, k)` disagrees with the code's.
     pub fn new(code: Arc<dyn CandidateCode>, layout: Arc<dyn Layout>) -> Self {
+        let domains = Arc::new(DomainMap::single(layout.n_disks()));
+        Self::with_domains(code, layout, domains)
+    }
+
+    /// Bind `code` to a layout with explicit failure-domain labels.
+    /// Repair and degraded-read planning prefer helper disks that share
+    /// a domain with the disk being repaired.
+    ///
+    /// # Panics
+    /// Panics if the layout's `(n, k)` disagrees with the code's, or
+    /// the domain map covers a different number of disks.
+    pub fn with_domains(
+        code: Arc<dyn CandidateCode>,
+        layout: Arc<dyn Layout>,
+        domains: Arc<DomainMap>,
+    ) -> Self {
         assert_eq!(layout.code_n(), code.n(), "layout n != code n");
         assert_eq!(layout.code_k(), code.k(), "layout k != code k");
-        Self { code, layout }
+        assert_eq!(
+            domains.n_disks(),
+            layout.n_disks(),
+            "domain map disks != layout disks"
+        );
+        Self {
+            code,
+            layout,
+            domains,
+        }
     }
 
     /// Start building a scheme: pick the layout (and, for shuffled, the
@@ -87,6 +113,7 @@ impl Scheme {
             code,
             layout: LayoutKind::default(),
             seed: 0,
+            domains: None,
         }
     }
 
@@ -98,6 +125,11 @@ impl Scheme {
     /// The layout.
     pub fn layout(&self) -> &dyn Layout {
         self.layout.as_ref()
+    }
+
+    /// Failure-domain labels; [`DomainMap::single`] unless configured.
+    pub fn domains(&self) -> &DomainMap {
+        &self.domains
     }
 
     /// Display name following the paper's convention: `RS(6,3)`,
@@ -276,14 +308,20 @@ impl Scheme {
                         from.into_iter().partition(|&p| plan.contains(row_locs[p]));
                     let mut chosen: Vec<usize> = have.into_iter().take(need).collect();
                     if chosen.len() < need {
-                        // Remaining sources: pick from the least-loaded
+                        // Remaining sources: prefer helpers in the lost
+                        // disk's failure domain (repair traffic stays
+                        // inside the rack), then the least-loaded
                         // surviving disks, deterministically.
-                        let mut ranked: Vec<(usize, usize, usize)> = candidates
+                        let target_disk = row_locs[pos].disk;
+                        let mut ranked: Vec<(bool, usize, usize, usize)> = candidates
                             .into_iter()
-                            .map(|p| (loads[row_locs[p].disk], row_locs[p].disk, p))
+                            .map(|p| {
+                                let d = row_locs[p].disk;
+                                (!self.domains.same_domain(target_disk, d), loads[d], d, p)
+                            })
                             .collect();
                         ranked.sort_unstable();
-                        for (_, _, p) in ranked.into_iter().take(need - chosen.len()) {
+                        for (_, _, _, p) in ranked.into_iter().take(need - chosen.len()) {
                             chosen.push(p);
                         }
                     }
@@ -419,6 +457,7 @@ pub struct SchemeBuilder {
     code: Arc<dyn CandidateCode>,
     layout: LayoutKind,
     seed: u64,
+    domains: Option<DomainMap>,
 }
 
 impl std::fmt::Debug for SchemeBuilder {
@@ -447,10 +486,27 @@ impl SchemeBuilder {
         self
     }
 
+    /// Explicit failure-domain labels (see [`DomainMap`]). Must cover
+    /// exactly the layout's disks.
+    pub fn domains(mut self, map: DomainMap) -> Self {
+        self.domains = Some(map);
+        self
+    }
+
+    /// Convenience: `racks` contiguous failure domains of (near-)equal
+    /// size over the code's `n` disks.
+    pub fn racks(self, racks: usize) -> Self {
+        let n = self.code.n();
+        self.domains(DomainMap::contiguous(n, racks))
+    }
+
     /// Construct the scheme.
     pub fn build(self) -> Scheme {
         let layout = self.layout.build(self.code.n(), self.code.k(), self.seed);
-        Scheme::new(self.code, layout)
+        match self.domains {
+            Some(map) => Scheme::with_domains(self.code, layout, Arc::new(map)),
+            None => Scheme::new(self.code, layout),
+        }
     }
 }
 
@@ -856,6 +912,44 @@ mod tests {
             assert_eq!(direct, cached, "failed={failed}");
         }
         assert!(cache.stats().1 > 0);
+    }
+
+    #[test]
+    fn degraded_read_prefers_helpers_in_the_lost_disks_rack() {
+        // Standard RS(6,3): position p sits on disk p, so repairing
+        // element 0 (disk 0) may read any 6 of disks 1..=8. Put disks 1
+        // and 2 in a foreign rack: a rack-aware plan must leave them
+        // alone, the domain-blind default reads them first.
+        let rs: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(6, 3));
+        let rack_aware = Scheme::builder(rs.clone())
+            .layout(LayoutKind::Standard)
+            .domains(DomainMap::from_labels(&[0, 1, 1, 0, 0, 0, 0, 0, 0]))
+            .build();
+        let plan = rack_aware.degraded_read_plan(0, 1, &[0]);
+        assert!(plan.unreadable.is_empty());
+        assert!(
+            plan.fetches.iter().all(|f| f.loc.disk >= 3),
+            "intra-rack helpers suffice: {:?}",
+            plan.fetches
+        );
+        let blind = form(rs, LayoutKind::Standard);
+        let plan = blind.degraded_read_plan(0, 1, &[0]);
+        assert!(
+            plan.fetches.iter().any(|f| f.loc.disk == 1),
+            "domain-blind ranking starts at the lowest disk"
+        );
+    }
+
+    #[test]
+    fn racks_builder_splits_contiguously() {
+        let rs: Arc<dyn CandidateCode> = Arc::new(RsCode::vandermonde(6, 3));
+        let scheme = Scheme::builder(rs)
+            .layout(LayoutKind::EcFrm)
+            .racks(3)
+            .build();
+        assert_eq!(scheme.domains().n_domains(), 3);
+        assert!(scheme.domains().same_domain(0, 2));
+        assert!(!scheme.domains().same_domain(2, 3));
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! write model) and physical `(disk, offset)` locations, in both
 //! directions.
 
+pub mod domains;
 pub mod ecfrm;
 pub mod kind;
 pub mod krotated;
@@ -34,6 +35,7 @@ pub mod shuffled;
 pub mod standard;
 pub mod traits;
 
+pub use domains::DomainMap;
 pub use ecfrm::EcFrmLayout;
 pub use kind::LayoutKind;
 pub use krotated::KRotatedLayout;

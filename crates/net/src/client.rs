@@ -37,12 +37,15 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ecfrm_obs::{Histogram, HistogramSnapshot};
-use ecfrm_sim::{io_pair, DiskBackend, IoHandle, NetCounters, NetStats};
+use ecfrm_sim::{
+    io_pair, CombineOutcome, CombineReply, CombineSpec, DiskBackend, IoHandle, NetCounters,
+    NetStats,
+};
 use ecfrm_util::{Mutex, Rng};
 
 use crate::protocol::{
-    read_response, read_response_polling, write_request, CheckedElement, Fault, NetError,
-    PolledResponse, Request, Response,
+    read_response, read_response_polling, write_request, CheckedElement, CombinePeer, Fault,
+    NetError, PolledResponse, Request, Response,
 };
 
 /// Client-side resilience knobs. Build one with
@@ -542,6 +545,11 @@ pub struct RemoteDisk {
     /// the checked opcode fails but a `BatchGet` of the same offsets
     /// succeeds.
     checked_supported: AtomicBool,
+    /// Same demotion latch for `CombineRange`: cleared the first time
+    /// the combine opcode fails but a `BatchGet` of the same offsets
+    /// succeeds (the shard is alive but predates server-side
+    /// combining — the repair planner falls back to raw elements).
+    combine_supported: AtomicBool,
     /// Three-state mux negotiation latch: [`MUX_UNKNOWN`] until the
     /// first data request probes, then [`MUX_ON`] or [`MUX_OFF`].
     mux_state: AtomicU8,
@@ -574,6 +582,7 @@ impl RemoteDisk {
             ever_connected: AtomicBool::new(false),
             range_supported: AtomicBool::new(true),
             checked_supported: AtomicBool::new(true),
+            combine_supported: AtomicBool::new(true),
             mux_state: AtomicU8::new(MUX_UNKNOWN),
             mux: Mutex::new(None),
             remote_verify_fails: Arc::new(AtomicU64::new(0)),
@@ -1164,6 +1173,71 @@ impl DiskBackend for RemoteDisk {
     fn net_stats(&self) -> Option<NetStats> {
         Some(self.counters.snapshot())
     }
+
+    /// Ship decode coefficients to the shard and receive pre-summed
+    /// regions back (the repair-traffic-optimal path). An old server
+    /// drops the connection on the unknown opcode; like the range
+    /// latches, a `BatchGet` probe of the same offsets distinguishes
+    /// "combine-less but alive" (latch off, caller falls back to raw
+    /// elements) from "shard down" (report the failure).
+    fn combine(&self, spec: &CombineSpec) -> CombineOutcome {
+        if !self.combine_supported.load(Ordering::Acquire) {
+            return CombineOutcome::Unsupported;
+        }
+        let req = Request::CombineRange {
+            offset: spec.offset,
+            count: spec.count,
+            outputs: spec.outputs,
+            coeffs: spec.coeffs.clone(),
+            k0: spec.key.0,
+            k1: spec.key.1,
+            peers: spec
+                .peers
+                .iter()
+                .map(|p| CombinePeer {
+                    addr: p.addr.clone(),
+                    offset: p.offset,
+                    count: p.count,
+                    coeffs: p.coeffs.clone(),
+                })
+                .collect(),
+        };
+        match self.timed(|| self.rpc(&req)) {
+            Ok(Response::Combined {
+                regions,
+                local_status,
+                peer_status,
+            }) => CombineOutcome::Combined(CombineReply {
+                regions,
+                local_status,
+                peer_status,
+            }),
+            Ok(other) => CombineOutcome::Failed(format!("unexpected response: {other:?}")),
+            // A structured Error came back over the wire: the server
+            // speaks the opcode (it rejected this *request*), so the
+            // latch stays on.
+            Err(NetError::Remote(msg)) => CombineOutcome::Failed(msg),
+            Err(e) => {
+                let offsets: Vec<u64> = (0..u64::from(spec.count))
+                    .map(|i| spec.offset + i)
+                    .collect();
+                let probe = self.read_batch(&offsets);
+                if probe.iter().any(Option::is_some) {
+                    self.combine_supported.store(false, Ordering::Release);
+                    return CombineOutcome::Unsupported;
+                }
+                CombineOutcome::Failed(e.to_string())
+            }
+        }
+    }
+
+    fn supports_combine(&self) -> bool {
+        self.combine_supported.load(Ordering::Acquire)
+    }
+
+    fn peer_addr(&self) -> Option<String> {
+        Some(self.addr.to_string())
+    }
 }
 
 #[cfg(test)]
@@ -1414,6 +1488,101 @@ mod tests {
         assert!(!disk.mux_enabled(), "plain probe answer demotes mux");
         // Subsequent batches skip the checked attempt entirely.
         assert_eq!(disk.read_many(&[0, 1, 2, 3]), want);
+    }
+
+    #[test]
+    fn combine_roundtrip_over_wire_matches_local_oracle() {
+        use ecfrm_integrity::{append_footer, verify_footer, HashKey};
+        let server = server();
+        let disk = RemoteDisk::new(server.addr(), fast());
+        let key = HashKey::DEFAULT.derive(0x434F_4D42, 1);
+        for off in 0..3u64 {
+            let mut cell = vec![off as u8 + 1; 16];
+            append_footer(&key, off, &mut cell);
+            disk.write(off, cell);
+        }
+        let spec = CombineSpec {
+            offset: 0,
+            count: 3,
+            outputs: 1,
+            coeffs: vec![3, 5, 7],
+            key: (key.k0, key.k1),
+            peers: Vec::new(),
+        };
+        let CombineOutcome::Combined(reply) = disk.combine(&spec) else {
+            panic!("live new server must combine");
+        };
+        assert!(disk.supports_combine());
+        assert_eq!(reply.local_status, vec![0, 0, 0]);
+        let region = verify_footer(&key, 0, &reply.regions[0]).expect("region sealed");
+        let mut want = vec![0u8; 16];
+        for (c, off) in [(3u8, 0u64), (5, 1), (7, 2)] {
+            ecfrm_gf::region::mul_add_region(c, &[off as u8 + 1; 16], &mut want);
+        }
+        assert_eq!(region, &want[..]);
+    }
+
+    #[test]
+    fn old_server_latches_combine_off_after_one_probe() {
+        // A pre-combine shard: drops the connection on the unknown
+        // opcode but answers `BatchGet` — the probe that tells the
+        // client "alive but combine-less". The latch must be permanent
+        // and must not disturb the other negotiations.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let combine_frames = Arc::new(AtomicU64::new(0));
+        let backend = Arc::new(MemDisk::new());
+        for off in 0..3u64 {
+            backend.write(off, vec![off as u8; 4]);
+        }
+        let serve_backend = Arc::clone(&backend);
+        let serve_frames = Arc::clone(&combine_frames);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { return };
+                let disk = Arc::clone(&serve_backend);
+                let frames = Arc::clone(&serve_frames);
+                std::thread::spawn(move || loop {
+                    let req = match crate::protocol::read_request(&mut stream) {
+                        Ok(r) => r,
+                        Err(_) => return,
+                    };
+                    let resp = match req {
+                        Request::CombineRange { .. } => {
+                            frames.fetch_add(1, Ordering::Relaxed);
+                            return; // "unknown opcode"
+                        }
+                        Request::BatchGet { offsets } => Response::Batch(disk.read_many(&offsets)),
+                        Request::GetElement { offset } => Response::Element(disk.read(offset)),
+                        _ => Response::Error("unsupported".into()),
+                    };
+                    if crate::protocol::write_response(&mut stream, &resp).is_err() {
+                        return;
+                    }
+                });
+            }
+        });
+
+        let disk = RemoteDisk::new(addr, fast());
+        assert!(disk.supports_combine(), "optimistic until proven otherwise");
+        let spec = CombineSpec {
+            offset: 0,
+            count: 3,
+            outputs: 1,
+            coeffs: vec![1, 1, 1],
+            key: (0, 0),
+            peers: Vec::new(),
+        };
+        assert!(matches!(disk.combine(&spec), CombineOutcome::Unsupported));
+        assert!(
+            !disk.supports_combine(),
+            "an answering but combine-less shard latches the op off"
+        );
+        let after_first = combine_frames.load(Ordering::Relaxed);
+        assert!(after_first >= 1);
+        // The latch is permanent: no further combine frames on the wire.
+        assert!(matches!(disk.combine(&spec), CombineOutcome::Unsupported));
+        assert_eq!(combine_frames.load(Ordering::Relaxed), after_first);
     }
 
     #[test]

@@ -25,6 +25,14 @@
 //! Like the range ops it is additive in version 1: old servers reject
 //! (and drop the connection on) the opcode, and clients latch back to
 //! the pooled one-request-per-connection discipline.
+//!
+//! A tenth operation, `CombineRange`, moves repair decode arithmetic to
+//! the data: the server multiplies a contiguous run of local elements
+//! by a caller-supplied GF(2^8) coefficient matrix and ships back
+//! pre-summed regions — optionally first fetching and XOR-merging other
+//! helpers' partial sums ([`CombinePeer`]) so only the combined result
+//! crosses the rebuilder's ingest link. Additive like the other new
+//! ops, with the same probe-and-latch client fallback.
 
 use std::io::{Read, Write};
 
@@ -155,6 +163,37 @@ pub enum Request {
         /// Second word of the store's integrity key.
         k1: u64,
     },
+    /// Multiply `count` contiguous local elements starting at `offset`
+    /// by a row-major `outputs × count` GF(2^8) coefficient matrix and
+    /// answer with one pre-summed region per output lane
+    /// ([`Response::Combined`]) — the repair-traffic optimisation: a
+    /// rebuild ships decode coefficients *to* the data and moves one
+    /// combined region back instead of `k` raw elements. The server
+    /// verifies each local element's checksum footer (under the shipped
+    /// key) before it contributes, fetches and XOR-merges the partial
+    /// sums of any `peers` (one level deep — forwarded requests carry
+    /// no peers), and seals each returned region with a footer salted
+    /// by `offset + lane`. Additive in protocol version 1: servers that
+    /// predate it reject the opcode and clients fall back to fetching
+    /// raw elements.
+    CombineRange {
+        /// First local element offset.
+        offset: u64,
+        /// Number of consecutive local elements.
+        count: u32,
+        /// Number of output lanes (pre-summed regions to return).
+        outputs: u32,
+        /// Row-major `outputs × count` coefficient matrix for the local
+        /// elements.
+        coeffs: Vec<u8>,
+        /// First word of the store's integrity key.
+        k0: u64,
+        /// Second word of the store's integrity key.
+        k1: u64,
+        /// Other helpers whose partial sums this server fetches and
+        /// merges before answering.
+        peers: Vec<CombinePeer>,
+    },
     /// Liveness + occupancy probe.
     Health,
     /// Drive the shard's failure state.
@@ -173,6 +212,21 @@ pub enum Request {
         /// The wrapped request.
         inner: Box<Request>,
     },
+}
+
+/// One peer's share of a [`Request::CombineRange`], forwarded by the
+/// aggregating server so partial sums merge beside the data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CombinePeer {
+    /// The peer shard's dialable address (`host:port`).
+    pub addr: String,
+    /// First element offset on the peer.
+    pub offset: u64,
+    /// Number of consecutive elements on the peer.
+    pub count: u32,
+    /// Row-major `outputs × count` coefficient matrix for the peer's
+    /// elements (`outputs` comes from the enclosing request).
+    pub coeffs: Vec<u8>,
 }
 
 /// One element of a [`Response::Checked`] — the server's per-element
@@ -209,6 +263,21 @@ pub enum Response {
     /// wasted element transfer) followed by the valid elements' bytes
     /// in order.
     Checked(Vec<CheckedElement>),
+    /// The answer to a [`Request::CombineRange`]: one pre-summed region
+    /// per output lane (each `payload || footer`, the footer salted by
+    /// `offset + lane` under the request's key), plus per-local-element
+    /// and per-peer verdicts (0 = ok, 1 = missing/unreachable,
+    /// 2 = corrupt, 3 = declined) so the rebuilder can exclude a bad
+    /// helper and re-plan. `regions` is empty when nothing contributed.
+    Combined {
+        /// One region per output lane.
+        regions: Vec<Vec<u8>>,
+        /// Verdict per local element, in offset order.
+        local_status: Vec<u8>,
+        /// Verdict per forwarded peer, in request order. A non-ok peer
+        /// contributed nothing to the sums.
+        peer_status: Vec<u8>,
+    },
     /// Health probe answer: stored element count.
     Health {
         /// Elements currently stored.
@@ -239,6 +308,7 @@ const OP_STATS: u8 = 6;
 const OP_GET_RANGE: u8 = 7;
 const OP_RANGE_CHECKED: u8 = 8;
 const OP_MUX: u8 = 9;
+const OP_COMBINE_RANGE: u8 = 10;
 
 const RESP_ELEMENT: u8 = 129;
 const RESP_PUT: u8 = 130;
@@ -249,6 +319,7 @@ const RESP_STATS: u8 = 134;
 const RESP_RANGE: u8 = 135;
 const RESP_CHECKED: u8 = 136;
 const RESP_MUX: u8 = 137;
+const RESP_COMBINED: u8 = 138;
 const RESP_ERROR: u8 = 255;
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -337,6 +408,7 @@ impl Request {
             Request::BatchGet { .. } => OP_BATCH_GET,
             Request::GetRange { .. } => OP_GET_RANGE,
             Request::RangeChecked { .. } => OP_RANGE_CHECKED,
+            Request::CombineRange { .. } => OP_COMBINE_RANGE,
             Request::Health => OP_HEALTH,
             Request::InjectFault(_) => OP_INJECT,
             Request::Stats => OP_STATS,
@@ -373,6 +445,36 @@ impl Request {
                 put_u32(&mut out, *count);
                 put_u64(&mut out, *k0);
                 put_u64(&mut out, *k1);
+            }
+            Request::CombineRange {
+                offset,
+                count,
+                outputs,
+                coeffs,
+                k0,
+                k1,
+                peers,
+            } => {
+                // [offset:u64][count:u32][outputs:u32][coeffs len:u32]
+                // [coeffs][k0:u64][k1:u64][n_peers:u32] then per peer
+                // [addr len:u32][addr][offset:u64][count:u32]
+                // [coeffs len:u32][coeffs].
+                put_u64(&mut out, *offset);
+                put_u32(&mut out, *count);
+                put_u32(&mut out, *outputs);
+                put_u32(&mut out, coeffs.len() as u32);
+                out.extend_from_slice(coeffs);
+                put_u64(&mut out, *k0);
+                put_u64(&mut out, *k1);
+                put_u32(&mut out, peers.len() as u32);
+                for p in peers {
+                    put_u32(&mut out, p.addr.len() as u32);
+                    out.extend_from_slice(p.addr.as_bytes());
+                    put_u64(&mut out, p.offset);
+                    put_u32(&mut out, p.count);
+                    put_u32(&mut out, p.coeffs.len() as u32);
+                    out.extend_from_slice(&p.coeffs);
+                }
             }
             Request::Health | Request::Stats => {}
             Request::Mux { id, inner } => {
@@ -422,6 +524,42 @@ impl Request {
                 k0: c.u64()?,
                 k1: c.u64()?,
             },
+            OP_COMBINE_RANGE => {
+                let offset = c.u64()?;
+                let count = c.u32()?;
+                let outputs = c.u32()?;
+                let clen = c.u32()? as usize;
+                let coeffs = c.take(clen)?.to_vec();
+                let k0 = c.u64()?;
+                let k1 = c.u64()?;
+                let n = c.u32()? as usize;
+                let mut peers = Vec::with_capacity(n.min(1 << 10));
+                for _ in 0..n {
+                    let alen = c.u32()? as usize;
+                    let addr = std::str::from_utf8(c.take(alen)?)
+                        .map_err(|_| NetError::Protocol("peer address is not UTF-8".into()))?
+                        .to_string();
+                    let offset = c.u64()?;
+                    let count = c.u32()?;
+                    let clen = c.u32()? as usize;
+                    let coeffs = c.take(clen)?.to_vec();
+                    peers.push(CombinePeer {
+                        addr,
+                        offset,
+                        count,
+                        coeffs,
+                    });
+                }
+                Request::CombineRange {
+                    offset,
+                    count,
+                    outputs,
+                    coeffs,
+                    k0,
+                    k1,
+                    peers,
+                }
+            }
             OP_HEALTH => Request::Health,
             OP_STATS => Request::Stats,
             OP_MUX => {
@@ -461,6 +599,7 @@ impl Response {
             Response::Batch(_) => RESP_BATCH,
             Response::Range(_) => RESP_RANGE,
             Response::Checked(_) => RESP_CHECKED,
+            Response::Combined { .. } => RESP_COMBINED,
             Response::Health { .. } => RESP_HEALTH,
             Response::FaultInjected => RESP_FAULT,
             Response::Stats(_) => RESP_STATS,
@@ -515,6 +654,23 @@ impl Response {
                         out.extend_from_slice(v);
                     }
                 }
+            }
+            Response::Combined {
+                regions,
+                local_status,
+                peer_status,
+            } => {
+                // [n_regions:u32][per region: len:u32 + bytes]
+                // [n_local:u32][status bytes][n_peers:u32][status bytes].
+                put_u32(&mut out, regions.len() as u32);
+                for r in regions {
+                    put_u32(&mut out, r.len() as u32);
+                    out.extend_from_slice(r);
+                }
+                put_u32(&mut out, local_status.len() as u32);
+                out.extend_from_slice(local_status);
+                put_u32(&mut out, peer_status.len() as u32);
+                out.extend_from_slice(peer_status);
             }
             Response::Health { elements } => put_u64(&mut out, *elements),
             Response::Stats(pairs) => {
@@ -587,6 +743,38 @@ impl Response {
                     });
                 }
                 Response::Checked(items)
+            }
+            RESP_COMBINED => {
+                let n = c.u32()? as usize;
+                if n > MAX_PAYLOAD as usize {
+                    return Err(NetError::Protocol(format!(
+                        "combined region count {n} implausible"
+                    )));
+                }
+                let mut regions = Vec::with_capacity(n.min(1 << 10));
+                for _ in 0..n {
+                    let len = c.u32()? as usize;
+                    regions.push(c.take(len)?.to_vec());
+                }
+                let nl = c.u32()? as usize;
+                if nl > MAX_PAYLOAD as usize {
+                    return Err(NetError::Protocol(format!(
+                        "combined status count {nl} implausible"
+                    )));
+                }
+                let local_status = c.take(nl)?.to_vec();
+                let np = c.u32()? as usize;
+                if np > MAX_PAYLOAD as usize {
+                    return Err(NetError::Protocol(format!(
+                        "combined peer count {np} implausible"
+                    )));
+                }
+                let peer_status = c.take(np)?.to_vec();
+                Response::Combined {
+                    regions,
+                    local_status,
+                    peer_status,
+                }
             }
             RESP_HEALTH => Response::Health { elements: c.u64()? },
             RESP_FAULT => Response::FaultInjected,
@@ -885,6 +1073,51 @@ mod tests {
         for fault in [Fault::Fail, Fault::Heal, Fault::Wipe, Fault::DelayMs(250)] {
             roundtrip_request(Request::InjectFault(fault));
         }
+    }
+
+    #[test]
+    fn combine_range_roundtrips() {
+        roundtrip_request(Request::CombineRange {
+            offset: 0,
+            count: 1,
+            outputs: 1,
+            coeffs: vec![7],
+            k0: 0,
+            k1: 0,
+            peers: vec![],
+        });
+        roundtrip_request(Request::CombineRange {
+            offset: 1 << 40,
+            count: 3,
+            outputs: 3,
+            coeffs: vec![1, 0, 0, 0, 2, 0, 0, 0, 3],
+            k0: u64::MAX,
+            k1: 0xDEAD_BEEF_CAFE_F00D,
+            peers: vec![
+                CombinePeer {
+                    addr: "127.0.0.1:9001".into(),
+                    offset: 12,
+                    count: 3,
+                    coeffs: vec![9; 9],
+                },
+                CombinePeer {
+                    addr: "[::1]:80".into(),
+                    offset: 0,
+                    count: 1,
+                    coeffs: vec![0, 0, 255],
+                },
+            ],
+        });
+        roundtrip_response(Response::Combined {
+            regions: vec![],
+            local_status: vec![],
+            peer_status: vec![],
+        });
+        roundtrip_response(Response::Combined {
+            regions: vec![vec![1; 32], vec![], vec![0xAB; 4096]],
+            local_status: vec![0, 2, 1],
+            peer_status: vec![0, 3],
+        });
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! requests, so clients see resets/timeouts — the stimulus the store's
 //! degraded-read fallback exists for.
 
+use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -33,6 +34,31 @@ const POLL: Duration = Duration::from_millis(20);
 /// Longest `GetRange` run a server will serve (element count).
 const MAX_RANGE: u32 = 1 << 20;
 
+/// Most output lanes one `CombineRange` may request. Lanes are sized by
+/// the caller's rows-per-stripe (single digits in practice); the cap
+/// only exists so a hostile request cannot make the server allocate
+/// `outputs` full regions unboundedly.
+const MAX_COMBINE_OUTPUTS: u32 = 256;
+
+/// Most peers one `CombineRange` may fan out to (one thread + one
+/// connection each).
+const MAX_COMBINE_PEERS: usize = 32;
+
+/// Dial timeout for a combined-read peer fetch.
+const PEER_CONNECT_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// Socket timeout while waiting for a peer's partial sums.
+const PEER_IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Idle connections kept per combine peer. Dialing a shard costs a TCP
+/// handshake plus up to one accept-poll tick on the far side, so a root
+/// that aggregates every stripe of a rebuild reuses its peer links.
+const MAX_POOLED_PEER_CONNS: usize = 4;
+
+/// Reusable connections to combine peers, keyed by address. Behind an
+/// `Arc` so the per-request fetch threads can share it with the server.
+type PeerPool = Arc<Mutex<HashMap<String, Vec<TcpStream>>>>;
+
 /// Demux workers per multiplexed connection: how many wrapped requests
 /// one connection services concurrently. Small and fixed — the client
 /// may queue thousands of submissions, but per-connection handler
@@ -52,6 +78,8 @@ struct ServerMetrics {
     range: Counter,
     checked: Counter,
     checked_corrupt: Counter,
+    combine: Counter,
+    combine_corrupt: Counter,
     health: Counter,
     inject: Counter,
     stats: Counter,
@@ -68,6 +96,8 @@ impl ServerMetrics {
             range: recorder.counter("serve.range"),
             checked: recorder.counter("serve.checked"),
             checked_corrupt: recorder.counter("serve.checked_corrupt"),
+            combine: recorder.counter("serve.combine"),
+            combine_corrupt: recorder.counter("serve.combine_corrupt"),
             health: recorder.counter("serve.health"),
             inject: recorder.counter("serve.inject"),
             stats: recorder.counter("serve.stats"),
@@ -83,6 +113,7 @@ impl ServerMetrics {
             Request::BatchGet { .. } => self.batch.inc(),
             Request::GetRange { .. } => self.range.inc(),
             Request::RangeChecked { .. } => self.checked.inc(),
+            Request::CombineRange { .. } => self.combine.inc(),
             Request::Health => self.health.inc(),
             Request::InjectFault(_) => self.inject.inc(),
             Request::Stats => self.stats.inc(),
@@ -103,6 +134,7 @@ struct Shared {
     read_delay_ms: AtomicU64,
     recorder: Recorder,
     metrics: ServerMetrics,
+    peer_pool: PeerPool,
 }
 
 /// A TCP server exposing one disk shard.
@@ -136,6 +168,7 @@ impl ShardServer {
             read_delay_ms: AtomicU64::new(0),
             recorder,
             metrics,
+            peer_pool: Arc::new(Mutex::new(HashMap::new())),
         });
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
@@ -428,6 +461,15 @@ fn handle(req: &Request, shared: &Shared) -> Response {
                 .collect();
             Response::Checked(items)
         }
+        Request::CombineRange {
+            offset,
+            count,
+            outputs,
+            coeffs,
+            k0,
+            k1,
+            peers,
+        } => handle_combine(*offset, *count, *outputs, coeffs, *k0, *k1, peers, shared),
         Request::Health => Response::Health {
             elements: shared.backend.len() as u64,
         },
@@ -445,6 +487,271 @@ fn handle(req: &Request, shared: &Shared) -> Response {
         // before dispatch) and the decoder rejects nesting, but the match
         // must be total and the answer must be a wire error, not a panic.
         Request::Mux { .. } => Response::Error("nested mux not supported".to_string()),
+    }
+}
+
+/// Serve one [`Request::CombineRange`]: multiply the local contiguous
+/// run by the caller's coefficient matrix (footer-verified, SIMD
+/// dot-product kernels), fetch and XOR-merge any peers' partial sums,
+/// and seal each output region with a footer salted by `offset + lane`.
+///
+/// Sums are only returned when every *used* local element (one whose
+/// coefficient column is not all-zero) verified and every peer
+/// contributed; otherwise `regions` is empty and the per-element /
+/// per-peer verdicts tell the rebuilder whom to exclude.
+#[allow(clippy::too_many_arguments)]
+fn handle_combine(
+    offset: u64,
+    count: u32,
+    outputs: u32,
+    coeffs: &[u8],
+    k0: u64,
+    k1: u64,
+    peers: &[crate::protocol::CombinePeer],
+    shared: &Shared,
+) -> Response {
+    use ecfrm_sim::combine_status as cstat;
+
+    // Bound the work before touching the backend (the hostile-vector
+    // guard): run length like `GetRange`, plus lane count, matrix
+    // shape, and fan-out caps.
+    if count > MAX_RANGE {
+        return Response::Error(format!(
+            "range of {count} elements exceeds the {MAX_RANGE}-element cap"
+        ));
+    }
+    if outputs == 0 || outputs > MAX_COMBINE_OUTPUTS {
+        return Response::Error(format!(
+            "{outputs} output lanes outside the 1..={MAX_COMBINE_OUTPUTS} cap"
+        ));
+    }
+    if coeffs.len() as u64 != u64::from(outputs) * u64::from(count) {
+        return Response::Error(format!(
+            "coefficient matrix of {} bytes does not match {outputs}\u{d7}{count} elements",
+            coeffs.len()
+        ));
+    }
+    if peers.len() > MAX_COMBINE_PEERS {
+        return Response::Error(format!(
+            "{} peers exceeds the {MAX_COMBINE_PEERS}-peer fan-out cap",
+            peers.len()
+        ));
+    }
+    for p in peers {
+        if p.count > MAX_RANGE {
+            return Response::Error(format!(
+                "peer range of {} elements exceeds the {MAX_RANGE}-element cap",
+                p.count
+            ));
+        }
+        if p.coeffs.len() as u64 != u64::from(outputs) * u64::from(p.count) {
+            return Response::Error(format!(
+                "peer coefficient matrix of {} bytes does not match {outputs}\u{d7}{} elements",
+                p.coeffs.len(),
+                p.count
+            ));
+        }
+    }
+
+    straggle(shared);
+    let key = HashKey { k0, k1 };
+    let lanes = outputs as usize;
+    let n = count as usize;
+
+    // Fetch peers' partial sums while the local read + math runs.
+    let peer_handles: Vec<std::thread::JoinHandle<(u8, Vec<Vec<u8>>)>> = peers
+        .iter()
+        .map(|p| {
+            let p = p.clone();
+            let pool = Arc::clone(&shared.peer_pool);
+            std::thread::spawn(move || fetch_peer_partial(&pool, &p, outputs, k0, k1))
+        })
+        .collect();
+
+    // Local partial: verify every cell's footer at the data, before it
+    // can contribute to a sum.
+    let offsets: Vec<u64> = (0..u64::from(count)).map(|i| offset + i).collect();
+    let cells = shared.backend.read_many(&offsets);
+    let mut local_status = vec![cstat::OK; n];
+    let mut payloads: Vec<Option<Vec<u8>>> = Vec::with_capacity(n);
+    for (i, cell) in cells.into_iter().enumerate() {
+        match cell {
+            None => {
+                local_status[i] = cstat::MISSING;
+                payloads.push(None);
+            }
+            Some(mut cell) => match verify_footer(&key, offsets[i], &cell) {
+                Some(payload) => {
+                    let len = payload.len();
+                    cell.truncate(len);
+                    payloads.push(Some(cell));
+                }
+                None => {
+                    shared.metrics.combine_corrupt.inc();
+                    local_status[i] = cstat::CORRUPT;
+                    payloads.push(None);
+                }
+            },
+        }
+    }
+    // An element only matters if some lane gives it a nonzero
+    // coefficient; a hole in an unused column must not veto the sum.
+    let used = |i: usize| (0..lanes).any(|r| coeffs[r * n + i] != 0);
+    let local_ok = (0..n).all(|i| local_status[i] == cstat::OK || !used(i));
+    let lens: Vec<usize> = payloads.iter().flatten().map(Vec::len).collect();
+    if lens.windows(2).any(|w| w[0] != w[1]) {
+        for h in peer_handles {
+            let _ = h.join();
+        }
+        return Response::Error("element size mismatch across combined range".into());
+    }
+
+    let peer_results: Vec<(u8, Vec<Vec<u8>>)> = peer_handles
+        .into_iter()
+        .map(|h| h.join().unwrap_or_else(|_| (cstat::MISSING, Vec::new())))
+        .collect();
+    let peer_status: Vec<u8> = peer_results.iter().map(|(s, _)| *s).collect();
+
+    let mut regions: Vec<Vec<u8>> = Vec::new();
+    if local_ok && peer_status.iter().all(|&s| s == cstat::OK) {
+        // Region length: from the local cells, else from a peer (a
+        // pure-aggregator request may carry no local coefficients).
+        let len = lens.first().copied().or_else(|| {
+            peer_results
+                .iter()
+                .find_map(|(_, rs)| rs.first().map(Vec::len))
+        });
+        if let Some(len) = len {
+            if peer_results
+                .iter()
+                .flat_map(|(_, rs)| rs.iter())
+                .any(|r| r.len() != len)
+            {
+                return Response::Error("element size mismatch across combined peers".into());
+            }
+            let mut outs: Vec<Vec<u8>> = (0..lanes).map(|_| vec![0u8; len]).collect();
+            // srcs = the valid cells; rows = their coefficient columns.
+            let srcs: Vec<&[u8]> = payloads.iter().flatten().map(Vec::as_slice).collect();
+            if !srcs.is_empty() {
+                let rows: Vec<Vec<u8>> = (0..lanes)
+                    .map(|r| {
+                        (0..n)
+                            .filter(|&i| payloads[i].is_some())
+                            .map(|i| coeffs[r * n + i])
+                            .collect()
+                    })
+                    .collect();
+                let row_refs: Vec<&[u8]> = rows.iter().map(Vec::as_slice).collect();
+                let mut out_refs: Vec<&mut [u8]> = outs.iter_mut().map(Vec::as_mut_slice).collect();
+                ecfrm_gf::region::dot_region_multi(&row_refs, &srcs, &mut out_refs);
+            }
+            for (_, peer_regions) in &peer_results {
+                for (out, pr) in outs.iter_mut().zip(peer_regions) {
+                    ecfrm_gf::region::xor_region(out, pr);
+                }
+            }
+            for (r, out) in outs.iter_mut().enumerate() {
+                ecfrm_integrity::append_footer(&key, offset + r as u64, out);
+            }
+            regions = outs;
+        }
+    }
+    Response::Combined {
+        regions,
+        local_status,
+        peer_status,
+    }
+}
+
+/// Dial one combined-read peer, request its partial sums (never
+/// forwarding further — aggregation is one level deep), and verify each
+/// returned region's footer before it may be merged. Returns the peer's
+/// [`ecfrm_sim::combine_status`] verdict plus the verified, stripped
+/// regions (empty unless OK).
+fn dial_peer(addr: &str) -> Option<TcpStream> {
+    let stream = match addr.parse::<SocketAddr>() {
+        Ok(a) => TcpStream::connect_timeout(&a, PEER_CONNECT_TIMEOUT),
+        Err(_) => TcpStream::connect(addr),
+    }
+    .ok()?;
+    let _ = stream.set_read_timeout(Some(PEER_IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(PEER_IO_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    Some(stream)
+}
+
+fn fetch_peer_partial(
+    pool: &PeerPool,
+    p: &crate::protocol::CombinePeer,
+    outputs: u32,
+    k0: u64,
+    k1: u64,
+) -> (u8, Vec<Vec<u8>>) {
+    use crate::protocol::{read_response, write_request};
+    use ecfrm_sim::combine_status as cstat;
+
+    let key = HashKey { k0, k1 };
+    let req = Request::CombineRange {
+        offset: p.offset,
+        count: p.count,
+        outputs,
+        coeffs: p.coeffs.clone(),
+        k0,
+        k1,
+        peers: Vec::new(),
+    };
+    let exchange = |stream: &mut TcpStream| -> Option<Response> {
+        write_request(stream, &req).ok()?;
+        read_response(stream).ok()
+    };
+    // A pooled connection may have been closed since its last use, so a
+    // failed exchange on one falls back to a fresh dial before the peer
+    // is declared missing (CombineRange is read-only; a retry is safe).
+    let pooled = pool.lock().get_mut(&p.addr).and_then(Vec::pop);
+    let mut conn = pooled.and_then(|mut s| exchange(&mut s).map(|r| (r, s)));
+    if conn.is_none() {
+        conn = dial_peer(&p.addr).and_then(|mut s| exchange(&mut s).map(|r| (r, s)));
+    }
+    let Some((resp, stream)) = conn else {
+        return (cstat::MISSING, Vec::new());
+    };
+    {
+        let mut pool = pool.lock();
+        let conns = pool.entry(p.addr.clone()).or_default();
+        if conns.len() < MAX_POOLED_PEER_CONNS {
+            conns.push(stream);
+        }
+    }
+    match resp {
+        Response::Combined {
+            regions,
+            local_status,
+            ..
+        } => {
+            if regions.len() == outputs as usize {
+                let mut stripped = Vec::with_capacity(regions.len());
+                for (r, region) in regions.into_iter().enumerate() {
+                    match verify_footer(&key, p.offset + r as u64, &region) {
+                        Some(payload) => stripped.push(payload.to_vec()),
+                        None => return (cstat::CORRUPT, Vec::new()),
+                    }
+                }
+                if stripped.windows(2).any(|w| w[0].len() != w[1].len()) {
+                    return (cstat::CORRUPT, Vec::new());
+                }
+                (cstat::OK, stripped)
+            } else if local_status.contains(&cstat::CORRUPT) {
+                (cstat::CORRUPT, Vec::new())
+            } else if local_status.iter().any(|&s| s != cstat::OK) {
+                (cstat::MISSING, Vec::new())
+            } else {
+                (cstat::DECLINED, Vec::new())
+            }
+        }
+        // An old server drops the connection on the unknown opcode; the
+        // failed exchange above already answered MISSING for that, so
+        // anything else decodable-but-unexpected is a decline.
+        _ => (cstat::DECLINED, Vec::new()),
     }
 }
 
@@ -874,6 +1181,301 @@ mod tests {
             t0.elapsed() < Duration::from_millis(240),
             "4×80 ms requests took {:?} — pool is not overlapping them",
             t0.elapsed()
+        );
+    }
+
+    /// Seed a server's disk with footered cells at `offsets` under `key`
+    /// (payload = `[off; 16]`), via the wire like a real client.
+    fn seed_cells(c: &mut TcpStream, key: &HashKey, offsets: &[u64]) {
+        for &off in offsets {
+            let mut cell = vec![off as u8; 16];
+            ecfrm_integrity::append_footer(key, off, &mut cell);
+            rpc(
+                c,
+                &Request::PutElement {
+                    offset: off,
+                    bytes: cell,
+                },
+            );
+        }
+    }
+
+    /// GF dot product of `[off; 16]` payload cells under `coeffs`, the
+    /// oracle the combine handler's SIMD path is checked against.
+    fn expected_sum(coeffs: &[(u8, u64)]) -> Vec<u8> {
+        let mut out = vec![0u8; 16];
+        for &(c, off) in coeffs {
+            ecfrm_gf::region::mul_add_region(c, &[off as u8; 16], &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn combine_range_sums_verified_local_elements() {
+        let server = ShardServer::spawn(Arc::new(MemDisk::new()), "127.0.0.1:0").unwrap();
+        let mut c = dial(&server);
+        let key = HashKey::DEFAULT.derive(0xC0_4B1E, 0);
+        seed_cells(&mut c, &key, &[0, 1, 2]);
+        // Two output lanes over three local elements.
+        let resp = rpc(
+            &mut c,
+            &Request::CombineRange {
+                offset: 0,
+                count: 3,
+                outputs: 2,
+                coeffs: vec![1, 2, 3, 0, 5, 7],
+                k0: key.k0,
+                k1: key.k1,
+                peers: vec![],
+            },
+        );
+        let Response::Combined {
+            regions,
+            local_status,
+            peer_status,
+        } = resp
+        else {
+            panic!("expected Combined, got {resp:?}");
+        };
+        assert_eq!(local_status, vec![0, 0, 0]);
+        assert!(peer_status.is_empty());
+        assert_eq!(regions.len(), 2);
+        for (r, want) in [
+            expected_sum(&[(1, 0), (2, 1), (3, 2)]),
+            expected_sum(&[(5, 1), (7, 2)]),
+        ]
+        .iter()
+        .enumerate()
+        {
+            // Each region is sealed with a footer salted by offset+lane.
+            let payload = verify_footer(&key, r as u64, &regions[r])
+                .unwrap_or_else(|| panic!("lane {r} footer"));
+            assert_eq!(payload, &want[..], "lane {r}");
+        }
+        let snap = server.recorder().snapshot();
+        assert_eq!(snap.counters.get("serve.combine").copied(), Some(1));
+    }
+
+    #[test]
+    fn combine_range_vetoes_on_used_corrupt_cell_but_ignores_unused_holes() {
+        let server = ShardServer::spawn(Arc::new(MemDisk::new()), "127.0.0.1:0").unwrap();
+        let mut c = dial(&server);
+        let key = HashKey::DEFAULT.derive(0xC0_4B1E, 1);
+        seed_cells(&mut c, &key, &[0, 2]);
+        // Corrupt offset 2 after sealing.
+        let mut bad = vec![2u8; 16];
+        ecfrm_integrity::append_footer(&key, 2, &mut bad);
+        bad[5] ^= 0x10;
+        rpc(
+            &mut c,
+            &Request::PutElement {
+                offset: 2,
+                bytes: bad,
+            },
+        );
+        // Lane uses the corrupt cell: no sums, verdicts localize it
+        // (offset 1 is a hole).
+        let resp = rpc(
+            &mut c,
+            &Request::CombineRange {
+                offset: 0,
+                count: 3,
+                outputs: 1,
+                coeffs: vec![1, 1, 1],
+                k0: key.k0,
+                k1: key.k1,
+                peers: vec![],
+            },
+        );
+        assert_eq!(
+            resp,
+            Response::Combined {
+                regions: vec![],
+                local_status: vec![0, 1, 2],
+                peer_status: vec![],
+            }
+        );
+        // Zero coefficients on the hole and the corrupt cell: the sum
+        // goes through, built from the one clean element.
+        let resp = rpc(
+            &mut c,
+            &Request::CombineRange {
+                offset: 0,
+                count: 3,
+                outputs: 1,
+                coeffs: vec![9, 0, 0],
+                k0: key.k0,
+                k1: key.k1,
+                peers: vec![],
+            },
+        );
+        let Response::Combined { regions, .. } = resp else {
+            panic!("expected Combined, got {resp:?}");
+        };
+        assert_eq!(
+            verify_footer(&key, 0, &regions[0]).unwrap(),
+            &expected_sum(&[(9, 0)])[..]
+        );
+        let snap = server.recorder().snapshot();
+        assert_eq!(snap.counters.get("serve.combine_corrupt").copied(), Some(2));
+    }
+
+    #[test]
+    fn combine_range_caps_hostile_vectors() {
+        // Satellite guard: a hostile request is answered with a
+        // structured error before any allocation or backend touch —
+        // and the connection stays serviceable.
+        let server = ShardServer::spawn(Arc::new(MemDisk::new()), "127.0.0.1:0").unwrap();
+        let mut c = dial(&server);
+        let err = |resp: Response| match resp {
+            Response::Error(msg) => msg,
+            other => panic!("expected Error, got {other:?}"),
+        };
+        let msg = err(rpc(
+            &mut c,
+            &Request::CombineRange {
+                offset: 0,
+                count: MAX_RANGE + 1,
+                outputs: 1,
+                coeffs: vec![],
+                k0: 0,
+                k1: 0,
+                peers: vec![],
+            },
+        ));
+        assert!(msg.contains("cap"), "{msg}");
+        let msg = err(rpc(
+            &mut c,
+            &Request::CombineRange {
+                offset: 0,
+                count: 1,
+                outputs: 0,
+                coeffs: vec![],
+                k0: 0,
+                k1: 0,
+                peers: vec![],
+            },
+        ));
+        assert!(msg.contains("output lanes"), "{msg}");
+        // A coefficient matrix that lies about its shape must not drive
+        // allocations: 3 claimed elements, 1 byte of coefficients.
+        let msg = err(rpc(
+            &mut c,
+            &Request::CombineRange {
+                offset: 0,
+                count: 3,
+                outputs: 1,
+                coeffs: vec![1],
+                k0: 0,
+                k1: 0,
+                peers: vec![],
+            },
+        ));
+        assert!(msg.contains("does not match"), "{msg}");
+        let peer = crate::protocol::CombinePeer {
+            addr: "127.0.0.1:1".into(),
+            offset: 0,
+            count: 1,
+            coeffs: vec![0],
+        };
+        let msg = err(rpc(
+            &mut c,
+            &Request::CombineRange {
+                offset: 0,
+                count: 1,
+                outputs: 1,
+                coeffs: vec![1],
+                k0: 0,
+                k1: 0,
+                peers: vec![peer; MAX_COMBINE_PEERS + 1],
+            },
+        ));
+        assert!(msg.contains("fan-out cap"), "{msg}");
+        // The connection survived every rejection.
+        assert_eq!(
+            rpc(&mut c, &Request::Health),
+            Response::Health { elements: 0 }
+        );
+    }
+
+    #[test]
+    fn combine_range_merges_peer_partial_sums() {
+        let key = HashKey::DEFAULT.derive(0xC0_4B1E, 2);
+        let root = ShardServer::spawn(Arc::new(MemDisk::new()), "127.0.0.1:0").unwrap();
+        let helper = ShardServer::spawn(Arc::new(MemDisk::new()), "127.0.0.1:0").unwrap();
+        let mut rc = dial(&root);
+        let mut hc = dial(&helper);
+        seed_cells(&mut rc, &key, &[0, 1]);
+        seed_cells(&mut hc, &key, &[0, 1]);
+        let resp = rpc(
+            &mut rc,
+            &Request::CombineRange {
+                offset: 0,
+                count: 2,
+                outputs: 2,
+                coeffs: vec![1, 2, 3, 4],
+                k0: key.k0,
+                k1: key.k1,
+                peers: vec![crate::protocol::CombinePeer {
+                    addr: helper.addr().to_string(),
+                    offset: 0,
+                    count: 2,
+                    coeffs: vec![5, 6, 7, 8],
+                }],
+            },
+        );
+        let Response::Combined {
+            regions,
+            local_status,
+            peer_status,
+        } = resp
+        else {
+            panic!("expected Combined, got {resp:?}");
+        };
+        assert_eq!(local_status, vec![0, 0]);
+        assert_eq!(peer_status, vec![0]);
+        assert_eq!(regions.len(), 2);
+        // Lane r = root's partial XOR the helper's partial: GF addition
+        // is XOR, so merging near the data equals decoding centrally.
+        for (r, want) in [
+            expected_sum(&[(1, 0), (2, 1), (5, 0), (6, 1)]),
+            expected_sum(&[(3, 0), (4, 1), (7, 0), (8, 1)]),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let payload = verify_footer(&key, r as u64, &regions[r]).unwrap();
+            assert_eq!(payload, &want[..], "lane {r}");
+        }
+        // An unreachable peer: verdict reported, no sums fabricated.
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let resp = rpc(
+            &mut rc,
+            &Request::CombineRange {
+                offset: 0,
+                count: 2,
+                outputs: 1,
+                coeffs: vec![1, 1],
+                k0: key.k0,
+                k1: key.k1,
+                peers: vec![crate::protocol::CombinePeer {
+                    addr: dead.to_string(),
+                    offset: 0,
+                    count: 2,
+                    coeffs: vec![1, 1],
+                }],
+            },
+        );
+        assert_eq!(
+            resp,
+            Response::Combined {
+                regions: vec![],
+                local_status: vec![0, 0],
+                peer_status: vec![1],
+            }
         );
     }
 

@@ -44,7 +44,10 @@ pub use file_disk::{FileDisk, FileIoConfig, FileIoMode};
 pub use metrics::{mean, speed_mb_s, stddev, NetCounters, NetStats, Summary};
 pub use net::{ClusterSim, NetModel};
 pub use reactor::{io_pair, IoCompleter, IoHandle, IoResults, IoSnapshot, Reactor, ReactorStats};
-pub use threaded::{Address, DiskBackend, MemDisk, ThreadedArray};
+pub use threaded::{
+    combine_status, Address, CombineOutcome, CombinePeerSpec, CombineReply, CombineSpec,
+    DiskBackend, MemDisk, ThreadedArray,
+};
 pub use uring::UringSnapshot;
 pub use workload::{
     DegradedReadWorkload, NormalReadWorkload, ReadRequest, TraceObject, TraceWorkload, Zipf,

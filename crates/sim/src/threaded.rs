@@ -25,6 +25,94 @@ use crate::reactor::{IoHandle, IoResults, Reactor, ReactorStats};
 /// Address of one element on the array: `(disk, offset)`.
 pub type Address = (usize, u64);
 
+/// One peer shard's share of a combined (pre-summed) repair read,
+/// forwarded by the aggregating backend so partial sums merge close to
+/// the data instead of on the rebuilding client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CombinePeerSpec {
+    /// The peer shard's dialable address (`host:port`).
+    pub addr: String,
+    /// First local element offset the peer multiplies.
+    pub offset: u64,
+    /// Number of consecutive local elements.
+    pub count: u32,
+    /// Row-major `outputs × count` GF(2^8) coefficient matrix (the
+    /// output-lane count is shared with the aggregating request).
+    pub coeffs: Vec<u8>,
+}
+
+/// A combined repair read: multiply `count` contiguous local elements
+/// starting at `offset` by a row-major `outputs × count` coefficient
+/// matrix over GF(2^8) and return one pre-summed region per output
+/// lane, XOR-merged with the partial sums of any forwarded `peers`.
+///
+/// This is the backend-agnostic description of the `CombineRange` wire
+/// op (see `ecfrm-net`): a local backend has no wire to save and
+/// reports [`CombineOutcome::Unsupported`], while a remote shard client
+/// ships the spec to its server, which does the multiplication beside
+/// the data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CombineSpec {
+    /// First local element offset.
+    pub offset: u64,
+    /// Number of consecutive local elements.
+    pub count: u32,
+    /// Number of output lanes (pre-summed regions to return).
+    pub outputs: u32,
+    /// Row-major `outputs × count` GF(2^8) coefficient matrix for the
+    /// local elements.
+    pub coeffs: Vec<u8>,
+    /// The store's integrity key `(k0, k1)`: every local element's
+    /// checksum footer is verified against its offset *before* the
+    /// element contributes to a sum, and each returned region carries a
+    /// footer salted by `offset + lane` for end-to-end verification.
+    pub key: (u64, u64),
+    /// Other helpers whose partial sums the serving backend fetches and
+    /// XOR-merges before answering (one level deep — peers never
+    /// forward further).
+    pub peers: Vec<CombinePeerSpec>,
+}
+
+/// Per-element / per-peer verdicts inside a [`CombineReply`].
+pub mod combine_status {
+    /// Element verified (or peer contributed) cleanly.
+    pub const OK: u8 = 0;
+    /// Element absent or the shard is failed / peer unreachable.
+    pub const MISSING: u8 = 1;
+    /// Element's checksum footer disagreed / a peer shipped a region
+    /// that failed verification.
+    pub const CORRUPT: u8 = 2;
+    /// Peer answered but declined the op (old server or refused spec).
+    pub const DECLINED: u8 = 3;
+}
+
+/// A successful combined read: one pre-summed region per output lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CombineReply {
+    /// One region per output lane, each `payload || footer` with the
+    /// footer salted by `offset + lane` under the spec's key. Empty when
+    /// no local element (and no peer region) contributed.
+    pub regions: Vec<Vec<u8>>,
+    /// Per local element (in offset order): [`combine_status`] verdict.
+    pub local_status: Vec<u8>,
+    /// Per forwarded peer (in spec order): [`combine_status`] verdict.
+    /// A non-OK peer contributed *nothing* to the sums.
+    pub peer_status: Vec<u8>,
+}
+
+/// Outcome of [`DiskBackend::combine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CombineOutcome {
+    /// The backend cannot pre-sum (local disk, or an old remote server
+    /// that latched the op off) — fall back to fetching raw elements.
+    Unsupported,
+    /// The backend supports the op but this request failed (transport
+    /// error, refused spec); retry or fall back.
+    Failed(String),
+    /// Partial sums computed.
+    Combined(CombineReply),
+}
+
 /// What the array needs from a disk: element-granular read/write plus
 /// failure injection. Implemented by [`MemDisk`] (in-memory, optional
 /// simulated latency), [`FileDisk`](crate::file_disk::FileDisk) (real
@@ -92,6 +180,32 @@ pub trait DiskBackend: Send + Sync + std::fmt::Debug {
     /// Network transport statistics, when this backend speaks to a
     /// remote shard (see `ecfrm-net`). Local backends return `None`.
     fn net_stats(&self) -> Option<NetStats> {
+        None
+    }
+
+    /// Multiply local elements by caller-supplied GF(2^8) coefficients
+    /// and return pre-summed regions (optionally merged with peers'
+    /// partial sums) instead of raw elements — the repair-traffic
+    /// optimisation behind the `CombineRange` wire op. Local backends
+    /// have no wire to save and report
+    /// [`CombineOutcome::Unsupported`]; only a remote shard client
+    /// overrides this.
+    fn combine(&self, _spec: &CombineSpec) -> CombineOutcome {
+        CombineOutcome::Unsupported
+    }
+
+    /// True when [`Self::combine`] is worth attempting right now (the
+    /// backend is remote and its server has not latched the op off).
+    /// Plan-time gate for the combined repair path.
+    fn supports_combine(&self) -> bool {
+        false
+    }
+
+    /// The dialable `host:port` other shard servers can reach this
+    /// backend's data at, when it fronts a remote shard. Local backends
+    /// return `None`; a backend without an address cannot serve as a
+    /// combined-repair peer.
+    fn peer_addr(&self) -> Option<String> {
         None
     }
 }

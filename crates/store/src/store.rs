@@ -1,14 +1,17 @@
 //! The [`ObjectStore`]: append-only, full-stripe-write, read-optimised.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use ecfrm_util::{par_map, Mutex};
 
+use ecfrm_core::recover::RepairTask;
 use ecfrm_core::{DiskRecovery, ReadCtx, Scheme};
 use ecfrm_integrity::{append_footer, leaf_hash, verify_footer, HashKey, MerkleTree, FOOTER_LEN};
 use ecfrm_layout::Loc;
 use ecfrm_obs::{Counter, DiskBoard, Histogram, Recorder};
-use ecfrm_sim::{NetStats, ThreadedArray};
+use ecfrm_sim::{
+    combine_status, CombineOutcome, CombinePeerSpec, CombineSpec, NetStats, ThreadedArray,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -40,6 +43,17 @@ struct StoreMetrics {
     verify_fail: Counter,
     /// Elements a scrub pass checked against their stripe manifest.
     elements_verified: Counter,
+    /// Bytes the rebuilding client ingested during stripe repair — the
+    /// repair traffic the paper's recovery argument prices. Combined
+    /// repair ships `rows` pre-summed regions instead of `k·rows`
+    /// elements, so this is the counter the bench compares.
+    repair_wire_bytes: Counter,
+    /// Repair source elements read from a disk outside the failed
+    /// disk's failure domain (rack). Zero whenever an intra-domain plan
+    /// exists.
+    cross_domain_reads: Counter,
+    /// Stripes repaired via server-side `CombineRange` partial sums.
+    combined_stripes: Counter,
     plan_us: Histogram,
     read_us: Histogram,
     /// Time spent verifying checksum footers (per read / per scrubbed
@@ -61,6 +75,9 @@ impl StoreMetrics {
             coalesced_runs: recorder.counter("read.coalesced_runs"),
             verify_fail: recorder.counter("integrity.verify_fail"),
             elements_verified: recorder.counter("scrub.elements_verified"),
+            repair_wire_bytes: recorder.counter("repair.wire_bytes"),
+            cross_domain_reads: recorder.counter("repair.cross_domain_reads"),
+            combined_stripes: recorder.counter("repair.combined_stripes"),
             plan_us: recorder.histogram("plan_us"),
             read_us: recorder.histogram("read_us"),
             verify_us: recorder.histogram("verify_us"),
@@ -90,6 +107,21 @@ fn count_coalesced_runs(addrs: &[(usize, u64)]) -> usize {
         .values()
         .filter(|offs| offs.len() >= 2 && offs.windows(2).all(|w| w[1] == w[0].wrapping_add(1)))
         .count()
+}
+
+/// Outcome of one combined-repair attempt on a stripe.
+enum CombinedRepair {
+    /// Rebuilt and written back.
+    Done(StripeRepair),
+    /// These helpers failed checksum verification — exclude them and
+    /// replan the stripe.
+    Corrupt(Vec<usize>),
+    /// A helper's combine latch just flipped off (old server) — replan;
+    /// the next attempt serves it with raw fetches instead.
+    Retry,
+    /// Combining was not possible (no capable helper, latch flipped,
+    /// helper vanished); use the batched path for this stripe.
+    Fallback,
 }
 
 struct Inner {
@@ -145,6 +177,14 @@ pub struct ObjectStore {
     /// (footers are still stripped) — the bench uses this to price
     /// verify-on-read.
     verify_reads: AtomicBool,
+    /// When set (the default), [`ObjectStore::repair_stripe`] tries the
+    /// repair-traffic-optimal path first: helpers multiply their own
+    /// elements by the decode coefficients server-side (`CombineRange`)
+    /// and one root helper merges the partial sums, so the rebuilder
+    /// ingests `rows` regions instead of `k·rows` elements. Clearing it
+    /// forces the naive fetch-everything path — the bench prices the
+    /// difference.
+    combined_repair: AtomicBool,
 }
 
 impl std::fmt::Debug for ObjectStore {
@@ -213,6 +253,7 @@ impl ObjectStore {
             }),
             key: HashKey::DEFAULT,
             verify_reads: AtomicBool::new(true),
+            combined_repair: AtomicBool::new(true),
         }
     }
 
@@ -229,6 +270,10 @@ impl ObjectStore {
     /// formed one contiguous run — shipped as a single `GetRange` on
     /// remote backends), `integrity.verify_fail` (elements whose
     /// checksum or merkle path failed), `scrub.elements_verified`,
+    /// `repair.wire_bytes` (bytes the rebuilding client ingested during
+    /// stripe repair), `repair.cross_domain_reads` (repair sources read
+    /// across failure domains), `repair.combined_stripes` (stripes
+    /// repaired via server-side `CombineRange`),
     /// `net.*` (transport deltas). Histograms (µs): `plan_us`,
     /// `read_us`, `decode_us`, `verify_us` (checksum verification
     /// time per read / per scrubbed stripe). Disk board: `disk_load`
@@ -266,6 +311,19 @@ impl ObjectStore {
     /// overhead bench should turn this off.
     pub fn set_verify_reads(&self, on: bool) {
         self.verify_reads.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether stripe repair may use server-side `CombineRange` partial
+    /// sums (on by default; falls back to raw fetches per helper when a
+    /// shard predates the opcode).
+    pub fn combined_repair(&self) -> bool {
+        self.combined_repair.load(Ordering::Relaxed)
+    }
+
+    /// Enable/disable the combined repair path. The repair bench turns
+    /// it off to price naive recovery against combined recovery.
+    pub fn set_combined_repair(&self, on: bool) {
+        self.combined_repair.store(on, Ordering::Relaxed);
     }
 
     /// The integrity manifest of `stripe`, if sealed.
@@ -922,11 +980,14 @@ impl ObjectStore {
         }
 
         // Rebuild every task in parallel, re-sealing each element with
-        // a fresh checksum footer at its target offset.
+        // a fresh checksum footer at its target offset. Decoding goes
+        // through the decoder cache: a whole-disk rebuild hits the same
+        // few erasure patterns over and over, so each coefficient
+        // system is solved once instead of once per stripe.
         let rebuilt: Vec<((usize, u64), Vec<u8>)> = par_map(&recovery.tasks, |_, task| {
-            let mut bytes =
-                DiskRecovery::rebuild_one(&self.scheme, task, &fetched, self.element_size)
-                    .expect("plan sources span the target");
+            let mut bytes = self
+                .rebuild_cached(task, &fetched)
+                .expect("plan sources span the target");
             append_footer(&self.key, task.target.offset, &mut bytes);
             ((task.target.disk, task.target.offset), bytes)
         });
@@ -968,9 +1029,41 @@ impl ObjectStore {
         if stripe >= stripes {
             return Err(StoreError::NoSuchStripe(stripe));
         }
-        let recovery = DiskRecovery::plan_stripes(&self.scheme, disk, &all_failed, &[stripe])
-            .map_err(StoreError::DataLoss)?;
+        // A helper caught lying (checksum mismatch on its partial sum or
+        // raw element) is excluded and the stripe replanned around it —
+        // the erasure code has spare sources precisely for this.
+        let mut excluded = all_failed;
+        for _attempt in 0..3 {
+            let recovery = DiskRecovery::plan_stripes(&self.scheme, disk, &excluded, &[stripe])
+                .map_err(StoreError::DataLoss)?;
+            self.note_cross_domain(disk, &recovery);
+            if self.combined_repair() {
+                match self.repair_stripe_combined(&recovery) {
+                    CombinedRepair::Done(r) => return Ok(r),
+                    CombinedRepair::Corrupt(disks) => {
+                        for d in disks {
+                            self.array.mark_suspect(d);
+                            if !excluded.contains(&d) {
+                                excluded.push(d);
+                            }
+                        }
+                        continue;
+                    }
+                    CombinedRepair::Retry => continue,
+                    CombinedRepair::Fallback => {}
+                }
+            }
+            return self.repair_stripe_naive(&recovery);
+        }
+        Err(StoreError::DataLoss(format!(
+            "repair of stripe {stripe} exhausted retries: helpers kept failing verification"
+        )))
+    }
 
+    /// The PR-4 batched repair path: fetch every source element, verify,
+    /// decode client-side. Also the per-stripe fallback when no helper
+    /// speaks `CombineRange`.
+    fn repair_stripe_naive(&self, recovery: &DiskRecovery) -> Result<StripeRepair, StoreError> {
         // One parallel batch for all distinct sources of this stripe.
         let mut want: BTreeSet<(usize, u64)> = BTreeSet::new();
         for t in &recovery.tasks {
@@ -1006,22 +1099,298 @@ impl ObjectStore {
 
         // Stripe-level work is small; rebuild serially to keep repair's
         // CPU footprint low (parallelism comes from the worker pool).
-        // Each rebuilt element is re-sealed with a fresh footer.
+        // Decoding reuses cached coefficient vectors — every stripe of a
+        // disk rebuild solves the same erasure pattern — and each
+        // rebuilt element is re-sealed with a fresh footer.
         let mut rebuilt: Vec<((usize, u64), Vec<u8>)> = Vec::with_capacity(recovery.tasks.len());
         let mut bytes_written = 0u64;
         for task in &recovery.tasks {
-            let mut bytes =
-                DiskRecovery::rebuild_one(&self.scheme, task, &fetched, self.element_size)
-                    .expect("plan sources span the target");
+            let mut bytes = self
+                .rebuild_cached(task, &fetched)
+                .expect("plan sources span the target");
             append_footer(&self.key, task.target.offset, &mut bytes);
             bytes_written += bytes.len() as u64;
             rebuilt.push(((task.target.disk, task.target.offset), bytes));
         }
         let elements = rebuilt.len();
+        self.metrics.repair_wire_bytes.add(bytes_read);
         self.array.write_batch(rebuilt);
         Ok(StripeRepair {
             elements,
             bytes_read,
+            bytes_written,
+        })
+    }
+
+    /// Decode one repair task through the [`DecoderCache`]: the solved
+    /// coefficient vector for `(target position, available positions)`
+    /// is computed once and reused for every stripe with the same
+    /// erasure geometry.
+    fn rebuild_cached(
+        &self,
+        task: &RepairTask,
+        fetched: &HashMap<Loc, Vec<u8>>,
+    ) -> Option<Vec<u8>> {
+        let sources: Vec<(usize, &[u8])> = task
+            .sources
+            .iter()
+            .map(|(p, loc)| fetched.get(loc).map(|b| (*p, b.as_slice())))
+            .collect::<Option<Vec<_>>>()?;
+        self.decoder_cache
+            .reconstruct(task.pos, &sources, self.element_size)
+    }
+
+    /// Count planned repair sources that sit outside the failed disk's
+    /// failure domain (distinct elements, the way they are fetched).
+    fn note_cross_domain(&self, target: usize, recovery: &DiskRecovery) {
+        let domains = self.scheme.domains();
+        let distinct: BTreeSet<(usize, u64)> = recovery
+            .tasks
+            .iter()
+            .flat_map(|t| &t.sources)
+            .filter(|(_, loc)| !domains.same_domain(target, loc.disk))
+            .map(|(_, loc)| (loc.disk, loc.offset))
+            .collect();
+        if !distinct.is_empty() {
+            self.metrics.cross_domain_reads.add(distinct.len() as u64);
+        }
+    }
+
+    /// The repair-traffic-optimal path: ship each helper's decode
+    /// coefficients to the shard (`CombineRange`), let one *root* helper
+    /// XOR-merge the other helpers' partial sums server-side, and ingest
+    /// `rows` sealed regions instead of `k·rows` raw elements.
+    ///
+    /// Helpers that cannot combine (local `MemDisk`s, old servers whose
+    /// latch flipped off, shards without an address) are served by raw
+    /// element fetches and folded in client-side, so mixed-version
+    /// clusters still save bytes on the capable subset.
+    fn repair_stripe_combined(&self, recovery: &DiskRecovery) -> CombinedRepair {
+        let tasks = &recovery.tasks;
+        if tasks.is_empty() {
+            return CombinedRepair::Done(StripeRepair {
+                elements: 0,
+                bytes_read: 0,
+                bytes_written: 0,
+            });
+        }
+        let outputs = tasks.len();
+        // Column-assign decode coefficients: helper disk → offset →
+        // (output lane, coefficient). Lane r rebuilds task r.
+        let mut per_disk: BTreeMap<usize, BTreeMap<u64, Vec<(usize, u8)>>> = BTreeMap::new();
+        for (r, task) in tasks.iter().enumerate() {
+            let mut avail: Vec<usize> = task.sources.iter().map(|(p, _)| *p).collect();
+            avail.sort_unstable();
+            let Some(coeffs) = self.decoder_cache.coefficients(task.pos, &avail) else {
+                return CombinedRepair::Fallback;
+            };
+            for (p, loc) in &task.sources {
+                let i = avail.binary_search(p).expect("source position in avail");
+                if coeffs[i] != 0 {
+                    per_disk
+                        .entry(loc.disk)
+                        .or_default()
+                        .entry(loc.offset)
+                        .or_default()
+                        .push((r, coeffs[i]));
+                }
+            }
+        }
+        // One contiguous window + row-major coefficient matrix per
+        // helper; unused columns stay zero and are never verified or
+        // summed server-side.
+        struct Helper {
+            disk: usize,
+            offset: u64,
+            count: usize,
+            coeffs: Vec<u8>,
+        }
+        let mut capable: Vec<Helper> = Vec::new();
+        let mut raw: Vec<Helper> = Vec::new();
+        for (disk, cells) in per_disk {
+            let first = *cells.keys().next().expect("non-empty helper");
+            let last = *cells.keys().next_back().expect("non-empty helper");
+            let count = (last - first + 1) as usize;
+            let mut coeffs = vec![0u8; outputs * count];
+            for (&o, lanes) in &cells {
+                for &(r, c) in lanes {
+                    coeffs[r * count + (o - first) as usize] = c;
+                }
+            }
+            let helper = Helper {
+                disk,
+                offset: first,
+                count,
+                coeffs,
+            };
+            let backend = self.array.disk(disk);
+            if backend.supports_combine() && backend.peer_addr().is_some() {
+                capable.push(helper);
+            } else {
+                raw.push(helper);
+            }
+        }
+        if capable.is_empty() {
+            return CombinedRepair::Fallback;
+        }
+        // Root: the helper that merges everyone else's partials. Prefer
+        // one inside the failed disk's rack so the fat flows (peer →
+        // root, root → client) stay intra-domain.
+        let domains = self.scheme.domains();
+        let root_idx = capable
+            .iter()
+            .position(|h| domains.same_domain(h.disk, recovery.failed))
+            .unwrap_or(0);
+        let root = capable.swap_remove(root_idx);
+        let spec = CombineSpec {
+            offset: root.offset,
+            count: root.count as u32,
+            outputs: outputs as u32,
+            coeffs: root.coeffs,
+            key: (self.key.k0, self.key.k1),
+            peers: capable
+                .iter()
+                .map(|h| CombinePeerSpec {
+                    addr: self
+                        .array
+                        .disk(h.disk)
+                        .peer_addr()
+                        .expect("capable helper has an address"),
+                    offset: h.offset,
+                    count: h.count as u32,
+                    coeffs: h.coeffs.clone(),
+                })
+                .collect(),
+        };
+        let reply = match self.array.disk(root.disk).combine(&spec) {
+            CombineOutcome::Combined(reply) => reply,
+            // The root's latch flipped mid-repair (old server) or the
+            // request failed structurally: nothing to exclude, use the
+            // batched path for this stripe.
+            CombineOutcome::Unsupported | CombineOutcome::Failed(_) => {
+                return CombinedRepair::Fallback;
+            }
+        };
+        if reply.regions.is_empty() {
+            // The root vetoed: some used element or peer failed
+            // verification. Corrupt parties are excluded and the stripe
+            // replanned; mere absence falls back to the batched path,
+            // which has its own suspect handling.
+            let mut corrupt = Vec::new();
+            if reply.local_status.contains(&combine_status::CORRUPT) {
+                corrupt.push(root.disk);
+            }
+            for (i, &s) in reply.peer_status.iter().enumerate() {
+                if s == combine_status::CORRUPT {
+                    corrupt.push(capable[i].disk);
+                }
+            }
+            if corrupt.is_empty() {
+                // No liar, but some peer was missing or declined. The
+                // root cannot tell an old server (which drops the
+                // connection on the unknown opcode) from a dead shard —
+                // but the peer's own client can: its combine path
+                // probes with a `BatchGet` and latches
+                // `supports_combine` off when the shard answers. If any
+                // latch flips, replan: the next attempt serves that
+                // helper with raw fetches instead of vetoing again.
+                let mut latched = false;
+                for (i, &s) in reply.peer_status.iter().enumerate() {
+                    if s != combine_status::MISSING && s != combine_status::DECLINED {
+                        continue;
+                    }
+                    let h = &capable[i];
+                    let backend = self.array.disk(h.disk);
+                    let leaf = CombineSpec {
+                        offset: h.offset,
+                        count: h.count as u32,
+                        outputs: outputs as u32,
+                        coeffs: h.coeffs.clone(),
+                        key: (self.key.k0, self.key.k1),
+                        peers: Vec::new(),
+                    };
+                    if matches!(backend.combine(&leaf), CombineOutcome::Unsupported) {
+                        latched = true;
+                    }
+                }
+                return if latched {
+                    CombinedRepair::Retry
+                } else {
+                    CombinedRepair::Fallback
+                };
+            }
+            self.metrics.verify_fail.add(corrupt.len() as u64);
+            return CombinedRepair::Corrupt(corrupt);
+        }
+        if reply.regions.len() != outputs {
+            return CombinedRepair::Fallback;
+        }
+        // Verify and strip the root's seal on each merged region.
+        let mut wire_bytes = 0u64;
+        let mut partials: Vec<Vec<u8>> = Vec::with_capacity(outputs);
+        for (r, region) in reply.regions.iter().enumerate() {
+            wire_bytes += region.len() as u64;
+            let Some(payload) = verify_footer(&self.key, root.offset + r as u64, region) else {
+                self.metrics.verify_fail.inc();
+                return CombinedRepair::Corrupt(vec![root.disk]);
+            };
+            let mut payload = payload.to_vec();
+            payload.truncate(self.element_size);
+            partials.push(payload);
+        }
+        // Helpers that could not combine: fetch their used elements raw
+        // and fold them in client-side.
+        if !raw.is_empty() {
+            let mut addrs: Vec<(usize, u64)> = Vec::new();
+            for h in &raw {
+                for i in 0..h.count {
+                    if (0..outputs).any(|r| h.coeffs[r * h.count + i] != 0) {
+                        addrs.push((h.disk, h.offset + i as u64));
+                    }
+                }
+            }
+            let results = self.array.read_batch(&addrs);
+            let mut cells: HashMap<(usize, u64), Vec<u8>> = HashMap::with_capacity(addrs.len());
+            for (&(d, o), bytes) in addrs.iter().zip(results) {
+                let Some(b) = bytes else {
+                    self.array.mark_suspect(d);
+                    return CombinedRepair::Fallback;
+                };
+                wire_bytes += b.len() as u64;
+                let Some(payload) = verify_footer(&self.key, o, &b) else {
+                    self.metrics.verify_fail.inc();
+                    return CombinedRepair::Corrupt(vec![d]);
+                };
+                let mut payload = payload.to_vec();
+                payload.truncate(self.element_size);
+                cells.insert((d, o), payload);
+            }
+            for h in &raw {
+                for (r, partial) in partials.iter_mut().enumerate() {
+                    for i in 0..h.count {
+                        let c = h.coeffs[r * h.count + i];
+                        if c != 0 {
+                            let cell = &cells[&(h.disk, h.offset + i as u64)];
+                            ecfrm_gf::region::mul_add_region(c, cell, partial);
+                        }
+                    }
+                }
+            }
+        }
+        // Re-seal each completed sum at its home offset and write back.
+        let mut rebuilt: Vec<((usize, u64), Vec<u8>)> = Vec::with_capacity(outputs);
+        let mut bytes_written = 0u64;
+        for (task, mut bytes) in tasks.iter().zip(partials) {
+            append_footer(&self.key, task.target.offset, &mut bytes);
+            bytes_written += bytes.len() as u64;
+            rebuilt.push(((task.target.disk, task.target.offset), bytes));
+        }
+        self.metrics.repair_wire_bytes.add(wire_bytes);
+        self.metrics.combined_stripes.inc();
+        self.array.write_batch(rebuilt);
+        CombinedRepair::Done(StripeRepair {
+            elements: outputs,
+            bytes_read: wire_bytes,
             bytes_written,
         })
     }
