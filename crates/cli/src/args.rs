@@ -55,6 +55,20 @@ pub struct Options {
     /// `--racks 3`: split the disks into that many contiguous failure
     /// domains; repair and degraded reads prefer same-rack helpers.
     pub racks: Option<usize>,
+    /// `--front`: serve the multi-tenant object front door (namespace +
+    /// QoS admission + read cache) on top of the shard, not just raw
+    /// shard ops. Requires `--code`/`--layout` so the node can build
+    /// its store.
+    pub front: bool,
+    /// `--tenant name:class[:rate]` (repeatable): register a tenant on
+    /// the front door, e.g. `web:latency` or `scan:bulk:8000000`.
+    pub tenant: Vec<String>,
+    /// `--cache-bytes 33554432`: front-door element cache capacity
+    /// (`0` disables caching).
+    pub cache_bytes: Option<usize>,
+    /// `--no-admission`: admit every front-door request immediately
+    /// (QoS off — the A/B baseline).
+    pub no_admission: bool,
 }
 
 impl Options {
@@ -104,6 +118,16 @@ impl Options {
                 // Boolean flags take no value.
                 "--stats" => o.stats = true,
                 "--corrupt" => o.corrupt = true,
+                "--front" => o.front = true,
+                "--no-admission" => o.no_admission = true,
+                "--tenant" => o.tenant.push(value()?),
+                "--cache-bytes" => {
+                    o.cache_bytes = Some(
+                        value()?
+                            .parse()
+                            .map_err(|e| format!("bad --cache-bytes: {e}"))?,
+                    )
+                }
                 "--json" => o.json = Some(value()?),
                 "--stripes" => o.stripes = Some(value()?),
                 "--rate" => {
@@ -379,6 +403,30 @@ mod tests {
         assert!(with("uring:0").file_io_config().is_err());
         assert!(with("uring:lots").file_io_config().is_err());
         assert!(with("mmap").file_io_config().is_err());
+    }
+
+    #[test]
+    fn front_door_flags() {
+        let o = Options::parse(&sv(&[
+            "--front",
+            "--tenant",
+            "web:latency",
+            "--tenant",
+            "scan:bulk:8000000",
+            "--cache-bytes",
+            "1048576",
+            "--no-admission",
+        ]))
+        .unwrap();
+        assert!(o.front);
+        assert_eq!(o.tenant, vec!["web:latency", "scan:bulk:8000000"]);
+        assert_eq!(o.cache_bytes, Some(1_048_576));
+        assert!(o.no_admission);
+        // Off by default: a plain shard server has no front door.
+        let d = Options::default();
+        assert!(!d.front && !d.no_admission && d.tenant.is_empty());
+        assert!(Options::parse(&sv(&["--cache-bytes", "lots"])).is_err());
+        assert!(Options::parse(&sv(&["--tenant"])).is_err());
     }
 
     #[test]

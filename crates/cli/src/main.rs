@@ -11,6 +11,9 @@
 //!
 //! ```text
 //! ecfrm serve   --listen 127.0.0.1:7000 --dir ./shard0
+//! ecfrm serve   --listen 127.0.0.1:7100 --front --code rs:6,3 --layout ecfrm \
+//!               --tenant web:latency --tenant scan:bulk:8000000 \
+//!               --remote 127.0.0.1:7000,...   # front node over shard nodes
 //! ecfrm bench   --code rs:4,2 --layout ecfrm \
 //!               --remote 127.0.0.1:7000,...   # one address per disk
 //! ecfrm drill   --code rs:6,3 --layout ecfrm --disk 3 --rate 20000000
@@ -24,6 +27,10 @@
 //! access distribution of a read — the paper's Figures 3 and 7 as a
 //! command. `serve` exposes one shard over TCP and `bench --remote`
 //! drives the full put→encode→network→decode path against such shards.
+//! `serve --front` additionally hosts the multi-tenant object front
+//! door on the same listener: named objects, per-tenant QoS admission
+//! (`--tenant name:class[:rate]`), and the parity-aware read cache
+//! (`--cache-bytes`), over local disks or `--remote` shard nodes.
 //! `drill` is a kill-and-repair fire drill: wipe a disk, restore full
 //! redundancy with the background repair pipeline under foreground
 //! load, and report both sides' performance. With `--corrupt` the
@@ -105,6 +112,10 @@ fn usage() -> String {
      \x20         (merkle vs decode scrub timing; --corrupt plants bit-rot and checks localization)\n\
      \x20 serve   --listen <host:port> [--dir <shard dir>] [--element-size <bytes>]\n\
      \x20         [--file-io auto|blocking|uring[:depth]]\n\
+     \x20         [--front --code <spec> --layout <name>]   (object front door: opcodes 11-15)\n\
+     \x20         [--tenant name:latency|bulk|repair[:rate_bytes_per_s]]...\n\
+     \x20         [--cache-bytes <n>] [--no-admission]\n\
+     \x20         [--remote host:port,...]   (front store over remote shards, one per disk)\n\
      \x20 stats   --remote host:port[,host:port,...] [--json <file>]\n\
      layouts: standard | rotated | krotated | shuffled | ecfrm"
         .to_string()

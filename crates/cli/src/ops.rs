@@ -215,6 +215,14 @@ pub fn info(opts: &Options) -> Result<(), CliError> {
 /// remote `ecfrm bench --remote` / `RemoteDisk` clients can read it.
 /// Backed by a `FileDisk` under `--dir` when given (persistent), else an
 /// in-memory disk. Runs until killed.
+///
+/// With `--front` the node also hosts the multi-tenant object front
+/// door (opcodes 11–15): it builds a full `--code`/`--layout` store —
+/// over `--remote` shard servers when given, else over local disks —
+/// and answers object create/write/read/stat/delete with QoS admission
+/// and the parity-aware read cache in the path. `--tenant
+/// name:class[:rate]` registers tenants, `--cache-bytes` sizes the
+/// cache, `--no-admission` turns QoS off.
 pub fn serve(opts: &Options) -> Result<(), CliError> {
     use ecfrm_net::ShardServer;
     use ecfrm_sim::{DiskBackend, FileDisk, MemDisk};
@@ -240,12 +248,98 @@ pub fn serve(opts: &Options) -> Result<(), CliError> {
         }
         None => Arc::new(MemDisk::new()),
     };
-    let server = ShardServer::spawn(backend, listen)
-        .map_err(|e| CliError::io(format!("bind {listen}"), e))?;
+    let server = if opts.front {
+        let front = build_front(opts, element_size)?;
+        let mode = if opts.no_admission {
+            "admission off"
+        } else {
+            "admission on"
+        };
+        println!(
+            "front door up: {} tenants, {mode}, {} B cache",
+            opts.tenant.len(),
+            opts.cache_bytes.unwrap_or(32 << 20),
+        );
+        ShardServer::spawn_with_front(backend, front, listen)
+    } else {
+        ShardServer::spawn(backend, listen)
+    }
+    .map_err(|e| CliError::io(format!("bind {listen}"), e))?;
     println!("serving shard on {} ({storage})", server.addr());
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
     }
+}
+
+/// Build the `serve --front` object front door: a full store over
+/// `--remote` shard servers (one address per disk) or local disks
+/// (file-backed under `--dir`, else in-memory), with `--tenant` /
+/// `--cache-bytes` / `--no-admission` applied.
+fn build_front(
+    opts: &Options,
+    element_size: usize,
+) -> Result<std::sync::Arc<ecfrm_store::FrontDoor>, CliError> {
+    use ecfrm_net::{RemoteDisk, RemoteDiskConfig};
+    use ecfrm_sim::{DiskBackend, FileDisk, MemDisk, ThreadedArray};
+    use ecfrm_store::{FrontConfig, FrontDoor, ObjectStore, TenantSpec};
+    use std::sync::Arc;
+
+    let code = Options::require(&opts.code, "code")?;
+    let layout = Options::require(&opts.layout, "layout")?;
+    let scheme = parse_scheme(code, layout, opts.seed, opts.racks)?;
+    let file_io = opts.file_io_config().map_err(CliError::Usage)?;
+
+    let backends: Vec<Arc<dyn DiskBackend>> = if opts.remote.is_empty() {
+        (0..scheme.n_disks())
+            .map(|d| match &opts.dir {
+                Some(dir) => {
+                    let disk = FileDisk::create_with(
+                        Path::new(dir).join(format!("front-d{d}.bin")),
+                        element_size + ecfrm_integrity::FOOTER_LEN,
+                        file_io,
+                    )
+                    .map_err(|e| CliError::io(format!("creating front disk {d}"), e))?;
+                    Ok(Arc::new(disk) as Arc<dyn DiskBackend>)
+                }
+                None => Ok(Arc::new(MemDisk::new()) as Arc<dyn DiskBackend>),
+            })
+            .collect::<Result<_, CliError>>()?
+    } else {
+        if opts.remote.len() != scheme.n_disks() {
+            return Err(CliError::Usage(format!(
+                "--front over --remote needs exactly {} shard addresses (one per disk), got {}",
+                scheme.n_disks(),
+                opts.remote.len()
+            )));
+        }
+        let cfg = RemoteDiskConfig::builder().build();
+        opts.remote
+            .iter()
+            .map(|addr| {
+                let addr = addr
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("bad --remote address `{addr}`: {e}")))?;
+                Ok(Arc::new(RemoteDisk::new(addr, cfg.clone())) as Arc<dyn DiskBackend>)
+            })
+            .collect::<Result<_, CliError>>()?
+    };
+
+    let store = Arc::new(ObjectStore::with_array(
+        scheme,
+        element_size,
+        ThreadedArray::from_backends(backends),
+    ));
+    let front = FrontDoor::new(
+        store,
+        FrontConfig::builder()
+            .cache_bytes(opts.cache_bytes.unwrap_or(32 << 20))
+            .admission(!opts.no_admission)
+            .build(),
+    );
+    for spec in &opts.tenant {
+        front.register_tenant(TenantSpec::parse(spec).map_err(CliError::Usage)?);
+    }
+    Ok(front)
 }
 
 /// `ecfrm bench`: a quick real-I/O microbenchmark — build a store over

@@ -44,10 +44,12 @@
 
 pub mod client;
 pub mod cluster;
+pub mod front;
 pub mod protocol;
 pub mod server;
 
 pub use client::{RemoteDisk, RemoteDiskConfig};
 pub use cluster::Cluster;
+pub use front::FrontClient;
 pub use protocol::{CheckedElement, Fault, NetError, Request, Response};
 pub use server::ShardServer;

@@ -194,6 +194,55 @@ pub enum Request {
         /// merges before answering.
         peers: Vec<CombinePeer>,
     },
+    /// Create an empty named object for a tenant on the server's
+    /// object front door ([`ecfrm_store::FrontDoor`]). Part of the
+    /// additive object-op family (opcodes 11–15, protocol version 1):
+    /// servers that predate them reject the opcodes and clients fall
+    /// back to a local front door over the shard data path
+    /// (probe-and-latch, the same pattern as opcodes 7–10). Servers
+    /// *without* a front door attached answer
+    /// [`Response::Error`]`("no front door…")` instead.
+    ObjCreate {
+        /// Owning tenant.
+        tenant: String,
+        /// Object name, unique per tenant.
+        object: String,
+    },
+    /// Append bytes to an existing object as one new extent.
+    ObjWrite {
+        /// Owning tenant.
+        tenant: String,
+        /// Object name.
+        object: String,
+        /// Bytes to append.
+        bytes: Vec<u8>,
+    },
+    /// Read `len` bytes of an object starting at `start`
+    /// (`len == u64::MAX` means "to the end").
+    ObjGet {
+        /// Owning tenant.
+        tenant: String,
+        /// Object name.
+        object: String,
+        /// First byte to read.
+        start: u64,
+        /// Bytes to read, or `u64::MAX` for the whole remainder.
+        len: u64,
+    },
+    /// Object metadata probe.
+    ObjStat {
+        /// Owning tenant.
+        tenant: String,
+        /// Object name.
+        object: String,
+    },
+    /// Drop an object's namespace record (metadata-only delete).
+    ObjDelete {
+        /// Owning tenant.
+        tenant: String,
+        /// Object name.
+        object: String,
+    },
     /// Liveness + occupancy probe.
     Health,
     /// Drive the shard's failure state.
@@ -278,6 +327,20 @@ pub enum Response {
         /// contributed nothing to the sums.
         peer_status: Vec<u8>,
     },
+    /// Object op acknowledged ([`Request::ObjCreate`] /
+    /// [`Request::ObjWrite`] / [`Request::ObjDelete`]).
+    ObjAck,
+    /// The bytes answering a [`Request::ObjGet`].
+    ObjData(Vec<u8>),
+    /// The answer to a [`Request::ObjStat`].
+    ObjStat {
+        /// Object length in bytes.
+        len: u64,
+        /// Mutation version (create = 1, +1 per write).
+        version: u64,
+        /// Number of stream extents backing the object.
+        extents: u32,
+    },
     /// Health probe answer: stored element count.
     Health {
         /// Elements currently stored.
@@ -309,6 +372,11 @@ const OP_GET_RANGE: u8 = 7;
 const OP_RANGE_CHECKED: u8 = 8;
 const OP_MUX: u8 = 9;
 const OP_COMBINE_RANGE: u8 = 10;
+const OP_OBJ_CREATE: u8 = 11;
+const OP_OBJ_WRITE: u8 = 12;
+const OP_OBJ_GET: u8 = 13;
+const OP_OBJ_STAT: u8 = 14;
+const OP_OBJ_DELETE: u8 = 15;
 
 const RESP_ELEMENT: u8 = 129;
 const RESP_PUT: u8 = 130;
@@ -320,6 +388,9 @@ const RESP_RANGE: u8 = 135;
 const RESP_CHECKED: u8 = 136;
 const RESP_MUX: u8 = 137;
 const RESP_COMBINED: u8 = 138;
+const RESP_OBJ_ACK: u8 = 139;
+const RESP_OBJ_DATA: u8 = 140;
+const RESP_OBJ_STAT: u8 = 141;
 const RESP_ERROR: u8 = 255;
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -377,6 +448,19 @@ impl<'a> Cursor<'a> {
     }
 }
 
+/// `[len:u32][utf-8 bytes]`.
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn get_str(c: &mut Cursor<'_>) -> Result<String, NetError> {
+    let len = c.u32()? as usize;
+    Ok(std::str::from_utf8(c.take(len)?)
+        .map_err(|_| NetError::Protocol("string is not UTF-8".into()))?
+        .to_string())
+}
+
 /// `Some(bytes)` ↔ `[1][len:u32][bytes]`, `None` ↔ `[0]`.
 fn put_opt_bytes(out: &mut Vec<u8>, v: &Option<Vec<u8>>) {
     match v {
@@ -409,6 +493,11 @@ impl Request {
             Request::GetRange { .. } => OP_GET_RANGE,
             Request::RangeChecked { .. } => OP_RANGE_CHECKED,
             Request::CombineRange { .. } => OP_COMBINE_RANGE,
+            Request::ObjCreate { .. } => OP_OBJ_CREATE,
+            Request::ObjWrite { .. } => OP_OBJ_WRITE,
+            Request::ObjGet { .. } => OP_OBJ_GET,
+            Request::ObjStat { .. } => OP_OBJ_STAT,
+            Request::ObjDelete { .. } => OP_OBJ_DELETE,
             Request::Health => OP_HEALTH,
             Request::InjectFault(_) => OP_INJECT,
             Request::Stats => OP_STATS,
@@ -475,6 +564,38 @@ impl Request {
                     put_u32(&mut out, p.coeffs.len() as u32);
                     out.extend_from_slice(&p.coeffs);
                 }
+            }
+            Request::ObjCreate { tenant, object } | Request::ObjDelete { tenant, object } => {
+                // [tenant len:u32][tenant][object len:u32][object].
+                put_str(&mut out, tenant);
+                put_str(&mut out, object);
+            }
+            Request::ObjStat { tenant, object } => {
+                put_str(&mut out, tenant);
+                put_str(&mut out, object);
+            }
+            Request::ObjWrite {
+                tenant,
+                object,
+                bytes,
+            } => {
+                // [tenant][object][bytes len:u32][bytes].
+                put_str(&mut out, tenant);
+                put_str(&mut out, object);
+                put_u32(&mut out, bytes.len() as u32);
+                out.extend_from_slice(bytes);
+            }
+            Request::ObjGet {
+                tenant,
+                object,
+                start,
+                len,
+            } => {
+                // [tenant][object][start:u64][len:u64].
+                put_str(&mut out, tenant);
+                put_str(&mut out, object);
+                put_u64(&mut out, *start);
+                put_u64(&mut out, *len);
             }
             Request::Health | Request::Stats => {}
             Request::Mux { id, inner } => {
@@ -560,6 +681,34 @@ impl Request {
                     peers,
                 }
             }
+            OP_OBJ_CREATE => Request::ObjCreate {
+                tenant: get_str(&mut c)?,
+                object: get_str(&mut c)?,
+            },
+            OP_OBJ_WRITE => {
+                let tenant = get_str(&mut c)?;
+                let object = get_str(&mut c)?;
+                let len = c.u32()? as usize;
+                Request::ObjWrite {
+                    tenant,
+                    object,
+                    bytes: c.take(len)?.to_vec(),
+                }
+            }
+            OP_OBJ_GET => Request::ObjGet {
+                tenant: get_str(&mut c)?,
+                object: get_str(&mut c)?,
+                start: c.u64()?,
+                len: c.u64()?,
+            },
+            OP_OBJ_STAT => Request::ObjStat {
+                tenant: get_str(&mut c)?,
+                object: get_str(&mut c)?,
+            },
+            OP_OBJ_DELETE => Request::ObjDelete {
+                tenant: get_str(&mut c)?,
+                object: get_str(&mut c)?,
+            },
             OP_HEALTH => Request::Health,
             OP_STATS => Request::Stats,
             OP_MUX => {
@@ -600,6 +749,9 @@ impl Response {
             Response::Range(_) => RESP_RANGE,
             Response::Checked(_) => RESP_CHECKED,
             Response::Combined { .. } => RESP_COMBINED,
+            Response::ObjAck => RESP_OBJ_ACK,
+            Response::ObjData(_) => RESP_OBJ_DATA,
+            Response::ObjStat { .. } => RESP_OBJ_STAT,
             Response::Health { .. } => RESP_HEALTH,
             Response::FaultInjected => RESP_FAULT,
             Response::Stats(_) => RESP_STATS,
@@ -671,6 +823,21 @@ impl Response {
                 out.extend_from_slice(local_status);
                 put_u32(&mut out, peer_status.len() as u32);
                 out.extend_from_slice(peer_status);
+            }
+            Response::ObjAck => {}
+            Response::ObjData(bytes) => {
+                put_u32(&mut out, bytes.len() as u32);
+                out.extend_from_slice(bytes);
+            }
+            Response::ObjStat {
+                len,
+                version,
+                extents,
+            } => {
+                // [len:u64][version:u64][extents:u32].
+                put_u64(&mut out, *len);
+                put_u64(&mut out, *version);
+                put_u32(&mut out, *extents);
             }
             Response::Health { elements } => put_u64(&mut out, *elements),
             Response::Stats(pairs) => {
@@ -776,6 +943,16 @@ impl Response {
                     peer_status,
                 }
             }
+            RESP_OBJ_ACK => Response::ObjAck,
+            RESP_OBJ_DATA => {
+                let len = c.u32()? as usize;
+                Response::ObjData(c.take(len)?.to_vec())
+            }
+            RESP_OBJ_STAT => Response::ObjStat {
+                len: c.u64()?,
+                version: c.u64()?,
+                extents: c.u32()?,
+            },
             RESP_HEALTH => Response::Health { elements: c.u64()? },
             RESP_FAULT => Response::FaultInjected,
             RESP_STATS => {
@@ -1073,6 +1250,59 @@ mod tests {
         for fault in [Fault::Fail, Fault::Heal, Fault::Wipe, Fault::DelayMs(250)] {
             roundtrip_request(Request::InjectFault(fault));
         }
+    }
+
+    #[test]
+    fn object_op_roundtrips() {
+        roundtrip_request(Request::ObjCreate {
+            tenant: "web".into(),
+            object: "profile.json".into(),
+        });
+        roundtrip_request(Request::ObjWrite {
+            tenant: "".into(),
+            object: "naïve/名前".into(),
+            bytes: vec![0, 1, 255],
+        });
+        roundtrip_request(Request::ObjWrite {
+            tenant: "t".into(),
+            object: "o".into(),
+            bytes: vec![],
+        });
+        roundtrip_request(Request::ObjGet {
+            tenant: "t".into(),
+            object: "o".into(),
+            start: 1 << 40,
+            len: u64::MAX,
+        });
+        roundtrip_request(Request::ObjStat {
+            tenant: "t".into(),
+            object: "o".into(),
+        });
+        roundtrip_request(Request::ObjDelete {
+            tenant: "t".into(),
+            object: "o".into(),
+        });
+        roundtrip_response(Response::ObjAck);
+        roundtrip_response(Response::ObjData(vec![9; 4096]));
+        roundtrip_response(Response::ObjData(vec![]));
+        roundtrip_response(Response::ObjStat {
+            len: u64::MAX,
+            version: 3,
+            extents: u32::MAX,
+        });
+        // Non-UTF-8 tenant bytes are a protocol error, not garbage.
+        let mut buf = Vec::new();
+        write_request(
+            &mut buf,
+            &Request::ObjStat {
+                tenant: "ab".into(),
+                object: "o".into(),
+            },
+        )
+        .unwrap();
+        let tenant_start = 10 + 4; // header + tenant len
+        buf[tenant_start] = 0xFF;
+        assert!(read_request(&mut buf.as_slice()).is_err());
     }
 
     #[test]

@@ -80,6 +80,7 @@ struct ServerMetrics {
     checked_corrupt: Counter,
     combine: Counter,
     combine_corrupt: Counter,
+    obj: Counter,
     health: Counter,
     inject: Counter,
     stats: Counter,
@@ -98,6 +99,7 @@ impl ServerMetrics {
             checked_corrupt: recorder.counter("serve.checked_corrupt"),
             combine: recorder.counter("serve.combine"),
             combine_corrupt: recorder.counter("serve.combine_corrupt"),
+            obj: recorder.counter("serve.obj"),
             health: recorder.counter("serve.health"),
             inject: recorder.counter("serve.inject"),
             stats: recorder.counter("serve.stats"),
@@ -114,6 +116,11 @@ impl ServerMetrics {
             Request::GetRange { .. } => self.range.inc(),
             Request::RangeChecked { .. } => self.checked.inc(),
             Request::CombineRange { .. } => self.combine.inc(),
+            Request::ObjCreate { .. }
+            | Request::ObjWrite { .. }
+            | Request::ObjGet { .. }
+            | Request::ObjStat { .. }
+            | Request::ObjDelete { .. } => self.obj.inc(),
             Request::Health => self.health.inc(),
             Request::InjectFault(_) => self.inject.inc(),
             Request::Stats => self.stats.inc(),
@@ -129,6 +136,12 @@ impl ServerMetrics {
 
 struct Shared {
     backend: Arc<dyn DiskBackend>,
+    /// Object front door served by opcodes 11–15, when this node is a
+    /// front node and not just a raw shard. `None` answers object ops
+    /// with a wire error instead of rejecting the opcode, so new
+    /// clients can tell "server too old" (decode error, connection
+    /// drop) from "server has no front door" (typed error).
+    front: Option<Arc<ecfrm_store::FrontDoor>>,
     stop: AtomicBool,
     /// Injected per-read delay in ms (straggler simulation).
     read_delay_ms: AtomicU64,
@@ -157,6 +170,30 @@ impl ShardServer {
     /// # Errors
     /// Socket bind errors.
     pub fn spawn(backend: Arc<dyn DiskBackend>, addr: &str) -> std::io::Result<Self> {
+        Self::spawn_inner(backend, None, addr)
+    }
+
+    /// Like [`Self::spawn`], but also attach an object front door: this
+    /// node serves the object namespace ops (opcodes 11–15) through
+    /// `front` in addition to the raw shard ops on `backend`. Plain
+    /// [`Self::spawn`] servers answer object ops with a typed
+    /// `"no front door attached"` error.
+    ///
+    /// # Errors
+    /// Socket bind errors.
+    pub fn spawn_with_front(
+        backend: Arc<dyn DiskBackend>,
+        front: Arc<ecfrm_store::FrontDoor>,
+        addr: &str,
+    ) -> std::io::Result<Self> {
+        Self::spawn_inner(backend, Some(front), addr)
+    }
+
+    fn spawn_inner(
+        backend: Arc<dyn DiskBackend>,
+        front: Option<Arc<ecfrm_store::FrontDoor>>,
+        addr: &str,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -164,6 +201,7 @@ impl ShardServer {
         let metrics = ServerMetrics::new(&recorder);
         let shared = Arc::new(Shared {
             backend,
+            front,
             stop: AtomicBool::new(false),
             read_delay_ms: AtomicU64::new(0),
             recorder,
@@ -399,6 +437,21 @@ fn straggle(shared: &Shared) {
     }
 }
 
+/// Dispatch one object op to the attached front door, mapping store
+/// errors to the typed wire strings [`crate::front::unwire_error`]
+/// re-types client-side. A front-less server answers every object op
+/// with the same typed error — distinguishable from an *old* server,
+/// which rejects the opcode at decode and drops the connection.
+fn obj_result(
+    shared: &Shared,
+    f: impl FnOnce(&ecfrm_store::FrontDoor) -> Result<Response, ecfrm_store::StoreError>,
+) -> Response {
+    match &shared.front {
+        Some(front) => f(front).unwrap_or_else(|e| Response::Error(crate::front::wire_error(&e))),
+        None => Response::Error(crate::front::NO_FRONT.to_string()),
+    }
+}
+
 fn handle(req: &Request, shared: &Shared) -> Response {
     match req {
         Request::GetElement { offset } => {
@@ -470,6 +523,42 @@ fn handle(req: &Request, shared: &Shared) -> Response {
             k1,
             peers,
         } => handle_combine(*offset, *count, *outputs, coeffs, *k0, *k1, peers, shared),
+        Request::ObjCreate { tenant, object } => obj_result(shared, |f| {
+            f.create(tenant, object).map(|()| Response::ObjAck)
+        }),
+        Request::ObjWrite {
+            tenant,
+            object,
+            bytes,
+        } => obj_result(shared, |f| {
+            f.write(tenant, object, bytes).map(|()| Response::ObjAck)
+        }),
+        Request::ObjGet {
+            tenant,
+            object,
+            start,
+            len,
+        } => obj_result(shared, |f| {
+            // `u64::MAX` is the wire encoding of "to the end": resolve
+            // it against the current length so the range check passes.
+            let len = if *len == u64::MAX {
+                f.stat(tenant, object)?.len.saturating_sub(*start)
+            } else {
+                *len
+            };
+            f.read_range(tenant, object, *start, len)
+                .map(Response::ObjData)
+        }),
+        Request::ObjStat { tenant, object } => obj_result(shared, |f| {
+            f.stat(tenant, object).map(|s| Response::ObjStat {
+                len: s.len,
+                version: s.version,
+                extents: s.extents as u32,
+            })
+        }),
+        Request::ObjDelete { tenant, object } => obj_result(shared, |f| {
+            f.delete(tenant, object).map(|()| Response::ObjAck)
+        }),
         Request::Health => Response::Health {
             elements: shared.backend.len() as u64,
         },

@@ -185,7 +185,12 @@ fn spawn_old_server(backend: Arc<MemDisk>) -> std::net::SocketAddr {
                 let resp = match req {
                     Request::CombineRange { .. }
                     | Request::RangeChecked { .. }
-                    | Request::Mux { .. } => return, // "unknown opcode"
+                    | Request::Mux { .. }
+                    | Request::ObjCreate { .. }
+                    | Request::ObjWrite { .. }
+                    | Request::ObjGet { .. }
+                    | Request::ObjStat { .. }
+                    | Request::ObjDelete { .. } => return, // "unknown opcode"
                     Request::GetElement { offset } => Response::Element(disk.read(offset)),
                     Request::PutElement { offset, bytes } => {
                         disk.write(offset, bytes);

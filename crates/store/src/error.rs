@@ -32,6 +32,10 @@ pub enum StoreError {
     /// `From<NetError> for StoreError` so callers can `?` across the
     /// store/network boundary without stringifying.
     Net(String),
+    /// Admission control rejected the request: the tenant's token
+    /// bucket could not cover it within the configured maximum queueing
+    /// delay. The request was not executed; retry after backing off.
+    Throttled(String),
 }
 
 impl std::fmt::Display for StoreError {
@@ -47,6 +51,7 @@ impl std::fmt::Display for StoreError {
             StoreError::NoSuchStripe(s) => write!(f, "no such sealed stripe: {s}"),
             StoreError::Code(e) => write!(f, "decode error: {e}"),
             StoreError::Net(msg) => write!(f, "network error: {msg}"),
+            StoreError::Throttled(msg) => write!(f, "throttled: {msg}"),
         }
     }
 }

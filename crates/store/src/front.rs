@@ -1,0 +1,1088 @@
+//! The multi-tenant object front door: namespace, QoS admission, and a
+//! parity-aware read cache over an [`ObjectStore`].
+//!
+//! This is the layer that turns the stripe store into a *service*:
+//!
+//! * **Namespace** — tenants own named objects; each object is an
+//!   ordered list of stream extents ([`ExtentRecord`], kept next to the
+//!   stripe manifests in [`crate::meta`]). Writes append extents via
+//!   [`ObjectStore::append`], so object data is erasure coded exactly
+//!   like everything else and deletes are metadata-only.
+//! * **Admission control** — per-tenant pay-after token buckets
+//!   ([`ecfrm_util::TokenBucket`], the same limiter background repair
+//!   uses) behind three priority classes: [`QosClass::Latency`] is
+//!   never queued (over-budget requests are rejected immediately),
+//!   [`QosClass::Bulk`] is smoothed by queueing up to
+//!   [`FrontConfig::max_delay`], and [`QosClass::Repair`] queues
+//!   without bound. Bulk scans therefore cannot starve latency
+//!   tenants: their requests are delayed or shed before they reach the
+//!   disks.
+//! * **Parity-aware read cache** — a bounded LRU of *decoded* data
+//!   elements keyed by global element index (equivalently `(object,
+//!   stripe, element)`, since extents never alias). Misses fetch whole
+//!   elements through the store's planner, and — because EC-FRM's
+//!   rotated layout can substitute a same-group parity at equal fetch
+//!   cost — the miss path asks the planner to decode *around* the
+//!   currently hottest disk ([`ReadOpts::avoid`]), measured live from
+//!   the store's `disk_load` board. The cache is invalidated on stripe
+//!   seal and repair rewrite via [`ObjectStore::subscribe_stripes`].
+//!
+//! # Example: two tenants, one throttled
+//!
+//! ```
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//! use ecfrm_codes::RsCode;
+//! use ecfrm_core::{LayoutKind, Scheme};
+//! use ecfrm_store::front::{FrontConfig, FrontDoor, QosClass, TenantSpec};
+//! use ecfrm_store::{ObjectStore, StoreError};
+//!
+//! let scheme = Scheme::builder(Arc::new(RsCode::vandermonde(4, 2)))
+//!     .layout(LayoutKind::EcFrm)
+//!     .build();
+//! let store = Arc::new(ObjectStore::new(scheme, 1024));
+//! let front = FrontDoor::new(
+//!     store,
+//!     FrontConfig::builder()
+//!         .cache_bytes(1 << 20)
+//!         .max_delay(Duration::from_millis(1))
+//!         .build(),
+//! );
+//! // "web" is latency class (no limit); "scan" is bulk, capped so hard
+//! // that its second write overdraws the bucket and is shed.
+//! front.register_tenant(TenantSpec::new("web", QosClass::Latency));
+//! front.register_tenant(TenantSpec::new("scan", QosClass::Bulk).rate(1024));
+//!
+//! front.put("web", "profile.json", b"{\"name\":\"ada\"}").unwrap();
+//! assert_eq!(front.read("web", "profile.json").unwrap(), b"{\"name\":\"ada\"}");
+//!
+//! front.put("scan", "chunk-0", &[0u8; 4096]).unwrap(); // rides the burst
+//! let shed = front.put("scan", "chunk-1", &[0u8; 4096]);
+//! assert!(matches!(shed, Err(StoreError::Throttled(_))));
+//! assert_eq!(front.stat("web", "profile.json").unwrap().len, 14);
+//! ```
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ecfrm_obs::{Counter, Gauge, Recorder};
+use ecfrm_util::{Mutex, TokenBucket};
+
+use crate::meta::{ExtentRecord, ObjectMeta, ObjectStat};
+use crate::store::{ObjectStore, ReadOpts, StripeEvent};
+use crate::StoreError;
+
+/// Admission priority class of a tenant.
+///
+/// The class decides what happens when the tenant's token bucket is
+/// overdrawn (see the module docs for the admission state machine):
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QosClass {
+    /// Foreground, latency-sensitive traffic. Never queued: if the
+    /// bucket cannot cover the request *now*, it is rejected
+    /// ([`StoreError::Throttled`]) rather than delayed behind it.
+    Latency,
+    /// Throughput traffic (scans, backfills). Queued (the calling
+    /// thread sleeps) up to [`FrontConfig::max_delay`], then rejected.
+    Bulk,
+    /// Background maintenance. Queued without bound — repair-class
+    /// callers would rather wait than shed work (this mirrors the
+    /// `RepairManager`'s own use of the shared bucket).
+    Repair,
+}
+
+impl QosClass {
+    /// The class's lowercase wire/CLI name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            QosClass::Latency => "latency",
+            QosClass::Bulk => "bulk",
+            QosClass::Repair => "repair",
+        }
+    }
+
+    /// Parse a lowercase class name (as used by `--tenant` CLI specs).
+    pub fn parse(s: &str) -> Option<QosClass> {
+        match s {
+            "latency" => Some(QosClass::Latency),
+            "bulk" => Some(QosClass::Bulk),
+            "repair" => Some(QosClass::Repair),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for QosClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A tenant registration: name, priority class, and an optional rate
+/// limit in bytes/second.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Tenant name (also the label on its `tenant.<name>.*` counters).
+    pub name: String,
+    /// Admission priority class.
+    pub class: QosClass,
+    /// Token-bucket refill rate in bytes/second. `None` means
+    /// unlimited: the tenant is never throttled regardless of class.
+    pub rate_limit: Option<u64>,
+}
+
+impl TenantSpec {
+    /// A spec with no rate limit.
+    pub fn new(name: &str, class: QosClass) -> Self {
+        Self {
+            name: name.to_string(),
+            class,
+            rate_limit: None,
+        }
+    }
+
+    /// Set the bucket's refill rate in bytes/second.
+    pub fn rate(mut self, bytes_per_sec: u64) -> Self {
+        self.rate_limit = Some(bytes_per_sec);
+        self
+    }
+
+    /// Parse a CLI spec `name:class[:rate]`, e.g. `web:latency` or
+    /// `scan:bulk:8000000`. Returns a usage message on malformed input.
+    pub fn parse(s: &str) -> Result<TenantSpec, String> {
+        let mut parts = s.split(':');
+        let name = parts.next().filter(|n| !n.is_empty()).ok_or_else(|| {
+            format!("bad tenant spec `{s}`: expected name:class[:rate_bytes_per_sec]")
+        })?;
+        let class = parts
+            .next()
+            .and_then(QosClass::parse)
+            .ok_or_else(|| format!("bad tenant spec `{s}`: class must be latency|bulk|repair"))?;
+        let rate = match parts.next() {
+            None => None,
+            Some(r) => Some(
+                r.parse::<u64>()
+                    .map_err(|_| format!("bad tenant spec `{s}`: rate must be an integer"))?,
+            ),
+        };
+        if parts.next().is_some() {
+            return Err(format!("bad tenant spec `{s}`: too many fields"));
+        }
+        Ok(TenantSpec {
+            name: name.to_string(),
+            class,
+            rate_limit: rate,
+        })
+    }
+}
+
+/// Front-door configuration. Build with [`FrontConfig::builder`] (the
+/// same builder-knob shape as `RemoteDiskConfig`).
+#[derive(Debug, Clone)]
+pub struct FrontConfig {
+    /// Decoded-element cache capacity in bytes (`0` disables caching).
+    pub cache_bytes: usize,
+    /// Master admission switch. Off, every request is admitted
+    /// immediately and buckets are not charged — the bench's
+    /// "admission off" rows.
+    pub admission: bool,
+    /// How long a [`QosClass::Bulk`] request may be queued before it is
+    /// rejected.
+    pub max_delay: Duration,
+    /// Hot-disk threshold for the cache miss path: a disk is avoided
+    /// when its share of recent planned fetches exceeds `hot_ratio ×`
+    /// the per-disk mean (and traffic is non-trivial).
+    pub hot_ratio: f64,
+    /// How often the live `disk_load` board is re-sampled to re-elect
+    /// the hot disk.
+    pub load_refresh: Duration,
+}
+
+impl FrontConfig {
+    /// Start building a config from the defaults: 32 MiB cache,
+    /// admission on, 500 ms max bulk delay, hot ratio 1.5, 100 ms load
+    /// refresh.
+    pub fn builder() -> FrontConfigBuilder {
+        FrontConfigBuilder {
+            cfg: FrontConfig {
+                cache_bytes: 32 << 20,
+                admission: true,
+                max_delay: Duration::from_millis(500),
+                hot_ratio: 1.5,
+                load_refresh: Duration::from_millis(100),
+            },
+        }
+    }
+}
+
+impl Default for FrontConfig {
+    fn default() -> Self {
+        FrontConfig::builder().build()
+    }
+}
+
+/// Builder for [`FrontConfig`].
+#[derive(Debug, Clone)]
+pub struct FrontConfigBuilder {
+    cfg: FrontConfig,
+}
+
+impl FrontConfigBuilder {
+    /// Decoded-element cache capacity in bytes (`0` disables caching).
+    pub fn cache_bytes(mut self, bytes: usize) -> Self {
+        self.cfg.cache_bytes = bytes;
+        self
+    }
+
+    /// Enable/disable admission control (buckets are not charged while
+    /// off).
+    pub fn admission(mut self, on: bool) -> Self {
+        self.cfg.admission = on;
+        self
+    }
+
+    /// Maximum queueing delay for [`QosClass::Bulk`] requests.
+    pub fn max_delay(mut self, d: Duration) -> Self {
+        self.cfg.max_delay = d;
+        self
+    }
+
+    /// Hot-disk threshold (multiple of the per-disk mean load).
+    pub fn hot_ratio(mut self, ratio: f64) -> Self {
+        self.cfg.hot_ratio = ratio.max(1.0);
+        self
+    }
+
+    /// How often the hot disk is re-elected from the `disk_load` board.
+    pub fn load_refresh(mut self, d: Duration) -> Self {
+        self.cfg.load_refresh = d;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> FrontConfig {
+        self.cfg
+    }
+}
+
+/// One registered tenant: spec, bucket, and pre-resolved counters.
+struct Tenant {
+    spec: TenantSpec,
+    bucket: Option<TokenBucket>,
+    reads: Counter,
+    read_bytes: Counter,
+    writes: Counter,
+    write_bytes: Counter,
+    delayed: Counter,
+    rejected: Counter,
+}
+
+impl Tenant {
+    fn new(spec: TenantSpec, recorder: &Recorder) -> Self {
+        let c = |what: &str| recorder.counter(&format!("tenant.{}.{what}", spec.name));
+        Self {
+            bucket: spec.rate_limit.map(TokenBucket::new),
+            reads: c("reads"),
+            read_bytes: c("read_bytes"),
+            writes: c("writes"),
+            write_bytes: c("write_bytes"),
+            delayed: c("delayed"),
+            rejected: c("rejected"),
+            spec,
+        }
+    }
+}
+
+/// Bounded LRU of decoded data elements, keyed by global element index.
+struct ElementCache {
+    cap: usize,
+    inner: Mutex<CacheInner>,
+    hits: Counter,
+    misses: Counter,
+    evicted: Counter,
+    invalidated: Counter,
+    bytes: Gauge,
+}
+
+#[derive(Default)]
+struct CacheInner {
+    /// element → (decoded payload, owning stripe, LRU tick).
+    map: HashMap<u64, (Arc<Vec<u8>>, u64, u64)>,
+    /// LRU order: tick → element (ticks are unique).
+    lru: BTreeMap<u64, u64>,
+    /// stripe → elements cached from it (invalidation index).
+    by_stripe: HashMap<u64, Vec<u64>>,
+    bytes: usize,
+    tick: u64,
+}
+
+impl ElementCache {
+    fn new(cap: usize, recorder: &Recorder) -> Self {
+        Self {
+            cap,
+            inner: Mutex::new(CacheInner::default()),
+            hits: recorder.counter("cache.hit"),
+            misses: recorder.counter("cache.miss"),
+            evicted: recorder.counter("cache.evict"),
+            invalidated: recorder.counter("cache.invalidate"),
+            bytes: recorder.gauge("cache.bytes"),
+        }
+    }
+
+    fn get(&self, elem: u64) -> Option<Arc<Vec<u8>>> {
+        if self.cap == 0 {
+            self.misses.inc();
+            return None;
+        }
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&elem) {
+            Some((bytes, _, t)) => {
+                let old = std::mem::replace(t, tick);
+                let out = Arc::clone(bytes);
+                inner.lru.remove(&old);
+                inner.lru.insert(tick, elem);
+                self.hits.inc();
+                Some(out)
+            }
+            None => {
+                self.misses.inc();
+                None
+            }
+        }
+    }
+
+    fn insert(&self, elem: u64, stripe: u64, payload: Arc<Vec<u8>>) {
+        if self.cap == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if inner.map.contains_key(&elem) {
+            return; // a racing miss already filled it
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.bytes += payload.len();
+        inner.map.insert(elem, (payload, stripe, tick));
+        inner.lru.insert(tick, elem);
+        inner.by_stripe.entry(stripe).or_default().push(elem);
+        while inner.bytes > self.cap {
+            let Some((&t, &e)) = inner.lru.iter().next() else {
+                break;
+            };
+            inner.lru.remove(&t);
+            if let Some((payload, s, _)) = inner.map.remove(&e) {
+                inner.bytes -= payload.len();
+                if let Some(v) = inner.by_stripe.get_mut(&s) {
+                    v.retain(|&x| x != e);
+                    if v.is_empty() {
+                        inner.by_stripe.remove(&s);
+                    }
+                }
+                self.evicted.inc();
+            }
+        }
+        self.bytes.set(inner.bytes as i64);
+    }
+
+    fn invalidate_stripe(&self, stripe: u64) {
+        if self.cap == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        let Some(elems) = inner.by_stripe.remove(&stripe) else {
+            return;
+        };
+        for e in elems {
+            if let Some((payload, _, t)) = inner.map.remove(&e) {
+                inner.bytes -= payload.len();
+                inner.lru.remove(&t);
+                self.invalidated.inc();
+            }
+        }
+        self.bytes.set(inner.bytes as i64);
+    }
+
+    fn invalidate_all(&self) {
+        if self.cap == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        self.invalidated.add(inner.map.len() as u64);
+        *inner = CacheInner {
+            tick: inner.tick,
+            ..CacheInner::default()
+        };
+        self.bytes.set(0);
+    }
+}
+
+/// Hot-disk election state: the previous `disk_load` sample and the
+/// currently avoided disk.
+struct LoadWatch {
+    at: Instant,
+    elements: Vec<u64>,
+    hot: Option<usize>,
+}
+
+/// Front-door counters that are not per-tenant or cache-owned.
+struct FrontMetrics {
+    admit_ok: Counter,
+    admit_delayed: Counter,
+    admit_rejected: Counter,
+    objects: Gauge,
+    hot_avoided: Counter,
+}
+
+/// The multi-tenant object layer over an [`ObjectStore`]. See the
+/// [module docs](self) for the full design and a runnable example.
+pub struct FrontDoor {
+    store: Arc<ObjectStore>,
+    cfg: FrontConfig,
+    tenants: Mutex<HashMap<String, Arc<Tenant>>>,
+    /// tenant → object → extent record.
+    namespace: Mutex<HashMap<String, HashMap<String, ExtentRecord>>>,
+    cache: Arc<ElementCache>,
+    metrics: FrontMetrics,
+    watch: Mutex<LoadWatch>,
+    admission: AtomicBool,
+}
+
+impl std::fmt::Debug for FrontDoor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "FrontDoor({:?}, cache {} B)",
+            self.store, self.cfg.cache_bytes
+        )
+    }
+}
+
+impl FrontDoor {
+    /// Stand a front door up over `store`. Subscribes to the store's
+    /// stripe events for cache invalidation; counters register on the
+    /// store's [`Recorder`].
+    pub fn new(store: Arc<ObjectStore>, cfg: FrontConfig) -> Arc<FrontDoor> {
+        let recorder = store.recorder();
+        let cache = Arc::new(ElementCache::new(cfg.cache_bytes, recorder));
+        let metrics = FrontMetrics {
+            admit_ok: recorder.counter("admit.ok"),
+            admit_delayed: recorder.counter("admit.delayed"),
+            admit_rejected: recorder.counter("admit.rejected"),
+            objects: recorder.gauge("front.objects"),
+            hot_avoided: recorder.counter("front.hot_avoided"),
+        };
+        let n = store.scheme().n_disks();
+        let front = Arc::new(FrontDoor {
+            admission: AtomicBool::new(cfg.admission),
+            cfg,
+            tenants: Mutex::new(HashMap::new()),
+            namespace: Mutex::new(HashMap::new()),
+            cache: Arc::clone(&cache),
+            metrics,
+            watch: Mutex::new(LoadWatch {
+                at: Instant::now(),
+                elements: vec![0; n],
+                hot: None,
+            }),
+            store: Arc::clone(&store),
+        });
+        // Coherence fence: drop cached elements whose stripe was sealed
+        // or rewritten (see `StripeEvent` — conservative today, since
+        // sealed payloads are immutable and repair rewrites identical
+        // bytes, but it keeps the cache honest by construction).
+        store.subscribe_stripes(Arc::new({
+            let cache = Arc::clone(&cache);
+            move |ev| match ev {
+                StripeEvent::Sealed { first, count } => {
+                    for s in first..first + count {
+                        cache.invalidate_stripe(s);
+                    }
+                }
+                StripeEvent::Rewritten { stripe } => cache.invalidate_stripe(stripe),
+                StripeEvent::DiskRebuilt { .. } => cache.invalidate_all(),
+            }
+        }));
+        front
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Arc<ObjectStore> {
+        &self.store
+    }
+
+    /// Register (or replace) a tenant. Unregistered tenants are
+    /// auto-registered on first use as unlimited [`QosClass::Latency`].
+    pub fn register_tenant(&self, spec: TenantSpec) {
+        let t = Arc::new(Tenant::new(spec, self.store.recorder()));
+        self.tenants.lock().insert(t.spec.name.clone(), t);
+    }
+
+    /// Turn admission on/off at runtime (the bench's A/B switch).
+    pub fn set_admission(&self, on: bool) {
+        self.admission.store(on, Ordering::Relaxed);
+    }
+
+    fn tenant(&self, name: &str) -> Arc<Tenant> {
+        let mut tenants = self.tenants.lock();
+        if let Some(t) = tenants.get(name) {
+            return Arc::clone(t);
+        }
+        let t = Arc::new(Tenant::new(
+            TenantSpec::new(name, QosClass::Latency),
+            self.store.recorder(),
+        ));
+        tenants.insert(name.to_string(), Arc::clone(&t));
+        t
+    }
+
+    /// The admission state machine: charge `bytes` against the
+    /// tenant's bucket, passing / delaying / rejecting by class.
+    fn admit(&self, tenant: &Tenant, bytes: u64) -> Result<(), StoreError> {
+        if !self.admission.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let Some(bucket) = &tenant.bucket else {
+            self.metrics.admit_ok.inc();
+            return Ok(());
+        };
+        let wait = bucket.ready_in();
+        if wait > Duration::ZERO {
+            let deadline = match tenant.spec.class {
+                QosClass::Latency => Duration::ZERO,
+                QosClass::Bulk => self.cfg.max_delay,
+                QosClass::Repair => Duration::MAX,
+            };
+            if wait > deadline {
+                tenant.rejected.inc();
+                self.metrics.admit_rejected.inc();
+                return Err(StoreError::Throttled(format!(
+                    "tenant {} ({}) over rate limit: bucket ready in {wait:?}",
+                    tenant.spec.name, tenant.spec.class,
+                )));
+            }
+            std::thread::sleep(wait);
+            tenant.delayed.inc();
+            self.metrics.admit_delayed.inc();
+        }
+        bucket.spend(bytes);
+        self.metrics.admit_ok.inc();
+        Ok(())
+    }
+
+    /// Create an empty object.
+    ///
+    /// # Errors
+    /// [`StoreError::AlreadyExists`] if the tenant already has an
+    /// object with that name; [`StoreError::Throttled`] on admission
+    /// rejection.
+    pub fn create(&self, tenant: &str, object: &str) -> Result<(), StoreError> {
+        let t = self.tenant(tenant);
+        self.admit(&t, 0)?;
+        let mut ns = self.namespace.lock();
+        let objects = ns.entry(tenant.to_string()).or_default();
+        if objects.contains_key(object) {
+            return Err(StoreError::AlreadyExists(format!("{tenant}/{object}")));
+        }
+        objects.insert(
+            object.to_string(),
+            ExtentRecord {
+                extents: Vec::new(),
+                version: 1,
+            },
+        );
+        self.metrics.objects.add(1);
+        Ok(())
+    }
+
+    /// Append `bytes` to an existing object as one new extent.
+    ///
+    /// # Errors
+    /// [`StoreError::NotFound`] if the object does not exist;
+    /// [`StoreError::Throttled`] on admission rejection (the bytes are
+    /// not written).
+    pub fn write(&self, tenant: &str, object: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        let t = self.tenant(tenant);
+        self.admit(&t, bytes.len() as u64)?;
+        // Check existence *before* appending so a misspelled name
+        // doesn't leak stream bytes.
+        {
+            let ns = self.namespace.lock();
+            ns.get(tenant)
+                .and_then(|o| o.get(object))
+                .ok_or_else(|| StoreError::NotFound(format!("{tenant}/{object}")))?;
+        }
+        let extent = self.store.append(bytes);
+        let mut ns = self.namespace.lock();
+        let rec = ns
+            .get_mut(tenant)
+            .and_then(|o| o.get_mut(object))
+            .ok_or_else(|| StoreError::NotFound(format!("{tenant}/{object}")))?;
+        rec.extents.push(extent);
+        rec.version += 1;
+        t.writes.inc();
+        t.write_bytes.add(bytes.len() as u64);
+        Ok(())
+    }
+
+    /// [`Self::create`] followed by [`Self::write`].
+    ///
+    /// # Errors
+    /// As for the two steps.
+    pub fn put(&self, tenant: &str, object: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        self.create(tenant, object)?;
+        self.write(tenant, object, bytes)
+    }
+
+    /// Read a whole object.
+    ///
+    /// # Errors
+    /// [`StoreError::NotFound`] / [`StoreError::Throttled`], or any
+    /// store read error.
+    pub fn read(&self, tenant: &str, object: &str) -> Result<Vec<u8>, StoreError> {
+        let len = self.stat(tenant, object)?.len;
+        self.read_range(tenant, object, 0, len)
+    }
+
+    /// Read `len` bytes of an object starting at byte `start`,
+    /// read-through the decoded-element cache.
+    ///
+    /// # Errors
+    /// [`StoreError::NotFound`], [`StoreError::RangeOutOfBounds`],
+    /// [`StoreError::Throttled`], or any store read error.
+    pub fn read_range(
+        &self,
+        tenant: &str,
+        object: &str,
+        start: u64,
+        len: u64,
+    ) -> Result<Vec<u8>, StoreError> {
+        let t = self.tenant(tenant);
+        self.admit(&t, len)?;
+        let rec = {
+            let ns = self.namespace.lock();
+            ns.get(tenant)
+                .and_then(|o| o.get(object))
+                .cloned()
+                .ok_or_else(|| StoreError::NotFound(format!("{tenant}/{object}")))?
+        };
+        let total = rec.len();
+        if start.checked_add(len).is_none_or(|end| end > total) {
+            return Err(StoreError::RangeOutOfBounds {
+                name: format!("{tenant}/{object}"),
+                len: total,
+            });
+        }
+        let mut out = vec![0u8; len as usize];
+        let mut filled = 0usize;
+        for (extent, off, run) in rec.slices(start, len) {
+            let dst = &mut out[filled..filled + run as usize];
+            self.read_extent_cached(extent, off, run, dst)?;
+            filled += run as usize;
+        }
+        t.reads.inc();
+        t.read_bytes.add(len);
+        Ok(out)
+    }
+
+    /// Object metadata: length, version, extent count.
+    ///
+    /// # Errors
+    /// [`StoreError::NotFound`].
+    pub fn stat(&self, tenant: &str, object: &str) -> Result<ObjectStat, StoreError> {
+        let ns = self.namespace.lock();
+        let rec = ns
+            .get(tenant)
+            .and_then(|o| o.get(object))
+            .ok_or_else(|| StoreError::NotFound(format!("{tenant}/{object}")))?;
+        Ok(ObjectStat {
+            len: rec.len(),
+            version: rec.version,
+            extents: rec.extents.len(),
+        })
+    }
+
+    /// Delete an object: the namespace record is dropped, the stream
+    /// bytes become unreferenced (append-only store — space is
+    /// reclaimed by future compaction, not now). The name is
+    /// immediately reusable.
+    ///
+    /// # Errors
+    /// [`StoreError::NotFound`].
+    pub fn delete(&self, tenant: &str, object: &str) -> Result<(), StoreError> {
+        let mut ns = self.namespace.lock();
+        let objects = ns
+            .get_mut(tenant)
+            .ok_or_else(|| StoreError::NotFound(format!("{tenant}/{object}")))?;
+        objects
+            .remove(object)
+            .ok_or_else(|| StoreError::NotFound(format!("{tenant}/{object}")))?;
+        self.metrics.objects.add(-1);
+        Ok(())
+    }
+
+    /// A tenant's object names, sorted.
+    pub fn list(&self, tenant: &str) -> Vec<String> {
+        let ns = self.namespace.lock();
+        let mut names: Vec<String> = ns
+            .get(tenant)
+            .map(|o| o.keys().cloned().collect())
+            .unwrap_or_default();
+        names.sort();
+        names
+    }
+
+    /// Cache hit/miss totals so far — `(hits, misses)`.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache.hits.get(), self.cache.misses.get())
+    }
+
+    /// Fill `out` with `run` bytes starting `off` into `extent`,
+    /// serving whole decoded elements from the cache and batch-reading
+    /// contiguous miss runs through the planner (avoiding the hottest
+    /// disk when one stands out).
+    fn read_extent_cached(
+        &self,
+        extent: ObjectMeta,
+        off: u64,
+        run: u64,
+        out: &mut [u8],
+    ) -> Result<(), StoreError> {
+        let es = self.store.element_size() as u64;
+        let abs = ObjectMeta {
+            offset: extent.offset + off,
+            len: run,
+        };
+        let (first, last) = abs.element_range(self.store.element_size());
+        // Object-relative copy helper: element `e`'s payload overlaps
+        // `out` at stream bytes [max(e*es, abs.offset), min((e+1)*es,
+        // abs end)).
+        let copy_into = |out: &mut [u8], e: u64, payload: &[u8]| {
+            let estart = e * es;
+            let s = estart.max(abs.offset);
+            let t = (estart + payload.len() as u64).min(abs.offset + abs.len);
+            if s < t {
+                out[(s - abs.offset) as usize..(t - abs.offset) as usize]
+                    .copy_from_slice(&payload[(s - estart) as usize..(t - estart) as usize]);
+            }
+        };
+        let mut misses: Vec<u64> = Vec::new();
+        for e in first..last {
+            match self.cache.get(e) {
+                Some(payload) => copy_into(out, e, &payload),
+                None => misses.push(e),
+            }
+        }
+        if misses.is_empty() {
+            return Ok(());
+        }
+        let dps = self.store.scheme().data_per_stripe() as u64;
+        let opts = self.read_opts();
+        // Batch contiguous miss runs into single planned reads.
+        let mut i = 0;
+        while i < misses.len() {
+            let a = misses[i];
+            let mut j = i + 1;
+            while j < misses.len() && misses[j] == misses[j - 1] + 1 {
+                j += 1;
+            }
+            let b = misses[j - 1] + 1;
+            let span = ObjectMeta {
+                offset: a * es,
+                len: (b - a) * es,
+            };
+            let (bytes, _) = self.store.read_extent(span, 0, span.len, &opts)?;
+            for (k, chunk) in bytes.chunks_exact(es as usize).enumerate() {
+                let e = a + k as u64;
+                let payload = Arc::new(chunk.to_vec());
+                copy_into(out, e, &payload);
+                self.cache.insert(e, e / dps, payload);
+            }
+            i = j;
+        }
+        Ok(())
+    }
+
+    /// Per-miss [`ReadOpts`]: avoid the hot disk, if one is elected.
+    fn read_opts(&self) -> ReadOpts {
+        let mut opts = ReadOpts::default();
+        if let Some(d) = self.hot_disk() {
+            opts.avoid.push(d);
+            self.metrics.hot_avoided.inc();
+        }
+        opts
+    }
+
+    /// The currently hottest disk, from deltas of the store's
+    /// cumulative `disk_load` board, re-elected every
+    /// [`FrontConfig::load_refresh`]. `None` while traffic is light or
+    /// balanced.
+    fn hot_disk(&self) -> Option<usize> {
+        let mut watch = self.watch.lock();
+        if watch.at.elapsed() >= self.cfg.load_refresh {
+            let snap = self.store.disk_loads();
+            let delta: Vec<u64> = snap
+                .elements
+                .iter()
+                .zip(&watch.elements)
+                .map(|(now, then)| now.saturating_sub(*then))
+                .collect();
+            let total: u64 = delta.iter().sum();
+            let mean = total as f64 / delta.len().max(1) as f64;
+            watch.hot = delta
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &v)| v)
+                .filter(|(_, &v)| total >= 64 && v as f64 > self.cfg.hot_ratio * mean)
+                .map(|(d, _)| d);
+            watch.elements = snap.elements;
+            watch.at = Instant::now();
+        }
+        watch.hot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecfrm_codes::RsCode;
+    use ecfrm_core::{LayoutKind, Scheme};
+
+    fn front_with(cfg: FrontConfig) -> Arc<FrontDoor> {
+        let scheme = Scheme::builder(Arc::new(RsCode::vandermonde(4, 2)))
+            .layout(LayoutKind::EcFrm)
+            .build();
+        FrontDoor::new(Arc::new(ObjectStore::new(scheme, 512)), cfg)
+    }
+
+    fn front() -> Arc<FrontDoor> {
+        front_with(FrontConfig::builder().cache_bytes(1 << 20).build())
+    }
+
+    fn blob(len: usize, seed: u8) -> Vec<u8> {
+        (0..len)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect()
+    }
+
+    #[test]
+    fn namespace_crud_roundtrip() {
+        let f = front();
+        let data = blob(5000, 3);
+        f.put("a", "obj", &data).unwrap();
+        assert_eq!(f.read("a", "obj").unwrap(), data);
+        let st = f.stat("a", "obj").unwrap();
+        assert_eq!((st.len, st.version, st.extents), (5000, 2, 1));
+        // Appends add extents; reads concatenate.
+        let more = blob(700, 9);
+        f.write("a", "obj", &more).unwrap();
+        let mut all = data.clone();
+        all.extend_from_slice(&more);
+        assert_eq!(f.read("a", "obj").unwrap(), all);
+        assert_eq!(f.stat("a", "obj").unwrap().extents, 2);
+        // Ranged read across the extent boundary.
+        assert_eq!(
+            f.read_range("a", "obj", 4990, 20).unwrap(),
+            &all[4990..5010]
+        );
+        // Delete frees the name.
+        f.delete("a", "obj").unwrap();
+        assert!(matches!(f.read("a", "obj"), Err(StoreError::NotFound(_))));
+        f.put("a", "obj", b"fresh").unwrap();
+        assert_eq!(f.read("a", "obj").unwrap(), b"fresh");
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let f = front();
+        f.put("a", "obj", b"alpha").unwrap();
+        f.put("b", "obj", b"bravo").unwrap();
+        assert_eq!(f.read("a", "obj").unwrap(), b"alpha");
+        assert_eq!(f.read("b", "obj").unwrap(), b"bravo");
+        assert!(matches!(f.stat("c", "obj"), Err(StoreError::NotFound(_))));
+        assert_eq!(f.list("a"), vec!["obj".to_string()]);
+    }
+
+    #[test]
+    fn duplicate_create_rejected_and_errors_typed() {
+        let f = front();
+        f.create("a", "x").unwrap();
+        assert!(matches!(
+            f.create("a", "x"),
+            Err(StoreError::AlreadyExists(_))
+        ));
+        assert!(matches!(
+            f.write("a", "nope", b"z"),
+            Err(StoreError::NotFound(_))
+        ));
+        f.write("a", "x", &blob(100, 1)).unwrap();
+        assert!(matches!(
+            f.read_range("a", "x", 90, 20),
+            Err(StoreError::RangeOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn cache_hits_on_hot_reread() {
+        let f = front();
+        let data = blob(8192, 5);
+        f.put("a", "hot", &data).unwrap();
+        for _ in 0..10 {
+            assert_eq!(f.read("a", "hot").unwrap(), data);
+        }
+        let (hits, misses) = f.cache_stats();
+        assert!(hits > misses, "hits {hits} misses {misses}");
+        // The cached bytes really are what the store holds.
+        assert_eq!(f.read("a", "hot").unwrap(), data);
+    }
+
+    #[test]
+    fn cache_disabled_still_correct() {
+        let f = front_with(FrontConfig::builder().cache_bytes(0).build());
+        let data = blob(8192, 5);
+        f.put("a", "o", &data).unwrap();
+        assert_eq!(f.read("a", "o").unwrap(), data);
+        let (hits, _) = f.cache_stats();
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn cache_eviction_bounds_bytes() {
+        // Cap of 4 elements' worth; read 16 elements.
+        let f = front_with(FrontConfig::builder().cache_bytes(4 * 512).build());
+        let data = blob(16 * 512, 7);
+        f.put("a", "o", &data).unwrap();
+        assert_eq!(f.read("a", "o").unwrap(), data);
+        let snap = f.store().recorder().snapshot();
+        let evicted = snap
+            .flatten()
+            .into_iter()
+            .find(|(n, _)| n == "cache.evict")
+            .map(|(_, v)| v)
+            .unwrap_or(0);
+        assert!(evicted >= 12, "evicted {evicted}");
+        // Still byte-correct after churn.
+        assert_eq!(f.read("a", "o").unwrap(), data);
+    }
+
+    #[test]
+    fn latency_class_rejects_instead_of_queueing() {
+        let f = front();
+        f.register_tenant(TenantSpec::new("lat", QosClass::Latency).rate(1024));
+        f.put("lat", "o", &blob(4096, 1)).unwrap(); // burst covers it
+                                                    // Bucket now deeply overdrawn: the next charged op must reject
+                                                    // immediately, not sleep.
+        let t0 = Instant::now();
+        let r = f.put("lat", "o2", &blob(4096, 2));
+        assert!(matches!(r, Err(StoreError::Throttled(_))), "{r:?}");
+        assert!(t0.elapsed() < Duration::from_millis(200));
+    }
+
+    #[test]
+    fn bulk_class_queues_within_deadline() {
+        let f = front_with(
+            FrontConfig::builder()
+                .cache_bytes(0)
+                .max_delay(Duration::from_secs(5))
+                .build(),
+        );
+        f.register_tenant(TenantSpec::new("bulk", QosClass::Bulk).rate(100_000));
+        f.put("bulk", "o", &blob(20_000, 1)).unwrap(); // ~2× burst
+                                                       // Overdrawn by ~10 KB → next op waits ~100 ms instead of
+                                                       // rejecting.
+        let t0 = Instant::now();
+        f.put("bulk", "o2", b"x").unwrap();
+        assert!(
+            t0.elapsed() >= Duration::from_millis(50),
+            "{:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn admission_off_never_throttles() {
+        let f = front_with(FrontConfig::builder().admission(false).build());
+        f.register_tenant(TenantSpec::new("t", QosClass::Latency).rate(1));
+        for i in 0..5 {
+            f.put("t", &format!("o{i}"), &blob(4096, i as u8)).unwrap();
+        }
+    }
+
+    #[test]
+    fn tenant_counters_register() {
+        let f = front();
+        f.put("acct", "o", &blob(2000, 1)).unwrap();
+        f.read("acct", "o").unwrap();
+        let snap = f.store().recorder().snapshot();
+        let get = |name: &str| {
+            snap.flatten()
+                .into_iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v)
+                .unwrap_or(0)
+        };
+        assert_eq!(get("tenant.acct.writes"), 1);
+        assert_eq!(get("tenant.acct.write_bytes"), 2000);
+        assert_eq!(get("tenant.acct.reads"), 1);
+        assert_eq!(get("tenant.acct.read_bytes"), 2000);
+    }
+
+    #[test]
+    fn tenant_spec_parsing() {
+        let s = TenantSpec::parse("web:latency").unwrap();
+        assert_eq!(
+            (s.name.as_str(), s.class, s.rate_limit),
+            ("web", QosClass::Latency, None)
+        );
+        let s = TenantSpec::parse("scan:bulk:8000000").unwrap();
+        assert_eq!(s.rate_limit, Some(8_000_000));
+        assert!(TenantSpec::parse("scan").is_err());
+        assert!(TenantSpec::parse("scan:fast").is_err());
+        assert!(TenantSpec::parse("scan:bulk:zap").is_err());
+        assert!(TenantSpec::parse("scan:bulk:1:2").is_err());
+    }
+
+    #[test]
+    fn extent_record_slices() {
+        let rec = ExtentRecord {
+            extents: vec![
+                ObjectMeta {
+                    offset: 100,
+                    len: 10,
+                },
+                ObjectMeta {
+                    offset: 500,
+                    len: 20,
+                },
+            ],
+            version: 3,
+        };
+        assert_eq!(rec.len(), 30);
+        // Range straddling both extents.
+        assert_eq!(
+            rec.slices(5, 10),
+            vec![
+                (
+                    ObjectMeta {
+                        offset: 100,
+                        len: 10
+                    },
+                    5,
+                    5
+                ),
+                (
+                    ObjectMeta {
+                        offset: 500,
+                        len: 20
+                    },
+                    0,
+                    5
+                ),
+            ]
+        );
+        assert_eq!(rec.slices(10, 0), vec![]);
+    }
+}

@@ -43,11 +43,16 @@
 
 pub mod bufpool;
 pub mod error;
+pub mod front;
 pub mod meta;
 pub mod repair;
 pub mod store;
 
 pub use error::StoreError;
-pub use meta::{ObjectMeta, ReadStats, ScrubReport, StoreStats, StripeManifest, StripeRepair};
+pub use front::{FrontConfig, FrontDoor, QosClass, TenantSpec};
+pub use meta::{
+    ExtentRecord, ObjectMeta, ObjectStat, ReadStats, ScrubReport, StoreStats, StripeManifest,
+    StripeRepair,
+};
 pub use repair::{RepairConfig, RepairManager, RepairProgress, RepairQueue, Replacer};
-pub use store::ObjectStore;
+pub use store::{ObjectStore, ReadOpts, StripeEvent, StripeListener};

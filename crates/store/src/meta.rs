@@ -24,6 +24,70 @@ impl ObjectMeta {
     }
 }
 
+/// A named object's extent map — the front door's namespace record,
+/// kept next to the [`StripeManifest`]s as the store's per-object
+/// metadata (scfs-style: an object is an ordered list of extents over
+/// the append-only stream, so appends never rewrite data in place).
+///
+/// Each write to an object appends one [`ObjectMeta`] extent (a stream
+/// location returned by
+/// [`ObjectStore::append`](crate::ObjectStore::append)); a read
+/// concatenates the extents in order. Deleting an object drops the
+/// record — the underlying stream bytes are unreferenced garbage until
+/// a future compaction pass, exactly like a real append-only store.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExtentRecord {
+    /// Stream extents in append order; the object's bytes are their
+    /// concatenation.
+    pub extents: Vec<ObjectMeta>,
+    /// Bumped on every mutation (create = 1), so cached stats can be
+    /// recognized as stale.
+    pub version: u64,
+}
+
+impl ExtentRecord {
+    /// Total object length in bytes.
+    pub fn len(&self) -> u64 {
+        self.extents.iter().map(|e| e.len).sum()
+    }
+
+    /// Whether the object holds no bytes yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Map the object-relative byte range `start .. start + len` to
+    /// `(extent, offset_within_extent, run_len)` pieces in read order.
+    /// Pieces never cross extent boundaries.
+    pub fn slices(&self, start: u64, len: u64) -> Vec<(ObjectMeta, u64, u64)> {
+        let mut out = Vec::new();
+        let (mut pos, end) = (0u64, start + len);
+        for e in &self.extents {
+            let (a, b) = (pos.max(start), (pos + e.len).min(end));
+            if a < b {
+                out.push((*e, a - pos, b - a));
+            }
+            pos += e.len;
+            if pos >= end {
+                break;
+            }
+        }
+        out
+    }
+}
+
+/// What [`FrontDoor::stat`](crate::front::FrontDoor::stat) reports for
+/// a named object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectStat {
+    /// Object length in bytes (sum over extents).
+    pub len: u64,
+    /// Mutation version (create = 1, +1 per write).
+    pub version: u64,
+    /// Number of stream extents backing the object.
+    pub extents: usize,
+}
+
 /// Per-read instrumentation returned by
 /// [`ObjectStore::get_with_stats`](crate::ObjectStore::get_with_stats).
 #[derive(Debug, Clone, PartialEq)]

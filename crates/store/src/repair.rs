@@ -59,7 +59,7 @@ use std::time::{Duration, Instant};
 
 use ecfrm_obs::{Counter, Gauge, Histogram, Recorder};
 use ecfrm_sim::DiskBackend;
-use ecfrm_util::Mutex;
+use ecfrm_util::{Mutex, TokenBucket};
 
 use crate::store::ObjectStore;
 
@@ -300,56 +300,6 @@ impl std::fmt::Debug for RepairConfig {
             .field("poll", &self.poll)
             .field("replacer", &self.replacer.as_ref().map(|_| "fn"))
             .finish()
-    }
-}
-
-/// Pay-after token bucket: a worker may start a stripe only while the
-/// balance is non-negative, then the stripe's actual bytes are charged
-/// (possibly driving the balance negative, which future refill pays
-/// off). Long-run throughput converges to exactly `rate` with no need
-/// to estimate a stripe's cost up front.
-#[derive(Debug)]
-struct TokenBucket {
-    rate: f64,
-    burst: f64,
-    state: Mutex<(f64, Instant)>,
-}
-
-impl TokenBucket {
-    fn new(rate_bytes_per_sec: u64) -> Self {
-        let rate = rate_bytes_per_sec.max(1) as f64;
-        Self {
-            rate,
-            // Allow ~100 ms of burst so repair is smooth, not lumpy.
-            burst: rate * 0.1,
-            state: Mutex::new((0.0, Instant::now())),
-        }
-    }
-
-    /// Block until the balance is non-negative (or `stop` is raised).
-    fn wait_ready(&self, stop: &AtomicBool, poll: Duration) {
-        loop {
-            if stop.load(Ordering::Acquire) {
-                return;
-            }
-            let wait = {
-                let mut s = self.state.lock();
-                let now = Instant::now();
-                let (ref mut tokens, ref mut last) = *s;
-                *tokens = (*tokens + last.elapsed().as_secs_f64() * self.rate).min(self.burst);
-                *last = now;
-                if *tokens >= 0.0 {
-                    return;
-                }
-                Duration::from_secs_f64((-*tokens / self.rate).min(0.05))
-            };
-            std::thread::sleep(wait.max(poll.min(Duration::from_millis(1))));
-        }
-    }
-
-    /// Charge `bytes` against the balance.
-    fn spend(&self, bytes: u64) {
-        self.state.lock().0 -= bytes as f64;
     }
 }
 
@@ -810,25 +760,5 @@ mod tests {
         assert_eq!(q.pop(), None);
         assert_eq!(q.abandoned_for(0), 1);
         assert_eq!(q.pending_for(0), 0);
-    }
-
-    #[test]
-    fn token_bucket_bounds_long_run_rate() {
-        let bucket = TokenBucket::new(1_000_000); // 1 MB/s
-        let stop = AtomicBool::new(false);
-        let t0 = Instant::now();
-        let mut spent = 0u64;
-        // 300 KB in 50 KB stripes at 1 MB/s must take ≥ ~0.2 s
-        // (the first ~100 KB rides the burst allowance).
-        while spent < 300_000 {
-            bucket.wait_ready(&stop, Duration::from_millis(1));
-            bucket.spend(50_000);
-            spent += 50_000;
-        }
-        assert!(
-            t0.elapsed() >= Duration::from_millis(150),
-            "rate limiter let {spent} bytes through in {:?}",
-            t0.elapsed()
-        );
     }
 }

@@ -54,6 +54,13 @@ struct StoreMetrics {
     cross_domain_reads: Counter,
     /// Stripes repaired via server-side `CombineRange` partial sums.
     combined_stripes: Counter,
+    /// Reads planned degraded around a live-but-hot disk at a caller's
+    /// request ([`ReadOpts::avoid`]) — the front-door cache's
+    /// load-aware miss path.
+    avoided_reads: Counter,
+    /// Avoid requests abandoned because the avoiding plan was
+    /// unreadable or cost more than [`ReadOpts::max_avoid_cost`].
+    avoid_fallbacks: Counter,
     plan_us: Histogram,
     read_us: Histogram,
     /// Time spent verifying checksum footers (per read / per scrubbed
@@ -78,6 +85,8 @@ impl StoreMetrics {
             repair_wire_bytes: recorder.counter("repair.wire_bytes"),
             cross_domain_reads: recorder.counter("repair.cross_domain_reads"),
             combined_stripes: recorder.counter("repair.combined_stripes"),
+            avoided_reads: recorder.counter("read.avoided"),
+            avoid_fallbacks: recorder.counter("read.avoid_fallback"),
             plan_us: recorder.histogram("plan_us"),
             read_us: recorder.histogram("read_us"),
             verify_us: recorder.histogram("verify_us"),
@@ -122,6 +131,71 @@ enum CombinedRepair {
     /// Combining was not possible (no capable helper, latch flipped,
     /// helper vanished); use the batched path for this stripe.
     Fallback,
+}
+
+/// A [`StripeEvent`] subscriber registered with
+/// [`ObjectStore::subscribe_stripes`]. Called synchronously after the
+/// store's internal lock is released, so it may call back into the
+/// store.
+pub type StripeListener = Arc<dyn Fn(StripeEvent) + Send + Sync>;
+
+/// A change to sealed-stripe state, delivered to subscribers registered
+/// via [`ObjectStore::subscribe_stripes`].
+///
+/// The front door's decoded-element cache uses these to invalidate:
+/// repair rewrites identical payloads and sealed elements are
+/// immutable, so invalidation is a conservative coherence fence rather
+/// than a correctness requirement today — but it keeps the cache honest
+/// against any future path that rewrites cells with different bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StripeEvent {
+    /// Stripes `first .. first + count` were sealed and written out.
+    Sealed {
+        /// First newly sealed stripe index.
+        first: u64,
+        /// Number of stripes sealed in this batch.
+        count: u64,
+    },
+    /// One stripe's lost cells were rewritten by
+    /// [`ObjectStore::repair_stripe`].
+    Rewritten {
+        /// The repaired stripe.
+        stripe: u64,
+    },
+    /// Every cell of a disk was rebuilt in place by
+    /// [`ObjectStore::recover_disk`].
+    DiskRebuilt {
+        /// The rebuilt disk.
+        disk: usize,
+    },
+}
+
+/// Per-read options for [`ObjectStore::get_range_with_opts`] and
+/// [`ObjectStore::read_extent`].
+#[derive(Debug, Clone)]
+pub struct ReadOpts {
+    /// Live disks the planner should treat as down, so the read decodes
+    /// around them instead of touching them — the front-door cache
+    /// passes the currently hottest disk here on a miss. Avoided disks
+    /// are never marked suspect and never generate repair hints; if the
+    /// avoiding plan is unreadable or costs more than
+    /// [`ReadOpts::max_avoid_cost`], avoidance is dropped and the read
+    /// proceeds normally.
+    pub avoid: Vec<usize>,
+    /// Cost ceiling (fetched/requested elements, [`ReadStats::cost`])
+    /// above which avoidance is abandoned. EC-FRM's rotated layout
+    /// usually substitutes a same-group parity at equal cost, so the
+    /// default `1.3` only forgives small remainder-group overheads.
+    pub max_avoid_cost: f64,
+}
+
+impl Default for ReadOpts {
+    fn default() -> Self {
+        Self {
+            avoid: Vec::new(),
+            max_avoid_cost: 1.3,
+        }
+    }
 }
 
 struct Inner {
@@ -185,6 +259,12 @@ pub struct ObjectStore {
     /// forces the naive fetch-everything path — the bench prices the
     /// difference.
     combined_repair: AtomicBool,
+    /// Stripe-event subscribers (the front door's cache invalidation).
+    listeners: Mutex<Vec<StripeListener>>,
+    /// Events recorded while `inner` was held, delivered by
+    /// [`Self::notify`] once the lock is released so subscribers may
+    /// freely call back into the store.
+    pending_events: Mutex<Vec<StripeEvent>>,
 }
 
 impl std::fmt::Debug for ObjectStore {
@@ -254,6 +334,43 @@ impl ObjectStore {
             key: HashKey::DEFAULT,
             verify_reads: AtomicBool::new(true),
             combined_repair: AtomicBool::new(true),
+            listeners: Mutex::new(Vec::new()),
+            pending_events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Subscribe to [`StripeEvent`]s: seals, repair rewrites, and
+    /// whole-disk rebuilds. Events are delivered synchronously from the
+    /// store call that completed the change, after the store's internal
+    /// lock is released (so subscribers may call back into the store).
+    pub fn subscribe_stripes(&self, listener: StripeListener) {
+        self.listeners.lock().push(listener);
+    }
+
+    /// Record an event for delivery at the next [`Self::notify`]. Safe
+    /// to call with `inner` held.
+    fn push_event(&self, ev: StripeEvent) {
+        if !self.listeners.lock().is_empty() {
+            self.pending_events.lock().push(ev);
+        }
+    }
+
+    /// Deliver pending stripe events. Must be called WITHOUT `inner`
+    /// held. Listeners run outside every store lock, so they may call
+    /// back into the store; events raised by those calls are drained by
+    /// the same loop.
+    fn notify(&self) {
+        loop {
+            let batch: Vec<StripeEvent> = std::mem::take(&mut *self.pending_events.lock());
+            if batch.is_empty() {
+                return;
+            }
+            let listeners: Vec<_> = self.listeners.lock().clone();
+            for ev in batch {
+                for l in &listeners {
+                    l(ev);
+                }
+            }
         }
     }
 
@@ -285,6 +402,14 @@ impl ObjectStore {
     /// Element size in bytes.
     pub fn element_size(&self) -> usize {
         self.element_size
+    }
+
+    /// A live snapshot of the `disk_load` board: cumulative planned
+    /// fetches per disk since startup. The front door's cache miss path
+    /// diffs successive snapshots to find the currently hottest disk
+    /// and asks the planner to decode around it ([`ReadOpts::avoid`]).
+    pub fn disk_loads(&self) -> ecfrm_obs::DiskBoardSnapshot {
+        self.metrics.disk_load.snapshot()
     }
 
     /// The store's stripe repair queue (drained by a
@@ -349,15 +474,44 @@ impl ObjectStore {
         inner.pending.extend_from_slice(bytes);
         inner.logical_len += bytes.len() as u64;
         self.seal_full_stripes(&mut inner);
+        drop(inner);
+        self.notify();
         Ok(())
+    }
+
+    /// Append anonymous bytes to the logical stream, returning the
+    /// extent they occupy — the front door's write primitive: extent
+    /// records ([`crate::ExtentRecord`]) reference these locations
+    /// without entering the store's name catalog.
+    ///
+    /// Like [`Self::put`], full stripes seal eagerly and the tail stays
+    /// buffered until a flush or a read needs it. Read the bytes back
+    /// with [`Self::read_extent`].
+    pub fn append(&self, bytes: &[u8]) -> ObjectMeta {
+        let meta = {
+            let mut inner = self.inner.lock();
+            let meta = ObjectMeta {
+                offset: inner.logical_len,
+                len: bytes.len() as u64,
+            };
+            inner.pending.extend_from_slice(bytes);
+            inner.logical_len += bytes.len() as u64;
+            self.seal_full_stripes(&mut inner);
+            meta
+        };
+        self.notify();
+        meta
     }
 
     /// Seal the pending tail by zero-padding to a stripe boundary, so
     /// everything written so far becomes readable. Later appends start
     /// after the padding (alignment loss, as in real append-only stores).
     pub fn flush(&self) {
-        let mut inner = self.inner.lock();
-        self.flush_locked(&mut inner);
+        {
+            let mut inner = self.inner.lock();
+            self.flush_locked(&mut inner);
+        }
+        self.notify();
     }
 
     fn flush_locked(&self, inner: &mut Inner) {
@@ -445,6 +599,10 @@ impl ObjectStore {
         self.array.write_batch(batch);
         inner.stripes += full as u64;
         inner.sealed_elements += (full * dps) as u64;
+        self.push_event(StripeEvent::Sealed {
+            first: first_stripe,
+            count: full as u64,
+        });
     }
 
     /// Read a whole object.
@@ -497,28 +655,96 @@ impl ObjectStore {
         start: u64,
         len: u64,
     ) -> Result<(Vec<u8>, ReadStats), StoreError> {
-        let (meta, failed) = {
-            let mut inner = self.inner.lock();
-            let meta = *inner
+        self.get_range_with_opts(name, start, len, &ReadOpts::default())
+    }
+
+    /// [`Self::get_range_with_stats`] with per-read [`ReadOpts`] — the
+    /// front door's miss path uses `opts.avoid` to decode around the
+    /// currently hottest disk.
+    pub fn get_range_with_opts(
+        &self,
+        name: &str,
+        start: u64,
+        len: u64,
+        opts: &ReadOpts,
+    ) -> Result<(Vec<u8>, ReadStats), StoreError> {
+        let meta = {
+            let inner = self.inner.lock();
+            *inner
                 .catalog
                 .get(name)
-                .ok_or_else(|| StoreError::NotFound(name.to_string()))?;
-            if start + len > meta.len {
-                return Err(StoreError::RangeOutOfBounds {
-                    name: name.to_string(),
-                    len: meta.len,
-                });
-            }
-            let sub = ObjectMeta {
+                .ok_or_else(|| StoreError::NotFound(name.to_string()))?
+        };
+        if start + len > meta.len {
+            return Err(StoreError::RangeOutOfBounds {
+                name: name.to_string(),
+                len: meta.len,
+            });
+        }
+        self.read_absolute(
+            ObjectMeta {
                 offset: meta.offset + start,
                 len,
-            };
-            let (_, last) = sub.element_range(self.element_size);
+            },
+            opts,
+        )
+    }
+
+    /// Read `len` bytes starting `start` bytes into `extent` — an
+    /// anonymous stream location previously returned by
+    /// [`Self::append`]. This is the front door's read primitive: its
+    /// extent records carry [`ObjectMeta`] locations instead of store
+    /// catalog names.
+    ///
+    /// # Errors
+    /// [`StoreError::RangeOutOfBounds`] if `start + len` overruns the
+    /// extent (or the logical stream, for a forged extent); otherwise
+    /// exactly like [`Self::get_range`].
+    pub fn read_extent(
+        &self,
+        extent: ObjectMeta,
+        start: u64,
+        len: u64,
+        opts: &ReadOpts,
+    ) -> Result<(Vec<u8>, ReadStats), StoreError> {
+        if start.checked_add(len).is_none_or(|end| end > extent.len) {
+            return Err(StoreError::RangeOutOfBounds {
+                name: format!("<extent @{}>", extent.offset),
+                len: extent.len,
+            });
+        }
+        self.read_absolute(
+            ObjectMeta {
+                offset: extent.offset + start,
+                len,
+            },
+            opts,
+        )
+    }
+
+    /// The shared read core: `meta.offset` is an *absolute* logical
+    /// stream offset (catalog lookups already applied).
+    fn read_absolute(
+        &self,
+        meta: ObjectMeta,
+        opts: &ReadOpts,
+    ) -> Result<(Vec<u8>, ReadStats), StoreError> {
+        let len = meta.len;
+        let failed = {
+            let mut inner = self.inner.lock();
+            let (_, last) = meta.element_range(self.element_size);
             if last > inner.sealed_elements {
                 self.flush_locked(&mut inner);
             }
-            (sub, inner.failed.iter().copied().collect::<Vec<usize>>())
+            if len > 0 && last > inner.sealed_elements {
+                return Err(StoreError::RangeOutOfBounds {
+                    name: format!("<extent @{}>", meta.offset),
+                    len: inner.sealed_elements * self.element_size as u64,
+                });
+            }
+            inner.failed.iter().copied().collect::<Vec<usize>>()
         };
+        self.notify();
         if len == 0 {
             return Ok((
                 Vec::new(),
@@ -570,9 +796,20 @@ impl ObjectStore {
         let verify = self.verify_reads.load(Ordering::Relaxed);
         let mut verify_spent = std::time::Duration::ZERO;
         let mut suspects: BTreeSet<usize> = failed.iter().copied().collect();
+        // Live disks the caller asked us to plan around (load shedding,
+        // not failure): planned as down, but never marked suspect and
+        // never hinted for repair. Dropped wholesale if avoiding them
+        // would cost more than `opts.max_avoid_cost` or make the range
+        // unreadable.
+        let mut avoid: BTreeSet<usize> = opts
+            .avoid
+            .iter()
+            .copied()
+            .filter(|&d| d < self.scheme.n_disks() && !suspects.contains(&d))
+            .collect();
         let mut replans = 0usize;
         let plan = loop {
-            let down: Vec<usize> = suspects.iter().copied().collect();
+            let down: Vec<usize> = suspects.union(&avoid).copied().collect();
             let t_plan = std::time::Instant::now();
             let plan = if down.is_empty() {
                 self.scheme.normal_read_plan(first, count)
@@ -580,6 +817,13 @@ impl ObjectStore {
                 self.scheme.degraded_read_plan(first, count, &down)
             };
             self.metrics.plan_us.record_duration(t_plan.elapsed());
+            if !avoid.is_empty()
+                && (!plan.unreadable.is_empty() || plan.cost() > opts.max_avoid_cost)
+            {
+                avoid.clear();
+                self.metrics.avoid_fallbacks.inc();
+                continue;
+            }
             if !plan.unreadable.is_empty() {
                 return Err(StoreError::DataLoss(format!(
                     "{} elements unrecoverable under failed disks {down:?}",
@@ -712,6 +956,9 @@ impl ObjectStore {
         m.reads.inc();
         if stats.degraded {
             m.degraded_reads.inc();
+        }
+        if !avoid.is_empty() {
+            m.avoided_reads.inc();
         }
         if replans > 0 {
             m.replans.add(replans as u64);
@@ -997,6 +1244,8 @@ impl ObjectStore {
         self.array.disk(disk).heal();
         self.array.write_batch(rebuilt);
         self.inner.lock().failed.remove(&disk);
+        self.push_event(StripeEvent::DiskRebuilt { disk });
+        self.notify();
         Ok(count)
     }
 
@@ -1039,7 +1288,11 @@ impl ObjectStore {
             self.note_cross_domain(disk, &recovery);
             if self.combined_repair() {
                 match self.repair_stripe_combined(&recovery) {
-                    CombinedRepair::Done(r) => return Ok(r),
+                    CombinedRepair::Done(r) => {
+                        self.push_event(StripeEvent::Rewritten { stripe });
+                        self.notify();
+                        return Ok(r);
+                    }
                     CombinedRepair::Corrupt(disks) => {
                         for d in disks {
                             self.array.mark_suspect(d);
@@ -1053,7 +1306,10 @@ impl ObjectStore {
                     CombinedRepair::Fallback => {}
                 }
             }
-            return self.repair_stripe_naive(&recovery);
+            let r = self.repair_stripe_naive(&recovery)?;
+            self.push_event(StripeEvent::Rewritten { stripe });
+            self.notify();
+            return Ok(r);
         }
         Err(StoreError::DataLoss(format!(
             "repair of stripe {stripe} exhausted retries: helpers kept failing verification"
