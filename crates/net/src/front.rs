@@ -9,18 +9,34 @@
 //! protocol follows (PR-4 style, same as `GetRange` / `CombineRange`):
 //!
 //! * An **old server** rejects the opcode at decode and drops the
-//!   connection. The client probes a fresh connection with
-//!   [`Request::Health`]; if the probe answers, the server is alive but
-//!   predates object ops, so the client latches object ops **off
-//!   permanently** and serves every call through its local fallback
+//!   connection. From the caller's side that is just a dead connection
+//!   — the same face an outage or a flaky link wears — so the client
+//!   never latches on the failure alone. It probes a fresh connection
+//!   with a read-only *object op* ([`Request::ObjStat`]): a server
+//!   that answers the probe frame (even with a typed `not_found`
+//!   error) provably decodes object ops, so the failure was transient.
+//!   Only the unknown-opcode rejection signature — the probe
+//!   connection killed on the object opcode while [`Request::Health`]
+//!   still answers — latches object ops **off permanently**, after
+//!   which every call is served through the local fallback
 //!   [`FrontDoor`] (when configured) over the raw shard data path.
 //! * A **new but front-less server** answers with the typed
 //!   [`NO_FRONT`] error — an *answering* server telling us it cannot
 //!   serve object ops — which demotes the client the same way, without
 //!   needing a probe.
-//! * A **transient outage** (probe also fails) never latches: the call
-//!   errors with [`StoreError::Net`] and the next call retries the
-//!   wire.
+//! * A **transient failure** — a request timeout (slow server, queued
+//!   admission delay, large transfer), an outage (both probes fail),
+//!   or a mid-op connection drop against a live new server — never
+//!   latches: the call errors with [`StoreError::Net`] and the next
+//!   call retries the wire.
+//!
+//! Retries follow an at-most-once discipline: a pooled connection that
+//! fails mid-round-trip is retried on a fresh dial only when the
+//! request provably did not execute — either the request frame never
+//! fully left this host, or the op is idempotent ([`Request::ObjGet`] /
+//! [`Request::ObjStat`]). A lost *response* to [`Request::ObjWrite`]
+//! surfaces as an error instead: the write may have landed server-side,
+//! and a blind retry would append the extent twice.
 //!
 //! Store errors cross the wire as prefixed strings ([`wire_error`]) and
 //! are re-typed client-side ([`unwire_error`]), so `match`ing on
@@ -305,16 +321,29 @@ impl FrontClient {
                 self.remote_ops.inc();
                 decode(resp)
             }
+            Err(NetError::Timeout) => {
+                // A slow answer is not evidence of an old server: a
+                // repair tenant's admission delay, a bulk deadline
+                // above our request timeout, or a large ObjGet all
+                // blow the deadline on a perfectly object-op-capable
+                // node. Never latch on a timeout.
+                Err(StoreError::Net(
+                    "front op timed out (server slow or queueing, not demoting)".to_string(),
+                ))
+            }
             Err(e) => {
-                // The op died on the wire. An old server kills the
+                // The connection died mid-op. An old server kills the
                 // connection on the unknown opcode, which looks exactly
-                // like an outage — a fresh-connection Health probe
-                // tells them apart. Only an *answering* probe demotes.
-                if self.probe_alive() {
-                    self.demote();
-                    self.local(&local)
-                } else {
-                    Err(StoreError::Net(format!("front op failed: {e}")))
+                // like an outage or a flaky link — only the failure
+                // signature of unknown-opcode rejection (a fresh
+                // connection killed on an object op while Health still
+                // answers) demotes.
+                match self.probe() {
+                    Probe::NoObjectOps => {
+                        self.demote();
+                        self.local(&local)
+                    }
+                    Probe::Inconclusive => Err(StoreError::Net(format!("front op failed: {e}"))),
                 }
             }
         }
@@ -342,23 +371,69 @@ impl FrontClient {
     }
 
     /// One request/response round trip on a pooled connection. A stale
-    /// pooled connection gets one retry on a fresh dial; a fresh-dial
-    /// failure is final.
+    /// pooled connection gets one retry on a fresh dial only when the
+    /// request provably did not execute server-side (the frame never
+    /// fully left, or the op is idempotent); a fresh-dial failure is
+    /// final.
     fn request(&self, req: &Request) -> Result<Response, NetError> {
         // Pop in its own statement: an `if let` scrutinee's lock guard
         // would live for the whole block and deadlock against `park`.
         let pooled = self.pool.lock().pop();
         if let Some(mut stream) = pooled {
-            if let Ok(resp) = round_trip(&mut stream, req) {
-                self.park(stream);
-                return Ok(resp);
+            match round_trip(&mut stream, req) {
+                Ok(resp) => {
+                    self.park(stream);
+                    return Ok(resp);
+                }
+                // The request frame never fully left this host: the
+                // server cannot have decoded it, so any op may retry
+                // on a fresh dial.
+                Err(TripError::Send(_)) => {}
+                // The request may have executed with only the response
+                // lost. Retrying a non-idempotent op here could run it
+                // twice (an ObjWrite would append its extent again) —
+                // surface the failure instead.
+                Err(TripError::Recv(e)) if !idempotent(req) => return Err(e),
+                Err(TripError::Recv(_)) => {}
             }
-            // Stale: fall through to a fresh dial.
         }
         let mut stream = self.dial()?;
-        let resp = round_trip(&mut stream, req)?;
+        let resp = round_trip(&mut stream, req).map_err(TripError::into_inner)?;
         self.park(stream);
         Ok(resp)
+    }
+
+    /// Can this server serve object ops? Dials fresh and asks a
+    /// read-only *object op* ([`Request::ObjStat`]): any answered frame
+    /// — even a typed `not_found` error — proves the server decodes the
+    /// opcode family, while an old server kills the connection at
+    /// decode. [`Request::Health`] (which every protocol generation
+    /// speaks) then separates "old server" from "nobody home".
+    fn probe(&self) -> Probe {
+        let req = Request::ObjStat {
+            tenant: String::new(),
+            object: String::new(),
+        };
+        let Ok(mut stream) = self.dial() else {
+            return Probe::Inconclusive; // outage, not evidence of age
+        };
+        match round_trip(&mut stream, &req) {
+            // An answering front-less server cannot serve object ops,
+            // same verdict as the typed-error path in `dispatch`.
+            Ok(Response::Error(msg)) if msg == NO_FRONT => Probe::NoObjectOps,
+            Ok(_) => Probe::Inconclusive,
+            // A slow probe is a slow server, not an old one.
+            Err(e) if matches!(e.inner(), NetError::Timeout) => Probe::Inconclusive,
+            // The object opcode killed a fresh connection — the old-
+            // server signature, if anyone is home at all.
+            Err(_) => {
+                if self.probe_alive() {
+                    Probe::NoObjectOps
+                } else {
+                    Probe::Inconclusive
+                }
+            }
+        }
     }
 
     /// Is anyone home? Dials fresh and asks [`Request::Health`] —
@@ -387,9 +462,57 @@ impl FrontClient {
     }
 }
 
-fn round_trip(stream: &mut TcpStream, req: &Request) -> Result<Response, NetError> {
-    write_request(stream, req)?;
-    read_response(stream)
+/// The verdict of a [`FrontClient::probe`]: demote only on proof.
+enum Probe {
+    /// The server provably cannot serve object ops: it killed a fresh
+    /// connection on an object opcode while still answering `Health`
+    /// (old server), or it answered the typed [`NO_FRONT`] error.
+    NoObjectOps,
+    /// Everything else — the probe answered (transient failure), timed
+    /// out (slow, not old), or nothing answered (outage). Never latch.
+    Inconclusive,
+}
+
+/// Which phase of a round trip failed. After a `Send`-phase failure
+/// the request frame never fully left this host, so the server cannot
+/// have decoded (let alone executed) it; after a `Recv`-phase failure
+/// it may have executed with only the response lost.
+enum TripError {
+    /// `write_request` failed: the request was not fully transmitted.
+    Send(NetError),
+    /// `read_response` failed: the request may have executed.
+    Recv(NetError),
+}
+
+impl TripError {
+    fn inner(&self) -> &NetError {
+        match self {
+            TripError::Send(e) | TripError::Recv(e) => e,
+        }
+    }
+
+    fn into_inner(self) -> NetError {
+        match self {
+            TripError::Send(e) | TripError::Recv(e) => e,
+        }
+    }
+}
+
+/// May this request be retried after a `Recv`-phase failure, when the
+/// server may already have executed it? Only reads with no server-side
+/// effects qualify — a replayed `ObjWrite` would append its extent a
+/// second time, and a replayed `ObjCreate`/`ObjDelete` would flip a
+/// success into a spurious `already_exists`/`not_found`.
+fn idempotent(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::ObjGet { .. } | Request::ObjStat { .. } | Request::Health
+    )
+}
+
+fn round_trip(stream: &mut TcpStream, req: &Request) -> Result<Response, TripError> {
+    write_request(stream, req).map_err(TripError::Send)?;
+    read_response(stream).map_err(TripError::Recv)
 }
 
 /// Shared decode for the three ops whose success is a bare

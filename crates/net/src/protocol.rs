@@ -199,9 +199,11 @@ pub enum Request {
     /// additive object-op family (opcodes 11–15, protocol version 1):
     /// servers that predate them reject the opcodes and clients fall
     /// back to a local front door over the shard data path
-    /// (probe-and-latch, the same pattern as opcodes 7–10). Servers
-    /// *without* a front door attached answer
-    /// [`Response::Error`]`("no front door…")` instead.
+    /// (probe-and-latch like opcodes 7–10, but probing with a
+    /// read-only `ObjStat` so timeouts and transient drops on a
+    /// capable server never latch). Servers *without* a front door
+    /// attached answer [`Response::Error`]`("no front door…")`
+    /// instead.
     ObjCreate {
         /// Owning tenant.
         tenant: String,

@@ -236,9 +236,14 @@ impl ShardServer {
 
     /// Stop serving: accept loop and every connection handler exit at
     /// their next poll tick, dropping in-flight connections. Blocks
-    /// until the accept loop has exited.
+    /// until the accept loop has exited. An attached front door is shut
+    /// down first so connection threads queued in QoS admission unpark
+    /// and can be joined instead of sleeping out their delay.
     pub fn kill(&mut self) {
         self.shared.stop.store(true, Ordering::Release);
+        if let Some(front) = &self.shared.front {
+            front.shutdown();
+        }
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }

@@ -217,6 +217,148 @@ fn no_fallback_errors_and_outages_never_latch() {
     );
 }
 
+/// A server that answers `Health` / `ObjStat` promptly but sits on
+/// `ObjGet` for `get_delay` — a live, object-op-capable node that
+/// merely blows the client's request deadline (queued admission, slow
+/// disk, big transfer). Also counts `ObjWrite` frames it *receives*
+/// and, when `drop_writes` is set, kills the connection after reading
+/// one instead of answering — the executed-but-response-lost case.
+fn spawn_slow_server(
+    get_delay: std::time::Duration,
+    drop_writes: bool,
+) -> (std::net::SocketAddr, Arc<std::sync::atomic::AtomicUsize>) {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let writes = Arc::new(AtomicUsize::new(0));
+    let counter = Arc::clone(&writes);
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { return };
+            let writes = Arc::clone(&counter);
+            std::thread::spawn(move || loop {
+                let Ok(req) = read_request(&mut stream) else {
+                    return;
+                };
+                let resp = match req {
+                    Request::Health => Response::Health { elements: 0 },
+                    Request::ObjCreate { .. } => Response::ObjAck,
+                    Request::ObjStat { .. } => Response::ObjStat {
+                        len: 0,
+                        version: 1,
+                        extents: 0,
+                    },
+                    Request::ObjGet { .. } => {
+                        std::thread::sleep(get_delay);
+                        Response::ObjData(vec![7; 8])
+                    }
+                    Request::ObjWrite { .. } => {
+                        writes.fetch_add(1, Ordering::SeqCst);
+                        if drop_writes {
+                            return; // connection dies with the response unsent
+                        }
+                        Response::ObjAck
+                    }
+                    _ => Response::Error("unexpected op".into()),
+                };
+                if write_response(&mut stream, &resp).is_err() {
+                    return;
+                }
+            });
+        }
+    });
+    (addr, writes)
+}
+
+/// A request that merely exceeds the client timeout on a live,
+/// object-op-capable server must stay a transient `Net` error: no
+/// demotion, and the very next (fast) op is served remotely again.
+#[test]
+fn slow_server_times_out_without_latching() {
+    let (addr, _) = spawn_slow_server(std::time::Duration::from_millis(800), false);
+    let fallback = local_front(); // present, but must never be used
+    let cfg = RemoteDiskConfig::builder()
+        .request_timeout(std::time::Duration::from_millis(100))
+        .build();
+    let client = FrontClient::new(addr, cfg).with_fallback(fallback);
+
+    assert!(matches!(
+        client.read_range("web", "obj", 0, 8),
+        Err(StoreError::Net(_))
+    ));
+    assert!(
+        client.remote_enabled(),
+        "a timeout is not evidence of an old server"
+    );
+    // The next op answers within the deadline and is served remotely.
+    assert_eq!(client.stat("web", "obj").unwrap().len, 0);
+    let snap = client.recorder().snapshot();
+    assert_eq!(
+        snap.counters.get("front.fallback").copied().unwrap_or(0),
+        0,
+        "no op may be served from the fallback's empty namespace"
+    );
+}
+
+/// A lost `ObjWrite` *response* must not trigger a blind retry: the
+/// server may have appended the extent with only the answer lost, and
+/// a replay would append it twice. The server here counts the write
+/// frames it receives — exactly one may arrive.
+#[test]
+fn lost_write_response_is_not_retried() {
+    let (addr, writes) = spawn_slow_server(std::time::Duration::ZERO, true);
+    let client = FrontClient::new(addr, RemoteDiskConfig::builder().build());
+
+    client.create("web", "obj").unwrap(); // parks a pooled connection
+    let r = client.write("web", "obj", &payload(100));
+    assert!(matches!(r, Err(StoreError::Net(_))), "{r:?}");
+    assert_eq!(
+        writes.load(std::sync::atomic::Ordering::SeqCst),
+        1,
+        "the write frame must cross the wire exactly once"
+    );
+    assert!(
+        client.remote_enabled(),
+        "an answering object-op probe proves the server is not old"
+    );
+}
+
+/// Idempotent reads still recover from a stale pooled connection with
+/// a silent fresh-dial retry (the server here hangs up after every
+/// response, so the second op always finds a dead pooled stream).
+#[test]
+fn stale_pooled_connection_retries_idempotent_reads() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { return };
+            std::thread::spawn(move || {
+                // One request, one answer, hang up.
+                if let Ok(req) = read_request(&mut stream) {
+                    let resp = match req {
+                        Request::ObjCreate { .. } => Response::ObjAck,
+                        Request::ObjStat { .. } => Response::ObjStat {
+                            len: 42,
+                            version: 1,
+                            extents: 0,
+                        },
+                        _ => Response::Error("unexpected op".into()),
+                    };
+                    let _ = write_response(&mut stream, &resp);
+                }
+            });
+        }
+    });
+
+    let client = FrontClient::new(addr, RemoteDiskConfig::builder().build());
+    client.create("web", "obj").unwrap(); // parked stream is now stale
+    std::thread::sleep(std::time::Duration::from_millis(30)); // let the server hang up
+    assert_eq!(client.stat("web", "obj").unwrap().len, 42);
+    assert!(client.remote_enabled());
+}
+
 /// The mixed-version acceptance scenario: the *front* node is old, the
 /// *shard* nodes are new. The demoted client serves through a local
 /// front door whose store reads the same shard cluster over

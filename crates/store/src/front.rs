@@ -13,10 +13,14 @@
 //!   uses) behind three priority classes: [`QosClass::Latency`] is
 //!   never queued (over-budget requests are rejected immediately),
 //!   [`QosClass::Bulk`] is smoothed by queueing up to
-//!   [`FrontConfig::max_delay`], and [`QosClass::Repair`] queues
-//!   without bound. Bulk scans therefore cannot starve latency
-//!   tenants: their requests are delayed or shed before they reach the
-//!   disks.
+//!   [`FrontConfig::max_delay`], and [`QosClass::Repair`] queues up to
+//!   the much larger [`FrontConfig::repair_max_delay`]. Queued waiters
+//!   sleep in short slices and re-check [`FrontDoor::shutdown`]'s stop
+//!   flag, so no server thread is ever parked past shutdown. Requests
+//!   are validated (object exists, range in bounds) *before* the
+//!   bucket is charged — a misspelled name cannot push a tenant into
+//!   throttling. Bulk scans therefore cannot starve latency tenants:
+//!   their requests are delayed or shed before they reach the disks.
 //! * **Parity-aware read cache** — a bounded LRU of *decoded* data
 //!   elements keyed by global element index (equivalently `(object,
 //!   stripe, element)`, since extents never alias). Misses fetch whole
@@ -87,9 +91,11 @@ pub enum QosClass {
     /// Throughput traffic (scans, backfills). Queued (the calling
     /// thread sleeps) up to [`FrontConfig::max_delay`], then rejected.
     Bulk,
-    /// Background maintenance. Queued without bound — repair-class
-    /// callers would rather wait than shed work (this mirrors the
-    /// `RepairManager`'s own use of the shared bucket).
+    /// Background maintenance. Queued up to the much larger
+    /// [`FrontConfig::repair_max_delay`] — repair-class callers would
+    /// rather wait than shed work (this mirrors the `RepairManager`'s
+    /// own use of the shared bucket), but the wait stays finite so a
+    /// deeply overdrawn bucket cannot hold server threads hostage.
     Repair,
 }
 
@@ -191,6 +197,11 @@ pub struct FrontConfig {
     /// How long a [`QosClass::Bulk`] request may be queued before it is
     /// rejected.
     pub max_delay: Duration,
+    /// How long a [`QosClass::Repair`] request may be queued before it
+    /// is rejected. Large but finite: background work prefers late to
+    /// never, yet a deeply overdrawn bucket must not park server
+    /// threads for unbounded time.
+    pub repair_max_delay: Duration,
     /// Hot-disk threshold for the cache miss path: a disk is avoided
     /// when its share of recent planned fetches exceeds `hot_ratio ×`
     /// the per-disk mean (and traffic is non-trivial).
@@ -202,14 +213,15 @@ pub struct FrontConfig {
 
 impl FrontConfig {
     /// Start building a config from the defaults: 32 MiB cache,
-    /// admission on, 500 ms max bulk delay, hot ratio 1.5, 100 ms load
-    /// refresh.
+    /// admission on, 500 ms max bulk delay, 30 s max repair delay, hot
+    /// ratio 1.5, 100 ms load refresh.
     pub fn builder() -> FrontConfigBuilder {
         FrontConfigBuilder {
             cfg: FrontConfig {
                 cache_bytes: 32 << 20,
                 admission: true,
                 max_delay: Duration::from_millis(500),
+                repair_max_delay: Duration::from_secs(30),
                 hot_ratio: 1.5,
                 load_refresh: Duration::from_millis(100),
             },
@@ -246,6 +258,12 @@ impl FrontConfigBuilder {
     /// Maximum queueing delay for [`QosClass::Bulk`] requests.
     pub fn max_delay(mut self, d: Duration) -> Self {
         self.cfg.max_delay = d;
+        self
+    }
+
+    /// Maximum queueing delay for [`QosClass::Repair`] requests.
+    pub fn repair_max_delay(mut self, d: Duration) -> Self {
+        self.cfg.repair_max_delay = d;
         self
     }
 
@@ -449,6 +467,10 @@ pub struct FrontDoor {
     metrics: FrontMetrics,
     watch: Mutex<LoadWatch>,
     admission: AtomicBool,
+    /// Raised by [`Self::shutdown`]: unparks every admission waiter
+    /// (they reject instead of finishing their sleep) so connection
+    /// threads can be joined promptly.
+    stopped: AtomicBool,
 }
 
 impl std::fmt::Debug for FrontDoor {
@@ -478,6 +500,7 @@ impl FrontDoor {
         let n = store.scheme().n_disks();
         let front = Arc::new(FrontDoor {
             admission: AtomicBool::new(cfg.admission),
+            stopped: AtomicBool::new(false),
             cfg,
             tenants: Mutex::new(HashMap::new()),
             namespace: Mutex::new(HashMap::new()),
@@ -526,6 +549,16 @@ impl FrontDoor {
         self.admission.store(on, Ordering::Relaxed);
     }
 
+    /// Begin shutdown: every queued admission waiter unparks at its
+    /// next poll slice and rejects ([`StoreError::Throttled`]), and no
+    /// new request queues. Requests that need no delay still pass, so
+    /// in-flight drains complete. Permanent — called by the serving
+    /// layer when its listener stops, so parked connection threads can
+    /// be joined.
+    pub fn shutdown(&self) {
+        self.stopped.store(true, Ordering::Release);
+    }
+
     fn tenant(&self, name: &str) -> Arc<Tenant> {
         let mut tenants = self.tenants.lock();
         if let Some(t) = tenants.get(name) {
@@ -541,7 +574,16 @@ impl FrontDoor {
 
     /// The admission state machine: charge `bytes` against the
     /// tenant's bucket, passing / delaying / rejecting by class.
+    ///
+    /// Callers validate the request (object exists, range in bounds)
+    /// *before* admitting, so invalid requests never spend budget.
+    /// Delayed waiters sleep in short slices, re-checking the
+    /// [`Self::shutdown`] flag each round, and every class's deadline
+    /// is finite — no server thread parks here unboundedly.
     fn admit(&self, tenant: &Tenant, bytes: u64) -> Result<(), StoreError> {
+        /// How coarsely a queued waiter observes the shutdown flag.
+        const POLL: Duration = Duration::from_millis(10);
+
         if !self.admission.load(Ordering::Relaxed) {
             return Ok(());
         }
@@ -554,7 +596,7 @@ impl FrontDoor {
             let deadline = match tenant.spec.class {
                 QosClass::Latency => Duration::ZERO,
                 QosClass::Bulk => self.cfg.max_delay,
-                QosClass::Repair => Duration::MAX,
+                QosClass::Repair => self.cfg.repair_max_delay,
             };
             if wait > deadline {
                 tenant.rejected.inc();
@@ -564,7 +606,20 @@ impl FrontDoor {
                     tenant.spec.name, tenant.spec.class,
                 )));
             }
-            std::thread::sleep(wait);
+            let mut remaining = wait;
+            while remaining > Duration::ZERO {
+                if self.stopped.load(Ordering::Acquire) {
+                    tenant.rejected.inc();
+                    self.metrics.admit_rejected.inc();
+                    return Err(StoreError::Throttled(format!(
+                        "front door shutting down: tenant {} not admitted",
+                        tenant.spec.name,
+                    )));
+                }
+                let slice = remaining.min(POLL);
+                std::thread::sleep(slice);
+                remaining = remaining.saturating_sub(slice);
+            }
             tenant.delayed.inc();
             self.metrics.admit_delayed.inc();
         }
@@ -581,6 +636,16 @@ impl FrontDoor {
     /// rejection.
     pub fn create(&self, tenant: &str, object: &str) -> Result<(), StoreError> {
         let t = self.tenant(tenant);
+        // Validate before admitting (and without holding the namespace
+        // lock across a potential admission sleep) so an invalid
+        // request costs no budget; the post-admission insert re-checks
+        // in case a racing create won meanwhile.
+        {
+            let ns = self.namespace.lock();
+            if ns.get(tenant).is_some_and(|o| o.contains_key(object)) {
+                return Err(StoreError::AlreadyExists(format!("{tenant}/{object}")));
+            }
+        }
         self.admit(&t, 0)?;
         let mut ns = self.namespace.lock();
         let objects = ns.entry(tenant.to_string()).or_default();
@@ -606,15 +671,16 @@ impl FrontDoor {
     /// not written).
     pub fn write(&self, tenant: &str, object: &str, bytes: &[u8]) -> Result<(), StoreError> {
         let t = self.tenant(tenant);
-        self.admit(&t, bytes.len() as u64)?;
-        // Check existence *before* appending so a misspelled name
-        // doesn't leak stream bytes.
+        // Check existence *before* admitting or appending so a
+        // misspelled name neither spends the tenant's budget nor leaks
+        // stream bytes.
         {
             let ns = self.namespace.lock();
             ns.get(tenant)
                 .and_then(|o| o.get(object))
                 .ok_or_else(|| StoreError::NotFound(format!("{tenant}/{object}")))?;
         }
+        self.admit(&t, bytes.len() as u64)?;
         let extent = self.store.append(bytes);
         let mut ns = self.namespace.lock();
         let rec = ns
@@ -661,7 +727,6 @@ impl FrontDoor {
         len: u64,
     ) -> Result<Vec<u8>, StoreError> {
         let t = self.tenant(tenant);
-        self.admit(&t, len)?;
         let rec = {
             let ns = self.namespace.lock();
             ns.get(tenant)
@@ -676,6 +741,9 @@ impl FrontDoor {
                 len: total,
             });
         }
+        // Admit only after the request is known valid, so NotFound /
+        // RangeOutOfBounds traffic cannot throttle a tenant.
+        self.admit(&t, len)?;
         let mut out = vec![0u8; len as usize];
         let mut filled = 0usize;
         for (extent, off, run) in rec.slices(start, len) {
@@ -1000,6 +1068,78 @@ mod tests {
             "{:?}",
             t0.elapsed()
         );
+    }
+
+    #[test]
+    fn repair_class_wait_is_finite() {
+        // A deeply overdrawn repair bucket used to park the caller with
+        // `Duration::MAX` as the deadline; now it rejects once the wait
+        // exceeds the (finite) repair deadline.
+        let f = front_with(
+            FrontConfig::builder()
+                .repair_max_delay(Duration::from_millis(100))
+                .build(),
+        );
+        f.register_tenant(TenantSpec::new("rep", QosClass::Repair).rate(1024));
+        f.put("rep", "o", &blob(4096, 1)).unwrap(); // ~4 s of deficit
+        let t0 = Instant::now();
+        let r = f.put("rep", "o2", b"x");
+        assert!(matches!(r, Err(StoreError::Throttled(_))), "{r:?}");
+        assert!(t0.elapsed() < Duration::from_secs(1), "{:?}", t0.elapsed());
+    }
+
+    #[test]
+    fn shutdown_unparks_queued_waiters() {
+        let f = front_with(
+            FrontConfig::builder()
+                .max_delay(Duration::from_secs(30))
+                .build(),
+        );
+        f.register_tenant(TenantSpec::new("bulk", QosClass::Bulk).rate(1024));
+        f.put("bulk", "o", &blob(4096, 1)).unwrap(); // ~4 s of deficit
+        let waiter = {
+            let f = Arc::clone(&f);
+            std::thread::spawn(move || f.put("bulk", "o2", b"x"))
+        };
+        std::thread::sleep(Duration::from_millis(50)); // let it park
+        f.shutdown();
+        let t0 = Instant::now();
+        let r = waiter.join().unwrap();
+        assert!(matches!(r, Err(StoreError::Throttled(_))), "{r:?}");
+        assert!(t0.elapsed() < Duration::from_secs(1), "{:?}", t0.elapsed());
+    }
+
+    #[test]
+    fn invalid_requests_spend_no_budget() {
+        let f = front_with(
+            FrontConfig::builder()
+                .max_delay(Duration::from_millis(200))
+                .build(),
+        );
+        f.register_tenant(TenantSpec::new("t", QosClass::Bulk).rate(100_000));
+        f.put("t", "o", &blob(100, 1)).unwrap();
+        // A storm of invalid traffic: were any of it charged, the
+        // deficit would dwarf the 200 ms bulk deadline and every later
+        // request would throttle.
+        for _ in 0..5 {
+            assert!(matches!(
+                f.read_range("t", "missing", 0, 10_000_000),
+                Err(StoreError::NotFound(_))
+            ));
+            assert!(matches!(
+                f.read_range("t", "o", 0, 10_000_000),
+                Err(StoreError::RangeOutOfBounds { .. })
+            ));
+            assert!(matches!(
+                f.write("t", "missing", &blob(10_000_000, 2)),
+                Err(StoreError::NotFound(_))
+            ));
+            assert!(matches!(
+                f.create("t", "o"),
+                Err(StoreError::AlreadyExists(_))
+            ));
+        }
+        assert_eq!(f.read("t", "o").unwrap(), blob(100, 1));
     }
 
     #[test]
